@@ -1,0 +1,153 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace spauth::bench {
+
+const RsaKeyPair& OwnerKeys() {
+  static const RsaKeyPair* keys = [] {
+    Rng rng(20100301);
+    auto kp = RsaKeyPair::Generate(1024, &rng);
+    if (!kp.ok()) {
+      std::fprintf(stderr, "key generation failed: %s\n",
+                   kp.status().ToString().c_str());
+      std::abort();
+    }
+    return new RsaKeyPair(std::move(kp).value());
+  }();
+  return *keys;
+}
+
+const Graph& DatasetGraph(Dataset d) {
+  static std::map<Dataset, Graph>* cache = new std::map<Dataset, Graph>();
+  auto it = cache->find(d);
+  if (it == cache->end()) {
+    auto g = GenerateDataset(d);
+    if (!g.ok()) {
+      std::fprintf(stderr, "dataset generation failed: %s\n",
+                   g.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache->emplace(d, std::move(g).value()).first;
+  }
+  return it->second;
+}
+
+EngineOptions DefaultEngineOptions(MethodKind method) {
+  EngineOptions options;
+  options.method = method;
+  options.ordering = NodeOrdering::kHilbert;
+  options.fanout = 2;
+  options.alg = HashAlgorithm::kSha1;
+  options.num_landmarks = 40;
+  options.quantization_bits = 12;
+  options.compression_xi = 50;
+  options.num_cells = 49;
+  return options;
+}
+
+std::vector<Query> MakeWorkload(const Graph& g, double range) {
+  WorkloadOptions options;
+  options.count = kWorkloadSize;
+  options.query_range = range;
+  options.seed = kWorkloadSeed;
+  auto workload = GenerateWorkload(g, options);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(workload).value();
+}
+
+WorkloadStats MeasureWorkload(const MethodEngine& engine,
+                              const std::vector<Query>& queries) {
+  WorkloadStats stats;
+  for (const Query& q : queries) {
+    WallTimer answer_timer;
+    auto bundle = engine.Answer(q);
+    stats.answer_ms += answer_timer.ElapsedSeconds() * 1000;
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s: answer failed: %s\n",
+                   std::string(engine.name()).c_str(),
+                   bundle.status().ToString().c_str());
+      std::abort();
+    }
+    WallTimer verify_timer;
+    VerifyOutcome outcome = engine.Verify(q, bundle.value());
+    stats.verify_ms += verify_timer.ElapsedSeconds() * 1000;
+    if (!outcome.accepted) {
+      std::fprintf(stderr, "%s: verification failed: %s\n",
+                   std::string(engine.name()).c_str(),
+                   outcome.ToString().c_str());
+      std::abort();
+    }
+    stats.sp_kb += bundle.value().stats.sp_bytes / 1024.0;
+    stats.t_kb += bundle.value().stats.t_bytes / 1024.0;
+    stats.sp_items += static_cast<double>(bundle.value().stats.sp_items);
+    stats.t_items += static_cast<double>(bundle.value().stats.t_items);
+  }
+  const double n = static_cast<double>(queries.size());
+  stats.sp_kb /= n;
+  stats.t_kb /= n;
+  stats.total_kb = stats.sp_kb + stats.t_kb;
+  stats.sp_items /= n;
+  stats.t_items /= n;
+  stats.answer_ms /= n;
+  stats.verify_ms /= n;
+  return stats;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("  %s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace spauth::bench

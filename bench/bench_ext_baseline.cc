@@ -1,0 +1,72 @@
+// Extension bench — the related-work baseline (Goodrich et al. [8],
+// Section II-B): authenticated spanning-forest connectivity vs the paper's
+// shortest-path methods. Connectivity proofs are tiny, but the returned
+// tree paths are *not* shortest — the stretch column quantifies exactly
+// why the paper's problem needs new machinery.
+#include <cstdio>
+
+#include "baseline/connectivity.h"
+#include "bench_common.h"
+#include "graph/dijkstra.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+  const std::vector<Query> queries = MakeWorkload(graph, kDefaultQueryRange);
+
+  auto forest = AuthenticatedForest::Build(graph, OwnerKeys(),
+                                           HashAlgorithm::kSha1, 2);
+  if (!forest.ok()) {
+    return 1;
+  }
+
+  double proof_kb = 0, stretch = 0, worst_stretch = 0;
+  for (const Query& q : queries) {
+    auto answer = forest.value().AnswerQuery(q);
+    if (!answer.ok()) {
+      return 1;
+    }
+    VerifyOutcome outcome = VerifyConnectivityAnswer(
+        OwnerKeys().public_key(), forest.value().root(),
+        forest.value().root_signature(), q, answer.value());
+    if (!outcome.accepted) {
+      std::fprintf(stderr, "baseline verification failed: %s\n",
+                   outcome.ToString().c_str());
+      return 1;
+    }
+    proof_kb += answer.value().SerializedSize() / 1024.0;
+    auto tree_len = ComputePathDistance(graph, answer.value().tree_path);
+    auto sp = DijkstraShortestPath(graph, q.source, q.target);
+    const double s = tree_len.value() / sp.distance;
+    stretch += s;
+    worst_stretch = std::max(worst_stretch, s);
+  }
+  proof_kb /= queries.size();
+  stretch /= queries.size();
+
+  auto hyp = MakeEngine(graph, DefaultEngineOptions(MethodKind::kHyp),
+                        OwnerKeys());
+  if (!hyp.ok()) {
+    return 1;
+  }
+  WorkloadStats hyp_stats = MeasureWorkload(*hyp.value(), queries);
+
+  PrintHeader("Extension (paper Section II-B)",
+              "spanning-forest connectivity baseline [8] vs HYP");
+  TablePrinter table({"scheme", "proof [KB]", "guarantees",
+                      "mean path stretch", "worst stretch"});
+  table.AddRow({"forest [8]", TablePrinter::Fmt(proof_kb),
+                "connectivity + some path", TablePrinter::Fmt(stretch),
+                TablePrinter::Fmt(worst_stretch)});
+  table.AddRow({"HYP (paper)", TablePrinter::Fmt(hyp_stats.total_kb),
+                "path is SHORTEST", "1.00", "1.00"});
+  table.Print();
+  std::printf(
+      "  (the baseline's paths average %.0f%% longer than optimal and it\n"
+      "   cannot prove shortestness even when a tree path happens to be\n"
+      "   shortest — the gap the paper's methods close)\n\n",
+      (stretch - 1) * 100);
+  return 0;
+}

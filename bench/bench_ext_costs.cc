@@ -1,0 +1,50 @@
+// Extension bench — Section VI states: "the proof generation cost at the
+// service provider and the proof verification cost at the client are
+// roughly proportional to the proof size". This bench quantifies that
+// proportionality across the query-range sweep: if the claim holds, the
+// bytes-per-millisecond column stays roughly flat per method as proofs
+// grow by an order of magnitude.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+
+  std::vector<std::unique_ptr<MethodEngine>> engines;
+  for (MethodKind method : kAllMethods) {
+    auto engine = MakeEngine(graph, DefaultEngineOptions(method), OwnerKeys());
+    if (!engine.ok()) {
+      return 1;
+    }
+    engines.push_back(std::move(engine).value());
+  }
+
+  PrintHeader("Extension (paper Section VI claim)",
+              "proof size vs provider/client cost proportionality");
+  TablePrinter table({"method", "range", "proof [KB]", "answer [ms]",
+                      "verify [ms]", "KB per verify-ms"});
+  for (const auto& engine : engines) {
+    for (double range : {500.0, 2000.0, 8000.0}) {
+      const std::vector<Query> queries = MakeWorkload(graph, range);
+      WorkloadStats stats = MeasureWorkload(*engine, queries);
+      table.AddRow({std::string(engine->name()),
+                    TablePrinter::Fmt(range, 0),
+                    TablePrinter::Fmt(stats.total_kb),
+                    TablePrinter::Fmt(stats.answer_ms, 3),
+                    TablePrinter::Fmt(stats.verify_ms, 3),
+                    TablePrinter::Fmt(
+                        stats.verify_ms > 0 ? stats.total_kb / stats.verify_ms
+                                            : 0,
+                        1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "  (a roughly stable last column per method = cost proportional to\n"
+      "   proof size, the paper's justification for reporting only sizes)\n\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension bench — the proof-size estimation model suggested as future
+// work in the paper's conclusion (Section VII). Calibrates a per-method
+// power-law model on three ranges and validates its predictions on the
+// full range sweep.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/estimator.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+
+  PrintHeader("Extension (paper Section VII future work)",
+              "proof-size estimation model: predicted vs measured [KB]");
+  TablePrinter table({"method", "fit: bytes ~ r^b", "range", "predicted",
+                      "measured", "error"});
+  for (MethodKind method : kAllMethods) {
+    auto engine = MakeEngine(graph, DefaultEngineOptions(method), OwnerKeys());
+    if (!engine.ok()) {
+      return 1;
+    }
+    EstimatorOptions eopts;
+    eopts.calibration_ranges = {500, 1000, 4000};
+    auto model = FitProofSizeModel(*engine.value(), graph, eopts);
+    if (!model.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    char fit[64];
+    std::snprintf(fit, sizeof(fit), "%.2f * r^%.2f",
+                  std::exp(model.value().log_a), model.value().slope_b);
+    for (double range : {750.0, 2000.0, 6000.0}) {
+      const std::vector<Query> queries = MakeWorkload(graph, range);
+      WorkloadStats stats = MeasureWorkload(*engine.value(), queries);
+      const double predicted_kb =
+          model.value().EstimateBytes(range) / 1024.0;
+      const double error =
+          (predicted_kb - stats.total_kb) / stats.total_kb * 100;
+      table.AddRow({std::string(ToString(method)), fit,
+                    TablePrinter::Fmt(range, 0),
+                    TablePrinter::Fmt(predicted_kb),
+                    TablePrinter::Fmt(stats.total_kb),
+                    TablePrinter::Fmt(error, 1) + "%"});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 8 — performance comparison under the default setting.
+//   8a: communication overhead (S-prf / T-prf split, KBytes)
+//   8b: number of items in Gamma_S and Gamma_T
+//   8c: offline construction time (FULL / LDM / HYP; DIJ needs none)
+//   plus the client verification times quoted in Section VI's text.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+  const std::vector<Query> queries = MakeWorkload(graph, kDefaultQueryRange);
+  std::printf("spauth bench: dataset DE' (%zu nodes, %zu edges), "
+              "query range %.0f, %zu queries\n",
+              graph.num_nodes(), graph.num_edges(), kDefaultQueryRange,
+              queries.size());
+
+  struct Row {
+    MethodKind method;
+    WorkloadStats stats;
+    double construction_s;
+  };
+  std::vector<Row> rows;
+  for (MethodKind method : kAllMethods) {
+    auto engine = MakeEngine(graph, DefaultEngineOptions(method), OwnerKeys());
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine build failed\n");
+      return 1;
+    }
+    rows.push_back({method, MeasureWorkload(*engine.value(), queries),
+                    engine.value()->construction_seconds()});
+  }
+
+  PrintHeader("Figure 8a", "communication overhead under the default setting");
+  {
+    TablePrinter table({"method", "S-prf [KB]", "T-prf [KB]", "total [KB]"});
+    for (const Row& r : rows) {
+      table.AddRow({std::string(ToString(r.method)),
+                    TablePrinter::Fmt(r.stats.sp_kb),
+                    TablePrinter::Fmt(r.stats.t_kb),
+                    TablePrinter::Fmt(r.stats.total_kb)});
+    }
+    table.Print();
+  }
+
+  PrintHeader("Figure 8b", "number of items in the proofs");
+  {
+    TablePrinter table({"method", "S-prf items", "T-prf items"});
+    for (const Row& r : rows) {
+      table.AddRow({std::string(ToString(r.method)),
+                    TablePrinter::Fmt(r.stats.sp_items, 1),
+                    TablePrinter::Fmt(r.stats.t_items, 1)});
+    }
+    table.Print();
+  }
+
+  PrintHeader("Figure 8c", "offline construction time of authenticated hints");
+  {
+    TablePrinter table({"method", "construction [s]"});
+    for (const Row& r : rows) {
+      if (r.method == MethodKind::kDij) {
+        table.AddRow({"DIJ", "(no pre-computation)"});
+      } else {
+        table.AddRow({std::string(ToString(r.method)),
+                      TablePrinter::Fmt(r.construction_s, 3)});
+      }
+    }
+    table.Print();
+  }
+
+  PrintHeader("Section VI text", "proof generation / client verification time");
+  {
+    TablePrinter table({"method", "answer [ms]", "verify [ms]"});
+    for (const Row& r : rows) {
+      table.AddRow({std::string(ToString(r.method)),
+                    TablePrinter::Fmt(r.stats.answer_ms, 3),
+                    TablePrinter::Fmt(r.stats.verify_ms, 3)});
+    }
+    table.Print();
+  }
+  std::printf("\n");
+  return 0;
+}

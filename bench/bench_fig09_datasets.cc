@@ -1,0 +1,66 @@
+// Figure 9 — effect of the data distribution (datasets DE/ARG/IND/NA).
+//   9a: communication overhead per dataset and method (S/T split)
+//   9b: offline construction time per dataset (log-scale in the paper;
+//       FULL explodes with |V|^3)
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Dataset datasets[] = {Dataset::kDE, Dataset::kARG, Dataset::kIND,
+                              Dataset::kNA};
+
+  TablePrinter comm({"dataset", "method", "S-prf [KB]", "T-prf [KB]",
+                     "total [KB]"});
+  TablePrinter construction({"dataset", "FULL [s]", "LDM [s]", "HYP [s]"});
+
+  for (Dataset d : datasets) {
+    const Graph& graph = DatasetGraph(d);
+    const std::vector<Query> queries = MakeWorkload(graph, kDefaultQueryRange);
+    std::printf("dataset %s: %zu nodes, %zu edges\n",
+                std::string(DatasetName(d)).c_str(), graph.num_nodes(),
+                graph.num_edges());
+    double full_s = 0, ldm_s = 0, hyp_s = 0;
+    for (MethodKind method : kAllMethods) {
+      auto engine =
+          MakeEngine(graph, DefaultEngineOptions(method), OwnerKeys());
+      if (!engine.ok()) {
+        std::fprintf(stderr, "engine build failed\n");
+        return 1;
+      }
+      WorkloadStats stats = MeasureWorkload(*engine.value(), queries);
+      comm.AddRow({std::string(DatasetName(d)),
+                   std::string(ToString(method)),
+                   TablePrinter::Fmt(stats.sp_kb),
+                   TablePrinter::Fmt(stats.t_kb),
+                   TablePrinter::Fmt(stats.total_kb)});
+      switch (method) {
+        case MethodKind::kFull:
+          full_s = engine.value()->construction_seconds();
+          break;
+        case MethodKind::kLdm:
+          ldm_s = engine.value()->construction_seconds();
+          break;
+        case MethodKind::kHyp:
+          hyp_s = engine.value()->construction_seconds();
+          break;
+        default:
+          break;
+      }
+    }
+    construction.AddRow({std::string(DatasetName(d)),
+                         TablePrinter::Fmt(full_s, 3),
+                         TablePrinter::Fmt(ldm_s, 3),
+                         TablePrinter::Fmt(hyp_s, 3)});
+  }
+
+  PrintHeader("Figure 9a", "communication overhead across datasets");
+  comm.Print();
+  PrintHeader("Figure 9b", "construction time across datasets");
+  construction.Print();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10 — effect of the graph-node ordering (bfs, dfs, hbt, kd, rand)
+// on the communication overhead of all four methods.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+  const std::vector<Query> queries = MakeWorkload(graph, kDefaultQueryRange);
+
+  PrintHeader("Figure 10", "effect of the graph-node ordering");
+  TablePrinter table({"ordering", "method", "S-prf [KB]", "T-prf [KB]",
+                      "total [KB]"});
+  for (NodeOrdering ordering : kAllOrderings) {
+    for (MethodKind method : kAllMethods) {
+      EngineOptions options = DefaultEngineOptions(method);
+      options.ordering = ordering;
+      auto engine = MakeEngine(graph, options, OwnerKeys());
+      if (!engine.ok()) {
+        std::fprintf(stderr, "engine build failed\n");
+        return 1;
+      }
+      WorkloadStats stats = MeasureWorkload(*engine.value(), queries);
+      table.AddRow({std::string(ToString(ordering)),
+                    std::string(ToString(method)),
+                    TablePrinter::Fmt(stats.sp_kb),
+                    TablePrinter::Fmt(stats.t_kb),
+                    TablePrinter::Fmt(stats.total_kb)});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

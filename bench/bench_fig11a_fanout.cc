@@ -1,0 +1,36 @@
+// Figure 11a — effect of the Merkle tree fanout (2, 4, 8, 16, 32) on the
+// communication overhead of all four methods.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+  const std::vector<Query> queries = MakeWorkload(graph, kDefaultQueryRange);
+
+  PrintHeader("Figure 11a", "effect of the Merkle tree fanout");
+  TablePrinter table({"fanout", "DIJ [KB]", "FULL [KB]", "LDM [KB]",
+                      "HYP [KB]"});
+  for (uint32_t fanout : {2u, 4u, 8u, 16u, 32u}) {
+    std::vector<std::string> row = {std::to_string(fanout)};
+    for (MethodKind method : kAllMethods) {
+      EngineOptions options = DefaultEngineOptions(method);
+      options.fanout = fanout;
+      options.distance_fanout = fanout;
+      auto engine = MakeEngine(graph, options, OwnerKeys());
+      if (!engine.ok()) {
+        std::fprintf(stderr, "engine build failed\n");
+        return 1;
+      }
+      WorkloadStats stats = MeasureWorkload(*engine.value(), queries);
+      row.push_back(TablePrinter::Fmt(stats.total_kb));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

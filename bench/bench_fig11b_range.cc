@@ -1,0 +1,39 @@
+// Figure 11b — effect of the query range (250 .. 8000) on the communication
+// overhead of all four methods.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace spauth;
+using namespace spauth::bench;
+
+int main() {
+  const Graph& graph = DatasetGraph(Dataset::kDE);
+
+  // Engines are range-independent; build once.
+  std::vector<std::unique_ptr<MethodEngine>> engines;
+  for (MethodKind method : kAllMethods) {
+    auto engine = MakeEngine(graph, DefaultEngineOptions(method), OwnerKeys());
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine build failed\n");
+      return 1;
+    }
+    engines.push_back(std::move(engine).value());
+  }
+
+  PrintHeader("Figure 11b", "effect of the query range");
+  TablePrinter table({"range", "DIJ [KB]", "FULL [KB]", "LDM [KB]",
+                      "HYP [KB]"});
+  for (double range : {250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    const std::vector<Query> queries = MakeWorkload(graph, range);
+    std::vector<std::string> row = {TablePrinter::Fmt(range, 0)};
+    for (const auto& engine : engines) {
+      WorkloadStats stats = MeasureWorkload(*engine, queries);
+      row.push_back(TablePrinter::Fmt(stats.total_kb));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

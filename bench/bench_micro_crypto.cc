@@ -1,0 +1,90 @@
+// Micro benchmarks for the cryptographic substrate: hash throughput,
+// RSA sign/verify latency and modular exponentiation.
+#include <benchmark/benchmark.h>
+
+#include "crypto/bigint.h"
+#include "crypto/digest.h"
+#include "crypto/rsa.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+void BM_Hash(benchmark::State& state, HashAlgorithm alg) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> data(size);
+  Rng rng(1);
+  rng.FillBytes(data.data(), data.size());
+  for (auto _ : state) {
+    Digest d = Hasher::Hash(alg, data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK_CAPTURE(BM_Hash, sha1, HashAlgorithm::kSha1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_Hash, sha256, HashAlgorithm::kSha256)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536);
+
+const RsaKeyPair& BenchKeys() {
+  static const RsaKeyPair* keys = [] {
+    Rng rng(42);
+    return new RsaKeyPair(RsaKeyPair::Generate(1024, &rng).value());
+  }();
+  return *keys;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  Digest d = Hasher::Hash(HashAlgorithm::kSha1,
+                          {reinterpret_cast<const uint8_t*>("root"), 4});
+  for (auto _ : state) {
+    auto sig = BenchKeys().Sign(d);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaVerify(benchmark::State& state) {
+  Digest d = Hasher::Hash(HashAlgorithm::kSha1,
+                          {reinterpret_cast<const uint8_t*>("root"), 4});
+  auto sig = BenchKeys().Sign(d).value();
+  for (auto _ : state) {
+    bool ok = RsaVerify(BenchKeys().public_key(), d, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_BigIntModPow(benchmark::State& state) {
+  Rng rng(7);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt modulus = BigInt::GeneratePrime(bits, &rng);
+  BigInt base = BigInt::RandomBelow(modulus, &rng);
+  BigInt exponent = BigInt::RandomWithBits(bits, &rng);
+  for (auto _ : state) {
+    auto r = BigInt::ModPow(base, exponent, modulus);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BigIntModPow)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(9);
+  BigInt a = BigInt::RandomWithBits(static_cast<int>(state.range(0)), &rng);
+  BigInt b = BigInt::RandomWithBits(static_cast<int>(state.range(0)), &rng);
+  for (auto _ : state) {
+    BigInt p = BigInt::Mul(a, b);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(512)->Arg(1024)->Arg(2048);
+
+}  // namespace
+}  // namespace spauth
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Micro benchmarks for the graph substrate: the provider-side shortest path
+// algorithms (algosp choices of Algorithm 1) and the owner-side all-pairs
+// computations.
+#include <benchmark/benchmark.h>
+
+#include "graph/all_pairs.h"
+#include "graph/astar.h"
+#include "graph/bidirectional.h"
+#include "graph/dijkstra.h"
+#include "graph/generator.h"
+#include "graph/workload.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* g = [] {
+    auto graph = GenerateDataset(Dataset::kDE);
+    return new Graph(std::move(graph).value());
+  }();
+  return *g;
+}
+
+std::vector<Query> BenchQueries() {
+  WorkloadOptions options;
+  options.count = 16;
+  options.query_range = 2000;
+  options.seed = 3;
+  return GenerateWorkload(BenchGraph(), options).value();
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  auto queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    auto r = DijkstraShortestPath(g, q.source, q.target);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_AStarEuclidean(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  auto queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    auto lb = [&](NodeId v) { return g.EuclideanDistance(v, q.target); };
+    auto r = AStarShortestPath(g, q.source, q.target, lb);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AStarEuclidean);
+
+void BM_Bidirectional(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  auto queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    auto r = BidirectionalShortestPath(g, q.source, q.target);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Bidirectional);
+
+void BM_DijkstraBall(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Rng rng(5);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto r = DijkstraBall(g, s, static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraBall)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_FloydWarshall(benchmark::State& state) {
+  RoadNetworkOptions options;
+  options.num_nodes = static_cast<uint32_t>(state.range(0));
+  options.seed = 11;
+  auto g = GenerateRoadNetwork(options).value();
+  for (auto _ : state) {
+    DistanceMatrix m = FloydWarshall(g);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FloydWarshall)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_AllPairsDijkstra(benchmark::State& state) {
+  RoadNetworkOptions options;
+  options.num_nodes = static_cast<uint32_t>(state.range(0));
+  options.seed = 11;
+  auto g = GenerateRoadNetwork(options).value();
+  for (auto _ : state) {
+    DistanceMatrix m = AllPairsDijkstra(g);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_AllPairsDijkstra)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace spauth
+
+BENCHMARK_MAIN();

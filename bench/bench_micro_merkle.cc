@@ -1,0 +1,76 @@
+// Micro benchmarks for the Merkle substrate: tree construction, subset
+// proof generation and client-side root reconstruction across fanouts.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "merkle/merkle_tree.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+std::vector<Digest> MakeLeaves(size_t count) {
+  std::vector<Digest> leaves(count);
+  Rng rng(1);
+  for (auto& leaf : leaves) {
+    uint8_t payload[16];
+    rng.FillBytes(payload, sizeof(payload));
+    leaf = HashLeafPayload(HashAlgorithm::kSha1, payload);
+  }
+  return leaves;
+}
+
+void BM_MerkleBuild(benchmark::State& state) {
+  auto leaves = MakeLeaves(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MerkleSubsetProof(benchmark::State& state) {
+  const uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  auto leaves = MakeLeaves(30000);
+  auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1).value();
+  Rng rng(2);
+  for (auto _ : state) {
+    std::set<uint32_t> subset;
+    while (subset.size() < 100) {
+      subset.insert(static_cast<uint32_t>(rng.NextBounded(30000)));
+    }
+    std::vector<uint32_t> indices(subset.begin(), subset.end());
+    auto proof = tree.GenerateProof(indices);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_MerkleSubsetProof)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MerkleReconstruct(benchmark::State& state) {
+  const uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  auto leaves = MakeLeaves(30000);
+  auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1).value();
+  Rng rng(3);
+  std::set<uint32_t> subset;
+  while (subset.size() < 100) {
+    subset.insert(static_cast<uint32_t>(rng.NextBounded(30000)));
+  }
+  std::vector<uint32_t> indices(subset.begin(), subset.end());
+  auto proof = tree.GenerateProof(indices).value();
+  std::map<uint32_t, Digest> targets;
+  for (uint32_t i : indices) {
+    targets[i] = leaves[i];
+  }
+  for (auto _ : state) {
+    auto root = ReconstructMerkleRoot(proof, targets);
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_MerkleReconstruct)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace spauth
+
+BENCHMARK_MAIN();

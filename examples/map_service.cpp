@@ -1,0 +1,81 @@
+// Outsourced map service: a transport authority decides which
+// authentication method to publish its network under, by measuring all
+// four methods of the paper on a commuter workload — offline construction
+// cost, provider-side storage, proof size on the wire, and client-side
+// verification latency.
+//
+// Build & run:  ./build/examples/map_service
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "graph/workload.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace spauth;
+
+int main() {
+  auto graph = GenerateDataset(Dataset::kARG);
+  if (!graph.ok()) {
+    return 1;
+  }
+  Rng rng(1);
+  auto keys = RsaKeyPair::Generate(1024, &rng);
+  if (!keys.ok()) {
+    return 1;
+  }
+  WorkloadOptions wopts;
+  wopts.count = 50;
+  wopts.query_range = 2000;
+  wopts.seed = 17;
+  auto commutes = GenerateWorkload(graph.value(), wopts);
+  if (!commutes.ok()) {
+    return 1;
+  }
+
+  std::printf("Evaluating authentication methods on a %zu-node network, "
+              "%zu commuter queries\n\n",
+              graph.value().num_nodes(), commutes.value().size());
+  std::printf("  %-6s %12s %12s %12s %12s\n", "method", "build [s]",
+              "storage[MB]", "proof [KB]", "verify [ms]");
+
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options;
+    options.method = method;
+    auto engine = MakeEngine(graph.value(), options, keys.value());
+    if (!engine.ok()) {
+      return 1;
+    }
+    double proof_kb = 0, verify_ms = 0;
+    for (const Query& q : commutes.value()) {
+      auto bundle = engine.value()->Answer(q);
+      if (!bundle.ok()) {
+        return 1;
+      }
+      proof_kb += bundle.value().bytes.size() / 1024.0;
+      WallTimer timer;
+      VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+      verify_ms += timer.ElapsedSeconds() * 1000;
+      if (!outcome.accepted) {
+        std::fprintf(stderr, "unexpected rejection: %s\n",
+                     outcome.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("  %-6s %12.3f %12.2f %12.2f %12.3f\n",
+                std::string(engine.value()->name()).c_str(),
+                engine.value()->construction_seconds(),
+                engine.value()->storage_bytes() / 1024.0 / 1024.0,
+                proof_kb / commutes.value().size(),
+                verify_ms / commutes.value().size());
+  }
+
+  std::printf(
+      "\nReading the table like the paper's Section VI: FULL gives the\n"
+      "smallest proofs but its construction/storage explode with |V|;\n"
+      "DIJ needs no pre-computation but floods the client; LDM and HYP\n"
+      "are the practical trade-offs, with HYP usually preferable.\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "baseline/connectivity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spauth {
+
+void ForestRecord::Serialize(ByteWriter* out) const {
+  out->WriteU32(id);
+  out->WriteU32(component);
+  out->WriteU32(parent);
+  out->WriteU32(depth);
+  out->WriteF64(parent_edge_weight);
+}
+
+Result<ForestRecord> ForestRecord::Deserialize(ByteReader* in) {
+  ForestRecord r;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&r.id));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&r.component));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&r.parent));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&r.depth));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&r.parent_edge_weight));
+  return r;
+}
+
+Digest ForestRecord::LeafDigest(HashAlgorithm alg) const {
+  ByteWriter payload;
+  Serialize(&payload);
+  return HashLeafPayload(alg, payload.view());
+}
+
+bool ForestRecord::operator==(const ForestRecord& other) const {
+  return id == other.id && component == other.component &&
+         parent == other.parent && depth == other.depth &&
+         parent_edge_weight == other.parent_edge_weight;
+}
+
+Result<AuthenticatedForest> AuthenticatedForest::Build(const Graph& g,
+                                                       const RsaKeyPair& keys,
+                                                       HashAlgorithm alg,
+                                                       uint32_t fanout) {
+  const size_t n = g.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  std::vector<ForestRecord> records(n);
+  std::vector<bool> visited(n, false);
+  uint32_t component = 0;
+  // BFS forest: one tree per connected component.
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) {
+      continue;
+    }
+    visited[start] = true;
+    records[start] = {start, component, kInvalidNode, 0, 0};
+    std::vector<NodeId> queue = {start};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const Edge& e : g.Neighbors(u)) {
+        if (!visited[e.to]) {
+          visited[e.to] = true;
+          records[e.to] = {e.to, component, u, records[u].depth + 1,
+                           e.weight};
+          queue.push_back(e.to);
+        }
+      }
+    }
+    ++component;
+  }
+
+  std::vector<Digest> leaves(n);
+  for (NodeId v = 0; v < n; ++v) {
+    leaves[v] = records[v].LeafDigest(alg);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(MerkleTree tree,
+                          MerkleTree::Build(std::move(leaves), fanout, alg));
+  SPAUTH_ASSIGN_OR_RETURN(std::vector<uint8_t> signature,
+                          keys.Sign(tree.root()));
+  return AuthenticatedForest(std::move(records), std::move(tree),
+                             std::move(signature), alg);
+}
+
+Result<AuthenticatedForest::Answer> AuthenticatedForest::AnswerQuery(
+    const Query& query) const {
+  if (query.source >= records_.size() || query.target >= records_.size()) {
+    return Status::InvalidArgument("bad query endpoints");
+  }
+  Answer answer;
+  std::vector<NodeId> nodes;
+  if (records_[query.source].component != records_[query.target].component) {
+    answer.connected = false;
+    nodes = {query.source, query.target};
+    if (query.source == query.target) {
+      nodes = {query.source};
+    }
+  } else {
+    answer.connected = true;
+    // Tree path: climb the deeper endpoint until depths match, then climb
+    // both until they meet.
+    std::vector<NodeId> up_from_source, up_from_target;
+    NodeId a = query.source, b = query.target;
+    while (records_[a].depth > records_[b].depth) {
+      up_from_source.push_back(a);
+      a = records_[a].parent;
+    }
+    while (records_[b].depth > records_[a].depth) {
+      up_from_target.push_back(b);
+      b = records_[b].parent;
+    }
+    while (a != b) {
+      up_from_source.push_back(a);
+      up_from_target.push_back(b);
+      a = records_[a].parent;
+      b = records_[b].parent;
+    }
+    answer.tree_path.nodes = up_from_source;
+    answer.tree_path.nodes.push_back(a);  // the LCA
+    for (size_t i = up_from_target.size(); i-- > 0;) {
+      answer.tree_path.nodes.push_back(up_from_target[i]);
+    }
+    nodes = answer.tree_path.nodes;
+  }
+
+  // Records + subset proof, sorted by leaf index (= node id).
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId v : sorted) {
+    answer.records.push_back(records_[v]);
+    answer.leaf_indices.push_back(v);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(answer.proof,
+                          tree_.GenerateProof(answer.leaf_indices));
+  return answer;
+}
+
+void AuthenticatedForest::Answer::Serialize(ByteWriter* out) const {
+  out->WriteBool(connected);
+  out->WriteU32(static_cast<uint32_t>(tree_path.nodes.size()));
+  for (NodeId v : tree_path.nodes) {
+    out->WriteU32(v);
+  }
+  out->WriteU32(static_cast<uint32_t>(records.size()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].Serialize(out);
+    out->WriteU32(leaf_indices[i]);
+  }
+  proof.Serialize(out);
+}
+
+Result<AuthenticatedForest::Answer> AuthenticatedForest::Answer::Deserialize(
+    ByteReader* in) {
+  Answer answer;
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&answer.connected));
+  uint32_t path_len = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&path_len));
+  if (path_len > in->remaining() / 4) {
+    return Status::Malformed("bad path length");
+  }
+  answer.tree_path.nodes.resize(path_len);
+  for (uint32_t i = 0; i < path_len; ++i) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&answer.tree_path.nodes[i]));
+  }
+  uint32_t count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  if (count > in->remaining() / 28) {
+    return Status::Malformed("bad record count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    SPAUTH_ASSIGN_OR_RETURN(ForestRecord r, ForestRecord::Deserialize(in));
+    uint32_t leaf = 0;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&leaf));
+    answer.records.push_back(r);
+    answer.leaf_indices.push_back(leaf);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(answer.proof, MerkleSubsetProof::Deserialize(in));
+  return answer;
+}
+
+size_t AuthenticatedForest::Answer::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+VerifyOutcome VerifyConnectivityAnswer(
+    const RsaPublicKey& owner_key, const Digest& signed_root,
+    std::span<const uint8_t> signature, const Query& query,
+    const AuthenticatedForest::Answer& answer) {
+  if (!RsaVerify(owner_key, signed_root, signature)) {
+    return VerifyOutcome::Reject(VerifyFailure::kBadCertificate,
+                                 "forest root signature invalid");
+  }
+  if (answer.records.empty() ||
+      answer.records.size() != answer.leaf_indices.size()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                 "record/index mismatch");
+  }
+  std::map<uint32_t, Digest> leaves;
+  std::map<NodeId, const ForestRecord*> by_id;
+  for (size_t i = 0; i < answer.records.size(); ++i) {
+    // Leaf position must equal the record's node id (the forest is built
+    // in id order); anything else is a substitution attempt.
+    if (answer.leaf_indices[i] != answer.records[i].id) {
+      return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                   "record/leaf position mismatch");
+    }
+    leaves[answer.leaf_indices[i]] =
+        answer.records[i].LeafDigest(answer.proof.alg);
+    by_id[answer.records[i].id] = &answer.records[i];
+  }
+  auto computed = ReconstructMerkleRoot(answer.proof, leaves);
+  if (!computed.ok()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                 computed.status().message());
+  }
+  if (!(computed.value() == signed_root)) {
+    return VerifyOutcome::Reject(VerifyFailure::kRootMismatch,
+                                 "forest root mismatch");
+  }
+  auto source_it = by_id.find(query.source);
+  auto target_it = by_id.find(query.target);
+  if (source_it == by_id.end() || target_it == by_id.end()) {
+    return VerifyOutcome::Reject(VerifyFailure::kIncompleteSubgraph,
+                                 "endpoint records missing");
+  }
+  const bool same_component =
+      source_it->second->component == target_it->second->component;
+  if (answer.connected != same_component) {
+    return VerifyOutcome::Reject(VerifyFailure::kDistanceMismatch,
+                                 "connectivity claim contradicts records");
+  }
+  if (!answer.connected) {
+    return VerifyOutcome::Accept();
+  }
+  // Tree-path consistency: endpoints match and each hop is a parent link
+  // (in one direction or the other) between authenticated records.
+  const Path& p = answer.tree_path;
+  if (p.empty() || p.source() != query.source || p.target() != query.target) {
+    return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                 "tree path endpoints mismatch");
+  }
+  for (size_t i = 1; i < p.nodes.size(); ++i) {
+    auto a = by_id.find(p.nodes[i - 1]);
+    auto b = by_id.find(p.nodes[i]);
+    if (a == by_id.end() || b == by_id.end()) {
+      return VerifyOutcome::Reject(VerifyFailure::kIncompleteSubgraph,
+                                   "tree path record missing");
+    }
+    const bool a_child_of_b = a->second->parent == b->second->id;
+    const bool b_child_of_a = b->second->parent == a->second->id;
+    if (!a_child_of_b && !b_child_of_a) {
+      return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                   "tree path hop is not a parent link");
+    }
+  }
+  return VerifyOutcome::Accept();
+}
+
+}  // namespace spauth

@@ -1,0 +1,103 @@
+// Baseline: authenticated connectivity queries via spanning forests —
+// Goodrich, Tamassia, Triandopoulos, Cohen [8], as discussed in the
+// paper's related work (Section II-B).
+//
+// The owner computes a spanning tree per connected component and
+// authenticates the "forest": each node's record carries its component id,
+// its tree parent and its depth, certified by a Merkle tree. A provider
+// proves that two nodes are connected by exhibiting their records (equal
+// component ids) and can additionally return the unique tree path between
+// them, verifiable hop by hop through the authenticated parent pointers.
+//
+// What it *cannot* do — the gap that motivates the paper — is prove that
+// any returned path is shortest: tree paths are generally longer than the
+// true shortest path, and even when one happens to be shortest there is no
+// evidence of that in the structure. bench_ext_baseline quantifies the
+// stretch; connectivity_test exercises the guarantees it does offer.
+#ifndef SPAUTH_BASELINE_CONNECTIVITY_H_
+#define SPAUTH_BASELINE_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "core/verify_outcome.h"
+#include "crypto/rsa.h"
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+#include "merkle/merkle_tree.h"
+#include "util/byte_buffer.h"
+
+namespace spauth {
+
+/// One authenticated forest record.
+struct ForestRecord {
+  NodeId id = kInvalidNode;
+  uint32_t component = 0;
+  NodeId parent = kInvalidNode;  // kInvalidNode for roots
+  uint32_t depth = 0;
+  double parent_edge_weight = 0;  // weight of (id, parent); 0 for roots
+
+  void Serialize(ByteWriter* out) const;
+  static Result<ForestRecord> Deserialize(ByteReader* in);
+  Digest LeafDigest(HashAlgorithm alg) const;
+  bool operator==(const ForestRecord& other) const;
+};
+
+/// The owner-side authenticated spanning forest.
+class AuthenticatedForest {
+ public:
+  static Result<AuthenticatedForest> Build(const Graph& g,
+                                           const RsaKeyPair& keys,
+                                           HashAlgorithm alg,
+                                           uint32_t fanout);
+
+  const Digest& root() const { return tree_.root(); }
+  const std::vector<uint8_t>& root_signature() const {
+    return root_signature_;
+  }
+  size_t num_nodes() const { return records_.size(); }
+  const ForestRecord& record(NodeId v) const { return records_[v]; }
+
+  /// Provider-side answer: connected + the tree path and its records.
+  struct Answer {
+    bool connected = false;
+    Path tree_path;                      // empty when not connected
+    std::vector<ForestRecord> records;   // path records (or just endpoints)
+    std::vector<uint32_t> leaf_indices;  // parallel to records
+    MerkleSubsetProof proof;
+
+    void Serialize(ByteWriter* out) const;
+    static Result<Answer> Deserialize(ByteReader* in);
+    size_t SerializedSize() const;
+  };
+
+  Result<Answer> AnswerQuery(const Query& query) const;
+
+ private:
+  AuthenticatedForest(std::vector<ForestRecord> records, MerkleTree tree,
+                      std::vector<uint8_t> root_signature,
+                      HashAlgorithm alg)
+      : records_(std::move(records)),
+        tree_(std::move(tree)),
+        root_signature_(std::move(root_signature)),
+        alg_(alg) {}
+
+  std::vector<ForestRecord> records_;  // by node id; leaf i = node i
+  MerkleTree tree_;
+  std::vector<uint8_t> root_signature_;
+  HashAlgorithm alg_;
+};
+
+/// Client-side verification: the records authenticate against the signed
+/// root; equal component ids prove connectivity; the tree path (if present)
+/// is consistent with the authenticated parent pointers. Note the absent
+/// guarantee: nothing says the path is shortest.
+VerifyOutcome VerifyConnectivityAnswer(const RsaPublicKey& owner_key,
+                                       const Digest& signed_root,
+                                       std::span<const uint8_t> signature,
+                                       const Query& query,
+                                       const AuthenticatedForest::Answer& answer);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_BASELINE_CONNECTIVITY_H_

@@ -1,0 +1,35 @@
+#include "core/algosp.h"
+
+#include "graph/astar.h"
+#include "graph/bidirectional.h"
+
+namespace spauth {
+
+std::string_view ToString(SpAlgorithm algo) {
+  switch (algo) {
+    case SpAlgorithm::kDijkstra:
+      return "dijkstra";
+    case SpAlgorithm::kBidirectional:
+      return "bidirectional";
+    case SpAlgorithm::kAStarEuclidean:
+      return "astar-euclidean";
+  }
+  return "?";
+}
+
+PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
+                                 SpAlgorithm algo) {
+  switch (algo) {
+    case SpAlgorithm::kDijkstra:
+      return DijkstraShortestPath(g, source, target);
+    case SpAlgorithm::kBidirectional:
+      return BidirectionalShortestPath(g, source, target);
+    case SpAlgorithm::kAStarEuclidean:
+      return AStarShortestPath(g, source, target, [&](NodeId v) {
+        return g.EuclideanDistance(v, target);
+      });
+  }
+  return {};
+}
+
+}  // namespace spauth

@@ -1,0 +1,34 @@
+// The provider's choice of shortest path algorithm (Algorithm 1, line 1:
+// "applies the shortest path algorithm algosp of its choice").
+//
+// The proof machinery is agnostic to how the provider computed the path —
+// any exact algorithm yields the same distance and therefore the same
+// verification outcome. spauth ships three exact options; A* with the
+// Euclidean bound is only admissible when edge weights dominate Euclidean
+// lengths (true for GenerateRoadNetwork outputs), so it is opt-in.
+#ifndef SPAUTH_CORE_ALGOSP_H_
+#define SPAUTH_CORE_ALGOSP_H_
+
+#include <string_view>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace spauth {
+
+enum class SpAlgorithm : uint8_t {
+  kDijkstra = 0,       // default
+  kBidirectional = 1,  // bidirectional Dijkstra
+  kAStarEuclidean = 2, // A* with the Euclidean lower bound (requires
+                       // weights >= Euclidean distance)
+};
+
+std::string_view ToString(SpAlgorithm algo);
+
+/// Runs the chosen algorithm from `source` to `target` on `g`.
+PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
+                                 SpAlgorithm algo);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_ALGOSP_H_

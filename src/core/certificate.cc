@@ -1,0 +1,161 @@
+#include "core/certificate.h"
+
+namespace spauth {
+
+std::string_view ToString(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kDij:
+      return "DIJ";
+    case MethodKind::kFull:
+      return "FULL";
+    case MethodKind::kLdm:
+      return "LDM";
+    case MethodKind::kHyp:
+      return "HYP";
+  }
+  return "?";
+}
+
+Result<MethodKind> ParseMethodKind(uint8_t wire) {
+  switch (wire) {
+    case static_cast<uint8_t>(MethodKind::kDij):
+      return MethodKind::kDij;
+    case static_cast<uint8_t>(MethodKind::kFull):
+      return MethodKind::kFull;
+    case static_cast<uint8_t>(MethodKind::kLdm):
+      return MethodKind::kLdm;
+    case static_cast<uint8_t>(MethodKind::kHyp):
+      return MethodKind::kHyp;
+    default:
+      return Status::Malformed("unknown method kind");
+  }
+}
+
+void MethodParams::Serialize(ByteWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(method));
+  out->WriteU32(version);
+  out->WriteU8(static_cast<uint8_t>(alg));
+  out->WriteU32(fanout);
+  out->WriteU8(static_cast<uint8_t>(ordering));
+  out->WriteU32(num_network_leaves);
+  out->WriteBool(has_distance_tree);
+  if (has_distance_tree) {
+    out->WriteU32(num_distance_leaves);
+    out->WriteU32(distance_fanout);
+  }
+  out->WriteBool(has_landmarks);
+  if (has_landmarks) {
+    out->WriteU32(num_landmarks);
+    out->WriteF64(lambda);
+  }
+  out->WriteBool(has_cells);
+  if (has_cells) {
+    out->WriteU32(num_cells);
+    out->WriteU32(static_cast<uint32_t>(cell_counts.size()));
+    for (uint32_t count : cell_counts) {
+      out->WriteU32(count);
+    }
+  }
+}
+
+Result<MethodParams> MethodParams::Deserialize(ByteReader* in) {
+  MethodParams p;
+  uint8_t method_byte = 0, alg_byte = 0, ordering_byte = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&method_byte));
+  SPAUTH_ASSIGN_OR_RETURN(p.method, ParseMethodKind(method_byte));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.version));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&alg_byte));
+  SPAUTH_ASSIGN_OR_RETURN(p.alg, ParseHashAlgorithm(alg_byte));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.fanout));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&ordering_byte));
+  if (ordering_byte > static_cast<uint8_t>(NodeOrdering::kRandom)) {
+    return Status::Malformed("unknown node ordering");
+  }
+  p.ordering = static_cast<NodeOrdering>(ordering_byte);
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_network_leaves));
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_distance_tree));
+  if (p.has_distance_tree) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_distance_leaves));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.distance_fanout));
+  }
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_landmarks));
+  if (p.has_landmarks) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_landmarks));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&p.lambda));
+  }
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_cells));
+  if (p.has_cells) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_cells));
+    uint32_t count = 0;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+    if (count != p.num_cells || count > in->remaining() / 4) {
+      return Status::Malformed("cell count table size mismatch");
+    }
+    p.cell_counts.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.cell_counts[i]));
+    }
+  }
+  return p;
+}
+
+Digest Certificate::BodyDigest() const {
+  ByteWriter body;
+  params.Serialize(&body);
+  body.WriteLengthPrefixed(network_root.view());
+  body.WriteLengthPrefixed(distance_root.view());
+  return Hasher::Hash(params.alg, body.view());
+}
+
+void Certificate::Serialize(ByteWriter* out) const {
+  params.Serialize(out);
+  out->WriteLengthPrefixed(network_root.view());
+  out->WriteLengthPrefixed(distance_root.view());
+  out->WriteLengthPrefixed(signature);
+}
+
+Result<Certificate> Certificate::Deserialize(ByteReader* in) {
+  Certificate cert;
+  SPAUTH_ASSIGN_OR_RETURN(cert.params, MethodParams::Deserialize(in));
+  std::vector<uint8_t> network_root, distance_root;
+  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&network_root));
+  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&distance_root));
+  if (network_root.size() != DigestSize(cert.params.alg)) {
+    return Status::Malformed("network root digest size mismatch");
+  }
+  cert.network_root = Digest::FromBytes(network_root);
+  if (cert.params.has_distance_tree) {
+    if (distance_root.size() != DigestSize(cert.params.alg)) {
+      return Status::Malformed("distance root digest size mismatch");
+    }
+    cert.distance_root = Digest::FromBytes(distance_root);
+  } else if (!distance_root.empty()) {
+    return Status::Malformed("unexpected distance root");
+  }
+  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&cert.signature));
+  return cert;
+}
+
+size_t Certificate::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+Result<Certificate> MakeCertificate(const RsaKeyPair& keys,
+                                    MethodParams params, Digest network_root,
+                                    Digest distance_root) {
+  Certificate cert;
+  cert.params = std::move(params);
+  cert.network_root = network_root;
+  cert.distance_root = distance_root;
+  SPAUTH_ASSIGN_OR_RETURN(cert.signature, keys.Sign(cert.BodyDigest()));
+  return cert;
+}
+
+bool VerifyCertificate(const RsaPublicKey& owner_key,
+                       const Certificate& cert) {
+  return RsaVerify(owner_key, cert.BodyDigest(), cert.signature);
+}
+
+}  // namespace spauth

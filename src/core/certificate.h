@@ -1,0 +1,92 @@
+// The data owner's signed certificate: method parameters plus the ADS
+// root digests.
+//
+// The paper signs the Merkle root(s); in a real deployment the verification
+// parameters (hash algorithm, fanout, quantization increment lambda, cell
+// layout, ...) must be authenticated too, otherwise a malicious provider
+// could present a proof under weaker parameters. The certificate therefore
+// signs H(params || network_root || distance_root) with the owner's RSA
+// key. For HYP it additionally carries the per-cell node counts, which let
+// the client check that a cell's tuple set is *complete* (dropping a border
+// node would otherwise inflate the verified distance).
+#ifndef SPAUTH_CORE_CERTIFICATE_H_
+#define SPAUTH_CORE_CERTIFICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "crypto/rsa.h"
+#include "graph/ordering.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// The four verification methods of the paper.
+enum class MethodKind : uint8_t {
+  kDij = 1,   // Dijkstra subgraph verification (Section IV-A)
+  kFull = 2,  // fully materialized distances (Section IV-B)
+  kLdm = 3,   // landmark-based verification (Section V-A)
+  kHyp = 4,   // hyper-graph verification (Section V-B)
+};
+
+std::string_view ToString(MethodKind kind);
+Result<MethodKind> ParseMethodKind(uint8_t wire);
+
+struct MethodParams {
+  MethodKind method = MethodKind::kDij;
+  /// Monotone ADS version, bumped by owner-side updates. Freshness
+  /// enforcement (e.g. "accept only version >= N") is an out-of-band
+  /// policy; the signature binds the version to the roots either way.
+  uint32_t version = 0;
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  uint32_t fanout = 2;
+  NodeOrdering ordering = NodeOrdering::kHilbert;  // informational
+  uint32_t num_network_leaves = 0;
+
+  // FULL and HYP: the distance Merkle B-tree.
+  bool has_distance_tree = false;
+  uint32_t num_distance_leaves = 0;
+  uint32_t distance_fanout = 0;
+
+  // LDM.
+  bool has_landmarks = false;
+  uint32_t num_landmarks = 0;
+  double lambda = 0;  // quantization increment (clients compute bounds)
+
+  // HYP.
+  bool has_cells = false;
+  uint32_t num_cells = 0;
+  std::vector<uint32_t> cell_counts;  // node count per cell (completeness)
+
+  void Serialize(ByteWriter* out) const;
+  static Result<MethodParams> Deserialize(ByteReader* in);
+};
+
+struct Certificate {
+  MethodParams params;
+  Digest network_root;
+  Digest distance_root;  // empty when !params.has_distance_tree
+  std::vector<uint8_t> signature;
+
+  /// The digest the owner signs.
+  Digest BodyDigest() const;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<Certificate> Deserialize(ByteReader* in);
+  size_t SerializedSize() const;
+};
+
+/// Owner side: assembles and signs a certificate.
+Result<Certificate> MakeCertificate(const RsaKeyPair& keys,
+                                    MethodParams params, Digest network_root,
+                                    Digest distance_root);
+
+/// Client side: true iff the signature verifies under the owner's key.
+bool VerifyCertificate(const RsaPublicKey& owner_key,
+                       const Certificate& cert);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_CERTIFICATE_H_

@@ -1,0 +1,63 @@
+#include "core/client.h"
+
+#include "core/dij.h"
+#include "core/full.h"
+#include "core/hyp.h"
+#include "core/ldm.h"
+#include "util/byte_buffer.h"
+
+namespace spauth {
+
+namespace {
+
+template <typename Answer, typename VerifyFn>
+WireVerification DecodeAndVerify(const RsaPublicKey& owner_key,
+                                 const Certificate& cert, const Query& query,
+                                 ByteReader* reader, VerifyFn verify) {
+  WireVerification result;
+  result.method = cert.params.method;
+  auto answer = Answer::Deserialize(reader);
+  if (!answer.ok() || !reader->AtEnd()) {
+    result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                           "answer decode failed");
+    return result;
+  }
+  result.path = answer.value().path;
+  result.distance = answer.value().distance;
+  result.outcome = verify(owner_key, cert, query, answer.value());
+  return result;
+}
+
+}  // namespace
+
+WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
+                                  const Query& query,
+                                  std::span<const uint8_t> wire_bytes) {
+  WireVerification result;
+  ByteReader reader(wire_bytes);
+  auto cert = Certificate::Deserialize(&reader);
+  if (!cert.ok()) {
+    result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                           "certificate decode failed");
+    return result;
+  }
+  switch (cert.value().params.method) {
+    case MethodKind::kDij:
+      return DecodeAndVerify<DijAnswer>(owner_key, cert.value(), query,
+                                        &reader, VerifyDijAnswer);
+    case MethodKind::kFull:
+      return DecodeAndVerify<FullAnswer>(owner_key, cert.value(), query,
+                                         &reader, VerifyFullAnswer);
+    case MethodKind::kLdm:
+      return DecodeAndVerify<LdmAnswer>(owner_key, cert.value(), query,
+                                        &reader, VerifyLdmAnswer);
+    case MethodKind::kHyp:
+      return DecodeAndVerify<HypAnswer>(owner_key, cert.value(), query,
+                                        &reader, VerifyHypAnswer);
+  }
+  result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                         "unknown method in certificate");
+  return result;
+}
+
+}  // namespace spauth

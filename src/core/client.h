@@ -1,0 +1,39 @@
+// The standalone client role.
+//
+// MethodEngine bundles all three parties for tests and benches, but a real
+// client owns nothing except the data owner's public key: it receives an
+// opaque byte string (certificate ‖ proof) from the service provider and
+// must verify it without a graph, an ADS, or prior knowledge of which
+// method the owner deployed. VerifyWireAnswer decodes the certificate,
+// dispatches to the matching verifier, and returns the verified path.
+#ifndef SPAUTH_CORE_CLIENT_H_
+#define SPAUTH_CORE_CLIENT_H_
+
+#include <span>
+
+#include "core/certificate.h"
+#include "core/verify_outcome.h"
+#include "crypto/rsa.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+
+namespace spauth {
+
+/// Result of client-side wire verification.
+struct WireVerification {
+  VerifyOutcome outcome;
+  MethodKind method = MethodKind::kDij;  // from the certificate
+  Path path;                             // the provider's path
+  double distance = 0;                   // its verified distance
+};
+
+/// Decodes and verifies a full wire message (the bytes of a ProofBundle).
+/// Never fails with a Status: malformed input is an outcome-level
+/// rejection, mirroring what a deployed client would do.
+WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
+                                  const Query& query,
+                                  std::span<const uint8_t> wire_bytes);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_CLIENT_H_

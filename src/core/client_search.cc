@@ -1,0 +1,317 @@
+#include "core/client_search.h"
+
+#include <cmath>
+#include <queue>
+
+#include "core/network_ads.h"
+#include "hints/quantize.h"
+
+namespace spauth {
+
+namespace {
+
+struct HeapEntry {
+  double key;  // dist for Dijkstra, f = g + h for A*
+  double g;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return key > other.key; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+const ExtendedTuple* Find(const TupleIndex& tuples, NodeId v) {
+  auto it = tuples.find(v);
+  return it == tuples.end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
+                                         NodeId source, NodeId target,
+                                         double claimed_distance) {
+  SubgraphSearchOutcome out;
+  const double slack = VerifySlack(claimed_distance);
+  std::unordered_map<NodeId, double> best;
+  best.reserve(tuples.size());
+  best[source] = 0;
+
+  MinHeap heap;
+  heap.push({0, 0, source});
+  while (!heap.empty()) {
+    auto [d, g_unused, u] = heap.top();
+    heap.pop();
+    auto it = best.find(u);
+    if (it != best.end() && d > it->second) {
+      continue;  // stale
+    }
+    if (d > claimed_distance + slack) {
+      break;  // everything farther than the claim is irrelevant
+    }
+    if (u == target) {
+      out.code = SubgraphSearchOutcome::Code::kOk;
+      out.distance = d;
+      return out;
+    }
+    const ExtendedTuple* tuple = Find(tuples, u);
+    if (tuple == nullptr) {
+      if (d <= claimed_distance - slack) {
+        out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+        out.node = u;
+        out.distance = d;
+        return out;
+      }
+      continue;  // boundary band: tolerated, not expanded
+    }
+    ++out.settled;
+    for (const NeighborEntry& e : tuple->neighbors) {
+      const double nd = d + e.weight;
+      auto [bit, inserted] = best.try_emplace(e.id, nd);
+      if (inserted || nd < bit->second) {
+        bit->second = nd;
+        heap.push({nd, nd, e.id});
+      }
+    }
+  }
+  out.code = SubgraphSearchOutcome::Code::kTargetNotReached;
+  return out;
+}
+
+namespace {
+
+/// Resolves the (codes, epsilon) pair used by the Lemma-4 bound for node v.
+/// Returns false if landmark data or the representative is missing; sets
+/// *missing to the offending node.
+bool ResolveLandmark(const TupleIndex& tuples, const ExtendedTuple& t,
+                     std::span<const uint16_t>* codes, double* eps,
+                     NodeId* missing, bool* bad_data) {
+  if (!t.has_landmark_data) {
+    *bad_data = true;
+    *missing = t.id;
+    return false;
+  }
+  if (t.is_representative) {
+    *codes = t.qcodes;
+    *eps = 0;
+    return true;
+  }
+  const ExtendedTuple* rep = Find(tuples, t.ref_node);
+  if (rep == nullptr) {
+    *missing = t.ref_node;
+    *bad_data = false;
+    return false;
+  }
+  if (!rep->has_landmark_data || !rep->is_representative) {
+    *bad_data = true;
+    *missing = rep->id;
+    return false;
+  }
+  *codes = rep->qcodes;
+  *eps = t.ref_error;
+  return true;
+}
+
+}  // namespace
+
+SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
+                                      NodeId target, double claimed_distance,
+                                      double lambda) {
+  SubgraphSearchOutcome out;
+  const double slack = VerifySlack(claimed_distance);
+
+  // Resolve the target's vector once; h(v) needs it for every node.
+  const ExtendedTuple* target_tuple = Find(tuples, target);
+  if (target_tuple == nullptr) {
+    out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+    out.node = target;
+    return out;
+  }
+  std::span<const uint16_t> target_codes;
+  double target_eps = 0;
+  NodeId missing = kInvalidNode;
+  bool bad_data = false;
+  if (!ResolveLandmark(tuples, *target_tuple, &target_codes, &target_eps,
+                       &missing, &bad_data)) {
+    out.code = bad_data ? SubgraphSearchOutcome::Code::kBadTupleData
+                        : SubgraphSearchOutcome::Code::kMissingTuple;
+    out.node = missing;
+    return out;
+  }
+
+  // h(v): Lemma-4 bound; an error is signalled through the outcome.
+  auto lower_bound = [&](const ExtendedTuple& t, double* h) {
+    std::span<const uint16_t> codes;
+    double eps = 0;
+    if (!ResolveLandmark(tuples, t, &codes, &eps, &missing, &bad_data)) {
+      return false;
+    }
+    if (codes.size() != target_codes.size()) {
+      bad_data = true;
+      missing = t.id;
+      return false;
+    }
+    const double loose = LooseLowerBoundFromCodes(codes, target_codes, lambda);
+    *h = std::max(0.0, loose - (eps + target_eps));
+    return true;
+  };
+
+  std::unordered_map<NodeId, double> best;
+  best.reserve(tuples.size());
+  best[source] = 0;
+
+  const ExtendedTuple* source_tuple = Find(tuples, source);
+  if (source_tuple == nullptr) {
+    out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+    out.node = source;
+    return out;
+  }
+  double h_source = 0;
+  if (!lower_bound(*source_tuple, &h_source)) {
+    out.code = bad_data ? SubgraphSearchOutcome::Code::kBadTupleData
+                        : SubgraphSearchOutcome::Code::kMissingTuple;
+    out.node = missing;
+    return out;
+  }
+
+  MinHeap heap;
+  heap.push({h_source, 0, source});
+  while (!heap.empty()) {
+    auto [f, g, u] = heap.top();
+    heap.pop();
+    auto it = best.find(u);
+    if (it != best.end() && g > it->second) {
+      continue;  // stale
+    }
+    if (f > claimed_distance + slack) {
+      break;  // admissible bound: nothing cheaper remains
+    }
+    if (u == target) {
+      out.code = SubgraphSearchOutcome::Code::kOk;
+      out.distance = g;
+      return out;
+    }
+    const ExtendedTuple* tuple = Find(tuples, u);
+    if (tuple == nullptr) {
+      if (f <= claimed_distance - slack) {
+        out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+        out.node = u;
+        out.distance = g;
+        return out;
+      }
+      continue;
+    }
+    ++out.settled;
+    for (const NeighborEntry& e : tuple->neighbors) {
+      const double ng = g + e.weight;
+      auto [bit, inserted] = best.try_emplace(e.id, ng);
+      if (!inserted && ng >= bit->second) {
+        continue;
+      }
+      bit->second = ng;
+      const ExtendedTuple* nt = Find(tuples, e.id);
+      if (nt == nullptr) {
+        // Lemma 2 includes every neighbor of the search space; absence is
+        // only acceptable for nodes the search could never expand anyway.
+        if (ng <= claimed_distance - slack) {
+          out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+          out.node = e.id;
+          return out;
+        }
+        continue;
+      }
+      double h = 0;
+      if (!lower_bound(*nt, &h)) {
+        out.code = bad_data ? SubgraphSearchOutcome::Code::kBadTupleData
+                            : SubgraphSearchOutcome::Code::kMissingTuple;
+        out.node = missing;
+        return out;
+      }
+      heap.push({ng + h, ng, e.id});
+    }
+  }
+  out.code = SubgraphSearchOutcome::Code::kTargetNotReached;
+  return out;
+}
+
+VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
+                                     const Query& query, const Path& path,
+                                     double claimed_distance) {
+  if (path.empty() || path.source() != query.source ||
+      path.target() != query.target) {
+    return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                 "path endpoints do not match the query");
+  }
+  std::unordered_map<NodeId, int> seen;
+  for (NodeId v : path.nodes) {
+    if (++seen[v] > 1) {
+      return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                   "path repeats a node");
+    }
+  }
+  double total = 0;
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    auto it = tuples.find(path.nodes[i - 1]);
+    if (it == tuples.end()) {
+      return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                   "path node has no authenticated tuple");
+    }
+    auto w = it->second->WeightTo(path.nodes[i]);
+    if (!w.ok()) {
+      return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                   "path uses a non-existent edge");
+    }
+    total += w.value();
+  }
+  if (tuples.find(path.target()) == tuples.end()) {
+    return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                 "path target has no authenticated tuple");
+  }
+  if (std::abs(total - claimed_distance) > VerifySlack(claimed_distance)) {
+    return VerifyOutcome::Reject(
+        VerifyFailure::kDistanceMismatch,
+        "path length does not equal the claimed distance");
+  }
+  return VerifyOutcome::Accept();
+}
+
+std::unordered_map<NodeId, double> InCellDijkstraOverTuples(
+    const TupleIndex& tuples, NodeId source, uint32_t cell) {
+  std::unordered_map<NodeId, double> dist;
+  const ExtendedTuple* source_tuple = Find(tuples, source);
+  if (source_tuple == nullptr || !source_tuple->has_cell_data ||
+      source_tuple->cell != cell) {
+    return dist;
+  }
+  dist[source] = 0;
+  MinHeap heap;
+  heap.push({0, 0, source});
+  while (!heap.empty()) {
+    auto [d, g_unused, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) {
+      continue;
+    }
+    const ExtendedTuple* tuple = Find(tuples, u);
+    // A tuple absent or outside the cell contributes no edges; cell
+    // completeness is checked separately against the certificate counts.
+    if (tuple == nullptr || !tuple->has_cell_data || tuple->cell != cell) {
+      continue;
+    }
+    for (const NeighborEntry& e : tuple->neighbors) {
+      const ExtendedTuple* nt = Find(tuples, e.id);
+      if (nt == nullptr || !nt->has_cell_data || nt->cell != cell) {
+        continue;  // out-of-cell edge
+      }
+      const double nd = d + e.weight;
+      auto [bit, inserted] = dist.try_emplace(e.id, nd);
+      if (inserted || nd < bit->second) {
+        bit->second = nd;
+        heap.push({nd, nd, e.id});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace spauth

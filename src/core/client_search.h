@@ -1,0 +1,68 @@
+// Client-side re-execution of shortest path search over *authenticated
+// tuples only* — the heart of subgraph-proof verification. The client has
+// no access to the graph; its entire world is the tuple map decoded from
+// Gamma_S. The searches here mirror Dijkstra / A* but additionally detect
+// when the proof is missing a tuple the search needs (the tuple-drop attack
+// of Section IV-A).
+#ifndef SPAUTH_CORE_CLIENT_SEARCH_H_
+#define SPAUTH_CORE_CLIENT_SEARCH_H_
+
+#include <unordered_map>
+
+#include "core/verify_outcome.h"
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+#include "hints/extended_tuple.h"
+
+namespace spauth {
+
+using TupleIndex = std::unordered_map<NodeId, const ExtendedTuple*>;
+
+struct SubgraphSearchOutcome {
+  enum class Code {
+    kOk,                // target settled; `distance` is its distance
+    kMissingTuple,      // a strictly-needed tuple is absent (see node)
+    kTargetNotReached,  // search exhausted without reaching the target
+    kBadTupleData,      // tuple lacks required landmark fields
+  };
+  Code code = Code::kTargetNotReached;
+  double distance = kInfDistance;
+  NodeId node = kInvalidNode;  // offending node for error codes
+  size_t settled = 0;
+};
+
+/// Dijkstra over the tuple map (DIJ verification, Section IV-A). Expands
+/// every node whose key is within `claimed_distance` (+ slack); a missing
+/// tuple at key <= claimed - slack is a hard failure, missing tuples in the
+/// boundary band are tolerated. Stops as soon as the target settles.
+SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
+                                         NodeId source, NodeId target,
+                                         double claimed_distance);
+
+/// A* over the tuple map with the compressed-quantized landmark bound of
+/// Lemmas 3-4 (LDM verification, Section V-A). `lambda` comes from the
+/// certificate. Re-expands on shorter g, so the inconsistent loose bound is
+/// safe. Requires every touched tuple to carry landmark data and every
+/// referenced representative to be present with its code vector.
+SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
+                                      NodeId target, double claimed_distance,
+                                      double lambda);
+
+/// Dijkstra from `source` restricted to edges whose endpoints both carry
+/// tuples in cell `cell` (HYP verification, Section V-B). Returns the
+/// in-cell distance for every reached node of the cell.
+std::unordered_map<NodeId, double> InCellDijkstraOverTuples(
+    const TupleIndex& tuples, NodeId source, uint32_t cell);
+
+/// Shared by all methods: checks the reported path against the
+/// authenticated tuples — endpoints match the query, no repeated nodes,
+/// every hop is an authenticated edge, and the weights sum to the claimed
+/// distance.
+VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
+                                     const Query& query, const Path& path,
+                                     double claimed_distance);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_CLIENT_SEARCH_H_

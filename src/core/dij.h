@@ -1,0 +1,68 @@
+// DIJ — Dijkstra subgraph verification (Section IV-A).
+//
+// No pre-computation: the owner only builds the network Merkle tree. The
+// provider answers a query with the shortest path plus the subgraph proof
+// of Lemma 1 — the extended-tuples of every node within dist(vs, vt) of vs.
+// The client re-runs Dijkstra over the tuples and accepts iff the subgraph
+// is complete and its shortest distance equals the reported path length.
+#ifndef SPAUTH_CORE_DIJ_H_
+#define SPAUTH_CORE_DIJ_H_
+
+#include "core/algosp.h"
+#include "core/certificate.h"
+#include "core/network_ads.h"
+#include "core/verify_outcome.h"
+#include "graph/dijkstra.h"
+#include "graph/workload.h"
+
+namespace spauth {
+
+struct DijOptions {
+  NodeOrdering ordering = NodeOrdering::kHilbert;
+  uint32_t fanout = 2;
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  uint64_t seed = 1;  // used only by the random ordering
+};
+
+/// Owner-side state: the network ADS and the signed certificate.
+struct DijAds {
+  NetworkAds network;
+  Certificate certificate;
+};
+
+Result<DijAds> BuildDijAds(const Graph& g, const DijOptions& options,
+                           const RsaKeyPair& keys);
+
+/// What the provider ships back for one query.
+struct DijAnswer {
+  Path path;
+  double distance = 0;
+  TupleSetProof subgraph;  // Gamma_S tuples + Gamma_T digests
+
+  void Serialize(ByteWriter* out) const;
+  static Result<DijAnswer> Deserialize(ByteReader* in);
+};
+
+/// Provider role: holds the graph and the owner's ADS.
+class DijProvider {
+ public:
+  explicit DijProvider(const Graph* g, const DijAds* ads,
+      SpAlgorithm algosp = SpAlgorithm::kDijkstra)
+      : g_(g), ads_(ads), algosp_(algosp) {}
+
+  Result<DijAnswer> Answer(const Query& query) const;
+
+ private:
+  const Graph* g_;
+  const DijAds* ads_;
+  SpAlgorithm algosp_;
+};
+
+/// Client role: needs only the owner's public key and the certificate.
+VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const DijAnswer& answer);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_DIJ_H_

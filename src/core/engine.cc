@@ -1,0 +1,707 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/dij.h"
+#include "core/full.h"
+#include "core/hyp.h"
+#include "core/ldm.h"
+#include "graph/dijkstra.h"
+#include "util/timer.h"
+
+namespace spauth {
+
+std::string_view ToString(TamperKind kind) {
+  switch (kind) {
+    case TamperKind::kSuboptimalPath:
+      return "suboptimal-path";
+    case TamperKind::kTamperWeight:
+      return "tamper-weight";
+    case TamperKind::kDropTuple:
+      return "drop-tuple";
+    case TamperKind::kForgeDistanceValue:
+      return "forge-distance";
+    case TamperKind::kBogusSignature:
+      return "bogus-signature";
+    case TamperKind::kPhantomEdge:
+      return "phantom-edge";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Wire layout shared by all engines: certificate followed by the answer.
+template <typename Answer>
+std::vector<uint8_t> EncodeBundle(const Certificate& cert,
+                                  const Answer& answer) {
+  ByteWriter w;
+  cert.Serialize(&w);
+  answer.Serialize(&w);
+  return w.TakeBytes();
+}
+
+template <typename Answer>
+Result<std::pair<Certificate, Answer>> DecodeBundle(
+    std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  SPAUTH_ASSIGN_OR_RETURN(Certificate cert, Certificate::Deserialize(&r));
+  SPAUTH_ASSIGN_OR_RETURN(Answer answer, Answer::Deserialize(&r));
+  if (!r.AtEnd()) {
+    return Status::Malformed("trailing bytes after answer");
+  }
+  return std::pair<Certificate, Answer>{std::move(cert), std::move(answer)};
+}
+
+/// Flips one bit inside the certificate's signature region of a bundle.
+/// The signature is the last length-prefixed field of the certificate,
+/// which is the first structure in the bundle — rather than tracking
+/// offsets, re-encode with a corrupted certificate.
+template <typename Answer>
+std::vector<uint8_t> EncodeWithBogusSignature(Certificate cert,
+                                              const Answer& answer) {
+  if (!cert.signature.empty()) {
+    cert.signature[cert.signature.size() / 2] ^= 0x40;
+  }
+  return EncodeBundle(cert, answer);
+}
+
+/// Computes a strictly-longer alternative path by deleting one edge of the
+/// true shortest path at a time. NotFound if every alternative ties or the
+/// target becomes unreachable.
+Result<PathSearchResult> FindSuboptimalPath(const Graph& g,
+                                            const Query& query) {
+  PathSearchResult best = DijkstraShortestPath(g, query.source, query.target);
+  if (!best.reachable) {
+    return Status::NotFound("unreachable");
+  }
+  for (size_t hop = 1; hop < best.path.nodes.size(); ++hop) {
+    const NodeId u = best.path.nodes[hop - 1];
+    const NodeId v = best.path.nodes[hop];
+    // Rebuild the graph without edge (u, v).
+    GraphBuilder builder;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      builder.AddNode(g.x(n), g.y(n));
+    }
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      for (const Edge& e : g.Neighbors(n)) {
+        if (n < e.to && !(n == std::min(u, v) && e.to == std::max(u, v))) {
+          Status s = builder.AddEdge(n, e.to, e.weight);
+          if (!s.ok()) {
+            return s;
+          }
+        }
+      }
+    }
+    auto reduced = builder.Build();
+    if (!reduced.ok()) {
+      return reduced.status();
+    }
+    PathSearchResult alt =
+        DijkstraShortestPath(reduced.value(), query.source, query.target);
+    if (alt.reachable &&
+        alt.distance > best.distance + 10 * VerifySlack(best.distance)) {
+      return alt;
+    }
+  }
+  return Status::NotFound("no strictly longer alternative path");
+}
+
+/// Picks a tuple inside `proof` (by node id) and perturbs one of its edge
+/// weights without re-hashing — the tampered-weight attack.
+Status CorruptOneTupleWeight(TupleSetProof* proof) {
+  for (ExtendedTuple& t : proof->tuples) {
+    if (!t.neighbors.empty()) {
+      t.neighbors[0].weight += 1.0;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no tuple with neighbors to corrupt");
+}
+
+// ---------------------------------------------------------------------------
+// DIJ engine
+// ---------------------------------------------------------------------------
+
+class DijEngine : public MethodEngine {
+ public:
+  DijEngine(const Graph* g, DijAds ads, RsaPublicKey owner_key,
+            SpAlgorithm algosp)
+      : g_(g),
+        ads_(std::move(ads)),
+        provider_(g, &ads_, algosp),
+        owner_key_(std::move(owner_key)) {}
+
+  MethodKind kind() const override { return MethodKind::kDij; }
+  size_t storage_bytes() const override { return ads_.network.StorageBytes(); }
+  const Certificate& certificate() const override { return ads_.certificate; }
+
+  Result<ProofBundle> Answer(const Query& query) const override {
+    SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+    return Finish(answer);
+  }
+
+  Result<ProofBundle> TamperedAnswer(const Query& query,
+                                     TamperKind kind) const override {
+    switch (kind) {
+      case TamperKind::kSuboptimalPath: {
+        SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
+                                FindSuboptimalPath(*g_, query));
+        // "Honest" proof generation relative to the longer distance.
+        BallResult ball = DijkstraBall(*g_, query.source,
+                                       alt.distance +
+                                           ProviderSlack(alt.distance));
+        DijAnswer answer;
+        answer.path = std::move(alt.path);
+        answer.distance = alt.distance;
+        SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
+                                ads_.network.ProveTuples(ball.nodes));
+        return Finish(answer);
+      }
+      case TamperKind::kTamperWeight: {
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.subgraph));
+        return Finish(answer);
+      }
+      case TamperKind::kDropTuple: {
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        BallResult ball = DijkstraBall(*g_, query.source,
+                                       answer.distance +
+                                           ProviderSlack(answer.distance));
+        std::unordered_set<NodeId> path_nodes(answer.path.nodes.begin(),
+                                              answer.path.nodes.end());
+        NodeId victim = kInvalidNode;
+        std::vector<NodeId> kept;
+        for (size_t i = 0; i < ball.nodes.size(); ++i) {
+          const NodeId v = ball.nodes[i];
+          if (victim == kInvalidNode && !path_nodes.contains(v) &&
+              ball.dist[i] > 0 && ball.dist[i] < answer.distance * 0.8) {
+            victim = v;  // interior node the client's Dijkstra must expand
+            continue;
+          }
+          kept.push_back(v);
+        }
+        if (victim == kInvalidNode) {
+          return Status::NotFound("no droppable interior tuple");
+        }
+        SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
+                                ads_.network.ProveTuples(kept));
+        return Finish(answer);
+      }
+      case TamperKind::kBogusSignature: {
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        ProofBundle bundle = MakeBundle(answer);
+        bundle.bytes = EncodeWithBogusSignature(ads_.certificate, answer);
+        return bundle;
+      }
+      case TamperKind::kPhantomEdge: {
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        answer.path.nodes = {query.source, query.target};
+        return Finish(answer);
+      }
+      case TamperKind::kForgeDistanceValue:
+        return Status::FailedPrecondition("DIJ has no distance entries");
+    }
+    return Status::Internal("unhandled tamper kind");
+  }
+
+  VerifyOutcome Verify(const Query& query,
+                       const ProofBundle& bundle) const override {
+    auto decoded = DecodeBundle<DijAnswer>(bundle.bytes);
+    if (!decoded.ok()) {
+      return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                   decoded.status().message());
+    }
+    return VerifyDijAnswer(owner_key_, decoded.value().first, query,
+                           decoded.value().second);
+  }
+
+ private:
+  ProofBundle MakeBundle(const DijAnswer& answer) const {
+    ProofBundle bundle;
+    bundle.path = answer.path;
+    bundle.distance = answer.distance;
+    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() +
+                           ads_.certificate.SerializedSize();
+    bundle.stats.sp_items = answer.subgraph.tuples.size();
+    bundle.stats.t_items = answer.subgraph.proof.num_digests();
+    return bundle;
+  }
+  Result<ProofBundle> Finish(const DijAnswer& answer) const {
+    return MakeBundle(answer);
+  }
+
+  const Graph* g_;
+  DijAds ads_;
+  DijProvider provider_;
+  RsaPublicKey owner_key_;
+};
+
+// ---------------------------------------------------------------------------
+// FULL engine
+// ---------------------------------------------------------------------------
+
+class FullEngine : public MethodEngine {
+ public:
+  FullEngine(const Graph* g, FullAds ads, RsaPublicKey owner_key,
+            SpAlgorithm algosp)
+      : g_(g),
+        ads_(std::move(ads)),
+        provider_(g, &ads_, algosp),
+        owner_key_(std::move(owner_key)) {}
+
+  MethodKind kind() const override { return MethodKind::kFull; }
+  size_t storage_bytes() const override {
+    return ads_.network.StorageBytes() + ads_.distances.StorageBytes();
+  }
+  const Certificate& certificate() const override { return ads_.certificate; }
+
+  Result<ProofBundle> Answer(const Query& query) const override {
+    SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+    return MakeBundle(answer);
+  }
+
+  Result<ProofBundle> TamperedAnswer(const Query& query,
+                                     TamperKind kind) const override {
+    switch (kind) {
+      case TamperKind::kSuboptimalPath: {
+        SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
+                                FindSuboptimalPath(*g_, query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        answer.distance = alt.distance;
+        answer.path = alt.path;
+        SPAUTH_ASSIGN_OR_RETURN(answer.path_tuples,
+                                ads_.network.ProveTuples(answer.path.nodes));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kTamperWeight: {
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.path_tuples));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kDropTuple: {
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        if (answer.path.nodes.size() < 3) {
+          return Status::NotFound("path too short to drop a tuple");
+        }
+        std::vector<NodeId> kept = answer.path.nodes;
+        kept.erase(kept.begin() + static_cast<ptrdiff_t>(kept.size() / 2));
+        SPAUTH_ASSIGN_OR_RETURN(answer.path_tuples,
+                                ads_.network.ProveTuples(kept));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kForgeDistanceValue: {
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        answer.distance_proof.entries[0].value *= 1.1;
+        return MakeBundle(answer);
+      }
+      case TamperKind::kBogusSignature: {
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        auto bundle = MakeBundle(answer);
+        if (!bundle.ok()) {
+          return bundle;
+        }
+        bundle.value().bytes =
+            EncodeWithBogusSignature(ads_.certificate, answer);
+        return bundle;
+      }
+      case TamperKind::kPhantomEdge: {
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        answer.path.nodes = {query.source, query.target};
+        return MakeBundle(answer);
+      }
+    }
+    return Status::Internal("unhandled tamper kind");
+  }
+
+  VerifyOutcome Verify(const Query& query,
+                       const ProofBundle& bundle) const override {
+    auto decoded = DecodeBundle<FullAnswer>(bundle.bytes);
+    if (!decoded.ok()) {
+      return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                   decoded.status().message());
+    }
+    return VerifyFullAnswer(owner_key_, decoded.value().first, query,
+                            decoded.value().second);
+  }
+
+ private:
+  Result<ProofBundle> MakeBundle(const FullAnswer& answer) const {
+    ProofBundle bundle;
+    bundle.path = answer.path;
+    bundle.distance = answer.distance;
+    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    // Gamma_S: the authenticated distance tuple and its B-tree digests.
+    bundle.stats.sp_bytes = answer.distance_proof.SerializedSize();
+    bundle.stats.sp_items = answer.distance_proof.entries.size() +
+                            answer.distance_proof.tree_proof.num_digests();
+    // Gamma_T: the path tuples and the network digests.
+    bundle.stats.t_bytes = answer.path_tuples.TupleBytes() +
+                           answer.path_tuples.IntegrityBytes() +
+                           ads_.certificate.SerializedSize();
+    bundle.stats.t_items = answer.path_tuples.tuples.size() +
+                           answer.path_tuples.proof.num_digests();
+    return bundle;
+  }
+
+  const Graph* g_;
+  FullAds ads_;
+  FullProvider provider_;
+  RsaPublicKey owner_key_;
+};
+
+// ---------------------------------------------------------------------------
+// LDM engine
+// ---------------------------------------------------------------------------
+
+class LdmEngine : public MethodEngine {
+ public:
+  LdmEngine(const Graph* g, LdmAds ads, RsaPublicKey owner_key,
+            SpAlgorithm algosp)
+      : g_(g),
+        ads_(std::move(ads)),
+        provider_(g, &ads_, algosp),
+        owner_key_(std::move(owner_key)) {}
+
+  MethodKind kind() const override { return MethodKind::kLdm; }
+  size_t storage_bytes() const override {
+    return ads_.network.StorageBytes() + ads_.ref.size() * 12;
+  }
+  const Certificate& certificate() const override { return ads_.certificate; }
+
+  Result<ProofBundle> Answer(const Query& query) const override {
+    SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+    return MakeBundle(answer);
+  }
+
+  Result<ProofBundle> TamperedAnswer(const Query& query,
+                                     TamperKind kind) const override {
+    switch (kind) {
+      case TamperKind::kSuboptimalPath: {
+        SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
+                                FindSuboptimalPath(*g_, query));
+        // Re-issue the provider's proof against the inflated distance by
+        // answering a fake "claim": rebuild Gamma_S around alt.distance.
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer honest, provider_.Answer(query));
+        LdmAnswer answer;
+        answer.path = std::move(alt.path);
+        answer.distance = alt.distance;
+        // A superset proof (radius alt.distance) keeps the Merkle part
+        // valid while the path is suboptimal.
+        BallResult ball = DijkstraBall(*g_, query.source,
+                                       alt.distance +
+                                           ProviderSlack(alt.distance));
+        std::vector<NodeId> nodes = ball.nodes;
+        const size_t direct = nodes.size();
+        for (size_t i = 0; i < direct; ++i) {
+          for (const Edge& e : g_->Neighbors(nodes[i])) {
+            nodes.push_back(e.to);
+          }
+        }
+        const size_t with_neighbors = nodes.size();
+        for (size_t i = 0; i < with_neighbors; ++i) {
+          nodes.push_back(ads_.ref[nodes[i]]);
+        }
+        nodes.push_back(query.source);
+        nodes.push_back(query.target);
+        nodes.push_back(ads_.ref[query.source]);
+        nodes.push_back(ads_.ref[query.target]);
+        SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
+                                ads_.network.ProveTuples(nodes));
+        (void)honest;
+        return MakeBundle(answer);
+      }
+      case TamperKind::kTamperWeight: {
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.subgraph));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kDropTuple: {
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        if (answer.path.nodes.size() < 3) {
+          return Status::NotFound("path too short to drop a tuple");
+        }
+        // Drop a middle path node from the proof (it is certainly needed).
+        const NodeId victim =
+            answer.path.nodes[answer.path.nodes.size() / 2];
+        std::vector<NodeId> kept;
+        for (const ExtendedTuple& t : answer.subgraph.tuples) {
+          if (t.id != victim) {
+            kept.push_back(t.id);
+          }
+        }
+        SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
+                                ads_.network.ProveTuples(kept));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kBogusSignature: {
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        auto bundle = MakeBundle(answer);
+        if (!bundle.ok()) {
+          return bundle;
+        }
+        bundle.value().bytes =
+            EncodeWithBogusSignature(ads_.certificate, answer);
+        return bundle;
+      }
+      case TamperKind::kPhantomEdge: {
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        answer.path.nodes = {query.source, query.target};
+        return MakeBundle(answer);
+      }
+      case TamperKind::kForgeDistanceValue:
+        return Status::FailedPrecondition("LDM has no distance entries");
+    }
+    return Status::Internal("unhandled tamper kind");
+  }
+
+  VerifyOutcome Verify(const Query& query,
+                       const ProofBundle& bundle) const override {
+    auto decoded = DecodeBundle<LdmAnswer>(bundle.bytes);
+    if (!decoded.ok()) {
+      return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                   decoded.status().message());
+    }
+    return VerifyLdmAnswer(owner_key_, decoded.value().first, query,
+                           decoded.value().second);
+  }
+
+ private:
+  Result<ProofBundle> MakeBundle(const LdmAnswer& answer) const {
+    ProofBundle bundle;
+    bundle.path = answer.path;
+    bundle.distance = answer.distance;
+    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() +
+                           ads_.certificate.SerializedSize();
+    bundle.stats.sp_items = answer.subgraph.tuples.size();
+    bundle.stats.t_items = answer.subgraph.proof.num_digests();
+    return bundle;
+  }
+
+  const Graph* g_;
+  LdmAds ads_;
+  LdmProvider provider_;
+  RsaPublicKey owner_key_;
+};
+
+// ---------------------------------------------------------------------------
+// HYP engine
+// ---------------------------------------------------------------------------
+
+class HypEngine : public MethodEngine {
+ public:
+  HypEngine(const Graph* g, HypAds ads, RsaPublicKey owner_key,
+            SpAlgorithm algosp)
+      : g_(g),
+        ads_(std::move(ads)),
+        provider_(g, &ads_, algosp),
+        owner_key_(std::move(owner_key)) {}
+
+  MethodKind kind() const override { return MethodKind::kHyp; }
+  size_t storage_bytes() const override {
+    return ads_.network.StorageBytes() + ads_.distances.StorageBytes();
+  }
+  const Certificate& certificate() const override { return ads_.certificate; }
+
+  Result<ProofBundle> Answer(const Query& query) const override {
+    SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+    return MakeBundle(answer);
+  }
+
+  Result<ProofBundle> TamperedAnswer(const Query& query,
+                                     TamperKind kind) const override {
+    switch (kind) {
+      case TamperKind::kSuboptimalPath: {
+        SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
+                                FindSuboptimalPath(*g_, query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        answer.distance = alt.distance;
+        answer.path = alt.path;
+        // Tuple proof must still cover the (new) path nodes.
+        std::vector<NodeId> nodes;
+        for (const ExtendedTuple& t : answer.tuples.tuples) {
+          nodes.push_back(t.id);
+        }
+        nodes.insert(nodes.end(), alt.path.nodes.begin(),
+                     alt.path.nodes.end());
+        SPAUTH_ASSIGN_OR_RETURN(answer.tuples,
+                                ads_.network.ProveTuples(nodes));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kTamperWeight: {
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.tuples));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kDropTuple: {
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        // Drop a source-cell tuple that is not on the path: the client's
+        // cell count check must catch it.
+        const uint32_t cell_s = ads_.hiti.partition().CellOf(query.source);
+        std::unordered_set<NodeId> path_nodes(answer.path.nodes.begin(),
+                                              answer.path.nodes.end());
+        NodeId victim = kInvalidNode;
+        std::vector<NodeId> kept;
+        for (const ExtendedTuple& t : answer.tuples.tuples) {
+          if (victim == kInvalidNode && t.cell == cell_s &&
+              !path_nodes.contains(t.id) && t.id != query.source) {
+            victim = t.id;
+            continue;
+          }
+          kept.push_back(t.id);
+        }
+        if (victim == kInvalidNode) {
+          return Status::NotFound("no droppable cell tuple");
+        }
+        SPAUTH_ASSIGN_OR_RETURN(answer.tuples,
+                                ads_.network.ProveTuples(kept));
+        return MakeBundle(answer);
+      }
+      case TamperKind::kForgeDistanceValue: {
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        if (!answer.has_hyper_edges || answer.hyper_edges.entries.empty()) {
+          return Status::NotFound("no hyper-edge entries to forge");
+        }
+        answer.hyper_edges.entries[0].value *= 1.1;
+        return MakeBundle(answer);
+      }
+      case TamperKind::kBogusSignature: {
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        auto bundle = MakeBundle(answer);
+        if (!bundle.ok()) {
+          return bundle;
+        }
+        bundle.value().bytes =
+            EncodeWithBogusSignature(ads_.certificate, answer);
+        return bundle;
+      }
+      case TamperKind::kPhantomEdge: {
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        answer.path.nodes = {query.source, query.target};
+        return MakeBundle(answer);
+      }
+    }
+    return Status::Internal("unhandled tamper kind");
+  }
+
+  VerifyOutcome Verify(const Query& query,
+                       const ProofBundle& bundle) const override {
+    auto decoded = DecodeBundle<HypAnswer>(bundle.bytes);
+    if (!decoded.ok()) {
+      return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                   decoded.status().message());
+    }
+    return VerifyHypAnswer(owner_key_, decoded.value().first, query,
+                           decoded.value().second);
+  }
+
+ private:
+  Result<ProofBundle> MakeBundle(const HypAnswer& answer) const {
+    ProofBundle bundle;
+    bundle.path = answer.path;
+    bundle.distance = answer.distance;
+    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    // Gamma_S: tuples + hyper-edge entries; Gamma_T: all digests + indices.
+    const size_t hyper_entry_bytes =
+        answer.has_hyper_edges ? 4 + answer.hyper_edges.entries.size() * 20
+                               : 0;
+    const size_t hyper_digest_bytes =
+        answer.has_hyper_edges
+            ? answer.hyper_edges.tree_proof.SerializedSize()
+            : 0;
+    bundle.stats.sp_bytes = answer.tuples.TupleBytes() + hyper_entry_bytes;
+    bundle.stats.t_bytes = answer.tuples.IntegrityBytes() +
+                           hyper_digest_bytes +
+                           ads_.certificate.SerializedSize();
+    bundle.stats.sp_items =
+        answer.tuples.tuples.size() +
+        (answer.has_hyper_edges ? answer.hyper_edges.entries.size() : 0);
+    bundle.stats.t_items =
+        answer.tuples.proof.num_digests() +
+        (answer.has_hyper_edges ? answer.hyper_edges.tree_proof.num_digests()
+                                : 0);
+    return bundle;
+  }
+
+  const Graph* g_;
+  HypAds ads_;
+  HypProvider provider_;
+  RsaPublicKey owner_key_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
+                                                 const EngineOptions& options,
+                                                 const RsaKeyPair& keys) {
+  WallTimer timer;
+  std::unique_ptr<MethodEngine> engine;
+  switch (options.method) {
+    case MethodKind::kDij: {
+      DijOptions o;
+      o.ordering = options.ordering;
+      o.fanout = options.fanout;
+      o.alg = options.alg;
+      o.seed = options.seed;
+      SPAUTH_ASSIGN_OR_RETURN(DijAds ads, BuildDijAds(g, o, keys));
+      engine = std::make_unique<DijEngine>(&g, std::move(ads),
+                                           keys.public_key(),
+                                           options.provider_algorithm);
+      break;
+    }
+    case MethodKind::kFull: {
+      FullOptions o;
+      o.ordering = options.ordering;
+      o.fanout = options.fanout;
+      o.distance_fanout = options.distance_fanout;
+      o.alg = options.alg;
+      o.use_floyd_warshall = options.full_use_floyd_warshall;
+      o.seed = options.seed;
+      SPAUTH_ASSIGN_OR_RETURN(FullAds ads, BuildFullAds(g, o, keys));
+      engine = std::make_unique<FullEngine>(&g, std::move(ads),
+                                            keys.public_key(),
+                                            options.provider_algorithm);
+      break;
+    }
+    case MethodKind::kLdm: {
+      LdmOptions o;
+      o.ordering = options.ordering;
+      o.fanout = options.fanout;
+      o.alg = options.alg;
+      o.num_landmarks = options.num_landmarks;
+      o.quantization_bits = options.quantization_bits;
+      o.compression_xi = options.compression_xi;
+      o.strategy = options.landmark_strategy;
+      o.seed = options.seed;
+      SPAUTH_ASSIGN_OR_RETURN(LdmAds ads, BuildLdmAds(g, o, keys));
+      engine = std::make_unique<LdmEngine>(&g, std::move(ads),
+                                           keys.public_key(),
+                                           options.provider_algorithm);
+      break;
+    }
+    case MethodKind::kHyp: {
+      HypOptions o;
+      o.ordering = options.ordering;
+      o.fanout = options.fanout;
+      o.distance_fanout = options.distance_fanout;
+      o.alg = options.alg;
+      o.num_cells = options.num_cells;
+      o.seed = options.seed;
+      SPAUTH_ASSIGN_OR_RETURN(HypAds ads, BuildHypAds(g, o, keys));
+      engine = std::make_unique<HypEngine>(&g, std::move(ads),
+                                           keys.public_key(),
+                                           options.provider_algorithm);
+      break;
+    }
+  }
+  // Record the owner's offline construction time (Figures 8c, 9b, 12b, 13b).
+  engine->set_construction_seconds(timer.ElapsedSeconds());
+  return engine;
+}
+
+}  // namespace spauth

@@ -1,0 +1,136 @@
+// MethodEngine — the uniform three-party facade over the four verification
+// methods. One engine owns the whole pipeline for a (graph, method,
+// parameters) triple:
+//
+//   owner:    BuildXxxAds (timed; the "offline construction" of Figure 8c)
+//   provider: Answer(query) -> serialized ProofBundle with size accounting
+//   client:   Verify(query, bundle) -> VerifyOutcome (only public key used)
+//
+// The bundle's bytes are the real wire message (certificate + answer); the
+// benches report exactly these sizes. TamperedAnswer simulates the paper's
+// threat model: a provider that alters results or proofs in six ways.
+#ifndef SPAUTH_CORE_ENGINE_H_
+#define SPAUTH_CORE_ENGINE_H_
+
+#include <memory>
+
+#include "core/algosp.h"
+#include "core/certificate.h"
+#include "core/verify_outcome.h"
+#include "graph/generator.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+#include "hints/landmarks.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Adversarial mutations of a provider answer (core/engine.cc documents the
+/// rejection each must trigger).
+enum class TamperKind {
+  kSuboptimalPath,      // return a longer real path with "honest" proofs
+  kTamperWeight,        // alter an edge weight inside a shipped tuple
+  kDropTuple,           // omit a tuple, regenerate a root-valid Merkle proof
+  kForgeDistanceValue,  // alter an authenticated distance entry
+  kBogusSignature,      // corrupt the certificate signature
+  kPhantomEdge,         // report a path over a non-existent edge
+};
+std::string_view ToString(TamperKind kind);
+
+inline constexpr TamperKind kAllTamperKinds[] = {
+    TamperKind::kSuboptimalPath,     TamperKind::kTamperWeight,
+    TamperKind::kDropTuple,          TamperKind::kForgeDistanceValue,
+    TamperKind::kBogusSignature,     TamperKind::kPhantomEdge,
+};
+
+/// Size/item accounting split into shortest-path proof (S-prf) and
+/// integrity proof (T-prf) per the paper's Figure 8a/8b convention; see
+/// EXPERIMENTS.md for the exact attribution rules.
+struct ProofStats {
+  size_t sp_bytes = 0;
+  size_t t_bytes = 0;
+  size_t sp_items = 0;  // tuples + distance entries
+  size_t t_items = 0;   // Merkle digests
+  size_t total_bytes() const { return sp_bytes + t_bytes; }
+};
+
+/// One query's reply: the result path/distance, the full wire bytes
+/// (certificate + proof), and the accounting.
+struct ProofBundle {
+  Path path;
+  double distance = 0;
+  std::vector<uint8_t> bytes;
+  ProofStats stats;
+};
+
+struct EngineOptions {
+  MethodKind method = MethodKind::kDij;
+  NodeOrdering ordering = NodeOrdering::kHilbert;
+  uint32_t fanout = 2;
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  uint64_t seed = 1;
+  // LDM.
+  uint32_t num_landmarks = 40;
+  int quantization_bits = 12;
+  double compression_xi = 50;
+  LandmarkStrategy landmark_strategy = LandmarkStrategy::kFarthest;
+  // HYP.
+  uint32_t num_cells = 49;
+  uint32_t distance_fanout = 2;
+  // FULL.
+  bool full_use_floyd_warshall = true;
+  /// The provider's algosp choice (Algorithm 1); does not affect proofs.
+  SpAlgorithm provider_algorithm = SpAlgorithm::kDijkstra;
+};
+
+class MethodEngine {
+ public:
+  virtual ~MethodEngine() = default;
+
+  virtual MethodKind kind() const = 0;
+  std::string_view name() const { return ToString(kind()); }
+
+  /// Wall-clock seconds the owner spent building the ADS + hints.
+  double construction_seconds() const { return construction_seconds_; }
+  /// Called by MakeEngine after the timed build; not part of the API.
+  void set_construction_seconds(double seconds) {
+    construction_seconds_ = seconds;
+  }
+
+  /// Bytes of ADS + hints stored at the provider.
+  virtual size_t storage_bytes() const = 0;
+
+  virtual const Certificate& certificate() const = 0;
+
+  /// Provider role.
+  virtual Result<ProofBundle> Answer(const Query& query) const = 0;
+
+  /// Malicious-provider role; Unimplemented when the mutation does not
+  /// apply to this method, NotFound when the instance offers no opportunity
+  /// (e.g. no alternative path exists).
+  virtual Result<ProofBundle> TamperedAnswer(const Query& query,
+                                             TamperKind kind) const = 0;
+
+  /// Client role: full decode + verification from the wire bytes.
+  virtual VerifyOutcome Verify(const Query& query,
+                               const ProofBundle& bundle) const = 0;
+
+ protected:
+  double construction_seconds_ = 0;
+};
+
+/// Builds the ADS/hints for `options.method` over `g` (which must outlive
+/// the engine) and returns the ready three-party engine.
+Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
+                                                 const EngineOptions& options,
+                                                 const RsaKeyPair& keys);
+
+/// All four methods in the paper's presentation order.
+inline constexpr MethodKind kAllMethods[] = {MethodKind::kDij,
+                                             MethodKind::kFull,
+                                             MethodKind::kLdm,
+                                             MethodKind::kHyp};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_ENGINE_H_

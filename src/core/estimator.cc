@@ -1,0 +1,75 @@
+#include "core/estimator.h"
+
+#include <cmath>
+
+#include "graph/workload.h"
+
+namespace spauth {
+
+double ProofSizeModel::EstimateBytes(double range) const {
+  return std::exp(log_a + slope_b * std::log(range));
+}
+
+Result<ProofSizeModel> FitProofSizeModel(const MethodEngine& engine,
+                                         const Graph& g,
+                                         const EstimatorOptions& options) {
+  if (options.calibration_ranges.size() < 2) {
+    return Status::InvalidArgument("need at least two calibration ranges");
+  }
+  if (options.queries_per_range == 0) {
+    return Status::InvalidArgument("queries_per_range must be positive");
+  }
+
+  // One (log r, log mean-bytes) sample per calibration range.
+  std::vector<double> xs, ys;
+  for (double range : options.calibration_ranges) {
+    if (!(range > 0)) {
+      return Status::InvalidArgument("calibration ranges must be positive");
+    }
+    WorkloadOptions wopts;
+    wopts.count = options.queries_per_range;
+    wopts.query_range = range;
+    wopts.seed = options.seed;
+    SPAUTH_ASSIGN_OR_RETURN(std::vector<Query> queries,
+                            GenerateWorkload(g, wopts));
+    double total = 0;
+    for (const Query& q : queries) {
+      SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, engine.Answer(q));
+      total += static_cast<double>(bundle.stats.total_bytes());
+    }
+    xs.push_back(std::log(range));
+    ys.push_back(std::log(total / queries.size()));
+  }
+
+  // Ordinary least squares in log-log space.
+  const size_t n = xs.size();
+  double mean_x = 0, mean_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mean_x) * (xs[i] - mean_x);
+    sxy += (xs[i] - mean_x) * (ys[i] - mean_y);
+  }
+  if (sxx == 0) {
+    return Status::InvalidArgument("calibration ranges must be distinct");
+  }
+
+  ProofSizeModel model;
+  model.method = engine.kind();
+  model.slope_b = sxy / sxx;
+  model.log_a = mean_y - model.slope_b * mean_x;
+  double ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double fitted = model.log_a + model.slope_b * xs[i];
+    ss_res += (ys[i] - fitted) * (ys[i] - fitted);
+  }
+  model.log_residual = std::sqrt(ss_res / n);
+  return model;
+}
+
+}  // namespace spauth

@@ -1,0 +1,56 @@
+// Proof-size estimation — the paper's stated future work ("a promising
+// future direction is to develop a model for estimating the proof size for
+// shortest path veriﬁcation", Section VII).
+//
+// Model: for each method, the mean proof size as a function of the query
+// range r is captured by a power law, fitted in log-log space
+//     log(bytes) = log_a + slope_b * log(r)
+// from a handful of cheap calibration queries. The intuition follows the
+// paper's own observations: DIJ's proof tracks the Lemma-1 ball (area-like
+// growth, slope ~1.5-2 on near-planar networks), LDM tracks the A*
+// corridor (slope ~1), HYP's cells are range-independent but its fine path
+// grows linearly (small slope), and FULL grows only with the path length
+// (smallest slope).
+//
+// Use cases: the owner compares methods/parameters before committing to an
+// ADS; a client budgets bandwidth before querying.
+#ifndef SPAUTH_CORE_ESTIMATOR_H_
+#define SPAUTH_CORE_ESTIMATOR_H_
+
+#include <span>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace spauth {
+
+struct ProofSizeModel {
+  MethodKind method = MethodKind::kDij;
+  double log_a = 0;    // intercept in log-log space
+  double slope_b = 0;  // power-law exponent
+  /// Residual standard deviation of the fit in log space (quality signal;
+  /// ~0.1 means typical +-10% multiplicative error on calibration points).
+  double log_residual = 0;
+
+  /// Predicted mean total proof bytes for a query of network distance
+  /// `range`.
+  double EstimateBytes(double range) const;
+};
+
+struct EstimatorOptions {
+  /// Ranges to calibrate at; at least two distinct values required.
+  std::vector<double> calibration_ranges = {500, 1000, 4000};
+  /// Queries sampled per calibration range.
+  size_t queries_per_range = 8;
+  uint64_t seed = 13;
+};
+
+/// Fits the power-law model for `engine` by answering sampled queries on
+/// `g` at the calibration ranges.
+Result<ProofSizeModel> FitProofSizeModel(const MethodEngine& engine,
+                                         const Graph& g,
+                                         const EstimatorOptions& options);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_ESTIMATOR_H_

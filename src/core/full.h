@@ -1,0 +1,71 @@
+// FULL — fully materialized distances (Section IV-B).
+//
+// The owner runs Floyd-Warshall (O(|V|^3)) and stores the distance of every
+// node pair in a Merkle B-tree keyed by (vi.id, vj.id). A query proof is a
+// single authenticated distance tuple (Gamma_S) plus the tuples of the path
+// nodes from the network Merkle tree (Gamma_T). Minimal proofs, prohibitive
+// pre-computation — the benches of Figures 8c/9b reproduce the explosion.
+#ifndef SPAUTH_CORE_FULL_H_
+#define SPAUTH_CORE_FULL_H_
+
+#include "core/algosp.h"
+#include "core/certificate.h"
+#include "core/network_ads.h"
+#include "core/verify_outcome.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+#include "merkle/merkle_btree.h"
+
+namespace spauth {
+
+struct FullOptions {
+  NodeOrdering ordering = NodeOrdering::kHilbert;
+  uint32_t fanout = 2;           // network tree fanout
+  uint32_t distance_fanout = 2;  // distance B-tree fanout
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  /// Floyd-Warshall is the paper's algorithm; repeated Dijkstra computes
+  /// the same matrix much faster on sparse graphs (kept for tests/tools).
+  bool use_floyd_warshall = true;
+  uint64_t seed = 1;
+};
+
+struct FullAds {
+  NetworkAds network;
+  MerkleBTree distances;  // all-pairs distance tuples
+  Certificate certificate;
+};
+
+Result<FullAds> BuildFullAds(const Graph& g, const FullOptions& options,
+                             const RsaKeyPair& keys);
+
+struct FullAnswer {
+  Path path;
+  double distance = 0;
+  MerkleBTreeProof distance_proof;  // Gamma_S: one authenticated tuple
+  TupleSetProof path_tuples;        // Gamma_T: the path's network tuples
+
+  void Serialize(ByteWriter* out) const;
+  static Result<FullAnswer> Deserialize(ByteReader* in);
+};
+
+class FullProvider {
+ public:
+  explicit FullProvider(const Graph* g, const FullAds* ads,
+      SpAlgorithm algosp = SpAlgorithm::kDijkstra)
+      : g_(g), ads_(ads), algosp_(algosp) {}
+
+  Result<FullAnswer> Answer(const Query& query) const;
+
+ private:
+  const Graph* g_;
+  const FullAds* ads_;
+  SpAlgorithm algosp_;
+};
+
+VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
+                               const Certificate& cert, const Query& query,
+                               const FullAnswer& answer);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_FULL_H_

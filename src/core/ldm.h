@@ -1,0 +1,80 @@
+// LDM — landmark-based verification (Section V-A).
+//
+// The owner picks c landmarks, embeds each node's quantized (b-bit,
+// Lemma 3) and xi-compressed (Lemma 4) landmark vector into its
+// extended-tuple (Eq. 4), and certifies the tuples in the network Merkle
+// tree. The provider ships the A* search space of Lemma 2 (under the loose
+// compressed bound) plus its neighbors and every referenced representative;
+// the client re-runs A* with the same bound over the authenticated tuples.
+#ifndef SPAUTH_CORE_LDM_H_
+#define SPAUTH_CORE_LDM_H_
+
+#include "core/algosp.h"
+#include "core/certificate.h"
+#include "core/network_ads.h"
+#include "core/verify_outcome.h"
+#include "graph/path.h"
+#include "graph/workload.h"
+#include "hints/compress.h"
+#include "hints/landmarks.h"
+#include "hints/quantize.h"
+
+namespace spauth {
+
+struct LdmOptions {
+  NodeOrdering ordering = NodeOrdering::kHilbert;
+  uint32_t fanout = 2;
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  uint32_t num_landmarks = 40;  // c (scaled from the paper's 200; DESIGN.md)
+  int quantization_bits = 12;   // b (paper Section VI-A)
+  double compression_xi = 50;   // xi (paper Section VI-A)
+  LandmarkStrategy strategy = LandmarkStrategy::kFarthest;
+  uint64_t seed = 1;
+};
+
+struct LdmAds {
+  NetworkAds network;          // tuples carry Eq. 4 landmark data
+  Certificate certificate;
+  // Provider-side search accelerators (not shipped to clients):
+  QuantizationParams qparams;
+  std::vector<NodeId> ref;     // theta per node
+  std::vector<double> eps;     // epsilon per node
+};
+
+Result<LdmAds> BuildLdmAds(const Graph& g, const LdmOptions& options,
+                           const RsaKeyPair& keys);
+
+struct LdmAnswer {
+  Path path;
+  double distance = 0;
+  TupleSetProof subgraph;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<LdmAnswer> Deserialize(ByteReader* in);
+};
+
+class LdmProvider {
+ public:
+  explicit LdmProvider(const Graph* g, const LdmAds* ads,
+      SpAlgorithm algosp = SpAlgorithm::kDijkstra)
+      : g_(g), ads_(ads), algosp_(algosp) {}
+
+  Result<LdmAnswer> Answer(const Query& query) const;
+
+ private:
+  /// The Lemma-4 lower bound between u and the fixed target, evaluated on
+  /// the owner's hint structures.
+  double LowerBound(NodeId u, NodeId target) const;
+
+  const Graph* g_;
+  const LdmAds* ads_;
+  SpAlgorithm algosp_;
+};
+
+VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const LdmAnswer& answer);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_LDM_H_

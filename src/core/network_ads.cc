@@ -1,0 +1,150 @@
+#include "core/network_ads.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spauth {
+
+size_t TupleSetProof::TupleBytes() const {
+  size_t bytes = 4;  // tuple count
+  for (const ExtendedTuple& t : tuples) {
+    bytes += t.SerializedSize();
+  }
+  return bytes;
+}
+
+size_t TupleSetProof::IntegrityBytes() const {
+  return leaf_indices.size() * 4 + proof.SerializedSize();
+}
+
+void TupleSetProof::Serialize(ByteWriter* out) const {
+  out->WriteU32(static_cast<uint32_t>(tuples.size()));
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    tuples[i].Serialize(out);
+    out->WriteU32(leaf_indices[i]);
+  }
+  proof.Serialize(out);
+}
+
+Result<TupleSetProof> TupleSetProof::Deserialize(ByteReader* in) {
+  TupleSetProof out;
+  uint32_t count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  if (count == 0) {
+    return Status::Malformed("tuple set proof must contain tuples");
+  }
+  // A tuple encodes to >= 25 bytes; anything claiming more is corrupt.
+  if (count > in->remaining() / 25) {
+    return Status::Malformed("tuple count exceeds buffer");
+  }
+  out.tuples.reserve(count);
+  out.leaf_indices.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SPAUTH_ASSIGN_OR_RETURN(ExtendedTuple t, ExtendedTuple::Deserialize(in));
+    uint32_t leaf = 0;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&leaf));
+    out.tuples.push_back(std::move(t));
+    out.leaf_indices.push_back(leaf);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(out.proof, MerkleSubsetProof::Deserialize(in));
+  return out;
+}
+
+Status TupleSetProof::VerifyAgainstRoot(const Digest& root) const {
+  if (tuples.size() != leaf_indices.size() || tuples.empty()) {
+    return Status::Malformed("tuple/index mismatch in proof");
+  }
+  std::map<uint32_t, Digest> leaves;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto [it, inserted] =
+        leaves.emplace(leaf_indices[i], tuples[i].LeafDigest(proof.alg));
+    if (!inserted) {
+      return Status::Malformed("duplicate leaf index in tuple proof");
+    }
+  }
+  SPAUTH_ASSIGN_OR_RETURN(Digest computed, ReconstructMerkleRoot(proof, leaves));
+  if (!(computed == root)) {
+    return Status::VerificationFailed("network root mismatch");
+  }
+  return Status::Ok();
+}
+
+Result<std::unordered_map<NodeId, const ExtendedTuple*>>
+TupleSetProof::IndexById() const {
+  std::unordered_map<NodeId, const ExtendedTuple*> index;
+  index.reserve(tuples.size());
+  for (const ExtendedTuple& t : tuples) {
+    if (!index.emplace(t.id, &t).second) {
+      return Status::Malformed("duplicate node id in tuple proof");
+    }
+  }
+  return index;
+}
+
+Result<NetworkAds> NetworkAds::Build(std::vector<ExtendedTuple> tuples,
+                                     std::vector<NodeId> order,
+                                     uint32_t fanout, HashAlgorithm alg) {
+  if (tuples.empty() || order.size() != tuples.size()) {
+    return Status::InvalidArgument("tuples/order size mismatch");
+  }
+  std::vector<uint32_t> leaf_of_node = InvertOrdering(order);
+  std::vector<Digest> leaves(tuples.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    leaves[pos] = tuples[order[pos]].LeafDigest(alg);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(MerkleTree tree,
+                          MerkleTree::Build(std::move(leaves), fanout, alg));
+  return NetworkAds(std::move(tuples), std::move(leaf_of_node),
+                    std::move(tree));
+}
+
+size_t NetworkAds::StorageBytes() const {
+  size_t bytes = tree_.total_digests() * DigestSize(tree_.algorithm());
+  for (const ExtendedTuple& t : tuples_) {
+    bytes += t.SerializedSize();
+  }
+  return bytes;
+}
+
+Status NetworkAds::UpdateTuple(NodeId v, ExtendedTuple tuple) {
+  if (v >= tuples_.size()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (tuple.id != v) {
+    return Status::InvalidArgument("tuple id does not match node");
+  }
+  SPAUTH_RETURN_IF_ERROR(
+      tree_.UpdateLeaf(leaf_of_node_[v], tuple.LeafDigest(tree_.algorithm())));
+  tuples_[v] = std::move(tuple);
+  return Status::Ok();
+}
+
+Result<TupleSetProof> NetworkAds::ProveTuples(
+    std::span<const NodeId> nodes) const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("no nodes to prove");
+  }
+  // Sort by leaf index and deduplicate.
+  std::vector<std::pair<uint32_t, NodeId>> keyed;
+  keyed.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    if (v >= tuples_.size()) {
+      return Status::InvalidArgument("node id out of range");
+    }
+    keyed.push_back({leaf_of_node_[v], v});
+  }
+  std::sort(keyed.begin(), keyed.end());
+  keyed.erase(std::unique(keyed.begin(), keyed.end()), keyed.end());
+
+  TupleSetProof out;
+  out.tuples.reserve(keyed.size());
+  out.leaf_indices.reserve(keyed.size());
+  for (const auto& [leaf, node] : keyed) {
+    out.tuples.push_back(tuples_[node]);
+    out.leaf_indices.push_back(leaf);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(out.proof, tree_.GenerateProof(out.leaf_indices));
+  return out;
+}
+
+}  // namespace spauth

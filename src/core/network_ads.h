@@ -1,0 +1,93 @@
+// The network ADS (Section III-B): a Merkle tree over extended-tuples in a
+// chosen graph-node ordering, plus the tuple-set proof fragment shared by
+// all four methods.
+#ifndef SPAUTH_CORE_NETWORK_ADS_H_
+#define SPAUTH_CORE_NETWORK_ADS_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ordering.h"
+#include "hints/extended_tuple.h"
+#include "merkle/merkle_tree.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// A set of authenticated tuples together with the Merkle evidence that
+/// binds them to the network root. Serves as the subgraph proof Gamma_S of
+/// DIJ/LDM (plus its integrity digests) and as the path-tuple part of
+/// Gamma_T in FULL/HYP.
+struct TupleSetProof {
+  std::vector<ExtendedTuple> tuples;   // sorted by leaf index
+  std::vector<uint32_t> leaf_indices;  // parallel to tuples
+  MerkleSubsetProof proof;
+
+  /// Bytes attributable to the tuples themselves (Gamma_S accounting).
+  size_t TupleBytes() const;
+  /// Bytes attributable to integrity metadata: leaf indices + digests
+  /// (Gamma_T accounting).
+  size_t IntegrityBytes() const;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<TupleSetProof> Deserialize(ByteReader* in);
+
+  /// Recomputes the Merkle root and compares it to `root`; also validates
+  /// the index/tuple pairing.
+  Status VerifyAgainstRoot(const Digest& root) const;
+
+  /// Index the tuples by node id (rejects duplicates).
+  Result<std::unordered_map<NodeId, const ExtendedTuple*>> IndexById() const;
+};
+
+/// Owner/provider-side network Merkle tree with the node -> leaf mapping.
+class NetworkAds {
+ public:
+  /// `tuples` is indexed by node id; `order[pos]` = node id at leaf pos.
+  static Result<NetworkAds> Build(std::vector<ExtendedTuple> tuples,
+                                  std::vector<NodeId> order, uint32_t fanout,
+                                  HashAlgorithm alg);
+
+  const Digest& root() const { return tree_.root(); }
+  const MerkleTree& tree() const { return tree_; }
+  size_t num_nodes() const { return tuples_.size(); }
+  const ExtendedTuple& tuple(NodeId v) const { return tuples_[v]; }
+  uint32_t LeafOf(NodeId v) const { return leaf_of_node_[v]; }
+
+  /// Total bytes of tuples plus tree digests (storage accounting).
+  size_t StorageBytes() const;
+
+  /// Proof covering `nodes` (deduplicated internally).
+  Result<TupleSetProof> ProveTuples(std::span<const NodeId> nodes) const;
+
+  /// Replaces one node's tuple and incrementally refreshes its Merkle leaf
+  /// (owner-side maintenance; see core/updates.h).
+  Status UpdateTuple(NodeId v, ExtendedTuple tuple);
+
+ private:
+  NetworkAds(std::vector<ExtendedTuple> tuples,
+             std::vector<uint32_t> leaf_of_node, MerkleTree tree)
+      : tuples_(std::move(tuples)),
+        leaf_of_node_(std::move(leaf_of_node)),
+        tree_(std::move(tree)) {}
+
+  std::vector<ExtendedTuple> tuples_;     // by node id
+  std::vector<uint32_t> leaf_of_node_;    // node id -> leaf position
+  MerkleTree tree_;
+};
+
+/// Floating-point slack used when comparing client-recomputed distances
+/// against claimed distances (both sides sum the same doubles in different
+/// orders). Scales with the magnitude of the distance.
+inline double VerifySlack(double distance) {
+  return 1e-9 * (distance < 1.0 ? 1.0 : distance);
+}
+
+/// Slack the provider adds to its proof-inclusion radius so that the
+/// client's strict checks (at VerifySlack) never fail on honest proofs.
+inline double ProviderSlack(double distance) { return 4 * VerifySlack(distance); }
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_NETWORK_ADS_H_

@@ -1,0 +1,39 @@
+#include "core/updates.h"
+
+namespace spauth {
+
+Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                        NodeId u, NodeId v, double new_weight) {
+  SPAUTH_RETURN_IF_ERROR(g->SetEdgeWeight(u, v, new_weight));
+
+  // Refresh the two affected tuples and their Merkle leaves.
+  for (NodeId node : {u, v}) {
+    ExtendedTuple tuple = ads->network.tuple(node);
+    const NodeId other = node == u ? v : u;
+    bool found = false;
+    for (NeighborEntry& e : tuple.neighbors) {
+      if (e.id == other) {
+        e.weight = new_weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal("tuple adjacency out of sync with graph");
+    }
+    SPAUTH_RETURN_IF_ERROR(ads->network.UpdateTuple(node, std::move(tuple)));
+  }
+
+  // Re-sign with a bumped version (the old certificate stays
+  // cryptographically valid for the old root — freshness enforcement is an
+  // out-of-band policy; see MethodParams::version).
+  MethodParams params = ads->certificate.params;
+  params.version += 1;
+  SPAUTH_ASSIGN_OR_RETURN(
+      ads->certificate,
+      MakeCertificate(keys, std::move(params), ads->network.root(),
+                      Digest()));
+  return Status::Ok();
+}
+
+}  // namespace spauth

@@ -1,0 +1,31 @@
+// Owner-side ADS maintenance: dynamic edge-weight updates for DIJ.
+//
+// Road networks change (roadworks, congestion re-weighting). DIJ is the
+// only method whose hints contain no global distance information, so a
+// weight change touches exactly two extended-tuples; the owner re-hashes
+// those two leaves, recomputes the O(log |V|) Merkle path and re-signs a
+// certificate with a bumped version — no rebuild.
+//
+// The other methods materialize global distances (FULL's all-pairs matrix,
+// LDM's landmark vectors, HYP's hyper-edges); a weight change can
+// invalidate an unbounded subset of them, so their update story is a
+// rebuild (the paper leaves dynamic maintenance as an open problem; we
+// implement the one method where the incremental update is sound).
+#ifndef SPAUTH_CORE_UPDATES_H_
+#define SPAUTH_CORE_UPDATES_H_
+
+#include "core/dij.h"
+#include "graph/graph.h"
+
+namespace spauth {
+
+/// Changes the weight of edge (u, v) in both the graph and the DIJ ADS:
+/// refreshes the two affected tuples, updates the Merkle tree incrementally
+/// and re-signs the certificate with version + 1. `g` must be the graph the
+/// ADS was built over.
+Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                        NodeId u, NodeId v, double new_weight);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_UPDATES_H_

@@ -1,0 +1,43 @@
+#include "core/verify_outcome.h"
+
+namespace spauth {
+
+std::string_view ToString(VerifyFailure failure) {
+  switch (failure) {
+    case VerifyFailure::kNone:
+      return "none";
+    case VerifyFailure::kMalformedProof:
+      return "malformed-proof";
+    case VerifyFailure::kBadCertificate:
+      return "bad-certificate";
+    case VerifyFailure::kRootMismatch:
+      return "root-mismatch";
+    case VerifyFailure::kIncompleteSubgraph:
+      return "incomplete-subgraph";
+    case VerifyFailure::kInvalidPath:
+      return "invalid-path";
+    case VerifyFailure::kDistanceMismatch:
+      return "distance-mismatch";
+    case VerifyFailure::kNotShortest:
+      return "not-shortest";
+    case VerifyFailure::kWrongEntries:
+      return "wrong-entries";
+  }
+  return "?";
+}
+
+std::string VerifyOutcome::ToString() const {
+  if (accepted) {
+    return "ACCEPT";
+  }
+  std::string out = "REJECT (";
+  out += spauth::ToString(failure);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace spauth

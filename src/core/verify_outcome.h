@@ -1,0 +1,55 @@
+// Client-side verification outcome: accept, or reject with a reason.
+#ifndef SPAUTH_CORE_VERIFY_OUTCOME_H_
+#define SPAUTH_CORE_VERIFY_OUTCOME_H_
+
+#include <string>
+#include <string_view>
+
+namespace spauth {
+
+/// Why a proof was rejected. The distinctions matter for the security test
+/// suite: each attack class must trip the matching check.
+enum class VerifyFailure {
+  kNone = 0,
+  /// The proof bytes could not be decoded or are internally inconsistent.
+  kMalformedProof,
+  /// The owner certificate's signature did not verify, or its parameters
+  /// do not match the query's method.
+  kBadCertificate,
+  /// A reconstructed Merkle root does not match the certified root.
+  kRootMismatch,
+  /// The subgraph proof is missing tuples the verification search needs
+  /// (the tuple-drop attack of Section IV-A).
+  kIncompleteSubgraph,
+  /// The reported path is broken: wrong endpoints, repeated nodes, or a hop
+  /// that is not an authenticated edge.
+  kInvalidPath,
+  /// The reported path's length does not equal the claimed distance, or the
+  /// claimed distance does not match the authenticated distance value.
+  kDistanceMismatch,
+  /// A strictly shorter path exists in the verified subgraph: the reported
+  /// path is not the shortest.
+  kNotShortest,
+  /// A distance proof is missing required entries (e.g. hyper-edges for
+  /// some border pair) or contains entries for the wrong keys.
+  kWrongEntries,
+};
+
+std::string_view ToString(VerifyFailure failure);
+
+struct VerifyOutcome {
+  bool accepted = false;
+  VerifyFailure failure = VerifyFailure::kNone;
+  std::string detail;
+
+  static VerifyOutcome Accept() { return {true, VerifyFailure::kNone, ""}; }
+  static VerifyOutcome Reject(VerifyFailure failure, std::string detail) {
+    return {false, failure, std::move(detail)};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_VERIFY_OUTCOME_H_

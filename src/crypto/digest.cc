@@ -1,0 +1,201 @@
+#include "crypto/digest.h"
+
+#include "util/hex.h"
+
+namespace spauth {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+inline uint32_t Rotr32(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
+
+// SHA-256 round constants (FIPS 180-4 §4.2.2).
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+std::string_view HashAlgorithmName(HashAlgorithm alg) {
+  return alg == HashAlgorithm::kSha1 ? "sha1" : "sha256";
+}
+
+Result<HashAlgorithm> ParseHashAlgorithm(uint8_t wire) {
+  if (wire == static_cast<uint8_t>(HashAlgorithm::kSha1)) {
+    return HashAlgorithm::kSha1;
+  }
+  if (wire == static_cast<uint8_t>(HashAlgorithm::kSha256)) {
+    return HashAlgorithm::kSha256;
+  }
+  return Status::Malformed("unknown hash algorithm id");
+}
+
+std::string Digest::ToHex() const { return spauth::ToHex(view()); }
+
+Hasher::Hasher(HashAlgorithm alg)
+    : alg_(alg), total_bytes_(0), block_fill_(0), finished_(false) {
+  if (alg_ == HashAlgorithm::kSha1) {
+    h_[0] = 0x67452301;
+    h_[1] = 0xefcdab89;
+    h_[2] = 0x98badcfe;
+    h_[3] = 0x10325476;
+    h_[4] = 0xc3d2e1f0;
+    h_[5] = h_[6] = h_[7] = 0;
+  } else {
+    h_[0] = 0x6a09e667;
+    h_[1] = 0xbb67ae85;
+    h_[2] = 0x3c6ef372;
+    h_[3] = 0xa54ff53a;
+    h_[4] = 0x510e527f;
+    h_[5] = 0x9b05688c;
+    h_[6] = 0x1f83d9ab;
+    h_[7] = 0x5be0cd19;
+  }
+}
+
+void Hasher::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+
+  if (alg_ == HashAlgorithm::kSha1) {
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5a827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdc;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6;
+      }
+      uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+  } else {
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
+      uint32_t ch = (e & f) ^ ((~e) & g);
+      uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+      uint32_t s0 = Rotr32(a, 2) ^ Rotr32(a, 13) ^ Rotr32(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+  }
+}
+
+Hasher& Hasher::Update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (block_fill_ > 0) {
+    size_t take = std::min(data.size(), sizeof(block_) - block_fill_);
+    std::memcpy(block_ + block_fill_, data.data(), take);
+    block_fill_ += take;
+    offset = take;
+    if (block_fill_ == sizeof(block_)) {
+      ProcessBlock(block_);
+      block_fill_ = 0;
+    }
+  }
+  while (offset + sizeof(block_) <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += sizeof(block_);
+  }
+  if (offset < data.size()) {
+    std::memcpy(block_, data.data() + offset, data.size() - offset);
+    block_fill_ = data.size() - offset;
+  }
+  return *this;
+}
+
+Digest Hasher::Finish() {
+  // Merkle-Damgard strengthening: 0x80, zero pad, 64-bit big-endian length.
+  finished_ = true;
+  uint64_t bit_length = total_bytes_ * 8;
+  uint8_t pad = 0x80;
+  Update({&pad, 1});
+  total_bytes_ -= 1;  // padding is not message content
+  uint8_t zero = 0;
+  while (block_fill_ != 56) {
+    Update({&zero, 1});
+    total_bytes_ -= 1;
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_length >> (8 * (7 - i)));
+  }
+  Update({len_bytes, 8});
+
+  Digest out;
+  size_t words = alg_ == HashAlgorithm::kSha1 ? 5 : 8;
+  out.set_size(words * 4);
+  for (size_t i = 0; i < words; ++i) {
+    out.mutable_data()[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    out.mutable_data()[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out.mutable_data()[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out.mutable_data()[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Digest Hasher::Hash(HashAlgorithm alg, std::span<const uint8_t> data) {
+  Hasher h(alg);
+  h.Update(data);
+  return h.Finish();
+}
+
+}  // namespace spauth

@@ -1,0 +1,99 @@
+// Message digests and the streaming hash interface.
+//
+// The paper uses SHA-1 (20-byte digests); spauth implements both SHA-1 and
+// SHA-256 from scratch and defaults to SHA-1 so that integrity-proof byte
+// counts are comparable with the paper's. Digest is a small value type that
+// carries its algorithm's length (20 or 32 bytes).
+#ifndef SPAUTH_CRYPTO_DIGEST_H_
+#define SPAUTH_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace spauth {
+
+/// Hash functions available to the owner when building an ADS.
+enum class HashAlgorithm : uint8_t {
+  kSha1 = 1,    // 20-byte digests (paper default)
+  kSha256 = 2,  // 32-byte digests
+};
+
+/// Digest length in bytes for `alg`.
+constexpr size_t DigestSize(HashAlgorithm alg) {
+  return alg == HashAlgorithm::kSha1 ? 20 : 32;
+}
+
+std::string_view HashAlgorithmName(HashAlgorithm alg);
+Result<HashAlgorithm> ParseHashAlgorithm(uint8_t wire);
+
+/// A fixed-capacity hash output. Only the first size() bytes are meaningful;
+/// trailing bytes are zero so equality can compare the whole array.
+class Digest {
+ public:
+  static constexpr size_t kMaxSize = 32;
+
+  Digest() : size_(0) { bytes_.fill(0); }
+
+  static Digest FromBytes(std::span<const uint8_t> data) {
+    Digest d;
+    d.size_ = data.size() <= kMaxSize ? data.size() : kMaxSize;
+    std::memcpy(d.bytes_.data(), data.data(), d.size_);
+    return d;
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* mutable_data() { return bytes_.data(); }
+  size_t size() const { return size_; }
+  void set_size(size_t size) { size_ = size; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const uint8_t> view() const { return {bytes_.data(), size_}; }
+
+  std::string ToHex() const;
+
+  bool operator==(const Digest& other) const {
+    return size_ == other.size_ && bytes_ == other.bytes_;
+  }
+  bool operator!=(const Digest& other) const { return !(*this == other); }
+
+ private:
+  std::array<uint8_t, kMaxSize> bytes_;
+  size_t size_;
+};
+
+/// Streaming hasher; create, Update() any number of times, Finish() once.
+class Hasher {
+ public:
+  explicit Hasher(HashAlgorithm alg);
+
+  Hasher& Update(std::span<const uint8_t> data);
+  Hasher& Update(const void* data, size_t size) {
+    return Update({static_cast<const uint8_t*>(data), size});
+  }
+
+  /// Finalizes and returns the digest. The hasher must not be reused.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(HashAlgorithm alg, std::span<const uint8_t> data);
+
+ private:
+  HashAlgorithm alg_;
+  // Unified state block large enough for either algorithm.
+  uint32_t h_[8];
+  uint64_t total_bytes_;
+  uint8_t block_[64];
+  size_t block_fill_;
+  bool finished_;
+
+  void ProcessBlock(const uint8_t* block);
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CRYPTO_DIGEST_H_

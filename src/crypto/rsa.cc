@@ -1,0 +1,115 @@
+#include "crypto/rsa.h"
+
+#include <algorithm>
+
+namespace spauth {
+
+namespace {
+
+constexpr uint64_t kPublicExponent = 65537;
+
+// Builds the EMSA-PKCS1-v1_5-style encoded message block:
+//   0x00 0x01 FF .. FF 0x00 <alg-id byte> <digest bytes>
+// exactly `size` bytes long.
+Result<std::vector<uint8_t>> EncodeMessage(const Digest& digest, size_t size) {
+  const size_t overhead = 3 + 1;  // leading bytes, separator, alg id
+  if (size < digest.size() + overhead + 8) {
+    return Status::InvalidArgument("modulus too small for digest encoding");
+  }
+  std::vector<uint8_t> em(size, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  const size_t digest_offset = size - digest.size();
+  em[digest_offset - 2] = 0x00;
+  em[digest_offset - 1] =
+      digest.size() == 20 ? static_cast<uint8_t>(HashAlgorithm::kSha1)
+                          : static_cast<uint8_t>(HashAlgorithm::kSha256);
+  std::copy(digest.view().begin(), digest.view().end(),
+            em.begin() + static_cast<ptrdiff_t>(digest_offset));
+  return em;
+}
+
+}  // namespace
+
+void RsaPublicKey::Serialize(ByteWriter* out) const {
+  out->WriteLengthPrefixed(modulus.ToBytesBigEndian());
+  out->WriteLengthPrefixed(public_exponent.ToBytesBigEndian());
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(ByteReader* in) {
+  std::vector<uint8_t> n_bytes, e_bytes;
+  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&n_bytes));
+  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&e_bytes));
+  RsaPublicKey key;
+  key.modulus = BigInt::FromBytesBigEndian(n_bytes);
+  key.public_exponent = BigInt::FromBytesBigEndian(e_bytes);
+  if (key.modulus.IsZero() || key.public_exponent.IsZero()) {
+    return Status::Malformed("RSA public key components must be non-zero");
+  }
+  return key;
+}
+
+Result<RsaKeyPair> RsaKeyPair::Generate(int modulus_bits, Rng* rng) {
+  if (modulus_bits < 512) {
+    return Status::InvalidArgument("modulus must be at least 512 bits");
+  }
+  const BigInt e = BigInt::FromU64(kPublicExponent);
+  const BigInt one = BigInt::FromU64(1);
+  for (;;) {
+    BigInt p = BigInt::GeneratePrime(modulus_bits / 2, rng);
+    BigInt q = BigInt::GeneratePrime(modulus_bits - modulus_bits / 2, rng);
+    if (p == q) {
+      continue;
+    }
+    BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != modulus_bits) {
+      continue;
+    }
+    BigInt phi = BigInt::Mul(BigInt::Sub(p, one), BigInt::Sub(q, one));
+    if (!(BigInt::Gcd(e, phi) == one)) {
+      continue;
+    }
+    auto d = BigInt::ModInverse(e, phi);
+    if (!d.ok()) {
+      continue;
+    }
+    RsaPublicKey pub{std::move(n), e};
+    return RsaKeyPair(std::move(pub), std::move(d).value());
+  }
+}
+
+Result<std::vector<uint8_t>> RsaKeyPair::Sign(const Digest& digest) const {
+  const size_t k = public_key_.SignatureSize();
+  SPAUTH_ASSIGN_OR_RETURN(std::vector<uint8_t> em, EncodeMessage(digest, k));
+  BigInt m = BigInt::FromBytesBigEndian(em);
+  SPAUTH_ASSIGN_OR_RETURN(
+      BigInt s, BigInt::ModPow(m, private_exponent_, public_key_.modulus));
+  return s.ToBytesBigEndian(k);
+}
+
+bool RsaVerify(const RsaPublicKey& key, const Digest& digest,
+               std::span<const uint8_t> signature) {
+  const size_t k = key.SignatureSize();
+  if (signature.size() != k) {
+    return false;
+  }
+  BigInt s = BigInt::FromBytesBigEndian(signature);
+  if (!(s < key.modulus)) {
+    return false;
+  }
+  auto m = BigInt::ModPow(s, key.public_exponent, key.modulus);
+  if (!m.ok()) {
+    return false;
+  }
+  auto em = EncodeMessage(digest, k);
+  if (!em.ok()) {
+    return false;
+  }
+  auto recovered = m.value().ToBytesBigEndian(k);
+  if (!recovered.ok()) {
+    return false;
+  }
+  return recovered.value() == em.value();
+}
+
+}  // namespace spauth

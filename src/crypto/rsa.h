@@ -1,0 +1,63 @@
+// RSA signatures over Merkle roots (the data owner's signing primitive).
+//
+// Key generation, signing and verification are implemented from scratch on
+// top of BigInt. Signing follows the EMSA-PKCS1-v1_5 shape: the digest is
+// wrapped in a 0x00 0x01 FF..FF 0x00 <alg-id> <digest> block the size of the
+// modulus, then exponentiated with the private key. This mirrors the paper's
+// use of RSA [10] to sign the ADS root.
+#ifndef SPAUTH_CRYPTO_RSA_H_
+#define SPAUTH_CRYPTO_RSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "crypto/digest.h"
+#include "util/byte_buffer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Public half of an RSA key pair; distributed to clients out of band.
+struct RsaPublicKey {
+  BigInt modulus;          // n = p*q
+  BigInt public_exponent;  // e (65537)
+
+  /// Signature length in bytes (the modulus width).
+  size_t SignatureSize() const {
+    return (static_cast<size_t>(modulus.BitLength()) + 7) / 8;
+  }
+
+  void Serialize(ByteWriter* out) const;
+  static Result<RsaPublicKey> Deserialize(ByteReader* in);
+};
+
+/// Full key pair held by the data owner.
+class RsaKeyPair {
+ public:
+  /// Generates a fresh key pair with a modulus of `modulus_bits` bits.
+  /// 1024 matches the paper's era; tests use smaller keys for speed.
+  static Result<RsaKeyPair> Generate(int modulus_bits, Rng* rng);
+
+  const RsaPublicKey& public_key() const { return public_key_; }
+
+  /// Signs a digest. Returns the signature as modulus-width bytes.
+  Result<std::vector<uint8_t>> Sign(const Digest& digest) const;
+
+ private:
+  RsaKeyPair(RsaPublicKey pub, BigInt private_exponent)
+      : public_key_(std::move(pub)),
+        private_exponent_(std::move(private_exponent)) {}
+
+  RsaPublicKey public_key_;
+  BigInt private_exponent_;  // d
+};
+
+/// Verifies `signature` over `digest` under `key`. Returns true iff valid.
+bool RsaVerify(const RsaPublicKey& key, const Digest& digest,
+               std::span<const uint8_t> signature);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CRYPTO_RSA_H_

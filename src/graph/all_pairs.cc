@@ -1,0 +1,48 @@
+#include "graph/all_pairs.h"
+
+#include "graph/dijkstra.h"
+
+namespace spauth {
+
+DistanceMatrix FloydWarshall(const Graph& g) {
+  const size_t n = g.num_nodes();
+  DistanceMatrix d(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      d.set(u, e.to, e.weight);
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const double* dk = d.row(k);
+    for (size_t i = 0; i < n; ++i) {
+      const double dik = d.at(i, k);
+      if (dik == kInfDistance) {
+        continue;
+      }
+      double* di = d.row(i);
+      // Inner loop kept branch-light so the compiler can vectorize it.
+      for (size_t j = 0; j < n; ++j) {
+        const double via_k = dik + dk[j];
+        if (via_k < di[j]) {
+          di[j] = via_k;
+        }
+      }
+    }
+  }
+  return d;
+}
+
+DistanceMatrix AllPairsDijkstra(const Graph& g) {
+  const size_t n = g.num_nodes();
+  DistanceMatrix d(n);
+  for (NodeId s = 0; s < n; ++s) {
+    DijkstraTree tree = DijkstraAll(g, s);
+    double* row = d.row(s);
+    for (size_t j = 0; j < n; ++j) {
+      row[j] = tree.dist[j];
+    }
+  }
+  return d;
+}
+
+}  // namespace spauth

@@ -1,0 +1,49 @@
+// All-pairs shortest path distances.
+//
+// FULL (Section IV-B) materializes dist(vi, vj) for every node pair with
+// the Floyd-Warshall algorithm (O(|V|^3) time, O(|V|^2) space) — the paper
+// stresses, and our Figure 9b bench reproduces, that this explodes with
+// network size. AllPairsDijkstra is the sparse-graph alternative used for
+// cross-checking in tests.
+#ifndef SPAUTH_GRAPH_ALL_PAIRS_H_
+#define SPAUTH_GRAPH_ALL_PAIRS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spauth {
+
+/// Dense |V| x |V| symmetric distance matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(size_t n) : n_(n), d_(n * n, kInfDistance) {
+    for (size_t i = 0; i < n; ++i) {
+      set(i, i, 0);
+    }
+  }
+
+  size_t num_nodes() const { return n_; }
+  double at(size_t i, size_t j) const { return d_[i * n_ + j]; }
+  void set(size_t i, size_t j, double v) { d_[i * n_ + j] = v; }
+
+  /// Raw row access for tight loops.
+  double* row(size_t i) { return d_.data() + i * n_; }
+  const double* row(size_t i) const { return d_.data() + i * n_; }
+
+ private:
+  size_t n_;
+  std::vector<double> d_;
+};
+
+/// Floyd-Warshall. Exact, Theta(|V|^3).
+DistanceMatrix FloydWarshall(const Graph& g);
+
+/// Repeated Dijkstra, O(|V| * |E| log |V|); much faster on sparse road
+/// networks, same result.
+DistanceMatrix AllPairsDijkstra(const Graph& g);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_ALL_PAIRS_H_

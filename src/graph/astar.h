@@ -1,0 +1,29 @@
+// A* search [23] with a pluggable admissible lower bound to the target.
+//
+// The implementation never permanently closes nodes: whenever a shorter g
+// value is discovered the node is re-pushed. This keeps the search correct
+// for *inconsistent* (but admissible) heuristics — exactly the situation
+// created by LDM's quantized and compressed landmark bounds (Lemmas 3-4),
+// where the triangle inequality of the exact landmark bound no longer holds.
+#ifndef SPAUTH_GRAPH_ASTAR_H_
+#define SPAUTH_GRAPH_ASTAR_H_
+
+#include <functional>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace spauth {
+
+/// Admissible lower bound on the distance from a node to the search target.
+using LowerBoundFn = std::function<double(NodeId)>;
+
+/// A* from `source` to `target`; `lower_bound(v)` must satisfy
+/// lower_bound(v) <= dist(v, target) for every v.
+PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
+                                   NodeId target,
+                                   const LowerBoundFn& lower_bound);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_ASTAR_H_

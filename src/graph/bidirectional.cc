@@ -1,0 +1,110 @@
+#include "graph/bidirectional.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace spauth {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+struct Side {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+  std::vector<bool> settled;
+  MinHeap heap;
+
+  explicit Side(size_t n)
+      : dist(n, kInfDistance), parent(n, kInvalidNode), settled(n, false) {}
+};
+
+}  // namespace
+
+PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
+                                           NodeId target) {
+  PathSearchResult out;
+  if (source == target) {
+    out.reachable = true;
+    out.distance = 0;
+    out.path.nodes = {source};
+    return out;
+  }
+
+  Side fwd(g.num_nodes()), bwd(g.num_nodes());
+  fwd.dist[source] = 0;
+  fwd.heap.push({0, source});
+  bwd.dist[target] = 0;
+  bwd.heap.push({0, target});
+
+  double best = kInfDistance;
+  NodeId meet = kInvalidNode;
+
+  // Expands the side with the smaller frontier top. Terminates when the sum
+  // of the two tops can no longer improve the best meeting distance (the
+  // graph is undirected, so the standard sum criterion is exact).
+  auto relax = [&](Side& self, const Side& other) {
+    while (!self.heap.empty()) {
+      auto [d, u] = self.heap.top();
+      self.heap.pop();
+      if (d > self.dist[u]) {
+        continue;
+      }
+      self.settled[u] = true;
+      ++out.settled;
+      for (const Edge& e : g.Neighbors(u)) {
+        double nd = d + e.weight;
+        if (nd < self.dist[e.to]) {
+          self.dist[e.to] = nd;
+          self.parent[e.to] = u;
+          self.heap.push({nd, e.to});
+        }
+        if (other.dist[e.to] != kInfDistance &&
+            nd + other.dist[e.to] < best) {
+          best = nd + other.dist[e.to];
+          meet = e.to;
+        }
+      }
+      return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    double top_f = fwd.heap.empty() ? kInfDistance : fwd.heap.top().dist;
+    double top_b = bwd.heap.empty() ? kInfDistance : bwd.heap.top().dist;
+    if (top_f == kInfDistance && top_b == kInfDistance) {
+      break;
+    }
+    if (top_f + top_b >= best) {
+      break;
+    }
+    if (top_f <= top_b) {
+      relax(fwd, bwd);
+    } else {
+      relax(bwd, fwd);
+    }
+  }
+
+  if (meet == kInvalidNode) {
+    return out;
+  }
+  out.reachable = true;
+  out.distance = best;
+  Path forward_half = ExtractPath(fwd.parent, source, meet);
+  Path backward_half = ExtractPath(bwd.parent, target, meet);
+  out.path = forward_half;
+  for (size_t i = backward_half.nodes.size() - 1; i-- > 0;) {
+    out.path.nodes.push_back(backward_half.nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace spauth

@@ -1,0 +1,18 @@
+// Bidirectional Dijkstra [24]: concurrent expansions from source and target
+// that stop when the frontiers guarantee no shorter meeting path exists.
+// One of the provider-side algosp choices (the proof machinery is agnostic
+// to which algorithm computed the path — Algorithm 1, line 1).
+#ifndef SPAUTH_GRAPH_BIDIRECTIONAL_H_
+#define SPAUTH_GRAPH_BIDIRECTIONAL_H_
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace spauth {
+
+PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
+                                           NodeId target);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_BIDIRECTIONAL_H_

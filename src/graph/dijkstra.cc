@@ -1,0 +1,169 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace spauth {
+
+namespace {
+
+// Min-heap entry; lazy-deletion Dijkstra.
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+DijkstraTree DijkstraAll(const Graph& g, NodeId source) {
+  DijkstraTree out;
+  out.dist.assign(g.num_nodes(), kInfDistance);
+  out.parent.assign(g.num_nodes(), kInvalidNode);
+  out.dist[source] = 0;
+
+  MinHeap heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[u]) {
+      continue;  // stale entry
+    }
+    ++out.settled;
+    for (const Edge& e : g.Neighbors(u)) {
+      double nd = d + e.weight;
+      if (nd < out.dist[e.to]) {
+        out.dist[e.to] = nd;
+        out.parent[e.to] = u;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+Path ExtractPath(const std::vector<NodeId>& parent, NodeId source,
+                 NodeId target) {
+  Path path;
+  NodeId cur = target;
+  while (cur != kInvalidNode) {
+    path.nodes.push_back(cur);
+    if (cur == source) {
+      break;
+    }
+    cur = parent[cur];
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
+                                      NodeId target) {
+  PathSearchResult out;
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  dist[source] = 0;
+
+  MinHeap heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    ++out.settled;
+    if (u == target) {
+      out.reachable = true;
+      out.distance = d;
+      out.path = ExtractPath(parent, source, target);
+      return out;
+    }
+    for (const Edge& e : g.Neighbors(u)) {
+      double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        parent[e.to] = u;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+BallResult DijkstraBall(const Graph& g, NodeId source, double radius) {
+  BallResult out;
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  dist[source] = 0;
+
+  MinHeap heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    if (d > radius) {
+      break;  // everything remaining is farther than the radius
+    }
+    out.nodes.push_back(u);
+    out.dist.push_back(d);
+    for (const Edge& e : g.Neighbors(u)) {
+      double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DijkstraToTargets(const Graph& g, NodeId source,
+                                      std::span<const NodeId> targets) {
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  std::vector<bool> is_target(g.num_nodes(), false);
+  size_t remaining = 0;
+  for (NodeId t : targets) {
+    if (!is_target[t]) {
+      is_target[t] = true;
+      ++remaining;
+    }
+  }
+  dist[source] = 0;
+
+  MinHeap heap;
+  heap.push({0, source});
+  while (!heap.empty() && remaining > 0) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    if (is_target[u]) {
+      is_target[u] = false;
+      --remaining;
+    }
+    for (const Edge& e : g.Neighbors(u)) {
+      double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) {
+    out.push_back(dist[t]);
+  }
+  return out;
+}
+
+}  // namespace spauth

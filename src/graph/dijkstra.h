@@ -1,0 +1,62 @@
+// Dijkstra's algorithm [22] and the bounded variants used by the owner,
+// provider and client roles:
+//   - full single-source tree (landmark tables, workload generation)
+//   - early-stopping point-to-point search (the provider's default algosp)
+//   - radius-bounded ball (the DIJ proof of Lemma 1)
+//   - multi-target search (HiTi hyper-edge construction)
+#ifndef SPAUTH_GRAPH_DIJKSTRA_H_
+#define SPAUTH_GRAPH_DIJKSTRA_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+
+namespace spauth {
+
+/// Full shortest-path tree from `source`. dist is kInfDistance for
+/// unreachable nodes; parent is kInvalidNode for the source and unreachable
+/// nodes.
+struct DijkstraTree {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+  size_t settled = 0;
+};
+
+DijkstraTree DijkstraAll(const Graph& g, NodeId source);
+
+/// Point-to-point result; `settled` counts heap pops for cost accounting.
+struct PathSearchResult {
+  bool reachable = false;
+  double distance = kInfDistance;
+  Path path;
+  size_t settled = 0;
+};
+
+/// Dijkstra with early termination when `target` is settled.
+PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
+                                      NodeId target);
+
+/// All nodes within network distance `radius` of `source`, in settling
+/// order, with their distances.
+struct BallResult {
+  std::vector<NodeId> nodes;
+  std::vector<double> dist;  // parallel to nodes
+};
+
+BallResult DijkstraBall(const Graph& g, NodeId source, double radius);
+
+/// Distances from `source` to each node in `targets` (kInfDistance if
+/// unreachable); stops as soon as every reachable target is settled.
+std::vector<double> DijkstraToTargets(const Graph& g, NodeId source,
+                                      std::span<const NodeId> targets);
+
+/// Reconstructs the path to `target` from a parent array (tree[target] must
+/// be reachable).
+Path ExtractPath(const std::vector<NodeId>& parent, NodeId source,
+                 NodeId target);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_DIJKSTRA_H_

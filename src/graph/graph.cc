@@ -1,0 +1,128 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spauth {
+
+Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  // Adjacency lists are sorted by neighbor id; binary search.
+  auto neighbors = Neighbors(u);
+  auto it = std::lower_bound(
+      neighbors.begin(), neighbors.end(), v,
+      [](const Edge& e, NodeId id) { return e.to < id; });
+  if (it == neighbors.end() || it->to != v) {
+    return Status::NotFound("no such edge");
+  }
+  return it->weight;
+}
+
+Status Graph::SetEdgeWeight(NodeId u, NodeId v, double new_weight) {
+  if (!std::isfinite(new_weight) || new_weight < 0) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0");
+  }
+  auto set_half = [&](NodeId from, NodeId to) -> Status {
+    Edge* begin = adj_.data() + offsets_[from];
+    Edge* end = adj_.data() + offsets_[from + 1];
+    Edge* it = std::lower_bound(
+        begin, end, to, [](const Edge& e, NodeId id) { return e.to < id; });
+    if (it == end || it->to != to) {
+      return Status::NotFound("no such edge");
+    }
+    it->weight = new_weight;
+    return Status::Ok();
+  };
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  SPAUTH_RETURN_IF_ERROR(set_half(u, v));
+  return set_half(v, u);
+}
+
+BoundingBox Graph::GetBoundingBox() const {
+  BoundingBox box;
+  if (xs_.empty()) {
+    return box;
+  }
+  box.min_x = box.max_x = xs_[0];
+  box.min_y = box.max_y = ys_[0];
+  for (size_t i = 1; i < xs_.size(); ++i) {
+    box.min_x = std::min(box.min_x, xs_[i]);
+    box.max_x = std::max(box.max_x, xs_[i]);
+    box.min_y = std::min(box.min_y, ys_[i]);
+    box.max_y = std::max(box.max_y, ys_[i]);
+  }
+  return box;
+}
+
+double Graph::EuclideanDistance(NodeId u, NodeId v) const {
+  const double dx = xs_[u] - xs_[v];
+  const double dy = ys_[u] - ys_[v];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+NodeId GraphBuilder::AddNode(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  return static_cast<NodeId>(xs_.size() - 1);
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u >= xs_.size() || v >= xs_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self loops are not allowed");
+  }
+  if (!std::isfinite(weight) || weight < 0) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0");
+  }
+  edges_.push_back({u, v, weight});
+  return Status::Ok();
+}
+
+Result<Graph> GraphBuilder::Build() {
+  Graph g;
+  g.xs_ = std::move(xs_);
+  g.ys_ = std::move(ys_);
+  const size_t n = g.xs_.size();
+
+  // Expand to directed half-edges and sort (source, target).
+  struct Half {
+    NodeId from, to;
+    double weight;
+  };
+  std::vector<Half> halves;
+  halves.reserve(edges_.size() * 2);
+  for (const PendingEdge& e : edges_) {
+    halves.push_back({e.u, e.v, e.weight});
+    halves.push_back({e.v, e.u, e.weight});
+  }
+  std::sort(halves.begin(), halves.end(), [](const Half& a, const Half& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  for (size_t i = 1; i < halves.size(); ++i) {
+    if (halves[i].from == halves[i - 1].from &&
+        halves[i].to == halves[i - 1].to) {
+      return Status::InvalidArgument("duplicate edge");
+    }
+  }
+
+  g.offsets_.assign(n + 1, 0);
+  for (const Half& h : halves) {
+    ++g.offsets_[h.from + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.offsets_[i + 1] += g.offsets_[i];
+  }
+  g.adj_.resize(halves.size());
+  for (size_t i = 0; i < halves.size(); ++i) {
+    g.adj_[i] = {halves[i].to, halves[i].weight};
+  }
+  return g;
+}
+
+}  // namespace spauth

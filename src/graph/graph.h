@@ -1,0 +1,105 @@
+// Weighted undirected graph with node coordinates — the road-network model
+// of the paper (Section III-A): G = (V, E, W), nodes carry (x, y)
+// geo-coordinates, edge weights are arbitrary non-negative values (travel
+// distance, time, toll, ...). Stored in CSR form; each undirected edge
+// appears in both endpoints' adjacency lists.
+#ifndef SPAUTH_GRAPH_GRAPH_H_
+#define SPAUTH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spauth {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// One directed half of an undirected edge.
+struct Edge {
+  NodeId to;
+  double weight;
+};
+
+/// Axis-aligned bounding box of the node coordinates.
+struct BoundingBox {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_nodes() const { return xs_.size(); }
+  /// Number of undirected edges.
+  size_t num_edges() const { return adj_.size() / 2; }
+
+  /// Adjacency list of `v`, sorted by neighbor id.
+  std::span<const Edge> Neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  double x(NodeId v) const { return xs_[v]; }
+  double y(NodeId v) const { return ys_[v]; }
+
+  bool IsValidNode(NodeId v) const { return v < num_nodes(); }
+
+  /// Weight of edge (u, v), or NotFound.
+  Result<double> EdgeWeight(NodeId u, NodeId v) const;
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v).ok(); }
+
+  /// Changes the weight of an existing edge (both stored directions).
+  /// Structure (node set / adjacency) is immutable; only weights may move.
+  Status SetEdgeWeight(NodeId u, NodeId v, double new_weight);
+
+  BoundingBox GetBoundingBox() const;
+
+  /// Euclidean distance between the coordinates of u and v.
+  double EuclideanDistance(NodeId u, NodeId v) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint32_t> offsets_;  // size num_nodes + 1
+  std::vector<Edge> adj_;          // both directions of every edge
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Incremental constructor for Graph; validates ids, weights and duplicate
+/// edges at Build() time.
+class GraphBuilder {
+ public:
+  /// Adds a node and returns its id (ids are dense, starting at 0).
+  NodeId AddNode(double x, double y);
+
+  /// Queues an undirected edge. Fails fast on invalid ids, self loops and
+  /// negative or non-finite weights.
+  Status AddEdge(NodeId u, NodeId v, double weight);
+
+  size_t num_nodes() const { return xs_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes the CSR graph. Fails on duplicate edges.
+  Result<Graph> Build();
+
+ private:
+  struct PendingEdge {
+    NodeId u, v;
+    double weight;
+  };
+  std::vector<double> xs_, ys_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_GRAPH_H_

@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace spauth {
+
+Status SaveGraph(const Graph& g, std::ostream& out) {
+  out << "spauth-graph v1\n";
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  out << std::setprecision(17);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << g.x(v) << ' ' << g.y(v) << '\n';
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      if (u < e.to) {  // emit each undirected edge once
+        out << u << ' ' << e.to << ' ' << e.weight << '\n';
+      }
+    }
+  }
+  if (!out) {
+    return Status::Internal("write failure while saving graph");
+  }
+  return Status::Ok();
+}
+
+Result<Graph> LoadGraph(std::istream& in) {
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "spauth-graph" || version != "v1") {
+    return Status::Malformed("bad graph file header");
+  }
+  size_t num_nodes = 0, num_edges = 0;
+  if (!(in >> num_nodes >> num_edges)) {
+    return Status::Malformed("bad graph file counts");
+  }
+  GraphBuilder builder;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    double x, y;
+    if (!(in >> x >> y)) {
+      return Status::Malformed("truncated node list");
+    }
+    builder.AddNode(x, y);
+  }
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u, v;
+    double w;
+    if (!(in >> u >> v >> w)) {
+      return Status::Malformed("truncated edge list");
+    }
+    SPAUTH_RETURN_IF_ERROR(builder.AddEdge(u, v, w));
+  }
+  return builder.Build();
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open file for writing: " + path);
+  }
+  return SaveGraph(g, out);
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file for reading: " + path);
+  }
+  return LoadGraph(in);
+}
+
+}  // namespace spauth

@@ -1,0 +1,28 @@
+// Plain-text save/load of graphs, so generated datasets can be inspected,
+// exchanged and version-pinned.
+//
+// Format:
+//   spauth-graph v1
+//   <num_nodes> <num_edges>
+//   <x> <y>                  (one line per node, id = line order)
+//   <u> <v> <weight>         (one line per undirected edge)
+#ifndef SPAUTH_GRAPH_GRAPH_IO_H_
+#define SPAUTH_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace spauth {
+
+Status SaveGraph(const Graph& g, std::ostream& out);
+Result<Graph> LoadGraph(std::istream& in);
+
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+Result<Graph> LoadGraphFromFile(const std::string& path);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_GRAPH_IO_H_

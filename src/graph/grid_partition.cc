@@ -1,0 +1,75 @@
+#include "graph/grid_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spauth {
+
+Result<GridPartition> GridPartition::Build(const Graph& g,
+                                           uint32_t num_cells) {
+  if (num_cells == 0) {
+    return Status::InvalidArgument("num_cells must be positive");
+  }
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  GridPartition p;
+  p.grid_dim_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::llround(std::sqrt(num_cells))));
+  const uint32_t dim = p.grid_dim_;
+  const BoundingBox box = g.GetBoundingBox();
+  // Guard against degenerate (zero-extent) boxes.
+  const double inv_w = box.width() > 0 ? dim / (box.width() * (1 + 1e-12)) : 0;
+  const double inv_h =
+      box.height() > 0 ? dim / (box.height() * (1 + 1e-12)) : 0;
+
+  const size_t n = g.num_nodes();
+  p.cell_of_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t cx = static_cast<uint32_t>((g.x(v) - box.min_x) * inv_w);
+    uint32_t cy = static_cast<uint32_t>((g.y(v) - box.min_y) * inv_h);
+    cx = std::min(cx, dim - 1);
+    cy = std::min(cy, dim - 1);
+    p.cell_of_[v] = cy * dim + cx;
+  }
+
+  p.is_border_.assign(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Edge& e : g.Neighbors(v)) {
+      if (p.cell_of_[e.to] != p.cell_of_[v]) {
+        p.is_border_[v] = true;
+        break;
+      }
+    }
+  }
+
+  // CSR layout for cell membership and per-cell borders (node ids ascend
+  // within each cell because we scan ids in order).
+  const uint32_t cells = dim * dim;
+  p.cell_offsets_.assign(cells + 1, 0);
+  p.border_offsets_.assign(cells + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++p.cell_offsets_[p.cell_of_[v] + 1];
+    if (p.is_border_[v]) {
+      ++p.border_offsets_[p.cell_of_[v] + 1];
+    }
+  }
+  for (uint32_t c = 0; c < cells; ++c) {
+    p.cell_offsets_[c + 1] += p.cell_offsets_[c];
+    p.border_offsets_[c + 1] += p.border_offsets_[c];
+  }
+  p.cell_nodes_.resize(n);
+  p.border_nodes_.resize(p.border_offsets_[cells]);
+  std::vector<uint32_t> cell_fill(cells, 0), border_fill(cells, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t c = p.cell_of_[v];
+    p.cell_nodes_[p.cell_offsets_[c] + cell_fill[c]++] = v;
+    if (p.is_border_[v]) {
+      p.border_nodes_[p.border_offsets_[c] + border_fill[c]++] = v;
+      p.all_borders_.push_back(v);
+    }
+  }
+  return p;
+}
+
+}  // namespace spauth

@@ -1,0 +1,195 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace spauth {
+
+namespace {
+
+constexpr int kHilbertOrder = 16;  // 2^16 x 2^16 grid
+
+std::vector<NodeId> BfsOrder(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) {
+      continue;
+    }
+    queue.clear();
+    queue.push_back(start);
+    visited[start] = true;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      order.push_back(u);
+      for (const Edge& e : g.Neighbors(u)) {
+        if (!visited[e.to]) {
+          visited[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> DfsOrder(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) {
+      continue;
+    }
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      // Push in reverse so lower node ids are visited first.
+      auto neighbors = g.Neighbors(u);
+      for (size_t i = neighbors.size(); i-- > 0;) {
+        NodeId v = neighbors[i].to;
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> HilbertOrder(const Graph& g) {
+  const size_t n = g.num_nodes();
+  const BoundingBox box = g.GetBoundingBox();
+  const double sx =
+      box.width() > 0 ? ((1u << kHilbertOrder) - 1) / box.width() : 0;
+  const double sy =
+      box.height() > 0 ? ((1u << kHilbertOrder) - 1) / box.height() : 0;
+  std::vector<std::pair<uint64_t, NodeId>> keyed(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t hx = static_cast<uint32_t>((g.x(v) - box.min_x) * sx);
+    const uint32_t hy = static_cast<uint32_t>((g.y(v) - box.min_y) * sy);
+    keyed[v] = {HilbertIndex(hx, hy), v};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<NodeId> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = keyed[i].second;
+  }
+  return order;
+}
+
+void KdOrderRecurse(const Graph& g, std::vector<NodeId>& nodes, size_t lo,
+                    size_t hi, bool split_x, std::vector<NodeId>* out) {
+  if (hi - lo <= 1) {
+    for (size_t i = lo; i < hi; ++i) {
+      out->push_back(nodes[i]);
+    }
+    return;
+  }
+  const size_t mid = (lo + hi) / 2;
+  auto cmp = [&](NodeId a, NodeId b) {
+    return split_x ? g.x(a) < g.x(b) : g.y(a) < g.y(b);
+  };
+  std::nth_element(nodes.begin() + lo, nodes.begin() + mid, nodes.begin() + hi,
+                   cmp);
+  KdOrderRecurse(g, nodes, lo, mid, !split_x, out);
+  KdOrderRecurse(g, nodes, mid, hi, !split_x, out);
+}
+
+std::vector<NodeId> KdOrder(const Graph& g) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::vector<NodeId> out;
+  out.reserve(nodes.size());
+  KdOrderRecurse(g, nodes, 0, nodes.size(), /*split_x=*/true, &out);
+  return out;
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(uint32_t x, uint32_t y) {
+  // Classic d2xy/xy2d conversion (Hamilton's iterative algorithm).
+  uint64_t rx, ry, d = 0;
+  for (uint64_t s = uint64_t{1} << (kHilbertOrder - 1); s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<uint32_t>(s - 1 - x);
+        y = static_cast<uint32_t>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::string_view ToString(NodeOrdering ordering) {
+  switch (ordering) {
+    case NodeOrdering::kBfs:
+      return "bfs";
+    case NodeOrdering::kDfs:
+      return "dfs";
+    case NodeOrdering::kHilbert:
+      return "hbt";
+    case NodeOrdering::kKdTree:
+      return "kd";
+    case NodeOrdering::kRandom:
+      return "rand";
+  }
+  return "?";
+}
+
+Result<NodeOrdering> ParseNodeOrdering(std::string_view name) {
+  for (NodeOrdering ordering : kAllOrderings) {
+    if (name == ToString(ordering)) {
+      return ordering;
+    }
+  }
+  return Status::InvalidArgument("unknown node ordering");
+}
+
+std::vector<NodeId> ComputeOrdering(const Graph& g, NodeOrdering ordering,
+                                    uint64_t seed) {
+  switch (ordering) {
+    case NodeOrdering::kBfs:
+      return BfsOrder(g);
+    case NodeOrdering::kDfs:
+      return DfsOrder(g);
+    case NodeOrdering::kHilbert:
+      return HilbertOrder(g);
+    case NodeOrdering::kKdTree:
+      return KdOrder(g);
+    case NodeOrdering::kRandom: {
+      std::vector<NodeId> order(g.num_nodes());
+      std::iota(order.begin(), order.end(), 0);
+      Rng rng(seed);
+      rng.Shuffle(&order);
+      return order;
+    }
+  }
+  return {};
+}
+
+std::vector<uint32_t> InvertOrdering(const std::vector<NodeId>& perm) {
+  std::vector<uint32_t> inverse(perm.size());
+  for (uint32_t pos = 0; pos < perm.size(); ++pos) {
+    inverse[perm[pos]] = pos;
+  }
+  return inverse;
+}
+
+}  // namespace spauth

@@ -1,0 +1,49 @@
+// Graph-node orderings for Merkle-tree leaf placement (Section III-B).
+//
+// The size of the integrity proof depends on how well the leaf ordering
+// preserves network proximity: tuples needed by one query should share
+// Merkle subtrees. The paper evaluates five orderings (Figure 10); all five
+// are implemented here.
+#ifndef SPAUTH_GRAPH_ORDERING_H_
+#define SPAUTH_GRAPH_ORDERING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace spauth {
+
+enum class NodeOrdering : uint8_t {
+  kBfs = 0,      // breadth-first from node 0
+  kDfs = 1,      // depth-first from node 0
+  kHilbert = 2,  // Hilbert space-filling curve on coordinates
+  kKdTree = 3,   // kd-tree median partition order
+  kRandom = 4,   // random permutation
+};
+
+std::string_view ToString(NodeOrdering ordering);
+Result<NodeOrdering> ParseNodeOrdering(std::string_view name);
+
+/// All five orderings, in the order the paper's Figure 10 lists them.
+inline constexpr NodeOrdering kAllOrderings[] = {
+    NodeOrdering::kBfs, NodeOrdering::kDfs, NodeOrdering::kHilbert,
+    NodeOrdering::kKdTree, NodeOrdering::kRandom};
+
+/// Permutation `perm` with perm[position] = node id. `seed` only affects
+/// kRandom.
+std::vector<NodeId> ComputeOrdering(const Graph& g, NodeOrdering ordering,
+                                    uint64_t seed);
+
+/// Inverse permutation: result[node id] = position.
+std::vector<uint32_t> InvertOrdering(const std::vector<NodeId>& perm);
+
+/// Maps 16-bit cell coordinates to the Hilbert curve index (order-16 curve);
+/// exposed for testing.
+uint64_t HilbertIndex(uint32_t x, uint32_t y);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_ORDERING_H_

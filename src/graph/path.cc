@@ -1,0 +1,45 @@
+#include "graph/path.h"
+
+#include <unordered_set>
+
+namespace spauth {
+
+Result<double> ComputePathDistance(const Graph& g, const Path& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  double total = 0;
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    SPAUTH_ASSIGN_OR_RETURN(double w,
+                            g.EdgeWeight(path.nodes[i - 1], path.nodes[i]));
+    total += w;
+  }
+  return total;
+}
+
+Status ValidatePath(const Graph& g, const Path& path, NodeId source,
+                    NodeId target) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  if (path.source() != source || path.target() != target) {
+    return Status::VerificationFailed("path endpoints do not match query");
+  }
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : path.nodes) {
+    if (!g.IsValidNode(v)) {
+      return Status::VerificationFailed("path visits unknown node");
+    }
+    if (!seen.insert(v).second) {
+      return Status::VerificationFailed("path repeats a node");
+    }
+  }
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    if (!g.HasEdge(path.nodes[i - 1], path.nodes[i])) {
+      return Status::VerificationFailed("path uses a non-existent edge");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace spauth

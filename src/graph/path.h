@@ -1,0 +1,36 @@
+// Path representation and validation helpers.
+#ifndef SPAUTH_GRAPH_PATH_H_
+#define SPAUTH_GRAPH_PATH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// A walk through the graph, as the node sequence v_{z0}, ..., v_{zk}.
+struct Path {
+  std::vector<NodeId> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  size_t num_hops() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+  NodeId source() const { return nodes.front(); }
+  NodeId target() const { return nodes.back(); }
+
+  bool operator==(const Path& other) const { return nodes == other.nodes; }
+};
+
+/// Sum of edge weights along the path (paper's dist(P)). Fails if any hop is
+/// not an edge of `g`.
+Result<double> ComputePathDistance(const Graph& g, const Path& path);
+
+/// Checks that `path` is a real path from `source` to `target` in `g`:
+/// non-empty, correct endpoints, every hop an existing edge, no repeated
+/// nodes (shortest paths under positive weights are simple).
+Status ValidatePath(const Graph& g, const Path& path, NodeId source,
+                    NodeId target);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_PATH_H_

@@ -1,0 +1,44 @@
+#include "graph/workload.h"
+
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+
+namespace spauth {
+
+Result<std::vector<Query>> GenerateWorkload(const Graph& g,
+                                            const WorkloadOptions& options) {
+  if (g.num_nodes() < 2) {
+    return Status::InvalidArgument("graph too small for a workload");
+  }
+  if (options.query_range <= 0) {
+    return Status::InvalidArgument("query_range must be positive");
+  }
+  Rng rng(options.seed);
+  std::vector<Query> workload;
+  workload.reserve(options.count);
+  while (workload.size() < options.count) {
+    const NodeId source = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    DijkstraTree tree = DijkstraAll(g, source);
+    NodeId best = kInvalidNode;
+    double best_gap = kInfDistance;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == source || tree.dist[v] == kInfDistance) {
+        continue;
+      }
+      const double gap = std::abs(tree.dist[v] - options.query_range);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) {
+      continue;  // isolated source; resample
+    }
+    workload.push_back({source, best});
+  }
+  return workload;
+}
+
+}  // namespace spauth

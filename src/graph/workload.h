@@ -1,0 +1,37 @@
+// Query workload generation (Section VI-A): source-target pairs whose
+// shortest-path distance is as close as possible to a requested query range.
+#ifndef SPAUTH_GRAPH_WORKLOAD_H_
+#define SPAUTH_GRAPH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// A shortest-path query (vs, vt).
+struct Query {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+
+  bool operator==(const Query& other) const {
+    return source == other.source && target == other.target;
+  }
+};
+
+struct WorkloadOptions {
+  size_t count = 100;          // paper: 100 pairs per data point
+  double query_range = 2000;   // desired network distance between vs and vt
+  uint64_t seed = 7;
+};
+
+/// Draws random sources and, for each, the reachable target whose distance
+/// is closest to `query_range`.
+Result<std::vector<Query>> GenerateWorkload(const Graph& g,
+                                            const WorkloadOptions& options);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_WORKLOAD_H_

@@ -1,0 +1,175 @@
+#include "hints/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace spauth {
+
+size_t CompressedVectors::num_compressed() const {
+  size_t count = 0;
+  for (NodeId v = 0; v < ref.size(); ++v) {
+    if (ref[v] != v) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CompressedVectors::num_representatives() const {
+  return ref.size() - num_compressed();
+}
+
+namespace {
+
+/// Uniform bucket grid over node coordinates for radius queries.
+class SpatialGrid {
+ public:
+  SpatialGrid(const Graph& g, double cell_size)
+      : g_(g), box_(g.GetBoundingBox()), cell_(std::max(cell_size, 1e-9)) {
+    cols_ = static_cast<size_t>(box_.width() / cell_) + 1;
+    rows_ = static_cast<size_t>(box_.height() / cell_) + 1;
+    buckets_.resize(cols_ * rows_);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      buckets_[BucketOf(v)].push_back(v);
+    }
+  }
+
+  /// All nodes within Euclidean distance `radius` of `v` (excluding v).
+  void Neighborhood(NodeId v, double radius, std::vector<NodeId>* out) const {
+    out->clear();
+    const int reach = static_cast<int>(radius / cell_) + 1;
+    const auto [cx, cy] = CellCoords(v);
+    for (int dy = -reach; dy <= reach; ++dy) {
+      const int y = static_cast<int>(cy) + dy;
+      if (y < 0 || y >= static_cast<int>(rows_)) continue;
+      for (int dx = -reach; dx <= reach; ++dx) {
+        const int x = static_cast<int>(cx) + dx;
+        if (x < 0 || x >= static_cast<int>(cols_)) continue;
+        for (NodeId u : buckets_[static_cast<size_t>(y) * cols_ + x]) {
+          if (u != v && g_.EuclideanDistance(u, v) <= radius) {
+            out->push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  std::pair<size_t, size_t> CellCoords(NodeId v) const {
+    size_t cx = static_cast<size_t>((g_.x(v) - box_.min_x) / cell_);
+    size_t cy = static_cast<size_t>((g_.y(v) - box_.min_y) / cell_);
+    return {std::min(cx, cols_ - 1), std::min(cy, rows_ - 1)};
+  }
+  size_t BucketOf(NodeId v) const {
+    auto [cx, cy] = CellCoords(v);
+    return cy * cols_ + cx;
+  }
+
+  const Graph& g_;
+  BoundingBox box_;
+  double cell_;
+  size_t cols_, rows_;
+  std::vector<std::vector<NodeId>> buckets_;
+};
+
+}  // namespace
+
+Result<CompressedVectors> CompressDistanceVectors(
+    const Graph& g, const LandmarkTable& table,
+    const QuantizedVectorTable& qtable, double xi) {
+  if (xi < 0) {
+    return Status::InvalidArgument("compression threshold must be >= 0");
+  }
+  const size_t n = g.num_nodes();
+  if (table.num_nodes() != n || qtable.num_nodes() != n) {
+    return Status::InvalidArgument("table sizes do not match the graph");
+  }
+
+  CompressedVectors out;
+  out.ref.resize(n);
+  out.eps.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    out.ref[v] = v;
+  }
+
+  // Exact-complete candidate radius (see header comment).
+  double max_nearest_landmark = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    std::span<const double> vec = table.VectorOf(v);
+    double nearest = *std::min_element(vec.begin(), vec.end());
+    max_nearest_landmark = std::max(max_nearest_landmark, nearest);
+  }
+  const double rho =
+      2 * max_nearest_landmark + xi + qtable.params().lambda;
+
+  // Candidate lists: nodes whose quantized difference is within xi.
+  SpatialGrid grid(g, std::max(rho / 4.0, 1.0));
+  std::vector<std::vector<NodeId>> candidates(n);
+  {
+    std::vector<NodeId> nearby;
+    for (NodeId v = 0; v < n; ++v) {
+      grid.Neighborhood(v, rho, &nearby);
+      for (NodeId u : nearby) {
+        if (qtable.QuantizedDiff(v, u) <= xi) {
+          candidates[v].push_back(u);
+        }
+      }
+    }
+  }
+
+  // Greedy cover with a lazy max-heap keyed by the current claimable count.
+  // Invariants: a compressed node references an *anchor* (a node that keeps
+  // its own vector), and anchors are never compressed afterwards.
+  std::vector<bool> compressed(n, false);
+  std::vector<bool> anchor(n, false);
+  auto claimable = [&](NodeId rep) {
+    size_t count = 0;
+    for (NodeId u : candidates[rep]) {
+      if (!compressed[u] && !anchor[u]) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  struct HeapEntry {
+    size_t count;
+    NodeId node;
+    bool operator<(const HeapEntry& other) const {
+      return count != other.count ? count < other.count
+                                  : node > other.node;  // deterministic ties
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!candidates[v].empty()) {
+      heap.push({candidates[v].size(), v});
+    }
+  }
+  while (!heap.empty()) {
+    auto [claimed_count, rep] = heap.top();
+    heap.pop();
+    if (compressed[rep]) {
+      continue;  // cannot represent others without its own vector
+    }
+    const size_t current = claimable(rep);
+    if (current == 0) {
+      continue;
+    }
+    if (current < claimed_count) {
+      heap.push({current, rep});  // stale count; re-insert and retry
+      continue;
+    }
+    anchor[rep] = true;
+    for (NodeId u : candidates[rep]) {
+      if (!compressed[u] && !anchor[u]) {
+        compressed[u] = true;
+        out.ref[u] = rep;
+        out.eps[u] = qtable.QuantizedDiff(u, rep);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spauth

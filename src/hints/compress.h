@@ -1,0 +1,49 @@
+// Distance-vector compression (Section V-A, Lemma 4).
+//
+// The owner picks representative nodes greedily: each iteration selects the
+// node v_rep maximizing |{uncompressed v' : ell(v', v_rep) <= xi}| and
+// assigns those nodes theta = v_rep, epsilon = ell(v', v_rep). Compressed
+// tuples then store only (theta, epsilon) instead of the c-entry vector; the
+// client bound becomes
+//   max(0, dist_loose(theta_u, theta_v) - (eps_u + eps_v))  <= dist(u, v).
+//
+// Candidate enumeration uses an exact-complete spatial filter: if
+// ell(u,v) <= xi then dist(u,v) <= 2*M + xi + lambda where M is the largest
+// nearest-landmark distance (take the landmark s* nearest to u; v's distance
+// to s* differs from u's by at most ell + lambda). Since edge weights are
+// >= Euclidean length, candidate pairs must lie within that Euclidean
+// radius, so a grid query with radius rho = 2M + xi + lambda loses nothing.
+#ifndef SPAUTH_HINTS_COMPRESS_H_
+#define SPAUTH_HINTS_COMPRESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hints/landmarks.h"
+#include "hints/quantize.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Output of the greedy compression: per-node reference and error.
+/// Representatives (including never-compressed nodes) reference themselves
+/// with error 0.
+struct CompressedVectors {
+  std::vector<NodeId> ref;   // theta; ref[v] == v for representatives
+  std::vector<double> eps;   // epsilon; 0 for representatives
+
+  bool IsRepresentative(NodeId v) const { return ref[v] == v; }
+  size_t num_compressed() const;
+  size_t num_representatives() const;
+};
+
+/// Runs the greedy algorithm with threshold `xi` (paper default: 50).
+/// `xi = 0` effectively disables compression (only exact-duplicate vectors
+/// collapse).
+Result<CompressedVectors> CompressDistanceVectors(
+    const Graph& g, const LandmarkTable& table,
+    const QuantizedVectorTable& qtable, double xi);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_HINTS_COMPRESS_H_

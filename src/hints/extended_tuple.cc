@@ -1,0 +1,150 @@
+#include "hints/extended_tuple.h"
+
+#include "merkle/merkle_tree.h"
+
+#include <algorithm>
+
+namespace spauth {
+
+namespace {
+constexpr uint8_t kFlagLandmark = 0x01;
+constexpr uint8_t kFlagRepresentative = 0x02;
+constexpr uint8_t kFlagCell = 0x04;
+constexpr uint8_t kFlagBorder = 0x08;
+}  // namespace
+
+Result<double> ExtendedTuple::WeightTo(NodeId neighbor) const {
+  auto it = std::lower_bound(
+      neighbors.begin(), neighbors.end(), neighbor,
+      [](const NeighborEntry& e, NodeId id) { return e.id < id; });
+  if (it == neighbors.end() || it->id != neighbor) {
+    return Status::NotFound("no such incident edge in tuple");
+  }
+  return it->weight;
+}
+
+void ExtendedTuple::Serialize(ByteWriter* out) const {
+  out->WriteU32(id);
+  out->WriteF64(x);
+  out->WriteF64(y);
+  uint8_t flags = 0;
+  if (has_landmark_data) flags |= kFlagLandmark;
+  if (is_representative) flags |= kFlagRepresentative;
+  if (has_cell_data) flags |= kFlagCell;
+  if (is_border) flags |= kFlagBorder;
+  out->WriteU8(flags);
+  out->WriteU32(static_cast<uint32_t>(neighbors.size()));
+  for (const NeighborEntry& e : neighbors) {
+    out->WriteU32(e.id);
+    out->WriteF64(e.weight);
+  }
+  if (has_landmark_data) {
+    if (is_representative) {
+      out->WriteU32(static_cast<uint32_t>(qcodes.size()));
+      for (uint16_t code : qcodes) {
+        out->WriteU16(code);
+      }
+    } else {
+      out->WriteU32(ref_node);
+      out->WriteF64(ref_error);
+    }
+  }
+  if (has_cell_data) {
+    out->WriteU32(cell);
+  }
+}
+
+Result<ExtendedTuple> ExtendedTuple::Deserialize(ByteReader* in) {
+  ExtendedTuple t;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.id));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.x));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.y));
+  uint8_t flags = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&flags));
+  if (flags & ~(kFlagLandmark | kFlagRepresentative | kFlagCell |
+                kFlagBorder)) {
+    return Status::Malformed("unknown tuple flags");
+  }
+  t.has_landmark_data = flags & kFlagLandmark;
+  t.is_representative = flags & kFlagRepresentative;
+  t.has_cell_data = flags & kFlagCell;
+  t.is_border = flags & kFlagBorder;
+  uint32_t neighbor_count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&neighbor_count));
+  if (neighbor_count > in->remaining() / 12) {
+    return Status::Malformed("implausible neighbor count");
+  }
+  t.neighbors.resize(neighbor_count);
+  for (uint32_t i = 0; i < neighbor_count; ++i) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.neighbors[i].id));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.neighbors[i].weight));
+    if (i > 0 && t.neighbors[i].id <= t.neighbors[i - 1].id) {
+      return Status::Malformed("tuple neighbors not strictly ascending");
+    }
+  }
+  if (t.has_landmark_data) {
+    if (t.is_representative) {
+      uint32_t code_count = 0;
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&code_count));
+      if (code_count > in->remaining() / 2) {
+        return Status::Malformed("implausible landmark code count");
+      }
+      t.qcodes.resize(code_count);
+      for (uint32_t i = 0; i < code_count; ++i) {
+        SPAUTH_RETURN_IF_ERROR(in->ReadU16(&t.qcodes[i]));
+      }
+    } else {
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.ref_node));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.ref_error));
+    }
+  }
+  if (t.has_cell_data) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.cell));
+  }
+  return t;
+}
+
+size_t ExtendedTuple::SerializedSize() const {
+  size_t size = 4 + 8 + 8 + 1 + 4 + neighbors.size() * 12;
+  if (has_landmark_data) {
+    size += is_representative ? 4 + qcodes.size() * 2 : 4 + 8;
+  }
+  if (has_cell_data) {
+    size += 4;
+  }
+  return size;
+}
+
+Digest ExtendedTuple::LeafDigest(HashAlgorithm alg) const {
+  ByteWriter payload;
+  Serialize(&payload);
+  return HashLeafPayload(alg, payload.view());
+}
+
+bool ExtendedTuple::operator==(const ExtendedTuple& other) const {
+  return id == other.id && x == other.x && y == other.y &&
+         neighbors == other.neighbors &&
+         has_landmark_data == other.has_landmark_data &&
+         is_representative == other.is_representative &&
+         qcodes == other.qcodes && ref_node == other.ref_node &&
+         ref_error == other.ref_error && has_cell_data == other.has_cell_data &&
+         cell == other.cell && is_border == other.is_border;
+}
+
+std::vector<ExtendedTuple> BuildBaseTuples(const Graph& g) {
+  std::vector<ExtendedTuple> tuples(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ExtendedTuple& t = tuples[v];
+    t.id = v;
+    t.x = g.x(v);
+    t.y = g.y(v);
+    auto neighbors = g.Neighbors(v);
+    t.neighbors.reserve(neighbors.size());
+    for (const Edge& e : neighbors) {
+      t.neighbors.push_back({e.to, e.weight});
+    }
+  }
+  return tuples;
+}
+
+}  // namespace spauth

@@ -1,0 +1,71 @@
+// Extended-tuples Phi(v) — the unit of network certification (Eqs. 1, 4, 7).
+//
+// Phi(v) encapsulates a node's attributes and its full adjacency list; the
+// Merkle tree over all Phi(v) is the network ADS. LDM extends the tuple with
+// the (quantized, possibly compressed) landmark vector Psi(v); HYP extends
+// it with the HiTi cell id and border flag. One struct covers all three
+// layouts, with flags recording which extensions are present — the canonical
+// serialization (and therefore the digest) covers exactly the fields in use.
+#ifndef SPAUTH_HINTS_EXTENDED_TUPLE_H_
+#define SPAUTH_HINTS_EXTENDED_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "graph/graph.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// One adjacency entry <v', W(v, v')> inside Phi(v).
+struct NeighborEntry {
+  NodeId id = kInvalidNode;
+  double weight = 0;
+
+  bool operator==(const NeighborEntry& other) const {
+    return id == other.id && weight == other.weight;
+  }
+};
+
+struct ExtendedTuple {
+  NodeId id = kInvalidNode;
+  double x = 0;
+  double y = 0;
+  std::vector<NeighborEntry> neighbors;  // sorted by neighbor id
+
+  // --- LDM extension (Eq. 4) ---
+  bool has_landmark_data = false;
+  /// True if the tuple carries its own quantized vector; false if it
+  /// references a representative node (Section V-A compression).
+  bool is_representative = false;
+  std::vector<uint16_t> qcodes;   // quantized landmark codes (representative)
+  NodeId ref_node = kInvalidNode; // v.theta (compressed)
+  double ref_error = 0;           // v.epsilon (compressed)
+
+  // --- HYP extension (Eq. 7) ---
+  bool has_cell_data = false;
+  uint32_t cell = 0;
+  bool is_border = false;
+
+  /// Weight of the incident edge to `neighbor`, or NotFound.
+  Result<double> WeightTo(NodeId neighbor) const;
+
+  /// Canonical wire encoding (hashed, signed and shipped to clients).
+  void Serialize(ByteWriter* out) const;
+  static Result<ExtendedTuple> Deserialize(ByteReader* in);
+  size_t SerializedSize() const;
+
+  /// Leaf digest for the network Merkle tree.
+  Digest LeafDigest(HashAlgorithm alg) const;
+
+  bool operator==(const ExtendedTuple& other) const;
+};
+
+/// Base tuples (Eq. 1) for every node of `g`, indexed by node id.
+std::vector<ExtendedTuple> BuildBaseTuples(const Graph& g);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_HINTS_EXTENDED_TUPLE_H_

@@ -1,0 +1,70 @@
+#include "hints/hiti.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+
+namespace spauth {
+
+uint64_t HyperEdgeKey(uint32_t cell_u, NodeId u, uint32_t cell_v, NodeId v) {
+  // Canonical order: the (cell, id) pair that compares lower goes first.
+  if (std::pair(cell_u, u) > std::pair(cell_v, v)) {
+    std::swap(cell_u, cell_v);
+    std::swap(u, v);
+  }
+  return (static_cast<uint64_t>(cell_u) << 54) |
+         (static_cast<uint64_t>(cell_v) << 44) |
+         (static_cast<uint64_t>(u) << 22) | static_cast<uint64_t>(v);
+}
+
+Result<HitiIndex> HitiIndex::Build(const Graph& g, GridPartition partition) {
+  if (partition.num_cells() > 1024) {
+    return Status::InvalidArgument("HyperEdgeKey supports at most 1024 cells");
+  }
+  if (g.num_nodes() >= (1u << 22)) {
+    return Status::InvalidArgument("HyperEdgeKey supports node ids < 2^22");
+  }
+  std::span<const NodeId> borders = partition.AllBorders();
+  std::vector<DistanceEntry> entries;
+  if (borders.size() >= 2) {
+    entries.reserve(borders.size() * (borders.size() - 1) / 2);
+    for (size_t i = 0; i < borders.size(); ++i) {
+      const NodeId u = borders[i];
+      // Distances from u to all later borders; one bounded Dijkstra each.
+      std::span<const NodeId> rest = borders.subspan(i + 1);
+      std::vector<double> dist = DijkstraToTargets(g, u, rest);
+      for (size_t j = 0; j < rest.size(); ++j) {
+        if (dist[j] == kInfDistance) {
+          return Status::InvalidArgument(
+              "graph must be connected to build a HiTi index");
+        }
+        entries.push_back({HyperEdgeKey(partition.CellOf(u), u,
+                                        partition.CellOf(rest[j]), rest[j]),
+                           dist[j]});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DistanceEntry& a, const DistanceEntry& b) {
+              return a.key < b.key;
+            });
+  return HitiIndex(std::move(partition), std::move(entries));
+}
+
+Result<double> HitiIndex::HyperEdgeWeight(NodeId u, NodeId v) const {
+  if (u == v) {
+    return 0.0;
+  }
+  const uint64_t key =
+      HyperEdgeKey(partition_.CellOf(u), u, partition_.CellOf(v), v);
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const DistanceEntry& e, uint64_t k) {
+                               return e.key < k;
+                             });
+  if (it == entries_.end() || it->key != key) {
+    return Status::NotFound("no hyper-edge between these nodes");
+  }
+  return it->value;
+}
+
+}  // namespace spauth

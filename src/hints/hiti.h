@@ -1,0 +1,69 @@
+// 2-level HiTi hyper-graph (Section V-B, following [28]).
+//
+// Nodes are partitioned into grid cells; border nodes are nodes with an edge
+// into another cell. For *every* pair of border nodes (u, v) — across the
+// whole graph, not just within one cell; see the paper's footnote 1 — a
+// hyper-edge E*(u, v) is materialized whose weight W*(u, v) is the exact
+// shortest-path distance dist(u, v) in the full graph. The hyper-edges are
+// what the distance Merkle B-tree certifies for HYP.
+//
+// By Theorem 2 (border-node passage), for query (vs, vt):
+//   dist(vs,vt) = min over (bs in B(cell(vs)), bt in B(cell(vt))) of
+//       d_cell(vs,bs) + W*(bs,bt) + d_cell(bt,vt)
+//   (also considering the in-cell-only distance d_cell(vs,vt) when the two
+//    cells coincide),
+// where d_cell is the distance restricted to edges inside the cell. The
+// "<=" direction holds because every candidate is the length of a real
+// path; ">=" because the true path can be split at its first exit border bs
+// (the prefix stays in the source cell) and the last entry border bt (the
+// suffix stays in the target cell), and the middle piece is at least
+// dist(bs,bt) = W*(bs,bt).
+#ifndef SPAUTH_HINTS_HITI_H_
+#define SPAUTH_HINTS_HITI_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/grid_partition.h"
+#include "merkle/merkle_btree.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Composite key for a hyper-edge: the cell pair in the high bits, the node
+/// pair in the low bits. All hyper-edges between one pair of cells are
+/// therefore *contiguous* in the distance Merkle B-tree, so a query's
+/// B(cell_s) x B(cell_t) lookup shares nearly all sibling digests — this is
+/// what keeps HYP's proof compact. Layout (msb to lsb):
+/// cell_lo:10 | cell_hi:10 | id_in_cell_lo:22 | id_in_cell_hi:22.
+/// Requires num_cells <= 1024 and node ids < 2^22.
+uint64_t HyperEdgeKey(uint32_t cell_u, NodeId u, uint32_t cell_v, NodeId v);
+
+class HitiIndex {
+ public:
+  /// Computes all pairwise border distances (one Dijkstra per border node).
+  /// Requires a connected graph.
+  static Result<HitiIndex> Build(const Graph& g, GridPartition partition);
+
+  const GridPartition& partition() const { return partition_; }
+  size_t num_border_nodes() const { return partition_.AllBorders().size(); }
+  size_t num_hyper_edges() const { return entries_.size(); }
+
+  /// W*(u, v); both nodes must be border nodes.
+  Result<double> HyperEdgeWeight(NodeId u, NodeId v) const;
+
+  /// All hyper-edges as distance entries (key = packed canonical pair),
+  /// sorted by key — ready for MerkleBTree::Build.
+  const std::vector<DistanceEntry>& entries() const { return entries_; }
+
+ private:
+  HitiIndex(GridPartition partition, std::vector<DistanceEntry> entries)
+      : partition_(std::move(partition)), entries_(std::move(entries)) {}
+
+  GridPartition partition_;
+  std::vector<DistanceEntry> entries_;  // sorted by key
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_HINTS_HITI_H_

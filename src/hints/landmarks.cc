@@ -1,0 +1,105 @@
+#include "hints/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+
+namespace spauth {
+
+Result<std::vector<NodeId>> SelectLandmarks(const Graph& g, size_t count,
+                                            LandmarkStrategy strategy,
+                                            uint64_t seed) {
+  if (count == 0 || count > g.num_nodes()) {
+    return Status::InvalidArgument("landmark count out of range");
+  }
+  Rng rng(seed);
+  std::vector<NodeId> landmarks;
+  landmarks.reserve(count);
+
+  if (strategy == LandmarkStrategy::kRandom) {
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      all[v] = v;
+    }
+    rng.Shuffle(&all);
+    landmarks.assign(all.begin(), all.begin() + count);
+    std::sort(landmarks.begin(), landmarks.end());
+    return landmarks;
+  }
+
+  // Farthest-point heuristic: start from a random node, then repeatedly add
+  // the node maximizing the distance to the chosen set.
+  std::vector<double> dist_to_set(g.num_nodes(), kInfDistance);
+  NodeId current = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  landmarks.push_back(current);
+  while (landmarks.size() < count) {
+    DijkstraTree tree = DijkstraAll(g, current);
+    NodeId farthest = kInvalidNode;
+    double best = -1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      dist_to_set[v] = std::min(dist_to_set[v], tree.dist[v]);
+      if (dist_to_set[v] != kInfDistance && dist_to_set[v] > best) {
+        // Skip nodes already chosen (their distance to the set is 0, which
+        // can only win if everything is chosen).
+        best = dist_to_set[v];
+        farthest = v;
+      }
+    }
+    if (farthest == kInvalidNode) {
+      return Status::InvalidArgument(
+          "graph has fewer reachable nodes than requested landmarks");
+    }
+    landmarks.push_back(farthest);
+    current = farthest;
+  }
+  std::sort(landmarks.begin(), landmarks.end());
+  landmarks.erase(std::unique(landmarks.begin(), landmarks.end()),
+                  landmarks.end());
+  if (landmarks.size() != count) {
+    return Status::Internal("farthest-point selection produced duplicates");
+  }
+  return landmarks;
+}
+
+Result<LandmarkTable> LandmarkTable::Build(const Graph& g,
+                                           std::vector<NodeId> landmarks) {
+  if (landmarks.empty()) {
+    return Status::InvalidArgument("need at least one landmark");
+  }
+  for (NodeId s : landmarks) {
+    if (!g.IsValidNode(s)) {
+      return Status::InvalidArgument("landmark id out of range");
+    }
+  }
+  const size_t c = landmarks.size();
+  const size_t n = g.num_nodes();
+  std::vector<double> dist(n * c, kInfDistance);
+  double max_distance = 0;
+  for (size_t i = 0; i < c; ++i) {
+    DijkstraTree tree = DijkstraAll(g, landmarks[i]);
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree.dist[v] == kInfDistance) {
+        return Status::InvalidArgument(
+            "graph must be connected for landmark tables");
+      }
+      dist[static_cast<size_t>(v) * c + i] = tree.dist[v];
+      max_distance = std::max(max_distance, tree.dist[v]);
+    }
+  }
+  return LandmarkTable(std::move(landmarks), std::move(dist), n,
+                       max_distance);
+}
+
+double LandmarkTable::LowerBound(NodeId u, NodeId v) const {
+  std::span<const double> a = VectorOf(u);
+  std::span<const double> b = VectorOf(v);
+  double best = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace spauth

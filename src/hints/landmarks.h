@@ -1,0 +1,70 @@
+// Landmark machinery for LDM (Section V-A, following [26, 27]):
+// landmark selection, exact distance vectors Psi(v) (Eq. 2) and the
+// triangle-inequality lower bound dist_LB (Eq. 3 / Theorem 1).
+#ifndef SPAUTH_HINTS_LANDMARKS_H_
+#define SPAUTH_HINTS_LANDMARKS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace spauth {
+
+enum class LandmarkStrategy {
+  kRandom,    // uniform random nodes
+  kFarthest,  // farthest-point heuristic of [26] (good spread)
+};
+
+/// Picks `count` distinct landmark nodes.
+Result<std::vector<NodeId>> SelectLandmarks(const Graph& g, size_t count,
+                                            LandmarkStrategy strategy,
+                                            uint64_t seed);
+
+/// Exact distances from every node to every landmark (c Dijkstra runs).
+class LandmarkTable {
+ public:
+  /// Requires a connected graph (every landmark must reach every node).
+  static Result<LandmarkTable> Build(const Graph& g,
+                                     std::vector<NodeId> landmarks);
+
+  size_t num_landmarks() const { return landmarks_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  /// dist(s_i, v).
+  double dist(size_t landmark_index, NodeId v) const {
+    return dist_[static_cast<size_t>(v) * landmarks_.size() + landmark_index];
+  }
+
+  /// Psi(v): the c distances of node v, contiguous.
+  std::span<const double> VectorOf(NodeId v) const {
+    return {dist_.data() + static_cast<size_t>(v) * landmarks_.size(),
+            landmarks_.size()};
+  }
+
+  /// dist_LB(u, v) = max_i |dist(s_i,u) - dist(s_i,v)| (Eq. 3).
+  double LowerBound(NodeId u, NodeId v) const;
+
+  /// D_max: the largest landmark distance in the table (quantization input).
+  double max_distance() const { return max_distance_; }
+
+ private:
+  LandmarkTable(std::vector<NodeId> landmarks, std::vector<double> dist,
+                size_t num_nodes, double max_distance)
+      : landmarks_(std::move(landmarks)),
+        dist_(std::move(dist)),
+        num_nodes_(num_nodes),
+        max_distance_(max_distance) {}
+
+  std::vector<NodeId> landmarks_;
+  std::vector<double> dist_;  // node-major: dist_[v * c + i]
+  size_t num_nodes_;
+  double max_distance_;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_HINTS_LANDMARKS_H_

@@ -1,0 +1,66 @@
+#include "hints/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spauth {
+
+Result<QuantizationParams> QuantizationParams::Create(double dmax, int bits) {
+  if (bits < 1 || bits > 16) {
+    return Status::InvalidArgument("quantization bits must be in [1, 16]");
+  }
+  if (!(dmax > 0) || !std::isfinite(dmax)) {
+    return Status::InvalidArgument("dmax must be positive and finite");
+  }
+  QuantizationParams p;
+  p.bits = bits;
+  p.dmax = dmax;
+  p.lambda = dmax / ((uint32_t{1} << bits) - 1);
+  return p;
+}
+
+uint16_t QuantizationParams::Encode(double distance) const {
+  const uint32_t max_code = (uint32_t{1} << bits) - 1;
+  double code = std::round(distance / lambda);
+  if (code < 0) {
+    return 0;
+  }
+  if (code > max_code) {
+    return static_cast<uint16_t>(max_code);
+  }
+  return static_cast<uint16_t>(code);
+}
+
+double QuantizedDiffFromCodes(std::span<const uint16_t> a,
+                              std::span<const uint16_t> b, double lambda) {
+  uint32_t best = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint32_t diff = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    best = std::max(best, diff);
+  }
+  return best * lambda;
+}
+
+double LooseLowerBoundFromCodes(std::span<const uint16_t> a,
+                                std::span<const uint16_t> b, double lambda) {
+  return std::max(0.0, QuantizedDiffFromCodes(a, b, lambda) - lambda);
+}
+
+Result<QuantizedVectorTable> QuantizedVectorTable::Build(
+    const LandmarkTable& table, int bits) {
+  SPAUTH_ASSIGN_OR_RETURN(
+      QuantizationParams params,
+      QuantizationParams::Create(table.max_distance(), bits));
+  const size_t c = table.num_landmarks();
+  const size_t n = table.num_nodes();
+  std::vector<uint16_t> codes(n * c);
+  for (NodeId v = 0; v < n; ++v) {
+    std::span<const double> vec = table.VectorOf(v);
+    for (size_t i = 0; i < c; ++i) {
+      codes[static_cast<size_t>(v) * c + i] = params.Encode(vec[i]);
+    }
+  }
+  return QuantizedVectorTable(params, c, std::move(codes));
+}
+
+}  // namespace spauth

@@ -1,0 +1,84 @@
+// Distance-vector quantization (Section V-A, Eq. 5 / Lemma 3).
+//
+// Each landmark distance is rounded to the nearest multiple of
+// lambda = D_max / (2^b - 1) and stored as the b-bit code
+// round(dist / lambda) in [0, 2^b - 1]. The loosened lower bound
+//   dist_loose(u,v) = max(0, -lambda + max_i |distb(s_i,u) - distb(s_i,v)|)
+// (Eq. 6) satisfies dist_loose <= dist_LB <= dist, so it remains admissible
+// for the client's A* search.
+#ifndef SPAUTH_HINTS_QUANTIZE_H_
+#define SPAUTH_HINTS_QUANTIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hints/landmarks.h"
+#include "util/status.h"
+
+namespace spauth {
+
+struct QuantizationParams {
+  int bits = 12;        // b (paper default: 12)
+  double lambda = 0;    // quantization increment
+  double dmax = 0;      // upper bound on all landmark distances
+
+  /// lambda = dmax / (2^bits - 1). bits must be in [1, 16].
+  static Result<QuantizationParams> Create(double dmax, int bits);
+
+  /// distb(.) code for a raw distance (Eq. 5), clamped to the code range.
+  uint16_t Encode(double distance) const;
+  /// The represented value distb = code * lambda.
+  double Decode(uint16_t code) const { return code * lambda; }
+};
+
+/// The loosened lower bound of Eq. 6, computed from two code vectors.
+/// Returns 0 for empty vectors. The vectors must have equal length.
+double LooseLowerBoundFromCodes(std::span<const uint16_t> a,
+                                std::span<const uint16_t> b, double lambda);
+
+/// max_i |distb(s_i,u) - distb(s_i,v)| — the quantized difference "ell" used
+/// by the compression of Section V-A (in distance units).
+double QuantizedDiffFromCodes(std::span<const uint16_t> a,
+                              std::span<const uint16_t> b, double lambda);
+
+/// Quantized vectors for all nodes of a landmark table.
+class QuantizedVectorTable {
+ public:
+  static Result<QuantizedVectorTable> Build(const LandmarkTable& table,
+                                            int bits);
+
+  const QuantizationParams& params() const { return params_; }
+  size_t num_landmarks() const { return num_landmarks_; }
+  size_t num_nodes() const { return codes_.size() / num_landmarks_; }
+
+  std::span<const uint16_t> CodesOf(NodeId v) const {
+    return {codes_.data() + static_cast<size_t>(v) * num_landmarks_,
+            num_landmarks_};
+  }
+
+  /// dist_loose(u, v) over the stored codes.
+  double LooseLowerBound(NodeId u, NodeId v) const {
+    return LooseLowerBoundFromCodes(CodesOf(u), CodesOf(v), params_.lambda);
+  }
+
+  /// ell(u, v) over the stored codes.
+  double QuantizedDiff(NodeId u, NodeId v) const {
+    return QuantizedDiffFromCodes(CodesOf(u), CodesOf(v), params_.lambda);
+  }
+
+ private:
+  QuantizedVectorTable(QuantizationParams params, size_t num_landmarks,
+                       std::vector<uint16_t> codes)
+      : params_(params),
+        num_landmarks_(num_landmarks),
+        codes_(std::move(codes)) {}
+
+  QuantizationParams params_;
+  size_t num_landmarks_;
+  std::vector<uint16_t> codes_;  // node-major
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_HINTS_QUANTIZE_H_

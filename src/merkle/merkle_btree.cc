@@ -1,0 +1,145 @@
+#include "merkle/merkle_btree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spauth {
+
+uint64_t PackNodePairKey(uint32_t a, uint32_t b) {
+  const uint32_t lo_id = std::min(a, b);
+  const uint32_t hi_id = std::max(a, b);
+  return (static_cast<uint64_t>(lo_id) << 32) | hi_id;
+}
+
+void SerializeDistanceEntry(const DistanceEntry& entry, ByteWriter* out) {
+  out->WriteU64(entry.key);
+  out->WriteF64(entry.value);
+}
+
+Result<DistanceEntry> DeserializeDistanceEntry(ByteReader* in) {
+  DistanceEntry entry;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU64(&entry.key));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&entry.value));
+  return entry;
+}
+
+Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry) {
+  ByteWriter payload;
+  SerializeDistanceEntry(entry, &payload);
+  return HashLeafPayload(alg, payload.view());
+}
+
+size_t MerkleBTreeProof::SerializedSize() const {
+  return 4 + entries.size() * (8 + 8 + 4) + tree_proof.SerializedSize();
+}
+
+void MerkleBTreeProof::Serialize(ByteWriter* out) const {
+  out->WriteU32(static_cast<uint32_t>(entries.size()));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    SerializeDistanceEntry(entries[i], out);
+    out->WriteU32(leaf_indices[i]);
+  }
+  tree_proof.Serialize(out);
+}
+
+Result<MerkleBTreeProof> MerkleBTreeProof::Deserialize(ByteReader* in) {
+  MerkleBTreeProof proof;
+  uint32_t count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  if (count > in->remaining() / 20) {  // 8B key + 8B value + 4B index
+    return Status::Malformed("entry count exceeds buffer");
+  }
+  proof.entries.reserve(count);
+  proof.leaf_indices.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SPAUTH_ASSIGN_OR_RETURN(DistanceEntry entry, DeserializeDistanceEntry(in));
+    uint32_t index = 0;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&index));
+    proof.entries.push_back(entry);
+    proof.leaf_indices.push_back(index);
+  }
+  SPAUTH_ASSIGN_OR_RETURN(proof.tree_proof, MerkleSubsetProof::Deserialize(in));
+  return proof;
+}
+
+Result<MerkleBTree> MerkleBTree::Build(std::vector<DistanceEntry> entries,
+                                       uint32_t fanout, HashAlgorithm alg) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("merkle btree needs at least one entry");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DistanceEntry& a, const DistanceEntry& b) {
+              return a.key < b.key;
+            });
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].key == entries[i - 1].key) {
+      return Status::InvalidArgument("duplicate key in merkle btree");
+    }
+  }
+  std::vector<Digest> leaves;
+  leaves.reserve(entries.size());
+  for (const DistanceEntry& entry : entries) {
+    leaves.push_back(HashDistanceEntry(alg, entry));
+  }
+  SPAUTH_ASSIGN_OR_RETURN(MerkleTree tree,
+                          MerkleTree::Build(std::move(leaves), fanout, alg));
+  return MerkleBTree(std::move(entries), std::move(tree));
+}
+
+Result<double> MerkleBTree::Get(uint64_t key) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const DistanceEntry& e, uint64_t k) {
+                               return e.key < k;
+                             });
+  if (it == entries_.end() || it->key != key) {
+    return Status::NotFound("key not present in merkle btree");
+  }
+  return it->value;
+}
+
+Result<MerkleBTreeProof> MerkleBTree::Lookup(
+    std::span<const uint64_t> keys) const {
+  if (keys.empty()) {
+    return Status::InvalidArgument("lookup needs at least one key");
+  }
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  MerkleBTreeProof proof;
+  proof.entries.reserve(sorted.size());
+  proof.leaf_indices.reserve(sorted.size());
+  for (uint64_t key : sorted) {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                               [](const DistanceEntry& e, uint64_t k) {
+                                 return e.key < k;
+                               });
+    if (it == entries_.end() || it->key != key) {
+      return Status::NotFound("key not present in merkle btree");
+    }
+    proof.entries.push_back(*it);
+    proof.leaf_indices.push_back(
+        static_cast<uint32_t>(it - entries_.begin()));
+  }
+  SPAUTH_ASSIGN_OR_RETURN(proof.tree_proof,
+                          tree_.GenerateProof(proof.leaf_indices));
+  return proof;
+}
+
+Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof) {
+  if (proof.entries.size() != proof.leaf_indices.size()) {
+    return Status::Malformed("entry/index count mismatch");
+  }
+  std::map<uint32_t, Digest> leaves;
+  for (size_t i = 0; i < proof.entries.size(); ++i) {
+    auto [it, inserted] = leaves.emplace(
+        proof.leaf_indices[i],
+        HashDistanceEntry(proof.tree_proof.alg, proof.entries[i]));
+    if (!inserted) {
+      return Status::Malformed("duplicate leaf index in btree proof");
+    }
+  }
+  return ReconstructMerkleRoot(proof.tree_proof, leaves);
+}
+
+}  // namespace spauth

@@ -1,0 +1,92 @@
+// Keyed Merkle structure for materialized distance tuples
+// <vi.id, vj.id, dist(vi, vj)> (Sections IV-B and V-B).
+//
+// Entries are sorted by a 64-bit composite key (the packed node-id pair) and
+// a dense n-ary Merkle tree is built over the entry digests; multi-point
+// lookups return the entries, their leaf positions and one shared subset
+// proof (shared search-path digests are merged automatically by the subset
+// proof construction — the "size O(f log |V|)" property of Section IV-B).
+#ifndef SPAUTH_MERKLE_MERKLE_BTREE_H_
+#define SPAUTH_MERKLE_MERKLE_BTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "merkle/merkle_tree.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Composite key for an unordered node pair; the canonical form puts the
+/// smaller id in the high word so ranges of one node's pairs are contiguous.
+uint64_t PackNodePairKey(uint32_t a, uint32_t b);
+
+/// One authenticated tuple: key -> distance value.
+struct DistanceEntry {
+  uint64_t key = 0;
+  double value = 0;
+
+  bool operator==(const DistanceEntry& other) const {
+    return key == other.key && value == other.value;
+  }
+};
+
+/// Canonical leaf payload bytes of an entry (what gets hashed).
+void SerializeDistanceEntry(const DistanceEntry& entry, ByteWriter* out);
+Result<DistanceEntry> DeserializeDistanceEntry(ByteReader* in);
+Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry);
+
+/// Proof returned by MerkleBTree::Lookup: the entries themselves, their leaf
+/// positions, and the sibling digests up to the root.
+struct MerkleBTreeProof {
+  std::vector<DistanceEntry> entries;      // sorted by key
+  std::vector<uint32_t> leaf_indices;      // parallel to entries
+  MerkleSubsetProof tree_proof;
+
+  size_t SerializedSize() const;
+  void Serialize(ByteWriter* out) const;
+  static Result<MerkleBTreeProof> Deserialize(ByteReader* in);
+};
+
+class MerkleBTree {
+ public:
+  /// Builds over `entries` (sorted internally; keys must be unique).
+  static Result<MerkleBTree> Build(std::vector<DistanceEntry> entries,
+                                   uint32_t fanout, HashAlgorithm alg);
+
+  const Digest& root() const { return tree_.root(); }
+  size_t size() const { return entries_.size(); }
+  uint32_t fanout() const { return tree_.fanout(); }
+
+  /// Bytes held by the structure: entries plus all tree digests (storage
+  /// overhead accounting for the owner/provider).
+  size_t StorageBytes() const {
+    return entries_.size() * 16 +
+           tree_.total_digests() * DigestSize(tree_.algorithm());
+  }
+
+  /// Value for `key`, or NotFound.
+  Result<double> Get(uint64_t key) const;
+
+  /// Multi-point lookup; every key must exist. Duplicate keys are collapsed.
+  Result<MerkleBTreeProof> Lookup(std::span<const uint64_t> keys) const;
+
+ private:
+  MerkleBTree(std::vector<DistanceEntry> entries, MerkleTree tree)
+      : entries_(std::move(entries)), tree_(std::move(tree)) {}
+
+  std::vector<DistanceEntry> entries_;  // sorted by key
+  MerkleTree tree_;
+};
+
+/// Client-side: recomputes the root from the proof alone. The caller then
+/// (a) compares against the certified root and (b) checks the entry keys are
+/// exactly the ones it expects.
+Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_MERKLE_MERKLE_BTREE_H_

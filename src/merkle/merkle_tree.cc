@@ -1,0 +1,263 @@
+#include "merkle/merkle_tree.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace spauth {
+
+namespace {
+
+constexpr uint8_t kLeafTag = 0x00;
+constexpr uint8_t kInternalTag = 0x01;
+
+// Number of leaves covered by one node at `level` (level 0 = leaves).
+// Saturates instead of overflowing for tall trees.
+uint64_t LeavesPerNode(uint32_t fanout, size_t level) {
+  uint64_t span = 1;
+  for (size_t i = 0; i < level; ++i) {
+    if (span > (uint64_t{1} << 40)) {
+      return span;  // already larger than any supported leaf count
+    }
+    span *= fanout;
+  }
+  return span;
+}
+
+// Shared shape iteration: number of nodes per level for a leaf count.
+std::vector<size_t> LevelSizes(size_t num_leaves, uint32_t fanout) {
+  std::vector<size_t> sizes = {num_leaves};
+  while (sizes.back() > 1) {
+    sizes.push_back((sizes.back() + fanout - 1) / fanout);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Digest HashLeafPayload(HashAlgorithm alg, std::span<const uint8_t> payload) {
+  Hasher h(alg);
+  h.Update(&kLeafTag, 1);
+  h.Update(payload);
+  return h.Finish();
+}
+
+Digest HashInternalNode(HashAlgorithm alg, std::span<const Digest> children) {
+  Hasher h(alg);
+  h.Update(&kInternalTag, 1);
+  for (const Digest& child : children) {
+    h.Update(child.view());
+  }
+  return h.Finish();
+}
+
+size_t MerkleSubsetProof::SerializedSize() const {
+  // num_leaves + fanout + alg + digest count + digests.
+  return 4 + 4 + 1 + 4 + digests.size() * DigestSize(alg);
+}
+
+void MerkleSubsetProof::Serialize(ByteWriter* out) const {
+  out->WriteU32(num_leaves);
+  out->WriteU32(fanout);
+  out->WriteU8(static_cast<uint8_t>(alg));
+  out->WriteU32(static_cast<uint32_t>(digests.size()));
+  for (const Digest& d : digests) {
+    out->WriteBytes(d.view());
+  }
+}
+
+Result<MerkleSubsetProof> MerkleSubsetProof::Deserialize(ByteReader* in) {
+  MerkleSubsetProof proof;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&proof.num_leaves));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&proof.fanout));
+  uint8_t alg_byte = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&alg_byte));
+  SPAUTH_ASSIGN_OR_RETURN(proof.alg, ParseHashAlgorithm(alg_byte));
+  if (proof.fanout < 2) {
+    return Status::Malformed("merkle proof fanout must be >= 2");
+  }
+  uint32_t count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  const size_t digest_size = DigestSize(proof.alg);
+  if (count > in->remaining() / digest_size) {
+    return Status::Malformed("digest count exceeds buffer");
+  }
+  proof.digests.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> bytes;
+    SPAUTH_RETURN_IF_ERROR(in->ReadBytes(digest_size, &bytes));
+    proof.digests[i] = Digest::FromBytes(bytes);
+  }
+  return proof;
+}
+
+Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_digests,
+                                     uint32_t fanout, HashAlgorithm alg) {
+  if (leaf_digests.empty()) {
+    return Status::InvalidArgument("merkle tree needs at least one leaf");
+  }
+  if (fanout < 2) {
+    return Status::InvalidArgument("merkle tree fanout must be >= 2");
+  }
+  std::vector<std::vector<Digest>> levels;
+  levels.push_back(std::move(leaf_digests));
+  while (levels.back().size() > 1) {
+    const std::vector<Digest>& below = levels.back();
+    std::vector<Digest> level;
+    level.reserve((below.size() + fanout - 1) / fanout);
+    for (size_t i = 0; i < below.size(); i += fanout) {
+      const size_t end = std::min(below.size(), i + fanout);
+      level.push_back(HashInternalNode(
+          alg, std::span<const Digest>(below.data() + i, end - i)));
+    }
+    levels.push_back(std::move(level));
+  }
+  return MerkleTree(std::move(levels), fanout, alg);
+}
+
+size_t MerkleTree::total_digests() const {
+  size_t total = 0;
+  for (const auto& level : levels_) {
+    total += level.size();
+  }
+  return total;
+}
+
+Result<MerkleSubsetProof> MerkleTree::GenerateProof(
+    std::span<const uint32_t> leaf_indices) const {
+  for (size_t i = 0; i < leaf_indices.size(); ++i) {
+    if (leaf_indices[i] >= num_leaves()) {
+      return Status::InvalidArgument("leaf index out of range");
+    }
+    if (i > 0 && leaf_indices[i] <= leaf_indices[i - 1]) {
+      return Status::InvalidArgument("leaf indices must be strictly ascending");
+    }
+  }
+  if (leaf_indices.empty()) {
+    return Status::InvalidArgument("subset proof needs at least one leaf");
+  }
+
+  MerkleSubsetProof proof;
+  proof.num_leaves = static_cast<uint32_t>(num_leaves());
+  proof.fanout = fanout_;
+  proof.alg = alg_;
+
+  // Root-down DFS. A subtree emits its own digest iff it contains no target
+  // leaf; otherwise it recurses (at leaf level the target itself is omitted
+  // — the verifier supplies it).
+  const size_t top = levels_.size() - 1;
+  auto has_target = [&](uint64_t lo, uint64_t hi) {
+    auto it = std::lower_bound(leaf_indices.begin(), leaf_indices.end(), lo);
+    return it != leaf_indices.end() && *it < hi;
+  };
+  // Explicit stack of (level, index).
+  struct Frame {
+    size_t level;
+    size_t index;
+  };
+  std::vector<Frame> stack = {{top, 0}};
+  // DFS with children pushed in reverse so traversal is left-to-right.
+  std::vector<Digest>& out = proof.digests;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const uint64_t span = LeavesPerNode(fanout_, f.level);
+    const uint64_t lo = f.index * span;
+    const uint64_t hi = std::min<uint64_t>(lo + span, num_leaves());
+    if (!has_target(lo, hi)) {
+      out.push_back(levels_[f.level][f.index]);
+      continue;
+    }
+    if (f.level == 0) {
+      continue;  // target leaf, supplied by the verifier
+    }
+    const size_t child_count = levels_[f.level - 1].size();
+    const size_t first = f.index * fanout_;
+    const size_t last = std::min(child_count, first + fanout_);
+    for (size_t c = last; c-- > first;) {
+      stack.push_back({f.level - 1, c});
+    }
+  }
+  return proof;
+}
+
+Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest) {
+  if (leaf_index >= num_leaves()) {
+    return Status::InvalidArgument("leaf index out of range");
+  }
+  if (new_digest.size() != DigestSize(alg_)) {
+    return Status::InvalidArgument("digest size does not match tree");
+  }
+  levels_[0][leaf_index] = new_digest;
+  size_t index = leaf_index;
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    index /= fanout_;
+    const std::vector<Digest>& below = levels_[level - 1];
+    const size_t first = index * fanout_;
+    const size_t last = std::min(below.size(), first + fanout_);
+    levels_[level][index] = HashInternalNode(
+        alg_, std::span<const Digest>(below.data() + first, last - first));
+  }
+  return Status::Ok();
+}
+
+Result<Digest> ReconstructMerkleRoot(
+    const MerkleSubsetProof& proof,
+    const std::map<uint32_t, Digest>& target_leaves) {
+  if (proof.num_leaves == 0) {
+    return Status::Malformed("empty merkle proof");
+  }
+  if (target_leaves.empty()) {
+    return Status::Malformed("no target leaves supplied");
+  }
+  for (const auto& [index, digest] : target_leaves) {
+    if (index >= proof.num_leaves) {
+      return Status::Malformed("target leaf index out of range");
+    }
+    if (digest.size() != DigestSize(proof.alg)) {
+      return Status::Malformed("target leaf digest has wrong size");
+    }
+  }
+
+  const std::vector<size_t> sizes = LevelSizes(proof.num_leaves, proof.fanout);
+  size_t cursor = 0;
+
+  auto has_target = [&](uint64_t lo, uint64_t hi) {
+    auto it = target_leaves.lower_bound(static_cast<uint32_t>(lo));
+    return it != target_leaves.end() && it->first < hi;
+  };
+
+  // Recursive replay of the prover's DFS.
+  std::function<Result<Digest>(size_t, size_t)> reconstruct =
+      [&](size_t level, size_t index) -> Result<Digest> {
+    const uint64_t span = LeavesPerNode(proof.fanout, level);
+    const uint64_t lo = index * span;
+    const uint64_t hi = std::min<uint64_t>(lo + span, proof.num_leaves);
+    if (!has_target(lo, hi)) {
+      if (cursor >= proof.digests.size()) {
+        return Status::Malformed("merkle proof digest stream underflow");
+      }
+      return proof.digests[cursor++];
+    }
+    if (level == 0) {
+      return target_leaves.at(static_cast<uint32_t>(lo));
+    }
+    const size_t child_count = sizes[level - 1];
+    const size_t first = index * proof.fanout;
+    const size_t last = std::min(child_count, first + proof.fanout);
+    std::vector<Digest> children;
+    children.reserve(last - first);
+    for (size_t c = first; c < last; ++c) {
+      SPAUTH_ASSIGN_OR_RETURN(Digest child, reconstruct(level - 1, c));
+      children.push_back(child);
+    }
+    return HashInternalNode(proof.alg, children);
+  };
+
+  SPAUTH_ASSIGN_OR_RETURN(Digest root, reconstruct(sizes.size() - 1, 0));
+  if (cursor != proof.digests.size()) {
+    return Status::Malformed("merkle proof has unused digests");
+  }
+  return root;
+}
+
+}  // namespace spauth

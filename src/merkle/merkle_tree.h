@@ -1,0 +1,93 @@
+// n-ary Merkle hash tree with subset proofs (Sections II-A and III-B).
+//
+// The tree is built over an ordered sequence of leaf digests; internal nodes
+// hash the concatenation of their children. The *fanout* (number of children
+// per node, Table II: 2..32) and the hash algorithm are configurable.
+//
+// Subset proofs follow Merkle [11] / Martel et al. [12] exactly as the paper
+// states: a digest h_i enters the proof iff (i) h_i's subtree contains no
+// target leaf and (ii) its parent's subtree does. Digests are emitted in
+// deterministic root-down, left-to-right DFS order; the verifier replays the
+// same recursion (it knows num_leaves and fanout) and consumes the stream.
+//
+// Domain separation: leaves are hashed as H(0x00 || payload), internal nodes
+// as H(0x01 || child digests), preventing leaf/internal confusion attacks.
+#ifndef SPAUTH_MERKLE_MERKLE_TREE_H_
+#define SPAUTH_MERKLE_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// Hashes a leaf payload with the leaf domain tag.
+Digest HashLeafPayload(HashAlgorithm alg, std::span<const uint8_t> payload);
+
+/// Hashes the concatenation of child digests with the internal-node tag.
+Digest HashInternalNode(HashAlgorithm alg, std::span<const Digest> children);
+
+/// The sibling digests accompanying a leaf subset, plus the tree shape
+/// needed to replay the reconstruction.
+struct MerkleSubsetProof {
+  uint32_t num_leaves = 0;
+  uint32_t fanout = 0;
+  HashAlgorithm alg = HashAlgorithm::kSha1;
+  std::vector<Digest> digests;  // deterministic DFS order
+
+  size_t num_digests() const { return digests.size(); }
+  /// Serialized wire size in bytes (what the client downloads).
+  size_t SerializedSize() const;
+  void Serialize(ByteWriter* out) const;
+  static Result<MerkleSubsetProof> Deserialize(ByteReader* in);
+};
+
+class MerkleTree {
+ public:
+  /// Builds the tree over `leaf_digests` (already leaf-domain hashed).
+  /// Requires at least one leaf and fanout >= 2.
+  static Result<MerkleTree> Build(std::vector<Digest> leaf_digests,
+                                  uint32_t fanout, HashAlgorithm alg);
+
+  const Digest& root() const { return levels_.back()[0]; }
+  size_t num_leaves() const { return levels_[0].size(); }
+  uint32_t fanout() const { return fanout_; }
+  HashAlgorithm algorithm() const { return alg_; }
+  /// Total digests stored (storage accounting).
+  size_t total_digests() const;
+
+  /// Proof for the given sorted, duplicate-free leaf indices.
+  Result<MerkleSubsetProof> GenerateProof(
+      std::span<const uint32_t> leaf_indices) const;
+
+  /// Replaces one leaf digest and recomputes the O(f log_f n) path of
+  /// internal digests up to the root. This is what makes owner-side
+  /// updates (e.g. an edge-weight change re-hashing two tuples) cheap:
+  /// no full rebuild, only a root re-sign.
+  Status UpdateLeaf(uint32_t leaf_index, const Digest& new_digest);
+
+ private:
+  MerkleTree(std::vector<std::vector<Digest>> levels, uint32_t fanout,
+             HashAlgorithm alg)
+      : levels_(std::move(levels)), fanout_(fanout), alg_(alg) {}
+
+  std::vector<std::vector<Digest>> levels_;  // [0] = leaves, back() = {root}
+  uint32_t fanout_;
+  HashAlgorithm alg_;
+};
+
+/// Recomputes the root from the target leaves (index -> leaf digest) and the
+/// proof stream. Fails if the proof shape is inconsistent with the leaf set.
+/// Comparing the result against a signed root completes verification.
+Result<Digest> ReconstructMerkleRoot(
+    const MerkleSubsetProof& proof,
+    const std::map<uint32_t, Digest>& target_leaves);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_MERKLE_MERKLE_TREE_H_

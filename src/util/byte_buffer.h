@@ -1,0 +1,156 @@
+// Canonical binary encoding used everywhere a byte string is hashed, signed,
+// or shipped to the client.
+//
+// All integers are little-endian fixed width; doubles are encoded as the
+// little-endian bytes of their IEEE-754 bit pattern. There is exactly one
+// encoding for every value, which is what makes digests well defined.
+#ifndef SPAUTH_UTIL_BYTE_BUFFER_H_
+#define SPAUTH_UTIL_BYTE_BUFFER_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spauth {
+
+/// Append-only binary encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteLittleEndian(v); }
+  void WriteU32(uint32_t v) { WriteLittleEndian(v); }
+  void WriteU64(uint64_t v) { WriteLittleEndian(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteF64(double v) { WriteU64(std::bit_cast<uint64_t>(v)); }
+
+  /// Raw bytes, no length prefix.
+  void WriteBytes(std::span<const uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  void WriteBytes(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  /// u32 length prefix followed by the bytes.
+  void WriteLengthPrefixed(std::span<const uint8_t> data) {
+    WriteU32(static_cast<uint32_t>(data.size()));
+    WriteBytes(data);
+  }
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  std::span<const uint8_t> view() const { return bytes_; }
+
+ private:
+  template <typename T>
+  void WriteLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked binary decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out) { return ReadLittleEndian(out); }
+  Status ReadU16(uint16_t* out) { return ReadLittleEndian(out); }
+  Status ReadU32(uint32_t* out) { return ReadLittleEndian(out); }
+  Status ReadU64(uint64_t* out) { return ReadLittleEndian(out); }
+
+  Status ReadBool(bool* out) {
+    uint8_t v = 0;
+    SPAUTH_RETURN_IF_ERROR(ReadU8(&v));
+    if (v > 1) {
+      return Status::Malformed("bool byte out of range");
+    }
+    *out = (v == 1);
+    return Status::Ok();
+  }
+
+  Status ReadF64(double* out) {
+    uint64_t bits = 0;
+    SPAUTH_RETURN_IF_ERROR(ReadU64(&bits));
+    *out = std::bit_cast<double>(bits);
+    return Status::Ok();
+  }
+
+  /// Reads exactly `size` raw bytes.
+  Status ReadBytes(size_t size, std::vector<uint8_t>* out) {
+    if (remaining() < size) {
+      return Status::OutOfRange("buffer underflow reading bytes");
+    }
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + size);
+    pos_ += size;
+    return Status::Ok();
+  }
+  Status ReadBytesInto(void* out, size_t size) {
+    if (remaining() < size) {
+      return Status::OutOfRange("buffer underflow reading bytes");
+    }
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+
+  /// Reads a u32 length prefix followed by that many bytes.
+  Status ReadLengthPrefixed(std::vector<uint8_t>* out) {
+    uint32_t len = 0;
+    SPAUTH_RETURN_IF_ERROR(ReadU32(&len));
+    return ReadBytes(len, out);
+  }
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    SPAUTH_RETURN_IF_ERROR(ReadU32(&len));
+    if (remaining() < len) {
+      return Status::OutOfRange("buffer underflow reading string");
+    }
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Status ReadLittleEndian(T* out) {
+    if (remaining() < sizeof(T)) {
+      return Status::OutOfRange("buffer underflow reading integer");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::Ok();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_BYTE_BUFFER_H_

@@ -1,0 +1,23 @@
+// Hex encoding/decoding helpers (used for digest display and test vectors).
+#ifndef SPAUTH_UTIL_HEX_H_
+#define SPAUTH_UTIL_HEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spauth {
+
+/// Lowercase hex string of `data`.
+std::string ToHex(std::span<const uint8_t> data);
+
+/// Parses a hex string (even length, upper or lower case).
+Result<std::vector<uint8_t>> FromHex(std::string_view hex);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_HEX_H_

@@ -1,0 +1,69 @@
+#include "util/rng.h"
+
+namespace spauth {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256** by Blackman & Vigna.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+void Rng::FillBytes(uint8_t* out, size_t size) {
+  size_t i = 0;
+  while (i + 8 <= size) {
+    uint64_t v = NextU64();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  if (i < size) {
+    uint64_t v = NextU64();
+    for (int b = 0; i < size; ++b) {
+      out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+}  // namespace spauth

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generator (xoshiro256** seeded via
+// SplitMix64). All randomness in spauth flows through this type so that
+// graphs, workloads, keys, benches and tests are reproducible bit-for-bit
+// from a 64-bit seed.
+#ifndef SPAUTH_UTIL_RNG_H_
+#define SPAUTH_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spauth {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  /// Uniform over [0, bound). bound must be > 0. Uses rejection sampling, so
+  /// the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform over [0, 2^32).
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// true with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Fills `out` with random bytes.
+  void FillBytes(uint8_t* out, size_t size);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_RNG_H_

@@ -1,0 +1,150 @@
+// Lightweight Status / Result error-handling kernel (absl/arrow style).
+//
+// Every fallible operation in spauth returns a Status (or Result<T>); the
+// library never throws. VerifyOutcome (core/verify_outcome.h) layers
+// client-side accept/reject semantics on top of this.
+#ifndef SPAUTH_UTIL_STATUS_H_
+#define SPAUTH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace spauth {
+
+/// Canonical error codes used across the library.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed an argument that violates the API contract.
+  kInvalidArgument,
+  /// A requested entity (node, edge, key) does not exist.
+  kNotFound,
+  /// The operation requires state that has not been established.
+  kFailedPrecondition,
+  /// A cryptographic or structural verification check failed.
+  kVerificationFailed,
+  /// Decoding ran past the end of a buffer or a value was out of range.
+  kOutOfRange,
+  /// Wire bytes could not be parsed into the expected structure.
+  kMalformed,
+  /// An internal invariant was violated (library bug).
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Malformed(std::string msg) {
+    return Status(StatusCode::kMalformed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// OK if a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(payload_);
+  }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace spauth
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define SPAUTH_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::spauth::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                \
+      return status_macro_;                   \
+    }                                         \
+  } while (false)
+
+#define SPAUTH_MACRO_CONCAT_INNER(a, b) a##b
+#define SPAUTH_MACRO_CONCAT(a, b) SPAUTH_MACRO_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise binds the
+/// value to `lhs`.
+#define SPAUTH_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  SPAUTH_ASSIGN_OR_RETURN_IMPL(SPAUTH_MACRO_CONCAT(result_macro_, __LINE__), \
+                               lhs, rexpr)
+
+#define SPAUTH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#endif  // SPAUTH_UTIL_STATUS_H_

@@ -1,0 +1,27 @@
+// Simple wall-clock timer used by benches and construction-time accounting.
+#ifndef SPAUTH_UTIL_TIMER_H_
+#define SPAUTH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace spauth {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_TIMER_H_

@@ -1,0 +1,189 @@
+#include "baseline/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "graph/path.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+class ConnectivityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(8);
+    keys_ = new RsaKeyPair(RsaKeyPair::Generate(512, &rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static RsaKeyPair* keys_;
+};
+
+RsaKeyPair* ConnectivityTest::keys_ = nullptr;
+
+AuthenticatedForest MustBuild(const Graph& g, const RsaKeyPair& keys) {
+  auto forest =
+      AuthenticatedForest::Build(g, keys, HashAlgorithm::kSha1, 2);
+  EXPECT_TRUE(forest.ok());
+  return std::move(forest).value();
+}
+
+TEST_F(ConnectivityTest, ConnectedPairVerifies) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 1);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Query q{static_cast<NodeId>(rng.NextBounded(200)),
+            static_cast<NodeId>(rng.NextBounded(200))};
+    if (q.source == q.target) {
+      continue;
+    }
+    auto answer = forest.AnswerQuery(q);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_TRUE(answer.value().connected);
+    EXPECT_TRUE(ValidatePath(g, answer.value().tree_path, q.source, q.target)
+                    .ok());
+    VerifyOutcome outcome = VerifyConnectivityAnswer(
+        keys_->public_key(), forest.root(), forest.root_signature(), q,
+        answer.value());
+    EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+  }
+}
+
+TEST_F(ConnectivityTest, DisconnectedPairVerifies) {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AuthenticatedForest forest = MustBuild(g.value(), *keys_);
+  Query q{0, 4};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer.value().connected);
+  VerifyOutcome outcome = VerifyConnectivityAnswer(
+      keys_->public_key(), forest.root(), forest.root_signature(), q,
+      answer.value());
+  EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+}
+
+TEST_F(ConnectivityTest, LyingAboutDisconnectionRejected) {
+  Graph g = testing::MakeRandomRoadNetwork(60, 2);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Query q{0, 50};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  AuthenticatedForest::Answer forged = answer.value();
+  forged.connected = false;  // deny a real connection
+  VerifyOutcome outcome = VerifyConnectivityAnswer(
+      keys_->public_key(), forest.root(), forest.root_signature(), q, forged);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST_F(ConnectivityTest, ForgedRecordRejected) {
+  Graph g = testing::MakeRandomRoadNetwork(60, 3);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Query q{0, 50};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  AuthenticatedForest::Answer forged = answer.value();
+  forged.records[0].component += 1;
+  VerifyOutcome outcome = VerifyConnectivityAnswer(
+      keys_->public_key(), forest.root(), forest.root_signature(), q, forged);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.failure, VerifyFailure::kRootMismatch);
+}
+
+TEST_F(ConnectivityTest, NonTreePathRejected) {
+  Graph g = testing::MakeRandomRoadNetwork(60, 4);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Query q{0, 50};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  AuthenticatedForest::Answer forged = answer.value();
+  // Shortcut the path: drop an interior node (hop is no longer a parent
+  // link).
+  if (forged.tree_path.nodes.size() >= 3) {
+    forged.tree_path.nodes.erase(forged.tree_path.nodes.begin() + 1);
+    VerifyOutcome outcome = VerifyConnectivityAnswer(
+        keys_->public_key(), forest.root(), forest.root_signature(), q,
+        forged);
+    EXPECT_FALSE(outcome.accepted);
+  }
+}
+
+TEST_F(ConnectivityTest, SerializationRoundTrip) {
+  Graph g = testing::MakeRandomRoadNetwork(80, 5);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Query q{1, 70};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  ByteWriter w;
+  answer.value().Serialize(&w);
+  EXPECT_EQ(w.size(), answer.value().SerializedSize());
+  ByteReader r(w.view());
+  auto back = AuthenticatedForest::Answer::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(r.AtEnd());
+  VerifyOutcome outcome = VerifyConnectivityAnswer(
+      keys_->public_key(), forest.root(), forest.root_signature(), q,
+      back.value());
+  EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+}
+
+TEST_F(ConnectivityTest, TreePathsAreGenerallyNotShortest) {
+  // The paper's argument against [8] as a shortest-path mechanism: measure
+  // the stretch of tree paths vs true shortest paths.
+  Graph g = testing::MakeRandomRoadNetwork(400, 6);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Rng rng(7);
+  double total_stretch = 0;
+  int measured = 0;
+  bool any_strictly_longer = false;
+  for (int trial = 0; trial < 30; ++trial) {
+    Query q{static_cast<NodeId>(rng.NextBounded(400)),
+            static_cast<NodeId>(rng.NextBounded(400))};
+    if (q.source == q.target) {
+      continue;
+    }
+    auto answer = forest.AnswerQuery(q);
+    ASSERT_TRUE(answer.ok());
+    auto tree_len = ComputePathDistance(g, answer.value().tree_path);
+    ASSERT_TRUE(tree_len.ok());
+    auto sp = DijkstraShortestPath(g, q.source, q.target);
+    ASSERT_TRUE(sp.reachable);
+    EXPECT_GE(tree_len.value(), sp.distance - 1e-9);
+    if (tree_len.value() > sp.distance * 1.05) {
+      any_strictly_longer = true;
+    }
+    total_stretch += tree_len.value() / sp.distance;
+    ++measured;
+  }
+  ASSERT_GT(measured, 10);
+  EXPECT_TRUE(any_strictly_longer);
+  EXPECT_GT(total_stretch / measured, 1.01);  // average stretch > 1
+}
+
+TEST_F(ConnectivityTest, SameNodeQuery) {
+  Graph g = testing::MakeRandomRoadNetwork(40, 9);
+  AuthenticatedForest forest = MustBuild(g, *keys_);
+  Query q{5, 5};
+  auto answer = forest.AnswerQuery(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().connected);
+  VerifyOutcome outcome = VerifyConnectivityAnswer(
+      keys_->public_key(), forest.root(), forest.root_signature(), q,
+      answer.value());
+  EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,77 @@
+#include "core/algosp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+constexpr SpAlgorithm kAllAlgorithms[] = {SpAlgorithm::kDijkstra,
+                                          SpAlgorithm::kBidirectional,
+                                          SpAlgorithm::kAStarEuclidean};
+
+TEST(AlgospTest, AllAlgorithmsAgreeOnDistances) {
+  const auto& ctx = CoreTestContext::Get();
+  for (const Query& q : ctx.queries) {
+    auto reference = RunShortestPath(ctx.graph, q.source, q.target,
+                                     SpAlgorithm::kDijkstra);
+    ASSERT_TRUE(reference.reachable);
+    for (SpAlgorithm algo : kAllAlgorithms) {
+      auto result = RunShortestPath(ctx.graph, q.source, q.target, algo);
+      ASSERT_TRUE(result.reachable) << ToString(algo);
+      EXPECT_NEAR(result.distance, reference.distance, 1e-9)
+          << ToString(algo);
+    }
+  }
+}
+
+TEST(AlgospTest, ProviderChoiceDoesNotAffectVerification) {
+  // Algorithm 1: the provider may use any exact algosp; the proof and the
+  // client outcome are unchanged.
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    for (SpAlgorithm algo : kAllAlgorithms) {
+      EngineOptions options = CoreTestContext::DefaultOptions(method);
+      options.provider_algorithm = algo;
+      auto engine = MakeEngine(ctx.graph, options, ctx.keys);
+      ASSERT_TRUE(engine.ok());
+      const Query q = ctx.queries[3];
+      auto bundle = engine.value()->Answer(q);
+      ASSERT_TRUE(bundle.ok()) << ToString(method) << "/" << ToString(algo);
+      VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+      EXPECT_TRUE(outcome.accepted)
+          << ToString(method) << "/" << ToString(algo) << ": "
+          << outcome.ToString();
+    }
+  }
+}
+
+TEST(AlgospTest, DistanceIdenticalAcrossProviderAlgorithms) {
+  const auto& ctx = CoreTestContext::Get();
+  EngineOptions base = CoreTestContext::DefaultOptions(MethodKind::kDij);
+  std::vector<double> distances;
+  for (SpAlgorithm algo : kAllAlgorithms) {
+    EngineOptions options = base;
+    options.provider_algorithm = algo;
+    auto engine = MakeEngine(ctx.graph, options, ctx.keys);
+    ASSERT_TRUE(engine.ok());
+    auto bundle = engine.value()->Answer(ctx.queries[0]);
+    ASSERT_TRUE(bundle.ok());
+    distances.push_back(bundle.value().distance);
+  }
+  EXPECT_NEAR(distances[0], distances[1], 1e-9);
+  EXPECT_NEAR(distances[0], distances[2], 1e-9);
+}
+
+TEST(AlgospTest, Names) {
+  EXPECT_EQ(ToString(SpAlgorithm::kDijkstra), "dijkstra");
+  EXPECT_EQ(ToString(SpAlgorithm::kBidirectional), "bidirectional");
+  EXPECT_EQ(ToString(SpAlgorithm::kAStarEuclidean), "astar-euclidean");
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,173 @@
+#include "core/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(2010);
+    auto kp = RsaKeyPair::Generate(512, &rng);
+    ASSERT_TRUE(kp.ok());
+    keys_ = new RsaKeyPair(std::move(kp).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  static MethodParams SampleParams(MethodKind kind) {
+    MethodParams p;
+    p.method = kind;
+    p.alg = HashAlgorithm::kSha1;
+    p.fanout = 4;
+    p.ordering = NodeOrdering::kDfs;
+    p.num_network_leaves = 1234;
+    if (kind == MethodKind::kFull || kind == MethodKind::kHyp) {
+      p.has_distance_tree = true;
+      p.num_distance_leaves = 777;
+      p.distance_fanout = 8;
+    }
+    if (kind == MethodKind::kLdm) {
+      p.has_landmarks = true;
+      p.num_landmarks = 40;
+      p.lambda = 3.25;
+    }
+    if (kind == MethodKind::kHyp) {
+      p.has_cells = true;
+      p.num_cells = 4;
+      p.cell_counts = {10, 20, 30, 40};
+    }
+    return p;
+  }
+
+  static Digest SampleDigest(const char* tag) {
+    return Hasher::Hash(HashAlgorithm::kSha1,
+                        {reinterpret_cast<const uint8_t*>(tag), strlen(tag)});
+  }
+
+  static RsaKeyPair* keys_;
+};
+
+RsaKeyPair* CertificateTest::keys_ = nullptr;
+
+TEST_F(CertificateTest, ParamsRoundTripAllMethods) {
+  for (MethodKind kind : {MethodKind::kDij, MethodKind::kFull,
+                          MethodKind::kLdm, MethodKind::kHyp}) {
+    MethodParams p = SampleParams(kind);
+    ByteWriter w;
+    p.Serialize(&w);
+    ByteReader r(w.view());
+    auto back = MethodParams::Deserialize(&r);
+    ASSERT_TRUE(back.ok()) << ToString(kind);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(back.value().method, p.method);
+    EXPECT_EQ(back.value().fanout, p.fanout);
+    EXPECT_EQ(back.value().num_network_leaves, p.num_network_leaves);
+    EXPECT_EQ(back.value().has_distance_tree, p.has_distance_tree);
+    EXPECT_EQ(back.value().num_distance_leaves, p.num_distance_leaves);
+    EXPECT_EQ(back.value().has_landmarks, p.has_landmarks);
+    EXPECT_EQ(back.value().lambda, p.lambda);
+    EXPECT_EQ(back.value().cell_counts, p.cell_counts);
+  }
+}
+
+TEST_F(CertificateTest, SignAndVerify) {
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kDij),
+                              SampleDigest("network"), Digest());
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(VerifyCertificate(keys_->public_key(), cert.value()));
+}
+
+TEST_F(CertificateTest, SerializationRoundTripVerifies) {
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kHyp),
+                              SampleDigest("network"), SampleDigest("dist"));
+  ASSERT_TRUE(cert.ok());
+  ByteWriter w;
+  cert.value().Serialize(&w);
+  EXPECT_EQ(w.size(), cert.value().SerializedSize());
+  ByteReader r(w.view());
+  auto back = Certificate::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(VerifyCertificate(keys_->public_key(), back.value()));
+}
+
+TEST_F(CertificateTest, TamperedRootRejected) {
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kFull),
+                              SampleDigest("network"), SampleDigest("dist"));
+  ASSERT_TRUE(cert.ok());
+  Certificate forged = cert.value();
+  forged.network_root = SampleDigest("other");
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+  forged = cert.value();
+  forged.distance_root = SampleDigest("other");
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+}
+
+TEST_F(CertificateTest, TamperedParamsRejected) {
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kLdm),
+                              SampleDigest("network"), Digest());
+  ASSERT_TRUE(cert.ok());
+  Certificate forged = cert.value();
+  forged.params.lambda *= 2;  // weaker quantization bound
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+  forged = cert.value();
+  forged.params.fanout = 32;
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+  forged = cert.value();
+  forged.params.num_network_leaves -= 1;
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+}
+
+TEST_F(CertificateTest, TamperedCellCountsRejected) {
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kHyp),
+                              SampleDigest("network"), SampleDigest("dist"));
+  ASSERT_TRUE(cert.ok());
+  Certificate forged = cert.value();
+  forged.params.cell_counts[2] -= 1;  // hide one node of cell 2
+  EXPECT_FALSE(VerifyCertificate(keys_->public_key(), forged));
+}
+
+TEST_F(CertificateTest, WrongKeyRejected) {
+  Rng rng(555);
+  auto other = RsaKeyPair::Generate(512, &rng);
+  ASSERT_TRUE(other.ok());
+  auto cert = MakeCertificate(*keys_, SampleParams(MethodKind::kDij),
+                              SampleDigest("network"), Digest());
+  ASSERT_TRUE(cert.ok());
+  EXPECT_FALSE(VerifyCertificate(other.value().public_key(), cert.value()));
+}
+
+TEST_F(CertificateTest, DeserializeRejectsMalformed) {
+  // Unknown method byte.
+  ByteWriter w;
+  w.WriteU8(99);
+  ByteReader r(w.view());
+  EXPECT_FALSE(MethodParams::Deserialize(&r).ok());
+
+  // Cell count table inconsistent with num_cells.
+  MethodParams p = SampleParams(MethodKind::kHyp);
+  p.cell_counts.pop_back();
+  ByteWriter w2;
+  p.Serialize(&w2);
+  ByteReader r2(w2.view());
+  EXPECT_FALSE(MethodParams::Deserialize(&r2).ok());
+}
+
+TEST_F(CertificateTest, MethodKindNamesRoundTrip) {
+  for (MethodKind kind : {MethodKind::kDij, MethodKind::kFull,
+                          MethodKind::kLdm, MethodKind::kHyp}) {
+    auto parsed = ParseMethodKind(static_cast<uint8_t>(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseMethodKind(0).ok());
+}
+
+}  // namespace
+}  // namespace spauth

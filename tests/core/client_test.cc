@@ -1,0 +1,97 @@
+#include "core/client.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+TEST(WireClientTest, VerifiesAllMethodsWithoutAnEngine) {
+  const auto& ctx = CoreTestContext::Get();
+  const RsaPublicKey& owner_key = ctx.keys.public_key();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    for (const Query& q : ctx.queries) {
+      auto bundle = engine->Answer(q);
+      ASSERT_TRUE(bundle.ok());
+      // The standalone client sees only the bytes + the public key.
+      WireVerification result =
+          VerifyWireAnswer(owner_key, q, bundle.value().bytes);
+      EXPECT_TRUE(result.outcome.accepted)
+          << ToString(method) << ": " << result.outcome.ToString();
+      EXPECT_EQ(result.method, method);
+      EXPECT_EQ(result.path, bundle.value().path);
+      EXPECT_EQ(result.distance, bundle.value().distance);
+    }
+  }
+}
+
+TEST(WireClientTest, MethodDispatchComesFromTheCertificate) {
+  const auto& ctx = CoreTestContext::Get();
+  auto hyp = ctx.MakeMethodEngine(MethodKind::kHyp);
+  auto bundle = hyp->Answer(ctx.queries[0]);
+  ASSERT_TRUE(bundle.ok());
+  WireVerification result = VerifyWireAnswer(ctx.keys.public_key(),
+                                             ctx.queries[0],
+                                             bundle.value().bytes);
+  EXPECT_EQ(result.method, MethodKind::kHyp);
+  EXPECT_TRUE(result.outcome.accepted);
+}
+
+TEST(WireClientTest, RejectsWrongOwnerKey) {
+  const auto& ctx = CoreTestContext::Get();
+  Rng rng(606);
+  auto other = RsaKeyPair::Generate(512, &rng);
+  ASSERT_TRUE(other.ok());
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  auto bundle = engine->Answer(ctx.queries[0]);
+  ASSERT_TRUE(bundle.ok());
+  WireVerification result = VerifyWireAnswer(
+      other.value().public_key(), ctx.queries[0], bundle.value().bytes);
+  EXPECT_FALSE(result.outcome.accepted);
+  EXPECT_EQ(result.outcome.failure, VerifyFailure::kBadCertificate);
+}
+
+TEST(WireClientTest, RejectsGarbageWithoutCrashing) {
+  const auto& ctx = CoreTestContext::Get();
+  Rng rng(607);
+  for (size_t size : {0u, 3u, 64u, 1024u}) {
+    std::vector<uint8_t> noise(size);
+    rng.FillBytes(noise.data(), noise.size());
+    WireVerification result =
+        VerifyWireAnswer(ctx.keys.public_key(), ctx.queries[0], noise);
+    EXPECT_FALSE(result.outcome.accepted);
+    EXPECT_EQ(result.outcome.failure, VerifyFailure::kMalformedProof);
+  }
+}
+
+TEST(WireClientTest, RejectsQueryMismatch) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kFull);
+  auto bundle = engine->Answer(ctx.queries[0]);
+  ASSERT_TRUE(bundle.ok());
+  WireVerification result = VerifyWireAnswer(ctx.keys.public_key(),
+                                             ctx.queries[1],
+                                             bundle.value().bytes);
+  EXPECT_FALSE(result.outcome.accepted);
+}
+
+TEST(WireClientTest, TrailingBytesRejected) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kLdm);
+  auto bundle = engine->Answer(ctx.queries[2]);
+  ASSERT_TRUE(bundle.ok());
+  std::vector<uint8_t> padded = bundle.value().bytes;
+  padded.push_back(0x00);
+  WireVerification result =
+      VerifyWireAnswer(ctx.keys.public_key(), ctx.queries[2], padded);
+  EXPECT_FALSE(result.outcome.accepted);
+  EXPECT_EQ(result.outcome.failure, VerifyFailure::kMalformedProof);
+}
+
+}  // namespace
+}  // namespace spauth

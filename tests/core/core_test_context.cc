@@ -1,0 +1,57 @@
+#include "core/core_test_context.h"
+
+#include <cstdlib>
+
+#include "graph/generator.h"
+#include "util/rng.h"
+
+namespace spauth::testing {
+
+EngineOptions CoreTestContext::DefaultOptions(MethodKind kind) {
+  EngineOptions options;
+  options.method = kind;
+  options.num_landmarks = 12;
+  options.num_cells = 16;
+  return options;
+}
+
+std::unique_ptr<MethodEngine> CoreTestContext::MakeMethodEngine(
+    MethodKind kind) const {
+  auto engine = MakeEngine(graph, DefaultOptions(kind), keys);
+  if (!engine.ok()) {
+    std::abort();
+  }
+  return std::move(engine).value();
+}
+
+const CoreTestContext& CoreTestContext::Get() {
+  static CoreTestContext* context = [] {
+    RoadNetworkOptions gopts;
+    gopts.num_nodes = 400;
+    gopts.seed = 20100306;
+    gopts.coord_extent = 4500;  // match the dataset calibration
+    auto graph = GenerateRoadNetwork(gopts);
+    if (!graph.ok()) {
+      std::abort();
+    }
+    Rng rng(424242);
+    auto keys = RsaKeyPair::Generate(512, &rng);
+    if (!keys.ok()) {
+      std::abort();
+    }
+    WorkloadOptions wopts;
+    wopts.count = 8;
+    wopts.query_range = 3500;
+    wopts.seed = 99;
+    auto queries = GenerateWorkload(graph.value(), wopts);
+    if (!queries.ok()) {
+      std::abort();
+    }
+    return new CoreTestContext{std::move(graph).value(),
+                               std::move(keys).value(),
+                               std::move(queries).value()};
+  }();
+  return *context;
+}
+
+}  // namespace spauth::testing

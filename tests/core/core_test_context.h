@@ -1,0 +1,32 @@
+// Shared fixture for the core method tests: one road network, one owner key
+// pair and one query workload, built once per process.
+#ifndef SPAUTH_TESTS_CORE_CORE_TEST_CONTEXT_H_
+#define SPAUTH_TESTS_CORE_CORE_TEST_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "crypto/rsa.h"
+#include "graph/graph.h"
+#include "graph/workload.h"
+
+namespace spauth::testing {
+
+struct CoreTestContext {
+  Graph graph;              // 400-node connected road network
+  RsaKeyPair keys;          // 512-bit owner key (fast for tests)
+  std::vector<Query> queries;  // 8 mid-range queries
+
+  static const CoreTestContext& Get();
+
+  /// Engine with test-friendly defaults for `kind` (smaller c / p than the
+  /// production defaults, scaled to the 400-node fixture).
+  std::unique_ptr<MethodEngine> MakeMethodEngine(MethodKind kind) const;
+
+  static EngineOptions DefaultOptions(MethodKind kind);
+};
+
+}  // namespace spauth::testing
+
+#endif  // SPAUTH_TESTS_CORE_CORE_TEST_CONTEXT_H_

@@ -1,0 +1,146 @@
+// Cross-cutting edge cases: zero-weight edges through the whole pipeline,
+// stats/wire consistency, tiny graphs, and repeated queries.
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/client.h"
+#include "core/engine.h"
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+/// A connected graph containing zero-weight edges (e.g. free ferry links).
+Graph MakeZeroWeightGraph() {
+  GraphBuilder b;
+  for (int i = 0; i < 12; ++i) {
+    b.AddNode(i * 10.0, (i % 3) * 10.0);
+  }
+  Rng rng(5);
+  for (int i = 0; i + 1 < 12; ++i) {
+    EXPECT_TRUE(b.AddEdge(i, i + 1, i % 4 == 0 ? 0.0 : 1.0 + i * 0.1).ok());
+  }
+  EXPECT_TRUE(b.AddEdge(0, 11, 30.0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 7, 0.0).ok());  // zero-weight shortcut
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(EdgeCasesTest, ZeroWeightEdgesEndToEnd) {
+  Graph g = MakeZeroWeightGraph();
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options = CoreTestContext::DefaultOptions(method);
+    options.num_landmarks = 3;
+    options.num_cells = 4;
+    auto engine = MakeEngine(g, options, ctx.keys);
+    ASSERT_TRUE(engine.ok()) << ToString(method);
+    Query q{0, 11};
+    auto truth = DijkstraShortestPath(g, q.source, q.target);
+    auto bundle = engine.value()->Answer(q);
+    ASSERT_TRUE(bundle.ok()) << ToString(method);
+    EXPECT_NEAR(bundle.value().distance, truth.distance, 1e-9);
+    VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+    EXPECT_TRUE(outcome.accepted)
+        << ToString(method) << ": " << outcome.ToString();
+  }
+}
+
+TEST(EdgeCasesTest, StatsAccountForTheWholeWireMessage) {
+  // sp_bytes + t_bytes must track the real serialized size closely (the
+  // benches report these split numbers as the paper's S-prf/T-prf bars).
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    for (const Query& q : ctx.queries) {
+      auto bundle = engine->Answer(q);
+      ASSERT_TRUE(bundle.ok());
+      const double accounted =
+          static_cast<double>(bundle.value().stats.total_bytes());
+      const double actual = static_cast<double>(bundle.value().bytes.size());
+      EXPECT_NEAR(accounted / actual, 1.0, 0.05)
+          << ToString(method) << ": accounted " << accounted << " actual "
+          << actual;
+    }
+  }
+}
+
+TEST(EdgeCasesTest, TinyTwoNodeGraph) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(100, 0);
+  ASSERT_TRUE(b.AddEdge(0, 1, 100.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options = CoreTestContext::DefaultOptions(method);
+    options.num_landmarks = 1;
+    options.num_cells = 1;
+    auto engine = MakeEngine(g.value(), options, ctx.keys);
+    ASSERT_TRUE(engine.ok()) << ToString(method);
+    Query q{0, 1};
+    auto bundle = engine.value()->Answer(q);
+    ASSERT_TRUE(bundle.ok()) << ToString(method);
+    EXPECT_DOUBLE_EQ(bundle.value().distance, 100.0);
+    EXPECT_TRUE(engine.value()->Verify(q, bundle.value()).accepted)
+        << ToString(method);
+  }
+}
+
+TEST(EdgeCasesTest, RepeatedQueriesAreDeterministic) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kLdm);
+  const Query q = ctx.queries[0];
+  auto a = engine->Answer(q);
+  auto b = engine->Answer(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().bytes, b.value().bytes);
+}
+
+TEST(EdgeCasesTest, ReversedQueryVerifiesToo) {
+  // Undirected network: (t, s) is as answerable as (s, t), with equal
+  // distance.
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kHyp);
+  const Query q = ctx.queries[0];
+  const Query reversed{q.target, q.source};
+  auto fwd = engine->Answer(q);
+  auto bwd = engine->Answer(reversed);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_NEAR(fwd.value().distance, bwd.value().distance, 1e-9);
+  EXPECT_TRUE(engine->Verify(reversed, bwd.value()).accepted);
+}
+
+TEST(EdgeCasesTest, ProvidersRejectDegenerateQueries) {
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    EXPECT_FALSE(engine->Answer({5, 5}).ok()) << ToString(method);
+    EXPECT_FALSE(engine->Answer({5, kInvalidNode}).ok()) << ToString(method);
+    EXPECT_FALSE(engine->Answer({kInvalidNode, 5}).ok()) << ToString(method);
+  }
+}
+
+TEST(EdgeCasesTest, WireClientAgreesWithEngineVerify) {
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    const Query q = ctx.queries[4];
+    auto bundle = engine->Answer(q);
+    ASSERT_TRUE(bundle.ok());
+    VerifyOutcome via_engine = engine->Verify(q, bundle.value());
+    WireVerification via_wire =
+        VerifyWireAnswer(ctx.keys.public_key(), q, bundle.value().bytes);
+    EXPECT_EQ(via_engine.accepted, via_wire.outcome.accepted);
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,115 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "graph/workload.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+double MeasuredMeanBytes(const MethodEngine& engine, const Graph& g,
+                         double range) {
+  WorkloadOptions wopts;
+  wopts.count = 8;
+  wopts.query_range = range;
+  wopts.seed = 4242;  // disjoint from the estimator's calibration seed
+  auto queries = GenerateWorkload(g, wopts);
+  EXPECT_TRUE(queries.ok());
+  double total = 0;
+  for (const Query& q : queries.value()) {
+    auto bundle = engine.Answer(q);
+    EXPECT_TRUE(bundle.ok());
+    total += static_cast<double>(bundle.value().stats.total_bytes());
+  }
+  return total / queries.value().size();
+}
+
+TEST(EstimatorTest, InterpolationWithinTolerance) {
+  // Calibrate on {1000, 2000, 5000} and predict an unseen range in between;
+  // the estimate must land within +-40% of the measured mean (the paper's
+  // use case is order-of-magnitude budgeting).
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    EstimatorOptions options;
+    options.calibration_ranges = {1000, 2000, 5000};
+    auto model = FitProofSizeModel(*engine, ctx.graph, options);
+    ASSERT_TRUE(model.ok()) << ToString(method);
+    const double predicted = model.value().EstimateBytes(3000);
+    const double measured = MeasuredMeanBytes(*engine, ctx.graph, 3000);
+    EXPECT_GT(predicted, measured * 0.6) << ToString(method);
+    EXPECT_LT(predicted, measured * 1.4) << ToString(method);
+  }
+}
+
+TEST(EstimatorTest, DijGrowsFasterThanFull) {
+  // The slopes encode the paper's message: DIJ's proof explodes with the
+  // range while FULL's barely moves.
+  const auto& ctx = CoreTestContext::Get();
+  auto dij = ctx.MakeMethodEngine(MethodKind::kDij);
+  auto full = ctx.MakeMethodEngine(MethodKind::kFull);
+  EstimatorOptions options;
+  auto m_dij = FitProofSizeModel(*dij, ctx.graph, options);
+  auto m_full = FitProofSizeModel(*full, ctx.graph, options);
+  ASSERT_TRUE(m_dij.ok());
+  ASSERT_TRUE(m_full.ok());
+  EXPECT_GT(m_dij.value().slope_b, m_full.value().slope_b);
+  EXPECT_GT(m_dij.value().slope_b, 0.5);  // ball growth
+  EXPECT_LT(m_full.value().slope_b, 0.6);  // path-length growth only
+}
+
+TEST(EstimatorTest, DeterministicGivenSeed) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kLdm);
+  EstimatorOptions options;
+  auto a = FitProofSizeModel(*engine, ctx.graph, options);
+  auto b = FitProofSizeModel(*engine, ctx.graph, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().log_a, b.value().log_a);
+  EXPECT_EQ(a.value().slope_b, b.value().slope_b);
+}
+
+TEST(EstimatorTest, ValidatesOptions) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  EstimatorOptions options;
+  options.calibration_ranges = {1000};
+  EXPECT_FALSE(FitProofSizeModel(*engine, ctx.graph, options).ok());
+  options.calibration_ranges = {1000, 1000};
+  EXPECT_FALSE(FitProofSizeModel(*engine, ctx.graph, options).ok());
+  options.calibration_ranges = {1000, -5};
+  EXPECT_FALSE(FitProofSizeModel(*engine, ctx.graph, options).ok());
+  options.calibration_ranges = {1000, 2000};
+  options.queries_per_range = 0;
+  EXPECT_FALSE(FitProofSizeModel(*engine, ctx.graph, options).ok());
+}
+
+TEST(EstimatorTest, ResidualIsSmallOnCalibrationPoints) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  EstimatorOptions options;
+  options.calibration_ranges = {800, 1600, 3200};
+  auto model = FitProofSizeModel(*engine, ctx.graph, options);
+  ASSERT_TRUE(model.ok());
+  // A power law fits ball growth well; residual < 35% in log space.
+  EXPECT_LT(model.value().log_residual, 0.35);
+}
+
+TEST(EstimatorTest, EstimateIsMonotoneForSubgraphMethods) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  EstimatorOptions options;
+  auto model = FitProofSizeModel(*engine, ctx.graph, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().EstimateBytes(500),
+            model.value().EstimateBytes(2000));
+  EXPECT_LT(model.value().EstimateBytes(2000),
+            model.value().EstimateBytes(6000));
+}
+
+}  // namespace
+}  // namespace spauth

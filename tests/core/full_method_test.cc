@@ -1,0 +1,130 @@
+#include "core/full.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "graph/dijkstra.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+TEST(FullMethodTest, HonestAnswersAcceptEverywhere) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kFull);
+  for (const Query& q : ctx.queries) {
+    auto bundle = engine->Answer(q);
+    ASSERT_TRUE(bundle.ok());
+    VerifyOutcome outcome = engine->Verify(q, bundle.value());
+    EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+  }
+}
+
+TEST(FullMethodTest, MaterializesAllPairs) {
+  const auto& ctx = CoreTestContext::Get();
+  FullOptions options;
+  auto ads = BuildFullAds(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  const size_t n = ctx.graph.num_nodes();
+  EXPECT_EQ(ads.value().distances.size(), n * (n - 1) / 2);
+  // Spot-check a few entries against Dijkstra.
+  DijkstraTree tree = DijkstraAll(ctx.graph, 17);
+  for (NodeId v : {0u, 50u, 399u}) {
+    if (v == 17u) continue;
+    auto d = ads.value().distances.Get(PackNodePairKey(17, v));
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR(d.value(), tree.dist[v], 1e-9);
+  }
+}
+
+TEST(FullMethodTest, FloydWarshallAndDijkstraBuildsAgree) {
+  const auto& ctx = CoreTestContext::Get();
+  FullOptions fw_options;
+  fw_options.use_floyd_warshall = true;
+  FullOptions apd_options;
+  apd_options.use_floyd_warshall = false;
+  auto a = BuildFullAds(ctx.graph, fw_options, ctx.keys);
+  auto b = BuildFullAds(ctx.graph, apd_options, ctx.keys);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Identical distance values produce identical distance roots... up to
+  // floating point: check a sample of entries agree tightly instead.
+  for (NodeId u = 0; u < 50; u += 9) {
+    for (NodeId v = 100; v < 200; v += 17) {
+      auto da = a.value().distances.Get(PackNodePairKey(u, v));
+      auto db = b.value().distances.Get(PackNodePairKey(u, v));
+      ASSERT_TRUE(da.ok());
+      ASSERT_TRUE(db.ok());
+      EXPECT_NEAR(da.value(), db.value(), 1e-9);
+    }
+  }
+}
+
+TEST(FullMethodTest, ProofIsTiny) {
+  // FULL's selling point: Gamma_S is one tuple + a logarithmic digest path.
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kFull);
+  auto bundle = engine->Answer(ctx.queries[0]);
+  ASSERT_TRUE(bundle.ok());
+  // log2(400*399/2) ~ 17; entry + <25 digests at 20B.
+  EXPECT_LT(bundle.value().stats.sp_bytes, 1200u);
+}
+
+TEST(FullMethodTest, VerifyChecksDistanceEntryKey) {
+  const auto& ctx = CoreTestContext::Get();
+  FullOptions options;
+  auto ads = BuildFullAds(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  FullProvider provider(&ctx.graph, &ads.value());
+  const Query q = ctx.queries[0];
+  auto answer = provider.Answer(q);
+  ASSERT_TRUE(answer.ok());
+  // Substitute a (genuine, authenticated) entry for a different pair whose
+  // distance happens to be whatever it is — the key check must fire.
+  Query other = ctx.queries[1];
+  auto other_answer = provider.Answer(other);
+  ASSERT_TRUE(other_answer.ok());
+  FullAnswer mixed = answer.value();
+  mixed.distance_proof = other_answer.value().distance_proof;
+  VerifyOutcome outcome = VerifyFullAnswer(ctx.keys.public_key(),
+                                           ads.value().certificate, q, mixed);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.failure, VerifyFailure::kWrongEntries);
+}
+
+TEST(FullMethodTest, AnswerSerializationRoundTrip) {
+  const auto& ctx = CoreTestContext::Get();
+  FullOptions options;
+  auto ads = BuildFullAds(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  FullProvider provider(&ctx.graph, &ads.value());
+  auto answer = provider.Answer(ctx.queries[2]);
+  ASSERT_TRUE(answer.ok());
+  ByteWriter w;
+  answer.value().Serialize(&w);
+  ByteReader r(w.view());
+  auto back = FullAnswer::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(r.AtEnd());
+  VerifyOutcome outcome =
+      VerifyFullAnswer(ctx.keys.public_key(), ads.value().certificate,
+                       ctx.queries[2], back.value());
+  EXPECT_TRUE(outcome.accepted) << outcome.ToString();
+}
+
+TEST(FullMethodTest, DisconnectedGraphRejectedAtBuild) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto& ctx = CoreTestContext::Get();
+  EXPECT_FALSE(BuildFullAds(g.value(), FullOptions{}, ctx.keys).ok());
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,98 @@
+// Byte-level robustness of the proof decoders and verifiers: the wire
+// bytes are attacker-controlled input, so arbitrary corruption must never
+// crash the client and must never yield an accepted proof with a
+// meaningfully different distance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+class FuzzTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(FuzzTest, RandomBitFlipsNeverCrashOrForge) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  const Query q = ctx.queries[0];
+  auto honest = engine->Answer(q);
+  ASSERT_TRUE(honest.ok());
+  const double true_distance = honest.value().distance;
+
+  Rng rng(0xF002);
+  size_t rejected = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ProofBundle mutated = honest.value();
+    const size_t byte = rng.NextBounded(mutated.bytes.size());
+    const uint8_t bit = static_cast<uint8_t>(1u << rng.NextBounded(8));
+    mutated.bytes[byte] ^= bit;
+    VerifyOutcome outcome = engine->Verify(q, mutated);
+    if (outcome.accepted) {
+      // A flip may land in semantically-irrelevant slack (e.g. the lowest
+      // mantissa bits of the claimed distance); it must not change the
+      // verified result beyond the numeric tolerance.
+      ASSERT_NEAR(mutated.distance, true_distance, 1e-3)
+          << "byte " << byte << " bit " << static_cast<int>(bit);
+    } else {
+      ++rejected;
+    }
+  }
+  // Virtually all flips must be rejected (the accepted ones are low-order
+  // mantissa noise).
+  EXPECT_GT(rejected, kTrials * 95 / 100);
+}
+
+TEST_P(FuzzTest, RandomTruncationAlwaysRejected) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  const Query q = ctx.queries[1];
+  auto honest = engine->Answer(q);
+  ASSERT_TRUE(honest.ok());
+  Rng rng(0xF003);
+  for (int trial = 0; trial < 100; ++trial) {
+    ProofBundle mutated = honest.value();
+    mutated.bytes.resize(rng.NextBounded(mutated.bytes.size()));
+    VerifyOutcome outcome = engine->Verify(q, mutated);
+    EXPECT_FALSE(outcome.accepted) << "length " << mutated.bytes.size();
+  }
+}
+
+TEST_P(FuzzTest, AppendedGarbageRejected) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  const Query q = ctx.queries[2];
+  auto honest = engine->Answer(q);
+  ASSERT_TRUE(honest.ok());
+  ProofBundle mutated = honest.value();
+  mutated.bytes.push_back(0xab);
+  EXPECT_FALSE(engine->Verify(q, mutated).accepted);
+}
+
+TEST_P(FuzzTest, PureNoiseBundlesRejected) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  Rng rng(0xF004);
+  for (size_t size : {0u, 1u, 16u, 256u, 4096u}) {
+    ProofBundle noise;
+    noise.bytes.resize(size);
+    rng.FillBytes(noise.bytes.data(), noise.bytes.size());
+    VerifyOutcome outcome = engine->Verify(ctx.queries[0], noise);
+    EXPECT_FALSE(outcome.accepted) << "size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, FuzzTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace spauth

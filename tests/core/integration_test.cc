@@ -1,0 +1,164 @@
+// Cross-method integration: all four methods answer the same workload on
+// the same network, agree on distances, verify, and exhibit the paper's
+// proof-size ordering.
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generator.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+TEST(IntegrationTest, AllMethodsAgreeAndVerify) {
+  const auto& ctx = CoreTestContext::Get();
+  std::vector<std::unique_ptr<MethodEngine>> engines;
+  for (MethodKind method : kAllMethods) {
+    engines.push_back(ctx.MakeMethodEngine(method));
+  }
+  for (const Query& q : ctx.queries) {
+    auto truth = DijkstraShortestPath(ctx.graph, q.source, q.target);
+    ASSERT_TRUE(truth.reachable);
+    for (const auto& engine : engines) {
+      auto bundle = engine->Answer(q);
+      ASSERT_TRUE(bundle.ok()) << engine->name();
+      EXPECT_NEAR(bundle.value().distance, truth.distance, 1e-9)
+          << engine->name();
+      VerifyOutcome outcome = engine->Verify(q, bundle.value());
+      EXPECT_TRUE(outcome.accepted)
+          << engine->name() << ": " << outcome.ToString();
+    }
+  }
+}
+
+TEST(IntegrationTest, ProofSizeOrderingMatchesThePaper) {
+  // Figure 8a: DIJ >> LDM > HYP > FULL on total communication.
+  const auto& ctx = CoreTestContext::Get();
+  std::map<MethodKind, size_t> bytes;
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    size_t total = 0;
+    for (const Query& q : ctx.queries) {
+      auto bundle = engine->Answer(q);
+      ASSERT_TRUE(bundle.ok());
+      total += bundle.value().stats.total_bytes();
+    }
+    bytes[method] = total;
+  }
+  EXPECT_GT(bytes[MethodKind::kDij], bytes[MethodKind::kLdm]);
+  EXPECT_GT(bytes[MethodKind::kLdm], bytes[MethodKind::kFull]);
+  EXPECT_GT(bytes[MethodKind::kHyp], bytes[MethodKind::kFull]);
+  EXPECT_GT(bytes[MethodKind::kDij], bytes[MethodKind::kHyp]);
+}
+
+TEST(IntegrationTest, CrossMethodProofConfusionRejected) {
+  // A DIJ proof presented to a FULL verifier (and vice versa) must fail:
+  // the certificate binds the method kind.
+  const auto& ctx = CoreTestContext::Get();
+  auto dij = ctx.MakeMethodEngine(MethodKind::kDij);
+  auto full = ctx.MakeMethodEngine(MethodKind::kFull);
+  const Query q = ctx.queries[0];
+  auto dij_bundle = dij->Answer(q);
+  auto full_bundle = full->Answer(q);
+  ASSERT_TRUE(dij_bundle.ok());
+  ASSERT_TRUE(full_bundle.ok());
+  EXPECT_FALSE(full->Verify(q, dij_bundle.value()).accepted);
+  EXPECT_FALSE(dij->Verify(q, full_bundle.value()).accepted);
+}
+
+TEST(IntegrationTest, WorksAcrossOrderingsAndFanouts) {
+  // A smaller sweep of the Figure 10 / 11a grid, end to end.
+  const auto& ctx = CoreTestContext::Get();
+  const Query q = ctx.queries[0];
+  for (NodeOrdering ordering :
+       {NodeOrdering::kHilbert, NodeOrdering::kRandom, NodeOrdering::kBfs}) {
+    for (uint32_t fanout : {2u, 8u, 32u}) {
+      EngineOptions options = CoreTestContext::DefaultOptions(MethodKind::kLdm);
+      options.ordering = ordering;
+      options.fanout = fanout;
+      auto engine = MakeEngine(ctx.graph, options, ctx.keys);
+      ASSERT_TRUE(engine.ok());
+      auto bundle = engine.value()->Answer(q);
+      ASSERT_TRUE(bundle.ok());
+      VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+      EXPECT_TRUE(outcome.accepted)
+          << ToString(ordering) << "/" << fanout << ": "
+          << outcome.ToString();
+    }
+  }
+}
+
+TEST(IntegrationTest, Sha256BackendWorksEndToEnd) {
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options = CoreTestContext::DefaultOptions(method);
+    options.alg = HashAlgorithm::kSha256;
+    auto engine = MakeEngine(ctx.graph, options, ctx.keys);
+    ASSERT_TRUE(engine.ok());
+    const Query q = ctx.queries[1];
+    auto bundle = engine.value()->Answer(q);
+    ASSERT_TRUE(bundle.ok());
+    VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+    EXPECT_TRUE(outcome.accepted)
+        << ToString(method) << ": " << outcome.ToString();
+  }
+}
+
+TEST(IntegrationTest, RandomizedPropertySweep) {
+  // Fresh graphs, fresh queries: every honest answer verifies and matches
+  // the true distance, for every method.
+  Rng rng(2024);
+  auto keys = RsaKeyPair::Generate(512, &rng);
+  ASSERT_TRUE(keys.ok());
+  for (uint64_t seed : {11u, 22u}) {
+    RoadNetworkOptions gopts;
+    gopts.num_nodes = 250;
+    gopts.seed = seed;
+    auto graph = GenerateRoadNetwork(gopts);
+    ASSERT_TRUE(graph.ok());
+    WorkloadOptions wopts;
+    wopts.count = 4;
+    wopts.query_range = 3000;
+    wopts.seed = seed;
+    auto queries = GenerateWorkload(graph.value(), wopts);
+    ASSERT_TRUE(queries.ok());
+    for (MethodKind method : kAllMethods) {
+      EngineOptions options = CoreTestContext::DefaultOptions(method);
+      options.num_landmarks = 8;
+      options.num_cells = 9;
+      auto engine = MakeEngine(graph.value(), options, keys.value());
+      ASSERT_TRUE(engine.ok()) << ToString(method);
+      for (const Query& q : queries.value()) {
+        auto truth =
+            DijkstraShortestPath(graph.value(), q.source, q.target);
+        auto bundle = engine.value()->Answer(q);
+        ASSERT_TRUE(bundle.ok()) << ToString(method);
+        EXPECT_NEAR(bundle.value().distance, truth.distance, 1e-9);
+        VerifyOutcome outcome = engine.value()->Verify(q, bundle.value());
+        EXPECT_TRUE(outcome.accepted)
+            << ToString(method) << " seed " << seed << ": "
+            << outcome.ToString();
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, ConstructionTimeOrderingMatchesThePaper) {
+  // Figure 8c: FULL construction far exceeds LDM and HYP; DIJ needs no
+  // pre-computation at all (its build is just the Merkle tree).
+  const auto& ctx = CoreTestContext::Get();
+  std::map<MethodKind, double> seconds;
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    seconds[method] = engine->construction_seconds();
+  }
+  EXPECT_GT(seconds[MethodKind::kFull], seconds[MethodKind::kDij]);
+  EXPECT_GT(seconds[MethodKind::kFull], 0.0);
+}
+
+}  // namespace
+}  // namespace spauth

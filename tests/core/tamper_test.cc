@@ -1,0 +1,125 @@
+// The security test matrix: every applicable (method, attack) pair must be
+// rejected, and the rejection reason must match the defense that is
+// supposed to catch it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+struct TamperCase {
+  MethodKind method;
+  TamperKind tamper;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<TamperCase>& info) {
+  std::string name = std::string(ToString(info.param.method)) + "_" +
+                     std::string(ToString(info.param.tamper));
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+class TamperTest : public ::testing::TestWithParam<TamperCase> {
+ protected:
+  static MethodEngine* GetEngine(MethodKind kind) {
+    static std::map<MethodKind, std::unique_ptr<MethodEngine>>* engines =
+        new std::map<MethodKind, std::unique_ptr<MethodEngine>>();
+    auto it = engines->find(kind);
+    if (it == engines->end()) {
+      it = engines->emplace(kind,
+                            CoreTestContext::Get().MakeMethodEngine(kind))
+               .first;
+    }
+    return it->second.get();
+  }
+};
+
+TEST_P(TamperTest, AttackIsRejectedWithTheRightReason) {
+  const auto& ctx = CoreTestContext::Get();
+  MethodEngine* engine = GetEngine(GetParam().method);
+  const TamperKind tamper = GetParam().tamper;
+
+  // Expected rejection classes per attack (some attacks legitimately trip
+  // an earlier check depending on the method).
+  static const std::map<TamperKind, std::set<VerifyFailure>> kExpected = {
+      {TamperKind::kSuboptimalPath, {VerifyFailure::kNotShortest}},
+      {TamperKind::kTamperWeight, {VerifyFailure::kRootMismatch}},
+      {TamperKind::kDropTuple,
+       {VerifyFailure::kIncompleteSubgraph, VerifyFailure::kInvalidPath}},
+      {TamperKind::kForgeDistanceValue, {VerifyFailure::kRootMismatch}},
+      {TamperKind::kBogusSignature, {VerifyFailure::kBadCertificate}},
+      {TamperKind::kPhantomEdge,
+       {VerifyFailure::kInvalidPath, VerifyFailure::kDistanceMismatch}},
+  };
+
+  size_t attacks_executed = 0;
+  for (const Query& q : ctx.queries) {
+    auto forged = engine->TamperedAnswer(q, tamper);
+    if (!forged.ok()) {
+      // kFailedPrecondition: attack not applicable to this method.
+      // kNotFound: this particular query offers no attack opportunity.
+      ASSERT_TRUE(forged.status().code() == StatusCode::kFailedPrecondition ||
+                  forged.status().code() == StatusCode::kNotFound)
+          << forged.status().ToString();
+      continue;
+    }
+    ++attacks_executed;
+    VerifyOutcome outcome = engine->Verify(q, forged.value());
+    ASSERT_FALSE(outcome.accepted)
+        << "attack " << ToString(tamper) << " on " << engine->name()
+        << " was accepted for query (" << q.source << "," << q.target << ")";
+    const auto& allowed = kExpected.at(tamper);
+    EXPECT_TRUE(allowed.contains(outcome.failure))
+        << "unexpected rejection reason: " << outcome.ToString();
+  }
+  // Unless the attack is categorically inapplicable, it must have been
+  // exercised on at least one query.
+  if (engine->TamperedAnswer(ctx.queries[0], tamper).status().code() !=
+      StatusCode::kFailedPrecondition) {
+    EXPECT_GT(attacks_executed, 0u)
+        << "no query admitted attack " << ToString(tamper);
+  }
+}
+
+std::vector<TamperCase> AllCases() {
+  std::vector<TamperCase> cases;
+  for (MethodKind method : kAllMethods) {
+    for (TamperKind tamper : kAllTamperKinds) {
+      cases.push_back({method, tamper});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethodsAllAttacks, TamperTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+TEST(TamperSanityTest, HonestAnswersStillAcceptAfterAttackRuns) {
+  // Guard against the tamper machinery mutating shared engine state.
+  const auto& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    const Query q = ctx.queries[0];
+    auto t = engine->TamperedAnswer(q, TamperKind::kTamperWeight);
+    (void)t;
+    auto honest = engine->Answer(q);
+    ASSERT_TRUE(honest.ok());
+    VerifyOutcome outcome = engine->Verify(q, honest.value());
+    EXPECT_TRUE(outcome.accepted)
+        << engine->name() << ": " << outcome.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,291 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsOdd());
+  EXPECT_EQ(z.BitLength(), 0);
+  EXPECT_EQ(z.ToHexString(), "0");
+  EXPECT_EQ(z.LowU64(), 0u);
+}
+
+TEST(BigIntTest, FromU64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{255},
+                     uint64_t{0x100000000ULL}, UINT64_MAX}) {
+    EXPECT_EQ(BigInt::FromU64(v).LowU64(), v);
+  }
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt::FromU64(1).BitLength(), 1);
+  EXPECT_EQ(BigInt::FromU64(2).BitLength(), 2);
+  EXPECT_EQ(BigInt::FromU64(255).BitLength(), 8);
+  EXPECT_EQ(BigInt::FromU64(256).BitLength(), 9);
+  EXPECT_EQ(BigInt::FromU64(UINT64_MAX).BitLength(), 64);
+}
+
+TEST(BigIntTest, BytesBigEndianRoundTrip) {
+  std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytesBigEndian(bytes);
+  EXPECT_EQ(v.LowU64(), 0x0102030405ULL);
+  auto out = v.ToBytesBigEndian(5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), bytes);
+  // Padding to a wider width prepends zeros.
+  auto wide = v.ToBytesBigEndian(8);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.value(),
+            (std::vector<uint8_t>{0, 0, 0, 0x01, 0x02, 0x03, 0x04, 0x05}));
+  // Too narrow is an error.
+  EXPECT_FALSE(v.ToBytesBigEndian(4).ok());
+}
+
+TEST(BigIntTest, LeadingZeroBytesNormalize) {
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0x7f};
+  BigInt v = BigInt::FromBytesBigEndian(bytes);
+  EXPECT_EQ(v.BitLength(), 7);
+  EXPECT_EQ(v.LowU64(), 0x7fu);
+}
+
+TEST(BigIntTest, AddSubAgainstU64) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.NextU64() >> 1;  // keep sums in range
+    uint64_t b = rng.NextU64() >> 1;
+    EXPECT_EQ(BigInt::Add(BigInt::FromU64(a), BigInt::FromU64(b)).LowU64(),
+              a + b);
+    uint64_t hi = std::max(a, b), lo = std::min(a, b);
+    EXPECT_EQ(BigInt::Sub(BigInt::FromU64(hi), BigInt::FromU64(lo)).LowU64(),
+              hi - lo);
+  }
+}
+
+TEST(BigIntTest, MulAgainstU128) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = rng.NextU64();
+    unsigned __int128 expect =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    BigInt product = BigInt::Mul(BigInt::FromU64(a), BigInt::FromU64(b));
+    auto bytes = product.ToBytesBigEndian(16);
+    ASSERT_TRUE(bytes.ok());
+    unsigned __int128 got = 0;
+    for (uint8_t byte : bytes.value()) {
+      got = (got << 8) | byte;
+    }
+    EXPECT_TRUE(got == expect);
+  }
+}
+
+TEST(BigIntTest, DivModAgainstU64) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = rng.NextU64() % 1000000 + 1;
+    auto dm = BigInt::DivMod(BigInt::FromU64(a), BigInt::FromU64(b));
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ(dm.value().quotient.LowU64(), a / b);
+    EXPECT_EQ(dm.value().remainder.LowU64(), a % b);
+  }
+}
+
+TEST(BigIntTest, DivModByZeroFails) {
+  EXPECT_FALSE(BigInt::DivMod(BigInt::FromU64(5), BigInt()).ok());
+}
+
+TEST(BigIntTest, DivModIdentityOnRandomWideValues) {
+  // Property: for random a (up to 512 bits) and b (up to 256 bits),
+  // a == q*b + r and r < b. Exercises the multi-limb Knuth D path,
+  // including the rare add-back branch via volume.
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    int a_bits = 32 + static_cast<int>(rng.NextBounded(481));
+    int b_bits = 16 + static_cast<int>(rng.NextBounded(241));
+    BigInt a = BigInt::RandomWithBits(a_bits, &rng);
+    BigInt b = BigInt::RandomWithBits(b_bits, &rng);
+    auto dm = BigInt::DivMod(a, b);
+    ASSERT_TRUE(dm.ok());
+    const BigInt& q = dm.value().quotient;
+    const BigInt& r = dm.value().remainder;
+    EXPECT_LT(BigInt::Compare(r, b), 0);
+    EXPECT_EQ(BigInt::Compare(BigInt::Add(BigInt::Mul(q, b), r), a), 0);
+  }
+}
+
+TEST(BigIntTest, DivModKnuthAddBackStress) {
+  // Divisors with all-ones top limbs push q_hat estimation to its limits.
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    BigInt b = BigInt::FromHexString("ffffffffffffffffffffffff").value();
+    b = BigInt::Add(b, BigInt::FromU64(rng.NextBounded(1000)));
+    BigInt a = BigInt::Mul(b, BigInt::RandomWithBits(96, &rng));
+    a = BigInt::Add(a, BigInt::RandomBelow(b, &rng));
+    auto dm = BigInt::DivMod(a, b);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ(BigInt::Compare(
+                  BigInt::Add(BigInt::Mul(dm.value().quotient, b),
+                              dm.value().remainder),
+                  a),
+              0);
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    BigInt v = BigInt::RandomWithBits(200, &rng);
+    int s = static_cast<int>(rng.NextBounded(130));
+    EXPECT_EQ(BigInt::Compare(v.ShiftLeft(s).ShiftRight(s), v), 0);
+  }
+  EXPECT_TRUE(BigInt::FromU64(5).ShiftRight(64).IsZero());
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a = BigInt::FromU64(5);
+  BigInt b = BigInt::FromU64(7);
+  BigInt c = BigInt::FromHexString("10000000000000000").value();  // 2^64
+  EXPECT_LT(BigInt::Compare(a, b), 0);
+  EXPECT_GT(BigInt::Compare(b, a), 0);
+  EXPECT_EQ(BigInt::Compare(a, a), 0);
+  EXPECT_LT(BigInt::Compare(b, c), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= a);
+}
+
+TEST(BigIntTest, ModPowAgainstNaive) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t base = rng.NextBounded(1000);
+    uint64_t exp = rng.NextBounded(20);
+    uint64_t mod = rng.NextBounded(100000) + 2;
+    uint64_t expect = 1;
+    for (uint64_t k = 0; k < exp; ++k) {
+      expect = (expect * base) % mod;
+    }
+    auto got = BigInt::ModPow(BigInt::FromU64(base), BigInt::FromU64(exp),
+                              BigInt::FromU64(mod));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().LowU64(), expect) << base << "^" << exp << " % " << mod;
+  }
+}
+
+TEST(BigIntTest, ModPowFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, a not divisible.
+  const uint64_t p = 1000000007ULL;
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::FromU64(rng.NextBounded(p - 2) + 1);
+    auto r = BigInt::ModPow(a, BigInt::FromU64(p - 1), BigInt::FromU64(p));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().LowU64(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModPowZeroExponentIsOne) {
+  auto r = BigInt::ModPow(BigInt::FromU64(12345), BigInt(),
+                          BigInt::FromU64(99));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().LowU64(), 1u);
+}
+
+TEST(BigIntTest, ModInverseRoundTrip) {
+  Rng rng(9);
+  const BigInt m = BigInt::FromU64(1000000007ULL);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::FromU64(rng.NextBounded(1000000006ULL) + 1);
+    auto inv = BigInt::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    auto prod = BigInt::ModMul(a, inv.value(), m);
+    ASSERT_TRUE(prod.ok());
+    EXPECT_EQ(prod.value().LowU64(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModInverseFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt::ModInverse(BigInt::FromU64(6), BigInt::FromU64(9)).ok());
+}
+
+TEST(BigIntTest, GcdMatchesEuclid) {
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.NextBounded(1u << 30);
+    uint64_t b = rng.NextBounded(1u << 30);
+    uint64_t x = a, y = b;
+    while (y != 0) {
+      uint64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    EXPECT_EQ(BigInt::Gcd(BigInt::FromU64(a), BigInt::FromU64(b)).LowU64(), x);
+  }
+}
+
+TEST(BigIntTest, HexStringRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = BigInt::RandomWithBits(1 + static_cast<int>(rng.NextBounded(300)),
+                                      &rng);
+    auto back = BigInt::FromHexString(v.ToHexString());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(BigInt::Compare(back.value(), v), 0);
+  }
+}
+
+TEST(BigIntTest, PrimalitySmallKnownValues) {
+  Rng rng(12);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 104729ULL, 1000000007ULL}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromU64(p), 16, &rng))
+        << p << " should be prime";
+  }
+  for (uint64_t c : {0ULL, 1ULL, 4ULL, 100ULL, 104730ULL, 1000000008ULL,
+                     3215031751ULL /* strong pseudoprime to bases 2,3,5,7 */}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromU64(c), 16, &rng))
+        << c << " should be composite";
+  }
+}
+
+TEST(BigIntTest, PrimalityCarmichael) {
+  Rng rng(13);
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  for (uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL, 825265ULL}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromU64(c), 16, &rng)) << c;
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedSize) {
+  Rng rng(14);
+  for (int bits : {32, 64, 128}) {
+    BigInt p = BigInt::GeneratePrime(bits, &rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(BigInt::IsProbablePrime(p, 16, &rng));
+  }
+}
+
+TEST(BigIntTest, RandomBelowIsBelow) {
+  Rng rng(15);
+  BigInt bound = BigInt::FromHexString("123456789abcdef0123").value();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(BigInt::Compare(BigInt::RandomBelow(bound, &rng), bound), 0);
+  }
+}
+
+TEST(BigIntTest, RandomWithBitsSetsTopBit) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    int bits = 1 + static_cast<int>(rng.NextBounded(200));
+    EXPECT_EQ(BigInt::RandomWithBits(bits, &rng).BitLength(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,143 @@
+#include "crypto/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace spauth {
+namespace {
+
+std::span<const uint8_t> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// FIPS 180 test vectors.
+TEST(Sha1Test, EmptyString) {
+  Digest d = Hasher::Hash(HashAlgorithm::kSha1, {});
+  EXPECT_EQ(d.ToHex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(d.size(), 20u);
+}
+
+TEST(Sha1Test, Abc) {
+  std::string msg = "abc";
+  Digest d = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(msg));
+  EXPECT_EQ(d.ToHex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  Digest d = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(msg));
+  EXPECT_EQ(d.ToHex(), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Hasher h(HashAlgorithm::kSha1);
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(AsBytes(chunk));
+  }
+  EXPECT_EQ(h.Finish().ToHex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha256Test, EmptyString) {
+  Digest d = Hasher::Hash(HashAlgorithm::kSha256, {});
+  EXPECT_EQ(d.ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(d.size(), 32u);
+}
+
+TEST(Sha256Test, Abc) {
+  std::string msg = "abc";
+  Digest d = Hasher::Hash(HashAlgorithm::kSha256, AsBytes(msg));
+  EXPECT_EQ(d.ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  Digest d = Hasher::Hash(HashAlgorithm::kSha256, AsBytes(msg));
+  EXPECT_EQ(d.ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Hasher h(HashAlgorithm::kSha256);
+  std::string chunk(4096, 'a');
+  size_t remaining = 1000000;
+  while (remaining > 0) {
+    size_t take = std::min(remaining, chunk.size());
+    h.Update(chunk.data(), take);
+    remaining -= take;
+  }
+  EXPECT_EQ(h.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HasherTest, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789.";
+  for (HashAlgorithm alg : {HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    Digest whole = Hasher::Hash(alg, AsBytes(msg));
+    for (size_t split = 0; split <= msg.size(); split += 7) {
+      Hasher h(alg);
+      h.Update(msg.data(), split);
+      h.Update(msg.data() + split, msg.size() - split);
+      EXPECT_EQ(h.Finish(), whole) << "split=" << split;
+    }
+  }
+}
+
+TEST(HasherTest, ExactBlockBoundaryMessages) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Digest a = Hasher::Hash(HashAlgorithm::kSha256, AsBytes(msg));
+    Hasher h(HashAlgorithm::kSha256);
+    for (char c : msg) {
+      h.Update(&c, 1);
+    }
+    EXPECT_EQ(h.Finish(), a) << "len=" << len;
+  }
+}
+
+TEST(DigestTest, EqualityAndInequality) {
+  std::string m1 = "a", m2 = "b";
+  Digest d1 = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m1));
+  Digest d2 = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m2));
+  Digest d3 = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m1));
+  EXPECT_EQ(d1, d3);
+  EXPECT_NE(d1, d2);
+}
+
+TEST(DigestTest, FromBytesRoundTrip) {
+  std::vector<uint8_t> raw(20);
+  for (int i = 0; i < 20; ++i) raw[i] = static_cast<uint8_t>(i);
+  Digest d = Digest::FromBytes(raw);
+  EXPECT_EQ(d.size(), 20u);
+  EXPECT_TRUE(std::equal(raw.begin(), raw.end(), d.data()));
+}
+
+TEST(DigestTest, DefaultIsEmpty) {
+  Digest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(HashAlgorithmTest, ParseRoundTrip) {
+  auto a = ParseHashAlgorithm(static_cast<uint8_t>(HashAlgorithm::kSha1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), HashAlgorithm::kSha1);
+  auto b = ParseHashAlgorithm(static_cast<uint8_t>(HashAlgorithm::kSha256));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), HashAlgorithm::kSha256);
+  EXPECT_FALSE(ParseHashAlgorithm(99).ok());
+}
+
+TEST(HashAlgorithmTest, DigestSizes) {
+  EXPECT_EQ(DigestSize(HashAlgorithm::kSha1), 20u);
+  EXPECT_EQ(DigestSize(HashAlgorithm::kSha256), 32u);
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,129 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/digest.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+Digest HashString(HashAlgorithm alg, const std::string& s) {
+  return Hasher::Hash(alg,
+                      {reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+}
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // 512-bit keys keep the test fast; Generate() rejects anything smaller.
+  static void SetUpTestSuite() {
+    Rng rng(20100301);
+    auto kp = RsaKeyPair::Generate(512, &rng);
+    ASSERT_TRUE(kp.ok());
+    key_pair_ = new RsaKeyPair(std::move(kp).value());
+  }
+  static void TearDownTestSuite() {
+    delete key_pair_;
+    key_pair_ = nullptr;
+  }
+
+  static RsaKeyPair* key_pair_;
+};
+
+RsaKeyPair* RsaTest::key_pair_ = nullptr;
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig.value().size(), key_pair_->public_key().SignatureSize());
+  EXPECT_TRUE(RsaVerify(key_pair_->public_key(), d, sig.value()));
+}
+
+TEST_F(RsaTest, Sha256DigestsAlsoWork) {
+  Digest d = HashString(HashAlgorithm::kSha256, "merkle root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(RsaVerify(key_pair_->public_key(), d, sig.value()));
+}
+
+TEST_F(RsaTest, WrongDigestRejected) {
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  Digest other = HashString(HashAlgorithm::kSha1, "another root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(RsaVerify(key_pair_->public_key(), other, sig.value()));
+}
+
+TEST_F(RsaTest, FlippedSignatureBitRejected) {
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  for (size_t i = 0; i < sig.value().size(); i += 13) {
+    auto tampered = sig.value();
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(RsaVerify(key_pair_->public_key(), d, tampered));
+  }
+}
+
+TEST_F(RsaTest, TruncatedSignatureRejected) {
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  auto truncated = sig.value();
+  truncated.pop_back();
+  EXPECT_FALSE(RsaVerify(key_pair_->public_key(), d, truncated));
+}
+
+TEST_F(RsaTest, AllZeroSignatureRejected) {
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  std::vector<uint8_t> zeros(key_pair_->public_key().SignatureSize(), 0);
+  EXPECT_FALSE(RsaVerify(key_pair_->public_key(), d, zeros));
+}
+
+TEST_F(RsaTest, DifferentKeyRejects) {
+  Rng rng(99);
+  auto other = RsaKeyPair::Generate(512, &rng);
+  ASSERT_TRUE(other.ok());
+  Digest d = HashString(HashAlgorithm::kSha1, "merkle root");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(RsaVerify(other.value().public_key(), d, sig.value()));
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  ByteWriter w;
+  key_pair_->public_key().Serialize(&w);
+  ByteReader r(w.view());
+  auto restored = RsaPublicKey::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(BigInt::Compare(restored.value().modulus,
+                            key_pair_->public_key().modulus),
+            0);
+  // The restored key verifies signatures from the original.
+  Digest d = HashString(HashAlgorithm::kSha1, "roundtrip");
+  auto sig = key_pair_->Sign(d);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(RsaVerify(restored.value(), d, sig.value()));
+}
+
+TEST(RsaGenerateTest, RejectsTinyModulus) {
+  Rng rng(1);
+  EXPECT_FALSE(RsaKeyPair::Generate(128, &rng).ok());
+}
+
+TEST(RsaGenerateTest, DeterministicFromSeed) {
+  Rng rng_a(777), rng_b(777);
+  auto a = RsaKeyPair::Generate(512, &rng_a);
+  auto b = RsaKeyPair::Generate(512, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(BigInt::Compare(a.value().public_key().modulus,
+                            b.value().public_key().modulus),
+            0);
+}
+
+}  // namespace
+}  // namespace spauth

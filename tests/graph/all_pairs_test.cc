@@ -1,0 +1,100 @@
+#include "graph/all_pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(DistanceMatrixTest, InitialState) {
+  DistanceMatrix d(3);
+  EXPECT_EQ(d.num_nodes(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(d.at(i, j), i == j ? 0.0 : kInfDistance);
+    }
+  }
+}
+
+TEST(FloydWarshallTest, PaperFigure1Distances) {
+  Graph g = testing::MakeFigure1Graph();
+  DistanceMatrix d = FloydWarshall(g);
+  EXPECT_DOUBLE_EQ(d.at(0, 3), 8.0);   // v1 -> v4 (the running example)
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 1.0);   // v1 -> v2
+  EXPECT_DOUBLE_EQ(d.at(1, 3), 9.0);   // v2 -> v4 direct edge
+  EXPECT_DOUBLE_EQ(d.at(2, 3), 6.0);   // v3 -> v5 -> v6 -> v4
+  EXPECT_DOUBLE_EQ(d.at(6, 3), 3.0);   // v7 -> v6 -> v4
+}
+
+TEST(FloydWarshallTest, MatchesRepeatedDijkstra) {
+  for (uint64_t seed : {13u, 14u}) {
+    Graph g = testing::MakeRandomRoadNetwork(70, seed);
+    DistanceMatrix fw = FloydWarshall(g);
+    DistanceMatrix apd = AllPairsDijkstra(g);
+    for (size_t i = 0; i < g.num_nodes(); ++i) {
+      for (size_t j = 0; j < g.num_nodes(); ++j) {
+        EXPECT_NEAR(fw.at(i, j), apd.at(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FloydWarshallTest, SymmetricOnUndirectedGraphs) {
+  Graph g = testing::MakeRandomRoadNetwork(50, 15);
+  DistanceMatrix d = FloydWarshall(g);
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    for (size_t j = i + 1; j < g.num_nodes(); ++j) {
+      EXPECT_NEAR(d.at(i, j), d.at(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(FloydWarshallTest, TriangleInequalityHolds) {
+  Graph g = testing::MakeRandomRoadNetwork(40, 16);
+  DistanceMatrix d = FloydWarshall(g);
+  const size_t n = g.num_nodes();
+  for (size_t i = 0; i < n; i += 3) {
+    for (size_t j = 0; j < n; j += 3) {
+      for (size_t k = 0; k < n; k += 3) {
+        EXPECT_LE(d.at(i, j), d.at(i, k) + d.at(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FloydWarshallTest, DisconnectedComponentsStayInfinite) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  DistanceMatrix d = FloydWarshall(g.value());
+  EXPECT_EQ(d.at(0, 2), kInfDistance);
+  EXPECT_EQ(d.at(1, 3), kInfDistance);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 3), 1.0);
+}
+
+TEST(FloydWarshallTest, PicksShorterOfParallelRoutes) {
+  // Two routes between 0 and 3: direct-ish long one and multi-hop short one.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 3, 10.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 2.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  DistanceMatrix d = FloydWarshall(g.value());
+  EXPECT_DOUBLE_EQ(d.at(0, 3), 6.0);
+}
+
+}  // namespace
+}  // namespace spauth

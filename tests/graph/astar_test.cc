@@ -1,0 +1,108 @@
+#include "graph/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "graph/path.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(AStarTest, ZeroHeuristicMatchesDijkstra) {
+  Graph g = testing::MakeRandomRoadNetwork(150, 21);
+  auto zero = [](NodeId) { return 0.0; };
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto dij = DijkstraShortestPath(g, s, t);
+    auto ast = AStarShortestPath(g, s, t, zero);
+    ASSERT_EQ(dij.reachable, ast.reachable);
+    if (dij.reachable) {
+      EXPECT_NEAR(dij.distance, ast.distance, 1e-9);
+    }
+  }
+}
+
+TEST(AStarTest, EuclideanHeuristicIsExactAndFaster) {
+  // Generator weights are euclidean * (1 + noise) >= euclidean, so the
+  // Euclidean distance to the target is admissible.
+  Graph g = testing::MakeRandomRoadNetwork(400, 33);
+  Rng rng(2);
+  size_t dij_settled = 0, astar_settled = 0;
+  for (int i = 0; i < 25; ++i) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto lb = [&](NodeId v) { return g.EuclideanDistance(v, t); };
+    auto dij = DijkstraShortestPath(g, s, t);
+    auto ast = AStarShortestPath(g, s, t, lb);
+    ASSERT_TRUE(dij.reachable);
+    ASSERT_TRUE(ast.reachable);
+    EXPECT_NEAR(dij.distance, ast.distance, 1e-9);
+    auto d = ComputePathDistance(g, ast.path);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR(d.value(), ast.distance, 1e-9);
+    dij_settled += dij.settled;
+    astar_settled += ast.settled;
+  }
+  // The informed search must explore strictly less on aggregate.
+  EXPECT_LT(astar_settled, dij_settled);
+}
+
+TEST(AStarTest, InconsistentAdmissibleHeuristicStillExact) {
+  // Scale the true remaining distance by a random per-node factor in [0,1]:
+  // admissible by construction but wildly inconsistent. The re-expansion
+  // logic must still return exact distances (this models LDM's quantized +
+  // compressed bounds).
+  Graph g = testing::MakeRandomRoadNetwork(120, 55);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    DijkstraTree exact = DijkstraAll(g, t);  // dist(v, t) for all v
+    std::vector<double> factor(g.num_nodes());
+    for (auto& f : factor) {
+      f = rng.NextDouble();
+    }
+    auto lb = [&](NodeId v) { return factor[v] * exact.dist[v]; };
+    auto ast = AStarShortestPath(g, s, t, lb);
+    ASSERT_TRUE(ast.reachable);
+    EXPECT_NEAR(ast.distance, exact.dist[s], 1e-9);
+  }
+}
+
+TEST(AStarTest, PerfectHeuristicSettlesOnlyPathNodes) {
+  Graph g = testing::MakeFigure1Graph();
+  DijkstraTree exact = DijkstraAll(g, 3);
+  auto lb = [&](NodeId v) { return exact.dist[v]; };
+  auto ast = AStarShortestPath(g, 0, 3, lb);
+  ASSERT_TRUE(ast.reachable);
+  EXPECT_DOUBLE_EQ(ast.distance, 8.0);
+  // With h = true remaining distance, expansions follow an optimal path.
+  EXPECT_LE(ast.settled, ast.path.nodes.size());
+}
+
+TEST(AStarTest, UnreachableTarget) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 1);
+  b.AddNode(5, 5);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto r = AStarShortestPath(g.value(), 0, 2, [](NodeId) { return 0.0; });
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(AStarTest, SourceEqualsTarget) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = AStarShortestPath(g, 4, 4, [](NodeId) { return 0.0; });
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path, (Path{{4}}));
+}
+
+}  // namespace
+}  // namespace spauth

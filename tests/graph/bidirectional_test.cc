@@ -1,0 +1,85 @@
+#include "graph/bidirectional.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "graph/path.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(BidirectionalTest, PaperFigure1) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = BidirectionalShortestPath(g, 0, 3);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.distance, 8.0);
+  EXPECT_TRUE(ValidatePath(g, r.path, 0, 3).ok());
+  auto d = ComputePathDistance(g, r.path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 8.0);
+}
+
+TEST(BidirectionalTest, MatchesDijkstraOnRandomNetworks) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Graph g = testing::MakeRandomRoadNetwork(200, seed);
+    Rng rng(seed * 31);
+    for (int i = 0; i < 25; ++i) {
+      NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      auto dij = DijkstraShortestPath(g, s, t);
+      auto bi = BidirectionalShortestPath(g, s, t);
+      ASSERT_EQ(dij.reachable, bi.reachable) << "s=" << s << " t=" << t;
+      if (dij.reachable) {
+        EXPECT_NEAR(dij.distance, bi.distance, 1e-9);
+        EXPECT_TRUE(ValidatePath(g, bi.path, s, t).ok());
+        auto d = ComputePathDistance(g, bi.path);
+        ASSERT_TRUE(d.ok());
+        EXPECT_NEAR(d.value(), bi.distance, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BidirectionalTest, SourceEqualsTarget) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = BidirectionalShortestPath(g, 5, 5);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path, (Path{{5}}));
+}
+
+TEST(BidirectionalTest, AdjacentNodes) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = BidirectionalShortestPath(g, 0, 1);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+}
+
+TEST(BidirectionalTest, UnreachableTarget) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 1);
+  b.AddNode(2, 2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto r = BidirectionalShortestPath(g.value(), 0, 2);
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(BidirectionalTest, ExploresLessThanDijkstraOnLongQueries) {
+  Graph g = testing::MakeRandomRoadNetwork(900, 101);
+  // Opposite corners of the layout: long query.
+  auto dij = DijkstraShortestPath(g, 0, static_cast<NodeId>(g.num_nodes() - 1));
+  auto bi =
+      BidirectionalShortestPath(g, 0, static_cast<NodeId>(g.num_nodes() - 1));
+  ASSERT_TRUE(dij.reachable);
+  ASSERT_TRUE(bi.reachable);
+  EXPECT_NEAR(dij.distance, bi.distance, 1e-9);
+  EXPECT_LT(bi.settled, dij.settled * 2);  // sanity: no pathological blowup
+}
+
+}  // namespace
+}  // namespace spauth

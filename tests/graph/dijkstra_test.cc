@@ -1,0 +1,149 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/all_pairs.h"
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(DijkstraTest, PaperFigure1ShortestPath) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = DijkstraShortestPath(g, 0, 3);  // v1 -> v4
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.distance, 8.0);
+  EXPECT_EQ(r.path, (Path{{0, 2, 4, 5, 3}}));
+}
+
+TEST(DijkstraTest, PaperFigure5Distances) {
+  Graph g = testing::MakeFigure5Graph();
+  // The landmark table of Figure 5b, landmark v2 (id 1).
+  DijkstraTree t = DijkstraAll(g, 1);
+  const double expected[] = {2, 0, 1, 3, 4, 5, 6, 9, 14};
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(t.dist[i], expected[i]) << "node " << i;
+  }
+  // And landmark v7 (id 6).
+  DijkstraTree t7 = DijkstraAll(g, 6);
+  const double expected7[] = {4, 6, 7, 9, 10, 1, 0, 3, 8};
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(t7.dist[i], expected7[i]) << "node " << i;
+  }
+}
+
+TEST(DijkstraTest, SourceEqualsTarget) {
+  Graph g = testing::MakeFigure1Graph();
+  auto r = DijkstraShortestPath(g, 2, 2);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path, (Path{{2}}));
+}
+
+TEST(DijkstraTest, UnreachableTarget) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 1);
+  b.AddNode(2, 2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto r = DijkstraShortestPath(g.value(), 0, 2);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_EQ(r.distance, kInfDistance);
+  DijkstraTree t = DijkstraAll(g.value(), 0);
+  EXPECT_EQ(t.dist[2], kInfDistance);
+  EXPECT_EQ(t.parent[2], kInvalidNode);
+}
+
+TEST(DijkstraTest, TreeMatchesFloydWarshallOnRandomNetworks) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = testing::MakeRandomRoadNetwork(60, seed);
+    DistanceMatrix fw = FloydWarshall(g);
+    for (NodeId s = 0; s < g.num_nodes(); s += 7) {
+      DijkstraTree t = DijkstraAll(g, s);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_NEAR(t.dist[v], fw.at(s, v), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, ParentPointersFormShortestPaths) {
+  Graph g = testing::MakeRandomRoadNetwork(80, 11);
+  DijkstraTree t = DijkstraAll(g, 0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    ASSERT_NE(t.dist[v], kInfDistance);
+    Path p = ExtractPath(t.parent, 0, v);
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.target(), v);
+    auto d = ComputePathDistance(g, p);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR(d.value(), t.dist[v], 1e-9);
+  }
+}
+
+TEST(DijkstraBallTest, ContainsExactlyTheBall) {
+  Graph g = testing::MakeGridGraph(6, 6);
+  // Matches the example of Figure 4: source v33 (2,2) id 14, radius 2.
+  BallResult ball = DijkstraBall(g, 14, 2.0);
+  // Manhattan ball of radius 2 around (2,2) in a 6x6 grid: 13 nodes,
+  // exactly the gray+black nodes of Figure 4.
+  EXPECT_EQ(ball.nodes.size(), 13u);
+  DijkstraTree t = DijkstraAll(g, 14);
+  std::vector<bool> in_ball(g.num_nodes(), false);
+  for (size_t i = 0; i < ball.nodes.size(); ++i) {
+    in_ball[ball.nodes[i]] = true;
+    EXPECT_NEAR(ball.dist[i], t.dist[ball.nodes[i]], 1e-12);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(in_ball[v], t.dist[v] <= 2.0) << "node " << v;
+  }
+}
+
+TEST(DijkstraBallTest, NodesEmergeInDistanceOrder) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 5);
+  BallResult ball = DijkstraBall(g, 3, 2500.0);
+  for (size_t i = 1; i < ball.dist.size(); ++i) {
+    EXPECT_LE(ball.dist[i - 1], ball.dist[i]);
+  }
+}
+
+TEST(DijkstraBallTest, ZeroRadiusIsJustSource) {
+  Graph g = testing::MakeGridGraph(4, 4);
+  BallResult ball = DijkstraBall(g, 5, 0.0);
+  ASSERT_EQ(ball.nodes.size(), 1u);
+  EXPECT_EQ(ball.nodes[0], 5u);
+  EXPECT_EQ(ball.dist[0], 0.0);
+}
+
+TEST(DijkstraToTargetsTest, MatchesFullTree) {
+  Graph g = testing::MakeRandomRoadNetwork(120, 9);
+  DijkstraTree t = DijkstraAll(g, 17);
+  std::vector<NodeId> targets = {0, 5, 119, 60, 60, 17};
+  std::vector<double> d = DijkstraToTargets(g, 17, targets);
+  ASSERT_EQ(d.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(d[i], t.dist[targets[i]], 1e-9);
+  }
+}
+
+TEST(DijkstraToTargetsTest, EmptyTargets) {
+  Graph g = testing::MakeGridGraph(3, 3);
+  EXPECT_TRUE(DijkstraToTargets(g, 0, {}).empty());
+}
+
+TEST(DijkstraTest, SettledCountIsBoundedByNodes) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 2);
+  DijkstraTree t = DijkstraAll(g, 0);
+  EXPECT_EQ(t.settled, g.num_nodes());  // connected network: all settle
+  auto r = DijkstraShortestPath(g, 0, 99);
+  EXPECT_LE(r.settled, g.num_nodes());
+  EXPECT_GT(r.settled, 0u);
+}
+
+}  // namespace
+}  // namespace spauth

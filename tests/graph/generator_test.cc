@@ -1,0 +1,187 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dijkstra.h"
+
+namespace spauth {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedNodeCount) {
+  RoadNetworkOptions options;
+  options.num_nodes = 500;
+  auto g = GenerateRoadNetwork(options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 500u);
+}
+
+TEST(GeneratorTest, EdgeRatioNearTarget) {
+  RoadNetworkOptions options;
+  options.num_nodes = 2000;
+  options.edge_factor = 1.04;
+  auto g = GenerateRoadNetwork(options);
+  ASSERT_TRUE(g.ok());
+  const double ratio =
+      static_cast<double>(g.value().num_edges()) / g.value().num_nodes();
+  EXPECT_NEAR(ratio, 1.04, 0.01);
+}
+
+TEST(GeneratorTest, GraphIsConnected) {
+  for (uint64_t seed : {1u, 99u, 1234u}) {
+    RoadNetworkOptions options;
+    options.num_nodes = 800;
+    options.seed = seed;
+    auto g = GenerateRoadNetwork(options);
+    ASSERT_TRUE(g.ok());
+    DijkstraTree t = DijkstraAll(g.value(), 0);
+    for (NodeId v = 0; v < g.value().num_nodes(); ++v) {
+      ASSERT_NE(t.dist[v], kInfDistance) << "node " << v << " unreachable";
+    }
+  }
+}
+
+TEST(GeneratorTest, CoordinatesWithinExtent) {
+  RoadNetworkOptions options;
+  options.num_nodes = 300;
+  options.coord_extent = 10000.0;
+  auto g = GenerateRoadNetwork(options);
+  ASSERT_TRUE(g.ok());
+  BoundingBox box = g.value().GetBoundingBox();
+  EXPECT_GE(box.min_x, 0.0);
+  EXPECT_GE(box.min_y, 0.0);
+  EXPECT_LE(box.max_x, 10000.0);
+  EXPECT_LE(box.max_y, 10000.0);
+}
+
+TEST(GeneratorTest, WeightsAtLeastEuclidean) {
+  RoadNetworkOptions options;
+  options.num_nodes = 400;
+  options.weight_noise = 0.2;
+  auto gr = GenerateRoadNetwork(options);
+  ASSERT_TRUE(gr.ok());
+  const Graph& g = gr.value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      const double euclid = g.EuclideanDistance(u, e.to);
+      EXPECT_GE(e.weight, euclid - 1e-9);
+      EXPECT_LE(e.weight, euclid * 1.2 + 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorTest, ZeroNoiseGivesExactlyEuclideanWeights) {
+  RoadNetworkOptions options;
+  options.num_nodes = 200;
+  options.weight_noise = 0.0;
+  auto gr = GenerateRoadNetwork(options);
+  ASSERT_TRUE(gr.ok());
+  const Graph& g = gr.value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      EXPECT_NEAR(e.weight, g.EuclideanDistance(u, e.to), 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  RoadNetworkOptions options;
+  options.num_nodes = 150;
+  options.seed = 42;
+  auto a = GenerateRoadNetwork(options);
+  auto b = GenerateRoadNetwork(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().num_edges(), b.value().num_edges());
+  for (NodeId v = 0; v < a.value().num_nodes(); ++v) {
+    EXPECT_EQ(a.value().x(v), b.value().x(v));
+    auto na = a.value().Neighbors(v);
+    auto nb = b.value().Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  RoadNetworkOptions options;
+  options.num_nodes = 150;
+  options.seed = 1;
+  auto a = GenerateRoadNetwork(options);
+  options.seed = 2;
+  auto b = GenerateRoadNetwork(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (NodeId v = 0; v < a.value().num_nodes() && !any_difference; ++v) {
+    any_difference = a.value().x(v) != b.value().x(v);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, MostNodesHaveRoadLikeDegree) {
+  RoadNetworkOptions options;
+  options.num_nodes = 1000;
+  auto gr = GenerateRoadNetwork(options);
+  ASSERT_TRUE(gr.ok());
+  size_t low_degree = 0;
+  for (NodeId v = 0; v < gr.value().num_nodes(); ++v) {
+    if (gr.value().Degree(v) <= 3) {
+      ++low_degree;
+    }
+  }
+  // Road networks are dominated by degree <= 3 junctions.
+  EXPECT_GT(low_degree, gr.value().num_nodes() * 3 / 4);
+}
+
+TEST(GeneratorTest, InvalidOptionsRejected) {
+  RoadNetworkOptions options;
+  options.num_nodes = 1;
+  EXPECT_FALSE(GenerateRoadNetwork(options).ok());
+  options.num_nodes = 10;
+  options.jitter = 1.5;
+  EXPECT_FALSE(GenerateRoadNetwork(options).ok());
+  options.jitter = 0.2;
+  options.weight_noise = -0.1;
+  EXPECT_FALSE(GenerateRoadNetwork(options).ok());
+  options.weight_noise = 0.1;
+  options.coord_extent = 0;
+  EXPECT_FALSE(GenerateRoadNetwork(options).ok());
+}
+
+TEST(DatasetTest, AllFourDatasetsGenerate) {
+  for (Dataset d :
+       {Dataset::kDE, Dataset::kARG, Dataset::kIND, Dataset::kNA}) {
+    RoadNetworkOptions options = DatasetOptions(d);
+    auto g = GenerateDataset(d);
+    ASSERT_TRUE(g.ok()) << DatasetName(d);
+    EXPECT_EQ(g.value().num_nodes(), options.num_nodes);
+    // Edge ratios mirror the paper's datasets (1.03 - 1.05).
+    const double ratio =
+        static_cast<double>(g.value().num_edges()) / g.value().num_nodes();
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.1);
+  }
+}
+
+TEST(DatasetTest, SizesAscendLikeThePapers) {
+  EXPECT_LT(DatasetOptions(Dataset::kDE).num_nodes,
+            DatasetOptions(Dataset::kARG).num_nodes);
+  EXPECT_LT(DatasetOptions(Dataset::kARG).num_nodes,
+            DatasetOptions(Dataset::kIND).num_nodes);
+  EXPECT_LT(DatasetOptions(Dataset::kIND).num_nodes,
+            DatasetOptions(Dataset::kNA).num_nodes);
+}
+
+TEST(DatasetTest, Names) {
+  EXPECT_EQ(DatasetName(Dataset::kDE), "DE");
+  EXPECT_EQ(DatasetName(Dataset::kARG), "ARG");
+  EXPECT_EQ(DatasetName(Dataset::kIND), "IND");
+  EXPECT_EQ(DatasetName(Dataset::kNA), "NA");
+}
+
+}  // namespace
+}  // namespace spauth

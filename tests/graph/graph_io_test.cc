@@ -1,0 +1,81 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  Graph g = testing::MakeRandomRoadNetwork(150, 8);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(g, buffer).ok());
+  auto loaded = LoadGraph(buffer);
+  ASSERT_TRUE(loaded.ok());
+  const Graph& h = loaded.value();
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.x(v), g.x(v));
+    EXPECT_EQ(h.y(v), g.y(v));
+    auto ng = g.Neighbors(v);
+    auto nh = h.Neighbors(v);
+    ASSERT_EQ(ng.size(), nh.size());
+    for (size_t i = 0; i < ng.size(); ++i) {
+      EXPECT_EQ(ng[i].to, nh[i].to);
+      EXPECT_EQ(ng[i].weight, nh[i].weight);  // full double precision
+    }
+  }
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(g.value(), buffer).ok());
+  auto loaded = LoadGraph(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 0u);
+}
+
+TEST(GraphIoTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-graph v9\n1 0\n0 0\n");
+  EXPECT_EQ(LoadGraph(buffer).status().code(), StatusCode::kMalformed);
+}
+
+TEST(GraphIoTest, RejectsTruncatedNodeList) {
+  std::stringstream buffer("spauth-graph v1\n3 0\n0 0\n1 1\n");
+  EXPECT_EQ(LoadGraph(buffer).status().code(), StatusCode::kMalformed);
+}
+
+TEST(GraphIoTest, RejectsTruncatedEdgeList) {
+  std::stringstream buffer("spauth-graph v1\n2 1\n0 0\n1 1\n0 1\n");
+  EXPECT_EQ(LoadGraph(buffer).status().code(), StatusCode::kMalformed);
+}
+
+TEST(GraphIoTest, RejectsInvalidEdgeEndpoint) {
+  std::stringstream buffer("spauth-graph v1\n2 1\n0 0\n1 1\n0 7 2.5\n");
+  EXPECT_FALSE(LoadGraph(buffer).ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = testing::MakeFigure1Graph();
+  const std::string path = ::testing::TempDir() + "/spauth_fig1.graph";
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadGraphFromFile("/nonexistent/x.graph").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace spauth

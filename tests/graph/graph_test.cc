@@ -1,0 +1,128 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 0u);
+  EXPECT_EQ(g.value().num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, NodeIdsAreDense) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(0, 0), 0u);
+  EXPECT_EQ(b.AddNode(1, 1), 1u);
+  EXPECT_EQ(b.AddNode(2, 2), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsInvalidEdges) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 0);
+  EXPECT_EQ(b.AddEdge(0, 5, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 1, -1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 1, kInfDistance).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, ZeroWeightEdgeAllowed) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 0);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.0).ok());
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(GraphBuilderTest, DuplicateEdgeRejectedAtBuild) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 0);
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 2.0).ok());  // same undirected edge
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, AdjacencyIsSortedAndSymmetric) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1].to, nbrs[i].to);
+    }
+    for (const Edge& e : nbrs) {
+      auto back = g.EdgeWeight(e.to, u);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(back.value(), e.weight);
+    }
+  }
+}
+
+TEST(GraphTest, EdgeWeightLookup) {
+  Graph g = testing::MakeFigure1Graph();
+  auto w = g.EdgeWeight(0, 2);  // v1-v3
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 2.0);
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));  // v1-v4 not an edge
+  EXPECT_EQ(g.EdgeWeight(0, 3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.EdgeWeight(0, 99).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, DegreeCounts) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(g.Degree(0), 2u);  // v1: v2, v3
+  EXPECT_EQ(g.Degree(4), 3u);  // v5: v3, v6, v7
+}
+
+TEST(GraphTest, BoundingBox) {
+  Graph g = testing::MakeGridGraph(4, 3);
+  BoundingBox box = g.GetBoundingBox();
+  EXPECT_EQ(box.min_x, 0.0);
+  EXPECT_EQ(box.max_x, 3.0);
+  EXPECT_EQ(box.min_y, 0.0);
+  EXPECT_EQ(box.max_y, 2.0);
+  EXPECT_EQ(box.width(), 3.0);
+  EXPECT_EQ(box.height(), 2.0);
+}
+
+TEST(GraphTest, EuclideanDistance) {
+  Graph g = testing::MakeGridGraph(3, 3);
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(0, 4), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(2, 2), 0.0);
+}
+
+TEST(GraphTest, IsValidNode) {
+  Graph g = testing::MakeGridGraph(2, 2);
+  EXPECT_TRUE(g.IsValidNode(0));
+  EXPECT_TRUE(g.IsValidNode(3));
+  EXPECT_FALSE(g.IsValidNode(4));
+  EXPECT_FALSE(g.IsValidNode(kInvalidNode));
+}
+
+TEST(GraphTest, IsolatedNodeHasEmptyAdjacency) {
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  b.AddNode(1, 1);
+  b.AddNode(2, 2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.value().Neighbors(2).empty());
+  EXPECT_EQ(g.value().Degree(2), 0u);
+}
+
+}  // namespace
+}  // namespace spauth

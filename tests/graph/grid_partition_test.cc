@@ -1,0 +1,125 @@
+#include "graph/grid_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(GridPartitionTest, GridDimFromCellCount) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 1);
+  for (auto [cells, dim] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {1, 1}, {4, 2}, {25, 5}, {49, 7}, {100, 10}, {225, 15}}) {
+    auto p = GridPartition::Build(g, cells);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value().grid_dim(), dim);
+    EXPECT_EQ(p.value().num_cells(), dim * dim);
+  }
+}
+
+TEST(GridPartitionTest, CellsPartitionTheNodes) {
+  Graph g = testing::MakeRandomRoadNetwork(500, 2);
+  auto pr = GridPartition::Build(g, 25);
+  ASSERT_TRUE(pr.ok());
+  const GridPartition& p = pr.value();
+  std::set<NodeId> seen;
+  for (uint32_t c = 0; c < p.num_cells(); ++c) {
+    for (NodeId v : p.NodesInCell(c)) {
+      EXPECT_EQ(p.CellOf(v), c);
+      EXPECT_TRUE(seen.insert(v).second) << "node in two cells";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(GridPartitionTest, BorderDetectionMatchesBruteForce) {
+  Graph g = testing::MakeRandomRoadNetwork(400, 3);
+  auto pr = GridPartition::Build(g, 49);
+  ASSERT_TRUE(pr.ok());
+  const GridPartition& p = pr.value();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool expect_border = false;
+    for (const Edge& e : g.Neighbors(v)) {
+      if (p.CellOf(e.to) != p.CellOf(v)) {
+        expect_border = true;
+        break;
+      }
+    }
+    EXPECT_EQ(p.IsBorder(v), expect_border) << "node " << v;
+  }
+}
+
+TEST(GridPartitionTest, BordersOfCellAreSortedAndComplete) {
+  Graph g = testing::MakeRandomRoadNetwork(400, 4);
+  auto pr = GridPartition::Build(g, 25);
+  ASSERT_TRUE(pr.ok());
+  const GridPartition& p = pr.value();
+  size_t total_borders = 0;
+  for (uint32_t c = 0; c < p.num_cells(); ++c) {
+    auto borders = p.BordersOfCell(c);
+    total_borders += borders.size();
+    for (size_t i = 0; i < borders.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(borders[i - 1], borders[i]);
+      }
+      EXPECT_TRUE(p.IsBorder(borders[i]));
+      EXPECT_EQ(p.CellOf(borders[i]), c);
+    }
+    // Every border node of the cell appears.
+    for (NodeId v : p.NodesInCell(c)) {
+      if (p.IsBorder(v)) {
+        EXPECT_TRUE(std::find(borders.begin(), borders.end(), v) !=
+                    borders.end());
+      }
+    }
+  }
+  EXPECT_EQ(total_borders, p.AllBorders().size());
+}
+
+TEST(GridPartitionTest, SingleCellHasNoBorders) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 5);
+  auto pr = GridPartition::Build(g, 1);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(pr.value().AllBorders().empty());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FALSE(pr.value().IsBorder(v));
+    EXPECT_EQ(pr.value().CellOf(v), 0u);
+  }
+}
+
+TEST(GridPartitionTest, MoreCellsMeansMoreBorders) {
+  Graph g = testing::MakeRandomRoadNetwork(1000, 6);
+  auto small = GridPartition::Build(g, 9);
+  auto large = GridPartition::Build(g, 225);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small.value().AllBorders().size(),
+            large.value().AllBorders().size());
+}
+
+TEST(GridPartitionTest, GridGraphCellAssignmentIsSpatial) {
+  Graph g = testing::MakeGridGraph(6, 6);
+  auto pr = GridPartition::Build(g, 4);  // 2x2 cells like Figure 7a's coarse view
+  ASSERT_TRUE(pr.ok());
+  const GridPartition& p = pr.value();
+  // Corner nodes land in distinct cells.
+  EXPECT_NE(p.CellOf(0), p.CellOf(5));        // (0,0) vs (5,0)
+  EXPECT_NE(p.CellOf(0), p.CellOf(30));       // (0,0) vs (0,5)
+  EXPECT_NE(p.CellOf(5), p.CellOf(35));       // (5,0) vs (5,5)
+  // Nodes in the same quadrant share a cell.
+  EXPECT_EQ(p.CellOf(0), p.CellOf(7));        // (0,0) and (1,1)
+  EXPECT_EQ(p.CellOf(35), p.CellOf(28));      // (5,5) and (4,4)
+}
+
+TEST(GridPartitionTest, InvalidInputs) {
+  Graph g = testing::MakeRandomRoadNetwork(50, 7);
+  EXPECT_FALSE(GridPartition::Build(g, 0).ok());
+  Graph empty;
+  EXPECT_FALSE(GridPartition::Build(empty, 4).ok());
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,170 @@
+#include "graph/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+class OrderingPermutationTest : public ::testing::TestWithParam<NodeOrdering> {
+};
+
+TEST_P(OrderingPermutationTest, IsAPermutation) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 3);
+  std::vector<NodeId> order = ComputeOrdering(g, GetParam(), 7);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(sorted[v], v);
+  }
+}
+
+TEST_P(OrderingPermutationTest, InverseIsConsistent) {
+  Graph g = testing::MakeRandomRoadNetwork(120, 4);
+  std::vector<NodeId> order = ComputeOrdering(g, GetParam(), 9);
+  std::vector<uint32_t> inverse = InvertOrdering(order);
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    EXPECT_EQ(inverse[order[pos]], pos);
+  }
+}
+
+TEST_P(OrderingPermutationTest, NameRoundTrips) {
+  auto parsed = ParseNodeOrdering(ToString(GetParam()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, OrderingPermutationTest,
+                         ::testing::ValuesIn(kAllOrderings),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(OrderingTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseNodeOrdering("zorder").ok());
+  EXPECT_FALSE(ParseNodeOrdering("").ok());
+}
+
+TEST(OrderingTest, BfsStartsAtNodeZeroAndRespectsLayers) {
+  Graph g = testing::MakeGridGraph(5, 5);
+  std::vector<NodeId> order = ComputeOrdering(g, NodeOrdering::kBfs, 0);
+  EXPECT_EQ(order[0], 0u);
+  // BFS layer index (hop count from node 0) must be non-decreasing.
+  std::vector<int> layer(g.num_nodes(), -1);
+  layer[0] = 0;
+  std::vector<NodeId> queue = {0};
+  for (size_t h = 0; h < queue.size(); ++h) {
+    for (const Edge& e : g.Neighbors(queue[h])) {
+      if (layer[e.to] < 0) {
+        layer[e.to] = layer[queue[h]] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(layer[order[i - 1]], layer[order[i]]);
+  }
+}
+
+TEST(OrderingTest, DfsParentAppearsBeforeChildren) {
+  Graph g = testing::MakeGridGraph(4, 4);
+  std::vector<NodeId> order = ComputeOrdering(g, NodeOrdering::kDfs, 0);
+  EXPECT_EQ(order[0], 0u);
+  // In DFS pre-order on a connected graph, every non-root node must appear
+  // after at least one of its neighbors.
+  std::vector<uint32_t> pos = InvertOrdering(order);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == order[0]) {
+      continue;
+    }
+    bool has_earlier_neighbor = false;
+    for (const Edge& e : g.Neighbors(v)) {
+      if (pos[e.to] < pos[v]) {
+        has_earlier_neighbor = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_earlier_neighbor) << "node " << v;
+  }
+}
+
+TEST(OrderingTest, RandomOrderingDependsOnSeed) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 5);
+  auto a = ComputeOrdering(g, NodeOrdering::kRandom, 1);
+  auto b = ComputeOrdering(g, NodeOrdering::kRandom, 1);
+  auto c = ComputeOrdering(g, NodeOrdering::kRandom, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(OrderingTest, DeterministicOrderingsIgnoreSeed) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 6);
+  for (NodeOrdering o : {NodeOrdering::kBfs, NodeOrdering::kDfs,
+                         NodeOrdering::kHilbert, NodeOrdering::kKdTree}) {
+    EXPECT_EQ(ComputeOrdering(g, o, 1), ComputeOrdering(g, o, 999));
+  }
+}
+
+TEST(OrderingTest, CoversDisconnectedGraphs) {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  for (NodeOrdering o : kAllOrderings) {
+    std::vector<NodeId> order = ComputeOrdering(g.value(), o, 3);
+    std::set<NodeId> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 6u) << ToString(o);
+  }
+}
+
+TEST(HilbertIndexTest, BijectiveOnSmallGrid) {
+  // Distinct cells map to distinct indices (checked on a 32x32 window).
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 32; ++x) {
+    for (uint32_t y = 0; y < 32; ++y) {
+      EXPECT_TRUE(seen.insert(HilbertIndex(x, y)).second);
+    }
+  }
+}
+
+TEST(HilbertIndexTest, OriginIsZero) { EXPECT_EQ(HilbertIndex(0, 0), 0u); }
+
+TEST(HilbertOrderingTest, PreservesLocalityBetterThanRandom) {
+  // The whole point of hbt ordering (Figure 10): network-adjacent nodes end
+  // up close in leaf order. Compare the mean |pos(u) - pos(v)| over edges.
+  Graph g = testing::MakeRandomRoadNetwork(900, 17);
+  auto mean_edge_span = [&](NodeOrdering o) {
+    std::vector<uint32_t> pos = InvertOrdering(ComputeOrdering(g, o, 5));
+    double total = 0;
+    size_t count = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (const Edge& e : g.Neighbors(u)) {
+        if (u < e.to) {
+          total += std::abs(static_cast<double>(pos[u]) - pos[e.to]);
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  const double hbt = mean_edge_span(NodeOrdering::kHilbert);
+  const double kd = mean_edge_span(NodeOrdering::kKdTree);
+  const double dfs = mean_edge_span(NodeOrdering::kDfs);
+  const double rand = mean_edge_span(NodeOrdering::kRandom);
+  EXPECT_LT(hbt, rand / 2);
+  EXPECT_LT(kd, rand / 2);
+  EXPECT_LT(dfs, rand / 2);
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,93 @@
+#include "graph/path.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(PathTest, BasicAccessors) {
+  Path p{{3, 4, 5}};
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.num_hops(), 2u);
+  EXPECT_EQ(p.source(), 3u);
+  EXPECT_EQ(p.target(), 5u);
+  Path empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.num_hops(), 0u);
+}
+
+TEST(PathTest, DistanceOfPaperShortestPath) {
+  Graph g = testing::MakeFigure1Graph();
+  // v1 -> v3 -> v5 -> v6 -> v4 (ids 0,2,4,5,3) has distance 8.
+  Path p{{0, 2, 4, 5, 3}};
+  auto d = ComputePathDistance(g, p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 8.0);
+}
+
+TEST(PathTest, DistanceOfAlternativePath) {
+  Graph g = testing::MakeFigure1Graph();
+  // v1 -> v2 -> v4 has distance 10.
+  auto d = ComputePathDistance(g, Path{{0, 1, 3}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 10.0);
+}
+
+TEST(PathTest, DistanceFailsOnMissingEdge) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_FALSE(ComputePathDistance(g, Path{{0, 3}}).ok());
+  EXPECT_FALSE(ComputePathDistance(g, Path{}).ok());
+}
+
+TEST(PathTest, SingleNodePathHasZeroDistance) {
+  Graph g = testing::MakeFigure1Graph();
+  auto d = ComputePathDistance(g, Path{{2}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), 0.0);
+}
+
+TEST(ValidatePathTest, AcceptsRealPath) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_TRUE(ValidatePath(g, Path{{0, 2, 4, 5, 3}}, 0, 3).ok());
+}
+
+TEST(ValidatePathTest, RejectsWrongEndpoints) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(ValidatePath(g, Path{{0, 2, 4}}, 0, 3).code(),
+            StatusCode::kVerificationFailed);
+  EXPECT_EQ(ValidatePath(g, Path{{2, 4, 5, 3}}, 0, 3).code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ValidatePathTest, RejectsNonEdgeHop) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(ValidatePath(g, Path{{0, 3}}, 0, 3).code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ValidatePathTest, RejectsRepeatedNode) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(ValidatePath(g, Path{{0, 2, 0, 2, 4, 5, 3}}, 0, 3).code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ValidatePathTest, RejectsUnknownNode) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_EQ(ValidatePath(g, Path{{0, 42, 3}}, 0, 3).code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ValidatePathTest, RejectsEmptyPath) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_FALSE(ValidatePath(g, Path{}, 0, 3).ok());
+}
+
+TEST(ValidatePathTest, TrivialPathWhenSourceEqualsTarget) {
+  Graph g = testing::MakeFigure1Graph();
+  EXPECT_TRUE(ValidatePath(g, Path{{5}}, 5, 5).ok());
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,101 @@
+#include "graph/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+TEST(WorkloadTest, ProducesRequestedCount) {
+  Graph g = testing::MakeRandomRoadNetwork(300, 1);
+  WorkloadOptions options;
+  options.count = 37;
+  auto w = GenerateWorkload(g, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value().size(), 37u);
+}
+
+TEST(WorkloadTest, EndpointsValidAndDistinct) {
+  Graph g = testing::MakeRandomRoadNetwork(300, 2);
+  WorkloadOptions options;
+  options.count = 50;
+  auto w = GenerateWorkload(g, options);
+  ASSERT_TRUE(w.ok());
+  for (const Query& q : w.value()) {
+    EXPECT_TRUE(g.IsValidNode(q.source));
+    EXPECT_TRUE(g.IsValidNode(q.target));
+    EXPECT_NE(q.source, q.target);
+  }
+}
+
+TEST(WorkloadTest, DistancesTrackTheQueryRange) {
+  Graph g = testing::MakeRandomRoadNetwork(1000, 3);
+  for (double range : {500.0, 2000.0, 4000.0}) {
+    WorkloadOptions options;
+    options.count = 20;
+    options.query_range = range;
+    options.seed = 11;
+    auto w = GenerateWorkload(g, options);
+    ASSERT_TRUE(w.ok());
+    double total = 0;
+    for (const Query& q : w.value()) {
+      auto r = DijkstraShortestPath(g, q.source, q.target);
+      ASSERT_TRUE(r.reachable);
+      total += r.distance;
+    }
+    const double mean = total / w.value().size();
+    // Dense connected network: achievable within ~25% on average.
+    EXPECT_GT(mean, range * 0.75);
+    EXPECT_LT(mean, range * 1.25);
+  }
+}
+
+TEST(WorkloadTest, ExactRangeOnUnitGrid) {
+  // On a 20x20 unit grid every integer distance in [1, 38] is achievable,
+  // so the workload should hit the range exactly.
+  Graph g = testing::MakeGridGraph(20, 20);
+  WorkloadOptions options;
+  options.count = 10;
+  options.query_range = 7.0;
+  auto w = GenerateWorkload(g, options);
+  ASSERT_TRUE(w.ok());
+  for (const Query& q : w.value()) {
+    auto r = DijkstraShortestPath(g, q.source, q.target);
+    ASSERT_TRUE(r.reachable);
+    EXPECT_DOUBLE_EQ(r.distance, 7.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 4);
+  WorkloadOptions options;
+  options.count = 15;
+  options.seed = 77;
+  auto a = GenerateWorkload(g, options);
+  auto b = GenerateWorkload(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  options.seed = 78;
+  auto c = GenerateWorkload(g, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(WorkloadTest, InvalidInputsRejected) {
+  Graph g = testing::MakeRandomRoadNetwork(50, 5);
+  WorkloadOptions options;
+  options.query_range = 0;
+  EXPECT_FALSE(GenerateWorkload(g, options).ok());
+  GraphBuilder b;
+  b.AddNode(0, 0);
+  auto tiny = b.Build();
+  ASSERT_TRUE(tiny.ok());
+  WorkloadOptions ok_options;
+  EXPECT_FALSE(GenerateWorkload(tiny.value(), ok_options).ok());
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,215 @@
+#include "hints/extended_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace spauth {
+namespace {
+
+ExtendedTuple MakeSampleTuple() {
+  ExtendedTuple t;
+  t.id = 16;
+  t.x = 1.0;
+  t.y = 6.0;
+  // The paper's example: Phi(v16) = <16, 1.0, 6.0, {<15,1.0>, <26,1.0>}>.
+  t.neighbors = {{15, 1.0}, {26, 1.0}};
+  return t;
+}
+
+TEST(ExtendedTupleTest, BaseTuplesMirrorTheGraph) {
+  Graph g = testing::MakeFigure1Graph();
+  auto tuples = BuildBaseTuples(g);
+  ASSERT_EQ(tuples.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(tuples[v].id, v);
+    EXPECT_EQ(tuples[v].x, g.x(v));
+    EXPECT_EQ(tuples[v].y, g.y(v));
+    ASSERT_EQ(tuples[v].neighbors.size(), g.Degree(v));
+    for (const NeighborEntry& e : tuples[v].neighbors) {
+      auto w = g.EdgeWeight(v, e.id);
+      ASSERT_TRUE(w.ok());
+      EXPECT_EQ(w.value(), e.weight);
+    }
+  }
+}
+
+TEST(ExtendedTupleTest, WeightToFindsEdges) {
+  ExtendedTuple t = MakeSampleTuple();
+  auto w = t.WeightTo(26);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 1.0);
+  EXPECT_EQ(t.WeightTo(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExtendedTupleTest, BaseRoundTrip) {
+  ExtendedTuple t = MakeSampleTuple();
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(w.size(), t.SerializedSize());
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(ExtendedTupleTest, LandmarkRepresentativeRoundTrip) {
+  ExtendedTuple t = MakeSampleTuple();
+  t.has_landmark_data = true;
+  t.is_representative = true;
+  t.qcodes = {0, 17, 4095, 65535};
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(w.size(), t.SerializedSize());
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(ExtendedTupleTest, LandmarkCompressedRoundTrip) {
+  ExtendedTuple t = MakeSampleTuple();
+  t.has_landmark_data = true;
+  t.is_representative = false;
+  t.ref_node = 42;
+  t.ref_error = 2.0;
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(w.size(), t.SerializedSize());
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(ExtendedTupleTest, CellDataRoundTrip) {
+  ExtendedTuple t = MakeSampleTuple();
+  t.has_cell_data = true;
+  t.cell = 7;
+  t.is_border = true;
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(w.size(), t.SerializedSize());
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+  EXPECT_TRUE(back.value().is_border);
+}
+
+TEST(ExtendedTupleTest, AllExtensionsTogether) {
+  ExtendedTuple t = MakeSampleTuple();
+  t.has_landmark_data = true;
+  t.is_representative = true;
+  t.qcodes = {1, 2, 3};
+  t.has_cell_data = true;
+  t.cell = 3;
+  ByteWriter w;
+  t.Serialize(&w);
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(ExtendedTupleTest, DigestDetectsAnyFieldChange) {
+  ExtendedTuple base = MakeSampleTuple();
+  const Digest d0 = base.LeafDigest(HashAlgorithm::kSha1);
+
+  ExtendedTuple changed = base;
+  changed.neighbors[0].weight = 1.5;  // tampered edge weight
+  EXPECT_NE(changed.LeafDigest(HashAlgorithm::kSha1), d0);
+
+  changed = base;
+  changed.neighbors.pop_back();  // dropped adjacency
+  EXPECT_NE(changed.LeafDigest(HashAlgorithm::kSha1), d0);
+
+  changed = base;
+  changed.id = 17;
+  EXPECT_NE(changed.LeafDigest(HashAlgorithm::kSha1), d0);
+
+  changed = base;
+  changed.x += 0.001;
+  EXPECT_NE(changed.LeafDigest(HashAlgorithm::kSha1), d0);
+
+  changed = base;
+  changed.has_cell_data = true;
+  changed.cell = 0;
+  EXPECT_NE(changed.LeafDigest(HashAlgorithm::kSha1), d0);
+}
+
+TEST(ExtendedTupleTest, DigestStableAcrossCopies) {
+  ExtendedTuple t = MakeSampleTuple();
+  ExtendedTuple copy = t;
+  EXPECT_EQ(t.LeafDigest(HashAlgorithm::kSha256),
+            copy.LeafDigest(HashAlgorithm::kSha256));
+}
+
+TEST(ExtendedTupleTest, DeserializeRejectsMalformedInput) {
+  // Unknown flag bit.
+  {
+    ExtendedTuple t = MakeSampleTuple();
+    ByteWriter w;
+    t.Serialize(&w);
+    std::vector<uint8_t> bytes = w.TakeBytes();
+    bytes[4 + 8 + 8] = 0x80;  // flags byte offset: id + x + y
+    ByteReader r(bytes);
+    EXPECT_FALSE(ExtendedTuple::Deserialize(&r).ok());
+  }
+  // Truncated stream.
+  {
+    ExtendedTuple t = MakeSampleTuple();
+    ByteWriter w;
+    t.Serialize(&w);
+    std::vector<uint8_t> bytes = w.TakeBytes();
+    bytes.resize(bytes.size() - 3);
+    ByteReader r(bytes);
+    EXPECT_FALSE(ExtendedTuple::Deserialize(&r).ok());
+  }
+  // Implausible neighbor count.
+  {
+    ByteWriter w;
+    w.WriteU32(1);
+    w.WriteF64(0);
+    w.WriteF64(0);
+    w.WriteU8(0);
+    w.WriteU32(1000000);  // claims a million neighbors
+    ByteReader r(w.view());
+    EXPECT_FALSE(ExtendedTuple::Deserialize(&r).ok());
+  }
+  // Unsorted neighbors (non-canonical encoding must be rejected).
+  {
+    ByteWriter w;
+    w.WriteU32(1);
+    w.WriteF64(0);
+    w.WriteF64(0);
+    w.WriteU8(0);
+    w.WriteU32(2);
+    w.WriteU32(9);
+    w.WriteF64(1.0);
+    w.WriteU32(3);  // lower id after higher id
+    w.WriteF64(1.0);
+    ByteReader r(w.view());
+    EXPECT_FALSE(ExtendedTuple::Deserialize(&r).ok());
+  }
+}
+
+TEST(ExtendedTupleTest, IsolatedNodeTuple) {
+  GraphBuilder b;
+  b.AddNode(3.0, 4.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto tuples = BuildBaseTuples(g.value());
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_TRUE(tuples[0].neighbors.empty());
+  ByteWriter w;
+  tuples[0].Serialize(&w);
+  ByteReader r(w.view());
+  auto back = ExtendedTuple::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), tuples[0]);
+}
+
+}  // namespace
+}  // namespace spauth

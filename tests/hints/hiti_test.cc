@@ -1,0 +1,204 @@
+#include "hints/hiti.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/dijkstra.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+HitiIndex MustBuildHiti(const Graph& g, uint32_t cells) {
+  auto part = GridPartition::Build(g, cells);
+  EXPECT_TRUE(part.ok());
+  auto hiti = HitiIndex::Build(g, std::move(part).value());
+  EXPECT_TRUE(hiti.ok());
+  return std::move(hiti).value();
+}
+
+/// Distance from `source` restricted to edges with both endpoints in the
+/// cell of `source` — the client-side d_cell computation, reimplemented
+/// naively for cross-checking.
+std::vector<double> InCellDistances(const Graph& g, const GridPartition& p,
+                                    NodeId source) {
+  const uint32_t cell = p.CellOf(source);
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  dist[source] = 0;
+  std::vector<NodeId> frontier = {source};
+  // Bellman-Ford style relaxation within the cell (small sets; fine).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u : p.NodesInCell(cell)) {
+      if (dist[u] == kInfDistance) continue;
+      for (const Edge& e : g.Neighbors(u)) {
+        if (p.CellOf(e.to) != cell) continue;
+        if (dist[u] + e.weight < dist[e.to] - 1e-15) {
+          dist[e.to] = dist[u] + e.weight;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(HitiTest, HyperEdgeCountIsAllBorderPairs) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 1);
+  HitiIndex hiti = MustBuildHiti(g, 9);
+  const size_t b = hiti.num_border_nodes();
+  EXPECT_GT(b, 0u);
+  EXPECT_EQ(hiti.num_hyper_edges(), b * (b - 1) / 2);
+}
+
+TEST(HitiTest, HyperEdgeWeightsAreExactDistances) {
+  Graph g = testing::MakeRandomRoadNetwork(150, 2);
+  HitiIndex hiti = MustBuildHiti(g, 9);
+  auto borders = hiti.partition().AllBorders();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId u = borders[rng.NextBounded(borders.size())];
+    NodeId v = borders[rng.NextBounded(borders.size())];
+    auto w = hiti.HyperEdgeWeight(u, v);
+    ASSERT_TRUE(w.ok());
+    auto sp = DijkstraShortestPath(g, u, v);
+    ASSERT_TRUE(sp.reachable);
+    EXPECT_NEAR(w.value(), sp.distance, 1e-9);
+  }
+}
+
+TEST(HitiTest, HyperEdgesAreSymmetricAndReflexive) {
+  Graph g = testing::MakeRandomRoadNetwork(120, 3);
+  HitiIndex hiti = MustBuildHiti(g, 4);
+  auto borders = hiti.partition().AllBorders();
+  ASSERT_GE(borders.size(), 2u);
+  EXPECT_DOUBLE_EQ(hiti.HyperEdgeWeight(borders[0], borders[0]).value(), 0.0);
+  auto ab = hiti.HyperEdgeWeight(borders[0], borders[1]);
+  auto ba = hiti.HyperEdgeWeight(borders[1], borders[0]);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(ab.value(), ba.value());
+}
+
+TEST(HitiTest, NonBorderLookupFails) {
+  Graph g = testing::MakeRandomRoadNetwork(120, 4);
+  HitiIndex hiti = MustBuildHiti(g, 9);
+  // Find an inner node.
+  NodeId inner = kInvalidNode;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!hiti.partition().IsBorder(v)) {
+      inner = v;
+      break;
+    }
+  }
+  ASSERT_NE(inner, kInvalidNode);
+  auto borders = hiti.partition().AllBorders();
+  EXPECT_FALSE(hiti.HyperEdgeWeight(inner, borders[0]).ok());
+}
+
+TEST(HitiTest, EntriesAreSortedAndCanonical) {
+  Graph g = testing::MakeRandomRoadNetwork(150, 5);
+  HitiIndex hiti = MustBuildHiti(g, 16);
+  const auto& entries = hiti.entries();
+  std::unordered_set<uint64_t> keys;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(entries[i - 1].key, entries[i].key);
+    }
+    EXPECT_TRUE(keys.insert(entries[i].key).second);
+    // Canonical form: (cell_lo, id_lo) <= (cell_hi, id_hi) lexicographically.
+    const uint32_t cell_lo = entries[i].key >> 54;
+    const uint32_t cell_hi = (entries[i].key >> 44) & 0x3ff;
+    const uint32_t id_lo = (entries[i].key >> 22) & 0x3fffff;
+    const uint32_t id_hi = entries[i].key & 0x3fffff;
+    EXPECT_LE(std::pair(cell_lo, id_lo), std::pair(cell_hi, id_hi));
+  }
+}
+
+TEST(HitiTest, HyperEdgeKeyIsCanonicalAndCellMajor) {
+  EXPECT_EQ(HyperEdgeKey(3, 7, 5, 2), HyperEdgeKey(5, 2, 3, 7));
+  // Pairs between the same two cells are contiguous: same high bits.
+  const uint64_t a = HyperEdgeKey(3, 7, 5, 2);
+  const uint64_t b = HyperEdgeKey(3, 9, 5, 100);
+  EXPECT_EQ(a >> 44, b >> 44);
+  // Different cell pairs differ in the high bits.
+  const uint64_t c = HyperEdgeKey(3, 7, 6, 2);
+  EXPECT_NE(a >> 44, c >> 44);
+  // Same cell: id order decides.
+  EXPECT_EQ(HyperEdgeKey(4, 10, 4, 3), HyperEdgeKey(4, 3, 4, 10));
+}
+
+TEST(HitiTest, DisconnectedGraphRejected) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(i * 100.0, (i % 2) * 100.0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto part = GridPartition::Build(g.value(), 4);
+  ASSERT_TRUE(part.ok());
+  // Both components have border nodes in this layout, and they cannot reach
+  // each other.
+  if (!part.value().AllBorders().empty()) {
+    EXPECT_FALSE(HitiIndex::Build(g.value(), std::move(part).value()).ok());
+  }
+}
+
+TEST(HitiTest, Theorem2BorderPassageIdentity) {
+  // dist(vs, vt) == min over border pairs of
+  //   d_cell(vs, bs) + W*(bs, bt) + d_cell(bt, vt),
+  // also considering the pure in-cell path when cells coincide.
+  Graph g = testing::MakeRandomRoadNetwork(300, 6);
+  HitiIndex hiti = MustBuildHiti(g, 16);
+  const GridPartition& p = hiti.partition();
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId vs = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId vt = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto truth = DijkstraShortestPath(g, vs, vt);
+    ASSERT_TRUE(truth.reachable);
+
+    std::vector<double> d_src = InCellDistances(g, p, vs);
+    std::vector<double> d_tgt = InCellDistances(g, p, vt);
+    double best = kInfDistance;
+    if (p.CellOf(vs) == p.CellOf(vt)) {
+      best = d_src[vt];
+    }
+    for (NodeId bs : p.BordersOfCell(p.CellOf(vs))) {
+      if (d_src[bs] == kInfDistance) continue;
+      for (NodeId bt : p.BordersOfCell(p.CellOf(vt))) {
+        if (d_tgt[bt] == kInfDistance) continue;
+        double w = bs == bt ? 0.0 : hiti.HyperEdgeWeight(bs, bt).value();
+        best = std::min(best, d_src[bs] + w + d_tgt[bt]);
+      }
+    }
+    EXPECT_NEAR(best, truth.distance, 1e-9)
+        << "vs=" << vs << " vt=" << vt << " trial=" << trial;
+  }
+}
+
+TEST(HitiTest, MoreCellsMoreHyperEdges) {
+  // The storage/construction trend behind Figure 13b.
+  Graph g = testing::MakeRandomRoadNetwork(500, 8);
+  size_t prev = 0;
+  for (uint32_t cells : {4u, 16u, 49u}) {
+    HitiIndex hiti = MustBuildHiti(g, cells);
+    EXPECT_GT(hiti.num_hyper_edges(), prev);
+    prev = hiti.num_hyper_edges();
+  }
+}
+
+TEST(HitiTest, SingleCellHasNoHyperEdges) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 9);
+  HitiIndex hiti = MustBuildHiti(g, 1);
+  EXPECT_EQ(hiti.num_border_nodes(), 0u);
+  EXPECT_EQ(hiti.num_hyper_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace spauth

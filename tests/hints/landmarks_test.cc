@@ -1,0 +1,162 @@
+#include "hints/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(SelectLandmarksTest, CountAndDistinctness) {
+  Graph g = testing::MakeRandomRoadNetwork(300, 1);
+  for (LandmarkStrategy strategy :
+       {LandmarkStrategy::kRandom, LandmarkStrategy::kFarthest}) {
+    auto lm = SelectLandmarks(g, 20, strategy, 7);
+    ASSERT_TRUE(lm.ok());
+    EXPECT_EQ(lm.value().size(), 20u);
+    std::set<NodeId> unique(lm.value().begin(), lm.value().end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (NodeId s : lm.value()) {
+      EXPECT_TRUE(g.IsValidNode(s));
+    }
+  }
+}
+
+TEST(SelectLandmarksTest, InvalidCounts) {
+  Graph g = testing::MakeRandomRoadNetwork(50, 2);
+  EXPECT_FALSE(SelectLandmarks(g, 0, LandmarkStrategy::kRandom, 1).ok());
+  EXPECT_FALSE(SelectLandmarks(g, 51, LandmarkStrategy::kRandom, 1).ok());
+}
+
+TEST(SelectLandmarksTest, FarthestSpreadsBetterThanRandom) {
+  Graph g = testing::MakeRandomRoadNetwork(900, 3);
+  auto eval_spread = [&](const std::vector<NodeId>& landmarks) {
+    // Minimum pairwise *network* distance: bigger = better spread (this is
+    // the quantity the farthest-point heuristic greedily maximizes).
+    double min_pair = kInfDistance;
+    for (NodeId s : landmarks) {
+      DijkstraTree tree = DijkstraAll(g, s);
+      for (NodeId t : landmarks) {
+        if (t != s) {
+          min_pair = std::min(min_pair, tree.dist[t]);
+        }
+      }
+    }
+    return min_pair;
+  };
+  auto random = SelectLandmarks(g, 12, LandmarkStrategy::kRandom, 5);
+  auto farthest = SelectLandmarks(g, 12, LandmarkStrategy::kFarthest, 5);
+  ASSERT_TRUE(random.ok());
+  ASSERT_TRUE(farthest.ok());
+  EXPECT_GT(eval_spread(farthest.value()), eval_spread(random.value()));
+}
+
+TEST(LandmarkTableTest, PaperFigure5Table) {
+  Graph g = testing::MakeFigure5Graph();
+  // Landmarks v2 and v7 (ids 1 and 6).
+  auto table = LandmarkTable::Build(g, {1, 6});
+  ASSERT_TRUE(table.ok());
+  const LandmarkTable& t = table.value();
+  EXPECT_EQ(t.num_landmarks(), 2u);
+  // Figure 5b, column dist(v2, .): 2,0,1,3,4,5,6,9,14.
+  const double col_v2[] = {2, 0, 1, 3, 4, 5, 6, 9, 14};
+  const double col_v7[] = {4, 6, 7, 9, 10, 1, 0, 3, 8};
+  for (NodeId v = 0; v < 9; ++v) {
+    EXPECT_DOUBLE_EQ(t.dist(0, v), col_v2[v]);
+    EXPECT_DOUBLE_EQ(t.dist(1, v), col_v7[v]);
+  }
+  EXPECT_DOUBLE_EQ(t.max_distance(), 14.0);
+  // Paper: dist_LB(v3, v8) = max{|1-9|, |7-3|} = 8 <= dist(v3,v8) = 10.
+  EXPECT_DOUBLE_EQ(t.LowerBound(2, 7), 8.0);
+}
+
+TEST(LandmarkTableTest, LowerBoundIsAdmissibleEverywhere) {
+  // Theorem 1 as a property test.
+  Graph g = testing::MakeRandomRoadNetwork(250, 4);
+  auto lm = SelectLandmarks(g, 8, LandmarkStrategy::kFarthest, 9);
+  ASSERT_TRUE(lm.ok());
+  auto table = LandmarkTable::Build(g, lm.value());
+  ASSERT_TRUE(table.ok());
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto sp = DijkstraShortestPath(g, u, v);
+    ASSERT_TRUE(sp.reachable);
+    EXPECT_LE(table.value().LowerBound(u, v), sp.distance + 1e-9)
+        << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(LandmarkTableTest, LowerBoundSymmetricAndReflexive) {
+  Graph g = testing::MakeRandomRoadNetwork(100, 5);
+  auto table = LandmarkTable::Build(g, {0, 50, 99});
+  ASSERT_TRUE(table.ok());
+  for (NodeId v = 0; v < g.num_nodes(); v += 11) {
+    EXPECT_EQ(table.value().LowerBound(v, v), 0.0);
+    for (NodeId u = 0; u < g.num_nodes(); u += 13) {
+      EXPECT_EQ(table.value().LowerBound(u, v),
+                table.value().LowerBound(v, u));
+    }
+  }
+}
+
+TEST(LandmarkTableTest, VectorOfMatchesDijkstra) {
+  Graph g = testing::MakeRandomRoadNetwork(150, 6);
+  std::vector<NodeId> landmarks = {3, 77};
+  auto table = LandmarkTable::Build(g, landmarks);
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < landmarks.size(); ++i) {
+    DijkstraTree tree = DijkstraAll(g, landmarks[i]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(table.value().VectorOf(v)[i], tree.dist[v], 1e-12);
+    }
+  }
+}
+
+TEST(LandmarkTableTest, DisconnectedGraphRejected) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(i, 0);
+  }
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(LandmarkTable::Build(g.value(), {0}).ok());
+}
+
+TEST(LandmarkTableTest, InvalidLandmarksRejected) {
+  Graph g = testing::MakeRandomRoadNetwork(50, 7);
+  EXPECT_FALSE(LandmarkTable::Build(g, {}).ok());
+  EXPECT_FALSE(LandmarkTable::Build(g, {999}).ok());
+}
+
+TEST(LandmarkTableTest, MoreLandmarksTightenTheBound) {
+  // The effect behind Figure 12a: more landmarks -> tighter lower bounds.
+  Graph g = testing::MakeRandomRoadNetwork(600, 8);
+  auto few = SelectLandmarks(g, 4, LandmarkStrategy::kFarthest, 3);
+  auto many = SelectLandmarks(g, 32, LandmarkStrategy::kFarthest, 3);
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  auto t_few = LandmarkTable::Build(g, few.value());
+  auto t_many = LandmarkTable::Build(g, many.value());
+  ASSERT_TRUE(t_few.ok());
+  ASSERT_TRUE(t_many.ok());
+  Rng rng(11);
+  double sum_few = 0, sum_many = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    sum_few += t_few.value().LowerBound(u, v);
+    sum_many += t_many.value().LowerBound(u, v);
+  }
+  EXPECT_GT(sum_many, sum_few);
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,149 @@
+#include "hints/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(QuantizationParamsTest, PaperExampleLambda) {
+  // Section V-A example: Dmax = 14, b = 3 -> lambda = 14/7 = 2.
+  auto p = QuantizationParams::Create(14.0, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value().lambda, 2.0);
+}
+
+TEST(QuantizationParamsTest, Validation) {
+  EXPECT_FALSE(QuantizationParams::Create(10.0, 0).ok());
+  EXPECT_FALSE(QuantizationParams::Create(10.0, 17).ok());
+  EXPECT_FALSE(QuantizationParams::Create(0.0, 8).ok());
+  EXPECT_FALSE(QuantizationParams::Create(-5.0, 8).ok());
+  EXPECT_TRUE(QuantizationParams::Create(10.0, 1).ok());
+  EXPECT_TRUE(QuantizationParams::Create(10.0, 16).ok());
+}
+
+TEST(QuantizationParamsTest, PaperExampleVectorV4) {
+  // v4's vector <3, 9> quantizes to <2*round(3/2), 2*round(9/2)> = <4, 10>.
+  auto p = QuantizationParams::Create(14.0, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value().Decode(p.value().Encode(3.0)), 4.0);
+  EXPECT_DOUBLE_EQ(p.value().Decode(p.value().Encode(9.0)), 10.0);
+}
+
+TEST(QuantizationParamsTest, EncodeBounds) {
+  auto p = QuantizationParams::Create(100.0, 4);  // codes 0..15
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().Encode(0.0), 0);
+  EXPECT_EQ(p.value().Encode(100.0), 15);
+  EXPECT_EQ(p.value().Encode(1e9), 15);    // clamped
+  EXPECT_EQ(p.value().Encode(-5.0), 0);    // clamped
+}
+
+TEST(QuantizationParamsTest, QuantizationErrorWithinHalfLambda) {
+  auto p = QuantizationParams::Create(5000.0, 12);
+  ASSERT_TRUE(p.ok());
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDoubleIn(0, 5000);
+    const double q = p.value().Decode(p.value().Encode(d));
+    EXPECT_LE(std::abs(q - d), p.value().lambda / 2 + 1e-9);
+  }
+}
+
+TEST(QuantizedVectorTableTest, PaperFigure6aCodes) {
+  Graph g = testing::MakeFigure5Graph();
+  auto table = LandmarkTable::Build(g, {1, 6});  // v2, v7
+  ASSERT_TRUE(table.ok());
+  auto qt = QuantizedVectorTable::Build(table.value(), 3);
+  ASSERT_TRUE(qt.ok());
+  EXPECT_DOUBLE_EQ(qt.value().params().lambda, 2.0);
+  // Figure 6a: quantized distances (in distance units, lambda = 2):
+  // v1:<2,4> v2:<0,6> v3:<2,8> v4:<4,10> v5:<4,10> v6:<6,2> v7:<6,0>
+  // v8:<10,4> v9:<14,8>.
+  const double expected[9][2] = {{2, 4},  {0, 6},  {2, 8},  {4, 10}, {4, 10},
+                                 {6, 2},  {6, 0},  {10, 4}, {14, 8}};
+  for (NodeId v = 0; v < 9; ++v) {
+    auto codes = qt.value().CodesOf(v);
+    EXPECT_DOUBLE_EQ(qt.value().params().Decode(codes[0]), expected[v][0]);
+    EXPECT_DOUBLE_EQ(qt.value().params().Decode(codes[1]), expected[v][1]);
+  }
+}
+
+TEST(QuantizedVectorTableTest, LooseBoundBelowExactBound) {
+  // Lemma 3 as a property test: dist_loose <= dist_LB for all pairs.
+  Graph g = testing::MakeRandomRoadNetwork(200, 2);
+  auto lm = SelectLandmarks(g, 10, LandmarkStrategy::kFarthest, 3);
+  ASSERT_TRUE(lm.ok());
+  auto table = LandmarkTable::Build(g, lm.value());
+  ASSERT_TRUE(table.ok());
+  auto qt = QuantizedVectorTable::Build(table.value(), 8);
+  ASSERT_TRUE(qt.ok());
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    EXPECT_LE(qt.value().LooseLowerBound(u, v),
+              table.value().LowerBound(u, v) + 1e-9);
+    EXPECT_GE(qt.value().LooseLowerBound(u, v), 0.0);
+  }
+}
+
+TEST(QuantizedVectorTableTest, LooseBoundStillAdmissible) {
+  // Transitively from Lemma 3 + Theorem 1, but check against true distances.
+  Graph g = testing::MakeRandomRoadNetwork(150, 5);
+  auto table = LandmarkTable::Build(g, {0, 75, 149});
+  ASSERT_TRUE(table.ok());
+  auto qt = QuantizedVectorTable::Build(table.value(), 6);  // coarse codes
+  ASSERT_TRUE(qt.ok());
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto sp = DijkstraShortestPath(g, u, v);
+    ASSERT_TRUE(sp.reachable);
+    EXPECT_LE(qt.value().LooseLowerBound(u, v), sp.distance + 1e-9);
+  }
+}
+
+TEST(QuantizedVectorTableTest, MoreBitsTightenTheLooseBound) {
+  Graph g = testing::MakeRandomRoadNetwork(300, 7);
+  auto lm = SelectLandmarks(g, 8, LandmarkStrategy::kFarthest, 2);
+  ASSERT_TRUE(lm.ok());
+  auto table = LandmarkTable::Build(g, lm.value());
+  ASSERT_TRUE(table.ok());
+  auto coarse = QuantizedVectorTable::Build(table.value(), 4);
+  auto fine = QuantizedVectorTable::Build(table.value(), 14);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  Rng rng(8);
+  double sum_coarse = 0, sum_fine = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    sum_coarse += coarse.value().LooseLowerBound(u, v);
+    sum_fine += fine.value().LooseLowerBound(u, v);
+  }
+  EXPECT_GT(sum_fine, sum_coarse);
+}
+
+TEST(LooseLowerBoundFromCodesTest, MatchesTableComputation) {
+  Graph g = testing::MakeRandomRoadNetwork(80, 9);
+  auto table = LandmarkTable::Build(g, {1, 40, 79});
+  ASSERT_TRUE(table.ok());
+  auto qt = QuantizedVectorTable::Build(table.value(), 10);
+  ASSERT_TRUE(qt.ok());
+  for (NodeId u = 0; u < 80; u += 7) {
+    for (NodeId v = 0; v < 80; v += 11) {
+      EXPECT_EQ(LooseLowerBoundFromCodes(qt.value().CodesOf(u),
+                                         qt.value().CodesOf(v),
+                                         qt.value().params().lambda),
+                qt.value().LooseLowerBound(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spauth

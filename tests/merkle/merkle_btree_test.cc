@@ -1,0 +1,209 @@
+#include "merkle/merkle_btree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+std::vector<DistanceEntry> MakeEntries(size_t count) {
+  std::vector<DistanceEntry> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back({PackNodePairKey(static_cast<uint32_t>(i),
+                                       static_cast<uint32_t>(i + 1000)),
+                       static_cast<double>(i) * 1.5});
+  }
+  return entries;
+}
+
+TEST(PackNodePairKeyTest, CanonicalAndOrderPreserving) {
+  EXPECT_EQ(PackNodePairKey(3, 7), PackNodePairKey(7, 3));
+  EXPECT_NE(PackNodePairKey(3, 7), PackNodePairKey(3, 8));
+  // Pairs with the same smaller id are contiguous.
+  EXPECT_LT(PackNodePairKey(3, 7), PackNodePairKey(3, 8));
+  EXPECT_LT(PackNodePairKey(3, 0xffffffffu), PackNodePairKey(4, 5));
+  EXPECT_EQ(PackNodePairKey(0, 0), 0u);
+}
+
+TEST(MerkleBTreeTest, BuildValidation) {
+  EXPECT_FALSE(MerkleBTree::Build({}, 4, HashAlgorithm::kSha1).ok());
+  std::vector<DistanceEntry> dup = {{5, 1.0}, {5, 2.0}};
+  EXPECT_FALSE(MerkleBTree::Build(dup, 4, HashAlgorithm::kSha1).ok());
+  EXPECT_FALSE(
+      MerkleBTree::Build(MakeEntries(4), 1, HashAlgorithm::kSha1).ok());
+}
+
+TEST(MerkleBTreeTest, GetFindsExactValues) {
+  auto entries = MakeEntries(100);
+  auto tree = MerkleBTree::Build(entries, 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().size(), 100u);
+  for (const DistanceEntry& e : entries) {
+    auto v = tree.value().Get(e.key);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), e.value);
+  }
+  EXPECT_FALSE(tree.value().Get(0xdeadbeefdeadbeefULL).ok());
+}
+
+TEST(MerkleBTreeTest, BuildSortsUnsortedInput) {
+  std::vector<DistanceEntry> entries = {{30, 3.0}, {10, 1.0}, {20, 2.0}};
+  auto tree = MerkleBTree::Build(entries, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  auto proof = tree.value().Lookup(std::vector<uint64_t>{10});
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().leaf_indices[0], 0u);  // smallest key -> leaf 0
+}
+
+TEST(MerkleBTreeTest, SinglePointLookupVerifies) {
+  auto tree = MerkleBTree::Build(MakeEntries(500), 8, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  auto proof =
+      tree.value().Lookup(std::vector<uint64_t>{MakeEntries(500)[123].key});
+  ASSERT_TRUE(proof.ok());
+  ASSERT_EQ(proof.value().entries.size(), 1u);
+  EXPECT_EQ(proof.value().entries[0].value, 123 * 1.5);
+  auto root = ReconstructBTreeRoot(proof.value());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+TEST(MerkleBTreeTest, MultiPointLookupSharesPathDigests) {
+  auto tree = MerkleBTree::Build(MakeEntries(1000), 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  // Adjacent keys share almost the whole path.
+  std::vector<uint64_t> adjacent, spread;
+  auto entries = MakeEntries(1000);
+  for (int i = 0; i < 10; ++i) {
+    adjacent.push_back(entries[500 + i].key);
+    spread.push_back(entries[i * 100].key);
+  }
+  auto p_adjacent = tree.value().Lookup(adjacent);
+  auto p_spread = tree.value().Lookup(spread);
+  ASSERT_TRUE(p_adjacent.ok());
+  ASSERT_TRUE(p_spread.ok());
+  EXPECT_LT(p_adjacent.value().tree_proof.num_digests(),
+            p_spread.value().tree_proof.num_digests());
+  // Both verify.
+  for (const auto* p : {&p_adjacent.value(), &p_spread.value()}) {
+    auto root = ReconstructBTreeRoot(*p);
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(root.value(), tree.value().root());
+  }
+}
+
+TEST(MerkleBTreeTest, DuplicateLookupKeysCollapse) {
+  auto entries = MakeEntries(50);
+  auto tree = MerkleBTree::Build(entries, 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint64_t> keys = {entries[7].key, entries[7].key,
+                                entries[3].key};
+  auto proof = tree.value().Lookup(keys);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().entries.size(), 2u);
+}
+
+TEST(MerkleBTreeTest, LookupMissingKeyFails) {
+  auto tree = MerkleBTree::Build(MakeEntries(50), 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(
+      tree.value().Lookup(std::vector<uint64_t>{999999}).status().code(),
+      StatusCode::kNotFound);
+  EXPECT_FALSE(tree.value().Lookup(std::vector<uint64_t>{}).ok());
+}
+
+TEST(MerkleBTreeTest, ForgedValueChangesRoot) {
+  auto tree = MerkleBTree::Build(MakeEntries(200), 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  auto proof =
+      tree.value().Lookup(std::vector<uint64_t>{MakeEntries(200)[10].key});
+  ASSERT_TRUE(proof.ok());
+  MerkleBTreeProof forged = proof.value();
+  forged.entries[0].value += 1.0;  // provider claims a different distance
+  auto root = ReconstructBTreeRoot(forged);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NE(root.value(), tree.value().root());
+}
+
+TEST(MerkleBTreeTest, ForgedLeafIndexFailsOrMismatches) {
+  auto tree = MerkleBTree::Build(MakeEntries(200), 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  auto proof =
+      tree.value().Lookup(std::vector<uint64_t>{MakeEntries(200)[10].key});
+  ASSERT_TRUE(proof.ok());
+  MerkleBTreeProof forged = proof.value();
+  forged.leaf_indices[0] += 1;
+  auto root = ReconstructBTreeRoot(forged);
+  if (root.ok()) {
+    EXPECT_NE(root.value(), tree.value().root());
+  }
+}
+
+TEST(MerkleBTreeTest, SerializationRoundTrip) {
+  auto entries = MakeEntries(300);
+  auto tree = MerkleBTree::Build(entries, 8, HashAlgorithm::kSha256);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint64_t> keys = {entries[0].key, entries[150].key,
+                                entries[299].key};
+  auto proof = tree.value().Lookup(keys);
+  ASSERT_TRUE(proof.ok());
+  ByteWriter w;
+  proof.value().Serialize(&w);
+  EXPECT_EQ(w.size(), proof.value().SerializedSize());
+  ByteReader r(w.view());
+  auto restored = MerkleBTreeProof::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.value().entries.size(), 3u);
+  auto root = ReconstructBTreeRoot(restored.value());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+TEST(MerkleBTreeTest, ReconstructRejectsMalformedProofs) {
+  auto tree = MerkleBTree::Build(MakeEntries(20), 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  auto proof =
+      tree.value().Lookup(std::vector<uint64_t>{MakeEntries(20)[3].key});
+  ASSERT_TRUE(proof.ok());
+  MerkleBTreeProof bad = proof.value();
+  bad.leaf_indices.clear();
+  EXPECT_FALSE(ReconstructBTreeRoot(bad).ok());
+
+  MerkleBTreeProof dup = proof.value();
+  dup.entries.push_back(dup.entries[0]);
+  dup.leaf_indices.push_back(dup.leaf_indices[0]);
+  EXPECT_FALSE(ReconstructBTreeRoot(dup).ok());
+}
+
+TEST(MerkleBTreeTest, RandomizedLookupProperty) {
+  Rng rng(99);
+  std::vector<DistanceEntry> entries;
+  for (int i = 0; i < 777; ++i) {
+    entries.push_back({rng.NextU64(), rng.NextDouble() * 10000});
+  }
+  auto tree = MerkleBTree::Build(entries, 16, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> keys;
+    for (int k = 0; k < 5; ++k) {
+      keys.push_back(entries[rng.NextBounded(entries.size())].key);
+    }
+    auto proof = tree.value().Lookup(keys);
+    ASSERT_TRUE(proof.ok());
+    auto root = ReconstructBTreeRoot(proof.value());
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(root.value(), tree.value().root());
+    // Returned values match Get().
+    for (const DistanceEntry& e : proof.value().entries) {
+      auto v = tree.value().Get(e.key);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(v.value(), e.value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,334 @@
+#include "merkle/merkle_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+std::vector<Digest> MakeLeaves(size_t count, HashAlgorithm alg) {
+  std::vector<Digest> leaves;
+  leaves.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string payload = "leaf-" + std::to_string(i);
+    leaves.push_back(HashLeafPayload(
+        alg, {reinterpret_cast<const uint8_t*>(payload.data()),
+              payload.size()}));
+  }
+  return leaves;
+}
+
+std::map<uint32_t, Digest> SelectLeaves(const std::vector<Digest>& leaves,
+                                        const std::vector<uint32_t>& indices) {
+  std::map<uint32_t, Digest> out;
+  for (uint32_t i : indices) {
+    out[i] = leaves[i];
+  }
+  return out;
+}
+
+TEST(MerkleTreeTest, BuildRejectsBadInputs) {
+  EXPECT_FALSE(MerkleTree::Build({}, 2, HashAlgorithm::kSha1).ok());
+  auto leaves = MakeLeaves(4, HashAlgorithm::kSha1);
+  EXPECT_FALSE(MerkleTree::Build(leaves, 1, HashAlgorithm::kSha1).ok());
+  EXPECT_FALSE(MerkleTree::Build(leaves, 0, HashAlgorithm::kSha1).ok());
+}
+
+TEST(MerkleTreeTest, SingleLeafTree) {
+  auto leaves = MakeLeaves(1, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().root(), leaves[0]);
+  EXPECT_EQ(tree.value().num_leaves(), 1u);
+  std::vector<uint32_t> indices = {0};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().num_digests(), 0u);
+  auto root = ReconstructMerkleRoot(proof.value(), SelectLeaves(leaves, {0}));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+TEST(MerkleTreeTest, KnownStructureBinaryTree) {
+  // Four leaves, fanout 2: root = H(1, H(1,l0,l1), H(1,l2,l3)).
+  auto leaves = MakeLeaves(4, HashAlgorithm::kSha256);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha256);
+  ASSERT_TRUE(tree.ok());
+  Digest left = HashInternalNode(HashAlgorithm::kSha256,
+                                 std::vector<Digest>{leaves[0], leaves[1]});
+  Digest right = HashInternalNode(HashAlgorithm::kSha256,
+                                  std::vector<Digest>{leaves[2], leaves[3]});
+  Digest root = HashInternalNode(HashAlgorithm::kSha256,
+                                 std::vector<Digest>{left, right});
+  EXPECT_EQ(tree.value().root(), root);
+  EXPECT_EQ(tree.value().total_digests(), 7u);
+}
+
+TEST(MerkleTreeTest, RaggedLastNode) {
+  // Five leaves, fanout 4: second level has nodes of arity 4 and 1.
+  auto leaves = MakeLeaves(5, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  Digest n0 = HashInternalNode(
+      HashAlgorithm::kSha1,
+      std::vector<Digest>{leaves[0], leaves[1], leaves[2], leaves[3]});
+  Digest n1 = HashInternalNode(HashAlgorithm::kSha1,
+                               std::vector<Digest>{leaves[4]});
+  Digest root =
+      HashInternalNode(HashAlgorithm::kSha1, std::vector<Digest>{n0, n1});
+  EXPECT_EQ(tree.value().root(), root);
+}
+
+TEST(MerkleTreeTest, PaperFigure3Example) {
+  // The 36-node network of Figure 3 with fanout 3: proof for leaves
+  // {v32, v33, v42} (positions 13, 14, 19 in the figure's leaf order).
+  // The two touched leaf groups contribute their non-target leaf digests
+  // (H(F(v31)), H(F(v41)), H(F(v43))) and the untouched subtrees contribute
+  // one digest each. The paper's drawing groups the twelve level-1 nodes as
+  // (3,3,3,3)->(2,2) and reports 8 digests; our construction groups
+  // (3,3,3,3)->(3,1), giving 9 — same rule, one more frontier node.
+  auto leaves = MakeLeaves(36, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 3, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {13, 14, 19};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().num_digests(), 9u);
+  auto root =
+      ReconstructMerkleRoot(proof.value(), SelectLeaves(leaves, indices));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+class MerkleFanoutTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MerkleFanoutTest, ProofRoundTripManySubsets) {
+  const uint32_t fanout = GetParam();
+  auto leaves = MakeLeaves(97, HashAlgorithm::kSha1);  // not a fanout power
+  auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(fanout * 1000 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t subset_size = 1 + rng.NextBounded(20);
+    std::set<uint32_t> subset;
+    while (subset.size() < subset_size) {
+      subset.insert(static_cast<uint32_t>(rng.NextBounded(97)));
+    }
+    std::vector<uint32_t> indices(subset.begin(), subset.end());
+    auto proof = tree.value().GenerateProof(indices);
+    ASSERT_TRUE(proof.ok());
+    auto root =
+        ReconstructMerkleRoot(proof.value(), SelectLeaves(leaves, indices));
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(root.value(), tree.value().root());
+  }
+}
+
+TEST_P(MerkleFanoutTest, FullLeafSetNeedsNoDigests) {
+  const uint32_t fanout = GetParam();
+  auto leaves = MakeLeaves(30, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> all(30);
+  for (uint32_t i = 0; i < 30; ++i) all[i] = i;
+  auto proof = tree.value().GenerateProof(all);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().num_digests(), 0u);
+  auto root = ReconstructMerkleRoot(proof.value(), SelectLeaves(leaves, all));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, MerkleFanoutTest,
+                         ::testing::Values(2, 3, 4, 8, 16, 32));
+
+TEST(MerkleTreeTest, ProofSizeGrowsWithFanout) {
+  // Figure 11a's driver: larger fanout -> more sibling digests per level.
+  auto leaves = MakeLeaves(1024, HashAlgorithm::kSha1);
+  std::vector<uint32_t> indices = {100};
+  size_t prev = 0;
+  for (uint32_t fanout : {2u, 4u, 8u, 16u, 32u}) {
+    auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+    ASSERT_TRUE(tree.ok());
+    auto proof = tree.value().GenerateProof(indices);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_GT(proof.value().num_digests(), prev);
+    prev = proof.value().num_digests();
+  }
+}
+
+TEST(MerkleTreeTest, ClusteredSubsetsYieldSmallerProofs) {
+  // The locality effect behind Figure 10: contiguous leaves share subtrees.
+  auto leaves = MakeLeaves(512, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> clustered, scattered;
+  for (uint32_t i = 0; i < 16; ++i) {
+    clustered.push_back(100 + i);
+    scattered.push_back(i * 32);
+  }
+  auto p_clustered = tree.value().GenerateProof(clustered);
+  auto p_scattered = tree.value().GenerateProof(scattered);
+  ASSERT_TRUE(p_clustered.ok());
+  ASSERT_TRUE(p_scattered.ok());
+  EXPECT_LT(p_clustered.value().num_digests(),
+            p_scattered.value().num_digests());
+}
+
+TEST(MerkleTreeTest, GenerateProofValidatesIndices) {
+  auto leaves = MakeLeaves(10, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree.value().GenerateProof(std::vector<uint32_t>{}).ok());
+  EXPECT_FALSE(tree.value().GenerateProof(std::vector<uint32_t>{10}).ok());
+  EXPECT_FALSE(
+      tree.value().GenerateProof(std::vector<uint32_t>{3, 3}).ok());
+  EXPECT_FALSE(
+      tree.value().GenerateProof(std::vector<uint32_t>{5, 2}).ok());
+}
+
+TEST(MerkleTreeTest, TamperedLeafChangesRoot) {
+  auto leaves = MakeLeaves(64, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {7, 21};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  auto target = SelectLeaves(leaves, indices);
+  // Substitute a forged leaf digest: reconstruction succeeds but the root
+  // must differ (the signature check would then fail).
+  target[7] = HashLeafPayload(HashAlgorithm::kSha1,
+                              {reinterpret_cast<const uint8_t*>("forged"), 6});
+  auto root = ReconstructMerkleRoot(proof.value(), target);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NE(root.value(), tree.value().root());
+}
+
+TEST(MerkleTreeTest, DroppedLeafIsStructurallyDetected) {
+  // A malicious provider removes one target leaf but keeps the proof built
+  // for both: reconstruction must fail or mismatch, never silently accept.
+  auto leaves = MakeLeaves(64, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {7, 21};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  auto reduced = SelectLeaves(leaves, {7});
+  auto root = ReconstructMerkleRoot(proof.value(), reduced);
+  if (root.ok()) {
+    EXPECT_NE(root.value(), tree.value().root());
+  }
+}
+
+TEST(MerkleTreeTest, ExtraProofDigestsRejected) {
+  auto leaves = MakeLeaves(32, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {5};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  MerkleSubsetProof padded = proof.value();
+  padded.digests.push_back(padded.digests.front());
+  auto root = ReconstructMerkleRoot(padded, SelectLeaves(leaves, indices));
+  EXPECT_FALSE(root.ok());
+}
+
+TEST(MerkleTreeTest, TruncatedProofRejected) {
+  auto leaves = MakeLeaves(32, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {5};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  MerkleSubsetProof truncated = proof.value();
+  truncated.digests.pop_back();
+  EXPECT_FALSE(
+      ReconstructMerkleRoot(truncated, SelectLeaves(leaves, indices)).ok());
+}
+
+TEST(MerkleTreeTest, ReconstructValidatesLeafInputs) {
+  auto leaves = MakeLeaves(8, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {1};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  // Empty leaf map.
+  EXPECT_FALSE(ReconstructMerkleRoot(proof.value(), {}).ok());
+  // Out-of-range index.
+  std::map<uint32_t, Digest> bad = {{99, leaves[0]}};
+  EXPECT_FALSE(ReconstructMerkleRoot(proof.value(), bad).ok());
+  // Wrong digest width for the algorithm.
+  std::map<uint32_t, Digest> wrong_size = {
+      {1, Hasher::Hash(HashAlgorithm::kSha256,
+                       {reinterpret_cast<const uint8_t*>("x"), 1})}};
+  EXPECT_FALSE(ReconstructMerkleRoot(proof.value(), wrong_size).ok());
+}
+
+TEST(MerkleTreeTest, SerializationRoundTrip) {
+  auto leaves = MakeLeaves(50, HashAlgorithm::kSha256);
+  auto tree = MerkleTree::Build(leaves, 3, HashAlgorithm::kSha256);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {0, 17, 49};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  ByteWriter w;
+  proof.value().Serialize(&w);
+  EXPECT_EQ(w.size(), proof.value().SerializedSize());
+  ByteReader r(w.view());
+  auto restored = MerkleSubsetProof::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.value().num_leaves, proof.value().num_leaves);
+  EXPECT_EQ(restored.value().fanout, proof.value().fanout);
+  EXPECT_EQ(restored.value().digests.size(), proof.value().digests.size());
+  auto root =
+      ReconstructMerkleRoot(restored.value(), SelectLeaves(leaves, indices));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+TEST(MerkleTreeTest, DeserializeRejectsGarbage) {
+  ByteWriter w;
+  w.WriteU32(10);  // num_leaves
+  w.WriteU32(1);   // invalid fanout
+  w.WriteU8(1);
+  w.WriteU32(0);
+  ByteReader r(w.view());
+  EXPECT_FALSE(MerkleSubsetProof::Deserialize(&r).ok());
+
+  ByteWriter w2;
+  w2.WriteU32(10);
+  w2.WriteU32(2);
+  w2.WriteU8(77);  // bad alg
+  ByteReader r2(w2.view());
+  EXPECT_FALSE(MerkleSubsetProof::Deserialize(&r2).ok());
+
+  ByteWriter w3;
+  w3.WriteU32(10);
+  w3.WriteU32(2);
+  w3.WriteU8(1);
+  w3.WriteU32(5);  // claims 5 digests, stream ends
+  ByteReader r3(w3.view());
+  EXPECT_FALSE(MerkleSubsetProof::Deserialize(&r3).ok());
+}
+
+TEST(MerkleTreeTest, LeafAndInternalDomainsAreSeparated) {
+  // H(0x00 || x) != H(0x01 || x): a leaf cannot be confused with an internal
+  // node over the same bytes.
+  std::vector<uint8_t> payload = {1, 2, 3};
+  Digest leaf = HashLeafPayload(HashAlgorithm::kSha1, payload);
+  Digest as_child = Digest::FromBytes(payload);  // not realistic, just bytes
+  (void)as_child;
+  Hasher h(HashAlgorithm::kSha1);
+  uint8_t tag = 0x01;
+  h.Update(&tag, 1);
+  h.Update(payload.data(), payload.size());
+  EXPECT_NE(leaf, h.Finish());
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,119 @@
+// Validates GenerateProof against a naive reference implementation of the
+// paper's digest-selection rule (Section III-B): "a hash entry h_i is
+// inserted into Gamma_T iff (i) the subtree of h_i contains no tuple in
+// Gamma_S, and (ii) the parent of h_i does not satisfy (i)". The reference
+// enumerates every tree node and applies the rule literally; the real
+// implementation must produce exactly that digest multiset (and order).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "merkle/merkle_tree.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+std::vector<Digest> MakeLeaves(size_t count) {
+  std::vector<Digest> leaves(count);
+  Rng rng(17);
+  for (auto& leaf : leaves) {
+    uint8_t payload[8];
+    rng.FillBytes(payload, sizeof(payload));
+    leaf = HashLeafPayload(HashAlgorithm::kSha1, payload);
+  }
+  return leaves;
+}
+
+/// Literal reference implementation of the paper's rule, recomputing the
+/// whole tree and walking it root-down.
+std::vector<Digest> ReferenceProofDigests(const std::vector<Digest>& leaves,
+                                          uint32_t fanout,
+                                          const std::set<uint32_t>& targets) {
+  // Build all levels.
+  std::vector<std::vector<Digest>> levels = {leaves};
+  while (levels.back().size() > 1) {
+    const auto& below = levels.back();
+    std::vector<Digest> level;
+    for (size_t i = 0; i < below.size(); i += fanout) {
+      const size_t end = std::min(below.size(), i + fanout);
+      level.push_back(HashInternalNode(
+          HashAlgorithm::kSha1,
+          std::span<const Digest>(below.data() + i, end - i)));
+    }
+    levels.push_back(std::move(level));
+  }
+  // leaves covered by node (level, index): [index * fanout^level, ...).
+  auto covers_target = [&](size_t level, size_t index) {
+    uint64_t span = 1;
+    for (size_t i = 0; i < level; ++i) span *= fanout;
+    const uint64_t lo = index * span;
+    const uint64_t hi = std::min<uint64_t>(lo + span, leaves.size());
+    auto it = targets.lower_bound(static_cast<uint32_t>(lo));
+    return it != targets.end() && *it < hi;
+  };
+  std::vector<Digest> out;
+  std::function<void(size_t, size_t)> walk = [&](size_t level, size_t index) {
+    if (!covers_target(level, index)) {
+      // Rule (i) holds here; rule (ii) holds because the walk only reaches
+      // children of subtrees that DO contain targets.
+      out.push_back(levels[level][index]);
+      return;
+    }
+    if (level == 0) {
+      return;  // a target leaf itself: supplied by the verifier
+    }
+    const size_t first = index * fanout;
+    const size_t last = std::min(levels[level - 1].size(), first + fanout);
+    for (size_t c = first; c < last; ++c) {
+      walk(level - 1, c);
+    }
+  };
+  walk(levels.size() - 1, 0);
+  return out;
+}
+
+class MinimalityTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, size_t>> {};
+
+TEST_P(MinimalityTest, MatchesTheReferenceRuleExactly) {
+  const auto [fanout, leaf_count] = GetParam();
+  auto leaves = MakeLeaves(leaf_count);
+  auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(fanout * 100 + leaf_count);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::set<uint32_t> targets;
+    const size_t want = 1 + rng.NextBounded(std::min<size_t>(leaf_count, 12));
+    while (targets.size() < want) {
+      targets.insert(static_cast<uint32_t>(rng.NextBounded(leaf_count)));
+    }
+    std::vector<uint32_t> indices(targets.begin(), targets.end());
+    auto proof = tree.value().GenerateProof(indices);
+    ASSERT_TRUE(proof.ok());
+    std::vector<Digest> expected =
+        ReferenceProofDigests(leaves, fanout, targets);
+    ASSERT_EQ(proof.value().digests.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(proof.value().digests[i], expected[i]) << "position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MinimalityTest,
+    ::testing::Values(std::tuple<uint32_t, size_t>{2, 1},
+                      std::tuple<uint32_t, size_t>{2, 33},
+                      std::tuple<uint32_t, size_t>{2, 256},
+                      std::tuple<uint32_t, size_t>{3, 36},
+                      std::tuple<uint32_t, size_t>{4, 100},
+                      std::tuple<uint32_t, size_t>{16, 300},
+                      std::tuple<uint32_t, size_t>{32, 50}),
+    [](const auto& info) {
+      return "f" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace spauth

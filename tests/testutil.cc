@@ -1,0 +1,94 @@
+#include "testutil.h"
+
+#include <cstdlib>
+
+#include "graph/generator.h"
+
+namespace spauth::testing {
+
+namespace {
+
+void MustOk(const Status& s) {
+  if (!s.ok()) {
+    std::abort();
+  }
+}
+
+Graph MustBuild(GraphBuilder* b) {
+  auto g = b->Build();
+  if (!g.ok()) {
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+}  // namespace
+
+Graph MakeFigure1Graph() {
+  GraphBuilder b;
+  // Coordinates are cosmetic for this fixture.
+  for (int i = 0; i < 7; ++i) {
+    b.AddNode(i * 10.0, (i % 2) * 10.0);
+  }
+  // v1..v7 -> 0..6.
+  MustOk(b.AddEdge(0, 1, 1));  // v1-v2
+  MustOk(b.AddEdge(1, 3, 9));  // v2-v4
+  MustOk(b.AddEdge(0, 2, 2));  // v1-v3
+  MustOk(b.AddEdge(2, 4, 3));  // v3-v5
+  MustOk(b.AddEdge(4, 5, 2));  // v5-v6
+  MustOk(b.AddEdge(5, 3, 1));  // v6-v4
+  MustOk(b.AddEdge(4, 6, 2));  // v5-v7
+  MustOk(b.AddEdge(6, 5, 2));  // v7-v6
+  return MustBuild(&b);
+}
+
+Graph MakeFigure5Graph() {
+  GraphBuilder b;
+  for (int i = 0; i < 9; ++i) {
+    b.AddNode(i * 5.0, 0.0);
+  }
+  // v1..v9 -> 0..8; reconstructed from the landmark table of Figure 5b.
+  MustOk(b.AddEdge(0, 1, 2));  // v1-v2
+  MustOk(b.AddEdge(1, 2, 1));  // v2-v3
+  MustOk(b.AddEdge(2, 3, 2));  // v3-v4
+  MustOk(b.AddEdge(3, 4, 1));  // v4-v5
+  MustOk(b.AddEdge(0, 5, 3));  // v1-v6
+  MustOk(b.AddEdge(5, 6, 1));  // v6-v7
+  MustOk(b.AddEdge(6, 7, 3));  // v7-v8
+  MustOk(b.AddEdge(7, 8, 5));  // v8-v9
+  return MustBuild(&b);
+}
+
+Graph MakeGridGraph(uint32_t w, uint32_t h, double weight) {
+  GraphBuilder b;
+  for (uint32_t row = 0; row < h; ++row) {
+    for (uint32_t col = 0; col < w; ++col) {
+      b.AddNode(col, row);
+    }
+  }
+  for (uint32_t row = 0; row < h; ++row) {
+    for (uint32_t col = 0; col < w; ++col) {
+      NodeId id = row * w + col;
+      if (col + 1 < w) {
+        MustOk(b.AddEdge(id, id + 1, weight));
+      }
+      if (row + 1 < h) {
+        MustOk(b.AddEdge(id, id + w, weight));
+      }
+    }
+  }
+  return MustBuild(&b);
+}
+
+Graph MakeRandomRoadNetwork(uint32_t num_nodes, uint64_t seed) {
+  RoadNetworkOptions options;
+  options.num_nodes = num_nodes;
+  options.seed = seed;
+  auto g = GenerateRoadNetwork(options);
+  if (!g.ok()) {
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+}  // namespace spauth::testing

@@ -1,0 +1,29 @@
+// Shared test fixtures: the paper's example networks and small helpers.
+#ifndef SPAUTH_TESTS_TESTUTIL_H_
+#define SPAUTH_TESTS_TESTUTIL_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace spauth::testing {
+
+/// The 7-node network of the paper's Figure 1 (0-based ids: v1 -> 0, ...).
+/// Shortest path from v1 (0) to v4 (3) is v1-v3-v5-v6-v4 with distance 8.
+Graph MakeFigure1Graph();
+
+/// The 9-node network of the paper's Figure 5. It is a tree; with landmarks
+/// {v2, v7} (ids 1 and 6) the landmark table of Figure 5b is reproduced
+/// exactly: dist(v1,v9) = 12, dist(v3,v8) = 10, etc.
+Graph MakeFigure5Graph();
+
+/// A w x h grid with unit edge weights and unit spacing (like the 6x6
+/// network of Figures 3-4). Node (col, row) has id row*w + col.
+Graph MakeGridGraph(uint32_t w, uint32_t h, double weight = 1.0);
+
+/// A small random connected road network (for property tests).
+Graph MakeRandomRoadNetwork(uint32_t num_nodes, uint64_t seed);
+
+}  // namespace spauth::testing
+
+#endif  // SPAUTH_TESTS_TESTUTIL_H_

@@ -1,0 +1,146 @@
+#include "util/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace spauth {
+namespace {
+
+TEST(ByteWriterTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.WriteU32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 0x03);
+  EXPECT_EQ(w.bytes()[2], 0x02);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(ByteBufferTest, RoundTripsAllScalarTypes) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0xbeef);
+  w.WriteU32(0xdeadbeefu);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteBool(true);
+  w.WriteBool(false);
+  w.WriteF64(3.14159);
+
+  ByteReader r(w.view());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  bool b1, b2;
+  double f;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadBool(&b1).ok());
+  ASSERT_TRUE(r.ReadBool(&b2).ok());
+  ASSERT_TRUE(r.ReadF64(&f).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_DOUBLE_EQ(f, 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, RoundTripsSpecialDoubles) {
+  ByteWriter w;
+  w.WriteF64(std::numeric_limits<double>::infinity());
+  w.WriteF64(-0.0);
+  w.WriteF64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r(w.view());
+  double a, b, c;
+  ASSERT_TRUE(r.ReadF64(&a).ok());
+  ASSERT_TRUE(r.ReadF64(&b).ok());
+  ASSERT_TRUE(r.ReadF64(&c).ok());
+  EXPECT_TRUE(std::isinf(a));
+  EXPECT_EQ(b, 0.0);
+  EXPECT_TRUE(std::signbit(b));
+  EXPECT_EQ(c, std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ByteBufferTest, RoundTripsStringsAndBytes) {
+  ByteWriter w;
+  w.WriteString("hello spauth");
+  std::vector<uint8_t> blob = {1, 2, 3, 4, 5};
+  w.WriteLengthPrefixed(blob);
+  w.WriteBytes(blob);
+
+  ByteReader r(w.view());
+  std::string s;
+  std::vector<uint8_t> b1, b2;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadLengthPrefixed(&b1).ok());
+  ASSERT_TRUE(r.ReadBytes(5, &b2).ok());
+  EXPECT_EQ(s, "hello spauth");
+  EXPECT_EQ(b1, blob);
+  EXPECT_EQ(b2, blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReaderTest, UnderflowIsOutOfRange) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r(w.view());
+  uint32_t v;
+  Status s = r.ReadU32(&v);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ByteReaderTest, LengthPrefixLongerThanBufferFails) {
+  ByteWriter w;
+  w.WriteU32(1000);  // claims 1000 bytes follow
+  w.WriteU8(1);
+  ByteReader r(w.view());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(r.ReadLengthPrefixed(&out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ByteReaderTest, InvalidBoolByteIsMalformed) {
+  ByteWriter w;
+  w.WriteU8(2);
+  ByteReader r(w.view());
+  bool b;
+  EXPECT_EQ(r.ReadBool(&b).code(), StatusCode::kMalformed);
+}
+
+TEST(ByteReaderTest, PositionTracksConsumption) {
+  ByteWriter w;
+  w.WriteU64(1);
+  w.WriteU8(2);
+  ByteReader r(w.view());
+  uint64_t v;
+  ASSERT_TRUE(r.ReadU64(&v).ok());
+  EXPECT_EQ(r.position(), 8u);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, EmptyStringRoundTrip) {
+  ByteWriter w;
+  w.WriteString("");
+  ByteReader r(w.view());
+  std::string s = "poison";
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "");
+}
+
+TEST(ByteWriterTest, TakeBytesMovesBuffer) {
+  ByteWriter w;
+  w.WriteU32(5);
+  std::vector<uint8_t> taken = w.TakeBytes();
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+}  // namespace
+}  // namespace spauth

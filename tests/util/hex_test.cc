@@ -1,0 +1,45 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace spauth {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+  std::vector<uint8_t> data = {0x00, 0xde, 0xad, 0xBE, 0xef, 0xff};
+  EXPECT_EQ(ToHex(data), "00deadbeefff");
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(ToHex({}), "");
+  auto r = FromHex("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 256; ++i) {
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  auto r = FromHex(ToHex(data));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), data);
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  auto r = FromHex("DEADBEEF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, OddLengthRejected) {
+  EXPECT_EQ(FromHex("abc").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HexTest, InvalidDigitRejected) {
+  EXPECT_EQ(FromHex("zz").status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace spauth

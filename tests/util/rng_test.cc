@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace spauth {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedHitsAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBounded(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextDoubleInRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDoubleIn(-3.0, 12.5);
+    ASSERT_GE(d, -3.0);
+    ASSERT_LT(d, 12.5);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, FillBytesDeterministicAndCoversOddSizes) {
+  Rng a(123), b(123);
+  uint8_t buf_a[13], buf_b[13];
+  a.FillBytes(buf_a, sizeof(buf_a));
+  b.FillBytes(buf_b, sizeof(buf_b));
+  EXPECT_EQ(0, memcmp(buf_a, buf_b, sizeof(buf_a)));
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace spauth

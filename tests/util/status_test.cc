@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace spauth {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad fanout");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad fanout");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad fanout");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::VerificationFailed("x").code(),
+            StatusCode::kVerificationFailed);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Malformed("x").code(), StatusCode::kMalformed);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeToStringTest, CoversEveryCode) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kMalformed), "MALFORMED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kVerificationFailed),
+            "VERIFICATION_FAILED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingOperation() { return Status::OutOfRange("boom"); }
+
+Status UsesReturnIfError() {
+  SPAUTH_RETURN_IF_ERROR(FailingOperation());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ProducesValue() { return 10; }
+
+Result<int> UsesAssignOrReturn() {
+  SPAUTH_ASSIGN_OR_RETURN(int v, ProducesValue());
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsValue) {
+  auto r = UsesAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 20);
+}
+
+}  // namespace
+}  // namespace spauth

@@ -1,0 +1,266 @@
+// spauth_cli — command line front end for the library.
+//
+//   spauth_cli generate --nodes 2000 --seed 7 --out net.graph
+//   spauth_cli info net.graph
+//   spauth_cli demo --method hyp [--graph net.graph] [--queries 10]
+//   spauth_cli estimate --method ldm [--graph net.graph]
+//
+// `demo` runs the full three-party protocol and prints per-query proof
+// sizes and verification outcomes; `estimate` fits the proof-size model
+// (the paper's future-work item) and prints predictions.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/client.h"
+#include "core/engine.h"
+#include "core/estimator.h"
+#include "graph/dijkstra.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/workload.h"
+#include "util/rng.h"
+
+using namespace spauth;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::string positional;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stol(it->second);
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[token.substr(2)] = argv[++i];
+    } else {
+      args.positional = token;
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  spauth_cli generate --nodes N [--seed S] [--edge-factor F] "
+               "--out FILE\n"
+               "  spauth_cli info FILE\n"
+               "  spauth_cli demo --method dij|full|ldm|hyp [--graph FILE] "
+               "[--queries K] [--range R]\n"
+               "  spauth_cli estimate --method dij|full|ldm|hyp "
+               "[--graph FILE]\n");
+  return 2;
+}
+
+Result<Graph> LoadOrGenerate(const Args& args) {
+  const std::string path = args.Get("graph", "");
+  if (!path.empty()) {
+    return LoadGraphFromFile(path);
+  }
+  RoadNetworkOptions options;
+  options.num_nodes = static_cast<uint32_t>(args.GetInt("nodes", 1200));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.coord_extent = 4500;
+  return GenerateRoadNetwork(options);
+}
+
+Result<MethodKind> ParseMethod(const std::string& name) {
+  if (name == "dij") return MethodKind::kDij;
+  if (name == "full") return MethodKind::kFull;
+  if (name == "ldm") return MethodKind::kLdm;
+  if (name == "hyp") return MethodKind::kHyp;
+  return Status::InvalidArgument("unknown method: " + name);
+}
+
+int CmdGenerate(const Args& args) {
+  RoadNetworkOptions options;
+  options.num_nodes = static_cast<uint32_t>(args.GetInt("nodes", 1200));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.edge_factor = std::stod(args.Get("edge-factor", "1.05"));
+  options.coord_extent = 4500;
+  auto graph = GenerateRoadNetwork(options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "network.graph");
+  if (Status s = SaveGraphToFile(graph.value(), out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu edges\n", out.c_str(),
+              graph.value().num_nodes(), graph.value().num_edges());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto graph = LoadGraphFromFile(args.positional);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = graph.value();
+  size_t degree_histogram[8] = {};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++degree_histogram[std::min<size_t>(g.Degree(v), 7)];
+  }
+  BoundingBox box = g.GetBoundingBox();
+  std::printf("nodes: %zu\nedges: %zu (|E|/|V| = %.3f)\n", g.num_nodes(),
+              g.num_edges(),
+              static_cast<double>(g.num_edges()) / g.num_nodes());
+  std::printf("extent: [%.1f, %.1f] x [%.1f, %.1f]\n", box.min_x, box.max_x,
+              box.min_y, box.max_y);
+  std::printf("degree histogram:");
+  for (int d = 0; d < 8; ++d) {
+    std::printf(" %d:%zu", d, degree_histogram[d]);
+  }
+  std::printf("\n");
+  DijkstraTree tree = DijkstraAll(g, 0);
+  double ecc = 0;
+  size_t reachable = 0;
+  for (double dist : tree.dist) {
+    if (dist != kInfDistance) {
+      ecc = std::max(ecc, dist);
+      ++reachable;
+    }
+  }
+  std::printf("reachable from node 0: %zu; eccentricity(0) = %.1f\n",
+              reachable, ecc);
+  return 0;
+}
+
+int CmdDemo(const Args& args) {
+  auto method = ParseMethod(args.Get("method", "hyp"));
+  if (!method.ok()) {
+    return Usage();
+  }
+  auto graph = LoadOrGenerate(args);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(static_cast<uint64_t>(args.GetInt("key-seed", 99)));
+  auto keys = RsaKeyPair::Generate(1024, &rng);
+  if (!keys.ok()) {
+    return 1;
+  }
+  EngineOptions options;
+  options.method = method.value();
+  auto engine = MakeEngine(graph.value(), options, keys.value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s ADS in %.3f s; provider stores %.2f MB of hints\n",
+              std::string(engine.value()->name()).c_str(),
+              engine.value()->construction_seconds(),
+              engine.value()->storage_bytes() / 1024.0 / 1024.0);
+
+  WorkloadOptions wopts;
+  wopts.count = static_cast<size_t>(args.GetInt("queries", 10));
+  wopts.query_range = std::stod(args.Get("range", "2000"));
+  wopts.seed = 5;
+  auto queries = GenerateWorkload(graph.value(), wopts);
+  if (!queries.ok()) {
+    return 1;
+  }
+  for (const Query& q : queries.value()) {
+    auto bundle = engine.value()->Answer(q);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "answer failed: %s\n",
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    // Verify through the standalone wire client, as a real user would.
+    WireVerification result = VerifyWireAnswer(
+        keys.value().public_key(), q, bundle.value().bytes);
+    std::printf("  %5u -> %-5u dist %8.1f  hops %3zu  proof %6.2f KB  %s\n",
+                q.source, q.target, result.distance,
+                result.path.num_hops(),
+                bundle.value().bytes.size() / 1024.0,
+                result.outcome.ToString().c_str());
+    if (!result.outcome.accepted) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdEstimate(const Args& args) {
+  auto method = ParseMethod(args.Get("method", "ldm"));
+  if (!method.ok()) {
+    return Usage();
+  }
+  auto graph = LoadOrGenerate(args);
+  if (!graph.ok()) {
+    return 1;
+  }
+  Rng rng(11);
+  auto keys = RsaKeyPair::Generate(1024, &rng);
+  if (!keys.ok()) {
+    return 1;
+  }
+  EngineOptions options;
+  options.method = method.value();
+  auto engine = MakeEngine(graph.value(), options, keys.value());
+  if (!engine.ok()) {
+    return 1;
+  }
+  EstimatorOptions eopts;
+  auto model = FitProofSizeModel(*engine.value(), graph.value(), eopts);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("proof-size model for %s: bytes ~ %.1f * range^%.2f "
+              "(log-residual %.3f)\n",
+              std::string(engine.value()->name()).c_str(),
+              std::exp(model.value().log_a), model.value().slope_b,
+              model.value().log_residual);
+  for (double range : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    std::printf("  range %6.0f -> estimated %8.2f KB\n", range,
+                model.value().EstimateBytes(range) / 1024.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.command == "generate") {
+    return CmdGenerate(args);
+  }
+  if (args.command == "info") {
+    return CmdInfo(args);
+  }
+  if (args.command == "demo") {
+    return CmdDemo(args);
+  }
+  if (args.command == "estimate") {
+    return CmdEstimate(args);
+  }
+  return Usage();
+}
