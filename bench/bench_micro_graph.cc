@@ -30,6 +30,27 @@ std::vector<Query> BenchQueries() {
   return GenerateWorkload(BenchGraph(), options).value();
 }
 
+// 10k-node graph for the workspace-reuse comparison: big enough that the
+// per-query O(V) allocation + clear dominates a range-bounded search.
+const Graph& BigBenchGraph() {
+  static const Graph* g = [] {
+    RoadNetworkOptions options;
+    options.num_nodes = 10000;
+    options.seed = 17;
+    auto graph = GenerateRoadNetwork(options);
+    return new Graph(std::move(graph).value());
+  }();
+  return *g;
+}
+
+std::vector<Query> BigBenchQueries(double range) {
+  WorkloadOptions options;
+  options.count = 16;
+  options.query_range = range;
+  options.seed = 3;
+  return GenerateWorkload(BigBenchGraph(), options).value();
+}
+
 void BM_Dijkstra(benchmark::State& state) {
   const Graph& g = BenchGraph();
   auto queries = BenchQueries();
@@ -41,6 +62,38 @@ void BM_Dijkstra(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dijkstra);
+
+// The per-query-allocation path: the wrapper constructs a fresh
+// SearchWorkspace per call (allocate + zero-fill O(V) arrays and a fresh
+// heap), which is cost-equivalent to the pre-workspace implementation's
+// fresh infinity-filled dist/parent vectors. The argument is the
+// workload's query range: the shorter the queries, the more the O(V)
+// per-query setup dominates the actual search.
+void BM_DijkstraFreshAllocation(benchmark::State& state) {
+  const Graph& g = BigBenchGraph();
+  auto queries = BigBenchQueries(static_cast<double>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    auto r = DijkstraShortestPath(g, q.source, q.target);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraFreshAllocation)->Arg(500)->Arg(2000);
+
+// The fast path: one SearchWorkspace reused across the query stream.
+void BM_DijkstraReusedWorkspace(benchmark::State& state) {
+  const Graph& g = BigBenchGraph();
+  auto queries = BigBenchQueries(static_cast<double>(state.range(0)));
+  SearchWorkspace ws;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    auto r = DijkstraShortestPath(g, q.source, q.target, ws);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraReusedWorkspace)->Arg(500)->Arg(2000);
 
 void BM_AStarEuclidean(benchmark::State& state) {
   const Graph& g = BenchGraph();

@@ -1,0 +1,287 @@
+// Query-serving throughput harness — the BENCH trajectory's first entry.
+//
+// Drives all four methods (dij, full, ldm, hyp) over a mixed query workload
+// (short / default / long ranges interleaved) through the fast path:
+// provider answers with a reused SearchWorkspace, batches through
+// MethodEngine::AnswerBatch, clients verify every bundle. Emits one JSON
+// object on stdout with queries/sec and p50/p99 latencies per method; see
+// bench/README.md for the schema and how the numbers relate to the paper's
+// Figures 8-13.
+//
+// Usage:
+//   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
+//                    [--threads N]
+//
+// --smoke runs a tiny generated network (CI-sized, a few seconds end to
+// end) instead of a dataset graph.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "graph/search_workspace.h"
+#include "graph/workload.h"
+#include "util/timer.h"
+
+namespace spauth::bench {
+namespace {
+
+struct Config {
+  bool smoke = false;
+  Dataset dataset = Dataset::kDE;
+  size_t queries = 60;   // total across the range mix
+  size_t threads = 0;    // 0 = ThreadPool default
+};
+
+struct LatencyStats {
+  double qps = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+LatencyStats Summarize(std::vector<double> latencies_ms, double total_s) {
+  LatencyStats stats;
+  if (latencies_ms.empty()) {
+    return stats;
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const size_t n = latencies_ms.size();
+  double sum = 0;
+  for (double v : latencies_ms) {
+    sum += v;
+  }
+  stats.qps = total_s > 0 ? static_cast<double>(n) / total_s : 0;
+  stats.mean_ms = sum / static_cast<double>(n);
+  stats.p50_ms = latencies_ms[(n - 1) / 2];
+  stats.p99_ms = latencies_ms[(n - 1) * 99 / 100];
+  return stats;
+}
+
+/// Interleaved mix of short / default / long query ranges, so latency
+/// percentiles reflect a realistic spread of search-space sizes. Produces
+/// exactly max(count, 1) queries (the remainder goes to the shorter
+/// ranges).
+std::vector<Query> MixedWorkload(const Graph& g, size_t count) {
+  const double ranges[] = {500, 2000, 8000};
+  count = std::max<size_t>(count, 1);
+  std::vector<std::vector<Query>> per_range;
+  for (size_t r = 0; r < std::size(ranges); ++r) {
+    WorkloadOptions options;
+    options.count = count / std::size(ranges) +
+                    (r < count % std::size(ranges) ? 1 : 0);
+    if (options.count == 0) {
+      per_range.emplace_back();
+      continue;
+    }
+    options.query_range = ranges[r];
+    options.seed = kWorkloadSeed + r;
+    auto workload = GenerateWorkload(g, options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   workload.status().ToString().c_str());
+      std::abort();
+    }
+    per_range.push_back(std::move(workload).value());
+  }
+  std::vector<Query> mixed;
+  mixed.reserve(count);
+  for (size_t i = 0; mixed.size() < count; ++i) {
+    for (const auto& bucket : per_range) {
+      if (i < bucket.size()) {
+        mixed.push_back(bucket[i]);
+      }
+    }
+  }
+  return mixed;
+}
+
+void PrintJsonStats(const char* name, const LatencyStats& s, bool trailing) {
+  std::printf(
+      "      \"%s\": {\"qps\": %.1f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+      "\"p99_ms\": %.4f}%s\n",
+      name, s.qps, s.mean_ms, s.p50_ms, s.p99_ms, trailing ? "," : "");
+}
+
+int Run(const Config& config) {
+  const Graph* graph = nullptr;
+  Graph smoke_graph;
+  std::string dataset_name;
+  if (config.smoke) {
+    RoadNetworkOptions options;
+    options.num_nodes = 300;
+    options.seed = 42;
+    auto g = GenerateRoadNetwork(options);
+    if (!g.ok()) {
+      std::fprintf(stderr, "smoke graph generation failed\n");
+      return 1;
+    }
+    smoke_graph = std::move(g).value();
+    graph = &smoke_graph;
+    dataset_name = "smoke";
+  } else {
+    graph = &DatasetGraph(config.dataset);
+    dataset_name = DatasetName(config.dataset);
+  }
+  const size_t num_queries = config.smoke ? 12 : config.queries;
+  const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"dataset\": \"%s\",\n", dataset_name.c_str());
+  std::printf("  \"nodes\": %zu,\n", graph->num_nodes());
+  std::printf("  \"edges\": %zu,\n", graph->num_edges());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::printf("  \"methods\": [\n");
+
+  bool first = true;
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options = DefaultEngineOptions(method);
+    // Repeated Dijkstra beats Floyd-Warshall on these sparse graphs and
+    // produces the identical distance matrix; this harness measures the
+    // serving path, not the owner's offline trade-off.
+    options.full_use_floyd_warshall = false;
+    auto engine = MakeEngine(*graph, options, OwnerKeys());
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    const MethodEngine& e = *engine.value();
+
+    // Warm-up: fault in caches and the workspace arrays.
+    SearchWorkspace ws;
+    for (size_t i = 0; i < std::min<size_t>(3, queries.size()); ++i) {
+      auto warm = e.Answer(queries[i], ws);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "%s: warmup answer failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     warm.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Serial fast path: one workspace reused across the stream.
+    std::vector<ProofBundle> bundles;
+    bundles.reserve(queries.size());
+    std::vector<double> answer_ms;
+    answer_ms.reserve(queries.size());
+    WallTimer answer_total;
+    for (const Query& q : queries) {
+      WallTimer t;
+      auto bundle = e.Answer(q, ws);
+      answer_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "%s: answer failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      bundles.push_back(std::move(bundle).value());
+    }
+    const double answer_total_s = answer_total.ElapsedSeconds();
+
+    // Client verification; the harness aborts on any rejection so it can
+    // never silently measure broken proofs.
+    std::vector<double> verify_ms;
+    verify_ms.reserve(queries.size());
+    WallTimer verify_total;
+    double proof_bytes = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer t;
+      VerifyOutcome outcome = e.Verify(queries[i], bundles[i]);
+      verify_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!outcome.accepted) {
+        std::fprintf(stderr, "%s: verification failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     outcome.ToString().c_str());
+        return 1;
+      }
+      proof_bytes += static_cast<double>(bundles[i].stats.total_bytes());
+    }
+    const double verify_total_s = verify_total.ElapsedSeconds();
+
+    // Batched serving through the worker pool.
+    WallTimer batch_total;
+    auto batch = e.AnswerBatch(queries, config.threads);
+    const double batch_total_s = batch_total.ElapsedSeconds();
+    for (const auto& r : batch) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: batch answer failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    std::printf("%s    {\n", first ? "" : ",\n");
+    first = false;
+    std::printf("      \"method\": \"%s\",\n",
+                std::string(e.name()).c_str());
+    std::printf("      \"construction_s\": %.4f,\n",
+                e.construction_seconds());
+    std::printf("      \"storage_bytes\": %zu,\n", e.storage_bytes());
+    std::printf("      \"proof_bytes_mean\": %.1f,\n",
+                proof_bytes / static_cast<double>(queries.size()));
+    PrintJsonStats("answer", Summarize(answer_ms, answer_total_s), true);
+    PrintJsonStats("verify", Summarize(verify_ms, verify_total_s), true);
+    std::printf("      \"batch\": {\"qps\": %.1f}\n",
+                batch_total_s > 0
+                    ? static_cast<double>(queries.size()) / batch_total_s
+                    : 0.0);
+    std::printf("    }");
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spauth::bench
+
+int main(int argc, char** argv) {
+  using spauth::Dataset;
+  spauth::bench::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(arg, "--dataset") == 0) {
+      const std::string name = next();
+      if (name == "DE") {
+        config.dataset = Dataset::kDE;
+      } else if (name == "ARG") {
+        config.dataset = Dataset::kARG;
+      } else if (name == "IND") {
+        config.dataset = Dataset::kIND;
+      } else if (name == "NA") {
+        config.dataset = Dataset::kNA;
+      } else {
+        std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--queries") == 0) {
+      config.queries = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      config.threads = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--smoke] [--dataset D] "
+                   "[--queries N] [--threads N]\n");
+      return 2;
+    }
+  }
+  return spauth::bench::Run(config);
+}

@@ -19,15 +19,21 @@ std::string_view ToString(SpAlgorithm algo) {
 
 PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
                                  SpAlgorithm algo) {
+  SearchWorkspace ws;
+  return RunShortestPath(g, source, target, algo, ws);
+}
+
+PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
+                                 SpAlgorithm algo, SearchWorkspace& ws) {
   switch (algo) {
     case SpAlgorithm::kDijkstra:
-      return DijkstraShortestPath(g, source, target);
+      return DijkstraShortestPath(g, source, target, ws);
     case SpAlgorithm::kBidirectional:
-      return BidirectionalShortestPath(g, source, target);
+      return BidirectionalShortestPath(g, source, target, ws);
     case SpAlgorithm::kAStarEuclidean:
-      return AStarShortestPath(g, source, target, [&](NodeId v) {
-        return g.EuclideanDistance(v, target);
-      });
+      return AStarShortestPath(
+          g, source, target,
+          [&](NodeId v) { return g.EuclideanDistance(v, target); }, ws);
   }
   return {};
 }

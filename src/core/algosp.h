@@ -28,6 +28,9 @@ std::string_view ToString(SpAlgorithm algo);
 /// Runs the chosen algorithm from `source` to `target` on `g`.
 PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
                                  SpAlgorithm algo);
+/// Workspace form for the query-serving fast path.
+PathSearchResult RunShortestPath(const Graph& g, NodeId source, NodeId target,
+                                 SpAlgorithm algo, SearchWorkspace& ws);
 
 }  // namespace spauth
 

@@ -27,24 +27,30 @@ Result<DijAds> BuildDijAds(const Graph& g, const DijOptions& options,
 }
 
 Result<DijAnswer> DijProvider::Answer(const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+Result<DijAnswer> DijProvider::Answer(const Query& query,
+                                      SearchWorkspace& ws) const {
   if (!g_->IsValidNode(query.source) || !g_->IsValidNode(query.target) ||
       query.source == query.target) {
     return Status::InvalidArgument("bad query endpoints");
   }
   PathSearchResult sp =
-      RunShortestPath(*g_, query.source, query.target, algosp_);
+      RunShortestPath(*g_, query.source, query.target, algosp_, ws);
   if (!sp.reachable) {
     return Status::NotFound("target not reachable from source");
   }
   // Lemma 1: include every node within dist(vs, vt) of vs (with slack so
   // the client's strict checks cannot fail on honest boundary ties).
-  BallResult ball = DijkstraBall(*g_, query.source,
-                                 sp.distance + ProviderSlack(sp.distance));
+  DijkstraBall(*g_, query.source, sp.distance + ProviderSlack(sp.distance),
+               ws, &ws.ball);
   DijAnswer answer;
   answer.path = std::move(sp.path);
   answer.distance = sp.distance;
   SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
-                          ads_->network.ProveTuples(ball.nodes));
+                          ads_->network.ProveTuples(ws.ball.nodes));
   return answer;
 }
 

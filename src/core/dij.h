@@ -41,6 +41,10 @@ struct DijAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<DijAnswer> Deserialize(ByteReader* in);
+  /// Exact wire size of Serialize(); used to pre-size bundle buffers.
+  size_t SerializedSize() const {
+    return 4 + path.nodes.size() * 4 + 8 + subgraph.SerializedSize();
+  }
 };
 
 /// Provider role: holds the graph and the owner's ADS.
@@ -51,6 +55,8 @@ class DijProvider {
       : g_(g), ads_(ads), algosp_(algosp) {}
 
   Result<DijAnswer> Answer(const Query& query) const;
+  /// Fast path: reuses `ws` across queries (one workspace per thread).
+  Result<DijAnswer> Answer(const Query& query, SearchWorkspace& ws) const;
 
  private:
   const Graph* g_;

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <unordered_set>
 
 #include "core/dij.h"
@@ -8,6 +10,7 @@
 #include "core/hyp.h"
 #include "core/ldm.h"
 #include "graph/dijkstra.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace spauth {
@@ -30,15 +33,59 @@ std::string_view ToString(TamperKind kind) {
   return "?";
 }
 
+Result<ProofBundle> MethodEngine::Answer(const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
+    std::span<const Query> queries, size_t num_threads) const {
+  std::vector<Result<ProofBundle>> results(
+      queries.size(), Status::Internal("query not answered"));
+  if (queries.empty()) {
+    return results;
+  }
+  if (num_threads == 0) {
+    num_threads = ThreadPool::DefaultThreads(queries.size());
+  }
+  num_threads = std::min(num_threads, queries.size());
+  if (num_threads <= 1) {
+    SearchWorkspace ws;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Answer(queries[i], ws);
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([this, &queries, &results, &next] {
+      SearchWorkspace ws;  // per-worker scratch, hot for the whole stream
+      for (size_t i = next.fetch_add(1); i < queries.size();
+           i = next.fetch_add(1)) {
+        results[i] = Answer(queries[i], ws);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
 namespace {
 
 /// Wire layout shared by all engines: certificate followed by the answer.
+/// `cert_size` is the (per-engine constant) certificate wire size; together
+/// with Answer::SerializedSize() it pre-sizes the buffer so assembly never
+/// reallocates.
 template <typename Answer>
 std::vector<uint8_t> EncodeBundle(const Certificate& cert,
-                                  const Answer& answer) {
+                                  const Answer& answer, size_t cert_size) {
   ByteWriter w;
+  const size_t expected = cert_size + answer.SerializedSize();
+  w.Reserve(expected);
   cert.Serialize(&w);
   answer.Serialize(&w);
+  assert(w.size() == expected && "SerializedSize out of sync with Serialize");
   return w.TakeBytes();
 }
 
@@ -64,7 +111,7 @@ std::vector<uint8_t> EncodeWithBogusSignature(Certificate cert,
   if (!cert.signature.empty()) {
     cert.signature[cert.signature.size() / 2] ^= 0x40;
   }
-  return EncodeBundle(cert, answer);
+  return EncodeBundle(cert, answer, cert.SerializedSize());
 }
 
 /// Computes a strictly-longer alternative path by deleting one edge of the
@@ -131,14 +178,16 @@ class DijEngine : public MethodEngine {
       : g_(g),
         ads_(std::move(ads)),
         provider_(g, &ads_, algosp),
-        owner_key_(std::move(owner_key)) {}
+        owner_key_(std::move(owner_key)),
+        cert_size_(ads_.certificate.SerializedSize()) {}
 
   MethodKind kind() const override { return MethodKind::kDij; }
   size_t storage_bytes() const override { return ads_.network.StorageBytes(); }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query) const override {
-    SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+  Result<ProofBundle> Answer(const Query& query,
+                             SearchWorkspace& ws) const override {
+    SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query, ws));
     return Finish(answer);
   }
 
@@ -222,10 +271,9 @@ class DijEngine : public MethodEngine {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
     bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
-    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() +
-                           ads_.certificate.SerializedSize();
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + cert_size_;
     bundle.stats.sp_items = answer.subgraph.tuples.size();
     bundle.stats.t_items = answer.subgraph.proof.num_digests();
     return bundle;
@@ -238,6 +286,7 @@ class DijEngine : public MethodEngine {
   DijAds ads_;
   DijProvider provider_;
   RsaPublicKey owner_key_;
+  size_t cert_size_;
 };
 
 // ---------------------------------------------------------------------------
@@ -251,7 +300,8 @@ class FullEngine : public MethodEngine {
       : g_(g),
         ads_(std::move(ads)),
         provider_(g, &ads_, algosp),
-        owner_key_(std::move(owner_key)) {}
+        owner_key_(std::move(owner_key)),
+        cert_size_(ads_.certificate.SerializedSize()) {}
 
   MethodKind kind() const override { return MethodKind::kFull; }
   size_t storage_bytes() const override {
@@ -259,8 +309,9 @@ class FullEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query) const override {
-    SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+  Result<ProofBundle> Answer(const Query& query,
+                             SearchWorkspace& ws) const override {
+    SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
 
@@ -333,15 +384,14 @@ class FullEngine : public MethodEngine {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
     // Gamma_S: the authenticated distance tuple and its B-tree digests.
     bundle.stats.sp_bytes = answer.distance_proof.SerializedSize();
     bundle.stats.sp_items = answer.distance_proof.entries.size() +
                             answer.distance_proof.tree_proof.num_digests();
     // Gamma_T: the path tuples and the network digests.
     bundle.stats.t_bytes = answer.path_tuples.TupleBytes() +
-                           answer.path_tuples.IntegrityBytes() +
-                           ads_.certificate.SerializedSize();
+                           answer.path_tuples.IntegrityBytes() + cert_size_;
     bundle.stats.t_items = answer.path_tuples.tuples.size() +
                            answer.path_tuples.proof.num_digests();
     return bundle;
@@ -351,6 +401,7 @@ class FullEngine : public MethodEngine {
   FullAds ads_;
   FullProvider provider_;
   RsaPublicKey owner_key_;
+  size_t cert_size_;
 };
 
 // ---------------------------------------------------------------------------
@@ -364,7 +415,8 @@ class LdmEngine : public MethodEngine {
       : g_(g),
         ads_(std::move(ads)),
         provider_(g, &ads_, algosp),
-        owner_key_(std::move(owner_key)) {}
+        owner_key_(std::move(owner_key)),
+        cert_size_(ads_.certificate.SerializedSize()) {}
 
   MethodKind kind() const override { return MethodKind::kLdm; }
   size_t storage_bytes() const override {
@@ -372,8 +424,9 @@ class LdmEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query) const override {
-    SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+  Result<ProofBundle> Answer(const Query& query,
+                             SearchWorkspace& ws) const override {
+    SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
 
@@ -474,10 +527,9 @@ class LdmEngine : public MethodEngine {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
     bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
-    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() +
-                           ads_.certificate.SerializedSize();
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + cert_size_;
     bundle.stats.sp_items = answer.subgraph.tuples.size();
     bundle.stats.t_items = answer.subgraph.proof.num_digests();
     return bundle;
@@ -487,6 +539,7 @@ class LdmEngine : public MethodEngine {
   LdmAds ads_;
   LdmProvider provider_;
   RsaPublicKey owner_key_;
+  size_t cert_size_;
 };
 
 // ---------------------------------------------------------------------------
@@ -500,7 +553,8 @@ class HypEngine : public MethodEngine {
       : g_(g),
         ads_(std::move(ads)),
         provider_(g, &ads_, algosp),
-        owner_key_(std::move(owner_key)) {}
+        owner_key_(std::move(owner_key)),
+        cert_size_(ads_.certificate.SerializedSize()) {}
 
   MethodKind kind() const override { return MethodKind::kHyp; }
   size_t storage_bytes() const override {
@@ -508,8 +562,9 @@ class HypEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query) const override {
-    SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+  Result<ProofBundle> Answer(const Query& query,
+                             SearchWorkspace& ws) const override {
+    SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
 
@@ -605,7 +660,7 @@ class HypEngine : public MethodEngine {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer);
+    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
     // Gamma_S: tuples + hyper-edge entries; Gamma_T: all digests + indices.
     const size_t hyper_entry_bytes =
         answer.has_hyper_edges ? 4 + answer.hyper_edges.entries.size() * 20
@@ -616,8 +671,7 @@ class HypEngine : public MethodEngine {
             : 0;
     bundle.stats.sp_bytes = answer.tuples.TupleBytes() + hyper_entry_bytes;
     bundle.stats.t_bytes = answer.tuples.IntegrityBytes() +
-                           hyper_digest_bytes +
-                           ads_.certificate.SerializedSize();
+                           hyper_digest_bytes + cert_size_;
     bundle.stats.sp_items =
         answer.tuples.tuples.size() +
         (answer.has_hyper_edges ? answer.hyper_edges.entries.size() : 0);
@@ -632,6 +686,7 @@ class HypEngine : public MethodEngine {
   HypAds ads_;
   HypProvider provider_;
   RsaPublicKey owner_key_;
+  size_t cert_size_;
 };
 
 }  // namespace

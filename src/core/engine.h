@@ -13,6 +13,8 @@
 #define SPAUTH_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/algosp.h"
 #include "core/certificate.h"
@@ -102,8 +104,20 @@ class MethodEngine {
 
   virtual const Certificate& certificate() const = 0;
 
-  /// Provider role.
-  virtual Result<ProofBundle> Answer(const Query& query) const = 0;
+  /// Provider role. The workspace form is the query-serving fast path: a
+  /// caller keeps one SearchWorkspace per serving thread and the engine
+  /// reuses its scratch arrays across the query stream. The plain form
+  /// wraps it with a throwaway workspace.
+  Result<ProofBundle> Answer(const Query& query) const;
+  virtual Result<ProofBundle> Answer(const Query& query,
+                                     SearchWorkspace& ws) const = 0;
+
+  /// Answers a query stream on a small internal worker pool, one reused
+  /// workspace per worker (num_threads == 0 picks a host default). The
+  /// result vector is parallel to `queries`; per-query failures surface as
+  /// error Results without aborting the batch.
+  std::vector<Result<ProofBundle>> AnswerBatch(std::span<const Query> queries,
+                                               size_t num_threads = 0) const;
 
   /// Malicious-provider role; Unimplemented when the mutation does not
   /// apply to this method, NotFound when the instance offers no opportunity

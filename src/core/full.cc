@@ -59,12 +59,18 @@ Result<FullAds> BuildFullAds(const Graph& g, const FullOptions& options,
 }
 
 Result<FullAnswer> FullProvider::Answer(const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+Result<FullAnswer> FullProvider::Answer(const Query& query,
+                                        SearchWorkspace& ws) const {
   if (!g_->IsValidNode(query.source) || !g_->IsValidNode(query.target) ||
       query.source == query.target) {
     return Status::InvalidArgument("bad query endpoints");
   }
   PathSearchResult sp =
-      RunShortestPath(*g_, query.source, query.target, algosp_);
+      RunShortestPath(*g_, query.source, query.target, algosp_, ws);
   if (!sp.reachable) {
     return Status::NotFound("target not reachable from source");
   }

@@ -46,6 +46,11 @@ struct FullAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<FullAnswer> Deserialize(ByteReader* in);
+  /// Exact wire size of Serialize(); used to pre-size bundle buffers.
+  size_t SerializedSize() const {
+    return 4 + path.nodes.size() * 4 + 8 + distance_proof.SerializedSize() +
+           path_tuples.SerializedSize();
+  }
 };
 
 class FullProvider {
@@ -55,6 +60,8 @@ class FullProvider {
       : g_(g), ads_(ads), algosp_(algosp) {}
 
   Result<FullAnswer> Answer(const Query& query) const;
+  /// Fast path: reuses `ws` across queries (one workspace per thread).
+  Result<FullAnswer> Answer(const Query& query, SearchWorkspace& ws) const;
 
  private:
   const Graph* g_;

@@ -66,12 +66,18 @@ Result<HypAds> BuildHypAds(const Graph& g, const HypOptions& options,
 }
 
 Result<HypAnswer> HypProvider::Answer(const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+Result<HypAnswer> HypProvider::Answer(const Query& query,
+                                      SearchWorkspace& ws) const {
   if (!g_->IsValidNode(query.source) || !g_->IsValidNode(query.target) ||
       query.source == query.target) {
     return Status::InvalidArgument("bad query endpoints");
   }
   PathSearchResult sp =
-      RunShortestPath(*g_, query.source, query.target, algosp_);
+      RunShortestPath(*g_, query.source, query.target, algosp_, ws);
   if (!sp.reachable) {
     return Status::NotFound("target not reachable from source");
   }
@@ -80,7 +86,7 @@ Result<HypAnswer> HypProvider::Answer(const Query& query) const {
   const uint32_t cell_t = part.CellOf(query.target);
 
   // Combined tuple set: both cells plus the path's nodes.
-  std::vector<NodeId> nodes;
+  std::vector<NodeId>& nodes = ws.node_scratch;
   auto src_nodes = part.NodesInCell(cell_s);
   nodes.assign(src_nodes.begin(), src_nodes.end());
   if (cell_t != cell_s) {

@@ -56,6 +56,11 @@ struct HypAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<HypAnswer> Deserialize(ByteReader* in);
+  /// Exact wire size of Serialize(); used to pre-size bundle buffers.
+  size_t SerializedSize() const {
+    return 4 + path.nodes.size() * 4 + 8 + tuples.SerializedSize() + 1 +
+           (has_hyper_edges ? hyper_edges.SerializedSize() : 0);
+  }
 };
 
 class HypProvider {
@@ -65,6 +70,8 @@ class HypProvider {
       : g_(g), ads_(ads), algosp_(algosp) {}
 
   Result<HypAnswer> Answer(const Query& query) const;
+  /// Fast path: reuses `ws` across queries (one workspace per thread).
+  Result<HypAnswer> Answer(const Query& query, SearchWorkspace& ws) const;
 
  private:
   const Graph* g_;

@@ -74,12 +74,18 @@ double LdmProvider::LowerBound(NodeId u, NodeId target) const {
 }
 
 Result<LdmAnswer> LdmProvider::Answer(const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+Result<LdmAnswer> LdmProvider::Answer(const Query& query,
+                                      SearchWorkspace& ws) const {
   if (!g_->IsValidNode(query.source) || !g_->IsValidNode(query.target) ||
       query.source == query.target) {
     return Status::InvalidArgument("bad query endpoints");
   }
   PathSearchResult sp =
-      RunShortestPath(*g_, query.source, query.target, algosp_);
+      RunShortestPath(*g_, query.source, query.target, algosp_, ws);
   if (!sp.reachable) {
     return Status::NotFound("target not reachable from source");
   }
@@ -88,8 +94,10 @@ Result<LdmAnswer> LdmProvider::Answer(const Query& query) const {
   // Lemma 2 with the loose compressed bound: S = {v : dist(vs,v) +
   // LB(v,vt) <= D}; only nodes with dist(vs,v) <= D can qualify, so a
   // radius-bounded ball suffices to enumerate candidates.
-  BallResult ball = DijkstraBall(*g_, query.source, limit);
-  std::vector<NodeId> proof_nodes;
+  DijkstraBall(*g_, query.source, limit, ws, &ws.ball);
+  const BallResult& ball = ws.ball;
+  std::vector<NodeId>& proof_nodes = ws.node_scratch;
+  proof_nodes.clear();
   proof_nodes.reserve(ball.nodes.size() * 2);
   for (size_t i = 0; i < ball.nodes.size(); ++i) {
     const NodeId v = ball.nodes[i];

@@ -51,6 +51,10 @@ struct LdmAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<LdmAnswer> Deserialize(ByteReader* in);
+  /// Exact wire size of Serialize(); used to pre-size bundle buffers.
+  size_t SerializedSize() const {
+    return 4 + path.nodes.size() * 4 + 8 + subgraph.SerializedSize();
+  }
 };
 
 class LdmProvider {
@@ -60,6 +64,8 @@ class LdmProvider {
       : g_(g), ads_(ads), algosp_(algosp) {}
 
   Result<LdmAnswer> Answer(const Query& query) const;
+  /// Fast path: reuses `ws` across queries (one workspace per thread).
+  Result<LdmAnswer> Answer(const Query& query, SearchWorkspace& ws) const;
 
  private:
   /// The Lemma-4 lower bound between u and the fixed target, evaluated on

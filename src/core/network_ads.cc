@@ -55,9 +55,10 @@ Status TupleSetProof::VerifyAgainstRoot(const Digest& root) const {
     return Status::Malformed("tuple/index mismatch in proof");
   }
   std::map<uint32_t, Digest> leaves;
+  ByteWriter scratch;  // one encoding buffer for all leaf hashes
   for (size_t i = 0; i < tuples.size(); ++i) {
-    auto [it, inserted] =
-        leaves.emplace(leaf_indices[i], tuples[i].LeafDigest(proof.alg));
+    auto [it, inserted] = leaves.emplace(
+        leaf_indices[i], tuples[i].LeafDigest(proof.alg, &scratch));
     if (!inserted) {
       return Status::Malformed("duplicate leaf index in tuple proof");
     }
@@ -89,8 +90,9 @@ Result<NetworkAds> NetworkAds::Build(std::vector<ExtendedTuple> tuples,
   }
   std::vector<uint32_t> leaf_of_node = InvertOrdering(order);
   std::vector<Digest> leaves(tuples.size());
+  ByteWriter scratch;  // one encoding buffer for all leaf hashes
   for (uint32_t pos = 0; pos < order.size(); ++pos) {
-    leaves[pos] = tuples[order[pos]].LeafDigest(alg);
+    leaves[pos] = tuples[order[pos]].LeafDigest(alg, &scratch);
   }
   SPAUTH_ASSIGN_OR_RETURN(MerkleTree tree,
                           MerkleTree::Build(std::move(leaves), fanout, alg));

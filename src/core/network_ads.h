@@ -29,6 +29,8 @@ struct TupleSetProof {
   /// Bytes attributable to integrity metadata: leaf indices + digests
   /// (Gamma_T accounting).
   size_t IntegrityBytes() const;
+  /// Exact wire size of Serialize() — the two accounting views sum to it.
+  size_t SerializedSize() const { return TupleBytes() + IntegrityBytes(); }
 
   void Serialize(ByteWriter* out) const;
   static Result<TupleSetProof> Deserialize(ByteReader* in);
@@ -54,6 +56,11 @@ class NetworkAds {
   size_t num_nodes() const { return tuples_.size(); }
   const ExtendedTuple& tuple(NodeId v) const { return tuples_[v]; }
   uint32_t LeafOf(NodeId v) const { return leaf_of_node_[v]; }
+  /// The node's leaf digest, cached in the tree at build time — callers
+  /// never need to re-serialize and re-hash a tuple to learn its digest.
+  const Digest& LeafDigestOf(NodeId v) const {
+    return tree_.leaf(leaf_of_node_[v]);
+  }
 
   /// Total bytes of tuples plus tree digests (storage accounting).
   size_t StorageBytes() const;

@@ -162,24 +162,25 @@ Hasher& Hasher::Update(std::span<const uint8_t> data) {
   return *this;
 }
 
-Digest Hasher::Finish() {
-  // Merkle-Damgard strengthening: 0x80, zero pad, 64-bit big-endian length.
-  finished_ = true;
-  uint64_t bit_length = total_bytes_ * 8;
-  uint8_t pad = 0x80;
-  Update({&pad, 1});
-  total_bytes_ -= 1;  // padding is not message content
-  uint8_t zero = 0;
-  while (block_fill_ != 56) {
-    Update({&zero, 1});
-    total_bytes_ -= 1;
+void Hasher::FinishBlocks(uint64_t bit_length) {
+  // Merkle-Damgard strengthening: 0x80, zero pad to 56 mod 64, 64-bit
+  // big-endian length — assembled directly in the block buffer instead of
+  // feeding padding bytes back through Update one at a time.
+  block_[block_fill_++] = 0x80;
+  if (block_fill_ > 56) {
+    std::memset(block_ + block_fill_, 0, sizeof(block_) - block_fill_);
+    ProcessBlock(block_);
+    block_fill_ = 0;
   }
-  uint8_t len_bytes[8];
+  std::memset(block_ + block_fill_, 0, 56 - block_fill_);
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bit_length >> (8 * (7 - i)));
+    block_[56 + i] = static_cast<uint8_t>(bit_length >> (8 * (7 - i)));
   }
-  Update({len_bytes, 8});
+  ProcessBlock(block_);
+  block_fill_ = 0;
+}
 
+Digest Hasher::ExtractDigest() const {
   Digest out;
   size_t words = alg_ == HashAlgorithm::kSha1 ? 5 : 8;
   out.set_size(words * 4);
@@ -192,8 +193,25 @@ Digest Hasher::Finish() {
   return out;
 }
 
+Digest Hasher::Finish() {
+  finished_ = true;
+  FinishBlocks(total_bytes_ * 8);
+  return ExtractDigest();
+}
+
 Digest Hasher::Hash(HashAlgorithm alg, std::span<const uint8_t> data) {
   Hasher h(alg);
+  if (data.size() < 56) {
+    // Single-block fast path: message, 0x80 and the length all fit in one
+    // block, so skip the Update() buffering entirely. This is the common
+    // case for Merkle leaf/internal-node hashing (tens of bytes).
+    if (!data.empty()) {
+      std::memcpy(h.block_, data.data(), data.size());
+    }
+    h.block_fill_ = data.size();
+    h.FinishBlocks(static_cast<uint64_t>(data.size()) * 8);
+    return h.ExtractDigest();
+  }
   h.Update(data);
   return h.Finish();
 }

@@ -92,6 +92,11 @@ class Hasher {
   bool finished_;
 
   void ProcessBlock(const uint8_t* block);
+  /// Assembles the Merkle-Damgard padding for `bit_length` in block_
+  /// (starting at block_fill_) and processes the final one or two blocks.
+  void FinishBlocks(uint64_t bit_length);
+  /// Serializes the chaining state into a Digest.
+  Digest ExtractDigest() const;
 };
 
 }  // namespace spauth

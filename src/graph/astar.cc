@@ -1,35 +1,29 @@
 #include "graph/astar.h"
 
-#include <queue>
-
 namespace spauth {
-
-namespace {
-
-struct AStarEntry {
-  double f;  // g + lower_bound
-  double g;
-  NodeId node;
-  bool operator>(const AStarEntry& other) const { return f > other.f; }
-};
-
-}  // namespace
 
 PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
                                    NodeId target,
                                    const LowerBoundFn& lower_bound) {
-  PathSearchResult out;
-  std::vector<double> best_g(g.num_nodes(), kInfDistance);
-  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
-  best_g[source] = 0;
+  SearchWorkspace ws;
+  return AStarShortestPath(g, source, target, lower_bound, ws);
+}
 
-  std::priority_queue<AStarEntry, std::vector<AStarEntry>, std::greater<>>
-      heap;
-  heap.push({lower_bound(source), 0, source});
-  while (!heap.empty()) {
-    auto [f, gu, u] = heap.top();
-    heap.pop();
-    if (gu > best_g[u]) {
+PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
+                                   NodeId target,
+                                   const LowerBoundFn& lower_bound,
+                                   SearchWorkspace& ws) {
+  PathSearchResult out;
+  SearchLane& lane = ws.forward;  // lane.Dist is best_g
+  lane.Prepare(g.num_nodes());
+  lane.Relax(source, 0, kInvalidNode);
+
+  FourAryHeap<AStarHeapEntry>& heap = ws.astar_heap;
+  heap.Clear();
+  heap.Push({lower_bound(source), 0, source});
+  while (!heap.Empty()) {
+    auto [f, gu, u] = heap.PopMin();
+    if (gu > lane.Dist(u)) {
       continue;  // superseded by a shorter g
     }
     ++out.settled;
@@ -37,15 +31,14 @@ PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
       // With an admissible bound, the first pop of the target is optimal.
       out.reachable = true;
       out.distance = gu;
-      out.path = ExtractPath(parent, source, target);
+      out.path = ExtractPath(lane, source, target);
       return out;
     }
     for (const Edge& e : g.Neighbors(u)) {
       double ng = gu + e.weight;
-      if (ng < best_g[e.to]) {
-        best_g[e.to] = ng;
-        parent[e.to] = u;
-        heap.push({ng + lower_bound(e.to), ng, e.to});
+      if (ng < lane.Dist(e.to)) {
+        lane.Relax(e.to, ng, u);
+        heap.Push({ng + lower_bound(e.to), ng, e.to});
       }
     }
   }

@@ -23,6 +23,11 @@ using LowerBoundFn = std::function<double(NodeId)>;
 PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
                                    NodeId target,
                                    const LowerBoundFn& lower_bound);
+/// Workspace form reusing per-thread scratch (see search_workspace.h).
+PathSearchResult AStarShortestPath(const Graph& g, NodeId source,
+                                   NodeId target,
+                                   const LowerBoundFn& lower_bound,
+                                   SearchWorkspace& ws);
 
 }  // namespace spauth
 

@@ -1,35 +1,28 @@
 #include "graph/bidirectional.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace spauth {
 
 namespace {
 
-struct HeapEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-struct Side {
-  std::vector<double> dist;
-  std::vector<NodeId> parent;
-  std::vector<bool> settled;
-  MinHeap heap;
-
-  explicit Side(size_t n)
-      : dist(n, kInfDistance), parent(n, kInvalidNode), settled(n, false) {}
+/// One direction of the search: a lane for dist/parent plus its frontier.
+struct Frontier {
+  SearchLane* lane;
+  FourAryHeap<DistHeapEntry>* heap;
 };
 
 }  // namespace
 
 PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
                                            NodeId target) {
+  SearchWorkspace ws;
+  return BidirectionalShortestPath(g, source, target, ws);
+}
+
+PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
+                                           NodeId target,
+                                           SearchWorkspace& ws) {
   PathSearchResult out;
   if (source == target) {
     out.reachable = true;
@@ -38,11 +31,16 @@ PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
     return out;
   }
 
-  Side fwd(g.num_nodes()), bwd(g.num_nodes());
-  fwd.dist[source] = 0;
-  fwd.heap.push({0, source});
-  bwd.dist[target] = 0;
-  bwd.heap.push({0, target});
+  ws.forward.Prepare(g.num_nodes());
+  ws.backward.Prepare(g.num_nodes());
+  ws.heap.Clear();
+  ws.backward_heap.Clear();
+  Frontier fwd{&ws.forward, &ws.heap};
+  Frontier bwd{&ws.backward, &ws.backward_heap};
+  fwd.lane->Relax(source, 0, kInvalidNode);
+  fwd.heap->Push({0, source});
+  bwd.lane->Relax(target, 0, kInvalidNode);
+  bwd.heap->Push({0, target});
 
   double best = kInfDistance;
   NodeId meet = kInvalidNode;
@@ -50,36 +48,32 @@ PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
   // Expands the side with the smaller frontier top. Terminates when the sum
   // of the two tops can no longer improve the best meeting distance (the
   // graph is undirected, so the standard sum criterion is exact).
-  auto relax = [&](Side& self, const Side& other) {
-    while (!self.heap.empty()) {
-      auto [d, u] = self.heap.top();
-      self.heap.pop();
-      if (d > self.dist[u]) {
+  auto relax = [&](Frontier& self, const Frontier& other) {
+    while (!self.heap->Empty()) {
+      auto [d, u] = self.heap->PopMin();
+      if (d > self.lane->Dist(u)) {
         continue;
       }
-      self.settled[u] = true;
       ++out.settled;
       for (const Edge& e : g.Neighbors(u)) {
         double nd = d + e.weight;
-        if (nd < self.dist[e.to]) {
-          self.dist[e.to] = nd;
-          self.parent[e.to] = u;
-          self.heap.push({nd, e.to});
+        if (nd < self.lane->Dist(e.to)) {
+          self.lane->Relax(e.to, nd, u);
+          self.heap->Push({nd, e.to});
         }
-        if (other.dist[e.to] != kInfDistance &&
-            nd + other.dist[e.to] < best) {
-          best = nd + other.dist[e.to];
+        const double other_d = other.lane->Dist(e.to);
+        if (other_d != kInfDistance && nd + other_d < best) {
+          best = nd + other_d;
           meet = e.to;
         }
       }
-      return true;
+      return;
     }
-    return false;
   };
 
   for (;;) {
-    double top_f = fwd.heap.empty() ? kInfDistance : fwd.heap.top().dist;
-    double top_b = bwd.heap.empty() ? kInfDistance : bwd.heap.top().dist;
+    double top_f = fwd.heap->Empty() ? kInfDistance : fwd.heap->PeekMinKey();
+    double top_b = bwd.heap->Empty() ? kInfDistance : bwd.heap->PeekMinKey();
     if (top_f == kInfDistance && top_b == kInfDistance) {
       break;
     }
@@ -98,8 +92,8 @@ PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
   }
   out.reachable = true;
   out.distance = best;
-  Path forward_half = ExtractPath(fwd.parent, source, meet);
-  Path backward_half = ExtractPath(bwd.parent, target, meet);
+  Path forward_half = ExtractPath(*fwd.lane, source, meet);
+  Path backward_half = ExtractPath(*bwd.lane, target, meet);
   out.path = forward_half;
   for (size_t i = backward_half.nodes.size() - 1; i-- > 0;) {
     out.path.nodes.push_back(backward_half.nodes[i]);

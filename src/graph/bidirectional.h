@@ -12,6 +12,10 @@ namespace spauth {
 
 PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
                                            NodeId target);
+/// Workspace form reusing per-thread scratch (see search_workspace.h).
+PathSearchResult BidirectionalShortestPath(const Graph& g, NodeId source,
+                                           NodeId target,
+                                           SearchWorkspace& ws);
 
 }  // namespace spauth
 

@@ -1,49 +1,43 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace spauth {
 
-namespace {
-
-// Min-heap entry; lazy-deletion Dijkstra.
-struct HeapEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-}  // namespace
-
 DijkstraTree DijkstraAll(const Graph& g, NodeId source) {
+  SearchWorkspace ws;
   DijkstraTree out;
-  out.dist.assign(g.num_nodes(), kInfDistance);
-  out.parent.assign(g.num_nodes(), kInvalidNode);
-  out.dist[source] = 0;
+  DijkstraAll(g, source, ws, &out);
+  return out;
+}
 
-  MinHeap heap;
-  heap.push({0, source});
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > out.dist[u]) {
+void DijkstraAll(const Graph& g, NodeId source, SearchWorkspace& ws,
+                 DijkstraTree* out) {
+  // The output itself is the dense dist/parent store; only the heap comes
+  // from the workspace. Reusing `out` across calls keeps its capacity.
+  out->dist.assign(g.num_nodes(), kInfDistance);
+  out->parent.assign(g.num_nodes(), kInvalidNode);
+  out->settled = 0;
+  out->dist[source] = 0;
+
+  FourAryHeap<DistHeapEntry>& heap = ws.heap;
+  heap.Clear();
+  heap.Push({0, source});
+  while (!heap.Empty()) {
+    auto [d, u] = heap.PopMin();
+    if (d > out->dist[u]) {
       continue;  // stale entry
     }
-    ++out.settled;
+    ++out->settled;
     for (const Edge& e : g.Neighbors(u)) {
       double nd = d + e.weight;
-      if (nd < out.dist[e.to]) {
-        out.dist[e.to] = nd;
-        out.parent[e.to] = u;
-        heap.push({nd, e.to});
+      if (nd < out->dist[e.to]) {
+        out->dist[e.to] = nd;
+        out->parent[e.to] = u;
+        heap.Push({nd, e.to});
       }
     }
   }
-  return out;
 }
 
 Path ExtractPath(const std::vector<NodeId>& parent, NodeId source,
@@ -61,34 +55,53 @@ Path ExtractPath(const std::vector<NodeId>& parent, NodeId source,
   return path;
 }
 
+Path ExtractPath(const SearchLane& lane, NodeId source, NodeId target) {
+  Path path;
+  NodeId cur = target;
+  while (cur != kInvalidNode) {
+    path.nodes.push_back(cur);
+    if (cur == source) {
+      break;
+    }
+    cur = lane.Parent(cur);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
 PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
                                       NodeId target) {
-  PathSearchResult out;
-  std::vector<double> dist(g.num_nodes(), kInfDistance);
-  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
-  dist[source] = 0;
+  SearchWorkspace ws;
+  return DijkstraShortestPath(g, source, target, ws);
+}
 
-  MinHeap heap;
-  heap.push({0, source});
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[u]) {
+PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
+                                      NodeId target, SearchWorkspace& ws) {
+  PathSearchResult out;
+  SearchLane& lane = ws.forward;
+  lane.Prepare(g.num_nodes());
+  lane.Relax(source, 0, kInvalidNode);
+
+  FourAryHeap<DistHeapEntry>& heap = ws.heap;
+  heap.Clear();
+  heap.Push({0, source});
+  while (!heap.Empty()) {
+    auto [d, u] = heap.PopMin();
+    if (d > lane.Dist(u)) {
       continue;
     }
     ++out.settled;
     if (u == target) {
       out.reachable = true;
       out.distance = d;
-      out.path = ExtractPath(parent, source, target);
+      out.path = ExtractPath(lane, source, target);
       return out;
     }
     for (const Edge& e : g.Neighbors(u)) {
       double nd = d + e.weight;
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        parent[e.to] = u;
-        heap.push({nd, e.to});
+      if (nd < lane.Dist(e.to)) {
+        lane.Relax(e.to, nd, u);
+        heap.Push({nd, e.to});
       }
     }
   }
@@ -96,74 +109,92 @@ PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
 }
 
 BallResult DijkstraBall(const Graph& g, NodeId source, double radius) {
+  SearchWorkspace ws;
   BallResult out;
-  std::vector<double> dist(g.num_nodes(), kInfDistance);
-  dist[source] = 0;
+  DijkstraBall(g, source, radius, ws, &out);
+  return out;
+}
 
-  MinHeap heap;
-  heap.push({0, source});
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[u]) {
+void DijkstraBall(const Graph& g, NodeId source, double radius,
+                  SearchWorkspace& ws, BallResult* out) {
+  out->nodes.clear();
+  out->dist.clear();
+  SearchLane& lane = ws.forward;
+  lane.Prepare(g.num_nodes());
+  lane.Relax(source, 0, kInvalidNode);
+
+  FourAryHeap<DistHeapEntry>& heap = ws.heap;
+  heap.Clear();
+  heap.Push({0, source});
+  while (!heap.Empty()) {
+    auto [d, u] = heap.PopMin();
+    if (d > lane.Dist(u)) {
       continue;
     }
     if (d > radius) {
       break;  // everything remaining is farther than the radius
     }
-    out.nodes.push_back(u);
-    out.dist.push_back(d);
+    out->nodes.push_back(u);
+    out->dist.push_back(d);
     for (const Edge& e : g.Neighbors(u)) {
       double nd = d + e.weight;
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        heap.push({nd, e.to});
+      if (nd < lane.Dist(e.to)) {
+        lane.Relax(e.to, nd, u);
+        heap.Push({nd, e.to});
       }
     }
   }
-  return out;
 }
 
 std::vector<double> DijkstraToTargets(const Graph& g, NodeId source,
                                       std::span<const NodeId> targets) {
-  std::vector<double> dist(g.num_nodes(), kInfDistance);
-  std::vector<bool> is_target(g.num_nodes(), false);
+  SearchWorkspace ws;
+  std::vector<double> out;
+  DijkstraToTargets(g, source, targets, ws, &out);
+  return out;
+}
+
+void DijkstraToTargets(const Graph& g, NodeId source,
+                       std::span<const NodeId> targets, SearchWorkspace& ws,
+                       std::vector<double>* out) {
+  SearchLane& lane = ws.forward;
+  lane.Prepare(g.num_nodes());
+  // Lane flag marks targets not yet settled.
   size_t remaining = 0;
   for (NodeId t : targets) {
-    if (!is_target[t]) {
-      is_target[t] = true;
+    if (!lane.Flag(t)) {
+      lane.SetFlag(t, true);
       ++remaining;
     }
   }
-  dist[source] = 0;
+  lane.Relax(source, 0, kInvalidNode);
 
-  MinHeap heap;
-  heap.push({0, source});
-  while (!heap.empty() && remaining > 0) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[u]) {
+  FourAryHeap<DistHeapEntry>& heap = ws.heap;
+  heap.Clear();
+  heap.Push({0, source});
+  while (!heap.Empty() && remaining > 0) {
+    auto [d, u] = heap.PopMin();
+    if (d > lane.Dist(u)) {
       continue;
     }
-    if (is_target[u]) {
-      is_target[u] = false;
+    if (lane.Flag(u)) {
+      lane.SetFlag(u, false);
       --remaining;
     }
     for (const Edge& e : g.Neighbors(u)) {
       double nd = d + e.weight;
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        heap.push({nd, e.to});
+      if (nd < lane.Dist(e.to)) {
+        lane.Relax(e.to, nd, u);
+        heap.Push({nd, e.to});
       }
     }
   }
 
-  std::vector<double> out;
-  out.reserve(targets.size());
+  out->clear();
+  out->reserve(targets.size());
   for (NodeId t : targets) {
-    out.push_back(dist[t]);
+    out->push_back(lane.Dist(t));
   }
-  return out;
 }
 
 }  // namespace spauth

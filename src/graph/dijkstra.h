@@ -4,6 +4,12 @@
 //   - early-stopping point-to-point search (the provider's default algosp)
 //   - radius-bounded ball (the DIJ proof of Lemma 1)
 //   - multi-target search (HiTi hyper-edge construction)
+//
+// Every variant comes in two forms: the original allocating signature and a
+// SearchWorkspace-backed overload that reuses per-thread scratch arrays so
+// repeated queries skip the O(V) clears (the query-serving fast path). The
+// allocating form is a thin wrapper over the workspace form, so both
+// compute identical results.
 #ifndef SPAUTH_GRAPH_DIJKSTRA_H_
 #define SPAUTH_GRAPH_DIJKSTRA_H_
 
@@ -12,6 +18,7 @@
 
 #include "graph/graph.h"
 #include "graph/path.h"
+#include "graph/search_workspace.h"
 
 namespace spauth {
 
@@ -25,6 +32,9 @@ struct DijkstraTree {
 };
 
 DijkstraTree DijkstraAll(const Graph& g, NodeId source);
+/// Workspace form: reuses `ws`'s heap and `out`'s vectors.
+void DijkstraAll(const Graph& g, NodeId source, SearchWorkspace& ws,
+                 DijkstraTree* out);
 
 /// Point-to-point result; `settled` counts heap pops for cost accounting.
 struct PathSearchResult {
@@ -37,25 +47,31 @@ struct PathSearchResult {
 /// Dijkstra with early termination when `target` is settled.
 PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
                                       NodeId target);
+PathSearchResult DijkstraShortestPath(const Graph& g, NodeId source,
+                                      NodeId target, SearchWorkspace& ws);
 
 /// All nodes within network distance `radius` of `source`, in settling
-/// order, with their distances.
-struct BallResult {
-  std::vector<NodeId> nodes;
-  std::vector<double> dist;  // parallel to nodes
-};
-
+/// order, with their distances; BallResult is defined in
+/// search_workspace.h so workspaces can carry a reusable instance.
 BallResult DijkstraBall(const Graph& g, NodeId source, double radius);
+/// Workspace form: `out`'s vectors are cleared and refilled in place.
+void DijkstraBall(const Graph& g, NodeId source, double radius,
+                  SearchWorkspace& ws, BallResult* out);
 
 /// Distances from `source` to each node in `targets` (kInfDistance if
 /// unreachable); stops as soon as every reachable target is settled.
 std::vector<double> DijkstraToTargets(const Graph& g, NodeId source,
                                       std::span<const NodeId> targets);
+void DijkstraToTargets(const Graph& g, NodeId source,
+                       std::span<const NodeId> targets, SearchWorkspace& ws,
+                       std::vector<double>* out);
 
 /// Reconstructs the path to `target` from a parent array (tree[target] must
 /// be reachable).
 Path ExtractPath(const std::vector<NodeId>& parent, NodeId source,
                  NodeId target);
+/// Same, reading parents from a search lane.
+Path ExtractPath(const SearchLane& lane, NodeId source, NodeId target);
 
 }  // namespace spauth
 

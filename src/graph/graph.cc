@@ -5,9 +5,11 @@
 
 namespace spauth {
 
-Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
+const Edge* Graph::FindEdge(NodeId u, NodeId v) const {
+  // Callers feed this node ids straight from untrusted proof bundles, so
+  // out-of-range ids must answer "no such edge", never index the CSR.
   if (!IsValidNode(u) || !IsValidNode(v)) {
-    return Status::InvalidArgument("edge endpoint out of range");
+    return nullptr;
   }
   // Adjacency lists are sorted by neighbor id; binary search.
   auto neighbors = Neighbors(u);
@@ -15,9 +17,20 @@ Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
       neighbors.begin(), neighbors.end(), v,
       [](const Edge& e, NodeId id) { return e.to < id; });
   if (it == neighbors.end() || it->to != v) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  const Edge* edge = FindEdge(u, v);
+  if (edge == nullptr) {
     return Status::NotFound("no such edge");
   }
-  return it->weight;
+  return edge->weight;
 }
 
 Status Graph::SetEdgeWeight(NodeId u, NodeId v, double new_weight) {

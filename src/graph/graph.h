@@ -52,9 +52,16 @@ class Graph {
 
   bool IsValidNode(NodeId v) const { return v < num_nodes(); }
 
+  /// The half-edge (u, v) located by binary search over u's sorted
+  /// adjacency list, or nullptr (also for out-of-range ids — safe on
+  /// untrusted input). Allocation-free — this is the lookup the
+  /// verification hot path (kPhantomEdge checks, client re-walks) should
+  /// use; EdgeWeight/HasEdge layer Status semantics on top of it.
+  const Edge* FindEdge(NodeId u, NodeId v) const;
+
   /// Weight of edge (u, v), or NotFound.
   Result<double> EdgeWeight(NodeId u, NodeId v) const;
-  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v).ok(); }
+  bool HasEdge(NodeId u, NodeId v) const { return FindEdge(u, v) != nullptr; }
 
   /// Changes the weight of an existing edge (both stored directions).
   /// Structure (node set / adjacency) is immutable; only weights may move.

@@ -1,0 +1,22 @@
+#include "graph/search_workspace.h"
+
+namespace spauth {
+
+void SearchLane::Prepare(size_t num_nodes) {
+  if (++generation_ == 0) {
+    // Stamp rollover: a fresh generation of 0 would collide with the
+    // zero-initialized stamps of never-touched entries. Reset everything.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    generation_ = 1;
+  }
+  if (dist_.size() < num_nodes) {
+    dist_.resize(num_nodes);
+    parent_.resize(num_nodes);
+    flag_.resize(num_nodes);
+    // New entries start stale: 0 can never equal the post-increment
+    // generation.
+    stamp_.resize(num_nodes, 0);
+  }
+}
+
+}  // namespace spauth

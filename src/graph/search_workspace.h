@@ -1,0 +1,196 @@
+// Reusable scratch state for the graph searches on the query-serving hot
+// path.
+//
+// Every Dijkstra/A*/bidirectional variant needs O(|V|) dist/parent arrays
+// and a priority queue. Allocating and infinity-filling them per query
+// dominates the provider's cost once queries are served in volume: a
+// range-bounded search settles a few hundred nodes while the clear touches
+// every node. A SearchWorkspace keeps those arrays alive across queries:
+//
+//   - SearchLane: dist/parent/flag arrays whose entries are valid only when
+//     their generation stamp matches the lane's current generation.
+//     Prepare() "clears" the lane by bumping the generation — O(1) instead
+//     of O(|V|) — and entries lazily reinitialize on first touch.
+//   - FourAryHeap: a 4-ary array heap. The wider node halves the tree depth
+//     of the binary std::priority_queue and keeps the four children of a
+//     node in one cache line, which is where lazy-deletion Dijkstra spends
+//     its comparisons.
+//
+// A workspace is single-threaded state: share one per thread, never across
+// threads. The signature-compatible search wrappers construct a fresh
+// workspace per call, so one-off callers are unaffected.
+#ifndef SPAUTH_GRAPH_SEARCH_WORKSPACE_H_
+#define SPAUTH_GRAPH_SEARCH_WORKSPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spauth {
+
+/// Generation-stamped dist/parent/flag arrays sized to the graph. Reads of
+/// unstamped entries return the search-initial values (kInfDistance /
+/// kInvalidNode / false); writes stamp the entry first.
+class SearchLane {
+ public:
+  /// Readies the lane for a new search over `num_nodes` nodes: grows the
+  /// arrays if needed and invalidates all previous entries in O(1) by
+  /// advancing the generation (with a full stamp reset on the one-in-2^32
+  /// generation rollover).
+  void Prepare(size_t num_nodes);
+
+  double Dist(NodeId v) const {
+    return Fresh(v) ? dist_[v] : kInfDistance;
+  }
+  NodeId Parent(NodeId v) const {
+    return Fresh(v) ? parent_[v] : kInvalidNode;
+  }
+  bool Flag(NodeId v) const { return Fresh(v) && flag_[v] != 0; }
+
+  /// Records a tentative distance and its parent.
+  void Relax(NodeId v, double dist, NodeId parent) {
+    Touch(v);
+    dist_[v] = dist;
+    parent_[v] = parent;
+  }
+  void SetFlag(NodeId v, bool value) {
+    Touch(v);
+    flag_[v] = value ? 1 : 0;
+  }
+
+  size_t size() const { return dist_.size(); }
+  uint32_t generation() const { return generation_; }
+  /// Test hook: jump near the stamp rollover without 2^32 Prepare calls.
+  void set_generation_for_test(uint32_t g) { generation_ = g; }
+
+ private:
+  bool Fresh(NodeId v) const { return stamp_[v] == generation_; }
+  void Touch(NodeId v) {
+    if (stamp_[v] != generation_) {
+      stamp_[v] = generation_;
+      dist_[v] = kInfDistance;
+      parent_[v] = kInvalidNode;
+      flag_[v] = 0;
+    }
+  }
+
+  std::vector<double> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<uint8_t> flag_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+};
+
+/// Min-heap over entries with a `double key` field, laid out as a 4-ary
+/// array heap with lazy deletion (no decrease-key). Clear() keeps capacity.
+template <typename Entry>
+class FourAryHeap {
+ public:
+  void Clear() { entries_.clear(); }
+  bool Empty() const { return entries_.empty(); }
+  size_t Size() const { return entries_.size(); }
+  /// Requires !Empty().
+  double PeekMinKey() const { return entries_.front().key; }
+
+  void Push(const Entry& entry) {
+    entries_.push_back(entry);
+    SiftUp(entries_.size() - 1);
+  }
+
+  /// Requires !Empty().
+  Entry PopMin() {
+    Entry top = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      SiftDown();
+    }
+    return top;
+  }
+
+ private:
+  static constexpr size_t kArity = 4;
+
+  void SiftUp(size_t i) {
+    const Entry moved = entries_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!(moved.key < entries_[parent].key)) {
+        break;
+      }
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = moved;
+  }
+
+  void SiftDown() {
+    const Entry moved = entries_[0];
+    const size_t n = entries_.size();
+    size_t i = 0;
+    for (;;) {
+      const size_t first = i * kArity + 1;
+      if (first >= n) {
+        break;
+      }
+      const size_t last = std::min(n, first + kArity);
+      size_t best = first;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (entries_[c].key < entries_[best].key) {
+          best = c;
+        }
+      }
+      if (!(entries_[best].key < moved.key)) {
+        break;
+      }
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = moved;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Heap entry for plain Dijkstra variants.
+struct DistHeapEntry {
+  double key;  // tentative distance
+  NodeId node;
+};
+
+/// All nodes within a network-distance radius of a source, in settling
+/// order, with their distances (the result type of DijkstraBall; defined
+/// here so a workspace can own a reusable instance).
+struct BallResult {
+  std::vector<NodeId> nodes;
+  std::vector<double> dist;  // parallel to nodes
+};
+
+/// Heap entry for A*: key = g + lower_bound, g carried for staleness checks.
+struct AStarHeapEntry {
+  double key;
+  double g;
+  NodeId node;
+};
+
+/// All scratch state one serving thread needs for any of the search
+/// routines, plus reusable result buffers for the provider's proof
+/// assembly. Single-threaded; one per worker.
+struct SearchWorkspace {
+  SearchLane forward;
+  SearchLane backward;
+  FourAryHeap<DistHeapEntry> heap;
+  FourAryHeap<DistHeapEntry> backward_heap;
+  FourAryHeap<AStarHeapEntry> astar_heap;
+
+  // Provider-side scratch reused across queries (see DijkstraBall /
+  // the method providers).
+  BallResult ball;
+  std::vector<NodeId> node_scratch;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_GRAPH_SEARCH_WORKSPACE_H_

@@ -117,8 +117,15 @@ size_t ExtendedTuple::SerializedSize() const {
 
 Digest ExtendedTuple::LeafDigest(HashAlgorithm alg) const {
   ByteWriter payload;
-  Serialize(&payload);
-  return HashLeafPayload(alg, payload.view());
+  return LeafDigest(alg, &payload);
+}
+
+Digest ExtendedTuple::LeafDigest(HashAlgorithm alg,
+                                 ByteWriter* scratch) const {
+  scratch->Clear();
+  scratch->Reserve(SerializedSize());
+  Serialize(scratch);
+  return HashLeafPayload(alg, scratch->view());
 }
 
 bool ExtendedTuple::operator==(const ExtendedTuple& other) const {

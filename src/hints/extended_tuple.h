@@ -59,6 +59,10 @@ struct ExtendedTuple {
 
   /// Leaf digest for the network Merkle tree.
   Digest LeafDigest(HashAlgorithm alg) const;
+  /// Same, serializing through `scratch` (cleared first) so bulk hashing —
+  /// ADS builds, client-side proof verification — reuses one buffer
+  /// instead of allocating per tuple.
+  Digest LeafDigest(HashAlgorithm alg, ByteWriter* scratch) const;
 
   bool operator==(const ExtendedTuple& other) const;
 };

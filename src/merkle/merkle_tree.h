@@ -56,6 +56,8 @@ class MerkleTree {
 
   const Digest& root() const { return levels_.back()[0]; }
   size_t num_leaves() const { return levels_[0].size(); }
+  /// The leaf digest cached at build time (no re-hash needed).
+  const Digest& leaf(size_t index) const { return levels_[0][index]; }
   uint32_t fanout() const { return fanout_; }
   HashAlgorithm algorithm() const { return alg_; }
   /// Total digests stored (storage accounting).

@@ -50,6 +50,13 @@ class ByteWriter {
     WriteBytes(s.data(), s.size());
   }
 
+  /// Pre-sizes the underlying buffer (use with SerializedSize() to make
+  /// proof assembly allocation-free).
+  void Reserve(size_t size) { bytes_.reserve(size); }
+  /// Drops the contents but keeps the capacity; lets one writer be reused
+  /// as a scratch encoding buffer across many values.
+  void Clear() { bytes_.clear(); }
+
   size_t size() const { return bytes_.size(); }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }

@@ -1,0 +1,56 @@
+// A small fixed-size worker pool for batch query serving.
+//
+// MethodEngine::AnswerBatch fans a query stream out over N workers, each
+// holding its own SearchWorkspace so the per-thread scratch arrays stay hot
+// across the whole stream. The pool is deliberately minimal: submit
+// void() tasks, wait for quiescence, destroy. No futures, no task
+// priorities — the batch layer owns result placement.
+#ifndef SPAUTH_UTIL_THREAD_POOL_H_
+#define SPAUTH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spauth {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some worker. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// A sensible worker count for `jobs` independent jobs on this host.
+  static size_t DefaultThreads(size_t jobs);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything done
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,69 @@
+// MethodEngine::AnswerBatch — the batched fast path must be byte-identical
+// to serial Answer() for every method, regardless of worker count.
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+TEST(AnswerBatchTest, MatchesSerialAnswerForAllMethods) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    ASSERT_NE(engine, nullptr);
+
+    for (size_t threads : {size_t{1}, size_t{3}}) {
+      auto batch = engine->AnswerBatch(ctx.queries, threads);
+      ASSERT_EQ(batch.size(), ctx.queries.size());
+      for (size_t i = 0; i < ctx.queries.size(); ++i) {
+        auto serial = engine->Answer(ctx.queries[i]);
+        ASSERT_EQ(serial.ok(), batch[i].ok())
+            << ToString(method) << " query " << i;
+        if (!serial.ok()) {
+          continue;
+        }
+        // The wire bytes carry everything (certificate + answer); equality
+        // means identical paths, distances and proofs.
+        EXPECT_EQ(serial.value().bytes, batch[i].value().bytes)
+            << ToString(method) << " query " << i
+            << " threads=" << threads;
+        EXPECT_EQ(serial.value().stats.total_bytes(),
+                  batch[i].value().stats.total_bytes());
+        // And every batched bundle verifies.
+        VerifyOutcome outcome =
+            engine->Verify(ctx.queries[i], batch[i].value());
+        EXPECT_TRUE(outcome.accepted)
+            << ToString(method) << " query " << i << ": "
+            << outcome.ToString();
+      }
+    }
+  }
+}
+
+TEST(AnswerBatchTest, EmptyBatchReturnsEmpty) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->AnswerBatch({}).empty());
+}
+
+TEST(AnswerBatchTest, BadQuerySurfacesAsErrorWithoutAbortingBatch) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(engine, nullptr);
+  std::vector<Query> queries = ctx.queries;
+  queries[0].target = queries[0].source;  // invalid: same endpoints
+  auto batch = engine->AnswerBatch(queries, 2);
+  ASSERT_EQ(batch.size(), queries.size());
+  EXPECT_FALSE(batch[0].ok());
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_TRUE(batch[i].ok()) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -30,6 +30,26 @@ TEST(NetworkAdsTest, BuildAndLeafMapping) {
   }
 }
 
+TEST(NetworkAdsTest, CachedLeafDigestsMatchRecomputationAndTrackUpdates) {
+  Graph g = testing::MakeRandomRoadNetwork(80, 4);
+  NetworkAds ads = MustBuildAds(g, NodeOrdering::kHilbert, 2);
+  // The build-time cache agrees with a from-scratch hash for every node.
+  for (NodeId v = 0; v < ads.num_nodes(); ++v) {
+    EXPECT_EQ(ads.LeafDigestOf(v),
+              ads.tuple(v).LeafDigest(HashAlgorithm::kSha1))
+        << "node " << v;
+  }
+  // And an owner-side tuple update refreshes the cached digest.
+  ExtendedTuple updated = ads.tuple(7);
+  ASSERT_FALSE(updated.neighbors.empty());
+  const Digest before = ads.LeafDigestOf(7);
+  updated.neighbors[0].weight += 1.0;
+  ASSERT_TRUE(ads.UpdateTuple(7, updated).ok());
+  EXPECT_NE(ads.LeafDigestOf(7), before);
+  EXPECT_EQ(ads.LeafDigestOf(7),
+            ads.tuple(7).LeafDigest(HashAlgorithm::kSha1));
+}
+
 TEST(NetworkAdsTest, ProveAndVerifyTupleSets) {
   Graph g = testing::MakeRandomRoadNetwork(200, 2);
   NetworkAds ads = MustBuildAds(g, NodeOrdering::kDfs, 4);

@@ -1,0 +1,84 @@
+// SerializedSize() must equal the exact Serialize() byte count for every
+// answer type — the zero-realloc bundle assembly reserves by it, and the
+// engine-side assert is compiled out in Release builds, so these checks
+// are the coverage that runs everywhere.
+#include <gtest/gtest.h>
+
+#include "core/core_test_context.h"
+#include "core/dij.h"
+#include "core/full.h"
+#include "core/hyp.h"
+#include "core/ldm.h"
+#include "util/byte_buffer.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+template <typename Answer>
+void ExpectExactSize(const Answer& answer, const char* what) {
+  ByteWriter w;
+  answer.Serialize(&w);
+  EXPECT_EQ(w.size(), answer.SerializedSize()) << what;
+}
+
+TEST(SerializedSizeTest, DijAnswerExact) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  auto ads = BuildDijAds(ctx.graph, DijOptions{}, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  DijProvider provider(&ctx.graph, &ads.value());
+  for (const Query& q : ctx.queries) {
+    auto answer = provider.Answer(q);
+    ASSERT_TRUE(answer.ok());
+    ExpectExactSize(answer.value(), "dij");
+  }
+}
+
+TEST(SerializedSizeTest, FullAnswerExact) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  FullOptions options;
+  options.use_floyd_warshall = false;  // same matrix, faster on the fixture
+  auto ads = BuildFullAds(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  FullProvider provider(&ctx.graph, &ads.value());
+  for (const Query& q : ctx.queries) {
+    auto answer = provider.Answer(q);
+    ASSERT_TRUE(answer.ok());
+    ExpectExactSize(answer.value(), "full");
+  }
+}
+
+TEST(SerializedSizeTest, LdmAnswerExact) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  auto ads = BuildLdmAds(ctx.graph, LdmOptions{}, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  LdmProvider provider(&ctx.graph, &ads.value());
+  for (const Query& q : ctx.queries) {
+    auto answer = provider.Answer(q);
+    ASSERT_TRUE(answer.ok());
+    ExpectExactSize(answer.value(), "ldm");
+  }
+}
+
+TEST(SerializedSizeTest, HypAnswerExactWithAndWithoutHyperEdges) {
+  const CoreTestContext& ctx = CoreTestContext::Get();
+  auto ads = BuildHypAds(ctx.graph, HypOptions{}, ctx.keys);
+  ASSERT_TRUE(ads.ok());
+  HypProvider provider(&ctx.graph, &ads.value());
+  bool saw_hyper_edges = false;
+  for (const Query& q : ctx.queries) {
+    auto answer = provider.Answer(q);
+    ASSERT_TRUE(answer.ok());
+    ExpectExactSize(answer.value(), "hyp");
+    saw_hyper_edges |= answer.value().has_hyper_edges;
+    // Exercise the optional branch both ways regardless of the workload.
+    HypAnswer without = answer.value();
+    without.has_hyper_edges = false;
+    ExpectExactSize(without, "hyp-without-hyper-edges");
+  }
+  EXPECT_TRUE(saw_hyper_edges);  // the mainline branch was really covered
+}
+
+}  // namespace
+}  // namespace spauth

@@ -101,6 +101,49 @@ TEST(HasherTest, ExactBlockBoundaryMessages) {
   }
 }
 
+// Regression sweep for the assembled-padding Finish() and the one-shot
+// single-block fast path: every message length around the padding
+// boundaries must agree between one-shot hashing and arbitrary chunkings.
+TEST(HasherTest, AllLengthsChunkedMatchesOneShot) {
+  std::string msg(131, '\0');
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<char>('A' + (i * 31 % 53));
+  }
+  for (HashAlgorithm alg : {HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    for (size_t len = 0; len <= msg.size(); ++len) {
+      std::span<const uint8_t> bytes =
+          AsBytes(msg).subspan(0, len);
+      Digest whole = Hasher::Hash(alg, bytes);
+      for (size_t chunk : {1u, 3u, 17u, 64u}) {
+        Hasher h(alg);
+        for (size_t off = 0; off < len; off += chunk) {
+          h.Update(bytes.subspan(off, std::min(chunk, len - off)));
+        }
+        EXPECT_EQ(h.Finish(), whole)
+            << HashAlgorithmName(alg) << " len=" << len
+            << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+// Pinned vectors at the exact single-block fast-path boundary (< 56 bytes
+// takes the fast path, >= 56 the streaming path).
+TEST(HasherTest, FastPathBoundaryVectors) {
+  std::string m55(55, 'a');
+  EXPECT_EQ(Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m55)).ToHex(),
+            "c1c8bbdc22796e28c0e15163d20899b65621d65a");
+  std::string m56(56, 'a');
+  EXPECT_EQ(Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m56)).ToHex(),
+            "c2db330f6083854c99d4b5bfb6e8f29f201be699");
+  EXPECT_EQ(
+      Hasher::Hash(HashAlgorithm::kSha256, AsBytes(m55)).ToHex(),
+      "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(
+      Hasher::Hash(HashAlgorithm::kSha256, AsBytes(m56)).ToHex(),
+      "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
 TEST(DigestTest, EqualityAndInequality) {
   std::string m1 = "a", m2 = "b";
   Digest d1 = Hasher::Hash(HashAlgorithm::kSha1, AsBytes(m1));

@@ -80,6 +80,30 @@ TEST(GraphTest, EdgeWeightLookup) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(GraphTest, FindEdgeAgreesWithEdgeWeightExhaustively) {
+  // FindEdge is the allocation-free hot-path lookup; it must agree with
+  // EdgeWeight for every node pair, present or absent.
+  Graph g = testing::MakeRandomRoadNetwork(60, 5);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const Edge* e = g.FindEdge(u, v);
+      auto w = g.EdgeWeight(u, v);
+      ASSERT_EQ(e != nullptr, w.ok()) << u << "-" << v;
+      ASSERT_EQ(e != nullptr, g.HasEdge(u, v)) << u << "-" << v;
+      if (e != nullptr) {
+        EXPECT_EQ(e->to, v);
+        EXPECT_EQ(e->weight, w.value());
+      }
+    }
+  }
+  EXPECT_EQ(g.FindEdge(0, 0), nullptr);      // no self loops
+  // Out-of-range ids (as carried by malicious proofs) are "no edge", on
+  // both endpoints, without touching the CSR arrays.
+  EXPECT_EQ(g.FindEdge(99999, 0), nullptr);
+  EXPECT_EQ(g.FindEdge(0, 99999), nullptr);
+  EXPECT_FALSE(g.HasEdge(0, 99999));
+}
+
 TEST(GraphTest, DegreeCounts) {
   Graph g = testing::MakeFigure1Graph();
   EXPECT_EQ(g.Degree(0), 2u);  // v1: v2, v3

@@ -1,0 +1,219 @@
+#include "graph/search_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/algosp.h"
+#include "graph/astar.h"
+#include "graph/bidirectional.h"
+#include "graph/dijkstra.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+TEST(FourAryHeapTest, PopsInSortedOrder) {
+  Rng rng(99);
+  FourAryHeap<DistHeapEntry> heap;
+  std::vector<double> keys;
+  for (int i = 0; i < 500; ++i) {
+    double key = rng.NextDouble() * 1000;
+    keys.push_back(key);
+    heap.Push({key, static_cast<NodeId>(i)});
+  }
+  std::sort(keys.begin(), keys.end());
+  for (double expected : keys) {
+    ASSERT_FALSE(heap.Empty());
+    EXPECT_DOUBLE_EQ(heap.PeekMinKey(), expected);
+    EXPECT_DOUBLE_EQ(heap.PopMin().key, expected);
+  }
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(FourAryHeapTest, ClearKeepsHeapUsable) {
+  FourAryHeap<DistHeapEntry> heap;
+  heap.Push({3, 0});
+  heap.Push({1, 1});
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  heap.Push({2, 2});
+  EXPECT_EQ(heap.PopMin().node, 2u);
+}
+
+TEST(SearchLaneTest, UnstampedEntriesReadAsInitial) {
+  SearchLane lane;
+  lane.Prepare(8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(lane.Dist(v), kInfDistance);
+    EXPECT_EQ(lane.Parent(v), kInvalidNode);
+    EXPECT_FALSE(lane.Flag(v));
+  }
+}
+
+TEST(SearchLaneTest, PrepareInvalidatesPreviousSearch) {
+  SearchLane lane;
+  lane.Prepare(8);
+  lane.Relax(3, 1.5, 2);
+  lane.SetFlag(4, true);
+  EXPECT_DOUBLE_EQ(lane.Dist(3), 1.5);
+  EXPECT_EQ(lane.Parent(3), 2u);
+  EXPECT_TRUE(lane.Flag(4));
+
+  lane.Prepare(8);
+  EXPECT_EQ(lane.Dist(3), kInfDistance);
+  EXPECT_EQ(lane.Parent(3), kInvalidNode);
+  EXPECT_FALSE(lane.Flag(4));
+}
+
+TEST(SearchLaneTest, GrowingKeepsNewEntriesStale) {
+  SearchLane lane;
+  lane.Prepare(4);
+  lane.Relax(1, 7, 0);
+  lane.Prepare(16);  // grow mid-lifetime
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(lane.Dist(v), kInfDistance) << "node " << v;
+  }
+}
+
+TEST(SearchLaneTest, GenerationRolloverDoesNotLeakStaleState) {
+  SearchLane lane;
+  lane.Prepare(8);
+  lane.Relax(5, 42.0, 1);
+  lane.SetFlag(6, true);
+
+  // Force the generation counter to its maximum; the next Prepare wraps,
+  // which must reset every stamp instead of colliding with old ones.
+  lane.set_generation_for_test(0xffffffffu);
+  lane.Prepare(8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(lane.Dist(v), kInfDistance) << "node " << v;
+    EXPECT_EQ(lane.Parent(v), kInvalidNode) << "node " << v;
+    EXPECT_FALSE(lane.Flag(v)) << "node " << v;
+  }
+  // And the lane is fully usable after the rollover.
+  lane.Relax(2, 1.0, 0);
+  EXPECT_DOUBLE_EQ(lane.Dist(2), 1.0);
+  lane.Prepare(8);
+  EXPECT_EQ(lane.Dist(2), kInfDistance);
+}
+
+void ExpectSameResult(const PathSearchResult& fresh,
+                      const PathSearchResult& reused, const char* what,
+                      uint64_t seed, int round) {
+  ASSERT_EQ(fresh.reachable, reused.reachable)
+      << what << " seed=" << seed << " round=" << round;
+  if (!fresh.reachable) {
+    return;
+  }
+  EXPECT_EQ(fresh.distance, reused.distance)
+      << what << " seed=" << seed << " round=" << round;
+  EXPECT_EQ(fresh.path.nodes, reused.path.nodes)
+      << what << " seed=" << seed << " round=" << round;
+  EXPECT_EQ(fresh.settled, reused.settled)
+      << what << " seed=" << seed << " round=" << round;
+}
+
+// Property: every workspace-backed search returns bit-identical results to
+// the fresh-allocation wrapper, across random graphs and shared workspaces.
+TEST(SearchWorkspaceTest, AllVariantsMatchFreshAllocationAcrossRandomGraphs) {
+  SearchWorkspace ws;  // deliberately shared across graphs and variants
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    Graph g = testing::MakeRandomRoadNetwork(150, seed);
+    Rng rng(seed * 1000 + 5);
+    for (int round = 0; round < 20; ++round) {
+      const NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      if (t == s) {
+        t = (t + 1) % g.num_nodes();
+      }
+
+      ExpectSameResult(DijkstraShortestPath(g, s, t),
+                       DijkstraShortestPath(g, s, t, ws), "dijkstra", seed,
+                       round);
+      ExpectSameResult(BidirectionalShortestPath(g, s, t),
+                       BidirectionalShortestPath(g, s, t, ws),
+                       "bidirectional", seed, round);
+      auto lb = [&](NodeId v) { return g.EuclideanDistance(v, t); };
+      ExpectSameResult(AStarShortestPath(g, s, t, lb),
+                       AStarShortestPath(g, s, t, lb, ws), "astar", seed,
+                       round);
+
+      DijkstraTree fresh_tree = DijkstraAll(g, s);
+      DijkstraTree reused_tree;
+      DijkstraAll(g, s, ws, &reused_tree);
+      EXPECT_EQ(fresh_tree.dist, reused_tree.dist);
+      EXPECT_EQ(fresh_tree.parent, reused_tree.parent);
+      EXPECT_EQ(fresh_tree.settled, reused_tree.settled);
+
+      const double radius = rng.NextDouble() * 4000;
+      BallResult fresh_ball = DijkstraBall(g, s, radius);
+      BallResult reused_ball;
+      DijkstraBall(g, s, radius, ws, &reused_ball);
+      EXPECT_EQ(fresh_ball.nodes, reused_ball.nodes);
+      EXPECT_EQ(fresh_ball.dist, reused_ball.dist);
+
+      std::vector<NodeId> targets;
+      for (int k = 0; k < 5; ++k) {
+        targets.push_back(
+            static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+      }
+      std::vector<double> reused_dists;
+      DijkstraToTargets(g, s, targets, ws, &reused_dists);
+      EXPECT_EQ(DijkstraToTargets(g, s, targets), reused_dists);
+    }
+  }
+}
+
+// Property: a workspace reused across 1000 queries never accumulates stale
+// state — every answer still matches a fresh run.
+TEST(SearchWorkspaceTest, ThousandQueryReuseStaysClean) {
+  Graph g = testing::MakeRandomRoadNetwork(200, 11);
+  SearchWorkspace ws;
+  Rng rng(77);
+  for (int round = 0; round < 1000; ++round) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (t == s) {
+      t = (t + 1) % g.num_nodes();
+    }
+    // Exercise the rollover path mid-stream too.
+    if (round == 500) {
+      ws.forward.set_generation_for_test(0xfffffffeu);
+      ws.backward.set_generation_for_test(0xfffffffeu);
+    }
+    ExpectSameResult(DijkstraShortestPath(g, s, t),
+                     DijkstraShortestPath(g, s, t, ws), "dijkstra-1000", 11,
+                     round);
+    ExpectSameResult(BidirectionalShortestPath(g, s, t),
+                     BidirectionalShortestPath(g, s, t, ws),
+                     "bidirectional-1000", 11, round);
+  }
+}
+
+// The provider facade: every algosp choice agrees between the fresh and
+// workspace forms.
+TEST(SearchWorkspaceTest, RunShortestPathMatchesForAllAlgorithms) {
+  Graph g = testing::MakeRandomRoadNetwork(120, 3);
+  SearchWorkspace ws;
+  Rng rng(8);
+  for (SpAlgorithm algo :
+       {SpAlgorithm::kDijkstra, SpAlgorithm::kBidirectional,
+        SpAlgorithm::kAStarEuclidean}) {
+    for (int round = 0; round < 10; ++round) {
+      const NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      if (t == s) {
+        t = (t + 1) % g.num_nodes();
+      }
+      ExpectSameResult(RunShortestPath(g, s, t, algo),
+                       RunShortestPath(g, s, t, algo, ws), "algosp", 3,
+                       round);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spauth
