@@ -3,6 +3,12 @@
 // computations.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "core/client.h"
+#include "core/engine.h"
+#include "core/verify_workspace.h"
+#include "crypto/rsa.h"
 #include "graph/all_pairs.h"
 #include "graph/astar.h"
 #include "graph/bidirectional.h"
@@ -94,6 +100,79 @@ void BM_DijkstraReusedWorkspace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DijkstraReusedWorkspace)->Arg(500)->Arg(2000);
+
+// Verification-side counterpart of the Dijkstra pair: the same short-range
+// wire answers verified with a fresh VerifyWorkspace per message (what the
+// wrapper pays: allocate + fill O(V) lanes, decode into fresh vectors, a
+// fresh tuple map) versus one workspace reused across the stream.
+struct VerifyBenchSetup {
+  std::unique_ptr<MethodEngine> engine;
+  RsaPublicKey owner_key;
+  std::vector<Query> queries;
+  std::vector<std::vector<uint8_t>> wires;
+};
+
+const VerifyBenchSetup& GetVerifyBenchSetup() {
+  static const VerifyBenchSetup* setup = [] {
+    auto s = new VerifyBenchSetup();
+    Rng rng(20100306);
+    auto keys = RsaKeyPair::Generate(512, &rng);
+    if (!keys.ok()) {
+      std::abort();
+    }
+    s->owner_key = keys.value().public_key();
+    EngineOptions options;
+    options.method = MethodKind::kDij;
+    auto engine = MakeEngine(BigBenchGraph(), options, keys.value());
+    if (!engine.ok()) {
+      std::abort();
+    }
+    s->engine = std::move(engine).value();
+    s->queries = BigBenchQueries(500);
+    SearchWorkspace ws;
+    for (const Query& q : s->queries) {
+      auto bundle = s->engine->Answer(q, ws);
+      if (!bundle.ok() ||
+          !VerifyWireAnswer(s->owner_key, q, bundle.value().bytes)
+               .outcome.accepted) {
+        std::abort();
+      }
+      s->wires.push_back(std::move(bundle.value().bytes));
+    }
+    return s;
+  }();
+  return *setup;
+}
+
+// The per-message-allocation path: the signature-compatible wrapper
+// constructs a throwaway VerifyWorkspace per call.
+void BM_VerifyFreshAllocation(benchmark::State& state) {
+  const VerifyBenchSetup& setup = GetVerifyBenchSetup();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = i++ % setup.queries.size();
+    WireVerification r =
+        VerifyWireAnswer(setup.owner_key, setup.queries[j], setup.wires[j]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VerifyFreshAllocation);
+
+// The fast path: one VerifyWorkspace (and result slot) reused across the
+// message stream.
+void BM_VerifyReusedWorkspace(benchmark::State& state) {
+  const VerifyBenchSetup& setup = GetVerifyBenchSetup();
+  VerifyWorkspace ws;
+  WireVerification result;
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = i++ % setup.queries.size();
+    VerifyWireAnswer(setup.owner_key, setup.queries[j], setup.wires[j], ws,
+                     &result);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_VerifyReusedWorkspace);
 
 void BM_AStarEuclidean(benchmark::State& state) {
   const Graph& g = BenchGraph();

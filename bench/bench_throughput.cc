@@ -10,19 +10,26 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
-//                    [--threads N]
+//                    [--threads N] [--proof-cache]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
-// end) instead of a dataset graph.
+// end) instead of a dataset graph. --proof-cache enables the server-side
+// proof cache; the harness always serves the stream twice and aborts if
+// the second pass's bytes differ from the first, so cache-on runs prove
+// byte-identical serving, and the per-method "answers_sha1" digest lets CI
+// compare cache-off and cache-on runs across processes.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/client.h"
 #include "core/engine.h"
+#include "crypto/digest.h"
 #include "graph/generator.h"
 #include "graph/search_workspace.h"
 #include "graph/workload.h"
@@ -36,6 +43,7 @@ struct Config {
   Dataset dataset = Dataset::kDE;
   size_t queries = 60;   // total across the range mix
   size_t threads = 0;    // 0 = ThreadPool default
+  bool proof_cache = false;
 };
 
 struct LatencyStats {
@@ -147,6 +155,7 @@ int Run(const Config& config) {
     // produces the identical distance matrix; this harness measures the
     // serving path, not the owner's offline trade-off.
     options.full_use_floyd_warshall = false;
+    options.enable_proof_cache = config.proof_cache;
     auto engine = MakeEngine(*graph, options, OwnerKeys());
     if (!engine.ok()) {
       std::fprintf(stderr, "engine build failed: %s\n",
@@ -187,25 +196,81 @@ int Run(const Config& config) {
     }
     const double answer_total_s = answer_total.ElapsedSeconds();
 
-    // Client verification; the harness aborts on any rejection so it can
+    // Serve the identical stream a second time. With the proof cache on
+    // this is the all-hits path; either way the bytes must match the first
+    // pass exactly (the answer pipeline is deterministic), which makes
+    // cache-on runs prove byte-identical serving.
+    std::vector<double> repeat_ms;
+    repeat_ms.reserve(queries.size());
+    WallTimer repeat_total;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer t;
+      auto bundle = e.Answer(queries[i], ws);
+      repeat_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "%s: repeat answer failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      if (bundle.value().bytes != bundles[i].bytes) {
+        std::fprintf(stderr,
+                     "%s: repeat answer bytes differ for query %zu "
+                     "(proof cache %s)\n",
+                     std::string(e.name()).c_str(), i,
+                     config.proof_cache ? "on" : "off");
+        return 1;
+      }
+    }
+    const double repeat_total_s = repeat_total.ElapsedSeconds();
+
+    // Digest of the served byte stream, for cross-run comparison (CI runs
+    // the smoke with the cache off and on and fails on any difference).
+    Hasher answers_hasher(HashAlgorithm::kSha1);
+    double proof_bytes = 0;
+    for (const ProofBundle& bundle : bundles) {
+      answers_hasher.Update(bundle.bytes.data(), bundle.bytes.size());
+      proof_bytes += static_cast<double>(bundle.stats.total_bytes());
+    }
+    const std::string answers_sha1 = answers_hasher.Finish().ToHex();
+
+    // Client verification through the wire fast path (one reused
+    // VerifyWorkspace); the harness aborts on any rejection so it can
     // never silently measure broken proofs.
+    Client client(OwnerKeys().public_key());
     std::vector<double> verify_ms;
     verify_ms.reserve(queries.size());
     WallTimer verify_total;
-    double proof_bytes = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
       WallTimer t;
-      VerifyOutcome outcome = e.Verify(queries[i], bundles[i]);
+      WireVerification result = client.Verify(queries[i], bundles[i].bytes);
       verify_ms.push_back(t.ElapsedSeconds() * 1000);
-      if (!outcome.accepted) {
+      if (!result.outcome.accepted) {
         std::fprintf(stderr, "%s: verification failed: %s\n",
                      std::string(e.name()).c_str(),
-                     outcome.ToString().c_str());
+                     result.outcome.ToString().c_str());
         return 1;
       }
-      proof_bytes += static_cast<double>(bundles[i].stats.total_bytes());
     }
     const double verify_total_s = verify_total.ElapsedSeconds();
+
+    // Batched verification over the worker pool, one workspace per worker.
+    std::vector<std::span<const uint8_t>> wires;
+    wires.reserve(bundles.size());
+    for (const ProofBundle& bundle : bundles) {
+      wires.emplace_back(bundle.bytes);
+    }
+    WallTimer verify_batch_total;
+    auto verify_batch = client.VerifyBatch(queries, wires, config.threads);
+    const double verify_batch_total_s = verify_batch_total.ElapsedSeconds();
+    for (const WireVerification& result : verify_batch) {
+      if (!result.outcome.accepted) {
+        std::fprintf(stderr, "%s: batch verification failed: %s\n",
+                     std::string(e.name()).c_str(),
+                     result.outcome.ToString().c_str());
+        return 1;
+      }
+    }
 
     // Batched serving through the worker pool.
     WallTimer batch_total;
@@ -220,6 +285,7 @@ int Run(const Config& config) {
       }
     }
 
+    const ProofCacheStats cache = e.proof_cache_stats();
     std::printf("%s    {\n", first ? "" : ",\n");
     first = false;
     std::printf("      \"method\": \"%s\",\n",
@@ -229,12 +295,28 @@ int Run(const Config& config) {
     std::printf("      \"storage_bytes\": %zu,\n", e.storage_bytes());
     std::printf("      \"proof_bytes_mean\": %.1f,\n",
                 proof_bytes / static_cast<double>(queries.size()));
+    std::printf("      \"answers_sha1\": \"%s\",\n", answers_sha1.c_str());
     PrintJsonStats("answer", Summarize(answer_ms, answer_total_s), true);
+    PrintJsonStats("answer_repeat", Summarize(repeat_ms, repeat_total_s),
+                   true);
     PrintJsonStats("verify", Summarize(verify_ms, verify_total_s), true);
-    std::printf("      \"batch\": {\"qps\": %.1f}\n",
+    std::printf("      \"verify_batch\": {\"qps\": %.1f},\n",
+                verify_batch_total_s > 0
+                    ? static_cast<double>(queries.size()) /
+                          verify_batch_total_s
+                    : 0.0);
+    std::printf("      \"batch\": {\"qps\": %.1f},\n",
                 batch_total_s > 0
                     ? static_cast<double>(queries.size()) / batch_total_s
                     : 0.0);
+    std::printf(
+        "      \"cache\": {\"enabled\": %s, \"hits\": %llu, "
+        "\"misses\": %llu, \"hit_rate\": %.3f, \"hit_bytes\": %llu}\n",
+        e.proof_cache_enabled() ? "true" : "false",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        cache.hit_rate(),
+        static_cast<unsigned long long>(cache.hit_bytes));
     std::printf("    }");
   }
   std::printf("\n  ]\n}\n");
@@ -258,6 +340,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--smoke") == 0) {
       config.smoke = true;
+    } else if (std::strcmp(arg, "--proof-cache") == 0) {
+      config.proof_cache = true;
     } else if (std::strcmp(arg, "--dataset") == 0) {
       const std::string name = next();
       if (name == "DE") {
@@ -279,7 +363,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
-                   "[--queries N] [--threads N]\n");
+                   "[--queries N] [--threads N] [--proof-cache]\n");
       return 2;
     }
   }

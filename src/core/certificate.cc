@@ -1,5 +1,7 @@
 #include "core/certificate.h"
 
+#include <cstring>
+
 namespace spauth {
 
 std::string_view ToString(MethodKind kind) {
@@ -60,43 +62,56 @@ void MethodParams::Serialize(ByteWriter* out) const {
 
 Result<MethodParams> MethodParams::Deserialize(ByteReader* in) {
   MethodParams p;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &p));
+  return p;
+}
+
+Status MethodParams::DeserializeInto(ByteReader* in, MethodParams* out) {
   uint8_t method_byte = 0, alg_byte = 0, ordering_byte = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU8(&method_byte));
-  SPAUTH_ASSIGN_OR_RETURN(p.method, ParseMethodKind(method_byte));
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.version));
+  SPAUTH_ASSIGN_OR_RETURN(out->method, ParseMethodKind(method_byte));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->version));
   SPAUTH_RETURN_IF_ERROR(in->ReadU8(&alg_byte));
-  SPAUTH_ASSIGN_OR_RETURN(p.alg, ParseHashAlgorithm(alg_byte));
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.fanout));
+  SPAUTH_ASSIGN_OR_RETURN(out->alg, ParseHashAlgorithm(alg_byte));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->fanout));
   SPAUTH_RETURN_IF_ERROR(in->ReadU8(&ordering_byte));
   if (ordering_byte > static_cast<uint8_t>(NodeOrdering::kRandom)) {
     return Status::Malformed("unknown node ordering");
   }
-  p.ordering = static_cast<NodeOrdering>(ordering_byte);
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_network_leaves));
-  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_distance_tree));
-  if (p.has_distance_tree) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_distance_leaves));
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.distance_fanout));
+  out->ordering = static_cast<NodeOrdering>(ordering_byte);
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->num_network_leaves));
+  // Optional sections a reused `out` may carry from a previous decode are
+  // reset to the fresh defaults when this message omits them.
+  out->num_distance_leaves = 0;
+  out->distance_fanout = 0;
+  out->num_landmarks = 0;
+  out->lambda = 0;
+  out->num_cells = 0;
+  out->cell_counts.clear();
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&out->has_distance_tree));
+  if (out->has_distance_tree) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->num_distance_leaves));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->distance_fanout));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_landmarks));
-  if (p.has_landmarks) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_landmarks));
-    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&p.lambda));
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&out->has_landmarks));
+  if (out->has_landmarks) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->num_landmarks));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->lambda));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&p.has_cells));
-  if (p.has_cells) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.num_cells));
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&out->has_cells));
+  if (out->has_cells) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->num_cells));
     uint32_t count = 0;
     SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
-    if (count != p.num_cells || count > in->remaining() / 4) {
+    if (count != out->num_cells || count > in->remaining() / 4) {
       return Status::Malformed("cell count table size mismatch");
     }
-    p.cell_counts.resize(count);
+    out->cell_counts.resize(count);
     for (uint32_t i = 0; i < count; ++i) {
-      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&p.cell_counts[i]));
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->cell_counts[i]));
     }
   }
-  return p;
+  return Status::Ok();
 }
 
 Digest Certificate::BodyDigest() const {
@@ -114,26 +129,57 @@ void Certificate::Serialize(ByteWriter* out) const {
   out->WriteLengthPrefixed(signature);
 }
 
+namespace {
+
+/// Reads a length-prefixed digest of exactly `expected_size` bytes straight
+/// into `out` (no intermediate vector). Mirrors the error precedence of
+/// ReadLengthPrefixed + size check: underflow first, then size mismatch.
+Status ReadDigestInto(ByteReader* in, size_t expected_size,
+                      std::string_view mismatch_message, Digest* out) {
+  uint32_t len = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&len));
+  if (in->remaining() < len) {
+    return Status::OutOfRange("buffer underflow reading bytes");
+  }
+  if (len != expected_size) {
+    return Status::Malformed(std::string(mismatch_message));
+  }
+  SPAUTH_RETURN_IF_ERROR(in->ReadBytesInto(out->mutable_data(), len));
+  std::memset(out->mutable_data() + len, 0, Digest::kMaxSize - len);
+  out->set_size(len);
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<Certificate> Certificate::Deserialize(ByteReader* in) {
   Certificate cert;
-  SPAUTH_ASSIGN_OR_RETURN(cert.params, MethodParams::Deserialize(in));
-  std::vector<uint8_t> network_root, distance_root;
-  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&network_root));
-  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&distance_root));
-  if (network_root.size() != DigestSize(cert.params.alg)) {
-    return Status::Malformed("network root digest size mismatch");
-  }
-  cert.network_root = Digest::FromBytes(network_root);
-  if (cert.params.has_distance_tree) {
-    if (distance_root.size() != DigestSize(cert.params.alg)) {
-      return Status::Malformed("distance root digest size mismatch");
-    }
-    cert.distance_root = Digest::FromBytes(distance_root);
-  } else if (!distance_root.empty()) {
-    return Status::Malformed("unexpected distance root");
-  }
-  SPAUTH_RETURN_IF_ERROR(in->ReadLengthPrefixed(&cert.signature));
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &cert));
   return cert;
+}
+
+Status Certificate::DeserializeInto(ByteReader* in, Certificate* out) {
+  SPAUTH_RETURN_IF_ERROR(MethodParams::DeserializeInto(in, &out->params));
+  const size_t digest_size = DigestSize(out->params.alg);
+  SPAUTH_RETURN_IF_ERROR(ReadDigestInto(
+      in, digest_size, "network root digest size mismatch",
+      &out->network_root));
+  if (out->params.has_distance_tree) {
+    SPAUTH_RETURN_IF_ERROR(ReadDigestInto(
+        in, digest_size, "distance root digest size mismatch",
+        &out->distance_root));
+  } else {
+    uint32_t len = 0;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&len));
+    if (in->remaining() < len) {
+      return Status::OutOfRange("buffer underflow reading bytes");
+    }
+    if (len != 0) {
+      return Status::Malformed("unexpected distance root");
+    }
+    out->distance_root = Digest();
+  }
+  return in->ReadLengthPrefixed(&out->signature);
 }
 
 size_t Certificate::SerializedSize() const {

@@ -62,6 +62,10 @@ struct MethodParams {
 
   void Serialize(ByteWriter* out) const;
   static Result<MethodParams> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its cell-count capacity and resetting
+  /// optional fields the wire layout omits (so a reused `out` equals a
+  /// freshly decoded value). Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, MethodParams* out);
 };
 
 struct Certificate {
@@ -75,6 +79,9 @@ struct Certificate {
 
   void Serialize(ByteWriter* out) const;
   static Result<Certificate> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing vector capacity (hot clients decode a
+  /// certificate per wire message). Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, Certificate* out);
   size_t SerializedSize() const;
 };
 

@@ -1,31 +1,34 @@
 #include "core/client.h"
 
-#include "core/dij.h"
-#include "core/full.h"
-#include "core/hyp.h"
-#include "core/ldm.h"
+#include <algorithm>
+#include <atomic>
+
+#include "core/verify_workspace.h"
 #include "util/byte_buffer.h"
+#include "util/thread_pool.h"
 
 namespace spauth {
 
 namespace {
 
+/// Decodes one answer into `answer` (workspace scratch) and verifies it,
+/// writing the result into `out`. The answer type's verifier receives the
+/// same workspace; it never touches the decode scratch it was handed.
 template <typename Answer, typename VerifyFn>
-WireVerification DecodeAndVerify(const RsaPublicKey& owner_key,
-                                 const Certificate& cert, const Query& query,
-                                 ByteReader* reader, VerifyFn verify) {
-  WireVerification result;
-  result.method = cert.params.method;
-  auto answer = Answer::Deserialize(reader);
-  if (!answer.ok() || !reader->AtEnd()) {
-    result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                           "answer decode failed");
-    return result;
+void DecodeAndVerifyInto(const RsaPublicKey& owner_key,
+                         const Certificate& cert, const Query& query,
+                         ByteReader* reader, Answer& answer, VerifyFn verify,
+                         VerifyWorkspace& ws, WireVerification* out) {
+  out->method = cert.params.method;
+  Status decoded = Answer::DeserializeInto(reader, &answer);
+  if (!decoded.ok() || !reader->AtEnd()) {
+    out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                         "answer decode failed");
+    return;
   }
-  result.path = answer.value().path;
-  result.distance = answer.value().distance;
-  result.outcome = verify(owner_key, cert, query, answer.value());
-  return result;
+  out->path.nodes.assign(answer.path.nodes.begin(), answer.path.nodes.end());
+  out->distance = answer.distance;
+  out->outcome = verify(owner_key, cert, query, answer, ws);
 }
 
 }  // namespace
@@ -33,31 +36,122 @@ WireVerification DecodeAndVerify(const RsaPublicKey& owner_key,
 WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
                                   const Query& query,
                                   std::span<const uint8_t> wire_bytes) {
+  VerifyWorkspace ws;
   WireVerification result;
-  ByteReader reader(wire_bytes);
-  auto cert = Certificate::Deserialize(&reader);
-  if (!cert.ok()) {
-    result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                           "certificate decode failed");
-    return result;
-  }
-  switch (cert.value().params.method) {
-    case MethodKind::kDij:
-      return DecodeAndVerify<DijAnswer>(owner_key, cert.value(), query,
-                                        &reader, VerifyDijAnswer);
-    case MethodKind::kFull:
-      return DecodeAndVerify<FullAnswer>(owner_key, cert.value(), query,
-                                         &reader, VerifyFullAnswer);
-    case MethodKind::kLdm:
-      return DecodeAndVerify<LdmAnswer>(owner_key, cert.value(), query,
-                                        &reader, VerifyLdmAnswer);
-    case MethodKind::kHyp:
-      return DecodeAndVerify<HypAnswer>(owner_key, cert.value(), query,
-                                        &reader, VerifyHypAnswer);
-  }
-  result.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                         "unknown method in certificate");
+  VerifyWireAnswer(owner_key, query, wire_bytes, ws, &result);
   return result;
+}
+
+void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
+                      std::span<const uint8_t> wire_bytes,
+                      VerifyWorkspace& ws, WireVerification* out) {
+  out->method = MethodKind::kDij;
+  out->path.nodes.clear();
+  out->distance = 0;
+  ByteReader reader(wire_bytes);
+  if (Status s = Certificate::DeserializeInto(&reader, &ws.cert); !s.ok()) {
+    out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                         "certificate decode failed");
+    return;
+  }
+  switch (ws.cert.params.method) {
+    case MethodKind::kDij:
+      DecodeAndVerifyInto<DijAnswer>(
+          owner_key, ws.cert, query, &reader, ws.dij,
+          [](const RsaPublicKey& key, const Certificate& cert,
+             const Query& q, const DijAnswer& answer, VerifyWorkspace& w) {
+            return VerifyDijAnswer(key, cert, q, answer, w);
+          },
+          ws, out);
+      return;
+    case MethodKind::kFull:
+      DecodeAndVerifyInto<FullAnswer>(
+          owner_key, ws.cert, query, &reader, ws.full,
+          [](const RsaPublicKey& key, const Certificate& cert,
+             const Query& q, const FullAnswer& answer, VerifyWorkspace& w) {
+            return VerifyFullAnswer(key, cert, q, answer, w);
+          },
+          ws, out);
+      return;
+    case MethodKind::kLdm:
+      DecodeAndVerifyInto<LdmAnswer>(
+          owner_key, ws.cert, query, &reader, ws.ldm,
+          [](const RsaPublicKey& key, const Certificate& cert,
+             const Query& q, const LdmAnswer& answer, VerifyWorkspace& w) {
+            return VerifyLdmAnswer(key, cert, q, answer, w);
+          },
+          ws, out);
+      return;
+    case MethodKind::kHyp:
+      DecodeAndVerifyInto<HypAnswer>(
+          owner_key, ws.cert, query, &reader, ws.hyp,
+          [](const RsaPublicKey& key, const Certificate& cert,
+             const Query& q, const HypAnswer& answer, VerifyWorkspace& w) {
+            return VerifyHypAnswer(key, cert, q, answer, w);
+          },
+          ws, out);
+      return;
+  }
+  out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                       "unknown method in certificate");
+}
+
+Client::Client(RsaPublicKey owner_key)
+    : owner_key_(std::move(owner_key)),
+      ws_(std::make_unique<VerifyWorkspace>()) {}
+
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+WireVerification Client::Verify(const Query& query,
+                                std::span<const uint8_t> wire_bytes) {
+  WireVerification result;
+  VerifyWireAnswer(owner_key_, query, wire_bytes, *ws_, &result);
+  return result;
+}
+
+std::vector<WireVerification> Client::VerifyBatch(
+    std::span<const Query> queries,
+    std::span<const std::span<const uint8_t>> wire_messages,
+    size_t num_threads) const {
+  std::vector<WireVerification> results(queries.size());
+  if (queries.size() != wire_messages.size()) {
+    for (WireVerification& r : results) {
+      r.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                        "query/wire count mismatch");
+    }
+    return results;
+  }
+  if (queries.empty()) {
+    return results;
+  }
+  if (num_threads == 0) {
+    num_threads = ThreadPool::DefaultThreads(queries.size());
+  }
+  num_threads = std::min(num_threads, queries.size());
+  if (num_threads <= 1) {
+    VerifyWorkspace ws;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      VerifyWireAnswer(owner_key_, queries[i], wire_messages[i], ws,
+                       &results[i]);
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([this, &queries, &wire_messages, &results, &next] {
+      VerifyWorkspace ws;  // per-worker scratch, hot for the whole stream
+      for (size_t i = next.fetch_add(1); i < queries.size();
+           i = next.fetch_add(1)) {
+        VerifyWireAnswer(owner_key_, queries[i], wire_messages[i], ws,
+                         &results[i]);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 }  // namespace spauth

@@ -6,10 +6,18 @@
 // must verify it without a graph, an ADS, or prior knowledge of which
 // method the owner deployed. VerifyWireAnswer decodes the certificate,
 // dispatches to the matching verifier, and returns the verified path.
+//
+// The verification fast path mirrors the provider's serving fast path:
+// a VerifyWorkspace pools every decode/replay/search buffer so a hot
+// client verifies a message stream with near-zero steady-state
+// allocations, and Client::VerifyBatch fans a stream over a worker pool
+// with one workspace per worker.
 #ifndef SPAUTH_CORE_CLIENT_H_
 #define SPAUTH_CORE_CLIENT_H_
 
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "core/certificate.h"
 #include "core/verify_outcome.h"
@@ -18,6 +26,8 @@
 #include "graph/workload.h"
 
 namespace spauth {
+
+struct VerifyWorkspace;  // core/verify_workspace.h
 
 /// Result of client-side wire verification.
 struct WireVerification {
@@ -33,6 +43,45 @@ struct WireVerification {
 WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
                                   const Query& query,
                                   std::span<const uint8_t> wire_bytes);
+
+/// Fast path: decodes into and verifies out of `ws`, writing the result
+/// into `out` (whose path vector keeps its capacity across calls). The
+/// plain overload is a thin wrapper, so outcomes are identical by
+/// construction.
+void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
+                      std::span<const uint8_t> wire_bytes,
+                      VerifyWorkspace& ws, WireVerification* out);
+
+/// A client session: the owner's public key plus a hot VerifyWorkspace for
+/// serial use. Single-threaded except VerifyBatch, which spins up its own
+/// per-worker workspaces.
+class Client {
+ public:
+  explicit Client(RsaPublicKey owner_key);
+  ~Client();
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+
+  const RsaPublicKey& owner_key() const { return owner_key_; }
+
+  /// Serial fast path: verifies one wire message, reusing the client's
+  /// workspace across calls.
+  WireVerification Verify(const Query& query,
+                          std::span<const uint8_t> wire_bytes);
+
+  /// Verifies a message stream on a small internal worker pool, one reused
+  /// VerifyWorkspace per worker (num_threads == 0 picks a host default).
+  /// `wire_messages` is parallel to `queries`; the result vector is
+  /// parallel to both. A count mismatch yields rejection outcomes.
+  std::vector<WireVerification> VerifyBatch(
+      std::span<const Query> queries,
+      std::span<const std::span<const uint8_t>> wire_messages,
+      size_t num_threads = 0) const;
+
+ private:
+  RsaPublicKey owner_key_;
+  std::unique_ptr<VerifyWorkspace> ws_;
+};
 
 }  // namespace spauth
 

@@ -1,7 +1,7 @@
 #include "core/client_search.h"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "core/network_ads.h"
 #include "hints/quantize.h"
@@ -10,39 +10,70 @@ namespace spauth {
 
 namespace {
 
-struct HeapEntry {
-  double key;  // dist for Dijkstra, f = g + h for A*
-  double g;
-  NodeId node;
-  bool operator>(const HeapEntry& other) const { return key > other.key; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-const ExtendedTuple* Find(const TupleIndex& tuples, NodeId v) {
+const ExtendedTuple* FindTuple(const TupleIndex& tuples, NodeId v) {
   auto it = tuples.find(v);
   return it == tuples.end() ? nullptr : it->second;
 }
 
-}  // namespace
+const ExtendedTuple* FindTuple(const TupleLane& tuples, NodeId v) {
+  return tuples.Find(v);
+}
 
-SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
-                                         NodeId source, NodeId target,
-                                         double claimed_distance) {
+// Id bound for the map wrappers: every node the search may stamp in a lane
+// (endpoints, tuple ids, and all adjacency targets). The lane overloads get
+// this bound from the certified node count instead.
+size_t MapIdBound(const TupleIndex& tuples, NodeId source, NodeId target) {
+  size_t bound = std::max<size_t>(source, target);
+  for (const auto& [id, tuple] : tuples) {
+    bound = std::max<size_t>(bound, id);
+    for (const NeighborEntry& e : tuple->neighbors) {
+      bound = std::max<size_t>(bound, e.id);
+    }
+  }
+  return bound + 1;
+}
+
+// The shared search bodies are templated on the index type so the map
+// signatures and the TupleLane fast path run literally the same code —
+// outcomes are identical by construction. All distance state lives in the
+// caller's SearchLane/heap, so the hot path never allocates.
+
+template <typename Index>
+SubgraphSearchOutcome DijkstraOverTuplesImpl(const Index& tuples,
+                                             NodeId source, NodeId target,
+                                             double claimed_distance,
+                                             size_t num_nodes,
+                                             SearchLane& best,
+                                             FourAryHeap<DistHeapEntry>& heap) {
   SubgraphSearchOutcome out;
   const double slack = VerifySlack(claimed_distance);
-  std::unordered_map<NodeId, double> best;
-  best.reserve(tuples.size());
-  best[source] = 0;
-
-  MinHeap heap;
-  heap.push({0, 0, source});
-  while (!heap.empty()) {
-    auto [d, g_unused, u] = heap.top();
-    heap.pop();
-    auto it = best.find(u);
-    if (it != best.end() && d > it->second) {
+  best.Prepare(num_nodes);
+  heap.Clear();
+  if (source >= num_nodes) {
+    // An id beyond the certified range can never carry an authenticated
+    // tuple; replicate the untupled-source semantics without a lane slot.
+    if (0 > claimed_distance + slack) {
+      return out;  // kTargetNotReached
+    }
+    if (source == target) {
+      out.code = SubgraphSearchOutcome::Code::kOk;
+      out.distance = 0;
+      return out;
+    }
+    if (0 <= claimed_distance - slack) {
+      out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+      out.node = source;
+      out.distance = 0;
+    }
+    return out;
+  }
+  best.Relax(source, 0, kInvalidNode);
+  heap.Push({0, source});
+  while (!heap.Empty()) {
+    const DistHeapEntry top = heap.PopMin();
+    const double d = top.key;
+    const NodeId u = top.node;
+    if (d > best.Dist(u)) {
       continue;  // stale
     }
     if (d > claimed_distance + slack) {
@@ -53,7 +84,7 @@ SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
       out.distance = d;
       return out;
     }
-    const ExtendedTuple* tuple = Find(tuples, u);
+    const ExtendedTuple* tuple = FindTuple(tuples, u);
     if (tuple == nullptr) {
       if (d <= claimed_distance - slack) {
         out.code = SubgraphSearchOutcome::Code::kMissingTuple;
@@ -66,10 +97,20 @@ SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
     ++out.settled;
     for (const NeighborEntry& e : tuple->neighbors) {
       const double nd = d + e.weight;
-      auto [bit, inserted] = best.try_emplace(e.id, nd);
-      if (inserted || nd < bit->second) {
-        bit->second = nd;
-        heap.push({nd, nd, e.id});
+      if (e.id >= num_nodes) {
+        // Unreachable for authenticated tuples (ids are bound by the
+        // certified leaf count); reject-biased handling for robustness.
+        if (nd <= claimed_distance - slack) {
+          out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+          out.node = e.id;
+          out.distance = nd;
+          return out;
+        }
+        continue;
+      }
+      if (nd < best.Dist(e.id)) {
+        best.Relax(e.id, nd, u);
+        heap.Push({nd, e.id});
       }
     }
   }
@@ -77,12 +118,11 @@ SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
   return out;
 }
 
-namespace {
-
 /// Resolves the (codes, epsilon) pair used by the Lemma-4 bound for node v.
 /// Returns false if landmark data or the representative is missing; sets
 /// *missing to the offending node.
-bool ResolveLandmark(const TupleIndex& tuples, const ExtendedTuple& t,
+template <typename Index>
+bool ResolveLandmark(const Index& tuples, const ExtendedTuple& t,
                      std::span<const uint16_t>* codes, double* eps,
                      NodeId* missing, bool* bad_data) {
   if (!t.has_landmark_data) {
@@ -95,7 +135,7 @@ bool ResolveLandmark(const TupleIndex& tuples, const ExtendedTuple& t,
     *eps = 0;
     return true;
   }
-  const ExtendedTuple* rep = Find(tuples, t.ref_node);
+  const ExtendedTuple* rep = FindTuple(tuples, t.ref_node);
   if (rep == nullptr) {
     *missing = t.ref_node;
     *bad_data = false;
@@ -111,16 +151,18 @@ bool ResolveLandmark(const TupleIndex& tuples, const ExtendedTuple& t,
   return true;
 }
 
-}  // namespace
-
-SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
-                                      NodeId target, double claimed_distance,
-                                      double lambda) {
+template <typename Index>
+SubgraphSearchOutcome AStarOverTuplesImpl(const Index& tuples, NodeId source,
+                                          NodeId target,
+                                          double claimed_distance,
+                                          double lambda, size_t num_nodes,
+                                          SearchLane& best,
+                                          FourAryHeap<AStarHeapEntry>& heap) {
   SubgraphSearchOutcome out;
   const double slack = VerifySlack(claimed_distance);
 
   // Resolve the target's vector once; h(v) needs it for every node.
-  const ExtendedTuple* target_tuple = Find(tuples, target);
+  const ExtendedTuple* target_tuple = FindTuple(tuples, target);
   if (target_tuple == nullptr) {
     out.code = SubgraphSearchOutcome::Code::kMissingTuple;
     out.node = target;
@@ -155,11 +197,7 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
     return true;
   };
 
-  std::unordered_map<NodeId, double> best;
-  best.reserve(tuples.size());
-  best[source] = 0;
-
-  const ExtendedTuple* source_tuple = Find(tuples, source);
+  const ExtendedTuple* source_tuple = FindTuple(tuples, source);
   if (source_tuple == nullptr) {
     out.code = SubgraphSearchOutcome::Code::kMissingTuple;
     out.node = source;
@@ -173,13 +211,18 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
     return out;
   }
 
-  MinHeap heap;
-  heap.push({h_source, 0, source});
-  while (!heap.empty()) {
-    auto [f, g, u] = heap.top();
-    heap.pop();
-    auto it = best.find(u);
-    if (it != best.end() && g > it->second) {
+  // A tupled source/target is inside the certified id range by definition
+  // of the lane (and of the wrapper's bound), so lane writes are safe.
+  best.Prepare(num_nodes);
+  heap.Clear();
+  best.Relax(source, 0, kInvalidNode);
+  heap.Push({h_source, 0, source});
+  while (!heap.Empty()) {
+    const AStarHeapEntry top = heap.PopMin();
+    const double f = top.key;
+    const double g = top.g;
+    const NodeId u = top.node;
+    if (g > best.Dist(u)) {
       continue;  // stale
     }
     if (f > claimed_distance + slack) {
@@ -190,7 +233,7 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
       out.distance = g;
       return out;
     }
-    const ExtendedTuple* tuple = Find(tuples, u);
+    const ExtendedTuple* tuple = FindTuple(tuples, u);
     if (tuple == nullptr) {
       if (f <= claimed_distance - slack) {
         out.code = SubgraphSearchOutcome::Code::kMissingTuple;
@@ -203,12 +246,21 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
     ++out.settled;
     for (const NeighborEntry& e : tuple->neighbors) {
       const double ng = g + e.weight;
-      auto [bit, inserted] = best.try_emplace(e.id, ng);
-      if (!inserted && ng >= bit->second) {
+      if (e.id >= num_nodes) {
+        // See DijkstraOverTuplesImpl: unreachable for authenticated
+        // tuples, reject-biased otherwise.
+        if (ng <= claimed_distance - slack) {
+          out.code = SubgraphSearchOutcome::Code::kMissingTuple;
+          out.node = e.id;
+          return out;
+        }
         continue;
       }
-      bit->second = ng;
-      const ExtendedTuple* nt = Find(tuples, e.id);
+      if (ng >= best.Dist(e.id)) {
+        continue;
+      }
+      best.Relax(e.id, ng, u);
+      const ExtendedTuple* nt = FindTuple(tuples, e.id);
       if (nt == nullptr) {
         // Lemma 2 includes every neighbor of the search space; absence is
         // only acceptable for nodes the search could never expand anyway.
@@ -226,43 +278,92 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
         out.node = missing;
         return out;
       }
-      heap.push({ng + h, ng, e.id});
+      heap.Push({ng + h, ng, e.id});
     }
   }
   out.code = SubgraphSearchOutcome::Code::kTargetNotReached;
   return out;
 }
 
-VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
-                                     const Query& query, const Path& path,
-                                     double claimed_distance) {
+template <typename Index>
+void InCellDijkstraOverTuplesImpl(const Index& tuples, NodeId source,
+                                  uint32_t cell, size_t num_nodes,
+                                  SearchLane& dist,
+                                  FourAryHeap<DistHeapEntry>& heap,
+                                  std::vector<NodeId>* reached) {
+  dist.Prepare(num_nodes);
+  heap.Clear();
+  const ExtendedTuple* source_tuple = FindTuple(tuples, source);
+  if (source_tuple == nullptr || !source_tuple->has_cell_data ||
+      source_tuple->cell != cell) {
+    return;
+  }
+  dist.Relax(source, 0, kInvalidNode);
+  if (reached != nullptr) {
+    reached->push_back(source);
+  }
+  heap.Push({0, source});
+  while (!heap.Empty()) {
+    const DistHeapEntry top = heap.PopMin();
+    const double d = top.key;
+    const NodeId u = top.node;
+    if (d > dist.Dist(u)) {
+      continue;
+    }
+    const ExtendedTuple* tuple = FindTuple(tuples, u);
+    // A tuple absent or outside the cell contributes no edges; cell
+    // completeness is checked separately against the certificate counts.
+    if (tuple == nullptr || !tuple->has_cell_data || tuple->cell != cell) {
+      continue;
+    }
+    for (const NeighborEntry& e : tuple->neighbors) {
+      const ExtendedTuple* nt = FindTuple(tuples, e.id);
+      if (nt == nullptr || !nt->has_cell_data || nt->cell != cell) {
+        continue;  // out-of-cell edge
+      }
+      const double nd = d + e.weight;
+      if (nd < dist.Dist(e.id)) {
+        if (reached != nullptr && dist.Dist(e.id) == kInfDistance) {
+          reached->push_back(e.id);
+        }
+        dist.Relax(e.id, nd, u);
+        heap.Push({nd, e.id});
+      }
+    }
+  }
+}
+
+template <typename Index>
+VerifyOutcome CheckPathAgainstTuplesImpl(const Index& tuples,
+                                         const Query& query, const Path& path,
+                                         double claimed_distance,
+                                         std::vector<NodeId>& scratch) {
   if (path.empty() || path.source() != query.source ||
       path.target() != query.target) {
     return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
                                  "path endpoints do not match the query");
   }
-  std::unordered_map<NodeId, int> seen;
-  for (NodeId v : path.nodes) {
-    if (++seen[v] > 1) {
-      return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
-                                   "path repeats a node");
-    }
+  scratch.assign(path.nodes.begin(), path.nodes.end());
+  std::sort(scratch.begin(), scratch.end());
+  if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+    return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
+                                 "path repeats a node");
   }
   double total = 0;
   for (size_t i = 1; i < path.nodes.size(); ++i) {
-    auto it = tuples.find(path.nodes[i - 1]);
-    if (it == tuples.end()) {
+    const ExtendedTuple* tuple = FindTuple(tuples, path.nodes[i - 1]);
+    if (tuple == nullptr) {
       return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
                                    "path node has no authenticated tuple");
     }
-    auto w = it->second->WeightTo(path.nodes[i]);
+    auto w = tuple->WeightTo(path.nodes[i]);
     if (!w.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
                                    "path uses a non-existent edge");
     }
     total += w.value();
   }
-  if (tuples.find(path.target()) == tuples.end()) {
+  if (FindTuple(tuples, path.target()) == nullptr) {
     return VerifyOutcome::Reject(VerifyFailure::kInvalidPath,
                                  "path target has no authenticated tuple");
   }
@@ -274,44 +375,80 @@ VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
   return VerifyOutcome::Accept();
 }
 
+}  // namespace
+
+SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
+                                         NodeId source, NodeId target,
+                                         double claimed_distance) {
+  SearchLane best;
+  FourAryHeap<DistHeapEntry> heap;
+  return DijkstraOverTuplesImpl(tuples, source, target, claimed_distance,
+                                MapIdBound(tuples, source, target), best,
+                                heap);
+}
+
+SubgraphSearchOutcome DijkstraOverTuples(const TupleLane& tuples,
+                                         NodeId source, NodeId target,
+                                         double claimed_distance,
+                                         SearchWorkspace& ws) {
+  return DijkstraOverTuplesImpl(tuples, source, target, claimed_distance,
+                                tuples.num_nodes(), ws.forward, ws.heap);
+}
+
+SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
+                                      NodeId target, double claimed_distance,
+                                      double lambda) {
+  SearchLane best;
+  FourAryHeap<AStarHeapEntry> heap;
+  return AStarOverTuplesImpl(tuples, source, target, claimed_distance, lambda,
+                             MapIdBound(tuples, source, target), best, heap);
+}
+
+SubgraphSearchOutcome AStarOverTuples(const TupleLane& tuples, NodeId source,
+                                      NodeId target, double claimed_distance,
+                                      double lambda, SearchWorkspace& ws) {
+  return AStarOverTuplesImpl(tuples, source, target, claimed_distance, lambda,
+                             tuples.num_nodes(), ws.forward, ws.astar_heap);
+}
+
 std::unordered_map<NodeId, double> InCellDijkstraOverTuples(
     const TupleIndex& tuples, NodeId source, uint32_t cell) {
+  SearchLane lane;
+  FourAryHeap<DistHeapEntry> heap;
+  std::vector<NodeId> reached;
+  InCellDijkstraOverTuplesImpl(tuples, source, cell,
+                               MapIdBound(tuples, source, source), lane, heap,
+                               &reached);
   std::unordered_map<NodeId, double> dist;
-  const ExtendedTuple* source_tuple = Find(tuples, source);
-  if (source_tuple == nullptr || !source_tuple->has_cell_data ||
-      source_tuple->cell != cell) {
-    return dist;
-  }
-  dist[source] = 0;
-  MinHeap heap;
-  heap.push({0, 0, source});
-  while (!heap.empty()) {
-    auto [d, g_unused, u] = heap.top();
-    heap.pop();
-    auto it = dist.find(u);
-    if (it != dist.end() && d > it->second) {
-      continue;
-    }
-    const ExtendedTuple* tuple = Find(tuples, u);
-    // A tuple absent or outside the cell contributes no edges; cell
-    // completeness is checked separately against the certificate counts.
-    if (tuple == nullptr || !tuple->has_cell_data || tuple->cell != cell) {
-      continue;
-    }
-    for (const NeighborEntry& e : tuple->neighbors) {
-      const ExtendedTuple* nt = Find(tuples, e.id);
-      if (nt == nullptr || !nt->has_cell_data || nt->cell != cell) {
-        continue;  // out-of-cell edge
-      }
-      const double nd = d + e.weight;
-      auto [bit, inserted] = dist.try_emplace(e.id, nd);
-      if (inserted || nd < bit->second) {
-        bit->second = nd;
-        heap.push({nd, nd, e.id});
-      }
-    }
+  dist.reserve(reached.size());
+  for (NodeId v : reached) {
+    dist[v] = lane.Dist(v);
   }
   return dist;
+}
+
+void InCellDijkstraOverTuples(const TupleLane& tuples, NodeId source,
+                              uint32_t cell, SearchLane* dist,
+                              FourAryHeap<DistHeapEntry>* heap,
+                              std::vector<NodeId>* reached) {
+  InCellDijkstraOverTuplesImpl(tuples, source, cell, tuples.num_nodes(),
+                               *dist, *heap, reached);
+}
+
+VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
+                                     const Query& query, const Path& path,
+                                     double claimed_distance) {
+  std::vector<NodeId> scratch;
+  return CheckPathAgainstTuplesImpl(tuples, query, path, claimed_distance,
+                                    scratch);
+}
+
+VerifyOutcome CheckPathAgainstTuples(const TupleLane& tuples,
+                                     const Query& query, const Path& path,
+                                     double claimed_distance,
+                                     std::vector<NodeId>* scratch) {
+  return CheckPathAgainstTuplesImpl(tuples, query, path, claimed_distance,
+                                    *scratch);
 }
 
 }  // namespace spauth

@@ -8,16 +8,71 @@
 #define SPAUTH_CORE_CLIENT_SEARCH_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "core/verify_outcome.h"
 #include "graph/graph.h"
 #include "graph/path.h"
+#include "graph/search_workspace.h"
 #include "graph/workload.h"
 #include "hints/extended_tuple.h"
 
 namespace spauth {
 
 using TupleIndex = std::unordered_map<NodeId, const ExtendedTuple*>;
+
+/// Generation-stamped node-id -> tuple-pointer index for the verification
+/// fast path. The certified node count (MethodParams::num_network_leaves)
+/// bounds every genuine tuple id, so a flat array replaces the hash map;
+/// Prepare() invalidates in O(1) and the slot arrays keep their capacity,
+/// so a hot verifier indexes proof after proof without allocating.
+/// Single-threaded; one per VerifyWorkspace.
+class TupleLane {
+ public:
+  enum class InsertResult { kOk, kDuplicate, kOutOfRange };
+
+  /// Readies the lane for a tuple set over ids in [0, num_nodes).
+  void Prepare(size_t num_nodes) {
+    num_nodes_ = num_nodes;
+    if (++generation_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      generation_ = 1;
+    }
+    if (slots_.size() < num_nodes) {
+      slots_.resize(num_nodes, nullptr);
+      stamp_.resize(num_nodes, 0);
+    }
+  }
+
+  /// Registers `tuple` under its id. The pointer must outlive the lane's
+  /// current generation (the verifier's decoded answer does).
+  InsertResult Insert(const ExtendedTuple* tuple) {
+    const NodeId v = tuple->id;
+    if (v >= num_nodes_) {
+      return InsertResult::kOutOfRange;
+    }
+    if (stamp_[v] == generation_) {
+      return InsertResult::kDuplicate;
+    }
+    stamp_[v] = generation_;
+    slots_[v] = tuple;
+    return InsertResult::kOk;
+  }
+
+  /// The tuple registered for `v`, or nullptr (absent or out of range).
+  const ExtendedTuple* Find(NodeId v) const {
+    return v < num_nodes_ && stamp_[v] == generation_ ? slots_[v] : nullptr;
+  }
+
+  /// The id bound of the current generation (certified node count).
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::vector<const ExtendedTuple*> slots_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+  size_t num_nodes_ = 0;
+};
 
 struct SubgraphSearchOutcome {
   enum class Code {
@@ -40,6 +95,15 @@ SubgraphSearchOutcome DijkstraOverTuples(const TupleIndex& tuples,
                                          NodeId source, NodeId target,
                                          double claimed_distance);
 
+/// Fast path: the same search over a prepared TupleLane, with the distance
+/// lane and heap borrowed from `ws` (forward lane + dist heap) so a hot
+/// verifier searches without allocating. The map overload is a thin
+/// wrapper, so outcomes are identical by construction.
+SubgraphSearchOutcome DijkstraOverTuples(const TupleLane& tuples,
+                                         NodeId source, NodeId target,
+                                         double claimed_distance,
+                                         SearchWorkspace& ws);
+
 /// A* over the tuple map with the compressed-quantized landmark bound of
 /// Lemmas 3-4 (LDM verification, Section V-A). `lambda` comes from the
 /// certificate. Re-expands on shorter g, so the inconsistent loose bound is
@@ -49,11 +113,26 @@ SubgraphSearchOutcome AStarOverTuples(const TupleIndex& tuples, NodeId source,
                                       NodeId target, double claimed_distance,
                                       double lambda);
 
+/// Fast path over a TupleLane (forward lane + A* heap from `ws`); the map
+/// overload is a thin wrapper.
+SubgraphSearchOutcome AStarOverTuples(const TupleLane& tuples, NodeId source,
+                                      NodeId target, double claimed_distance,
+                                      double lambda, SearchWorkspace& ws);
+
 /// Dijkstra from `source` restricted to edges whose endpoints both carry
 /// tuples in cell `cell` (HYP verification, Section V-B). Returns the
 /// in-cell distance for every reached node of the cell.
 std::unordered_map<NodeId, double> InCellDijkstraOverTuples(
     const TupleIndex& tuples, NodeId source, uint32_t cell);
+
+/// Fast path: writes the in-cell distances into `dist` (prepared for the
+/// lane's node count; unreached nodes read kInfDistance) using `heap` as
+/// scratch. When `reached` is non-null the settled nodes are appended to
+/// it. The map overload is a thin wrapper.
+void InCellDijkstraOverTuples(const TupleLane& tuples, NodeId source,
+                              uint32_t cell, SearchLane* dist,
+                              FourAryHeap<DistHeapEntry>* heap,
+                              std::vector<NodeId>* reached);
 
 /// Shared by all methods: checks the reported path against the
 /// authenticated tuples — endpoints match the query, no repeated nodes,
@@ -62,6 +141,13 @@ std::unordered_map<NodeId, double> InCellDijkstraOverTuples(
 VerifyOutcome CheckPathAgainstTuples(const TupleIndex& tuples,
                                      const Query& query, const Path& path,
                                      double claimed_distance);
+
+/// Fast path over a TupleLane; `scratch` holds the repeated-node check's
+/// sort buffer. The map overload is a thin wrapper.
+VerifyOutcome CheckPathAgainstTuples(const TupleLane& tuples,
+                                     const Query& query, const Path& path,
+                                     double claimed_distance,
+                                     std::vector<NodeId>* scratch);
 
 }  // namespace spauth
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/client_search.h"
+#include "core/verify_workspace.h"
 
 namespace spauth {
 
@@ -65,23 +66,34 @@ void DijAnswer::Serialize(ByteWriter* out) const {
 
 Result<DijAnswer> DijAnswer::Deserialize(ByteReader* in) {
   DijAnswer answer;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &answer));
+  return answer;
+}
+
+Status DijAnswer::DeserializeInto(ByteReader* in, DijAnswer* out) {
   uint32_t path_len = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&path_len));
   if (path_len == 0 || path_len > in->remaining() / 4) {
     return Status::Malformed("bad path length");
   }
-  answer.path.nodes.resize(path_len);
+  out->path.nodes.resize(path_len);
   for (uint32_t i = 0; i < path_len; ++i) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&answer.path.nodes[i]));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->path.nodes[i]));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&answer.distance));
-  SPAUTH_ASSIGN_OR_RETURN(answer.subgraph, TupleSetProof::Deserialize(in));
-  return answer;
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->distance));
+  return TupleSetProof::DeserializeInto(in, &out->subgraph);
 }
 
 VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const DijAnswer& answer) {
+  VerifyWorkspace ws;
+  return VerifyDijAnswer(owner_key, cert, query, answer, ws);
+}
+
+VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const DijAnswer& answer, VerifyWorkspace& ws) {
   if (!VerifyCertificate(owner_key, cert) ||
       cert.params.method != MethodKind::kDij) {
     return VerifyOutcome::Reject(VerifyFailure::kBadCertificate,
@@ -95,7 +107,9 @@ VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  "proof shape disagrees with certificate");
   }
-  if (Status s = answer.subgraph.VerifyAgainstRoot(cert.network_root);
+  if (Status s = answer.subgraph.VerifyAgainstRoot(cert.network_root,
+                                                   ws.merkle,
+                                                   &ws.leaf_scratch);
       !s.ok()) {
     return VerifyOutcome::Reject(
         s.code() == StatusCode::kVerificationFailed
@@ -103,24 +117,24 @@ VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
             : VerifyFailure::kMalformedProof,
         s.message());
   }
-  auto index = answer.subgraph.IndexById();
-  if (!index.ok()) {
-    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                 index.status().message());
+  if (Status s = answer.subgraph.IndexInto(cert.params.num_network_leaves,
+                                           &ws.index);
+      !s.ok()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof, s.message());
   }
   if (!(answer.distance > 0) || !std::isfinite(answer.distance)) {
     return VerifyOutcome::Reject(VerifyFailure::kDistanceMismatch,
                                  "claimed distance must be positive");
   }
   VerifyOutcome path_check =
-      CheckPathAgainstTuples(index.value(), query, answer.path,
-                             answer.distance);
+      CheckPathAgainstTuples(ws.index, query, answer.path, answer.distance,
+                             &ws.path_scratch);
   if (!path_check.accepted) {
     return path_check;
   }
   // Re-run Dijkstra over the subgraph: completeness + optimality.
   SubgraphSearchOutcome search = DijkstraOverTuples(
-      index.value(), query.source, query.target, answer.distance);
+      ws.index, query.source, query.target, answer.distance, ws.search);
   switch (search.code) {
     case SubgraphSearchOutcome::Code::kMissingTuple:
       return VerifyOutcome::Reject(

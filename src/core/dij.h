@@ -17,6 +17,8 @@
 
 namespace spauth {
 
+struct VerifyWorkspace;  // core/verify_workspace.h
+
 struct DijOptions {
   NodeOrdering ordering = NodeOrdering::kHilbert;
   uint32_t fanout = 2;
@@ -41,6 +43,9 @@ struct DijAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<DijAnswer> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity (the client fast
+  /// path); Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, DijAnswer* out);
   /// Exact wire size of Serialize(); used to pre-size bundle buffers.
   size_t SerializedSize() const {
     return 4 + path.nodes.size() * 4 + 8 + subgraph.SerializedSize();
@@ -68,6 +73,14 @@ class DijProvider {
 VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const DijAnswer& answer);
+
+/// Fast path: all verification scratch (Merkle replay, tuple index,
+/// re-search) lives in `ws`, reused across answers. The plain overload is
+/// a thin wrapper, so outcomes are identical by construction. `answer` may
+/// alias `ws`'s decode scratch.
+VerifyOutcome VerifyDijAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const DijAnswer& answer, VerifyWorkspace& ws);
 
 }  // namespace spauth
 

@@ -9,6 +9,8 @@
 #include "core/full.h"
 #include "core/hyp.h"
 #include "core/ldm.h"
+#include "core/updates.h"
+#include "core/verify_workspace.h"
 #include "graph/dijkstra.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -36,6 +38,66 @@ std::string_view ToString(TamperKind kind) {
 Result<ProofBundle> MethodEngine::Answer(const Query& query) const {
   SearchWorkspace ws;
   return Answer(query, ws);
+}
+
+Result<ProofBundle> MethodEngine::Answer(const Query& query,
+                                         SearchWorkspace& ws) const {
+  if (cache_ == nullptr) {
+    return AnswerUncached(query, ws);
+  }
+  // Bundles certify the ADS roots, so a version change (owner update)
+  // invalidates everything cached so far.
+  const uint32_t version = certificate().params.version;
+  if (cache_version_.load(std::memory_order_acquire) != version) {
+    cache_->Clear();
+    cache_version_.store(version, std::memory_order_release);
+  }
+  const uint64_t key =
+      (static_cast<uint64_t>(query.source) << 32) | query.target;
+  if (std::shared_ptr<const ProofBundle> hit = cache_->Lookup(key)) {
+    return *hit;
+  }
+  Result<ProofBundle> result = AnswerUncached(query, ws);
+  if (result.ok()) {
+    cache_->Insert(key, std::make_shared<const ProofBundle>(result.value()),
+                   result.value().bytes.size());
+  }
+  return result;
+}
+
+VerifyOutcome MethodEngine::Verify(const Query& query,
+                                   const ProofBundle& bundle) const {
+  VerifyWorkspace ws;
+  return Verify(query, bundle, ws);
+}
+
+Status MethodEngine::ApplyEdgeWeightUpdate(Graph* /*g*/,
+                                           const RsaKeyPair& /*keys*/,
+                                           NodeId /*u*/, NodeId /*v*/,
+                                           double /*new_weight*/) {
+  return Status::FailedPrecondition(
+      "method hints require a rebuild on weight changes");
+}
+
+void MethodEngine::EnableProofCache(size_t capacity, size_t shards) {
+  ProofCache<ProofBundle>::Options options;
+  options.capacity = capacity;
+  options.shards = shards;
+  cache_ = std::make_unique<ProofCache<ProofBundle>>(options);
+  cache_version_.store(certificate().params.version,
+                       std::memory_order_release);
+}
+
+ProofCacheStats MethodEngine::proof_cache_stats() const {
+  return cache_ == nullptr ? ProofCacheStats{} : cache_->GetStats();
+}
+
+void MethodEngine::InvalidateProofCache() const {
+  if (cache_ != nullptr) {
+    cache_->Clear();
+    cache_version_.store(certificate().params.version,
+                         std::memory_order_release);
+  }
 }
 
 std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
@@ -89,16 +151,18 @@ std::vector<uint8_t> EncodeBundle(const Certificate& cert,
   return w.TakeBytes();
 }
 
+/// Decodes a bundle into workspace scratch (certificate + answer), reusing
+/// the scratch capacity across bundles.
 template <typename Answer>
-Result<std::pair<Certificate, Answer>> DecodeBundle(
-    std::span<const uint8_t> bytes) {
+Status DecodeBundleInto(std::span<const uint8_t> bytes, Certificate* cert,
+                        Answer* answer) {
   ByteReader r(bytes);
-  SPAUTH_ASSIGN_OR_RETURN(Certificate cert, Certificate::Deserialize(&r));
-  SPAUTH_ASSIGN_OR_RETURN(Answer answer, Answer::Deserialize(&r));
+  SPAUTH_RETURN_IF_ERROR(Certificate::DeserializeInto(&r, cert));
+  SPAUTH_RETURN_IF_ERROR(Answer::DeserializeInto(&r, answer));
   if (!r.AtEnd()) {
     return Status::Malformed("trailing bytes after answer");
   }
-  return std::pair<Certificate, Answer>{std::move(cert), std::move(answer)};
+  return Status::Ok();
 }
 
 /// Flips one bit inside the certificate's signature region of a bundle.
@@ -185,10 +249,23 @@ class DijEngine : public MethodEngine {
   size_t storage_bytes() const override { return ads_.network.StorageBytes(); }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query,
-                             SearchWorkspace& ws) const override {
+  Result<ProofBundle> AnswerUncached(const Query& query,
+                                     SearchWorkspace& ws) const override {
     SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query, ws));
     return Finish(answer);
+  }
+
+  Status ApplyEdgeWeightUpdate(Graph* g, const RsaKeyPair& keys, NodeId u,
+                               NodeId v, double new_weight) override {
+    if (g != g_) {
+      return Status::InvalidArgument(
+          "graph does not match the engine's graph");
+    }
+    SPAUTH_RETURN_IF_ERROR(UpdateEdgeWeight(g, &ads_, keys, u, v,
+                                            new_weight));
+    cert_size_ = ads_.certificate.SerializedSize();
+    InvalidateProofCache();
+    return Status::Ok();
   }
 
   Result<ProofBundle> TamperedAnswer(const Query& query,
@@ -255,15 +332,16 @@ class DijEngine : public MethodEngine {
     return Status::Internal("unhandled tamper kind");
   }
 
-  VerifyOutcome Verify(const Query& query,
-                       const ProofBundle& bundle) const override {
-    auto decoded = DecodeBundle<DijAnswer>(bundle.bytes);
-    if (!decoded.ok()) {
+  using MethodEngine::Verify;
+  VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
+                       VerifyWorkspace& ws) const override {
+    if (Status s = DecodeBundleInto<DijAnswer>(bundle.bytes, &ws.cert,
+                                               &ws.dij);
+        !s.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                   decoded.status().message());
+                                   s.message());
     }
-    return VerifyDijAnswer(owner_key_, decoded.value().first, query,
-                           decoded.value().second);
+    return VerifyDijAnswer(owner_key_, ws.cert, query, ws.dij, ws);
   }
 
  private:
@@ -309,8 +387,8 @@ class FullEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query,
-                             SearchWorkspace& ws) const override {
+  Result<ProofBundle> AnswerUncached(const Query& query,
+                                     SearchWorkspace& ws) const override {
     SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
@@ -368,15 +446,16 @@ class FullEngine : public MethodEngine {
     return Status::Internal("unhandled tamper kind");
   }
 
-  VerifyOutcome Verify(const Query& query,
-                       const ProofBundle& bundle) const override {
-    auto decoded = DecodeBundle<FullAnswer>(bundle.bytes);
-    if (!decoded.ok()) {
+  using MethodEngine::Verify;
+  VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
+                       VerifyWorkspace& ws) const override {
+    if (Status s = DecodeBundleInto<FullAnswer>(bundle.bytes, &ws.cert,
+                                                &ws.full);
+        !s.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                   decoded.status().message());
+                                   s.message());
     }
-    return VerifyFullAnswer(owner_key_, decoded.value().first, query,
-                            decoded.value().second);
+    return VerifyFullAnswer(owner_key_, ws.cert, query, ws.full, ws);
   }
 
  private:
@@ -424,8 +503,8 @@ class LdmEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query,
-                             SearchWorkspace& ws) const override {
+  Result<ProofBundle> AnswerUncached(const Query& query,
+                                     SearchWorkspace& ws) const override {
     SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
@@ -511,15 +590,16 @@ class LdmEngine : public MethodEngine {
     return Status::Internal("unhandled tamper kind");
   }
 
-  VerifyOutcome Verify(const Query& query,
-                       const ProofBundle& bundle) const override {
-    auto decoded = DecodeBundle<LdmAnswer>(bundle.bytes);
-    if (!decoded.ok()) {
+  using MethodEngine::Verify;
+  VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
+                       VerifyWorkspace& ws) const override {
+    if (Status s = DecodeBundleInto<LdmAnswer>(bundle.bytes, &ws.cert,
+                                               &ws.ldm);
+        !s.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                   decoded.status().message());
+                                   s.message());
     }
-    return VerifyLdmAnswer(owner_key_, decoded.value().first, query,
-                           decoded.value().second);
+    return VerifyLdmAnswer(owner_key_, ws.cert, query, ws.ldm, ws);
   }
 
  private:
@@ -562,8 +642,8 @@ class HypEngine : public MethodEngine {
   }
   const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> Answer(const Query& query,
-                             SearchWorkspace& ws) const override {
+  Result<ProofBundle> AnswerUncached(const Query& query,
+                                     SearchWorkspace& ws) const override {
     SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query, ws));
     return MakeBundle(answer);
   }
@@ -644,15 +724,16 @@ class HypEngine : public MethodEngine {
     return Status::Internal("unhandled tamper kind");
   }
 
-  VerifyOutcome Verify(const Query& query,
-                       const ProofBundle& bundle) const override {
-    auto decoded = DecodeBundle<HypAnswer>(bundle.bytes);
-    if (!decoded.ok()) {
+  using MethodEngine::Verify;
+  VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
+                       VerifyWorkspace& ws) const override {
+    if (Status s = DecodeBundleInto<HypAnswer>(bundle.bytes, &ws.cert,
+                                               &ws.hyp);
+        !s.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                   decoded.status().message());
+                                   s.message());
     }
-    return VerifyHypAnswer(owner_key_, decoded.value().first, query,
-                           decoded.value().second);
+    return VerifyHypAnswer(owner_key_, ws.cert, query, ws.hyp, ws);
   }
 
  private:
@@ -756,6 +837,10 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
   }
   // Record the owner's offline construction time (Figures 8c, 9b, 12b, 13b).
   engine->set_construction_seconds(timer.ElapsedSeconds());
+  if (options.enable_proof_cache) {
+    engine->EnableProofCache(options.proof_cache_capacity,
+                             options.proof_cache_shards);
+  }
   return engine;
 }
 

@@ -12,6 +12,7 @@
 #ifndef SPAUTH_CORE_ENGINE_H_
 #define SPAUTH_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -23,9 +24,12 @@
 #include "graph/path.h"
 #include "graph/workload.h"
 #include "hints/landmarks.h"
+#include "util/proof_cache.h"
 #include "util/status.h"
 
 namespace spauth {
+
+struct VerifyWorkspace;  // core/verify_workspace.h
 
 /// Adversarial mutations of a provider answer (core/engine.cc documents the
 /// rejection each must trigger).
@@ -83,6 +87,15 @@ struct EngineOptions {
   bool full_use_floyd_warshall = true;
   /// The provider's algosp choice (Algorithm 1); does not affect proofs.
   SpAlgorithm provider_algorithm = SpAlgorithm::kDijkstra;
+
+  /// Server-side proof cache: memoizes assembled bundles by canonical
+  /// query, so a repeated query is served the exact bytes assembled the
+  /// first time (byte-identical by construction — the answer path is
+  /// deterministic). Invalidated whenever the certificate version changes
+  /// (owner-side updates re-sign with version + 1).
+  bool enable_proof_cache = false;
+  size_t proof_cache_capacity = 4096;  // total entries across shards
+  size_t proof_cache_shards = 8;
 };
 
 class MethodEngine {
@@ -107,10 +120,11 @@ class MethodEngine {
   /// Provider role. The workspace form is the query-serving fast path: a
   /// caller keeps one SearchWorkspace per serving thread and the engine
   /// reuses its scratch arrays across the query stream. The plain form
-  /// wraps it with a throwaway workspace.
+  /// wraps it with a throwaway workspace. When the proof cache is enabled
+  /// a repeated query returns the memoized bundle without touching the
+  /// workspace.
   Result<ProofBundle> Answer(const Query& query) const;
-  virtual Result<ProofBundle> Answer(const Query& query,
-                                     SearchWorkspace& ws) const = 0;
+  Result<ProofBundle> Answer(const Query& query, SearchWorkspace& ws) const;
 
   /// Answers a query stream on a small internal worker pool, one reused
   /// workspace per worker (num_threads == 0 picks a host default). The
@@ -121,16 +135,50 @@ class MethodEngine {
 
   /// Malicious-provider role; Unimplemented when the mutation does not
   /// apply to this method, NotFound when the instance offers no opportunity
-  /// (e.g. no alternative path exists).
+  /// (e.g. no alternative path exists). Never consults the proof cache.
   virtual Result<ProofBundle> TamperedAnswer(const Query& query,
                                              TamperKind kind) const = 0;
 
-  /// Client role: full decode + verification from the wire bytes.
-  virtual VerifyOutcome Verify(const Query& query,
-                               const ProofBundle& bundle) const = 0;
+  /// Client role: full decode + verification from the wire bytes. The
+  /// workspace form is the verification fast path (one VerifyWorkspace per
+  /// verifying thread); the plain form wraps it with a throwaway one.
+  VerifyOutcome Verify(const Query& query, const ProofBundle& bundle) const;
+  virtual VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
+                               VerifyWorkspace& ws) const = 0;
+
+  /// Owner-side maintenance through the engine: applies an edge-weight
+  /// change to `g` (which must be the graph the engine was built over) and
+  /// the ADS via core/updates.h, re-signing with a bumped version, and
+  /// invalidates the proof cache. FailedPrecondition for methods whose
+  /// hints require a rebuild (FULL/LDM/HYP).
+  virtual Status ApplyEdgeWeightUpdate(Graph* g, const RsaKeyPair& keys,
+                                       NodeId u, NodeId v, double new_weight);
+
+  /// Enables the serving-side proof cache (normally wired up by MakeEngine
+  /// from EngineOptions).
+  void EnableProofCache(size_t capacity, size_t shards);
+  bool proof_cache_enabled() const { return cache_ != nullptr; }
+  /// Aggregate hit/miss/byte counters; zeros when the cache is disabled.
+  ProofCacheStats proof_cache_stats() const;
 
  protected:
+  /// The uncached provider answer; the base Answer() adds the cache layer.
+  virtual Result<ProofBundle> AnswerUncached(const Query& query,
+                                             SearchWorkspace& ws) const = 0;
+
+  /// Drops every cached bundle (after an ADS mutation).
+  void InvalidateProofCache() const;
+
   double construction_seconds_ = 0;
+
+ private:
+  // Bundles are cached per certificate version; a version change (owner
+  // update re-sign) clears the cache lazily on the next Answer. Updates
+  // must quiesce serving (the ADS itself is mutated unsynchronized), so
+  // the atomic only has to make the sequential update-then-serve pattern
+  // race-free against a concurrent AnswerBatch that follows it.
+  mutable std::unique_ptr<ProofCache<ProofBundle>> cache_;
+  mutable std::atomic<uint32_t> cache_version_{0};
 };
 
 /// Builds the ADS/hints for `options.method` over `g` (which must outlive

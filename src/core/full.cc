@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/client_search.h"
+#include "core/verify_workspace.h"
 #include "graph/all_pairs.h"
 #include "graph/dijkstra.h"
 
@@ -97,25 +98,36 @@ void FullAnswer::Serialize(ByteWriter* out) const {
 
 Result<FullAnswer> FullAnswer::Deserialize(ByteReader* in) {
   FullAnswer answer;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &answer));
+  return answer;
+}
+
+Status FullAnswer::DeserializeInto(ByteReader* in, FullAnswer* out) {
   uint32_t path_len = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&path_len));
   if (path_len == 0 || path_len > in->remaining() / 4) {
     return Status::Malformed("bad path length");
   }
-  answer.path.nodes.resize(path_len);
+  out->path.nodes.resize(path_len);
   for (uint32_t i = 0; i < path_len; ++i) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&answer.path.nodes[i]));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->path.nodes[i]));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&answer.distance));
-  SPAUTH_ASSIGN_OR_RETURN(answer.distance_proof,
-                          MerkleBTreeProof::Deserialize(in));
-  SPAUTH_ASSIGN_OR_RETURN(answer.path_tuples, TupleSetProof::Deserialize(in));
-  return answer;
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->distance));
+  SPAUTH_RETURN_IF_ERROR(
+      MerkleBTreeProof::DeserializeInto(in, &out->distance_proof));
+  return TupleSetProof::DeserializeInto(in, &out->path_tuples);
 }
 
 VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
                                const Certificate& cert, const Query& query,
                                const FullAnswer& answer) {
+  VerifyWorkspace ws;
+  return VerifyFullAnswer(owner_key, cert, query, answer, ws);
+}
+
+VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
+                               const Certificate& cert, const Query& query,
+                               const FullAnswer& answer, VerifyWorkspace& ws) {
   if (!VerifyCertificate(owner_key, cert) ||
       cert.params.method != MethodKind::kFull ||
       !cert.params.has_distance_tree) {
@@ -135,7 +147,7 @@ VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
     return VerifyOutcome::Reject(VerifyFailure::kWrongEntries,
                                  "distance entry is for a different pair");
   }
-  auto dist_root = ReconstructBTreeRoot(dp);
+  auto dist_root = ReconstructBTreeRoot(dp, ws.merkle, &ws.leaf_scratch);
   if (!dist_root.ok()) {
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  dist_root.status().message());
@@ -153,7 +165,9 @@ VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  "network proof shape mismatch");
   }
-  if (Status s = answer.path_tuples.VerifyAgainstRoot(cert.network_root);
+  if (Status s = answer.path_tuples.VerifyAgainstRoot(cert.network_root,
+                                                      ws.merkle,
+                                                      &ws.leaf_scratch);
       !s.ok()) {
     return VerifyOutcome::Reject(
         s.code() == StatusCode::kVerificationFailed
@@ -161,16 +175,17 @@ VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
             : VerifyFailure::kMalformedProof,
         s.message());
   }
-  auto index = answer.path_tuples.IndexById();
-  if (!index.ok()) {
-    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                 index.status().message());
+  if (Status s = answer.path_tuples.IndexInto(cert.params.num_network_leaves,
+                                              &ws.index);
+      !s.ok()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof, s.message());
   }
 
   // 3. The reported path is real and sums to the claimed distance.
-  VerifyOutcome path_check = CheckPathAgainstTuples(index.value(), query,
+  VerifyOutcome path_check = CheckPathAgainstTuples(ws.index, query,
                                                     answer.path,
-                                                    answer.distance);
+                                                    answer.distance,
+                                                    &ws.path_scratch);
   if (!path_check.accepted) {
     return path_check;
   }

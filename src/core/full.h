@@ -18,6 +18,8 @@
 
 namespace spauth {
 
+struct VerifyWorkspace;  // core/verify_workspace.h
+
 struct FullOptions {
   NodeOrdering ordering = NodeOrdering::kHilbert;
   uint32_t fanout = 2;           // network tree fanout
@@ -46,6 +48,9 @@ struct FullAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<FullAnswer> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity (the client fast
+  /// path); Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, FullAnswer* out);
   /// Exact wire size of Serialize(); used to pre-size bundle buffers.
   size_t SerializedSize() const {
     return 4 + path.nodes.size() * 4 + 8 + distance_proof.SerializedSize() +
@@ -72,6 +77,11 @@ class FullProvider {
 VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
                                const Certificate& cert, const Query& query,
                                const FullAnswer& answer);
+
+/// Fast path: all verification scratch lives in `ws` (see VerifyDijAnswer).
+VerifyOutcome VerifyFullAnswer(const RsaPublicKey& owner_key,
+                               const Certificate& cert, const Query& query,
+                               const FullAnswer& answer, VerifyWorkspace& ws);
 
 }  // namespace spauth
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/client_search.h"
+#include "core/verify_workspace.h"
 #include "graph/dijkstra.h"
 
 namespace spauth {
@@ -135,28 +136,46 @@ void HypAnswer::Serialize(ByteWriter* out) const {
 
 Result<HypAnswer> HypAnswer::Deserialize(ByteReader* in) {
   HypAnswer answer;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &answer));
+  return answer;
+}
+
+Status HypAnswer::DeserializeInto(ByteReader* in, HypAnswer* out) {
   uint32_t path_len = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&path_len));
   if (path_len == 0 || path_len > in->remaining() / 4) {
     return Status::Malformed("bad path length");
   }
-  answer.path.nodes.resize(path_len);
+  out->path.nodes.resize(path_len);
   for (uint32_t i = 0; i < path_len; ++i) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&answer.path.nodes[i]));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->path.nodes[i]));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&answer.distance));
-  SPAUTH_ASSIGN_OR_RETURN(answer.tuples, TupleSetProof::Deserialize(in));
-  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&answer.has_hyper_edges));
-  if (answer.has_hyper_edges) {
-    SPAUTH_ASSIGN_OR_RETURN(answer.hyper_edges,
-                            MerkleBTreeProof::Deserialize(in));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->distance));
+  SPAUTH_RETURN_IF_ERROR(TupleSetProof::DeserializeInto(in, &out->tuples));
+  SPAUTH_RETURN_IF_ERROR(in->ReadBool(&out->has_hyper_edges));
+  if (out->has_hyper_edges) {
+    return MerkleBTreeProof::DeserializeInto(in, &out->hyper_edges);
   }
-  return answer;
+  // A reused `out` may carry a previous message's hyper-edge proof; reset
+  // it to the fresh default so gated readers see a consistent value.
+  out->hyper_edges.entries.clear();
+  out->hyper_edges.leaf_indices.clear();
+  out->hyper_edges.tree_proof.digests.clear();
+  out->hyper_edges.tree_proof.num_leaves = 0;
+  out->hyper_edges.tree_proof.fanout = 0;
+  return Status::Ok();
 }
 
 VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const HypAnswer& answer) {
+  VerifyWorkspace ws;
+  return VerifyHypAnswer(owner_key, cert, query, answer, ws);
+}
+
+VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const HypAnswer& answer, VerifyWorkspace& ws) {
   if (!VerifyCertificate(owner_key, cert) ||
       cert.params.method != MethodKind::kHyp || !cert.params.has_cells ||
       !cert.params.has_distance_tree ||
@@ -172,30 +191,32 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  "network proof shape mismatch");
   }
-  if (Status s = answer.tuples.VerifyAgainstRoot(cert.network_root); !s.ok()) {
+  if (Status s = answer.tuples.VerifyAgainstRoot(cert.network_root, ws.merkle,
+                                                 &ws.leaf_scratch);
+      !s.ok()) {
     return VerifyOutcome::Reject(
         s.code() == StatusCode::kVerificationFailed
             ? VerifyFailure::kRootMismatch
             : VerifyFailure::kMalformedProof,
         s.message());
   }
-  auto index_result = answer.tuples.IndexById();
-  if (!index_result.ok()) {
-    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                 index_result.status().message());
+  if (Status s = answer.tuples.IndexInto(cert.params.num_network_leaves,
+                                         &ws.index);
+      !s.ok()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof, s.message());
   }
-  const TupleIndex& tuples = index_result.value();
+  const TupleLane& tuples = ws.index;
 
   // 2. Locate the query cells from the authenticated endpoint tuples.
-  auto source_it = tuples.find(query.source);
-  auto target_it = tuples.find(query.target);
-  if (source_it == tuples.end() || target_it == tuples.end() ||
-      !source_it->second->has_cell_data || !target_it->second->has_cell_data) {
+  const ExtendedTuple* source_tuple = tuples.Find(query.source);
+  const ExtendedTuple* target_tuple = tuples.Find(query.target);
+  if (source_tuple == nullptr || target_tuple == nullptr ||
+      !source_tuple->has_cell_data || !target_tuple->has_cell_data) {
     return VerifyOutcome::Reject(VerifyFailure::kIncompleteSubgraph,
                                  "query endpoint tuples missing");
   }
-  const uint32_t cell_s = source_it->second->cell;
-  const uint32_t cell_t = target_it->second->cell;
+  const uint32_t cell_s = source_tuple->cell;
+  const uint32_t cell_t = target_tuple->cell;
   if (cell_s >= cert.params.num_cells || cell_t >= cert.params.num_cells) {
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  "cell id out of certified range");
@@ -205,7 +226,10 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
   // query cell must equal the owner-certified count, and every tuple must
   // carry cell data. Border sets fall out of the authenticated flags.
   size_t count_s = 0, count_t = 0;
-  std::vector<NodeId> borders_s, borders_t;
+  std::vector<NodeId>& borders_s = ws.borders_s;
+  std::vector<NodeId>& borders_t = ws.borders_t;
+  borders_s.clear();
+  borders_t.clear();
   for (const ExtendedTuple& t : answer.tuples.tuples) {
     if (!t.has_cell_data) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
@@ -226,7 +250,7 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
   }
   if (cell_t == cell_s) {
     count_t = count_s;
-    borders_t = borders_s;
+    borders_t.assign(borders_s.begin(), borders_s.end());
   }
   if (count_s != cert.params.cell_counts[cell_s] ||
       count_t != cert.params.cell_counts[cell_t]) {
@@ -236,7 +260,8 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
   }
 
   // 4. Authenticate the hyper-edge entries and index them.
-  std::unordered_map<uint64_t, double> hyper;
+  std::unordered_map<uint64_t, double>& hyper = ws.hyper;
+  hyper.clear();
   if (answer.has_hyper_edges) {
     const MerkleBTreeProof& dp = answer.hyper_edges;
     if (dp.tree_proof.num_leaves != cert.params.num_distance_leaves ||
@@ -245,7 +270,7 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                    "hyper-edge proof shape mismatch");
     }
-    auto root = ReconstructBTreeRoot(dp);
+    auto root = ReconstructBTreeRoot(dp, ws.merkle, &ws.leaf_scratch);
     if (!root.ok()) {
       return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                    root.status().message());
@@ -273,31 +298,32 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
     }
   }
 
-  // 5. In-cell searches and the Theorem-2 combination.
-  std::unordered_map<NodeId, double> d_src =
-      InCellDijkstraOverTuples(tuples, query.source, cell_s);
-  std::unordered_map<NodeId, double> d_tgt =
-      InCellDijkstraOverTuples(tuples, query.target, cell_t);
+  // 5. In-cell searches and the Theorem-2 combination. The two distance
+  // lanes coexist (forward = source cell, backward = target cell);
+  // unreached nodes read kInfDistance, standing in for map absence.
+  SearchLane& d_src = ws.search.forward;
+  SearchLane& d_tgt = ws.search.backward;
+  InCellDijkstraOverTuples(tuples, query.source, cell_s, &d_src,
+                           &ws.search.heap, nullptr);
+  InCellDijkstraOverTuples(tuples, query.target, cell_t, &d_tgt,
+                           &ws.search.heap, nullptr);
   double best = kInfDistance;
   if (cell_s == cell_t) {
-    auto direct = d_src.find(query.target);
-    if (direct != d_src.end()) {
-      best = direct->second;
-    }
+    best = d_src.Dist(query.target);  // kInfDistance when unreached
   }
   for (NodeId bs : borders_s) {
-    auto ds = d_src.find(bs);
-    if (ds == d_src.end()) {
+    const double ds = d_src.Dist(bs);
+    if (ds == kInfDistance) {
       continue;
     }
     for (NodeId bt : borders_t) {
-      auto dt = d_tgt.find(bt);
-      if (dt == d_tgt.end()) {
+      const double dt = d_tgt.Dist(bt);
+      if (dt == kInfDistance) {
         continue;
       }
       const double w =
           bs == bt ? 0.0 : hyper.at(HyperEdgeKey(cell_s, bs, cell_t, bt));
-      best = std::min(best, ds->second + w + dt->second);
+      best = std::min(best, ds + w + dt);
     }
   }
   if (best == kInfDistance) {
@@ -311,7 +337,8 @@ VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
                                  "claimed distance must be positive");
   }
   VerifyOutcome path_check = CheckPathAgainstTuples(tuples, query, answer.path,
-                                                    answer.distance);
+                                                    answer.distance,
+                                                    &ws.path_scratch);
   if (!path_check.accepted) {
     return path_check;
   }

@@ -28,6 +28,8 @@
 
 namespace spauth {
 
+struct VerifyWorkspace;  // core/verify_workspace.h
+
 struct HypOptions {
   NodeOrdering ordering = NodeOrdering::kHilbert;
   uint32_t fanout = 2;           // network tree fanout
@@ -56,6 +58,9 @@ struct HypAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<HypAnswer> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity (the client fast
+  /// path); Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, HypAnswer* out);
   /// Exact wire size of Serialize(); used to pre-size bundle buffers.
   size_t SerializedSize() const {
     return 4 + path.nodes.size() * 4 + 8 + tuples.SerializedSize() + 1 +
@@ -82,6 +87,11 @@ class HypProvider {
 VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const HypAnswer& answer);
+
+/// Fast path: all verification scratch lives in `ws` (see VerifyDijAnswer).
+VerifyOutcome VerifyHypAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const HypAnswer& answer, VerifyWorkspace& ws);
 
 }  // namespace spauth
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/client_search.h"
+#include "core/verify_workspace.h"
 #include "graph/dijkstra.h"
 
 namespace spauth {
@@ -135,23 +136,34 @@ void LdmAnswer::Serialize(ByteWriter* out) const {
 
 Result<LdmAnswer> LdmAnswer::Deserialize(ByteReader* in) {
   LdmAnswer answer;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &answer));
+  return answer;
+}
+
+Status LdmAnswer::DeserializeInto(ByteReader* in, LdmAnswer* out) {
   uint32_t path_len = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&path_len));
   if (path_len == 0 || path_len > in->remaining() / 4) {
     return Status::Malformed("bad path length");
   }
-  answer.path.nodes.resize(path_len);
+  out->path.nodes.resize(path_len);
   for (uint32_t i = 0; i < path_len; ++i) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&answer.path.nodes[i]));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->path.nodes[i]));
   }
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&answer.distance));
-  SPAUTH_ASSIGN_OR_RETURN(answer.subgraph, TupleSetProof::Deserialize(in));
-  return answer;
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->distance));
+  return TupleSetProof::DeserializeInto(in, &out->subgraph);
 }
 
 VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const LdmAnswer& answer) {
+  VerifyWorkspace ws;
+  return VerifyLdmAnswer(owner_key, cert, query, answer, ws);
+}
+
+VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const LdmAnswer& answer, VerifyWorkspace& ws) {
   if (!VerifyCertificate(owner_key, cert) ||
       cert.params.method != MethodKind::kLdm || !cert.params.has_landmarks ||
       !(cert.params.lambda > 0)) {
@@ -164,7 +176,9 @@ VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
     return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                  "proof shape disagrees with certificate");
   }
-  if (Status s = answer.subgraph.VerifyAgainstRoot(cert.network_root);
+  if (Status s = answer.subgraph.VerifyAgainstRoot(cert.network_root,
+                                                   ws.merkle,
+                                                   &ws.leaf_scratch);
       !s.ok()) {
     return VerifyOutcome::Reject(
         s.code() == StatusCode::kVerificationFailed
@@ -172,25 +186,26 @@ VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
             : VerifyFailure::kMalformedProof,
         s.message());
   }
-  auto index = answer.subgraph.IndexById();
-  if (!index.ok()) {
-    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
-                                 index.status().message());
+  if (Status s = answer.subgraph.IndexInto(cert.params.num_network_leaves,
+                                           &ws.index);
+      !s.ok()) {
+    return VerifyOutcome::Reject(VerifyFailure::kMalformedProof, s.message());
   }
   if (!(answer.distance > 0) || !std::isfinite(answer.distance)) {
     return VerifyOutcome::Reject(VerifyFailure::kDistanceMismatch,
                                  "claimed distance must be positive");
   }
-  VerifyOutcome path_check = CheckPathAgainstTuples(index.value(), query,
+  VerifyOutcome path_check = CheckPathAgainstTuples(ws.index, query,
                                                     answer.path,
-                                                    answer.distance);
+                                                    answer.distance,
+                                                    &ws.path_scratch);
   if (!path_check.accepted) {
     return path_check;
   }
   // Re-run A* with the certified lambda over the authenticated tuples.
   SubgraphSearchOutcome search =
-      AStarOverTuples(index.value(), query.source, query.target,
-                      answer.distance, cert.params.lambda);
+      AStarOverTuples(ws.index, query.source, query.target, answer.distance,
+                      cert.params.lambda, ws.search);
   switch (search.code) {
     case SubgraphSearchOutcome::Code::kMissingTuple:
       return VerifyOutcome::Reject(

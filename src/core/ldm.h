@@ -21,6 +21,8 @@
 
 namespace spauth {
 
+struct VerifyWorkspace;  // core/verify_workspace.h
+
 struct LdmOptions {
   NodeOrdering ordering = NodeOrdering::kHilbert;
   uint32_t fanout = 2;
@@ -51,6 +53,9 @@ struct LdmAnswer {
 
   void Serialize(ByteWriter* out) const;
   static Result<LdmAnswer> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity (the client fast
+  /// path); Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, LdmAnswer* out);
   /// Exact wire size of Serialize(); used to pre-size bundle buffers.
   size_t SerializedSize() const {
     return 4 + path.nodes.size() * 4 + 8 + subgraph.SerializedSize();
@@ -80,6 +85,11 @@ class LdmProvider {
 VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
                               const Certificate& cert, const Query& query,
                               const LdmAnswer& answer);
+
+/// Fast path: all verification scratch lives in `ws` (see VerifyDijAnswer).
+VerifyOutcome VerifyLdmAnswer(const RsaPublicKey& owner_key,
+                              const Certificate& cert, const Query& query,
+                              const LdmAnswer& answer, VerifyWorkspace& ws);
 
 }  // namespace spauth
 

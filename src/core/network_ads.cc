@@ -1,7 +1,8 @@
 #include "core/network_ads.h"
 
 #include <algorithm>
-#include <map>
+
+#include "core/client_search.h"
 
 namespace spauth {
 
@@ -28,42 +29,55 @@ void TupleSetProof::Serialize(ByteWriter* out) const {
 
 Result<TupleSetProof> TupleSetProof::Deserialize(ByteReader* in) {
   TupleSetProof out;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &out));
+  return out;
+}
+
+Status TupleSetProof::DeserializeInto(ByteReader* in, TupleSetProof* out) {
   uint32_t count = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
   if (count == 0) {
     return Status::Malformed("tuple set proof must contain tuples");
   }
-  // A tuple encodes to >= 25 bytes; anything claiming more is corrupt.
+  // Upfront length-vs-remaining check: a tuple encodes to >= 25 bytes, so a
+  // hostile count can never trigger a resize larger than the bytes present.
   if (count > in->remaining() / 25) {
     return Status::Malformed("tuple count exceeds buffer");
   }
-  out.tuples.reserve(count);
-  out.leaf_indices.reserve(count);
+  out->tuples.resize(count);
+  out->leaf_indices.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
-    SPAUTH_ASSIGN_OR_RETURN(ExtendedTuple t, ExtendedTuple::Deserialize(in));
-    uint32_t leaf = 0;
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&leaf));
-    out.tuples.push_back(std::move(t));
-    out.leaf_indices.push_back(leaf);
+    SPAUTH_RETURN_IF_ERROR(
+        ExtendedTuple::DeserializeInto(in, &out->tuples[i]));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->leaf_indices[i]));
   }
-  SPAUTH_ASSIGN_OR_RETURN(out.proof, MerkleSubsetProof::Deserialize(in));
-  return out;
+  return MerkleSubsetProof::DeserializeInto(in, &out->proof);
 }
 
 Status TupleSetProof::VerifyAgainstRoot(const Digest& root) const {
+  MerkleVerifyScratch scratch;
+  ByteWriter encode_scratch;
+  return VerifyAgainstRoot(root, scratch, &encode_scratch);
+}
+
+Status TupleSetProof::VerifyAgainstRoot(const Digest& root,
+                                        MerkleVerifyScratch& scratch,
+                                        ByteWriter* encode_scratch) const {
   if (tuples.size() != leaf_indices.size() || tuples.empty()) {
     return Status::Malformed("tuple/index mismatch in proof");
   }
-  std::map<uint32_t, Digest> leaves;
-  ByteWriter scratch;  // one encoding buffer for all leaf hashes
+  std::vector<std::pair<uint32_t, Digest>>& leaves = scratch.leaves;
+  leaves.clear();
   for (size_t i = 0; i < tuples.size(); ++i) {
-    auto [it, inserted] = leaves.emplace(
-        leaf_indices[i], tuples[i].LeafDigest(proof.alg, &scratch));
-    if (!inserted) {
-      return Status::Malformed("duplicate leaf index in tuple proof");
-    }
+    leaves.push_back(
+        {leaf_indices[i], tuples[i].LeafDigest(proof.alg, encode_scratch)});
   }
-  SPAUTH_ASSIGN_OR_RETURN(Digest computed, ReconstructMerkleRoot(proof, leaves));
+  SPAUTH_RETURN_IF_ERROR(SortLeavesAndCheckUnique(
+      &leaves, "duplicate leaf index in tuple proof"));
+  // ReconstructMerkleRoot reads `scratch.leaves` through the span and uses
+  // only the frame/digest/level members of `scratch` — no aliasing hazard.
+  SPAUTH_ASSIGN_OR_RETURN(Digest computed,
+                          ReconstructMerkleRoot(proof, leaves, scratch));
   if (!(computed == root)) {
     return Status::VerificationFailed("network root mismatch");
   }
@@ -80,6 +94,21 @@ TupleSetProof::IndexById() const {
     }
   }
   return index;
+}
+
+Status TupleSetProof::IndexInto(uint32_t num_nodes, TupleLane* lane) const {
+  lane->Prepare(num_nodes);
+  for (const ExtendedTuple& t : tuples) {
+    switch (lane->Insert(&t)) {
+      case TupleLane::InsertResult::kOk:
+        break;
+      case TupleLane::InsertResult::kDuplicate:
+        return Status::Malformed("duplicate node id in tuple proof");
+      case TupleLane::InsertResult::kOutOfRange:
+        return Status::Malformed("tuple node id out of certified range");
+    }
+  }
+  return Status::Ok();
 }
 
 Result<NetworkAds> NetworkAds::Build(std::vector<ExtendedTuple> tuples,

@@ -15,6 +15,8 @@
 
 namespace spauth {
 
+class TupleLane;  // core/client_search.h
+
 /// A set of authenticated tuples together with the Merkle evidence that
 /// binds them to the network root. Serves as the subgraph proof Gamma_S of
 /// DIJ/LDM (plus its integrity digests) and as the path-tuple part of
@@ -34,13 +36,27 @@ struct TupleSetProof {
 
   void Serialize(ByteWriter* out) const;
   static Result<TupleSetProof> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its tuple/index vector capacity (the
+  /// verification fast path decodes proof after proof into one scratch).
+  static Status DeserializeInto(ByteReader* in, TupleSetProof* out);
 
   /// Recomputes the Merkle root and compares it to `root`; also validates
   /// the index/tuple pairing.
   Status VerifyAgainstRoot(const Digest& root) const;
+  /// Fast path: leaf hashing, sorting and replay run in caller-owned
+  /// scratch, so a hot verifier authenticates tuple sets without
+  /// allocating. The plain overload is a thin wrapper.
+  Status VerifyAgainstRoot(const Digest& root, MerkleVerifyScratch& scratch,
+                           ByteWriter* encode_scratch) const;
 
   /// Index the tuples by node id (rejects duplicates).
   Result<std::unordered_map<NodeId, const ExtendedTuple*>> IndexById() const;
+  /// Fast-path companion of IndexById: prepares `lane` for ids in
+  /// [0, num_nodes) and registers every tuple. Rejects duplicate ids (same
+  /// condition as IndexById) and ids outside the certified range (possible
+  /// only for proofs that have not passed VerifyAgainstRoot). The tuple
+  /// pointers stay valid while this proof is alive and unmodified.
+  Status IndexInto(uint32_t num_nodes, TupleLane* lane) const;
 };
 
 /// Owner/provider-side network Merkle tree with the node -> leaf mapping.

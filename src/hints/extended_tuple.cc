@@ -56,52 +56,63 @@ void ExtendedTuple::Serialize(ByteWriter* out) const {
 
 Result<ExtendedTuple> ExtendedTuple::Deserialize(ByteReader* in) {
   ExtendedTuple t;
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.id));
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.x));
-  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.y));
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &t));
+  return t;
+}
+
+Status ExtendedTuple::DeserializeInto(ByteReader* in, ExtendedTuple* out) {
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->id));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->x));
+  SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->y));
   uint8_t flags = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU8(&flags));
   if (flags & ~(kFlagLandmark | kFlagRepresentative | kFlagCell |
                 kFlagBorder)) {
     return Status::Malformed("unknown tuple flags");
   }
-  t.has_landmark_data = flags & kFlagLandmark;
-  t.is_representative = flags & kFlagRepresentative;
-  t.has_cell_data = flags & kFlagCell;
-  t.is_border = flags & kFlagBorder;
+  out->has_landmark_data = flags & kFlagLandmark;
+  out->is_representative = flags & kFlagRepresentative;
+  out->has_cell_data = flags & kFlagCell;
+  out->is_border = flags & kFlagBorder;
   uint32_t neighbor_count = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&neighbor_count));
   if (neighbor_count > in->remaining() / 12) {
     return Status::Malformed("implausible neighbor count");
   }
-  t.neighbors.resize(neighbor_count);
+  out->neighbors.resize(neighbor_count);
   for (uint32_t i = 0; i < neighbor_count; ++i) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.neighbors[i].id));
-    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.neighbors[i].weight));
-    if (i > 0 && t.neighbors[i].id <= t.neighbors[i - 1].id) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->neighbors[i].id));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->neighbors[i].weight));
+    if (i > 0 && out->neighbors[i].id <= out->neighbors[i - 1].id) {
       return Status::Malformed("tuple neighbors not strictly ascending");
     }
   }
-  if (t.has_landmark_data) {
-    if (t.is_representative) {
+  // Fields a reused `out` may carry from a previous decode are reset to
+  // the fresh-tuple defaults whenever this wire layout omits them.
+  out->qcodes.clear();
+  out->ref_node = kInvalidNode;
+  out->ref_error = 0;
+  out->cell = 0;
+  if (out->has_landmark_data) {
+    if (out->is_representative) {
       uint32_t code_count = 0;
       SPAUTH_RETURN_IF_ERROR(in->ReadU32(&code_count));
       if (code_count > in->remaining() / 2) {
         return Status::Malformed("implausible landmark code count");
       }
-      t.qcodes.resize(code_count);
+      out->qcodes.resize(code_count);
       for (uint32_t i = 0; i < code_count; ++i) {
-        SPAUTH_RETURN_IF_ERROR(in->ReadU16(&t.qcodes[i]));
+        SPAUTH_RETURN_IF_ERROR(in->ReadU16(&out->qcodes[i]));
       }
     } else {
-      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.ref_node));
-      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&t.ref_error));
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->ref_node));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->ref_error));
     }
   }
-  if (t.has_cell_data) {
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&t.cell));
+  if (out->has_cell_data) {
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->cell));
   }
-  return t;
+  return Status::Ok();
 }
 
 size_t ExtendedTuple::SerializedSize() const {

@@ -55,6 +55,11 @@ struct ExtendedTuple {
   /// Canonical wire encoding (hashed, signed and shipped to clients).
   void Serialize(ByteWriter* out) const;
   static Result<ExtendedTuple> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity and resetting fields
+  /// the wire layout omits, so a reused tuple equals a freshly decoded one.
+  /// The verification fast path decodes thousands of tuples into one
+  /// pooled answer; Deserialize is a thin wrapper.
+  static Status DeserializeInto(ByteReader* in, ExtendedTuple* out);
   size_t SerializedSize() const;
 
   /// Leaf digest for the network Merkle tree.

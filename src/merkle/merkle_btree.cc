@@ -1,7 +1,6 @@
 #include "merkle/merkle_btree.h"
 
 #include <algorithm>
-#include <map>
 
 namespace spauth {
 
@@ -25,8 +24,14 @@ Result<DistanceEntry> DeserializeDistanceEntry(ByteReader* in) {
 
 Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry) {
   ByteWriter payload;
-  SerializeDistanceEntry(entry, &payload);
-  return HashLeafPayload(alg, payload.view());
+  return HashDistanceEntry(alg, entry, &payload);
+}
+
+Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry,
+                         ByteWriter* scratch) {
+  scratch->Clear();
+  SerializeDistanceEntry(entry, scratch);
+  return HashLeafPayload(alg, scratch->view());
 }
 
 size_t MerkleBTreeProof::SerializedSize() const {
@@ -44,22 +49,27 @@ void MerkleBTreeProof::Serialize(ByteWriter* out) const {
 
 Result<MerkleBTreeProof> MerkleBTreeProof::Deserialize(ByteReader* in) {
   MerkleBTreeProof proof;
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &proof));
+  return proof;
+}
+
+Status MerkleBTreeProof::DeserializeInto(ByteReader* in,
+                                         MerkleBTreeProof* out) {
   uint32_t count = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  // Upfront length-vs-remaining check: a hostile count can never trigger a
+  // resize larger than the bytes actually present.
   if (count > in->remaining() / 20) {  // 8B key + 8B value + 4B index
     return Status::Malformed("entry count exceeds buffer");
   }
-  proof.entries.reserve(count);
-  proof.leaf_indices.reserve(count);
+  out->entries.resize(count);
+  out->leaf_indices.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
-    SPAUTH_ASSIGN_OR_RETURN(DistanceEntry entry, DeserializeDistanceEntry(in));
-    uint32_t index = 0;
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&index));
-    proof.entries.push_back(entry);
-    proof.leaf_indices.push_back(index);
+    SPAUTH_RETURN_IF_ERROR(in->ReadU64(&out->entries[i].key));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&out->entries[i].value));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->leaf_indices[i]));
   }
-  SPAUTH_ASSIGN_OR_RETURN(proof.tree_proof, MerkleSubsetProof::Deserialize(in));
-  return proof;
+  return MerkleSubsetProof::DeserializeInto(in, &out->tree_proof);
 }
 
 Result<MerkleBTree> MerkleBTree::Build(std::vector<DistanceEntry> entries,
@@ -127,19 +137,29 @@ Result<MerkleBTreeProof> MerkleBTree::Lookup(
 }
 
 Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof) {
+  MerkleVerifyScratch scratch;
+  ByteWriter encode_scratch;
+  return ReconstructBTreeRoot(proof, scratch, &encode_scratch);
+}
+
+Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof,
+                                    MerkleVerifyScratch& scratch,
+                                    ByteWriter* encode_scratch) {
   if (proof.entries.size() != proof.leaf_indices.size()) {
     return Status::Malformed("entry/index count mismatch");
   }
-  std::map<uint32_t, Digest> leaves;
+  std::vector<std::pair<uint32_t, Digest>>& leaves = scratch.leaves;
+  leaves.clear();
   for (size_t i = 0; i < proof.entries.size(); ++i) {
-    auto [it, inserted] = leaves.emplace(
-        proof.leaf_indices[i],
-        HashDistanceEntry(proof.tree_proof.alg, proof.entries[i]));
-    if (!inserted) {
-      return Status::Malformed("duplicate leaf index in btree proof");
-    }
+    leaves.push_back({proof.leaf_indices[i],
+                      HashDistanceEntry(proof.tree_proof.alg,
+                                        proof.entries[i], encode_scratch)});
   }
-  return ReconstructMerkleRoot(proof.tree_proof, leaves);
+  SPAUTH_RETURN_IF_ERROR(SortLeavesAndCheckUnique(
+      &leaves, "duplicate leaf index in btree proof"));
+  // ReconstructMerkleRoot reads `scratch.leaves` through the span and uses
+  // only the frame/digest/level members of `scratch` — no aliasing hazard.
+  return ReconstructMerkleRoot(proof.tree_proof, leaves, scratch);
 }
 
 }  // namespace spauth

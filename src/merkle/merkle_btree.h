@@ -38,6 +38,10 @@ struct DistanceEntry {
 void SerializeDistanceEntry(const DistanceEntry& entry, ByteWriter* out);
 Result<DistanceEntry> DeserializeDistanceEntry(ByteReader* in);
 Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry);
+/// Same, encoding through `scratch` (cleared first) so bulk hashing reuses
+/// one buffer instead of allocating per entry.
+Digest HashDistanceEntry(HashAlgorithm alg, const DistanceEntry& entry,
+                         ByteWriter* scratch);
 
 /// Proof returned by MerkleBTree::Lookup: the entries themselves, their leaf
 /// positions, and the sibling digests up to the root.
@@ -49,6 +53,9 @@ struct MerkleBTreeProof {
   size_t SerializedSize() const;
   void Serialize(ByteWriter* out) const;
   static Result<MerkleBTreeProof> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its vector capacity (the verification
+  /// fast path decodes proof after proof into one scratch).
+  static Status DeserializeInto(ByteReader* in, MerkleBTreeProof* out);
 };
 
 class MerkleBTree {
@@ -86,6 +93,13 @@ class MerkleBTree {
 /// (a) compares against the certified root and (b) checks the entry keys are
 /// exactly the ones it expects.
 Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof);
+
+/// Fast path: the leaf list, replay stacks and entry encoding all run in
+/// caller-owned scratch, so a hot verifier reconstructs roots without
+/// allocating. The plain overload is a thin wrapper.
+Result<Digest> ReconstructBTreeRoot(const MerkleBTreeProof& proof,
+                                    MerkleVerifyScratch& scratch,
+                                    ByteWriter* encode_scratch);
 
 }  // namespace spauth
 

@@ -1,7 +1,7 @@
 #include "merkle/merkle_tree.h"
 
 #include <algorithm>
-#include <functional>
+#include <cstring>
 
 namespace spauth {
 
@@ -24,12 +24,13 @@ uint64_t LeavesPerNode(uint32_t fanout, size_t level) {
 }
 
 // Shared shape iteration: number of nodes per level for a leaf count.
-std::vector<size_t> LevelSizes(size_t num_leaves, uint32_t fanout) {
-  std::vector<size_t> sizes = {num_leaves};
-  while (sizes.back() > 1) {
-    sizes.push_back((sizes.back() + fanout - 1) / fanout);
+// Writes into `sizes` (cleared first) so scratch capacity is reused.
+void LevelSizes(size_t num_leaves, uint32_t fanout, std::vector<size_t>* sizes) {
+  sizes->clear();
+  sizes->push_back(num_leaves);
+  while (sizes->back() > 1) {
+    sizes->push_back((sizes->back() + fanout - 1) / fanout);
   }
-  return sizes;
 }
 
 }  // namespace
@@ -67,27 +68,42 @@ void MerkleSubsetProof::Serialize(ByteWriter* out) const {
 
 Result<MerkleSubsetProof> MerkleSubsetProof::Deserialize(ByteReader* in) {
   MerkleSubsetProof proof;
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&proof.num_leaves));
-  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&proof.fanout));
+  SPAUTH_RETURN_IF_ERROR(DeserializeInto(in, &proof));
+  return proof;
+}
+
+Status MerkleSubsetProof::DeserializeInto(ByteReader* in,
+                                          MerkleSubsetProof* out) {
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->num_leaves));
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->fanout));
   uint8_t alg_byte = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU8(&alg_byte));
-  SPAUTH_ASSIGN_OR_RETURN(proof.alg, ParseHashAlgorithm(alg_byte));
-  if (proof.fanout < 2) {
+  SPAUTH_ASSIGN_OR_RETURN(out->alg, ParseHashAlgorithm(alg_byte));
+  if (out->num_leaves == 0) {
+    return Status::Malformed("merkle proof covers no leaves");
+  }
+  if (out->fanout < 2) {
     return Status::Malformed("merkle proof fanout must be >= 2");
   }
   uint32_t count = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
-  const size_t digest_size = DigestSize(proof.alg);
+  // Upfront length-vs-remaining check: a hostile count can never trigger a
+  // resize larger than the bytes actually present.
+  const size_t digest_size = DigestSize(out->alg);
   if (count > in->remaining() / digest_size) {
     return Status::Malformed("digest count exceeds buffer");
   }
-  proof.digests.resize(count);
+  out->digests.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
-    std::vector<uint8_t> bytes;
-    SPAUTH_RETURN_IF_ERROR(in->ReadBytes(digest_size, &bytes));
-    proof.digests[i] = Digest::FromBytes(bytes);
+    // Read straight into the digest storage; a reused Digest may carry a
+    // stale tail (equality compares the full fixed array), so zero it.
+    Digest& d = out->digests[i];
+    SPAUTH_RETURN_IF_ERROR(in->ReadBytesInto(d.mutable_data(), digest_size));
+    std::memset(d.mutable_data() + digest_size, 0,
+                Digest::kMaxSize - digest_size);
+    d.set_size(digest_size);
   }
-  return proof;
+  return Status::Ok();
 }
 
 Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_digests,
@@ -124,6 +140,15 @@ size_t MerkleTree::total_digests() const {
 
 Result<MerkleSubsetProof> MerkleTree::GenerateProof(
     std::span<const uint32_t> leaf_indices) const {
+  MerkleVerifyScratch scratch;
+  MerkleSubsetProof proof;
+  SPAUTH_RETURN_IF_ERROR(GenerateProofInto(leaf_indices, scratch, &proof));
+  return proof;
+}
+
+Status MerkleTree::GenerateProofInto(std::span<const uint32_t> leaf_indices,
+                                     MerkleVerifyScratch& scratch,
+                                     MerkleSubsetProof* out_proof) const {
   for (size_t i = 0; i < leaf_indices.size(); ++i) {
     if (leaf_indices[i] >= num_leaves()) {
       return Status::InvalidArgument("leaf index out of range");
@@ -136,10 +161,10 @@ Result<MerkleSubsetProof> MerkleTree::GenerateProof(
     return Status::InvalidArgument("subset proof needs at least one leaf");
   }
 
-  MerkleSubsetProof proof;
-  proof.num_leaves = static_cast<uint32_t>(num_leaves());
-  proof.fanout = fanout_;
-  proof.alg = alg_;
+  out_proof->num_leaves = static_cast<uint32_t>(num_leaves());
+  out_proof->fanout = fanout_;
+  out_proof->alg = alg_;
+  out_proof->digests.clear();
 
   // Root-down DFS. A subtree emits its own digest iff it contains no target
   // leaf; otherwise it recurses (at leaf level the target itself is omitted
@@ -149,16 +174,14 @@ Result<MerkleSubsetProof> MerkleTree::GenerateProof(
     auto it = std::lower_bound(leaf_indices.begin(), leaf_indices.end(), lo);
     return it != leaf_indices.end() && *it < hi;
   };
-  // Explicit stack of (level, index).
-  struct Frame {
-    size_t level;
-    size_t index;
-  };
-  std::vector<Frame> stack = {{top, 0}};
+  // Explicit stack of (level, index), reused across calls via `scratch`.
+  std::vector<MerkleVerifyScratch::Frame>& stack = scratch.frames;
+  stack.clear();
+  stack.push_back({static_cast<uint32_t>(top), 0, 0});
   // DFS with children pushed in reverse so traversal is left-to-right.
-  std::vector<Digest>& out = proof.digests;
+  std::vector<Digest>& out = out_proof->digests;
   while (!stack.empty()) {
-    Frame f = stack.back();
+    const MerkleVerifyScratch::Frame f = stack.back();
     stack.pop_back();
     const uint64_t span = LeavesPerNode(fanout_, f.level);
     const uint64_t lo = f.index * span;
@@ -171,13 +194,13 @@ Result<MerkleSubsetProof> MerkleTree::GenerateProof(
       continue;  // target leaf, supplied by the verifier
     }
     const size_t child_count = levels_[f.level - 1].size();
-    const size_t first = f.index * fanout_;
+    const size_t first = static_cast<size_t>(f.index) * fanout_;
     const size_t last = std::min(child_count, first + fanout_);
     for (size_t c = last; c-- > first;) {
-      stack.push_back({f.level - 1, c});
+      stack.push_back({f.level - 1, static_cast<uint32_t>(c), 0});
     }
   }
-  return proof;
+  return Status::Ok();
 }
 
 Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest) {
@@ -200,64 +223,120 @@ Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest) {
   return Status::Ok();
 }
 
+Status SortLeavesAndCheckUnique(
+    std::vector<std::pair<uint32_t, Digest>>* leaves,
+    std::string_view duplicate_message) {
+  std::sort(leaves->begin(), leaves->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < leaves->size(); ++i) {
+    if ((*leaves)[i].first == (*leaves)[i - 1].first) {
+      return Status::Malformed(std::string(duplicate_message));
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Digest> ReconstructMerkleRoot(
     const MerkleSubsetProof& proof,
     const std::map<uint32_t, Digest>& target_leaves) {
+  MerkleVerifyScratch scratch;
+  scratch.leaves.reserve(target_leaves.size());
+  for (const auto& [index, digest] : target_leaves) {
+    scratch.leaves.push_back({index, digest});  // map order: already sorted
+  }
+  return ReconstructMerkleRoot(proof, scratch.leaves, scratch);
+}
+
+Result<Digest> ReconstructMerkleRoot(
+    const MerkleSubsetProof& proof,
+    std::span<const std::pair<uint32_t, Digest>> target_leaves,
+    MerkleVerifyScratch& scratch) {
   if (proof.num_leaves == 0) {
     return Status::Malformed("empty merkle proof");
   }
   if (target_leaves.empty()) {
     return Status::Malformed("no target leaves supplied");
   }
-  for (const auto& [index, digest] : target_leaves) {
-    if (index >= proof.num_leaves) {
+  for (size_t i = 0; i < target_leaves.size(); ++i) {
+    if (target_leaves[i].first >= proof.num_leaves) {
       return Status::Malformed("target leaf index out of range");
     }
-    if (digest.size() != DigestSize(proof.alg)) {
+    if (target_leaves[i].second.size() != DigestSize(proof.alg)) {
       return Status::Malformed("target leaf digest has wrong size");
+    }
+    if (i > 0 && target_leaves[i].first <= target_leaves[i - 1].first) {
+      return Status::Malformed("target leaves not strictly ascending");
     }
   }
 
-  const std::vector<size_t> sizes = LevelSizes(proof.num_leaves, proof.fanout);
+  LevelSizes(proof.num_leaves, proof.fanout, &scratch.level_sizes);
+  const std::vector<size_t>& sizes = scratch.level_sizes;
   size_t cursor = 0;
 
   auto has_target = [&](uint64_t lo, uint64_t hi) {
-    auto it = target_leaves.lower_bound(static_cast<uint32_t>(lo));
+    auto it = std::lower_bound(
+        target_leaves.begin(), target_leaves.end(), lo,
+        [](const std::pair<uint32_t, Digest>& leaf, uint64_t value) {
+          return leaf.first < value;
+        });
     return it != target_leaves.end() && it->first < hi;
   };
 
-  // Recursive replay of the prover's DFS.
-  std::function<Result<Digest>(size_t, size_t)> reconstruct =
-      [&](size_t level, size_t index) -> Result<Digest> {
-    const uint64_t span = LeavesPerNode(proof.fanout, level);
-    const uint64_t lo = index * span;
+  // Iterative replay of the prover's root-down, left-to-right DFS: a visit
+  // frame either emits a digest (proof stream or target leaf) onto the value
+  // stack or pushes a combine frame plus its children (reversed, so the
+  // leftmost child runs first); a combine frame hashes the top
+  // `pending_children` digests — which are exactly its children, in order —
+  // into one internal-node digest.
+  std::vector<MerkleVerifyScratch::Frame>& frames = scratch.frames;
+  std::vector<Digest>& value_stack = scratch.digest_stack;
+  frames.clear();
+  value_stack.clear();
+  frames.push_back({static_cast<uint32_t>(sizes.size() - 1), 0, 0});
+  while (!frames.empty()) {
+    const MerkleVerifyScratch::Frame f = frames.back();
+    frames.pop_back();
+    if (f.pending_children > 0) {
+      const size_t first = value_stack.size() - f.pending_children;
+      const Digest parent = HashInternalNode(
+          proof.alg, std::span<const Digest>(value_stack.data() + first,
+                                            f.pending_children));
+      value_stack.resize(first);
+      value_stack.push_back(parent);
+      continue;
+    }
+    const uint64_t span = LeavesPerNode(proof.fanout, f.level);
+    const uint64_t lo = f.index * span;
     const uint64_t hi = std::min<uint64_t>(lo + span, proof.num_leaves);
     if (!has_target(lo, hi)) {
       if (cursor >= proof.digests.size()) {
         return Status::Malformed("merkle proof digest stream underflow");
       }
-      return proof.digests[cursor++];
+      value_stack.push_back(proof.digests[cursor++]);
+      continue;
     }
-    if (level == 0) {
-      return target_leaves.at(static_cast<uint32_t>(lo));
+    if (f.level == 0) {
+      auto it = std::lower_bound(
+          target_leaves.begin(), target_leaves.end(), lo,
+          [](const std::pair<uint32_t, Digest>& leaf, uint64_t value) {
+            return leaf.first < value;
+          });
+      value_stack.push_back(it->second);
+      continue;
     }
-    const size_t child_count = sizes[level - 1];
-    const size_t first = index * proof.fanout;
+    const size_t child_count = sizes[f.level - 1];
+    const size_t first = static_cast<size_t>(f.index) * proof.fanout;
     const size_t last = std::min(child_count, first + proof.fanout);
-    std::vector<Digest> children;
-    children.reserve(last - first);
-    for (size_t c = first; c < last; ++c) {
-      SPAUTH_ASSIGN_OR_RETURN(Digest child, reconstruct(level - 1, c));
-      children.push_back(child);
+    frames.push_back({f.level, f.index,
+                      static_cast<uint32_t>(last - first)});
+    for (size_t c = last; c-- > first;) {
+      frames.push_back({f.level - 1, static_cast<uint32_t>(c), 0});
     }
-    return HashInternalNode(proof.alg, children);
-  };
-
-  SPAUTH_ASSIGN_OR_RETURN(Digest root, reconstruct(sizes.size() - 1, 0));
+  }
   if (cursor != proof.digests.size()) {
     return Status::Malformed("merkle proof has unused digests");
   }
-  return root;
+  return value_stack.front();
 }
 
 }  // namespace spauth

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "crypto/digest.h"
@@ -45,6 +46,26 @@ struct MerkleSubsetProof {
   size_t SerializedSize() const;
   void Serialize(ByteWriter* out) const;
   static Result<MerkleSubsetProof> Deserialize(ByteReader* in);
+  /// Decodes into `out`, reusing its digest vector's capacity (the hot
+  /// client verify path decodes thousands of proofs into one scratch).
+  static Status DeserializeInto(ByteReader* in, MerkleSubsetProof* out);
+};
+
+/// Reusable scratch for subset-proof replay (and generation): the explicit
+/// DFS frame stack, the digest value stack, the per-level node counts and a
+/// sorted (leaf index, digest) buffer for callers assembling target leaves.
+/// Everything keeps its capacity across calls, so a hot verifier replays
+/// proofs without allocating. Single-threaded; one per verify workspace.
+struct MerkleVerifyScratch {
+  struct Frame {
+    uint32_t level;
+    uint32_t index;
+    uint32_t pending_children;  // 0: visit phase; >0: combine phase
+  };
+  std::vector<Frame> frames;
+  std::vector<Digest> digest_stack;
+  std::vector<size_t> level_sizes;
+  std::vector<std::pair<uint32_t, Digest>> leaves;  // callers' target buffer
 };
 
 class MerkleTree {
@@ -66,6 +87,13 @@ class MerkleTree {
   /// Proof for the given sorted, duplicate-free leaf indices.
   Result<MerkleSubsetProof> GenerateProof(
       std::span<const uint32_t> leaf_indices) const;
+
+  /// Fast path: same proof, but the DFS frame stack lives in `scratch` and
+  /// `out_proof`'s digest vector keeps its capacity, so a hot prover
+  /// generates proofs without allocating. GenerateProof is a thin wrapper.
+  Status GenerateProofInto(std::span<const uint32_t> leaf_indices,
+                           MerkleVerifyScratch& scratch,
+                           MerkleSubsetProof* out_proof) const;
 
   /// Replaces one leaf digest and recomputes the O(f log_f n) path of
   /// internal digests up to the root. This is what makes owner-side
@@ -89,6 +117,23 @@ class MerkleTree {
 Result<Digest> ReconstructMerkleRoot(
     const MerkleSubsetProof& proof,
     const std::map<uint32_t, Digest>& target_leaves);
+
+/// Fast-path replay: `target_leaves` must be sorted by leaf index and
+/// duplicate-free; the explicit-stack traversal runs entirely inside
+/// `scratch`, so a hot verifier replays proofs with zero steady-state
+/// allocations. The map overload above is a thin wrapper over this one.
+Result<Digest> ReconstructMerkleRoot(
+    const MerkleSubsetProof& proof,
+    std::span<const std::pair<uint32_t, Digest>> target_leaves,
+    MerkleVerifyScratch& scratch);
+
+/// Sorts a caller-assembled (leaf index, digest) buffer into the order
+/// ReconstructMerkleRoot requires and rejects duplicate indices with a
+/// Malformed status carrying `duplicate_message` (proof-type-specific so
+/// callers keep their established error text).
+Status SortLeavesAndCheckUnique(
+    std::vector<std::pair<uint32_t, Digest>>* leaves,
+    std::string_view duplicate_message);
 
 }  // namespace spauth
 

@@ -1,0 +1,166 @@
+// The verification fast path: one VerifyWorkspace reused across a message
+// stream must produce byte-for-byte the same results as the throwaway-
+// workspace wrappers — on honest answers, on every tamper kind, and on
+// arbitrarily truncated wire bytes (which must never crash).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/client.h"
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "core/verify_workspace.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+class VerifyFastPathTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(VerifyFastPathTest, ReusedWorkspaceMatchesFreshOnHonestAnswers) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  VerifyWorkspace ws;
+  WireVerification reused;
+  for (const Query& q : ctx.queries) {
+    auto bundle = engine->Answer(q);
+    ASSERT_TRUE(bundle.ok());
+    WireVerification fresh =
+        VerifyWireAnswer(ctx.keys.public_key(), q, bundle.value().bytes);
+    VerifyWireAnswer(ctx.keys.public_key(), q, bundle.value().bytes, ws,
+                     &reused);
+    EXPECT_TRUE(reused.outcome.accepted) << reused.outcome.ToString();
+    EXPECT_EQ(reused.outcome.accepted, fresh.outcome.accepted);
+    EXPECT_EQ(reused.outcome.failure, fresh.outcome.failure);
+    EXPECT_EQ(reused.method, fresh.method);
+    EXPECT_EQ(reused.path, fresh.path);
+    EXPECT_EQ(reused.distance, fresh.distance);
+  }
+}
+
+TEST_P(VerifyFastPathTest, ReusedWorkspaceMatchesFreshOnTamperedAnswers) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  VerifyWorkspace ws;
+  for (TamperKind tamper : kAllTamperKinds) {
+    for (const Query& q : ctx.queries) {
+      auto forged = engine->TamperedAnswer(q, tamper);
+      if (!forged.ok()) {
+        continue;  // attack inapplicable or no opportunity on this query
+      }
+      VerifyOutcome fresh = engine->Verify(q, forged.value());
+      VerifyOutcome reused = engine->Verify(q, forged.value(), ws);
+      EXPECT_EQ(reused.accepted, fresh.accepted)
+          << ToString(tamper) << ": " << reused.ToString() << " vs "
+          << fresh.ToString();
+      EXPECT_EQ(reused.failure, fresh.failure) << ToString(tamper);
+      EXPECT_FALSE(reused.accepted) << ToString(tamper);
+    }
+  }
+}
+
+TEST(VerifyFastPathSharedTest, InterleavedMethodsShareOneWorkspace) {
+  // A client workspace is method-agnostic: stale state from one method's
+  // decode must never leak into the next method's verification.
+  const auto& ctx = CoreTestContext::Get();
+  std::vector<std::unique_ptr<MethodEngine>> engines;
+  for (MethodKind method : kAllMethods) {
+    engines.push_back(ctx.MakeMethodEngine(method));
+  }
+  VerifyWorkspace ws;
+  WireVerification result;
+  for (const Query& q : ctx.queries) {
+    for (const auto& engine : engines) {
+      auto bundle = engine->Answer(q);
+      ASSERT_TRUE(bundle.ok());
+      VerifyWireAnswer(ctx.keys.public_key(), q, bundle.value().bytes, ws,
+                       &result);
+      EXPECT_TRUE(result.outcome.accepted)
+          << engine->name() << ": " << result.outcome.ToString();
+      EXPECT_EQ(result.method, engine->kind());
+    }
+  }
+}
+
+// Satellite: every prefix of a valid wire message must yield an outcome-
+// level rejection — never a crash, an acceptance, or an unbounded
+// allocation (the decoders check claimed counts against remaining bytes
+// up front). The workspace is reused across all prefixes to stress scratch
+// reuse under malformed input.
+TEST_P(VerifyFastPathTest, EveryTruncationPrefixRejected) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());
+  const Query q = ctx.queries[0];
+  auto bundle = engine->Answer(q);
+  ASSERT_TRUE(bundle.ok());
+  const std::vector<uint8_t>& bytes = bundle.value().bytes;
+  VerifyWorkspace ws;
+  WireVerification result;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    VerifyWireAnswer(ctx.keys.public_key(), q,
+                     std::span<const uint8_t>(bytes.data(), len), ws,
+                     &result);
+    ASSERT_FALSE(result.outcome.accepted) << "prefix length " << len;
+  }
+  // The full message still verifies through the same (well-exercised)
+  // workspace.
+  VerifyWireAnswer(ctx.keys.public_key(), q, bytes, ws, &result);
+  EXPECT_TRUE(result.outcome.accepted) << result.outcome.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, VerifyFastPathTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(ClientBatchTest, VerifyBatchMatchesSerialAcrossMethods) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  std::vector<Query> queries;
+  std::vector<std::vector<uint8_t>> storage;
+  for (MethodKind method : kAllMethods) {
+    auto engine = ctx.MakeMethodEngine(method);
+    for (size_t i = 0; i < 3; ++i) {
+      auto bundle = engine->Answer(ctx.queries[i]);
+      ASSERT_TRUE(bundle.ok());
+      queries.push_back(ctx.queries[i]);
+      storage.push_back(std::move(bundle.value().bytes));
+    }
+  }
+  std::vector<std::span<const uint8_t>> wires(storage.begin(),
+                                              storage.end());
+  // Corrupt one message: the batch must reject exactly that slot.
+  storage[5][storage[5].size() / 2] ^= 0x20;
+
+  for (size_t num_threads : {size_t{1}, size_t{3}}) {
+    auto results = client.VerifyBatch(queries, wires, num_threads);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      WireVerification serial = client.Verify(queries[i], wires[i]);
+      EXPECT_EQ(results[i].outcome.accepted, serial.outcome.accepted) << i;
+      EXPECT_EQ(results[i].outcome.failure, serial.outcome.failure) << i;
+      EXPECT_EQ(results[i].path, serial.path) << i;
+      EXPECT_EQ(results[i].distance, serial.distance) << i;
+      EXPECT_EQ(results[i].outcome.accepted, i != 5) << i;
+    }
+  }
+}
+
+TEST(ClientBatchTest, CountMismatchYieldsRejections) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  std::vector<Query> queries = {ctx.queries[0], ctx.queries[1]};
+  std::vector<std::span<const uint8_t>> wires;  // empty: mismatched
+  auto results = client.VerifyBatch(queries, wires);
+  ASSERT_EQ(results.size(), 2u);
+  for (const WireVerification& r : results) {
+    EXPECT_FALSE(r.outcome.accepted);
+    EXPECT_EQ(r.outcome.failure, VerifyFailure::kMalformedProof);
+  }
+}
+
+}  // namespace
+}  // namespace spauth

@@ -316,6 +316,122 @@ TEST(MerkleTreeTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(MerkleSubsetProof::Deserialize(&r3).ok());
 }
 
+TEST(MerkleTreeTest, SharedScratchReplayMatchesMapOverload) {
+  // One MerkleVerifyScratch reused across trees of different sizes, fanouts
+  // and subset shapes must reproduce the map overload's roots exactly (the
+  // hot verifier replays many unrelated proofs through one scratch).
+  MerkleVerifyScratch scratch;
+  Rng rng(20100307);
+  for (uint32_t fanout : {2u, 3u, 8u}) {
+    for (size_t num_leaves : {1u, 7u, 64u, 97u}) {
+      auto leaves = MakeLeaves(num_leaves, HashAlgorithm::kSha1);
+      auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+      ASSERT_TRUE(tree.ok());
+      for (int trial = 0; trial < 10; ++trial) {
+        const size_t subset_size = 1 + rng.NextBounded(num_leaves);
+        std::set<uint32_t> subset;
+        while (subset.size() < subset_size) {
+          subset.insert(static_cast<uint32_t>(rng.NextBounded(num_leaves)));
+        }
+        std::vector<uint32_t> indices(subset.begin(), subset.end());
+        auto proof = tree.value().GenerateProof(indices);
+        ASSERT_TRUE(proof.ok());
+        std::vector<std::pair<uint32_t, Digest>> targets;
+        for (uint32_t i : indices) {
+          targets.push_back({i, leaves[i]});
+        }
+        auto fast = ReconstructMerkleRoot(proof.value(), targets, scratch);
+        ASSERT_TRUE(fast.ok());
+        EXPECT_EQ(fast.value(), tree.value().root());
+        auto slow = ReconstructMerkleRoot(proof.value(),
+                                          SelectLeaves(leaves, indices));
+        ASSERT_TRUE(slow.ok());
+        EXPECT_EQ(fast.value(), slow.value());
+      }
+    }
+  }
+}
+
+TEST(MerkleTreeTest, ScratchReplayRejectsUnsortedTargets) {
+  auto leaves = MakeLeaves(8, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> indices = {1, 5};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  MerkleVerifyScratch scratch;
+  std::vector<std::pair<uint32_t, Digest>> unsorted = {{5, leaves[5]},
+                                                       {1, leaves[1]}};
+  EXPECT_FALSE(ReconstructMerkleRoot(proof.value(), unsorted, scratch).ok());
+  std::vector<std::pair<uint32_t, Digest>> duplicated = {{1, leaves[1]},
+                                                         {1, leaves[1]}};
+  EXPECT_FALSE(
+      ReconstructMerkleRoot(proof.value(), duplicated, scratch).ok());
+}
+
+TEST(MerkleTreeTest, GenerateProofIntoReusesScratchAndMatches) {
+  auto leaves = MakeLeaves(50, HashAlgorithm::kSha1);
+  auto tree = MerkleTree::Build(leaves, 3, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  MerkleVerifyScratch scratch;
+  MerkleSubsetProof reused;
+  for (const std::vector<uint32_t>& indices :
+       {std::vector<uint32_t>{0}, std::vector<uint32_t>{4, 17, 42},
+        std::vector<uint32_t>{1, 2, 3, 30}}) {
+    ASSERT_TRUE(
+        tree.value().GenerateProofInto(indices, scratch, &reused).ok());
+    auto fresh = tree.value().GenerateProof(indices);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(reused.num_leaves, fresh.value().num_leaves);
+    EXPECT_EQ(reused.fanout, fresh.value().fanout);
+    ASSERT_EQ(reused.digests.size(), fresh.value().digests.size());
+    for (size_t i = 0; i < reused.digests.size(); ++i) {
+      EXPECT_EQ(reused.digests[i], fresh.value().digests[i]);
+    }
+  }
+}
+
+TEST(MerkleTreeTest, DeserializeIntoReusedProofEqualsFresh) {
+  // A proof decoded into scratch that previously held a bigger proof (with
+  // a different algorithm) must equal the freshly decoded value — stale
+  // digest bytes beyond the new digest size must not leak into equality.
+  auto big_leaves = MakeLeaves(64, HashAlgorithm::kSha256);
+  auto big_tree = MerkleTree::Build(big_leaves, 2, HashAlgorithm::kSha256);
+  ASSERT_TRUE(big_tree.ok());
+  std::vector<uint32_t> big_indices = {0, 9, 33};
+  auto big_proof = big_tree.value().GenerateProof(big_indices);
+  ASSERT_TRUE(big_proof.ok());
+
+  auto small_leaves = MakeLeaves(16, HashAlgorithm::kSha1);
+  auto small_tree = MerkleTree::Build(small_leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(small_tree.ok());
+  std::vector<uint32_t> small_indices = {3};
+  auto small_proof = small_tree.value().GenerateProof(small_indices);
+  ASSERT_TRUE(small_proof.ok());
+
+  ByteWriter big_wire, small_wire;
+  big_proof.value().Serialize(&big_wire);
+  small_proof.value().Serialize(&small_wire);
+
+  MerkleSubsetProof scratch_proof;
+  ByteReader r1(big_wire.view());
+  ASSERT_TRUE(MerkleSubsetProof::DeserializeInto(&r1, &scratch_proof).ok());
+  ByteReader r2(small_wire.view());
+  ASSERT_TRUE(MerkleSubsetProof::DeserializeInto(&r2, &scratch_proof).ok());
+
+  ByteReader r3(small_wire.view());
+  auto fresh = MerkleSubsetProof::Deserialize(&r3);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(scratch_proof.digests.size(), fresh.value().digests.size());
+  for (size_t i = 0; i < scratch_proof.digests.size(); ++i) {
+    EXPECT_EQ(scratch_proof.digests[i], fresh.value().digests[i]);
+  }
+  auto root = ReconstructMerkleRoot(
+      scratch_proof, SelectLeaves(small_leaves, small_indices));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), small_tree.value().root());
+}
+
 TEST(MerkleTreeTest, LeafAndInternalDomainsAreSeparated) {
   // H(0x00 || x) != H(0x01 || x): a leaf cannot be confused with an internal
   // node over the same bytes.

@@ -1,0 +1,114 @@
+// Generic behavior of the sharded LRU underneath the serving proof cache.
+#include "util/proof_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spauth {
+namespace {
+
+std::shared_ptr<const std::string> Val(std::string s) {
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+ProofCache<std::string>::Options SingleShard(size_t capacity) {
+  ProofCache<std::string>::Options options;
+  options.capacity = capacity;
+  options.shards = 1;
+  return options;
+}
+
+TEST(ProofCacheTest, LookupMissThenHit) {
+  ProofCache<std::string> cache(SingleShard(4));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  cache.Insert(1, Val("one"), 3);
+  auto hit = cache.Lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+  const ProofCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hit_bytes, 3u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ProofCacheTest, EvictsLeastRecentlyUsed) {
+  ProofCache<std::string> cache(SingleShard(2));
+  cache.Insert(1, Val("one"), 1);
+  cache.Insert(2, Val("two"), 1);
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 1 is now most recent
+  cache.Insert(3, Val("three"), 1);     // evicts 2
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
+TEST(ProofCacheTest, ReplaceExistingKeyKeepsOneEntry) {
+  ProofCache<std::string> cache(SingleShard(4));
+  cache.Insert(7, Val("old"), 3);
+  cache.Insert(7, Val("new"), 5);
+  auto hit = cache.Lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+  EXPECT_EQ(cache.GetStats().hit_bytes, 5u);
+}
+
+TEST(ProofCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ProofCache<std::string> cache(SingleShard(4));
+  cache.Insert(1, Val("one"), 1);
+  ASSERT_NE(cache.Lookup(1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  const ProofCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ProofCacheTest, HeldValueSurvivesEviction) {
+  ProofCache<std::string> cache(SingleShard(1));
+  auto held = Val("held");
+  cache.Insert(1, held, 4);
+  auto hit = cache.Lookup(1);
+  cache.Insert(2, Val("evictor"), 1);  // evicts key 1
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "held");  // shared_ptr keeps the payload alive
+}
+
+TEST(ProofCacheTest, ShardedCapacityAndCounting) {
+  ProofCache<std::string>::Options options;
+  options.capacity = 64;
+  options.shards = 8;
+  ProofCache<std::string> cache(options);
+  for (uint64_t key = 0; key < 64; ++key) {
+    cache.Insert(key, Val(std::to_string(key)), 1);
+  }
+  const ProofCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.insertions, 64u);
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_GT(stats.entries, 0u);
+  size_t hits = 0;
+  for (uint64_t key = 0; key < 64; ++key) {
+    if (cache.Lookup(key) != nullptr) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, stats.entries);
+}
+
+TEST(ProofCacheTest, ZeroShardOptionClampsToOne) {
+  ProofCache<std::string>::Options options;
+  options.capacity = 2;
+  options.shards = 0;
+  ProofCache<std::string> cache(options);
+  cache.Insert(1, Val("one"), 1);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+}
+
+}  // namespace
+}  // namespace spauth
