@@ -10,7 +10,7 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
-//                    [--threads N] [--proof-cache]
+//                    [--threads N] [--proof-cache] [--shards N]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
 // end) instead of a dataset graph. --proof-cache enables the server-side
@@ -18,6 +18,15 @@
 // the second pass's bytes differ from the first, so cache-on runs prove
 // byte-identical serving, and the per-method "answers_sha1" digest lets CI
 // compare cache-off and cache-on runs across processes.
+//
+// --shards N switches to the sharded serving mode: N replica engines of
+// the same network behind a hash-of-source ShardedEngine, served through
+// the zero-copy shared-bundle path, verified through the routing-aware
+// Client::VerifyShardedBatch, with per-shard stats in the JSON. Replicas
+// build identical ADSes, so the per-method answers_sha1 of a --shards N
+// run must equal a --shards 1 run's (CI asserts exactly that); with
+// --proof-cache the repeat pass additionally asserts shared_ptr identity —
+// a cache hit is the same bundle object, not a copy.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +38,7 @@
 #include "bench_common.h"
 #include "core/client.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "crypto/digest.h"
 #include "graph/generator.h"
 #include "graph/search_workspace.h"
@@ -44,6 +54,7 @@ struct Config {
   size_t queries = 60;   // total across the range mix
   size_t threads = 0;    // 0 = ThreadPool default
   bool proof_cache = false;
+  size_t shards = 0;     // 0 = single-engine mode; N >= 1 = sharded mode
 };
 
 struct LatencyStats {
@@ -116,10 +127,16 @@ void PrintJsonStats(const char* name, const LatencyStats& s, bool trailing) {
       name, s.qps, s.mean_ms, s.p50_ms, s.p99_ms, trailing ? "," : "");
 }
 
-int Run(const Config& config) {
-  const Graph* graph = nullptr;
+/// The measured graph: a tiny generated network in smoke mode, a dataset
+/// stand-in otherwise. `graph` points at `smoke_graph` or the process-wide
+/// dataset cache; keep the struct alive (and unmoved) while it is used.
+struct BenchGraph {
   Graph smoke_graph;
-  std::string dataset_name;
+  const Graph* graph = nullptr;
+  std::string name;
+};
+
+bool SetupBenchGraph(const Config& config, BenchGraph* out) {
   if (config.smoke) {
     RoadNetworkOptions options;
     options.num_nodes = 300;
@@ -127,15 +144,25 @@ int Run(const Config& config) {
     auto g = GenerateRoadNetwork(options);
     if (!g.ok()) {
       std::fprintf(stderr, "smoke graph generation failed\n");
-      return 1;
+      return false;
     }
-    smoke_graph = std::move(g).value();
-    graph = &smoke_graph;
-    dataset_name = "smoke";
+    out->smoke_graph = std::move(g).value();
+    out->graph = &out->smoke_graph;
+    out->name = "smoke";
   } else {
-    graph = &DatasetGraph(config.dataset);
-    dataset_name = DatasetName(config.dataset);
+    out->graph = &DatasetGraph(config.dataset);
+    out->name = DatasetName(config.dataset);
   }
+  return true;
+}
+
+int Run(const Config& config) {
+  BenchGraph bench_graph;
+  if (!SetupBenchGraph(config, &bench_graph)) {
+    return 1;
+  }
+  const Graph* graph = bench_graph.graph;
+  const std::string& dataset_name = bench_graph.name;
   const size_t num_queries = config.smoke ? 12 : config.queries;
   const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
 
@@ -323,6 +350,221 @@ int Run(const Config& config) {
   return 0;
 }
 
+/// Sharded serving mode: N replicas behind a hash-of-source router, served
+/// and verified through the zero-copy shared-bundle paths.
+int RunSharded(const Config& config) {
+  BenchGraph bench_graph;
+  if (!SetupBenchGraph(config, &bench_graph)) {
+    return 1;
+  }
+  const Graph* graph = bench_graph.graph;
+  const size_t num_queries = config.smoke ? 12 : config.queries;
+  const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"dataset\": \"%s\",\n", bench_graph.name.c_str());
+  std::printf("  \"nodes\": %zu,\n", graph->num_nodes());
+  std::printf("  \"edges\": %zu,\n", graph->num_edges());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::printf("  \"shards\": %zu,\n", config.shards);
+  std::printf("  \"methods\": [\n");
+
+  bool first = true;
+  for (MethodKind method : kAllMethods) {
+    EngineOptions options = DefaultEngineOptions(method);
+    options.full_use_floyd_warshall = false;
+    options.enable_proof_cache = config.proof_cache;
+    auto sharded = ShardedEngine::BuildReplicated(*graph, options,
+                                                  config.shards, OwnerKeys());
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharded engine build failed: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    const ShardedEngine& e = *sharded.value();
+    const std::string method_name(ToString(method));
+    double construction_s = 0;
+    size_t storage_bytes = 0;
+    for (size_t s = 0; s < e.num_shards(); ++s) {
+      construction_s += e.shard(s).construction_seconds();
+      storage_bytes += e.shard(s).storage_bytes();
+    }
+
+    // Warm-up: fault in caches and the workspace arrays.
+    SearchWorkspace ws;
+    for (size_t i = 0; i < std::min<size_t>(3, queries.size()); ++i) {
+      if (!e.Answer(queries[i], ws).ok()) {
+        std::fprintf(stderr, "%s: sharded warmup answer failed\n",
+                     method_name.c_str());
+        return 1;
+      }
+    }
+
+    // Serial pass through the front door, one reused workspace. Bundles
+    // stay shared with the per-shard caches: no copies anywhere.
+    std::vector<std::shared_ptr<const ProofBundle>> bundles;
+    bundles.reserve(queries.size());
+    std::vector<double> answer_ms;
+    answer_ms.reserve(queries.size());
+    WallTimer answer_total;
+    for (const Query& q : queries) {
+      WallTimer t;
+      auto bundle = e.Answer(q, ws);
+      answer_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "%s: sharded answer failed: %s\n",
+                     method_name.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      bundles.push_back(std::move(bundle).value());
+    }
+    const double answer_total_s = answer_total.ElapsedSeconds();
+
+    // Repeat pass: bytes must match the first pass; with the proof cache
+    // on, the bundle must be the *same object* (zero-copy hit), not an
+    // equal copy.
+    std::vector<double> repeat_ms;
+    repeat_ms.reserve(queries.size());
+    WallTimer repeat_total;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer t;
+      auto bundle = e.Answer(queries[i], ws);
+      repeat_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "%s: sharded repeat answer failed: %s\n",
+                     method_name.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      if (bundle.value()->bytes != bundles[i]->bytes) {
+        std::fprintf(stderr,
+                     "%s: sharded repeat answer bytes differ for query %zu\n",
+                     method_name.c_str(), i);
+        return 1;
+      }
+      if (config.proof_cache && bundle.value().get() != bundles[i].get()) {
+        std::fprintf(stderr,
+                     "%s: cache hit copied the bundle for query %zu "
+                     "(zero-copy regression)\n",
+                     method_name.c_str(), i);
+        return 1;
+      }
+    }
+    const double repeat_total_s = repeat_total.ElapsedSeconds();
+
+    // Digest of the served byte stream, straight from the shared bundles;
+    // CI compares this against a --shards 1 run.
+    Hasher answers_hasher(HashAlgorithm::kSha1);
+    double proof_bytes = 0;
+    for (const auto& bundle : bundles) {
+      answers_hasher.Update(bundle->bytes.data(), bundle->bytes.size());
+      proof_bytes += static_cast<double>(bundle->stats.total_bytes());
+    }
+    const std::string answers_sha1 = answers_hasher.Finish().ToHex();
+
+    // Serial client verification from the shared bundles.
+    Client client(OwnerKeys().public_key());
+    std::vector<double> verify_ms;
+    verify_ms.reserve(queries.size());
+    WallTimer verify_total;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer t;
+      WireVerification result = client.Verify(queries[i], bundles[i]->bytes);
+      verify_ms.push_back(t.ElapsedSeconds() * 1000);
+      if (!result.outcome.accepted) {
+        std::fprintf(stderr, "%s: sharded verification failed: %s\n",
+                     method_name.c_str(),
+                     result.outcome.ToString().c_str());
+        return 1;
+      }
+    }
+    const double verify_total_s = verify_total.ElapsedSeconds();
+
+    // Routing-aware batch verify: workers drain whole shard groups.
+    std::vector<uint32_t> shard_of;
+    shard_of.reserve(queries.size());
+    for (const Query& q : queries) {
+      shard_of.push_back(static_cast<uint32_t>(e.RouteOf(q)));
+    }
+    WallTimer verify_batch_total;
+    auto verify_batch =
+        client.VerifyShardedBatch(queries, bundles, shard_of, config.threads);
+    const double verify_batch_total_s = verify_batch_total.ElapsedSeconds();
+    for (const WireVerification& result : verify_batch) {
+      if (!result.outcome.accepted) {
+        std::fprintf(stderr, "%s: sharded batch verification failed: %s\n",
+                     method_name.c_str(),
+                     result.outcome.ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Batched serving fanned across shards on the worker pool.
+    WallTimer batch_total;
+    auto batch = e.AnswerBatch(queries, config.threads);
+    const double batch_total_s = batch_total.ElapsedSeconds();
+    for (const auto& r : batch) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: sharded batch answer failed: %s\n",
+                     method_name.c_str(), r.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    const ShardedStats stats = e.GetStats();
+    std::printf("%s    {\n", first ? "" : ",\n");
+    first = false;
+    std::printf("      \"method\": \"%s\",\n", method_name.c_str());
+    std::printf("      \"construction_s\": %.4f,\n", construction_s);
+    std::printf("      \"storage_bytes\": %zu,\n", storage_bytes);
+    std::printf("      \"proof_bytes_mean\": %.1f,\n",
+                proof_bytes / static_cast<double>(queries.size()));
+    std::printf("      \"answers_sha1\": \"%s\",\n", answers_sha1.c_str());
+    PrintJsonStats("answer", Summarize(answer_ms, answer_total_s), true);
+    PrintJsonStats("answer_repeat", Summarize(repeat_ms, repeat_total_s),
+                   true);
+    PrintJsonStats("verify", Summarize(verify_ms, verify_total_s), true);
+    std::printf("      \"verify_sharded_batch\": {\"qps\": %.1f},\n",
+                verify_batch_total_s > 0
+                    ? static_cast<double>(queries.size()) /
+                          verify_batch_total_s
+                    : 0.0);
+    std::printf("      \"batch\": {\"qps\": %.1f},\n",
+                batch_total_s > 0
+                    ? static_cast<double>(queries.size()) / batch_total_s
+                    : 0.0);
+    std::printf(
+        "      \"cache\": {\"enabled\": %s, \"hits\": %llu, "
+        "\"misses\": %llu, \"hit_rate\": %.3f, \"hit_bytes\": %llu},\n",
+        config.proof_cache ? "true" : "false",
+        static_cast<unsigned long long>(stats.totals.cache.hits),
+        static_cast<unsigned long long>(stats.totals.cache.misses),
+        stats.totals.cache.hit_rate(),
+        static_cast<unsigned long long>(stats.totals.cache.hit_bytes));
+    std::printf("      \"shard_stats\": [\n");
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      const ShardStats& shard = stats.shards[s];
+      std::printf(
+          "        {\"shard\": %zu, \"queries\": %llu, \"failures\": %llu, "
+          "\"answer_micros\": %llu, \"cache_hits\": %llu, "
+          "\"cache_misses\": %llu, \"cache_entries\": %zu}%s\n",
+          s, static_cast<unsigned long long>(shard.queries),
+          static_cast<unsigned long long>(shard.failures),
+          static_cast<unsigned long long>(shard.answer_micros),
+          static_cast<unsigned long long>(shard.cache.hits),
+          static_cast<unsigned long long>(shard.cache.misses),
+          shard.cache.entries, s + 1 < stats.shards.size() ? "," : "");
+    }
+    std::printf("      ]\n");
+    std::printf("    }");
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace spauth::bench
 
@@ -360,12 +602,20 @@ int main(int argc, char** argv) {
       config.queries = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
     } else if (std::strcmp(arg, "--threads") == 0) {
       config.threads = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      config.shards = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+      if (config.shards == 0) {
+        std::fprintf(stderr, "--shards needs a positive count\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
-                   "[--queries N] [--threads N] [--proof-cache]\n");
+                   "[--queries N] [--threads N] [--proof-cache] "
+                   "[--shards N]\n");
       return 2;
     }
   }
-  return spauth::bench::Run(config);
+  return config.shards > 0 ? spauth::bench::RunSharded(config)
+                           : spauth::bench::Run(config);
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <unordered_map>
 
+#include "core/engine.h"
 #include "core/verify_workspace.h"
 #include "util/byte_buffer.h"
 #include "util/thread_pool.h"
@@ -147,6 +149,80 @@ std::vector<WireVerification> Client::VerifyBatch(
            i = next.fetch_add(1)) {
         VerifyWireAnswer(owner_key_, queries[i], wire_messages[i], ws,
                          &results[i]);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+std::vector<WireVerification> Client::VerifyShardedBatch(
+    std::span<const Query> queries,
+    std::span<const std::shared_ptr<const ProofBundle>> bundles,
+    std::span<const uint32_t> shard_of, size_t num_threads) const {
+  std::vector<WireVerification> results(queries.size());
+  if (queries.size() != bundles.size() ||
+      queries.size() != shard_of.size()) {
+    for (WireVerification& r : results) {
+      r.outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                        "query/bundle/shard count mismatch");
+    }
+    return results;
+  }
+  if (queries.empty()) {
+    return results;
+  }
+
+  // Group message indices by serving shard; groups preserve stream order.
+  // Shard ids are remapped densely rather than used as array indices, so a
+  // corrupt or hostile id cannot size an allocation.
+  std::unordered_map<uint32_t, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < shard_of.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(shard_of[i], groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(i);
+  }
+
+  auto verify_one = [this, &queries, &bundles, &results](size_t i,
+                                                         VerifyWorkspace& ws) {
+    if (bundles[i] == nullptr) {
+      results[i].outcome = VerifyOutcome::Reject(
+          VerifyFailure::kMalformedProof, "missing bundle for query");
+      return;
+    }
+    VerifyWireAnswer(owner_key_, queries[i], bundles[i]->bytes, ws,
+                     &results[i]);
+  };
+
+  if (num_threads == 0) {
+    num_threads = ThreadPool::DefaultThreads(queries.size());
+  }
+  // Shard groups are the unit of work (that is the point: one worker, one
+  // shard's certificate stream), so more workers than groups is waste.
+  num_threads = std::min(num_threads, groups.size());
+  if (num_threads <= 1) {
+    VerifyWorkspace ws;
+    for (const std::vector<size_t>& group : groups) {
+      for (size_t i : group) {
+        verify_one(i, ws);
+      }
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next_group{0};
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([&groups, &next_group, &verify_one] {
+      VerifyWorkspace ws;  // per-worker scratch, hot for the whole stream
+      for (size_t g = next_group.fetch_add(1); g < groups.size();
+           g = next_group.fetch_add(1)) {
+        for (size_t i : groups[g]) {
+          verify_one(i, ws);
+        }
       }
     });
   }

@@ -28,6 +28,7 @@
 namespace spauth {
 
 struct VerifyWorkspace;  // core/verify_workspace.h
+struct ProofBundle;      // core/engine.h
 
 /// Result of client-side wire verification.
 struct WireVerification {
@@ -77,6 +78,19 @@ class Client {
       std::span<const Query> queries,
       std::span<const std::span<const uint8_t>> wire_messages,
       size_t num_threads = 0) const;
+
+  /// Routing-aware batch verify for streams served by a ShardedEngine:
+  /// `shard_of[i]` names the shard that served message i, and each worker
+  /// drains whole shard groups in order, so the decode scratch and RSA
+  /// certificate state stay hot on one shard's certificate stream instead
+  /// of thrashing between shards. Bundles are consumed zero-copy through
+  /// their shared_ptr (a null bundle yields a rejection outcome).
+  /// Outcomes are identical to VerifyBatch on the same messages; only the
+  /// work order differs. All three spans must be parallel.
+  std::vector<WireVerification> VerifyShardedBatch(
+      std::span<const Query> queries,
+      std::span<const std::shared_ptr<const ProofBundle>> bundles,
+      std::span<const uint32_t> shard_of, size_t num_threads = 0) const;
 
  private:
   RsaPublicKey owner_key_;

@@ -45,6 +45,23 @@ Result<ProofBundle> MethodEngine::Answer(const Query& query,
   if (cache_ == nullptr) {
     return AnswerUncached(query, ws);
   }
+  SPAUTH_ASSIGN_OR_RETURN(std::shared_ptr<const ProofBundle> shared,
+                          AnswerShared(query, ws));
+  return *shared;
+}
+
+Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
+    const Query& query) const {
+  SearchWorkspace ws;
+  return AnswerShared(query, ws);
+}
+
+Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
+    const Query& query, SearchWorkspace& ws) const {
+  if (cache_ == nullptr) {
+    SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(query, ws));
+    return std::make_shared<const ProofBundle>(std::move(bundle));
+  }
   // Bundles certify the ADS roots, so a version change (owner update)
   // invalidates everything cached so far.
   const uint32_t version = certificate().params.version;
@@ -55,14 +72,12 @@ Result<ProofBundle> MethodEngine::Answer(const Query& query,
   const uint64_t key =
       (static_cast<uint64_t>(query.source) << 32) | query.target;
   if (std::shared_ptr<const ProofBundle> hit = cache_->Lookup(key)) {
-    return *hit;
+    return hit;
   }
-  Result<ProofBundle> result = AnswerUncached(query, ws);
-  if (result.ok()) {
-    cache_->Insert(key, std::make_shared<const ProofBundle>(result.value()),
-                   result.value().bytes.size());
-  }
-  return result;
+  SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(query, ws));
+  auto shared = std::make_shared<const ProofBundle>(std::move(bundle));
+  cache_->Insert(key, shared, shared->bytes.size());
+  return shared;
 }
 
 VerifyOutcome MethodEngine::Verify(const Query& query,

@@ -126,6 +126,18 @@ class MethodEngine {
   Result<ProofBundle> Answer(const Query& query) const;
   Result<ProofBundle> Answer(const Query& query, SearchWorkspace& ws) const;
 
+  /// Zero-copy provider role: the returned bundle is shared with the proof
+  /// cache, so a cache hit never copies the assembled wire bytes — every
+  /// repeat of a query yields the *same* ProofBundle object until an
+  /// owner-side update invalidates it, and callers encode straight from
+  /// `bundle->bytes`. With the cache disabled each call returns a freshly
+  /// assembled bundle (still shared so consumers are uniform). Answer() is
+  /// the value-semantics wrapper over this.
+  Result<std::shared_ptr<const ProofBundle>> AnswerShared(
+      const Query& query) const;
+  Result<std::shared_ptr<const ProofBundle>> AnswerShared(
+      const Query& query, SearchWorkspace& ws) const;
+
   /// Answers a query stream on a small internal worker pool, one reused
   /// workspace per worker (num_threads == 0 picks a host default). The
   /// result vector is parallel to `queries`; per-query failures surface as

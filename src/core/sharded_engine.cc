@@ -1,0 +1,153 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/hash_mix.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace spauth {
+
+size_t HashSourceRouter::Route(const Query& query, size_t num_shards) const {
+  // Source ids are dense and correlated, so spread them before the modulo.
+  const uint64_t h = SplitMix64Finalize(query.source);
+  return num_shards == 0 ? 0 : h % num_shards;
+}
+
+size_t ExplicitMapRouter::Route(const Query& query,
+                                size_t num_shards) const {
+  if (num_shards == 0) {
+    return 0;
+  }
+  const uint32_t shard = query.source < shard_of_source_.size()
+                             ? shard_of_source_[query.source]
+                             : fallback_shard_;
+  return shard % num_shards;
+}
+
+ShardedEngine::ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
+                             std::unique_ptr<ShardRouter> router)
+    : shards_(std::move(shards)),
+      router_(std::move(router)),
+      counters_(std::make_unique<Counters[]>(shards_.size())) {}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
+    std::span<const ShardSpec> specs, std::unique_ptr<ShardRouter> router,
+    const RsaKeyPair& keys) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("a sharded engine needs at least 1 shard");
+  }
+  std::vector<std::unique_ptr<MethodEngine>> shards;
+  shards.reserve(specs.size());
+  for (const ShardSpec& spec : specs) {
+    if (spec.graph == nullptr) {
+      return Status::InvalidArgument("shard spec has a null graph");
+    }
+    if (spec.options.method != specs.front().options.method) {
+      return Status::InvalidArgument(
+          "all shards of one engine must share the method");
+    }
+    SPAUTH_ASSIGN_OR_RETURN(std::unique_ptr<MethodEngine> engine,
+                            MakeEngine(*spec.graph, spec.options, keys));
+    shards.push_back(std::move(engine));
+  }
+  if (router == nullptr) {
+    router = std::make_unique<HashSourceRouter>();
+  }
+  return std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(std::move(shards), std::move(router)));
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BuildReplicated(
+    const Graph& g, const EngineOptions& options, size_t num_shards,
+    const RsaKeyPair& keys, std::unique_ptr<ShardRouter> router) {
+  std::vector<ShardSpec> specs(std::max<size_t>(num_shards, 1),
+                               ShardSpec{&g, options});
+  return Build(specs, std::move(router), keys);
+}
+
+Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
+    const Query& query) const {
+  SearchWorkspace ws;
+  return Answer(query, ws);
+}
+
+Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
+    const Query& query, SearchWorkspace& ws) const {
+  const size_t shard = RouteOf(query);
+  Counters& counters = counters_[shard];
+  WallTimer timer;
+  Result<std::shared_ptr<const ProofBundle>> result =
+      shards_[shard]->AnswerShared(query, ws);
+  counters.answer_nanos.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9),
+      std::memory_order_relaxed);
+  counters.queries.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    counters.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+std::vector<Result<std::shared_ptr<const ProofBundle>>>
+ShardedEngine::AnswerBatch(std::span<const Query> queries,
+                           size_t num_threads) const {
+  std::vector<Result<std::shared_ptr<const ProofBundle>>> results(
+      queries.size(), Status::Internal("query not answered"));
+  if (queries.empty()) {
+    return results;
+  }
+  if (num_threads == 0) {
+    num_threads = ThreadPool::DefaultThreads(queries.size());
+  }
+  num_threads = std::min(num_threads, queries.size());
+  if (num_threads <= 1) {
+    SearchWorkspace ws;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Answer(queries[i], ws);
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([this, &queries, &results, &next] {
+      SearchWorkspace ws;  // per-worker scratch, hot for the whole stream
+      for (size_t i = next.fetch_add(1); i < queries.size();
+           i = next.fetch_add(1)) {
+        results[i] = Answer(queries[i], ws);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+ShardedStats ShardedEngine::GetStats() const {
+  ShardedStats stats;
+  stats.shards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats& s = stats.shards[i];
+    s.queries = counters_[i].queries.load(std::memory_order_relaxed);
+    s.failures = counters_[i].failures.load(std::memory_order_relaxed);
+    s.answer_micros =
+        counters_[i].answer_nanos.load(std::memory_order_relaxed) / 1000;
+    s.cache = shards_[i]->proof_cache_stats();
+
+    stats.totals.queries += s.queries;
+    stats.totals.failures += s.failures;
+    stats.totals.answer_micros += s.answer_micros;
+    stats.totals.cache.hits += s.cache.hits;
+    stats.totals.cache.misses += s.cache.misses;
+    stats.totals.cache.insertions += s.cache.insertions;
+    stats.totals.cache.evictions += s.cache.evictions;
+    stats.totals.cache.cleared += s.cache.cleared;
+    stats.totals.cache.hit_bytes += s.cache.hit_bytes;
+    stats.totals.cache.entries += s.cache.entries;
+  }
+  return stats;
+}
+
+}  // namespace spauth

@@ -1,0 +1,162 @@
+// ShardedEngine — the scale-out serving layer above MethodEngine.
+//
+// One outsourced server cannot serve millions of users; a deployment runs
+// N engines side by side — replicas of one network behind a balancing
+// router, or region partitions behind an explicit placement map — and a
+// front door routes every query to the shard that owns it. ShardedEngine
+// is that front door: it owns N independent MethodEngine instances (each
+// with its own ADS, proof cache and certificate), routes queries through a
+// pluggable ShardRouter, fans batches across shards on the worker pool,
+// and aggregates per-shard serving/cache statistics.
+//
+// Serving is zero-copy end to end: every answer is a shared_ptr to the
+// bundle resident in the owning shard's proof cache (or a freshly
+// assembled one when caching is off), so a cache hit never copies the
+// wire bytes and the encode path writes straight from the shared bundle.
+// Replicas of one network produce byte-identical answers regardless of
+// which shard serves them (same graph, seed and keys build the same ADS),
+// which is what lets tests and CI compare a 4-shard run against a
+// single-engine run digest for digest.
+#ifndef SPAUTH_CORE_SHARDED_ENGINE_H_
+#define SPAUTH_CORE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace spauth {
+
+/// Deterministic query → shard placement policy. Implementations must be
+/// pure functions of the query (no internal state mutation): the same
+/// query must land on the same shard for the whole lifetime of the
+/// engine, or per-shard caches would cool and region routing would break.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// The shard in [0, num_shards) that owns `query`.
+  virtual size_t Route(const Query& query, size_t num_shards) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Balancing policy for replicated shards: splitmix64(source) % N. Queries
+/// are keyed by source only, so a client session pinned to one source node
+/// keeps hitting one shard's hot cache.
+class HashSourceRouter : public ShardRouter {
+ public:
+  size_t Route(const Query& query, size_t num_shards) const override;
+  std::string_view name() const override { return "hash-source"; }
+};
+
+/// Placement policy for region partitions: an explicit source-node → shard
+/// map (e.g. from a graph partitioner). Sources beyond the map fall back
+/// to `fallback_shard`.
+class ExplicitMapRouter : public ShardRouter {
+ public:
+  explicit ExplicitMapRouter(std::vector<uint32_t> shard_of_source,
+                             uint32_t fallback_shard = 0)
+      : shard_of_source_(std::move(shard_of_source)),
+        fallback_shard_(fallback_shard) {}
+
+  size_t Route(const Query& query, size_t num_shards) const override;
+  std::string_view name() const override { return "explicit-map"; }
+
+ private:
+  std::vector<uint32_t> shard_of_source_;
+  uint32_t fallback_shard_;
+};
+
+/// One shard's build recipe: the graph it serves (a region partition or a
+/// replica of the full network; must outlive the engine) and its engine
+/// options. All specs in one ShardedEngine must agree on the method.
+struct ShardSpec {
+  const Graph* graph = nullptr;
+  EngineOptions options;
+};
+
+/// One shard's serving counters plus its proof-cache counters.
+struct ShardStats {
+  uint64_t queries = 0;         // answers routed to this shard
+  uint64_t failures = 0;        // answers that returned an error Status
+  uint64_t answer_micros = 0;   // total wall time spent answering
+  ProofCacheStats cache;
+};
+
+/// Per-shard stats plus their aggregate, from one consistent pass over the
+/// shards.
+struct ShardedStats {
+  std::vector<ShardStats> shards;
+  ShardStats totals;
+};
+
+class ShardedEngine {
+ public:
+  /// Builds one MethodEngine per spec (timed per shard, like MakeEngine)
+  /// behind `router` (HashSourceRouter when null). InvalidArgument on an
+  /// empty spec list, a null graph, or specs that mix methods.
+  static Result<std::unique_ptr<ShardedEngine>> Build(
+      std::span<const ShardSpec> specs, std::unique_ptr<ShardRouter> router,
+      const RsaKeyPair& keys);
+
+  /// `num_shards` replicas of one network: every shard builds the same ADS
+  /// from the same options and keys, so any shard's answer is
+  /// byte-identical to any other's (and to a standalone MakeEngine's).
+  static Result<std::unique_ptr<ShardedEngine>> BuildReplicated(
+      const Graph& g, const EngineOptions& options, size_t num_shards,
+      const RsaKeyPair& keys, std::unique_ptr<ShardRouter> router = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  const MethodEngine& shard(size_t i) const { return *shards_[i]; }
+  const ShardRouter& router() const { return *router_; }
+
+  /// The shard `query` routes to (deterministic).
+  size_t RouteOf(const Query& query) const {
+    return router_->Route(query, shards_.size());
+  }
+
+  /// Routes and answers one query on the owning shard's zero-copy path.
+  /// The workspace form reuses the caller's scratch (workspaces resize per
+  /// shard graph, so one workspace serves a mixed-shard stream); the plain
+  /// form wraps it with a throwaway one.
+  Result<std::shared_ptr<const ProofBundle>> Answer(const Query& query) const;
+  Result<std::shared_ptr<const ProofBundle>> Answer(const Query& query,
+                                                    SearchWorkspace& ws) const;
+
+  /// Fans a query stream across shards on the worker pool (one hot
+  /// SearchWorkspace per worker, num_threads == 0 picks a host default).
+  /// The result vector is parallel to `queries`; per-query failures
+  /// surface as error Results without aborting the batch.
+  std::vector<Result<std::shared_ptr<const ProofBundle>>> AnswerBatch(
+      std::span<const Query> queries, size_t num_threads = 0) const;
+
+  /// Per-shard and aggregate serving/cache counters.
+  ShardedStats GetStats() const;
+
+ private:
+  // Serving counters are per-shard atomics so AnswerBatch workers never
+  // contend on a shared lock; cache counters live in each shard's cache.
+  // Time accumulates in nanoseconds: cache hits finish well under a
+  // microsecond, and truncating each one to micros would count the whole
+  // hit path as free. GetStats converts once.
+  struct Counters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> answer_nanos{0};
+  };
+
+  ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
+                std::unique_ptr<ShardRouter> router);
+
+  std::vector<std::unique_ptr<MethodEngine>> shards_;
+  std::unique_ptr<ShardRouter> router_;
+  mutable std::unique_ptr<Counters[]> counters_;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_SHARDED_ENGINE_H_

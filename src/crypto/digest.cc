@@ -139,6 +139,9 @@ void Hasher::ProcessBlock(const uint8_t* block) {
 }
 
 Hasher& Hasher::Update(std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return *this;  // an empty span may carry a null data() (memcpy UB)
+  }
   total_bytes_ += data.size();
   size_t offset = 0;
   if (block_fill_ > 0) {

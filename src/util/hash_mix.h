@@ -1,0 +1,22 @@
+// Shared integer mixing for shard placement.
+#ifndef SPAUTH_UTIL_HASH_MIX_H_
+#define SPAUTH_UTIL_HASH_MIX_H_
+
+#include <cstdint>
+
+namespace spauth {
+
+/// splitmix64 finalizer: a cheap bijective mixer that spreads correlated
+/// keys (dense node and query ids) uniformly over 64 bits. Both the proof
+/// cache's shard pick and the serving-shard router use this one mixer so
+/// their distributions cannot drift apart.
+inline uint64_t SplitMix64Finalize(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_HASH_MIX_H_

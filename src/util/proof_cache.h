@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/hash_mix.h"
+
 namespace spauth {
 
 /// Aggregated hit/miss/byte counters across all shards.
@@ -30,6 +32,10 @@ struct ProofCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Entries dropped by Clear() (owner-side invalidation). Together with
+  /// evictions this makes the counters conserve:
+  /// insertions == evictions + cleared + entries at any quiescent point.
+  uint64_t cleared = 0;
   /// Total payload bytes served from cache hits.
   uint64_t hit_bytes = 0;
   /// Entries currently resident.
@@ -92,7 +98,7 @@ class ProofCache {
     shard.lru.push_front(Entry{key, std::move(value), bytes});
     shard.index[key] = shard.lru.begin();
     ++shard.insertions;
-    if (shard.lru.size() > per_shard_capacity_) {
+    while (shard.lru.size() > per_shard_capacity_) {
       shard.index.erase(shard.lru.back().key);
       shard.lru.pop_back();
       ++shard.evictions;
@@ -104,6 +110,7 @@ class ProofCache {
   void Clear() {
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cleared += shard->lru.size();
       shard->lru.clear();
       shard->index.clear();
     }
@@ -117,6 +124,7 @@ class ProofCache {
       stats.misses += shard->misses;
       stats.insertions += shard->insertions;
       stats.evictions += shard->evictions;
+      stats.cleared += shard->cleared;
       stats.hit_bytes += shard->hit_bytes;
       stats.entries += shard->lru.size();
     }
@@ -137,16 +145,12 @@ class ProofCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t cleared = 0;
     uint64_t hit_bytes = 0;
   };
 
   Shard& ShardOf(uint64_t key) const {
-    // splitmix64 finalizer: query ids are correlated, so spread them.
-    uint64_t h = key + 0x9e3779b97f4a7c15ull;
-    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-    h ^= h >> 31;
-    return *shards_[h % shards_.size()];
+    return *shards_[SplitMix64Finalize(key) % shards_.size()];
   }
 
   size_t per_shard_capacity_;

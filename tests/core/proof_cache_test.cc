@@ -106,6 +106,97 @@ TEST_P(ProofCacheTest, AllTamperKindsStillRejectWithCacheEnabled) {
   EXPECT_GT(attacks_executed, 0u);
 }
 
+TEST_P(ProofCacheTest, SharedAccessorServesZeroCopyHits) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(GetParam());
+  const Query q = ctx.queries[0];
+  auto first = engine->AnswerShared(q);
+  ASSERT_TRUE(first.ok());
+  auto second = engine->AnswerShared(q);
+  ASSERT_TRUE(second.ok());
+  // A hit is the *same* resident bundle, not an equal copy: pointer
+  // identity is the zero-copy contract.
+  EXPECT_EQ(first.value().get(), second.value().get());
+  SearchWorkspace ws;
+  auto third = engine->AnswerShared(q, ws);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(first.value().get(), third.value().get());
+  // The wire bytes are shared with what the value API serves.
+  auto copied = engine->Answer(q);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(copied.value().bytes, first.value()->bytes);
+  // Exact accounting: one miss (the assembly), three hits after it, every
+  // hit attributed the full payload size.
+  const ProofCacheStats stats = engine->proof_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hit_bytes, 3 * first.value()->bytes.size());
+  // And the shared bundle verifies like any other.
+  EXPECT_TRUE(engine->Verify(q, *first.value()).accepted);
+}
+
+TEST_P(ProofCacheTest, SharedAccessorWithoutCacheAssemblesFreshBundles) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(GetParam());  // cache off
+  const Query q = ctx.queries[0];
+  auto first = engine->AnswerShared(q);
+  auto second = engine->AnswerShared(q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // No cache to share with: each call assembles its own (equal) bundle.
+  EXPECT_NE(first.value().get(), second.value().get());
+  EXPECT_EQ(first.value()->bytes, second.value()->bytes);
+  EXPECT_EQ(engine->proof_cache_stats().hits, 0u);
+}
+
+TEST(ProofCacheZeroCopyTest, HeldBundleSurvivesOwnerInvalidation) {
+  // A client-held shared bundle must stay readable after the owner updates
+  // the ADS and the cache drops the entry (shared_ptr keeps it alive).
+  RoadNetworkOptions gopts;
+  gopts.num_nodes = 120;
+  gopts.seed = 78;
+  Graph g = GenerateRoadNetwork(gopts).value();
+  Rng rng(606);
+  auto keys = RsaKeyPair::Generate(512, &rng);
+  ASSERT_TRUE(keys.ok());
+  EngineOptions options;
+  options.method = MethodKind::kDij;
+  options.enable_proof_cache = true;
+  auto engine = MakeEngine(g, options, keys.value());
+  ASSERT_TRUE(engine.ok());
+  WorkloadOptions wopts;
+  wopts.count = 2;
+  wopts.query_range = 2000;
+  wopts.seed = 12;
+  auto queries = GenerateWorkload(g, wopts);
+  ASSERT_TRUE(queries.ok());
+  const Query q = queries.value()[0];
+
+  auto held = engine.value()->AnswerShared(q);
+  ASSERT_TRUE(held.ok());
+  const std::vector<uint8_t> bytes_before = held.value()->bytes;
+
+  const NodeId u = held.value()->path.nodes[0];
+  const NodeId v = held.value()->path.nodes[1];
+  const Edge* edge = g.FindEdge(u, v);
+  ASSERT_NE(edge, nullptr);
+  ASSERT_TRUE(engine.value()
+                  ->ApplyEdgeWeightUpdate(&g, keys.value(), u, v,
+                                          edge->weight * 1.5)
+                  .ok());
+
+  // The held bundle is untouched by the invalidation...
+  EXPECT_EQ(held.value()->bytes, bytes_before);
+  // ...and the next shared answer is a new resident bundle.
+  auto fresh = engine.value()->AnswerShared(q);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh.value().get(), held.value().get());
+  EXPECT_NE(fresh.value()->bytes, bytes_before);
+  EXPECT_TRUE(engine.value()->Verify(q, *fresh.value()).accepted);
+}
+
 TEST_P(ProofCacheTest, AnswerBatchServesFromTheSharedCache) {
   const auto& ctx = CoreTestContext::Get();
   auto engine = MakeCachedEngine(GetParam());

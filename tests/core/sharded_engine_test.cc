@@ -1,0 +1,352 @@
+// ShardedEngine: routing must be deterministic, shards must stay isolated
+// (caches and graphs), the sharded path must serve byte-identical answers
+// to a standalone engine with zero bundle copies on cache hits, and every
+// wire/ADS tamper class must still be rejected when it arrives through a
+// shard.
+#include "core/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/client.h"
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "util/byte_buffer.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+std::unique_ptr<ShardedEngine> MakeSharded(MethodKind kind, size_t shards,
+                                           bool cache = false) {
+  const auto& ctx = CoreTestContext::Get();
+  EngineOptions options = CoreTestContext::DefaultOptions(kind);
+  options.enable_proof_cache = cache;
+  auto sharded =
+      ShardedEngine::BuildReplicated(ctx.graph, options, shards, ctx.keys);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  return std::move(sharded).value();
+}
+
+/// Re-encodes `bundle_bytes` with `cert` in place of the original leading
+/// certificate (whose wire size was `orig_cert_size`): the wire-level
+/// certificate-tamper tool.
+ProofBundle SpliceCertificate(const Certificate& cert,
+                              const ProofBundle& bundle,
+                              size_t orig_cert_size) {
+  ByteWriter w;
+  cert.Serialize(&w);
+  w.WriteBytes(std::span<const uint8_t>(bundle.bytes).subspan(orig_cert_size));
+  ProofBundle spliced;
+  spliced.path = bundle.path;
+  spliced.distance = bundle.distance;
+  spliced.bytes = w.TakeBytes();
+  return spliced;
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, HashSourceRoutingIsDeterministicAndCoversShards) {
+  const auto& ctx = CoreTestContext::Get();
+  HashSourceRouter router;
+  std::set<size_t> used;
+  for (NodeId v = 0; v < ctx.graph.num_nodes(); ++v) {
+    const Query q{v, static_cast<NodeId>((v + 1) % ctx.graph.num_nodes())};
+    const size_t shard = router.Route(q, 4);
+    ASSERT_LT(shard, 4u);
+    used.insert(shard);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(router.Route(q, 4), shard);
+    }
+    // Routing keys on the source only: a session pinned to one source node
+    // always lands on one shard's cache, whatever it asks about.
+    const Query other_target{v, static_cast<NodeId>(
+                                    (v + 7) % ctx.graph.num_nodes())};
+    EXPECT_EQ(router.Route(other_target, 4), shard);
+  }
+  // 400 sources over 4 shards: a broken mixer would collapse to one.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardRouterTest, ExplicitMapRoutesBySourceWithFallback) {
+  std::vector<uint32_t> map = {0, 1, 1, 0};
+  ExplicitMapRouter router(map, /*fallback_shard=*/1);
+  EXPECT_EQ(router.Route(Query{0, 9}, 2), 0u);
+  EXPECT_EQ(router.Route(Query{1, 9}, 2), 1u);
+  EXPECT_EQ(router.Route(Query{2, 9}, 2), 1u);
+  EXPECT_EQ(router.Route(Query{3, 9}, 2), 0u);
+  // Beyond the map: the fallback shard.
+  EXPECT_EQ(router.Route(Query{100, 9}, 2), 1u);
+  // A map entry pointing past num_shards is clamped, never out of range.
+  ExplicitMapRouter overflow({7}, 0);
+  EXPECT_LT(overflow.Route(Query{0, 1}, 2), 2u);
+}
+
+TEST(ShardedEngineTest, BuildRejectsBadSpecs) {
+  const auto& ctx = CoreTestContext::Get();
+  EXPECT_FALSE(ShardedEngine::Build({}, nullptr, ctx.keys).ok());
+
+  std::vector<ShardSpec> null_graph(1);
+  null_graph[0].options = CoreTestContext::DefaultOptions(MethodKind::kDij);
+  EXPECT_FALSE(ShardedEngine::Build(null_graph, nullptr, ctx.keys).ok());
+
+  std::vector<ShardSpec> mixed(2, ShardSpec{&ctx.graph,
+                               CoreTestContext::DefaultOptions(
+                                   MethodKind::kDij)});
+  mixed[1].options.method = MethodKind::kLdm;
+  EXPECT_FALSE(ShardedEngine::Build(mixed, nullptr, ctx.keys).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serving equivalence and zero-copy
+// ---------------------------------------------------------------------------
+
+class ShardedEngineMethodTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(ShardedEngineMethodTest, ShardedAnswersAreByteIdenticalToDirect) {
+  const auto& ctx = CoreTestContext::Get();
+  auto sharded = MakeSharded(GetParam(), 3);
+  auto single = MakeSharded(GetParam(), 1);
+  auto direct = ctx.MakeMethodEngine(GetParam());
+  for (const Query& q : ctx.queries) {
+    auto via_shards = sharded->Answer(q);
+    auto via_single = single->Answer(q);
+    auto via_direct = direct->Answer(q);
+    ASSERT_TRUE(via_shards.ok());
+    ASSERT_TRUE(via_single.ok());
+    ASSERT_TRUE(via_direct.ok());
+    // Replicas build the same ADS: the shard that answers is irrelevant.
+    EXPECT_EQ(via_shards.value()->bytes, via_direct.value().bytes);
+    EXPECT_EQ(via_single.value()->bytes, via_direct.value().bytes);
+    EXPECT_EQ(via_shards.value()->distance, via_direct.value().distance);
+    // And the sharded answer verifies like any other.
+    EXPECT_TRUE(
+        direct->Verify(q, *via_shards.value()).accepted);
+  }
+}
+
+TEST_P(ShardedEngineMethodTest, CacheHitsAreZeroCopyAcrossTheShardedPath) {
+  const auto& ctx = CoreTestContext::Get();
+  auto sharded = MakeSharded(GetParam(), 2, /*cache=*/true);
+  for (const Query& q : ctx.queries) {
+    auto first = sharded->Answer(q);
+    auto second = sharded->Answer(q);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    // The repeat is the same resident bundle, not an equal copy.
+    EXPECT_EQ(first.value().get(), second.value().get());
+  }
+  // Batches hit the same resident bundles.
+  auto batch = sharded->AnswerBatch(ctx.queries, 2);
+  for (size_t i = 0; i < ctx.queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    auto again = sharded->Answer(ctx.queries[i]);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(batch[i].value().get(), again.value().get());
+  }
+}
+
+TEST_P(ShardedEngineMethodTest, PerShardCachesStayIsolated) {
+  const auto& ctx = CoreTestContext::Get();
+  auto sharded = MakeSharded(GetParam(), 4, /*cache=*/true);
+  std::set<std::pair<NodeId, NodeId>> distinct;
+  std::vector<uint64_t> routed(4, 0);  // distinct queries per shard
+  for (const Query& q : ctx.queries) {
+    if (distinct.insert({q.source, q.target}).second) {
+      ++routed[sharded->RouteOf(q)];
+    }
+    ASSERT_TRUE(sharded->Answer(q).ok());
+    ASSERT_TRUE(sharded->Answer(q).ok());
+  }
+  const ShardedStats stats = sharded->GetStats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    const ShardStats& shard = stats.shards[s];
+    // Every miss (and entry) belongs to the shard the query routed to; a
+    // cross-shard hit would show up as activity on a shard with no routed
+    // queries.
+    EXPECT_EQ(shard.cache.misses, routed[s]) << "shard " << s;
+    EXPECT_EQ(shard.cache.entries, routed[s]) << "shard " << s;
+    if (routed[s] == 0) {
+      EXPECT_EQ(shard.cache.hits, 0u) << "shard " << s;
+      EXPECT_EQ(shard.queries, 0u) << "shard " << s;
+    }
+  }
+  EXPECT_EQ(stats.totals.cache.misses, distinct.size());
+  EXPECT_EQ(stats.totals.queries, 2 * ctx.queries.size());
+  EXPECT_EQ(stats.totals.failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Region partitioning (distinct graphs per shard)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineTest, ExplicitMapServesRegionShardsFromTheirOwnGraphs) {
+  const auto& ctx = CoreTestContext::Get();
+  RoadNetworkOptions gopts;
+  gopts.num_nodes = 120;
+  gopts.seed = 1001;
+  Graph region_a = GenerateRoadNetwork(gopts).value();
+  gopts.seed = 2002;
+  Graph region_b = GenerateRoadNetwork(gopts).value();
+
+  EngineOptions options = CoreTestContext::DefaultOptions(MethodKind::kDij);
+  std::vector<ShardSpec> specs = {{&region_a, options}, {&region_b, options}};
+  // Even sources live in region A, odd in region B.
+  std::vector<uint32_t> map(120);
+  for (size_t v = 0; v < map.size(); ++v) {
+    map[v] = v % 2;
+  }
+  auto sharded = ShardedEngine::Build(
+      specs, std::make_unique<ExplicitMapRouter>(map), ctx.keys);
+  ASSERT_TRUE(sharded.ok());
+
+  auto direct_a = MakeEngine(region_a, options, ctx.keys);
+  auto direct_b = MakeEngine(region_b, options, ctx.keys);
+  ASSERT_TRUE(direct_a.ok());
+  ASSERT_TRUE(direct_b.ok());
+
+  for (NodeId source : {NodeId{4}, NodeId{7}, NodeId{32}, NodeId{55}}) {
+    const Query q{source, static_cast<NodeId>(source + 10)};
+    const size_t shard = sharded.value()->RouteOf(q);
+    EXPECT_EQ(shard, source % 2);
+    auto answer = sharded.value()->Answer(q);
+    ASSERT_TRUE(answer.ok()) << q.source << "->" << q.target;
+    const MethodEngine& owner =
+        shard == 0 ? *direct_a.value() : *direct_b.value();
+    auto expected = owner.Answer(q);
+    ASSERT_TRUE(expected.ok());
+    // The shard answered over its own region graph, certificate included.
+    EXPECT_EQ(answer.value()->bytes, expected.value().bytes);
+    EXPECT_TRUE(owner.Verify(q, *answer.value()).accepted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tamper matrix through the sharded path
+// ---------------------------------------------------------------------------
+
+class ShardedTamperTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(ShardedTamperTest, WireAndAdsTampersRejectThroughEveryShard) {
+  const auto& ctx = CoreTestContext::Get();
+  auto sharded = MakeSharded(GetParam(), 3, /*cache=*/true);
+  Client client(ctx.keys.public_key());
+  size_t drop_attacks = 0;
+  for (const Query& q : ctx.queries) {
+    const size_t shard_idx = sharded->RouteOf(q);
+    const MethodEngine& shard = sharded->shard(shard_idx);
+    auto honest = sharded->Answer(q);
+    ASSERT_TRUE(honest.ok());
+    const ProofBundle& bundle = *honest.value();
+    const size_t cert_size = shard.certificate().SerializedSize();
+
+    // Flipped digest: a certificate whose network root is off by one bit
+    // no longer matches its signature.
+    Certificate flipped = shard.certificate();
+    flipped.network_root.mutable_data()[0] ^= 0x01;
+    ProofBundle bad_root = SpliceCertificate(flipped, bundle, cert_size);
+    VerifyOutcome root_outcome = shard.Verify(q, bad_root);
+    EXPECT_FALSE(root_outcome.accepted);
+    EXPECT_EQ(root_outcome.failure, VerifyFailure::kBadCertificate);
+    EXPECT_FALSE(client.Verify(q, bad_root.bytes).outcome.accepted);
+
+    // Wrong certificate version: the version is signed; presenting the
+    // same roots under version+1 with the old signature must fail.
+    Certificate stale = shard.certificate();
+    stale.params.version += 1;
+    ProofBundle wrong_version = SpliceCertificate(stale, bundle, cert_size);
+    VerifyOutcome version_outcome = shard.Verify(q, wrong_version);
+    EXPECT_FALSE(version_outcome.accepted);
+    EXPECT_EQ(version_outcome.failure, VerifyFailure::kBadCertificate);
+    EXPECT_FALSE(client.Verify(q, wrong_version.bytes).outcome.accepted);
+
+    // Truncated bundle: every strict prefix must reject as malformed.
+    ProofBundle truncated = bundle;
+    truncated.bytes.resize(truncated.bytes.size() - 5);
+    VerifyOutcome trunc_outcome = shard.Verify(q, truncated);
+    EXPECT_FALSE(trunc_outcome.accepted);
+    EXPECT_EQ(trunc_outcome.failure, VerifyFailure::kMalformedProof);
+    EXPECT_FALSE(client.Verify(q, truncated.bytes).outcome.accepted);
+
+    // Dropped tuple: the shard engine's own malicious-provider role.
+    auto dropped = shard.TamperedAnswer(q, TamperKind::kDropTuple);
+    if (dropped.ok()) {
+      ++drop_attacks;
+      EXPECT_FALSE(shard.Verify(q, dropped.value()).accepted);
+      EXPECT_FALSE(client.Verify(q, dropped.value().bytes).outcome.accepted);
+    }
+
+    // The tamper traffic must not have poisoned the shard's cache.
+    auto after = sharded->Answer(q);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after.value().get(), honest.value().get());
+    EXPECT_TRUE(shard.Verify(q, *after.value()).accepted);
+  }
+  EXPECT_GT(drop_attacks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Routing-aware batch verification
+// ---------------------------------------------------------------------------
+
+TEST_P(ShardedEngineMethodTest, VerifyShardedBatchMatchesVerifyBatch) {
+  const auto& ctx = CoreTestContext::Get();
+  auto sharded = MakeSharded(GetParam(), 3);
+  std::vector<std::shared_ptr<const ProofBundle>> bundles;
+  std::vector<std::span<const uint8_t>> wires;
+  std::vector<uint32_t> shard_of;
+  for (const Query& q : ctx.queries) {
+    auto answer = sharded->Answer(q);
+    ASSERT_TRUE(answer.ok());
+    bundles.push_back(std::move(answer).value());
+    wires.emplace_back(bundles.back()->bytes);
+    shard_of.push_back(static_cast<uint32_t>(sharded->RouteOf(q)));
+  }
+  Client client(ctx.keys.public_key());
+  auto grouped = client.VerifyShardedBatch(ctx.queries, bundles, shard_of, 2);
+  auto flat = client.VerifyBatch(ctx.queries, wires, 2);
+  ASSERT_EQ(grouped.size(), flat.size());
+  for (size_t i = 0; i < grouped.size(); ++i) {
+    EXPECT_EQ(grouped[i].outcome.accepted, flat[i].outcome.accepted) << i;
+    EXPECT_TRUE(grouped[i].outcome.accepted) << i;
+    EXPECT_EQ(grouped[i].distance, flat[i].distance) << i;
+    EXPECT_EQ(grouped[i].path.nodes, flat[i].path.nodes) << i;
+  }
+
+  // A null bundle is a per-message rejection, not a crash or a batch abort.
+  bundles[0] = nullptr;
+  auto with_hole = client.VerifyShardedBatch(ctx.queries, bundles, shard_of);
+  EXPECT_FALSE(with_hole[0].outcome.accepted);
+  for (size_t i = 1; i < with_hole.size(); ++i) {
+    EXPECT_TRUE(with_hole[i].outcome.accepted) << i;
+  }
+
+  // Mismatched spans reject everything.
+  std::vector<uint32_t> short_map(shard_of.begin(), shard_of.end() - 1);
+  for (const WireVerification& r :
+       client.VerifyShardedBatch(ctx.queries, bundles, short_map)) {
+    EXPECT_FALSE(r.outcome.accepted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ShardedEngineMethodTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+INSTANTIATE_TEST_SUITE_P(AllMethods, ShardedTamperTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace spauth
