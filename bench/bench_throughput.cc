@@ -11,6 +11,7 @@
 // Usage:
 //   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
 //                    [--threads N] [--proof-cache] [--shards N]
+//                    [--update-rate R] [--updates N] [--updates-first]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
 // end) instead of a dataset graph. --proof-cache enables the server-side
@@ -27,7 +28,22 @@
 // run must equal a --shards 1 run's (CI asserts exactly that); with
 // --proof-cache the repeat pass additionally asserts shared_ptr identity —
 // a cache hit is the same bundle object, not a copy.
+//
+// --update-rate R switches to the live-update mode (DIJ, the one method
+// with an incremental update story): an owner thread streams --updates N
+// seeded edge-weight updates at R updates/second through
+// ApplyEdgeWeightUpdateAllShards while a serving thread keeps AnswerBatch
+// running — epoch-snapshot rotation under real read traffic. The JSON
+// reports per-update rotation latency, the max snapshot-drain depth
+// observed, mixed-phase serve throughput, and the answers_sha1 of a final
+// serial pass at the final certificate version. --updates-first applies
+// the same updates quiesced (before any serving); since the final versions
+// match, the final-pass digests of the two modes must be byte-identical —
+// CI asserts exactly that (serve-then-update == update-then-serve).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +59,7 @@
 #include "graph/generator.h"
 #include "graph/search_workspace.h"
 #include "graph/workload.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace spauth::bench {
@@ -55,6 +72,9 @@ struct Config {
   size_t threads = 0;    // 0 = ThreadPool default
   bool proof_cache = false;
   size_t shards = 0;     // 0 = single-engine mode; N >= 1 = sharded mode
+  double update_rate = 0;  // updates/second; > 0 enables live-update mode
+  size_t updates = 0;      // total owner updates (0 = mode default)
+  bool updates_first = false;  // quiesced: apply all updates, then serve
 };
 
 struct LatencyStats {
@@ -565,6 +585,211 @@ int RunSharded(const Config& config) {
   return 0;
 }
 
+/// Live-update mode: owner updates stream through snapshot rotation while
+/// serving continues (or first, with --updates-first, for the quiesced
+/// baseline CI compares against). DIJ only — the other methods rebuild.
+int RunLiveUpdates(const Config& config) {
+  BenchGraph bench_graph;
+  if (!SetupBenchGraph(config, &bench_graph)) {
+    return 1;
+  }
+  const Graph* graph = bench_graph.graph;
+  const size_t num_queries = config.smoke ? 12 : config.queries;
+  const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
+  const size_t num_updates =
+      config.updates > 0 ? config.updates : (config.smoke ? 8 : 16);
+  const size_t num_shards = std::max<size_t>(config.shards, 1);
+
+  EngineOptions options = DefaultEngineOptions(MethodKind::kDij);
+  options.enable_proof_cache = config.proof_cache;
+  auto sharded = ShardedEngine::BuildReplicated(*graph, options, num_shards,
+                                                OwnerKeys());
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  ShardedEngine& e = *sharded.value();
+
+  // Seeded owner update stream: existing edges re-weighted relative to
+  // their original weight. One writer applies them in order, so the final
+  // graph (and therefore the final-pass digest) is independent of how the
+  // stream interleaves with serving.
+  std::vector<EdgeWeightUpdate> updates;
+  {
+    std::vector<EdgeWeightUpdate> edges;
+    for (NodeId n = 0; n < graph->num_nodes(); ++n) {
+      for (const Edge& edge : graph->Neighbors(n)) {
+        if (n < edge.to) {
+          edges.push_back({n, edge.to, edge.weight});
+        }
+      }
+    }
+    Rng rng(kWorkloadSeed + 99);
+    updates.reserve(num_updates);
+    for (size_t i = 0; i < num_updates; ++i) {
+      const EdgeWeightUpdate& edge = edges[rng.NextBounded(edges.size())];
+      updates.push_back(
+          {edge.u, edge.v, edge.new_weight * rng.NextDoubleIn(0.6, 1.8)});
+    }
+  }
+
+  auto drain_depth = [&e] {
+    size_t depth = 0;
+    for (size_t s = 0; s < e.num_shards(); ++s) {
+      depth = std::max(depth, e.shard(s).live_snapshots());
+    }
+    return depth;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mixed_answers{0};
+  std::atomic<uint64_t> mixed_failures{0};
+  // Starts at 0 so the reported maximum proves sampling actually ran
+  // (live_snapshots() is >= 1 on any live engine; CI asserts >= 1).
+  std::atomic<size_t> drain_max{0};
+  auto bump_drain = [&] {
+    const size_t depth = drain_depth();
+    size_t seen = drain_max.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !drain_max.compare_exchange_weak(seen, depth)) {
+    }
+  };
+
+  // Serving thread for the mixed phase (idle in --updates-first mode).
+  double mixed_serve_s = 0;
+  std::thread server;
+  WallTimer mixed_timer;
+  if (!config.updates_first) {
+    server = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto batch = e.AnswerBatch(queries, config.threads);
+        for (const auto& r : batch) {
+          (r.ok() ? mixed_answers : mixed_failures).fetch_add(1);
+        }
+        bump_drain();
+      }
+    });
+  }
+
+  // Owner update stream, paced at --update-rate.
+  std::vector<double> update_ms;
+  update_ms.reserve(updates.size());
+  size_t update_failures = 0;
+  uint32_t final_version = 0;
+  const std::chrono::duration<double> pause(
+      config.update_rate > 0 ? 1.0 / config.update_rate : 0.0);
+  for (const EdgeWeightUpdate& up : updates) {
+    WallTimer t;
+    auto version =
+        e.ApplyEdgeWeightUpdateAllShards(OwnerKeys(), up.u, up.v,
+                                         up.new_weight);
+    update_ms.push_back(t.ElapsedSeconds() * 1000);
+    if (version.ok()) {
+      final_version = version.value();
+    } else {
+      ++update_failures;
+    }
+    bump_drain();
+    if (pause.count() > 0) {
+      std::this_thread::sleep_for(pause);
+    }
+  }
+  if (server.joinable()) {
+    stop.store(true, std::memory_order_release);
+    server.join();
+    mixed_serve_s = mixed_timer.ElapsedSeconds();
+  }
+  if (update_failures > 0) {
+    std::fprintf(stderr, "%zu updates failed\n", update_failures);
+    return 1;
+  }
+  if (final_version != num_updates) {
+    std::fprintf(stderr, "final version %u != %zu updates\n", final_version,
+                 num_updates);
+    return 1;
+  }
+
+  // Final serial pass at the final certificate version: every answer must
+  // verify fresh under a version-tracking client, and the digest must be
+  // identical between the mixed and quiesced modes.
+  SearchWorkspace ws;
+  Client client(OwnerKeys().public_key());
+  client.TrackShardVersions(e.num_shards());
+  Hasher answers_hasher(HashAlgorithm::kSha1);
+  std::vector<double> final_ms;
+  final_ms.reserve(queries.size());
+  WallTimer final_total;
+  for (const Query& q : queries) {
+    WallTimer t;
+    auto bundle = e.Answer(q, ws);
+    final_ms.push_back(t.ElapsedSeconds() * 1000);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "final-pass answer failed: %s\n",
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    const WireVerification result =
+        client.Verify(q, bundle.value()->bytes, e.RouteOf(q));
+    if (!result.outcome.accepted || result.version != final_version) {
+      std::fprintf(stderr, "final-pass verification failed (version %u): %s\n",
+                   result.version, result.outcome.ToString().c_str());
+      return 1;
+    }
+    answers_hasher.Update(bundle.value()->bytes.data(),
+                          bundle.value()->bytes.size());
+  }
+  const double final_total_s = final_total.ElapsedSeconds();
+
+  const ShardedStats stats = e.GetStats();
+  const LatencyStats update_stats =
+      Summarize(update_ms, 0);  // latency only; rate is the pacing knob
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"mode\": \"live-update\",\n");
+  std::printf("  \"dataset\": \"%s\",\n", bench_graph.name.c_str());
+  std::printf("  \"nodes\": %zu,\n", graph->num_nodes());
+  std::printf("  \"edges\": %zu,\n", graph->num_edges());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::printf("  \"shards\": %zu,\n", num_shards);
+  std::printf("  \"method\": \"dij\",\n");
+  std::printf("  \"update\": {\n");
+  std::printf("    \"mode\": \"%s\",\n",
+              config.updates_first ? "quiesced" : "mixed");
+  std::printf("    \"rate_per_s\": %.1f,\n", config.update_rate);
+  std::printf("    \"applied\": %zu,\n", updates.size());
+  std::printf("    \"final_version\": %u,\n", final_version);
+  std::printf(
+      "    \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, \"p99\": %.4f},\n",
+      update_stats.mean_ms, update_stats.p50_ms, update_stats.p99_ms);
+  std::printf("    \"snapshot_drain_depth_max\": %zu,\n",
+              drain_max.load(std::memory_order_relaxed));
+  std::printf(
+      "    \"mixed_serve\": {\"answers\": %llu, \"failures\": %llu, "
+      "\"qps\": %.1f}\n",
+      static_cast<unsigned long long>(mixed_answers.load()),
+      static_cast<unsigned long long>(mixed_failures.load()),
+      mixed_serve_s > 0
+          ? static_cast<double>(mixed_answers.load()) / mixed_serve_s
+          : 0.0);
+  std::printf("  },\n");
+  std::printf("  \"answers_sha1\": \"%s\",\n",
+              answers_hasher.Finish().ToHex().c_str());
+  PrintJsonStats("final_pass", Summarize(final_ms, final_total_s), true);
+  std::printf(
+      "  \"cache\": {\"enabled\": %s, \"hits\": %llu, \"misses\": %llu, "
+      "\"cleared\": %llu},\n",
+      config.proof_cache ? "true" : "false",
+      static_cast<unsigned long long>(stats.totals.cache.hits),
+      static_cast<unsigned long long>(stats.totals.cache.misses),
+      static_cast<unsigned long long>(stats.totals.cache.cleared));
+  std::printf("  \"updates_total\": %llu\n",
+              static_cast<unsigned long long>(stats.totals.updates));
+  std::printf("}\n");
+  return mixed_failures.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace spauth::bench
 
@@ -608,13 +833,31 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards needs a positive count\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--update-rate") == 0) {
+      config.update_rate = std::strtod(next(), nullptr);
+      if (!(config.update_rate > 0)) {
+        std::fprintf(stderr, "--update-rate needs a positive rate\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--updates") == 0) {
+      config.updates = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(arg, "--updates-first") == 0) {
+      config.updates_first = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
                    "[--queries N] [--threads N] [--proof-cache] "
-                   "[--shards N]\n");
+                   "[--shards N] [--update-rate R] [--updates N] "
+                   "[--updates-first]\n");
       return 2;
     }
+  }
+  if (config.update_rate > 0 || config.updates > 0 || config.updates_first) {
+    if (!(config.update_rate > 0)) {
+      std::fprintf(stderr, "--updates/--updates-first need --update-rate\n");
+      return 2;
+    }
+    return spauth::bench::RunLiveUpdates(config);
   }
   return config.shards > 0 ? spauth::bench::RunSharded(config)
                            : spauth::bench::Run(config);

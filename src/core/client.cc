@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <unordered_map>
 
 #include "core/engine.h"
@@ -48,6 +49,7 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
                       std::span<const uint8_t> wire_bytes,
                       VerifyWorkspace& ws, WireVerification* out) {
   out->method = MethodKind::kDij;
+  out->version = 0;
   out->path.nodes.clear();
   out->distance = 0;
   ByteReader reader(wire_bytes);
@@ -56,6 +58,7 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
                                          "certificate decode failed");
     return;
   }
+  out->version = ws.cert.params.version;
   switch (ws.cert.params.method) {
     case MethodKind::kDij:
       DecodeAndVerifyInto<DijAnswer>(
@@ -106,10 +109,57 @@ Client::~Client() = default;
 Client::Client(Client&&) noexcept = default;
 Client& Client::operator=(Client&&) noexcept = default;
 
+void Client::TrackShardVersions(size_t num_shards) {
+  num_tracked_shards_ = std::max<size_t>(num_shards, 1);
+  watermarks_ =
+      std::make_unique<std::atomic<uint32_t>[]>(num_tracked_shards_);
+  for (size_t i = 0; i < num_tracked_shards_; ++i) {
+    watermarks_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint32_t Client::ShardVersionWatermark(size_t shard) const {
+  if (watermarks_ == nullptr || shard >= num_tracked_shards_) {
+    return 0;
+  }
+  return watermarks_[shard].load(std::memory_order_acquire);
+}
+
+void Client::ApplyWatermark(size_t shard, WireVerification* out) const {
+  if (watermarks_ == nullptr || shard >= num_tracked_shards_ ||
+      !out->outcome.accepted) {
+    return;
+  }
+  std::atomic<uint32_t>& mark = watermarks_[shard];
+  uint32_t seen = mark.load(std::memory_order_acquire);
+  for (;;) {
+    if (out->version < seen) {
+      out->outcome = VerifyOutcome::Reject(
+          VerifyFailure::kStaleCertificate,
+          "certificate version " + std::to_string(out->version) +
+              " is older than the shard's accepted watermark " +
+              std::to_string(seen));
+      return;
+    }
+    if (out->version == seen ||
+        mark.compare_exchange_weak(seen, out->version,
+                                   std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
 WireVerification Client::Verify(const Query& query,
                                 std::span<const uint8_t> wire_bytes) {
+  return Verify(query, wire_bytes, 0);
+}
+
+WireVerification Client::Verify(const Query& query,
+                                std::span<const uint8_t> wire_bytes,
+                                size_t shard) {
   WireVerification result;
   VerifyWireAnswer(owner_key_, query, wire_bytes, *ws_, &result);
+  ApplyWatermark(shard, &result);
   return result;
 }
 
@@ -137,6 +187,7 @@ std::vector<WireVerification> Client::VerifyBatch(
     for (size_t i = 0; i < queries.size(); ++i) {
       VerifyWireAnswer(owner_key_, queries[i], wire_messages[i], ws,
                        &results[i]);
+      ApplyWatermark(0, &results[i]);
     }
     return results;
   }
@@ -149,6 +200,7 @@ std::vector<WireVerification> Client::VerifyBatch(
            i = next.fetch_add(1)) {
         VerifyWireAnswer(owner_key_, queries[i], wire_messages[i], ws,
                          &results[i]);
+        ApplyWatermark(0, &results[i]);
       }
     });
   }
@@ -187,8 +239,8 @@ std::vector<WireVerification> Client::VerifyShardedBatch(
     groups[it->second].push_back(i);
   }
 
-  auto verify_one = [this, &queries, &bundles, &results](size_t i,
-                                                         VerifyWorkspace& ws) {
+  auto verify_one = [this, &queries, &bundles, &shard_of, &results](
+                        size_t i, VerifyWorkspace& ws) {
     if (bundles[i] == nullptr) {
       results[i].outcome = VerifyOutcome::Reject(
           VerifyFailure::kMalformedProof, "missing bundle for query");
@@ -196,6 +248,7 @@ std::vector<WireVerification> Client::VerifyShardedBatch(
     }
     VerifyWireAnswer(owner_key_, queries[i], bundles[i]->bytes, ws,
                      &results[i]);
+    ApplyWatermark(shard_of[i], &results[i]);
   };
 
   if (num_threads == 0) {

@@ -12,9 +12,18 @@
 // client verifies a message stream with near-zero steady-state
 // allocations, and Client::VerifyBatch fans a stream over a worker pool
 // with one workspace per worker.
+//
+// Freshness: the paper's owner re-signs a bumped-version certificate
+// after every update but leaves "accept only fresh certificates" as an
+// out-of-band policy. TrackShardVersions turns that policy on: the client
+// keeps a monotonic per-shard version watermark and rejects (as
+// kStaleCertificate) any authentic answer whose certificate version is
+// older than one it has already accepted from the same serving shard.
 #ifndef SPAUTH_CORE_CLIENT_H_
 #define SPAUTH_CORE_CLIENT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -34,6 +43,8 @@ struct ProofBundle;      // core/engine.h
 struct WireVerification {
   VerifyOutcome outcome;
   MethodKind method = MethodKind::kDij;  // from the certificate
+  uint32_t version = 0;                  // certificate version (0 until the
+                                         // certificate decodes)
   Path path;                             // the provider's path
   double distance = 0;                   // its verified distance
 };
@@ -65,10 +76,28 @@ class Client {
 
   const RsaPublicKey& owner_key() const { return owner_key_; }
 
+  /// Enables staleness detection over `num_shards` serving shards: once an
+  /// answer with certificate version V from shard s has been accepted,
+  /// every later answer from shard s with version < V is rejected with
+  /// kStaleCertificate — the per-shard watermark only ever moves forward,
+  /// so the versions this client accepts from one shard are monotonic even
+  /// under concurrent VerifyBatch workers. Unsharded surfaces (Verify,
+  /// VerifyBatch) enforce against shard 0. Call before verifying (it
+  /// resets existing watermarks).
+  void TrackShardVersions(size_t num_shards);
+  bool tracking_versions() const { return watermarks_ != nullptr; }
+  /// Highest certificate version accepted so far from `shard` (0 when
+  /// nothing was accepted yet or tracking is off/out of range).
+  uint32_t ShardVersionWatermark(size_t shard) const;
+
   /// Serial fast path: verifies one wire message, reusing the client's
   /// workspace across calls.
   WireVerification Verify(const Query& query,
                           std::span<const uint8_t> wire_bytes);
+  /// Same, attributing the message to `shard` for watermark enforcement
+  /// (the three-argument form Verify delegates to with shard 0).
+  WireVerification Verify(const Query& query,
+                          std::span<const uint8_t> wire_bytes, size_t shard);
 
   /// Verifies a message stream on a small internal worker pool, one reused
   /// VerifyWorkspace per worker (num_threads == 0 picks a host default).
@@ -93,8 +122,16 @@ class Client {
       std::span<const uint32_t> shard_of, size_t num_threads = 0) const;
 
  private:
+  /// Watermark enforcement: downgrades an accepted `out` to a
+  /// kStaleCertificate rejection when its version is below shard's
+  /// watermark, otherwise advances the watermark (lock-free fetch-max).
+  /// No-op when tracking is off or `shard` is out of the tracked range.
+  void ApplyWatermark(size_t shard, WireVerification* out) const;
+
   RsaPublicKey owner_key_;
   std::unique_ptr<VerifyWorkspace> ws_;
+  std::unique_ptr<std::atomic<uint32_t>[]> watermarks_;
+  size_t num_tracked_shards_ = 0;
 };
 
 }  // namespace spauth

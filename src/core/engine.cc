@@ -35,6 +35,92 @@ std::string_view ToString(TamperKind kind) {
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot plumbing
+// ---------------------------------------------------------------------------
+
+/// shared_ptr deleter for published snapshots: the last in-flight reader
+/// (or the engine replacing/destroying the snapshot) triggers the drain
+/// hook before the state is freed.
+struct MethodEngine::StateRetirer {
+  const MethodEngine* engine;
+  void operator()(const EngineState* state) const {
+    engine->OnStateDrained(*state);
+    delete state;
+  }
+};
+
+MethodEngine::MethodEngine(const EngineOptions& options)
+    : cache_enabled_(options.enable_proof_cache),
+      cache_capacity_(options.proof_cache_capacity),
+      cache_shards_(options.proof_cache_shards) {}
+
+MethodEngine::~MethodEngine() = default;
+
+void MethodEngine::PublishState(std::unique_ptr<EngineState> state) {
+  state->epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cache_enabled_ && state->cache == nullptr) {
+    ProofCache<ProofBundle>::Options options;
+    options.capacity = cache_capacity_;
+    options.shards = cache_shards_;
+    state->cache = std::make_shared<ProofCache<ProofBundle>>(options);
+  }
+  live_states_.fetch_add(1, std::memory_order_acq_rel);
+  std::shared_ptr<const EngineState> published(state.release(),
+                                               StateRetirer{this});
+  // The slot's release/acquire pairing guarantees a reader that acquires
+  // the new snapshot sees every write that built it (cloned graph/ADS,
+  // re-signed certificate, fresh cache).
+  slot_.Store(std::move(published));
+}
+
+void MethodEngine::OnStateDrained(const EngineState& state) const {
+  if (state.cache != nullptr) {
+    const ProofCacheStats s = state.cache->GetStats();
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.hits += s.hits;
+    retired_.misses += s.misses;
+    retired_.insertions += s.insertions;
+    retired_.evictions += s.evictions;
+    // Rotation retired the resident entries wholesale; account them as
+    // cleared so the books conserve across snapshot lifetimes.
+    retired_.cleared += s.cleared + s.entries;
+    retired_.hit_bytes += s.hit_bytes;
+  }
+  live_states_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdate(const RsaKeyPair& /*keys*/,
+                                                     NodeId /*u*/, NodeId /*v*/,
+                                                     double /*new_weight*/) {
+  return Status::FailedPrecondition(
+      "method hints require a rebuild on weight changes");
+}
+
+ProofCacheStats MethodEngine::proof_cache_stats() const {
+  ProofCacheStats stats;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    stats = retired_;
+  }
+  const std::shared_ptr<const EngineState> state = CurrentState();
+  if (state->cache != nullptr) {
+    const ProofCacheStats live = state->cache->GetStats();
+    stats.hits += live.hits;
+    stats.misses += live.misses;
+    stats.insertions += live.insertions;
+    stats.evictions += live.evictions;
+    stats.cleared += live.cleared;
+    stats.hit_bytes += live.hit_bytes;
+    stats.entries += live.entries;
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------------
+
 Result<ProofBundle> MethodEngine::Answer(const Query& query) const {
   SearchWorkspace ws;
   return Answer(query, ws);
@@ -42,11 +128,18 @@ Result<ProofBundle> MethodEngine::Answer(const Query& query) const {
 
 Result<ProofBundle> MethodEngine::Answer(const Query& query,
                                          SearchWorkspace& ws) const {
-  if (cache_ == nullptr) {
-    return AnswerUncached(query, ws);
+  const std::shared_ptr<const EngineState> state = CurrentState();
+  return AnswerOn(*state, query, ws);
+}
+
+Result<ProofBundle> MethodEngine::AnswerOn(const EngineState& state,
+                                           const Query& query,
+                                           SearchWorkspace& ws) const {
+  if (state.cache == nullptr) {
+    return AnswerUncached(state, query, ws);
   }
   SPAUTH_ASSIGN_OR_RETURN(std::shared_ptr<const ProofBundle> shared,
-                          AnswerShared(query, ws));
+                          AnswerOnState(state, query, ws));
   return *shared;
 }
 
@@ -58,25 +151,38 @@ Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
 
 Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
     const Query& query, SearchWorkspace& ws) const {
-  if (cache_ == nullptr) {
-    SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(query, ws));
+  // One acquire pins the whole snapshot for this query: graph, ADS,
+  // certificate and cache stay mutually consistent even if an owner
+  // update publishes a newer snapshot mid-answer.
+  const std::shared_ptr<const EngineState> state = CurrentState();
+  return AnswerOnState(*state, query, ws);
+}
+
+Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
+    const Query& query, SearchWorkspace& ws,
+    std::shared_ptr<const EngineState>* snap) const {
+  slot_.Refresh(snap);
+  return AnswerOnState(**snap, query, ws);
+}
+
+Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerOnState(
+    const EngineState& state, const Query& query, SearchWorkspace& ws) const {
+  if (state.cache == nullptr) {
+    SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle,
+                            AnswerUncached(state, query, ws));
     return std::make_shared<const ProofBundle>(std::move(bundle));
   }
-  // Bundles certify the ADS roots, so a version change (owner update)
-  // invalidates everything cached so far.
-  const uint32_t version = certificate().params.version;
-  if (cache_version_.load(std::memory_order_acquire) != version) {
-    cache_->Clear();
-    cache_version_.store(version, std::memory_order_release);
-  }
+  // Cached bundles certify this snapshot's root; no cross-snapshot
+  // invalidation is needed because the cache lives and dies with the
+  // snapshot.
   const uint64_t key =
       (static_cast<uint64_t>(query.source) << 32) | query.target;
-  if (std::shared_ptr<const ProofBundle> hit = cache_->Lookup(key)) {
+  if (std::shared_ptr<const ProofBundle> hit = state.cache->Lookup(key)) {
     return hit;
   }
-  SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(query, ws));
+  SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(state, query, ws));
   auto shared = std::make_shared<const ProofBundle>(std::move(bundle));
-  cache_->Insert(key, shared, shared->bytes.size());
+  state.cache->Insert(key, shared, shared->bytes.size());
   return shared;
 }
 
@@ -84,35 +190,6 @@ VerifyOutcome MethodEngine::Verify(const Query& query,
                                    const ProofBundle& bundle) const {
   VerifyWorkspace ws;
   return Verify(query, bundle, ws);
-}
-
-Status MethodEngine::ApplyEdgeWeightUpdate(Graph* /*g*/,
-                                           const RsaKeyPair& /*keys*/,
-                                           NodeId /*u*/, NodeId /*v*/,
-                                           double /*new_weight*/) {
-  return Status::FailedPrecondition(
-      "method hints require a rebuild on weight changes");
-}
-
-void MethodEngine::EnableProofCache(size_t capacity, size_t shards) {
-  ProofCache<ProofBundle>::Options options;
-  options.capacity = capacity;
-  options.shards = shards;
-  cache_ = std::make_unique<ProofCache<ProofBundle>>(options);
-  cache_version_.store(certificate().params.version,
-                       std::memory_order_release);
-}
-
-ProofCacheStats MethodEngine::proof_cache_stats() const {
-  return cache_ == nullptr ? ProofCacheStats{} : cache_->GetStats();
-}
-
-void MethodEngine::InvalidateProofCache() const {
-  if (cache_ != nullptr) {
-    cache_->Clear();
-    cache_version_.store(certificate().params.version,
-                         std::memory_order_release);
-  }
 }
 
 std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
@@ -128,8 +205,10 @@ std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
   num_threads = std::min(num_threads, queries.size());
   if (num_threads <= 1) {
     SearchWorkspace ws;
+    std::shared_ptr<const EngineState> snap;
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Answer(queries[i], ws);
+      slot_.Refresh(&snap);  // one acquire load unless a rotation landed
+      results[i] = AnswerOn(*snap, queries[i], ws);
     }
     return results;
   }
@@ -138,9 +217,11 @@ std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
   for (size_t w = 0; w < num_threads; ++w) {
     pool.Submit([this, &queries, &results, &next] {
       SearchWorkspace ws;  // per-worker scratch, hot for the whole stream
+      std::shared_ptr<const EngineState> snap;  // per-worker snapshot pin
       for (size_t i = next.fetch_add(1); i < queries.size();
            i = next.fetch_add(1)) {
-        results[i] = Answer(queries[i], ws);
+        slot_.Refresh(&snap);
+        results[i] = AnswerOn(*snap, queries[i], ws);
       }
     });
   }
@@ -151,9 +232,9 @@ std::vector<Result<ProofBundle>> MethodEngine::AnswerBatch(
 namespace {
 
 /// Wire layout shared by all engines: certificate followed by the answer.
-/// `cert_size` is the (per-engine constant) certificate wire size; together
-/// with Answer::SerializedSize() it pre-sizes the buffer so assembly never
-/// reallocates.
+/// `cert_size` is the (per-snapshot constant) certificate wire size;
+/// together with Answer::SerializedSize() it pre-sizes the buffer so
+/// assembly never reallocates.
 template <typename Answer>
 std::vector<uint8_t> EncodeBundle(const Certificate& cert,
                                   const Answer& answer, size_t cert_size) {
@@ -250,64 +331,91 @@ Status CorruptOneTupleWeight(TupleSetProof* proof) {
 // DIJ engine
 // ---------------------------------------------------------------------------
 
+/// DIJ snapshot: the network ADS (its certificate mirrors
+/// EngineState::certificate by construction).
+struct DijState final : EngineState {
+  explicit DijState(DijAds a) : ads(std::move(a)) {}
+  DijAds ads;
+};
+
 class DijEngine : public MethodEngine {
  public:
-  DijEngine(const Graph* g, DijAds ads, RsaPublicKey owner_key,
-            SpAlgorithm algosp)
-      : g_(g),
-        ads_(std::move(ads)),
-        provider_(g, &ads_, algosp),
+  DijEngine(const EngineOptions& options,
+            std::shared_ptr<const Graph> g, DijAds ads,
+            RsaPublicKey owner_key)
+      : MethodEngine(options),
         owner_key_(std::move(owner_key)),
-        cert_size_(ads_.certificate.SerializedSize()) {}
-
-  MethodKind kind() const override { return MethodKind::kDij; }
-  size_t storage_bytes() const override { return ads_.network.StorageBytes(); }
-  const Certificate& certificate() const override { return ads_.certificate; }
-
-  Result<ProofBundle> AnswerUncached(const Query& query,
-                                     SearchWorkspace& ws) const override {
-    SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query, ws));
-    return Finish(answer);
+        algosp_(options.provider_algorithm) {
+    auto state = std::make_unique<DijState>(std::move(ads));
+    state->graph = std::move(g);
+    state->certificate = state->ads.certificate;
+    state->cert_size = state->certificate.SerializedSize();
+    PublishState(std::move(state));
   }
 
-  Status ApplyEdgeWeightUpdate(Graph* g, const RsaKeyPair& keys, NodeId u,
-                               NodeId v, double new_weight) override {
-    if (g != g_) {
-      return Status::InvalidArgument(
-          "graph does not match the engine's graph");
-    }
-    SPAUTH_RETURN_IF_ERROR(UpdateEdgeWeight(g, &ads_, keys, u, v,
-                                            new_weight));
-    cert_size_ = ads_.certificate.SerializedSize();
-    InvalidateProofCache();
-    return Status::Ok();
+  MethodKind kind() const override { return MethodKind::kDij; }
+  size_t storage_bytes() const override {
+    return State()->ads.network.StorageBytes();
+  }
+
+  Result<ProofBundle> AnswerUncached(const EngineState& state,
+                                     const Query& query,
+                                     SearchWorkspace& ws) const override {
+    const DijState& s = static_cast<const DijState&>(state);
+    DijProvider provider(s.graph.get(), &s.ads, algosp_);
+    SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider.Answer(query, ws));
+    return MakeBundle(s, answer);
+  }
+
+  Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys, NodeId u,
+                                         NodeId v,
+                                         double new_weight) override {
+    std::unique_lock<std::mutex> rotation = LockForUpdate();
+    const std::shared_ptr<const DijState> cur = State();
+    // Copy-on-write: clone graph + ADS, mutate the clones (two tuples
+    // re-hashed, O(log V) Merkle path refreshed over the cached levels,
+    // certificate re-signed at version + 1), publish. A failed update
+    // publishes nothing.
+    auto graph = std::make_shared<Graph>(*cur->graph);
+    auto next = std::make_unique<DijState>(cur->ads);
+    SPAUTH_RETURN_IF_ERROR(
+        UpdateEdgeWeight(graph.get(), &next->ads, keys, u, v, new_weight));
+    next->graph = std::move(graph);
+    next->certificate = next->ads.certificate;
+    next->cert_size = next->certificate.SerializedSize();
+    const uint32_t version = next->certificate.params.version;
+    PublishState(std::move(next));
+    return version;
   }
 
   Result<ProofBundle> TamperedAnswer(const Query& query,
                                      TamperKind kind) const override {
+    const std::shared_ptr<const DijState> s = State();
+    const Graph& g = *s->graph;
+    DijProvider provider(s->graph.get(), &s->ads, algosp_);
     switch (kind) {
       case TamperKind::kSuboptimalPath: {
         SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
-                                FindSuboptimalPath(*g_, query));
+                                FindSuboptimalPath(g, query));
         // "Honest" proof generation relative to the longer distance.
-        BallResult ball = DijkstraBall(*g_, query.source,
+        BallResult ball = DijkstraBall(g, query.source,
                                        alt.distance +
                                            ProviderSlack(alt.distance));
         DijAnswer answer;
         answer.path = std::move(alt.path);
         answer.distance = alt.distance;
         SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
-                                ads_.network.ProveTuples(ball.nodes));
-        return Finish(answer);
+                                s->ads.network.ProveTuples(ball.nodes));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kTamperWeight: {
-        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider.Answer(query));
         SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.subgraph));
-        return Finish(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kDropTuple: {
-        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
-        BallResult ball = DijkstraBall(*g_, query.source,
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider.Answer(query));
+        BallResult ball = DijkstraBall(g, query.source,
                                        answer.distance +
                                            ProviderSlack(answer.distance));
         std::unordered_set<NodeId> path_nodes(answer.path.nodes.begin(),
@@ -327,19 +435,19 @@ class DijEngine : public MethodEngine {
           return Status::NotFound("no droppable interior tuple");
         }
         SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
-                                ads_.network.ProveTuples(kept));
-        return Finish(answer);
+                                s->ads.network.ProveTuples(kept));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kBogusSignature: {
-        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
-        ProofBundle bundle = MakeBundle(answer);
-        bundle.bytes = EncodeWithBogusSignature(ads_.certificate, answer);
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider.Answer(query));
+        ProofBundle bundle = MakeBundle(*s, answer);
+        bundle.bytes = EncodeWithBogusSignature(s->ads.certificate, answer);
         return bundle;
       }
       case TamperKind::kPhantomEdge: {
-        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(DijAnswer answer, provider.Answer(query));
         answer.path.nodes = {query.source, query.target};
-        return Finish(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kForgeDistanceValue:
         return Status::FailedPrecondition("DIJ has no distance entries");
@@ -360,102 +468,117 @@ class DijEngine : public MethodEngine {
   }
 
  private:
-  ProofBundle MakeBundle(const DijAnswer& answer) const {
+  std::shared_ptr<const DijState> State() const {
+    return std::static_pointer_cast<const DijState>(CurrentState());
+  }
+
+  ProofBundle MakeBundle(const DijState& s, const DijAnswer& answer) const {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
+    bundle.bytes = EncodeBundle(s.ads.certificate, answer, s.cert_size);
     bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
-    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + cert_size_;
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + s.cert_size;
     bundle.stats.sp_items = answer.subgraph.tuples.size();
     bundle.stats.t_items = answer.subgraph.proof.num_digests();
     return bundle;
   }
-  Result<ProofBundle> Finish(const DijAnswer& answer) const {
-    return MakeBundle(answer);
-  }
 
-  const Graph* g_;
-  DijAds ads_;
-  DijProvider provider_;
   RsaPublicKey owner_key_;
-  size_t cert_size_;
+  SpAlgorithm algosp_;
 };
 
 // ---------------------------------------------------------------------------
 // FULL engine
 // ---------------------------------------------------------------------------
 
+struct FullState final : EngineState {
+  explicit FullState(FullAds a) : ads(std::move(a)) {}
+  FullAds ads;
+};
+
 class FullEngine : public MethodEngine {
  public:
-  FullEngine(const Graph* g, FullAds ads, RsaPublicKey owner_key,
-            SpAlgorithm algosp)
-      : g_(g),
-        ads_(std::move(ads)),
-        provider_(g, &ads_, algosp),
+  FullEngine(const EngineOptions& options,
+            std::shared_ptr<const Graph> g, FullAds ads,
+            RsaPublicKey owner_key)
+      : MethodEngine(options),
         owner_key_(std::move(owner_key)),
-        cert_size_(ads_.certificate.SerializedSize()) {}
+        algosp_(options.provider_algorithm) {
+    auto state = std::make_unique<FullState>(std::move(ads));
+    state->graph = std::move(g);
+    state->certificate = state->ads.certificate;
+    state->cert_size = state->certificate.SerializedSize();
+    PublishState(std::move(state));
+  }
 
   MethodKind kind() const override { return MethodKind::kFull; }
   size_t storage_bytes() const override {
-    return ads_.network.StorageBytes() + ads_.distances.StorageBytes();
+    const std::shared_ptr<const FullState> s = State();
+    return s->ads.network.StorageBytes() + s->ads.distances.StorageBytes();
   }
-  const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> AnswerUncached(const Query& query,
+  Result<ProofBundle> AnswerUncached(const EngineState& state,
+                                     const Query& query,
                                      SearchWorkspace& ws) const override {
-    SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query, ws));
-    return MakeBundle(answer);
+    const FullState& s = static_cast<const FullState&>(state);
+    FullProvider provider(s.graph.get(), &s.ads, algosp_);
+    SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query, ws));
+    return MakeBundle(s, answer);
   }
 
   Result<ProofBundle> TamperedAnswer(const Query& query,
                                      TamperKind kind) const override {
+    const std::shared_ptr<const FullState> s = State();
+    const Graph& g = *s->graph;
+    FullProvider provider(s->graph.get(), &s->ads, algosp_);
     switch (kind) {
       case TamperKind::kSuboptimalPath: {
         SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
-                                FindSuboptimalPath(*g_, query));
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+                                FindSuboptimalPath(g, query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
         answer.distance = alt.distance;
         answer.path = alt.path;
-        SPAUTH_ASSIGN_OR_RETURN(answer.path_tuples,
-                                ads_.network.ProveTuples(answer.path.nodes));
-        return MakeBundle(answer);
+        SPAUTH_ASSIGN_OR_RETURN(
+            answer.path_tuples,
+            s->ads.network.ProveTuples(answer.path.nodes));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kTamperWeight: {
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
         SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.path_tuples));
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kDropTuple: {
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
         if (answer.path.nodes.size() < 3) {
           return Status::NotFound("path too short to drop a tuple");
         }
         std::vector<NodeId> kept = answer.path.nodes;
         kept.erase(kept.begin() + static_cast<ptrdiff_t>(kept.size() / 2));
         SPAUTH_ASSIGN_OR_RETURN(answer.path_tuples,
-                                ads_.network.ProveTuples(kept));
-        return MakeBundle(answer);
+                                s->ads.network.ProveTuples(kept));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kForgeDistanceValue: {
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
         answer.distance_proof.entries[0].value *= 1.1;
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kBogusSignature: {
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
-        auto bundle = MakeBundle(answer);
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
+        auto bundle = MakeBundle(*s, answer);
         if (!bundle.ok()) {
           return bundle;
         }
         bundle.value().bytes =
-            EncodeWithBogusSignature(ads_.certificate, answer);
+            EncodeWithBogusSignature(s->ads.certificate, answer);
         return bundle;
       }
       case TamperKind::kPhantomEdge: {
-        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(FullAnswer answer, provider.Answer(query));
         answer.path.nodes = {query.source, query.target};
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
     }
     return Status::Internal("unhandled tamper kind");
@@ -474,100 +597,118 @@ class FullEngine : public MethodEngine {
   }
 
  private:
-  Result<ProofBundle> MakeBundle(const FullAnswer& answer) const {
+  std::shared_ptr<const FullState> State() const {
+    return std::static_pointer_cast<const FullState>(CurrentState());
+  }
+
+  Result<ProofBundle> MakeBundle(const FullState& s,
+                                 const FullAnswer& answer) const {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
+    bundle.bytes = EncodeBundle(s.ads.certificate, answer, s.cert_size);
     // Gamma_S: the authenticated distance tuple and its B-tree digests.
     bundle.stats.sp_bytes = answer.distance_proof.SerializedSize();
     bundle.stats.sp_items = answer.distance_proof.entries.size() +
                             answer.distance_proof.tree_proof.num_digests();
     // Gamma_T: the path tuples and the network digests.
     bundle.stats.t_bytes = answer.path_tuples.TupleBytes() +
-                           answer.path_tuples.IntegrityBytes() + cert_size_;
+                           answer.path_tuples.IntegrityBytes() + s.cert_size;
     bundle.stats.t_items = answer.path_tuples.tuples.size() +
                            answer.path_tuples.proof.num_digests();
     return bundle;
   }
 
-  const Graph* g_;
-  FullAds ads_;
-  FullProvider provider_;
   RsaPublicKey owner_key_;
-  size_t cert_size_;
+  SpAlgorithm algosp_;
 };
 
 // ---------------------------------------------------------------------------
 // LDM engine
 // ---------------------------------------------------------------------------
 
+struct LdmState final : EngineState {
+  explicit LdmState(LdmAds a) : ads(std::move(a)) {}
+  LdmAds ads;
+};
+
 class LdmEngine : public MethodEngine {
  public:
-  LdmEngine(const Graph* g, LdmAds ads, RsaPublicKey owner_key,
-            SpAlgorithm algosp)
-      : g_(g),
-        ads_(std::move(ads)),
-        provider_(g, &ads_, algosp),
+  LdmEngine(const EngineOptions& options,
+            std::shared_ptr<const Graph> g, LdmAds ads,
+            RsaPublicKey owner_key)
+      : MethodEngine(options),
         owner_key_(std::move(owner_key)),
-        cert_size_(ads_.certificate.SerializedSize()) {}
+        algosp_(options.provider_algorithm) {
+    auto state = std::make_unique<LdmState>(std::move(ads));
+    state->graph = std::move(g);
+    state->certificate = state->ads.certificate;
+    state->cert_size = state->certificate.SerializedSize();
+    PublishState(std::move(state));
+  }
 
   MethodKind kind() const override { return MethodKind::kLdm; }
   size_t storage_bytes() const override {
-    return ads_.network.StorageBytes() + ads_.ref.size() * 12;
+    const std::shared_ptr<const LdmState> s = State();
+    return s->ads.network.StorageBytes() + s->ads.ref.size() * 12;
   }
-  const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> AnswerUncached(const Query& query,
+  Result<ProofBundle> AnswerUncached(const EngineState& state,
+                                     const Query& query,
                                      SearchWorkspace& ws) const override {
-    SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query, ws));
-    return MakeBundle(answer);
+    const LdmState& s = static_cast<const LdmState&>(state);
+    LdmProvider provider(s.graph.get(), &s.ads, algosp_);
+    SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider.Answer(query, ws));
+    return MakeBundle(s, answer);
   }
 
   Result<ProofBundle> TamperedAnswer(const Query& query,
                                      TamperKind kind) const override {
+    const std::shared_ptr<const LdmState> s = State();
+    const Graph& g = *s->graph;
+    LdmProvider provider(s->graph.get(), &s->ads, algosp_);
     switch (kind) {
       case TamperKind::kSuboptimalPath: {
         SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
-                                FindSuboptimalPath(*g_, query));
+                                FindSuboptimalPath(g, query));
         // Re-issue the provider's proof against the inflated distance by
         // answering a fake "claim": rebuild Gamma_S around alt.distance.
-        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer honest, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer honest, provider.Answer(query));
         LdmAnswer answer;
         answer.path = std::move(alt.path);
         answer.distance = alt.distance;
         // A superset proof (radius alt.distance) keeps the Merkle part
         // valid while the path is suboptimal.
-        BallResult ball = DijkstraBall(*g_, query.source,
+        BallResult ball = DijkstraBall(g, query.source,
                                        alt.distance +
                                            ProviderSlack(alt.distance));
         std::vector<NodeId> nodes = ball.nodes;
         const size_t direct = nodes.size();
         for (size_t i = 0; i < direct; ++i) {
-          for (const Edge& e : g_->Neighbors(nodes[i])) {
+          for (const Edge& e : g.Neighbors(nodes[i])) {
             nodes.push_back(e.to);
           }
         }
         const size_t with_neighbors = nodes.size();
         for (size_t i = 0; i < with_neighbors; ++i) {
-          nodes.push_back(ads_.ref[nodes[i]]);
+          nodes.push_back(s->ads.ref[nodes[i]]);
         }
         nodes.push_back(query.source);
         nodes.push_back(query.target);
-        nodes.push_back(ads_.ref[query.source]);
-        nodes.push_back(ads_.ref[query.target]);
+        nodes.push_back(s->ads.ref[query.source]);
+        nodes.push_back(s->ads.ref[query.target]);
         SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
-                                ads_.network.ProveTuples(nodes));
+                                s->ads.network.ProveTuples(nodes));
         (void)honest;
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kTamperWeight: {
-        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider.Answer(query));
         SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.subgraph));
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kDropTuple: {
-        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider.Answer(query));
         if (answer.path.nodes.size() < 3) {
           return Status::NotFound("path too short to drop a tuple");
         }
@@ -581,23 +722,23 @@ class LdmEngine : public MethodEngine {
           }
         }
         SPAUTH_ASSIGN_OR_RETURN(answer.subgraph,
-                                ads_.network.ProveTuples(kept));
-        return MakeBundle(answer);
+                                s->ads.network.ProveTuples(kept));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kBogusSignature: {
-        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
-        auto bundle = MakeBundle(answer);
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider.Answer(query));
+        auto bundle = MakeBundle(*s, answer);
         if (!bundle.ok()) {
           return bundle;
         }
         bundle.value().bytes =
-            EncodeWithBogusSignature(ads_.certificate, answer);
+            EncodeWithBogusSignature(s->ads.certificate, answer);
         return bundle;
       }
       case TamperKind::kPhantomEdge: {
-        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(LdmAnswer answer, provider.Answer(query));
         answer.path.nodes = {query.source, query.target};
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kForgeDistanceValue:
         return Status::FailedPrecondition("LDM has no distance entries");
@@ -618,58 +759,76 @@ class LdmEngine : public MethodEngine {
   }
 
  private:
-  Result<ProofBundle> MakeBundle(const LdmAnswer& answer) const {
+  std::shared_ptr<const LdmState> State() const {
+    return std::static_pointer_cast<const LdmState>(CurrentState());
+  }
+
+  Result<ProofBundle> MakeBundle(const LdmState& s,
+                                 const LdmAnswer& answer) const {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
+    bundle.bytes = EncodeBundle(s.ads.certificate, answer, s.cert_size);
     bundle.stats.sp_bytes = answer.subgraph.TupleBytes();
-    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + cert_size_;
+    bundle.stats.t_bytes = answer.subgraph.IntegrityBytes() + s.cert_size;
     bundle.stats.sp_items = answer.subgraph.tuples.size();
     bundle.stats.t_items = answer.subgraph.proof.num_digests();
     return bundle;
   }
 
-  const Graph* g_;
-  LdmAds ads_;
-  LdmProvider provider_;
   RsaPublicKey owner_key_;
-  size_t cert_size_;
+  SpAlgorithm algosp_;
 };
 
 // ---------------------------------------------------------------------------
 // HYP engine
 // ---------------------------------------------------------------------------
 
+struct HypState final : EngineState {
+  explicit HypState(HypAds a) : ads(std::move(a)) {}
+  HypAds ads;
+};
+
 class HypEngine : public MethodEngine {
  public:
-  HypEngine(const Graph* g, HypAds ads, RsaPublicKey owner_key,
-            SpAlgorithm algosp)
-      : g_(g),
-        ads_(std::move(ads)),
-        provider_(g, &ads_, algosp),
+  HypEngine(const EngineOptions& options,
+            std::shared_ptr<const Graph> g, HypAds ads,
+            RsaPublicKey owner_key)
+      : MethodEngine(options),
         owner_key_(std::move(owner_key)),
-        cert_size_(ads_.certificate.SerializedSize()) {}
+        algosp_(options.provider_algorithm) {
+    auto state = std::make_unique<HypState>(std::move(ads));
+    state->graph = std::move(g);
+    state->certificate = state->ads.certificate;
+    state->cert_size = state->certificate.SerializedSize();
+    PublishState(std::move(state));
+  }
 
   MethodKind kind() const override { return MethodKind::kHyp; }
   size_t storage_bytes() const override {
-    return ads_.network.StorageBytes() + ads_.distances.StorageBytes();
+    const std::shared_ptr<const HypState> s = State();
+    return s->ads.network.StorageBytes() + s->ads.distances.StorageBytes();
   }
-  const Certificate& certificate() const override { return ads_.certificate; }
 
-  Result<ProofBundle> AnswerUncached(const Query& query,
+  Result<ProofBundle> AnswerUncached(const EngineState& state,
+                                     const Query& query,
                                      SearchWorkspace& ws) const override {
-    SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query, ws));
-    return MakeBundle(answer);
+    const HypState& s = static_cast<const HypState&>(state);
+    HypProvider provider(s.graph.get(), &s.ads, algosp_);
+    SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query, ws));
+    return MakeBundle(s, answer);
   }
 
   Result<ProofBundle> TamperedAnswer(const Query& query,
                                      TamperKind kind) const override {
+    const std::shared_ptr<const HypState> s = State();
+    const Graph& g = *s->graph;
+    HypProvider provider(s->graph.get(), &s->ads, algosp_);
     switch (kind) {
       case TamperKind::kSuboptimalPath: {
         SPAUTH_ASSIGN_OR_RETURN(PathSearchResult alt,
-                                FindSuboptimalPath(*g_, query));
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+                                FindSuboptimalPath(g, query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
         answer.distance = alt.distance;
         answer.path = alt.path;
         // Tuple proof must still cover the (new) path nodes.
@@ -680,19 +839,20 @@ class HypEngine : public MethodEngine {
         nodes.insert(nodes.end(), alt.path.nodes.begin(),
                      alt.path.nodes.end());
         SPAUTH_ASSIGN_OR_RETURN(answer.tuples,
-                                ads_.network.ProveTuples(nodes));
-        return MakeBundle(answer);
+                                s->ads.network.ProveTuples(nodes));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kTamperWeight: {
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
         SPAUTH_RETURN_IF_ERROR(CorruptOneTupleWeight(&answer.tuples));
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kDropTuple: {
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
         // Drop a source-cell tuple that is not on the path: the client's
         // cell count check must catch it.
-        const uint32_t cell_s = ads_.hiti.partition().CellOf(query.source);
+        const uint32_t cell_s =
+            s->ads.hiti.partition().CellOf(query.source);
         std::unordered_set<NodeId> path_nodes(answer.path.nodes.begin(),
                                               answer.path.nodes.end());
         NodeId victim = kInvalidNode;
@@ -709,31 +869,31 @@ class HypEngine : public MethodEngine {
           return Status::NotFound("no droppable cell tuple");
         }
         SPAUTH_ASSIGN_OR_RETURN(answer.tuples,
-                                ads_.network.ProveTuples(kept));
-        return MakeBundle(answer);
+                                s->ads.network.ProveTuples(kept));
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kForgeDistanceValue: {
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
         if (!answer.has_hyper_edges || answer.hyper_edges.entries.empty()) {
           return Status::NotFound("no hyper-edge entries to forge");
         }
         answer.hyper_edges.entries[0].value *= 1.1;
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
       case TamperKind::kBogusSignature: {
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
-        auto bundle = MakeBundle(answer);
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
+        auto bundle = MakeBundle(*s, answer);
         if (!bundle.ok()) {
           return bundle;
         }
         bundle.value().bytes =
-            EncodeWithBogusSignature(ads_.certificate, answer);
+            EncodeWithBogusSignature(s->ads.certificate, answer);
         return bundle;
       }
       case TamperKind::kPhantomEdge: {
-        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider_.Answer(query));
+        SPAUTH_ASSIGN_OR_RETURN(HypAnswer answer, provider.Answer(query));
         answer.path.nodes = {query.source, query.target};
-        return MakeBundle(answer);
+        return MakeBundle(*s, answer);
       }
     }
     return Status::Internal("unhandled tamper kind");
@@ -752,11 +912,16 @@ class HypEngine : public MethodEngine {
   }
 
  private:
-  Result<ProofBundle> MakeBundle(const HypAnswer& answer) const {
+  std::shared_ptr<const HypState> State() const {
+    return std::static_pointer_cast<const HypState>(CurrentState());
+  }
+
+  Result<ProofBundle> MakeBundle(const HypState& s,
+                                 const HypAnswer& answer) const {
     ProofBundle bundle;
     bundle.path = answer.path;
     bundle.distance = answer.distance;
-    bundle.bytes = EncodeBundle(ads_.certificate, answer, cert_size_);
+    bundle.bytes = EncodeBundle(s.ads.certificate, answer, s.cert_size);
     // Gamma_S: tuples + hyper-edge entries; Gamma_T: all digests + indices.
     const size_t hyper_entry_bytes =
         answer.has_hyper_edges ? 4 + answer.hyper_edges.entries.size() * 20
@@ -767,7 +932,7 @@ class HypEngine : public MethodEngine {
             : 0;
     bundle.stats.sp_bytes = answer.tuples.TupleBytes() + hyper_entry_bytes;
     bundle.stats.t_bytes = answer.tuples.IntegrityBytes() +
-                           hyper_digest_bytes + cert_size_;
+                           hyper_digest_bytes + s.cert_size;
     bundle.stats.sp_items =
         answer.tuples.tuples.size() +
         (answer.has_hyper_edges ? answer.hyper_edges.entries.size() : 0);
@@ -778,11 +943,8 @@ class HypEngine : public MethodEngine {
     return bundle;
   }
 
-  const Graph* g_;
-  HypAds ads_;
-  HypProvider provider_;
   RsaPublicKey owner_key_;
-  size_t cert_size_;
+  SpAlgorithm algosp_;
 };
 
 }  // namespace
@@ -800,9 +962,9 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
       o.alg = options.alg;
       o.seed = options.seed;
       SPAUTH_ASSIGN_OR_RETURN(DijAds ads, BuildDijAds(g, o, keys));
-      engine = std::make_unique<DijEngine>(&g, std::move(ads),
-                                           keys.public_key(),
-                                           options.provider_algorithm);
+      engine = std::make_unique<DijEngine>(options, UnownedGraph(g),
+                                           std::move(ads),
+                                           keys.public_key());
       break;
     }
     case MethodKind::kFull: {
@@ -814,9 +976,9 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
       o.use_floyd_warshall = options.full_use_floyd_warshall;
       o.seed = options.seed;
       SPAUTH_ASSIGN_OR_RETURN(FullAds ads, BuildFullAds(g, o, keys));
-      engine = std::make_unique<FullEngine>(&g, std::move(ads),
-                                            keys.public_key(),
-                                            options.provider_algorithm);
+      engine = std::make_unique<FullEngine>(options, UnownedGraph(g),
+                                           std::move(ads),
+                                           keys.public_key());
       break;
     }
     case MethodKind::kLdm: {
@@ -830,9 +992,9 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
       o.strategy = options.landmark_strategy;
       o.seed = options.seed;
       SPAUTH_ASSIGN_OR_RETURN(LdmAds ads, BuildLdmAds(g, o, keys));
-      engine = std::make_unique<LdmEngine>(&g, std::move(ads),
-                                           keys.public_key(),
-                                           options.provider_algorithm);
+      engine = std::make_unique<LdmEngine>(options, UnownedGraph(g),
+                                           std::move(ads),
+                                           keys.public_key());
       break;
     }
     case MethodKind::kHyp: {
@@ -844,18 +1006,14 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
       o.num_cells = options.num_cells;
       o.seed = options.seed;
       SPAUTH_ASSIGN_OR_RETURN(HypAds ads, BuildHypAds(g, o, keys));
-      engine = std::make_unique<HypEngine>(&g, std::move(ads),
-                                           keys.public_key(),
-                                           options.provider_algorithm);
+      engine = std::make_unique<HypEngine>(options, UnownedGraph(g),
+                                           std::move(ads),
+                                           keys.public_key());
       break;
     }
   }
   // Record the owner's offline construction time (Figures 8c, 9b, 12b, 13b).
   engine->set_construction_seconds(timer.ElapsedSeconds());
-  if (options.enable_proof_cache) {
-    engine->EnableProofCache(options.proof_cache_capacity,
-                             options.proof_cache_shards);
-  }
   return engine;
 }
 

@@ -3,22 +3,32 @@
 // parameters) triple:
 //
 //   owner:    BuildXxxAds (timed; the "offline construction" of Figure 8c)
+//             + ApplyEdgeWeightUpdate (live snapshot rotation, DIJ only)
 //   provider: Answer(query) -> serialized ProofBundle with size accounting
 //   client:   Verify(query, bundle) -> VerifyOutcome (only public key used)
 //
 // The bundle's bytes are the real wire message (certificate + answer); the
 // benches report exactly these sizes. TamperedAnswer simulates the paper's
 // threat model: a provider that alters results or proofs in six ways.
+//
+// Serving is snapshot-based (core/engine_state.h): every query serves
+// from an acquired immutable EngineState, so owner-side updates rotate in
+// a new snapshot *while shards serve traffic* — no quiesce anywhere, no
+// mutex on any read path. Batch workers pin one snapshot per worker and
+// revalidate by epoch (a single acquire load per query in steady state);
+// the single-query surfaces pay the slot's two-instruction spinlock.
 #ifndef SPAUTH_CORE_ENGINE_H_
 #define SPAUTH_CORE_ENGINE_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/algosp.h"
 #include "core/certificate.h"
+#include "core/engine_state.h"
 #include "core/verify_outcome.h"
 #include "graph/generator.h"
 #include "graph/path.h"
@@ -91,8 +101,8 @@ struct EngineOptions {
   /// Server-side proof cache: memoizes assembled bundles by canonical
   /// query, so a repeated query is served the exact bytes assembled the
   /// first time (byte-identical by construction — the answer path is
-  /// deterministic). Invalidated whenever the certificate version changes
-  /// (owner-side updates re-sign with version + 1).
+  /// deterministic). Each snapshot owns a fresh cache; rotation retires
+  /// the old snapshot's cache wholesale with the snapshot.
   bool enable_proof_cache = false;
   size_t proof_cache_capacity = 4096;  // total entries across shards
   size_t proof_cache_shards = 8;
@@ -100,7 +110,7 @@ struct EngineOptions {
 
 class MethodEngine {
  public:
-  virtual ~MethodEngine() = default;
+  virtual ~MethodEngine();
 
   virtual MethodKind kind() const = 0;
   std::string_view name() const { return ToString(kind()); }
@@ -112,10 +122,36 @@ class MethodEngine {
     construction_seconds_ = seconds;
   }
 
-  /// Bytes of ADS + hints stored at the provider.
+  /// Bytes of ADS + hints stored at the provider (current snapshot).
   virtual size_t storage_bytes() const = 0;
 
-  virtual const Certificate& certificate() const = 0;
+  /// The current published snapshot: graph, ADS, certificate and proof
+  /// cache, all consistent with each other. Readers that need more than
+  /// one look at engine state across a possible rotation should acquire
+  /// once and use the handle. The handle must not outlive the engine.
+  /// (Batch workers use the epoch-revalidated fast path internally and
+  /// only pay this acquire after an actual rotation.)
+  std::shared_ptr<const EngineState> CurrentState() const {
+    return slot_.Acquire();
+  }
+
+  /// The current snapshot's certificate, by value: a reference into the
+  /// snapshot could dangle the moment a rotation retires it, and this is
+  /// a public accessor on an engine whose whole point is update-while-
+  /// serve. Hot readers needing the certificate without the copy acquire
+  /// CurrentState() and read it off the pinned snapshot.
+  Certificate certificate() const { return CurrentState()->certificate; }
+
+  /// Monotone snapshot counter (initial build publishes epoch 1).
+  uint64_t current_epoch() const { return CurrentState()->epoch; }
+
+  /// Snapshots currently alive: the published one plus retired snapshots
+  /// still pinned by in-flight readers (or held handles). 1 when fully
+  /// drained; the excess over 1 is the snapshot-drain depth the
+  /// bench_throughput --update-rate mode reports.
+  size_t live_snapshots() const {
+    return static_cast<size_t>(live_states_.load(std::memory_order_acquire));
+  }
 
   /// Provider role. The workspace form is the query-serving fast path: a
   /// caller keeps one SearchWorkspace per serving thread and the engine
@@ -128,8 +164,8 @@ class MethodEngine {
 
   /// Zero-copy provider role: the returned bundle is shared with the proof
   /// cache, so a cache hit never copies the assembled wire bytes — every
-  /// repeat of a query yields the *same* ProofBundle object until an
-  /// owner-side update invalidates it, and callers encode straight from
+  /// repeat of a query yields the *same* ProofBundle object until a
+  /// snapshot rotation retires the cache, and callers encode straight from
   /// `bundle->bytes`. With the cache disabled each call returns a freshly
   /// assembled bundle (still shared so consumers are uniform). Answer() is
   /// the value-semantics wrapper over this.
@@ -137,6 +173,15 @@ class MethodEngine {
       const Query& query) const;
   Result<std::shared_ptr<const ProofBundle>> AnswerShared(
       const Query& query, SearchWorkspace& ws) const;
+
+  /// The batch-serving fast path: revalidates the caller-pinned snapshot
+  /// `*snap` against the published epoch (one acquire load when no
+  /// rotation landed — no lock, no refcount traffic) and serves from it.
+  /// Callers keep one pinned snapshot per worker next to the
+  /// SearchWorkspace; both engine and sharded batch loops use this.
+  Result<std::shared_ptr<const ProofBundle>> AnswerShared(
+      const Query& query, SearchWorkspace& ws,
+      std::shared_ptr<const EngineState>* snap) const;
 
   /// Answers a query stream on a small internal worker pool, one reused
   /// workspace per worker (num_threads == 0 picks a host default). The
@@ -158,39 +203,84 @@ class MethodEngine {
   virtual VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
                                VerifyWorkspace& ws) const = 0;
 
-  /// Owner-side maintenance through the engine: applies an edge-weight
-  /// change to `g` (which must be the graph the engine was built over) and
-  /// the ADS via core/updates.h, re-signing with a bumped version, and
-  /// invalidates the proof cache. FailedPrecondition for methods whose
-  /// hints require a rebuild (FULL/LDM/HYP).
-  virtual Status ApplyEdgeWeightUpdate(Graph* g, const RsaKeyPair& keys,
-                                       NodeId u, NodeId v, double new_weight);
+  /// Owner-side live maintenance: applies an edge-weight change by
+  /// copy-on-write — clones the current snapshot's graph and ADS, refreshes
+  /// the two affected tuples (incrementally re-hashing their Merkle
+  /// leaves), re-signs at version + 1 and atomically publishes the new
+  /// snapshot. Concurrent AnswerBatch streams keep serving the old
+  /// snapshot until they pick up the new one; the old snapshot (and its
+  /// whole proof cache) drains when its last in-flight reader finishes.
+  /// Returns the newly published certificate version. FailedPrecondition
+  /// for methods whose hints require a rebuild (FULL/LDM/HYP) — the
+  /// published snapshot and its cache are left untouched. Writers may call
+  /// this concurrently; rotations serialize internally.
+  virtual Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys,
+                                                 NodeId u, NodeId v,
+                                                 double new_weight);
 
-  /// Enables the serving-side proof cache (normally wired up by MakeEngine
-  /// from EngineOptions).
-  void EnableProofCache(size_t capacity, size_t shards);
-  bool proof_cache_enabled() const { return cache_ != nullptr; }
-  /// Aggregate hit/miss/byte counters; zeros when the cache is disabled.
+  bool proof_cache_enabled() const { return CurrentState()->cache != nullptr; }
+  /// Aggregate hit/miss/byte counters: the current snapshot's cache plus
+  /// the folded books of every drained snapshot's cache. At any quiescent
+  /// point (all retired snapshots drained) the books conserve:
+  /// insertions == evictions + cleared + entries.
   ProofCacheStats proof_cache_stats() const;
 
  protected:
-  /// The uncached provider answer; the base Answer() adds the cache layer.
-  virtual Result<ProofBundle> AnswerUncached(const Query& query,
+  /// Captures the proof-cache configuration from `options` before the
+  /// derived constructor publishes the initial snapshot, so every
+  /// snapshot (the first included) is born with its cache attached —
+  /// published snapshots are never mutated, not even at setup.
+  explicit MethodEngine(const EngineOptions& options);
+
+  /// The uncached provider answer, served entirely from `state` (each
+  /// engine downcasts to its own derived EngineState).
+  virtual Result<ProofBundle> AnswerUncached(const EngineState& state,
+                                             const Query& query,
                                              SearchWorkspace& ws) const = 0;
 
-  /// Drops every cached bundle (after an ADS mutation).
-  void InvalidateProofCache() const;
+  /// Serializes snapshot rotations: a writer holds this from reading the
+  /// current snapshot through PublishState so concurrent updates compose
+  /// instead of losing each other's changes.
+  std::unique_lock<std::mutex> LockForUpdate() {
+    return std::unique_lock<std::mutex>(update_mu_);
+  }
+
+  /// Stamps the epoch, attaches a fresh proof cache when caching is
+  /// enabled, and atomically publishes `state` as the current snapshot
+  /// (release semantics). The previous snapshot starts draining.
+  void PublishState(std::unique_ptr<EngineState> state);
+
+ private:
+  struct StateRetirer;  // shared_ptr deleter: folds cache books on drain
+
+  Result<std::shared_ptr<const ProofBundle>> AnswerOnState(
+      const EngineState& state, const Query& query, SearchWorkspace& ws) const;
+  /// Value-semantics serving from an already-acquired snapshot (the batch
+  /// fast path pins one snapshot per worker and revalidates by epoch).
+  Result<ProofBundle> AnswerOn(const EngineState& state, const Query& query,
+                               SearchWorkspace& ws) const;
+
+  /// Drain hook: the last reference to a snapshot dropped. Folds its
+  /// cache's counters into retired_ (resident entries count as cleared —
+  /// the rotation retired them wholesale) and decrements the live count.
+  void OnStateDrained(const EngineState& state) const;
 
   double construction_seconds_ = 0;
 
- private:
-  // Bundles are cached per certificate version; a version change (owner
-  // update re-sign) clears the cache lazily on the next Answer. Updates
-  // must quiesce serving (the ADS itself is mutated unsynchronized), so
-  // the atomic only has to make the sequential update-then-serve pattern
-  // race-free against a concurrent AnswerBatch that follows it.
-  mutable std::unique_ptr<ProofCache<ProofBundle>> cache_;
-  mutable std::atomic<uint32_t> cache_version_{0};
+  // Proof-cache configuration applied to every published snapshot.
+  bool cache_enabled_ = false;
+  size_t cache_capacity_ = 0;
+  size_t cache_shards_ = 0;
+
+  std::mutex update_mu_;                    // serializes rotations
+  std::atomic<uint64_t> epoch_{0};          // last published epoch
+  mutable std::atomic<int64_t> live_states_{0};
+  mutable std::mutex retired_mu_;
+  mutable ProofCacheStats retired_;         // folded drained-cache books
+
+  // Declared last so it is destroyed first: releasing the final snapshot
+  // runs OnStateDrained, which touches the members above.
+  EngineStateSlot slot_;
 };
 
 /// Builds the ADS/hints for `options.method` over `g` (which must outlive

@@ -76,11 +76,18 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
 
 Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
     const Query& query, SearchWorkspace& ws) const {
+  return AnswerPinned(query, ws, {});
+}
+
+Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
+    const Query& query, SearchWorkspace& ws,
+    std::span<std::shared_ptr<const EngineState>> snaps) const {
   const size_t shard = RouteOf(query);
   Counters& counters = counters_[shard];
   WallTimer timer;
   Result<std::shared_ptr<const ProofBundle>> result =
-      shards_[shard]->AnswerShared(query, ws);
+      snaps.empty() ? shards_[shard]->AnswerShared(query, ws)
+                    : shards_[shard]->AnswerShared(query, ws, &snaps[shard]);
   counters.answer_nanos.fetch_add(
       static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9),
       std::memory_order_relaxed);
@@ -89,6 +96,46 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
     counters.failures.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
+}
+
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t shard,
+                                                      const RsaKeyPair& keys,
+                                                      NodeId u, NodeId v,
+                                                      double new_weight) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Result<uint32_t> version =
+      shards_[shard]->ApplyEdgeWeightUpdate(keys, u, v, new_weight);
+  Counters& counters = counters_[shard];
+  if (version.ok()) {
+    counters.updates.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters.update_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return version;
+}
+
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdateAllShards(
+    const RsaKeyPair& keys, NodeId u, NodeId v, double new_weight) {
+  uint32_t version = 0;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    SPAUTH_ASSIGN_OR_RETURN(
+        version, ApplyEdgeWeightUpdate(shard, keys, u, v, new_weight));
+  }
+  return version;
+}
+
+std::vector<Result<uint32_t>> ShardedEngine::ApplyUpdateStream(
+    std::span<const EdgeWeightUpdate> updates, const RsaKeyPair& keys) {
+  std::vector<Result<uint32_t>> results(
+      updates.size(), Status::Internal("update not applied"));
+  for (size_t i = 0; i < updates.size(); ++i) {
+    results[i] = ApplyEdgeWeightUpdate(RouteOfUpdate(updates[i]), keys,
+                                       updates[i].u, updates[i].v,
+                                       updates[i].new_weight);
+  }
+  return results;
 }
 
 std::vector<Result<std::shared_ptr<const ProofBundle>>>
@@ -105,8 +152,9 @@ ShardedEngine::AnswerBatch(std::span<const Query> queries,
   num_threads = std::min(num_threads, queries.size());
   if (num_threads <= 1) {
     SearchWorkspace ws;
+    std::vector<std::shared_ptr<const EngineState>> snaps(shards_.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Answer(queries[i], ws);
+      results[i] = AnswerPinned(queries[i], ws, snaps);
     }
     return results;
   }
@@ -115,9 +163,12 @@ ShardedEngine::AnswerBatch(std::span<const Query> queries,
   for (size_t w = 0; w < num_threads; ++w) {
     pool.Submit([this, &queries, &results, &next] {
       SearchWorkspace ws;  // per-worker scratch, hot for the whole stream
+      // One pinned snapshot per shard per worker: the steady-state read
+      // path is an epoch load, not a slot acquire.
+      std::vector<std::shared_ptr<const EngineState>> snaps(shards_.size());
       for (size_t i = next.fetch_add(1); i < queries.size();
            i = next.fetch_add(1)) {
-        results[i] = Answer(queries[i], ws);
+        results[i] = AnswerPinned(queries[i], ws, snaps);
       }
     });
   }
@@ -134,11 +185,24 @@ ShardedStats ShardedEngine::GetStats() const {
     s.failures = counters_[i].failures.load(std::memory_order_relaxed);
     s.answer_micros =
         counters_[i].answer_nanos.load(std::memory_order_relaxed) / 1000;
+    s.updates = counters_[i].updates.load(std::memory_order_relaxed);
+    s.update_failures =
+        counters_[i].update_failures.load(std::memory_order_relaxed);
+    s.live_snapshots = shards_[i]->live_snapshots();
+    // Read off the pinned snapshot rather than certificate(), which would
+    // copy the whole certificate (signature included) for one field.
+    s.certificate_version =
+        shards_[i]->CurrentState()->certificate.params.version;
     s.cache = shards_[i]->proof_cache_stats();
 
     stats.totals.queries += s.queries;
     stats.totals.failures += s.failures;
     stats.totals.answer_micros += s.answer_micros;
+    stats.totals.updates += s.updates;
+    stats.totals.update_failures += s.update_failures;
+    stats.totals.live_snapshots += s.live_snapshots;
+    stats.totals.certificate_version =
+        std::max(stats.totals.certificate_version, s.certificate_version);
     stats.totals.cache.hits += s.cache.hits;
     stats.totals.cache.misses += s.cache.misses;
     stats.totals.cache.insertions += s.cache.insertions;

@@ -84,14 +84,26 @@ struct ShardStats {
   uint64_t queries = 0;         // answers routed to this shard
   uint64_t failures = 0;        // answers that returned an error Status
   uint64_t answer_micros = 0;   // total wall time spent answering
+  uint64_t updates = 0;         // snapshot rotations applied to this shard
+  uint64_t update_failures = 0; // updates that returned an error Status
+  size_t live_snapshots = 0;    // published + retired-but-undrained states
+  uint32_t certificate_version = 0;  // current snapshot's signed version
   ProofCacheStats cache;
 };
 
 /// Per-shard stats plus their aggregate, from one consistent pass over the
-/// shards.
+/// shards. `totals.certificate_version` is the max across shards (replicas
+/// kept in lock-step by ApplyEdgeWeightUpdateAllShards all report it).
 struct ShardedStats {
   std::vector<ShardStats> shards;
   ShardStats totals;
+};
+
+/// One owner-side edge-weight change, routable like the query stream.
+struct EdgeWeightUpdate {
+  NodeId u = 0;
+  NodeId v = 0;
+  double new_weight = 0;
 };
 
 class ShardedEngine {
@@ -112,12 +124,44 @@ class ShardedEngine {
 
   size_t num_shards() const { return shards_.size(); }
   const MethodEngine& shard(size_t i) const { return *shards_[i]; }
+  /// Owner-side access for direct per-shard maintenance.
+  MethodEngine& shard(size_t i) { return *shards_[i]; }
   const ShardRouter& router() const { return *router_; }
 
   /// The shard `query` routes to (deterministic).
   size_t RouteOf(const Query& query) const {
     return router_->Route(query, shards_.size());
   }
+
+  /// The shard an update to edge (u, v) routes to: the same placement as a
+  /// query sourced at `u` targeting `v`, so in a region deployment the
+  /// shard that serves a source also absorbs its updates.
+  size_t RouteOfUpdate(const EdgeWeightUpdate& update) const {
+    return router_->Route(Query{update.u, update.v}, shards_.size());
+  }
+
+  /// Owner-side live update on one shard: rotates that shard's snapshot
+  /// copy-on-write while its traffic keeps serving (see
+  /// MethodEngine::ApplyEdgeWeightUpdate). Returns the shard's new
+  /// certificate version; InvalidArgument for an out-of-range shard.
+  Result<uint32_t> ApplyEdgeWeightUpdate(size_t shard, const RsaKeyPair& keys,
+                                         NodeId u, NodeId v,
+                                         double new_weight);
+
+  /// Replicated deployments: applies the update to *every* shard so the
+  /// replicas stay byte-transparent, and returns the common new version
+  /// (the replicas move in lock-step because they started in lock-step).
+  /// On a failed shard the error returns immediately — replicas may then
+  /// disagree, exactly as a real fleet would until the owner retries.
+  Result<uint32_t> ApplyEdgeWeightUpdateAllShards(const RsaKeyPair& keys,
+                                                  NodeId u, NodeId v,
+                                                  double new_weight);
+
+  /// Routes an owner update stream through the query router (one rotation
+  /// per update on the owning shard). The result vector is parallel to
+  /// `updates`; per-update failures surface without aborting the stream.
+  std::vector<Result<uint32_t>> ApplyUpdateStream(
+      std::span<const EdgeWeightUpdate> updates, const RsaKeyPair& keys);
 
   /// Routes and answers one query on the owning shard's zero-copy path.
   /// The workspace form reuses the caller's scratch (workspaces resize per
@@ -147,10 +191,20 @@ class ShardedEngine {
     std::atomic<uint64_t> queries{0};
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> answer_nanos{0};
+    std::atomic<uint64_t> updates{0};
+    std::atomic<uint64_t> update_failures{0};
   };
 
   ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
                 std::unique_ptr<ShardRouter> router);
+
+  /// Routes, times and serves one query. `snaps` (one slot per shard,
+  /// empty to opt out) lets a batch worker keep pinned snapshots so the
+  /// steady-state read path is a single epoch load per query instead of
+  /// a slot acquire; Answer() passes empty.
+  Result<std::shared_ptr<const ProofBundle>> AnswerPinned(
+      const Query& query, SearchWorkspace& ws,
+      std::span<std::shared_ptr<const EngineState>> snaps) const;
 
   std::vector<std::unique_ptr<MethodEngine>> shards_;
   std::unique_ptr<ShardRouter> router_;

@@ -1,16 +1,30 @@
-// Owner-side ADS maintenance: dynamic edge-weight updates for DIJ.
+// Owner-side ADS maintenance: the copy-on-write building block behind
+// MethodEngine::ApplyEdgeWeightUpdate's snapshot rotation (DIJ only).
 //
 // Road networks change (roadworks, congestion re-weighting). DIJ is the
 // only method whose hints contain no global distance information, so a
-// weight change touches exactly two extended-tuples; the owner re-hashes
-// those two leaves, recomputes the O(log |V|) Merkle path and re-signs a
-// certificate with a bumped version — no rebuild.
+// weight change touches exactly two extended-tuples: the owner re-hashes
+// those two leaves, recomputes the O(f log_f |V|) Merkle path over the
+// tree's cached level digests and re-signs a certificate with a bumped
+// version — no re-hash of anything else. (The engine's copy-on-write
+// rotation still clones the graph/ADS containers, an O(V + E) memcpy
+// with zero crypto; structural sharing that drops the clone cost to
+// O(f log_f V) is a named ROADMAP follow-up.)
+//
+// Since PR 4 the engine never mutates live serving state: the engine
+// clones the current snapshot's graph and DIJ ADS, points this function at
+// the *clones*, and publishes the result as a fresh immutable EngineState
+// (core/engine_state.h) while readers drain the old snapshot. Calling
+// UpdateEdgeWeight directly on owner-private state (as the owner-side
+// tests and tools do) remains supported — just never on state a live
+// engine is serving from.
 //
 // The other methods materialize global distances (FULL's all-pairs matrix,
 // LDM's landmark vectors, HYP's hyper-edges); a weight change can
 // invalidate an unbounded subset of them, so their update story is a
 // rebuild (the paper leaves dynamic maintenance as an open problem; we
-// implement the one method where the incremental update is sound).
+// implement the one method where the incremental update is sound, and the
+// engine reports FailedPrecondition for the rest).
 #ifndef SPAUTH_CORE_UPDATES_H_
 #define SPAUTH_CORE_UPDATES_H_
 
@@ -22,7 +36,8 @@ namespace spauth {
 /// Changes the weight of edge (u, v) in both the graph and the DIJ ADS:
 /// refreshes the two affected tuples, updates the Merkle tree incrementally
 /// and re-signs the certificate with version + 1. `g` must be the graph the
-/// ADS was built over.
+/// ADS was built over (or a clone of it, in the engine's copy-on-write
+/// flow). Not thread-safe: callers own the exclusivity of `g`/`ads`.
 Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                         NodeId u, NodeId v, double new_weight);
 

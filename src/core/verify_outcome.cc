@@ -22,6 +22,8 @@ std::string_view ToString(VerifyFailure failure) {
       return "not-shortest";
     case VerifyFailure::kWrongEntries:
       return "wrong-entries";
+    case VerifyFailure::kStaleCertificate:
+      return "stale-certificate";
   }
   return "?";
 }

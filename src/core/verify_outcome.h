@@ -33,6 +33,11 @@ enum class VerifyFailure {
   /// A distance proof is missing required entries (e.g. hyper-edges for
   /// some border pair) or contains entries for the wrong keys.
   kWrongEntries,
+  /// The certificate is authentic but its version is older than one this
+  /// client has already accepted from the same serving shard (freshness
+  /// enforcement via Client::TrackShardVersions; the paper assumes an
+  /// out-of-band freshness policy — this is ours).
+  kStaleCertificate,
 };
 
 std::string_view ToString(VerifyFailure failure);

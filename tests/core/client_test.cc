@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "core/core_test_context.h"
 #include "core/engine.h"
 
@@ -78,6 +81,93 @@ TEST(WireClientTest, RejectsQueryMismatch) {
                                              ctx.queries[1],
                                              bundle.value().bytes);
   EXPECT_FALSE(result.outcome.accepted);
+}
+
+class ClientWatermarkTest : public ::testing::Test {
+ protected:
+  // Two worlds of the same engine: version 0, then a rotated version 1.
+  void SetUp() override {
+    const auto& ctx = CoreTestContext::Get();
+    auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+    ASSERT_NE(engine, nullptr);
+    query_ = ctx.queries[0];
+    auto v0 = engine->Answer(query_);
+    ASSERT_TRUE(v0.ok());
+    v0_bytes_ = v0.value().bytes;
+    const NodeId u = v0.value().path.nodes[0];
+    const NodeId v = v0.value().path.nodes[1];
+    const double w = ctx.graph.EdgeWeight(u, v).value();
+    ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 2).ok());
+    auto v1 = engine->Answer(query_);
+    ASSERT_TRUE(v1.ok());
+    v1_bytes_ = v1.value().bytes;
+  }
+
+  Query query_;
+  std::vector<uint8_t> v0_bytes_;
+  std::vector<uint8_t> v1_bytes_;
+};
+
+TEST_F(ClientWatermarkTest, UntrackedClientAcceptsEveryAuthenticVersion) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  EXPECT_FALSE(client.tracking_versions());
+  WireVerification newer = client.Verify(query_, v1_bytes_);
+  EXPECT_TRUE(newer.outcome.accepted);
+  EXPECT_EQ(newer.version, 1u);
+  // Without freshness tracking a replayed old-world answer still verifies.
+  WireVerification older = client.Verify(query_, v0_bytes_);
+  EXPECT_TRUE(older.outcome.accepted);
+  EXPECT_EQ(older.version, 0u);
+}
+
+TEST_F(ClientWatermarkTest, WatermarkRejectsOlderVersionsAfterAccept) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  EXPECT_TRUE(client.Verify(query_, v0_bytes_).outcome.accepted);
+  EXPECT_EQ(client.ShardVersionWatermark(0), 0u);
+  EXPECT_TRUE(client.Verify(query_, v1_bytes_).outcome.accepted);
+  EXPECT_EQ(client.ShardVersionWatermark(0), 1u);
+  // Re-accepting the watermark version is fine; anything older is stale.
+  EXPECT_TRUE(client.Verify(query_, v1_bytes_).outcome.accepted);
+  WireVerification stale = client.Verify(query_, v0_bytes_);
+  EXPECT_FALSE(stale.outcome.accepted);
+  EXPECT_EQ(stale.outcome.failure, VerifyFailure::kStaleCertificate);
+  // A stale rejection never regresses the watermark.
+  EXPECT_EQ(client.ShardVersionWatermark(0), 1u);
+}
+
+TEST_F(ClientWatermarkTest, WatermarksArePerShard) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(2);
+  EXPECT_TRUE(client.Verify(query_, v1_bytes_, /*shard=*/0)
+                  .outcome.accepted);
+  // Shard 1 has its own watermark: the old world is still fresh there.
+  EXPECT_TRUE(client.Verify(query_, v0_bytes_, /*shard=*/1)
+                  .outcome.accepted);
+  EXPECT_EQ(client.ShardVersionWatermark(0), 1u);
+  EXPECT_EQ(client.ShardVersionWatermark(1), 0u);
+  // ...until that shard also advances.
+  EXPECT_TRUE(client.Verify(query_, v1_bytes_, /*shard=*/1)
+                  .outcome.accepted);
+  EXPECT_FALSE(client.Verify(query_, v0_bytes_, /*shard=*/1)
+                   .outcome.accepted);
+}
+
+TEST_F(ClientWatermarkTest, VerifyBatchEnforcesTheWatermark) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  // New answer first, then the stale replay inside one serial batch.
+  const std::vector<Query> queries = {query_, query_};
+  const std::vector<std::span<const uint8_t>> wires = {v1_bytes_, v0_bytes_};
+  const auto results = client.VerifyBatch(queries, wires, 1);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].outcome.accepted);
+  EXPECT_FALSE(results[1].outcome.accepted);
+  EXPECT_EQ(results[1].outcome.failure, VerifyFailure::kStaleCertificate);
 }
 
 TEST(WireClientTest, TrailingBytesRejected) {

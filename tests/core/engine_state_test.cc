@@ -1,0 +1,222 @@
+// Epoch-snapshot rotation (core/engine_state.h): copy-on-write updates
+// publish immutable snapshots, retired snapshots drain without disturbing
+// readers, the per-snapshot proof cache is retired wholesale with exact
+// books, and client-held bundles from retired snapshots stay verifiable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "core/engine_state.h"
+#include "graph/dijkstra.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+std::unique_ptr<MethodEngine> MakeCachedEngine(MethodKind kind) {
+  const auto& ctx = CoreTestContext::Get();
+  EngineOptions options = CoreTestContext::DefaultOptions(kind);
+  options.enable_proof_cache = true;
+  auto engine = MakeEngine(ctx.graph, options, ctx.keys);
+  EXPECT_TRUE(engine.ok());
+  return std::move(engine).value();
+}
+
+/// The conservation invariant the proof-cache books must satisfy at every
+/// quiescent point (all retired snapshots drained).
+void ExpectBooksConserve(const ProofCacheStats& s) {
+  EXPECT_EQ(s.insertions, s.evictions + s.cleared + s.entries)
+      << "insertions=" << s.insertions << " evictions=" << s.evictions
+      << " cleared=" << s.cleared << " entries=" << s.entries;
+}
+
+TEST(EngineStateTest, InitialBuildPublishesEpochOneAtVersionZero) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  EXPECT_EQ(engine->current_epoch(), 1u);
+  EXPECT_EQ(engine->live_snapshots(), 1u);
+  const std::shared_ptr<const EngineState> state = engine->CurrentState();
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->epoch, 1u);
+  EXPECT_EQ(state->certificate.params.version, 0u);
+  EXPECT_EQ(state->graph.get(), &ctx.graph);  // initial snapshot aliases
+  EXPECT_EQ(state->cert_size, state->certificate.SerializedSize());
+}
+
+TEST(EngineStateTest, UpdateRotatesSnapshotWithoutTouchingTheCallerGraph) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  const Query q = ctx.queries[0];
+  auto before = engine->Answer(q);
+  ASSERT_TRUE(before.ok());
+
+  const NodeId u = before.value().path.nodes[0];
+  const NodeId v = before.value().path.nodes[1];
+  const double old_w = ctx.graph.EdgeWeight(u, v).value();
+  const std::shared_ptr<const EngineState> old_state = engine->CurrentState();
+
+  auto version = engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, old_w * 50);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1u);
+  EXPECT_EQ(engine->current_epoch(), 2u);
+  EXPECT_EQ(engine->certificate().params.version, 1u);
+
+  // Copy-on-write: the caller's graph is untouched; the new snapshot owns
+  // its clone with the new weight; the held old snapshot still shows the
+  // old world.
+  EXPECT_DOUBLE_EQ(ctx.graph.EdgeWeight(u, v).value(), old_w);
+  const std::shared_ptr<const EngineState> new_state = engine->CurrentState();
+  EXPECT_NE(new_state.get(), old_state.get());
+  EXPECT_DOUBLE_EQ(new_state->graph->EdgeWeight(u, v).value(), old_w * 50);
+  EXPECT_DOUBLE_EQ(old_state->graph->EdgeWeight(u, v).value(), old_w);
+  EXPECT_EQ(engine->live_snapshots(), 2u);  // old_state handle pins it
+
+  // The rotated answer reflects the new weight and verifies.
+  auto after = engine->Answer(q);
+  ASSERT_TRUE(after.ok());
+  const PathSearchResult expected =
+      DijkstraShortestPath(*new_state->graph, q.source, q.target);
+  ASSERT_TRUE(expected.reachable);
+  EXPECT_NEAR(after.value().distance, expected.distance, 1e-9);
+  EXPECT_TRUE(engine->Verify(q, after.value()).accepted);
+}
+
+TEST(EngineStateTest, DroppingTheLastHandleDrainsTheRetiredSnapshot) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  std::shared_ptr<const EngineState> held = engine->CurrentState();
+  const NodeId u = 0;
+  const NodeId v = ctx.graph.Neighbors(0)[0].to;
+  const double w = ctx.graph.EdgeWeight(u, v).value();
+  ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 1.25).ok());
+  EXPECT_EQ(engine->live_snapshots(), 2u);
+  held.reset();
+  EXPECT_EQ(engine->live_snapshots(), 1u);
+}
+
+TEST(EngineStateTest, RotationRetiresTheProofCacheWholesaleWithExactBooks) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(MethodKind::kDij);
+  for (const Query& q : ctx.queries) {
+    ASSERT_TRUE(engine->Answer(q).ok());   // miss + insert
+    ASSERT_TRUE(engine->Answer(q).ok());   // hit
+  }
+  const ProofCacheStats before = engine->proof_cache_stats();
+  EXPECT_EQ(before.insertions, ctx.queries.size());
+  EXPECT_EQ(before.entries, ctx.queries.size());
+  EXPECT_EQ(before.hits, ctx.queries.size());
+  ExpectBooksConserve(before);
+
+  const NodeId u = 0;
+  const NodeId v = ctx.graph.Neighbors(0)[0].to;
+  const double w = ctx.graph.EdgeWeight(u, v).value();
+  ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 2).ok());
+
+  // No handles pin the old snapshot, so it drained at publish: its whole
+  // cache was retired and its residents are accounted as cleared.
+  EXPECT_EQ(engine->live_snapshots(), 1u);
+  const ProofCacheStats after = engine->proof_cache_stats();
+  EXPECT_EQ(after.cleared, before.cleared + before.entries);
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.insertions, before.insertions);
+  EXPECT_EQ(after.hits, before.hits);
+  ExpectBooksConserve(after);
+
+  // The fresh snapshot's cache fills and the global books keep conserving.
+  for (const Query& q : ctx.queries) {
+    ASSERT_TRUE(engine->Answer(q).ok());
+  }
+  const ProofCacheStats refilled = engine->proof_cache_stats();
+  EXPECT_EQ(refilled.insertions, before.insertions + ctx.queries.size());
+  EXPECT_EQ(refilled.entries, ctx.queries.size());
+  ExpectBooksConserve(refilled);
+}
+
+TEST(EngineStateTest, HeldBundleFromRetiredSnapshotStaysValidAndVerifiable) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(MethodKind::kDij);
+  const Query q = ctx.queries[0];
+  auto held = engine->AnswerShared(q);
+  ASSERT_TRUE(held.ok());
+  const std::vector<uint8_t> bytes_before = held.value()->bytes;
+
+  const NodeId u = held.value()->path.nodes[0];
+  const NodeId v = held.value()->path.nodes[1];
+  const double w = ctx.graph.EdgeWeight(u, v).value();
+  ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 3).ok());
+
+  // The shared_ptr keeps the retired snapshot's bundle alive and byte-
+  // stable, and it still verifies: its certificate signs the old root,
+  // which its proof still matches (freshness is the client watermark's
+  // job, not the signature's).
+  EXPECT_EQ(held.value()->bytes, bytes_before);
+  EXPECT_TRUE(engine->Verify(q, *held.value()).accepted);
+
+  auto fresh = engine->AnswerShared(q);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh.value().get(), held.value().get());
+  EXPECT_NE(fresh.value()->bytes, bytes_before);
+
+  // A version-tracking client accepts the fresh answer, then flags the
+  // retired bundle as stale — never as forged.
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  WireVerification new_result = client.Verify(q, fresh.value()->bytes);
+  EXPECT_TRUE(new_result.outcome.accepted);
+  EXPECT_EQ(new_result.version, 1u);
+  WireVerification stale_result = client.Verify(q, held.value()->bytes);
+  EXPECT_FALSE(stale_result.outcome.accepted);
+  EXPECT_EQ(stale_result.outcome.failure, VerifyFailure::kStaleCertificate);
+  EXPECT_EQ(stale_result.version, 0u);
+  EXPECT_EQ(client.ShardVersionWatermark(0), 1u);
+}
+
+class NonDijUpdateTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(NonDijUpdateTest, FailedUpdateLeavesSnapshotAndCacheUntouched) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(GetParam());
+  const Query q = ctx.queries[0];
+  auto before = engine->Answer(q);
+  ASSERT_TRUE(before.ok());
+  const std::shared_ptr<const EngineState> state_before =
+      engine->CurrentState();
+  const ProofCacheStats stats_before = engine->proof_cache_stats();
+
+  const NodeId u = 0;
+  const NodeId v = ctx.graph.Neighbors(0)[0].to;
+  auto result = engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, 2.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Same snapshot object, same epoch/version, cache books untouched, and
+  // the cached bundle still serves byte-identically (as a hit).
+  EXPECT_EQ(engine->CurrentState().get(), state_before.get());
+  EXPECT_EQ(engine->current_epoch(), 1u);
+  EXPECT_EQ(engine->certificate().params.version, 0u);
+  EXPECT_EQ(engine->live_snapshots(), 1u);
+  const ProofCacheStats stats_mid = engine->proof_cache_stats();
+  EXPECT_EQ(stats_mid.insertions, stats_before.insertions);
+  EXPECT_EQ(stats_mid.cleared, stats_before.cleared);
+  EXPECT_EQ(stats_mid.entries, stats_before.entries);
+  auto repeat = engine->Answer(q);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat.value().bytes, before.value().bytes);
+  EXPECT_EQ(engine->proof_cache_stats().hits, stats_before.hits + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RebuildOnlyMethods, NonDijUpdateTest,
+                         ::testing::Values(MethodKind::kFull,
+                                           MethodKind::kLdm,
+                                           MethodKind::kHyp),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace spauth

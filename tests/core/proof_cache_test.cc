@@ -183,7 +183,7 @@ TEST(ProofCacheZeroCopyTest, HeldBundleSurvivesOwnerInvalidation) {
   const Edge* edge = g.FindEdge(u, v);
   ASSERT_NE(edge, nullptr);
   ASSERT_TRUE(engine.value()
-                  ->ApplyEdgeWeightUpdate(&g, keys.value(), u, v,
+                  ->ApplyEdgeWeightUpdate(keys.value(), u, v,
                                           edge->weight * 1.5)
                   .ok());
 
@@ -250,18 +250,22 @@ TEST(ProofCacheUpdateTest, OwnerUpdateInvalidatesCachedBundles) {
   ASSERT_TRUE(engine.value()->Answer(q).ok());  // hit
   EXPECT_EQ(engine.value()->proof_cache_stats().hits, 1u);
 
-  // Re-weight the first edge on the answered path through the engine.
+  // Re-weight the first edge on the answered path through the engine
+  // (copy-on-write: the caller's graph stays untouched; the engine serves
+  // the rotated snapshot).
   const NodeId u = before.value().path.nodes[0];
   const NodeId v = before.value().path.nodes[1];
   const Edge* edge = g.FindEdge(u, v);
   ASSERT_NE(edge, nullptr);
+  const double old_w = edge->weight;
   ASSERT_TRUE(engine.value()
-                  ->ApplyEdgeWeightUpdate(&g, keys.value(), u, v,
-                                          edge->weight * 1.5)
+                  ->ApplyEdgeWeightUpdate(keys.value(), u, v, old_w * 1.5)
                   .ok());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(u, v).value(), old_w);
 
-  // The cache was invalidated: the next answer is a miss, reflects the new
-  // weight, and verifies against the re-signed certificate.
+  // The rotation retired the old snapshot's cache: the next answer is a
+  // miss, reflects the new weight, and verifies against the re-signed
+  // certificate.
   auto after = engine.value()->Answer(q);
   ASSERT_TRUE(after.ok());
   EXPECT_NE(before.value().bytes, after.value().bytes);
@@ -280,9 +284,8 @@ TEST(ProofCacheUpdateTest, NonDijMethodsRefuseIncrementalUpdates) {
   for (MethodKind method :
        {MethodKind::kFull, MethodKind::kLdm, MethodKind::kHyp}) {
     auto engine = ctx.MakeMethodEngine(method);
-    Graph* g = const_cast<Graph*>(&ctx.graph);  // never reached: rejected
-    Status s = engine->ApplyEdgeWeightUpdate(g, ctx.keys, 0, 1, 2.0);
-    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition)
+    auto s = engine->ApplyEdgeWeightUpdate(ctx.keys, 0, 1, 2.0);
+    EXPECT_EQ(s.status().code(), StatusCode::kFailedPrecondition)
         << ToString(method);
   }
 }

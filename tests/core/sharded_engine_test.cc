@@ -337,6 +337,119 @@ TEST_P(ShardedEngineMethodTest, VerifyShardedBatchMatchesVerifyBatch) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Live updates across the sharded engine
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineUpdateTest, UpdateStreamRoutesLikeQueries) {
+  auto sharded = MakeSharded(MethodKind::kDij, 4);
+  const auto& ctx = CoreTestContext::Get();
+  std::vector<EdgeWeightUpdate> updates;
+  for (NodeId u = 0; updates.size() < 8 && u < ctx.graph.num_nodes(); ++u) {
+    auto neighbors = ctx.graph.Neighbors(u);
+    if (neighbors.empty()) {
+      continue;
+    }
+    updates.push_back({u, neighbors[0].to, neighbors[0].weight * 1.5});
+  }
+  ASSERT_EQ(updates.size(), 8u);
+
+  // The routed stream touches exactly the shards the query router names.
+  std::vector<uint64_t> expected_updates(sharded->num_shards(), 0);
+  for (const EdgeWeightUpdate& up : updates) {
+    EXPECT_EQ(sharded->RouteOfUpdate(up),
+              sharded->RouteOf(Query{up.u, up.v}));
+    ++expected_updates[sharded->RouteOfUpdate(up)];
+  }
+  auto results = sharded->ApplyUpdateStream(updates, ctx.keys);
+  ASSERT_EQ(results.size(), updates.size());
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  const ShardedStats stats = sharded->GetStats();
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    EXPECT_EQ(stats.shards[s].updates, expected_updates[s]) << s;
+    // Each shard's version advanced once per update it absorbed.
+    EXPECT_EQ(stats.shards[s].certificate_version, expected_updates[s]) << s;
+    EXPECT_EQ(stats.shards[s].update_failures, 0u) << s;
+  }
+  EXPECT_EQ(stats.totals.updates, updates.size());
+}
+
+TEST(ShardedEngineUpdateTest, SingleShardUpdateLeavesSiblingsUntouched) {
+  auto sharded = MakeSharded(MethodKind::kDij, 3, /*cache=*/true);
+  const auto& ctx = CoreTestContext::Get();
+  // Warm every shard's cache with a query it owns.
+  std::vector<Query> per_shard(sharded->num_shards(), Query{0, 0});
+  std::vector<bool> found(sharded->num_shards(), false);
+  for (const Query& q : ctx.queries) {
+    const size_t s = sharded->RouteOf(q);
+    if (!found[s]) {
+      per_shard[s] = q;
+      found[s] = true;
+      ASSERT_TRUE(sharded->Answer(q).ok());
+    }
+  }
+  const NodeId u = 0;
+  const NodeId v = ctx.graph.Neighbors(0)[0].to;
+  const double w = ctx.graph.EdgeWeight(u, v).value();
+  auto version = sharded->ApplyEdgeWeightUpdate(1, ctx.keys, u, v, w * 2);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1u);
+
+  const ShardedStats stats = sharded->GetStats();
+  EXPECT_EQ(stats.shards[1].certificate_version, 1u);
+  EXPECT_EQ(stats.shards[0].certificate_version, 0u);
+  EXPECT_EQ(stats.shards[2].certificate_version, 0u);
+  // Only shard 1's snapshot rotated; its cache was retired wholesale
+  // (entries -> cleared) while the siblings kept their residents.
+  EXPECT_EQ(stats.shards[1].cache.entries, 0u);
+  if (found[0]) {
+    EXPECT_GT(stats.shards[0].cache.entries, 0u);
+  }
+  if (found[2]) {
+    EXPECT_GT(stats.shards[2].cache.entries, 0u);
+  }
+  // Out-of-range shard: a clean error, no crash.
+  EXPECT_FALSE(sharded->ApplyEdgeWeightUpdate(99, ctx.keys, u, v, w).ok());
+}
+
+TEST(ShardedEngineUpdateTest, AllShardsUpdateKeepsReplicasByteTransparent) {
+  auto sharded = MakeSharded(MethodKind::kDij, 3, /*cache=*/true);
+  const auto& ctx = CoreTestContext::Get();
+  const NodeId u = ctx.queries[0].source;
+  auto neighbors = ctx.graph.Neighbors(u);
+  ASSERT_FALSE(neighbors.empty());
+  const NodeId v = neighbors[0].to;
+  auto version = sharded->ApplyEdgeWeightUpdateAllShards(
+      ctx.keys, u, v, neighbors[0].weight * 3);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1u);
+
+  // A standalone engine given the same update serves the same bytes as
+  // every replica shard: live updates preserve shard transparency.
+  EngineOptions options = CoreTestContext::DefaultOptions(MethodKind::kDij);
+  auto direct = MakeEngine(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct.value()
+                  ->ApplyEdgeWeightUpdate(ctx.keys, u, v,
+                                          neighbors[0].weight * 3)
+                  .ok());
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(sharded->num_shards());
+  for (const Query& q : ctx.queries) {
+    auto via_shard = sharded->Answer(q);
+    auto via_direct = direct.value()->Answer(q);
+    ASSERT_TRUE(via_shard.ok());
+    ASSERT_TRUE(via_direct.ok());
+    EXPECT_EQ(via_shard.value()->bytes, via_direct.value().bytes);
+    const WireVerification result =
+        client.Verify(q, via_shard.value()->bytes, sharded->RouteOf(q));
+    EXPECT_TRUE(result.outcome.accepted) << result.outcome.ToString();
+    EXPECT_EQ(result.version, 1u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllMethods, ShardedEngineMethodTest,
                          ::testing::ValuesIn(kAllMethods),
                          [](const auto& info) {

@@ -446,5 +446,89 @@ TEST(MerkleTreeTest, LeafAndInternalDomainsAreSeparated) {
   EXPECT_NE(leaf, h.Finish());
 }
 
+// ---------------------------------------------------------------------------
+// UpdateLeaf property campaign: any random sequence of incremental leaf
+// updates must land on a root byte-identical to a full rebuild from the
+// mutated leaf vector. This is the invariant that makes the owner's
+// copy-on-write edge updates sound — the incremental O(f log_f n) path
+// refresh is just a faster spelling of "rebuild the tree".
+// ---------------------------------------------------------------------------
+
+struct LeafUpdateOp {
+  uint32_t index;
+  Digest digest;
+};
+
+/// Applies ops[0..count) to both the incremental tree and the shadow leaf
+/// vector, returning the incremental root.
+Digest ReplayUpdates(const std::vector<Digest>& base_leaves, uint32_t fanout,
+                     const std::vector<LeafUpdateOp>& ops, size_t count,
+                     std::vector<Digest>* mutated_leaves) {
+  auto tree = MerkleTree::Build(base_leaves, fanout, HashAlgorithm::kSha1);
+  EXPECT_TRUE(tree.ok());
+  *mutated_leaves = base_leaves;
+  for (size_t i = 0; i < count; ++i) {
+    (*mutated_leaves)[ops[i].index] = ops[i].digest;
+    EXPECT_TRUE(tree.value().UpdateLeaf(ops[i].index, ops[i].digest).ok());
+  }
+  return tree.value().root();
+}
+
+TEST(MerkleUpdatePropertyTest, RandomUpdateSequencesMatchFullRebuild) {
+  constexpr uint64_t kBaseSeed = 0x31337aceu;
+  constexpr int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(trial);
+    Rng rng(seed);
+    const size_t num_leaves = 1 + rng.NextBounded(160);
+    const uint32_t fanout = 2 + static_cast<uint32_t>(rng.NextBounded(15));
+    std::vector<Digest> base_leaves;
+    base_leaves.reserve(num_leaves);
+    for (size_t i = 0; i < num_leaves; ++i) {
+      uint8_t payload[12];
+      rng.FillBytes(payload, sizeof(payload));
+      base_leaves.push_back(HashLeafPayload(HashAlgorithm::kSha1, payload));
+    }
+    const size_t num_ops = 1 + rng.NextBounded(48);
+    std::vector<LeafUpdateOp> ops;
+    ops.reserve(num_ops);
+    for (size_t i = 0; i < num_ops; ++i) {
+      uint8_t payload[12];
+      rng.FillBytes(payload, sizeof(payload));
+      ops.push_back({static_cast<uint32_t>(rng.NextBounded(num_leaves)),
+                     HashLeafPayload(HashAlgorithm::kSha1, payload)});
+    }
+
+    std::vector<Digest> mutated;
+    const Digest incremental =
+        ReplayUpdates(base_leaves, fanout, ops, ops.size(), &mutated);
+    auto rebuilt = MerkleTree::Build(mutated, fanout, HashAlgorithm::kSha1);
+    ASSERT_TRUE(rebuilt.ok());
+    if (incremental == rebuilt.value().root()) {
+      continue;
+    }
+
+    // Shrink: find the smallest op-sequence prefix that already diverges,
+    // so the failure message pins a minimal reproduction.
+    size_t shrunk = ops.size();
+    for (size_t prefix = 1; prefix <= ops.size(); ++prefix) {
+      std::vector<Digest> prefix_mutated;
+      const Digest prefix_root =
+          ReplayUpdates(base_leaves, fanout, ops, prefix, &prefix_mutated);
+      auto prefix_rebuilt =
+          MerkleTree::Build(prefix_mutated, fanout, HashAlgorithm::kSha1);
+      ASSERT_TRUE(prefix_rebuilt.ok());
+      if (prefix_root != prefix_rebuilt.value().root()) {
+        shrunk = prefix;
+        break;
+      }
+    }
+    FAIL() << "UpdateLeaf diverged from full rebuild: seed=" << seed
+           << " trial=" << trial << " leaves=" << num_leaves
+           << " fanout=" << fanout << " ops=" << ops.size()
+           << " shrunk_to_prefix=" << shrunk << " (replay with Rng(seed))";
+  }
+}
+
 }  // namespace
 }  // namespace spauth
