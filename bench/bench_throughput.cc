@@ -11,7 +11,8 @@
 // Usage:
 //   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
 //                    [--threads N] [--proof-cache] [--shards N]
-//                    [--update-rate R] [--updates N] [--updates-first]
+//                    [--update-rate R] [--updates N] [--update-batch K]
+//                    [--updates-first]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
 // end) instead of a dataset graph. --proof-cache enables the server-side
@@ -32,14 +33,20 @@
 // --update-rate R switches to the live-update mode (DIJ, the one method
 // with an incremental update story): an owner thread streams --updates N
 // seeded edge-weight updates at R updates/second through
-// ApplyEdgeWeightUpdateAllShards while a serving thread keeps AnswerBatch
+// ApplyEdgeWeightUpdatesAllShards while a serving thread keeps AnswerBatch
 // running — epoch-snapshot rotation under real read traffic. The JSON
-// reports per-update rotation latency, the max snapshot-drain depth
-// observed, mixed-phase serve throughput, and the answers_sha1 of a final
-// serial pass at the final certificate version. --updates-first applies
-// the same updates quiesced (before any serving); since the final versions
-// match, the final-pass digests of the two modes must be byte-identical —
-// CI asserts exactly that (serve-then-update == update-then-serve).
+// reports per-rotation latency, the max snapshot-drain depth observed,
+// mixed-phase serve throughput, the rotation_clone_bytes copy-on-write
+// accounting (structural sharing keeps it O(f log_f V) per rotation; the
+// JSON carries the O(V + E) full-clone baseline next to it so CI can
+// assert the ratio), and the answers_sha1 of a final serial pass at the
+// final certificate version. --update-batch K absorbs the stream in
+// batches of K edges per rotation — one clone and ONE signature per batch,
+// at version + K — without changing the final version or bytes.
+// --updates-first applies the same updates quiesced (before any serving);
+// since the final versions match, the final-pass digests of the two modes
+// must be byte-identical — CI asserts exactly that (serve-then-update ==
+// update-then-serve, batched == one-at-a-time).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -74,6 +81,7 @@ struct Config {
   size_t shards = 0;     // 0 = single-engine mode; N >= 1 = sharded mode
   double update_rate = 0;  // updates/second; > 0 enables live-update mode
   size_t updates = 0;      // total owner updates (0 = mode default)
+  size_t update_batch = 1;     // edges absorbed per rotation
   bool updates_first = false;  // quiesced: apply all updates, then serve
 };
 
@@ -672,21 +680,26 @@ int RunLiveUpdates(const Config& config) {
     });
   }
 
-  // Owner update stream, paced at --update-rate.
-  std::vector<double> update_ms;
-  update_ms.reserve(updates.size());
+  // Owner update stream, paced at --update-rate and absorbed in batches
+  // of --update-batch edges per rotation (one clone + one signature each).
+  const size_t batch_size = std::max<size_t>(config.update_batch, 1);
+  std::vector<double> update_ms;  // per-rotation latency
+  update_ms.reserve((updates.size() + batch_size - 1) / batch_size);
   size_t update_failures = 0;
+  size_t rotations = 0;
   uint32_t final_version = 0;
   const std::chrono::duration<double> pause(
       config.update_rate > 0 ? 1.0 / config.update_rate : 0.0);
-  for (const EdgeWeightUpdate& up : updates) {
+  for (size_t i = 0; i < updates.size(); i += batch_size) {
+    const size_t end = std::min(updates.size(), i + batch_size);
+    const std::span<const EdgeWeightUpdate> batch(updates.data() + i,
+                                                  end - i);
     WallTimer t;
-    auto version =
-        e.ApplyEdgeWeightUpdateAllShards(OwnerKeys(), up.u, up.v,
-                                         up.new_weight);
+    auto version = e.ApplyEdgeWeightUpdatesAllShards(OwnerKeys(), batch);
     update_ms.push_back(t.ElapsedSeconds() * 1000);
     if (version.ok()) {
       final_version = version.value();
+      ++rotations;  // only successful publishes feed per_rotation_mean
     } else {
       ++update_failures;
     }
@@ -754,15 +767,40 @@ int RunLiveUpdates(const Config& config) {
   std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
   std::printf("  \"shards\": %zu,\n", num_shards);
   std::printf("  \"method\": \"dij\",\n");
+  // Copy-on-write accounting: what the structurally shared rotations
+  // actually copied, next to what a PR-4-style full clone would have
+  // copied per rotation (graph payload + ADS storage). Replicas rotate in
+  // lock-step, so per-shard totals agree; the reported figure is the max
+  // over shards (NOT a sum — the JSON key says so) so a straggling or
+  // failed shard can never make the fleet look cheaper than its worst
+  // member.
+  uint64_t clone_bytes_per_shard = 0;
+  for (const ShardStats& shard : stats.shards) {
+    clone_bytes_per_shard =
+        std::max(clone_bytes_per_shard, shard.rotation_clone_bytes);
+  }
+  const double clone_bytes_per_rotation =
+      rotations > 0 ? static_cast<double>(clone_bytes_per_shard) /
+                          static_cast<double>(rotations)
+                    : 0.0;
+  const size_t full_clone_baseline =
+      graph->MemoryFootprintBytes() + e.shard(0).storage_bytes();
   std::printf("  \"update\": {\n");
   std::printf("    \"mode\": \"%s\",\n",
               config.updates_first ? "quiesced" : "mixed");
   std::printf("    \"rate_per_s\": %.1f,\n", config.update_rate);
   std::printf("    \"applied\": %zu,\n", updates.size());
+  std::printf("    \"batch\": %zu,\n", batch_size);
+  std::printf("    \"rotations\": %zu,\n", rotations);
   std::printf("    \"final_version\": %u,\n", final_version);
   std::printf(
       "    \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, \"p99\": %.4f},\n",
       update_stats.mean_ms, update_stats.p50_ms, update_stats.p99_ms);
+  std::printf(
+      "    \"rotation_clone_bytes\": {\"per_shard_max\": %llu, "
+      "\"per_rotation_mean\": %.1f, \"full_clone_baseline\": %zu},\n",
+      static_cast<unsigned long long>(clone_bytes_per_shard),
+      clone_bytes_per_rotation, full_clone_baseline);
   std::printf("    \"snapshot_drain_depth_max\": %zu,\n",
               drain_max.load(std::memory_order_relaxed));
   std::printf(
@@ -841,6 +879,13 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--updates") == 0) {
       config.updates = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(arg, "--update-batch") == 0) {
+      config.update_batch =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+      if (config.update_batch == 0) {
+        std::fprintf(stderr, "--update-batch needs a positive count\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--updates-first") == 0) {
       config.updates_first = true;
     } else {
@@ -848,13 +893,16 @@ int main(int argc, char** argv) {
                    "usage: bench_throughput [--smoke] [--dataset D] "
                    "[--queries N] [--threads N] [--proof-cache] "
                    "[--shards N] [--update-rate R] [--updates N] "
-                   "[--updates-first]\n");
+                   "[--update-batch K] [--updates-first]\n");
       return 2;
     }
   }
-  if (config.update_rate > 0 || config.updates > 0 || config.updates_first) {
+  if (config.update_rate > 0 || config.updates > 0 || config.updates_first ||
+      config.update_batch > 1) {
     if (!(config.update_rate > 0)) {
-      std::fprintf(stderr, "--updates/--updates-first need --update-rate\n");
+      std::fprintf(stderr,
+                   "--updates/--update-batch/--updates-first need "
+                   "--update-rate\n");
       return 2;
     }
     return spauth::bench::RunLiveUpdates(config);

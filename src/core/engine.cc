@@ -90,11 +90,21 @@ void MethodEngine::OnStateDrained(const EngineState& state) const {
   live_states_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdate(const RsaKeyPair& /*keys*/,
-                                                     NodeId /*u*/, NodeId /*v*/,
-                                                     double /*new_weight*/) {
+Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdates(
+    const RsaKeyPair& /*keys*/, std::span<const EdgeWeightUpdate> updates) {
+  if (updates.empty()) {
+    // An empty batch is a no-op for every method, per the header contract.
+    return CurrentState()->certificate.params.version;
+  }
   return Status::FailedPrecondition(
       "method hints require a rebuild on weight changes");
+}
+
+Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdate(const RsaKeyPair& keys,
+                                                     NodeId u, NodeId v,
+                                                     double new_weight) {
+  const EdgeWeightUpdate update{u, v, new_weight};
+  return ApplyEdgeWeightUpdates(keys, {&update, 1});
 }
 
 ProofCacheStats MethodEngine::proof_cache_stats() const {
@@ -367,23 +377,29 @@ class DijEngine : public MethodEngine {
     return MakeBundle(s, answer);
   }
 
-  Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys, NodeId u,
-                                         NodeId v,
-                                         double new_weight) override {
+  Result<uint32_t> ApplyEdgeWeightUpdates(
+      const RsaKeyPair& keys,
+      std::span<const EdgeWeightUpdate> updates) override {
     std::unique_lock<std::mutex> rotation = LockForUpdate();
     const std::shared_ptr<const DijState> cur = State();
-    // Copy-on-write: clone graph + ADS, mutate the clones (two tuples
-    // re-hashed, O(log V) Merkle path refreshed over the cached levels,
-    // certificate re-signed at version + 1), publish. A failed update
-    // publishes nothing.
+    if (updates.empty()) {
+      return cur->certificate.params.version;  // nothing to absorb
+    }
+    // Copy-on-write rotation: the graph/ADS "clones" share every chunk
+    // with the published snapshot (pointer spines only); absorbing the
+    // batch path-copies just the touched adjacency blocks, tuple chunks
+    // and Merkle path chunks, then signs ONCE at version + k. A failed
+    // batch publishes nothing.
+    size_t copied_bytes = 0;
     auto graph = std::make_shared<Graph>(*cur->graph);
     auto next = std::make_unique<DijState>(cur->ads);
-    SPAUTH_RETURN_IF_ERROR(
-        UpdateEdgeWeight(graph.get(), &next->ads, keys, u, v, new_weight));
+    SPAUTH_RETURN_IF_ERROR(spauth::ApplyEdgeWeightUpdates(
+        graph.get(), &next->ads, keys, updates, &copied_bytes));
     next->graph = std::move(graph);
     next->certificate = next->ads.certificate;
     next->cert_size = next->certificate.SerializedSize();
     const uint32_t version = next->certificate.params.version;
+    AddRotationCloneBytes(copied_bytes);
     PublishState(std::move(next));
     return version;
   }

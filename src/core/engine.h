@@ -203,20 +203,37 @@ class MethodEngine {
   virtual VerifyOutcome Verify(const Query& query, const ProofBundle& bundle,
                                VerifyWorkspace& ws) const = 0;
 
-  /// Owner-side live maintenance: applies an edge-weight change by
-  /// copy-on-write — clones the current snapshot's graph and ADS, refreshes
-  /// the two affected tuples (incrementally re-hashing their Merkle
-  /// leaves), re-signs at version + 1 and atomically publishes the new
-  /// snapshot. Concurrent AnswerBatch streams keep serving the old
-  /// snapshot until they pick up the new one; the old snapshot (and its
-  /// whole proof cache) drains when its last in-flight reader finishes.
-  /// Returns the newly published certificate version. FailedPrecondition
-  /// for methods whose hints require a rebuild (FULL/LDM/HYP) — the
-  /// published snapshot and its cache are left untouched. Writers may call
-  /// this concurrently; rotations serialize internally.
-  virtual Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys,
-                                                 NodeId u, NodeId v,
-                                                 double new_weight);
+  /// Owner-side live maintenance: absorbs the whole batch of edge-weight
+  /// changes into ONE copy-on-write rotation — a structural clone of the
+  /// current snapshot's graph and ADS (pointer spines only; every chunk is
+  /// shared until touched), the affected tuples refreshed with their
+  /// Merkle paths incrementally re-hashed, ONE certificate signature at
+  /// version + k, one atomic publish. Concurrent AnswerBatch streams keep
+  /// serving the old snapshot until they pick up the new one; the old
+  /// snapshot (and its whole proof cache) drains when its last in-flight
+  /// reader finishes — retired snapshots alias the chunks the new one
+  /// shares, which stay immutable for as long as anyone holds them.
+  /// Returns the newly published certificate version (the current version
+  /// for an empty batch, which publishes nothing). FailedPrecondition for
+  /// methods whose hints require a rebuild (FULL/LDM/HYP) — the published
+  /// snapshot and its cache are left untouched. Writers may call this
+  /// concurrently; rotations serialize internally.
+  virtual Result<uint32_t> ApplyEdgeWeightUpdates(
+      const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates);
+
+  /// Single-update wrapper: a batch of one (re-sign at version + 1).
+  Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys, NodeId u,
+                                         NodeId v, double new_weight);
+
+  /// Cumulative payload bytes the rotations' copy-on-write clones actually
+  /// duplicated (adjacency blocks + tuple chunks + Merkle path chunks, in
+  /// the same units as Graph::MemoryFootprintBytes / storage_bytes).
+  /// Structural sharing keeps this O(f log_f V) per rotation; the bench's
+  /// rotation_clone_bytes metric compares it against the full-clone
+  /// baseline of graph footprint + ADS storage.
+  uint64_t rotation_clone_bytes() const {
+    return rotation_clone_bytes_.load(std::memory_order_relaxed);
+  }
 
   bool proof_cache_enabled() const { return CurrentState()->cache != nullptr; }
   /// Aggregate hit/miss/byte counters: the current snapshot's cache plus
@@ -250,6 +267,12 @@ class MethodEngine {
   /// (release semantics). The previous snapshot starts draining.
   void PublishState(std::unique_ptr<EngineState> state);
 
+  /// Folds one successful rotation's copy-on-write byte count into the
+  /// engine's cumulative rotation_clone_bytes().
+  void AddRotationCloneBytes(size_t bytes) {
+    rotation_clone_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
  private:
   struct StateRetirer;  // shared_ptr deleter: folds cache books on drain
 
@@ -274,6 +297,7 @@ class MethodEngine {
 
   std::mutex update_mu_;                    // serializes rotations
   std::atomic<uint64_t> epoch_{0};          // last published epoch
+  std::atomic<uint64_t> rotation_clone_bytes_{0};
   mutable std::atomic<int64_t> live_states_{0};
   mutable std::mutex retired_mu_;
   mutable ProofCacheStats retired_;         // folded drained-cache books

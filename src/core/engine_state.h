@@ -12,6 +12,17 @@
 // in-flight query that acquired it finishes — there is no locking anywhere
 // on the read path and no quiesce anywhere on the write path.
 //
+// Snapshots are structurally shared, not deep copies: graph adjacency
+// blocks, ADS tuple chunks and Merkle level chunks live behind shared_ptr,
+// and a rotation's "clone" copies only the pointer spines plus the chunks
+// the update actually rewrites (O(f log_f V) bytes, reported as
+// rotation_clone_bytes). A retired snapshot therefore *aliases* chunks of
+// the live one; that is safe because a shared chunk is never written in
+// place — writers copy-on-write any chunk whose use_count shows another
+// owner. Drain accounting is unchanged: the retire hook runs when the last
+// snapshot handle drops, regardless of how many chunks the snapshot still
+// shares with its successors.
+//
 // Lifetime rules:
 //  - A snapshot never changes after publish — the cache pointer included
 //    (it is attached by PublishState before the snapshot becomes visible).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/client_search.h"
+#include "util/cow.h"
 
 namespace spauth {
 
@@ -117,7 +118,8 @@ Result<NetworkAds> NetworkAds::Build(std::vector<ExtendedTuple> tuples,
   if (tuples.empty() || order.size() != tuples.size()) {
     return Status::InvalidArgument("tuples/order size mismatch");
   }
-  std::vector<uint32_t> leaf_of_node = InvertOrdering(order);
+  auto leaf_of_node = std::make_shared<const std::vector<uint32_t>>(
+      InvertOrdering(order));
   std::vector<Digest> leaves(tuples.size());
   ByteWriter scratch;  // one encoding buffer for all leaf hashes
   for (uint32_t pos = 0; pos < order.size(); ++pos) {
@@ -125,28 +127,56 @@ Result<NetworkAds> NetworkAds::Build(std::vector<ExtendedTuple> tuples,
   }
   SPAUTH_ASSIGN_OR_RETURN(MerkleTree tree,
                           MerkleTree::Build(std::move(leaves), fanout, alg));
-  return NetworkAds(std::move(tuples), std::move(leaf_of_node),
+
+  // Chunk the tuple array into the shared CoW grain of UpdateTuple.
+  const size_t num_nodes = tuples.size();
+  std::vector<std::shared_ptr<TupleChunk>> chunks;
+  chunks.reserve((num_nodes + kTupleChunkNodes - 1) / kTupleChunkNodes);
+  for (size_t i = 0; i < num_nodes; i += kTupleChunkNodes) {
+    const size_t end = std::min(num_nodes, i + kTupleChunkNodes);
+    chunks.push_back(std::make_shared<TupleChunk>(
+        std::make_move_iterator(tuples.begin() + static_cast<ptrdiff_t>(i)),
+        std::make_move_iterator(tuples.begin() + static_cast<ptrdiff_t>(end))));
+  }
+  return NetworkAds(std::move(chunks), num_nodes, std::move(leaf_of_node),
                     std::move(tree));
 }
 
 size_t NetworkAds::StorageBytes() const {
   size_t bytes = tree_.total_digests() * DigestSize(tree_.algorithm());
-  for (const ExtendedTuple& t : tuples_) {
-    bytes += t.SerializedSize();
+  for (const auto& chunk : tuple_chunks_) {
+    for (const ExtendedTuple& t : *chunk) {
+      bytes += t.SerializedSize();
+    }
   }
   return bytes;
 }
 
-Status NetworkAds::UpdateTuple(NodeId v, ExtendedTuple tuple) {
-  if (v >= tuples_.size()) {
+size_t NetworkAds::SharedTupleChunksWith(const NetworkAds& other) const {
+  return SharedSpinePositions<TupleChunk>(tuple_chunks_, other.tuple_chunks_);
+}
+
+Status NetworkAds::UpdateTuple(NodeId v, ExtendedTuple tuple,
+                               size_t* copied_bytes) {
+  if (v >= num_nodes_) {
     return Status::InvalidArgument("node id out of range");
   }
   if (tuple.id != v) {
     return Status::InvalidArgument("tuple id does not match node");
   }
-  SPAUTH_RETURN_IF_ERROR(
-      tree_.UpdateLeaf(leaf_of_node_[v], tuple.LeafDigest(tree_.algorithm())));
-  tuples_[v] = std::move(tuple);
+  SPAUTH_RETURN_IF_ERROR(tree_.UpdateLeaf(
+      (*leaf_of_node_)[v], tuple.LeafDigest(tree_.algorithm()),
+      copied_bytes));
+  TupleChunk& chunk = EnsureUniqueChunk(
+      tuple_chunks_[v / kTupleChunkNodes], copied_bytes,
+      [](const TupleChunk& c) {
+        size_t bytes = 0;
+        for (const ExtendedTuple& t : c) {
+          bytes += t.SerializedSize();
+        }
+        return bytes;
+      });
+  chunk[v % kTupleChunkNodes] = std::move(tuple);
   return Status::Ok();
 }
 
@@ -159,10 +189,10 @@ Result<TupleSetProof> NetworkAds::ProveTuples(
   std::vector<std::pair<uint32_t, NodeId>> keyed;
   keyed.reserve(nodes.size());
   for (NodeId v : nodes) {
-    if (v >= tuples_.size()) {
+    if (v >= num_nodes_) {
       return Status::InvalidArgument("node id out of range");
     }
-    keyed.push_back({leaf_of_node_[v], v});
+    keyed.push_back({(*leaf_of_node_)[v], v});
   }
   std::sort(keyed.begin(), keyed.end());
   keyed.erase(std::unique(keyed.begin(), keyed.end()), keyed.end());
@@ -171,7 +201,7 @@ Result<TupleSetProof> NetworkAds::ProveTuples(
   out.tuples.reserve(keyed.size());
   out.leaf_indices.reserve(keyed.size());
   for (const auto& [leaf, node] : keyed) {
-    out.tuples.push_back(tuples_[node]);
+    out.tuples.push_back(tuple(node));
     out.leaf_indices.push_back(leaf);
   }
   SPAUTH_ASSIGN_OR_RETURN(out.proof, tree_.GenerateProof(out.leaf_indices));

@@ -4,6 +4,7 @@
 #ifndef SPAUTH_CORE_NETWORK_ADS_H_
 #define SPAUTH_CORE_NETWORK_ADS_H_
 
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -60,8 +61,18 @@ struct TupleSetProof {
 };
 
 /// Owner/provider-side network Merkle tree with the node -> leaf mapping.
+///
+/// Persistent like its MerkleTree: the tuple array is held as shared_ptr
+/// chunks (copying a NetworkAds shares every chunk and the whole tree;
+/// UpdateTuple copy-on-writes exactly the touched chunk plus the leaf's
+/// Merkle path), and the node -> leaf map — immutable after Build — is one
+/// shared vector. This is what makes the engine's snapshot rotation cost
+/// O(f log_f V) instead of an O(V + E) ADS memcpy.
 class NetworkAds {
  public:
+  /// Tuples per shared chunk (the structural-sharing grain of updates).
+  static constexpr NodeId kTupleChunkNodes = 8;
+
   /// `tuples` is indexed by node id; `order[pos]` = node id at leaf pos.
   static Result<NetworkAds> Build(std::vector<ExtendedTuple> tuples,
                                   std::vector<NodeId> order, uint32_t fanout,
@@ -69,13 +80,15 @@ class NetworkAds {
 
   const Digest& root() const { return tree_.root(); }
   const MerkleTree& tree() const { return tree_; }
-  size_t num_nodes() const { return tuples_.size(); }
-  const ExtendedTuple& tuple(NodeId v) const { return tuples_[v]; }
-  uint32_t LeafOf(NodeId v) const { return leaf_of_node_[v]; }
+  size_t num_nodes() const { return num_nodes_; }
+  const ExtendedTuple& tuple(NodeId v) const {
+    return (*tuple_chunks_[v / kTupleChunkNodes])[v % kTupleChunkNodes];
+  }
+  uint32_t LeafOf(NodeId v) const { return (*leaf_of_node_)[v]; }
   /// The node's leaf digest, cached in the tree at build time — callers
   /// never need to re-serialize and re-hash a tuple to learn its digest.
   const Digest& LeafDigestOf(NodeId v) const {
-    return tree_.leaf(leaf_of_node_[v]);
+    return tree_.leaf((*leaf_of_node_)[v]);
   }
 
   /// Total bytes of tuples plus tree digests (storage accounting).
@@ -85,18 +98,33 @@ class NetworkAds {
   Result<TupleSetProof> ProveTuples(std::span<const NodeId> nodes) const;
 
   /// Replaces one node's tuple and incrementally refreshes its Merkle leaf
-  /// (owner-side maintenance; see core/updates.h).
-  Status UpdateTuple(NodeId v, ExtendedTuple tuple);
+  /// (owner-side maintenance; see core/updates.h). Chunks still aliased by
+  /// another NetworkAds copy are duplicated before the write, with the
+  /// duplicated bytes (serialized-tuple and digest accounting, matching
+  /// StorageBytes) accumulated into `copied_bytes` when non-null.
+  Status UpdateTuple(NodeId v, ExtendedTuple tuple,
+                     size_t* copied_bytes = nullptr);
+
+  /// Tuple chunks in the spine (structural-sharing accounting).
+  size_t num_tuple_chunks() const { return tuple_chunks_.size(); }
+  /// Chunks pointer-identical to `other`'s at the same position.
+  size_t SharedTupleChunksWith(const NetworkAds& other) const;
 
  private:
-  NetworkAds(std::vector<ExtendedTuple> tuples,
-             std::vector<uint32_t> leaf_of_node, MerkleTree tree)
-      : tuples_(std::move(tuples)),
+  using TupleChunk = std::vector<ExtendedTuple>;
+
+  NetworkAds(std::vector<std::shared_ptr<TupleChunk>> tuple_chunks,
+             size_t num_nodes,
+             std::shared_ptr<const std::vector<uint32_t>> leaf_of_node,
+             MerkleTree tree)
+      : tuple_chunks_(std::move(tuple_chunks)),
+        num_nodes_(num_nodes),
         leaf_of_node_(std::move(leaf_of_node)),
         tree_(std::move(tree)) {}
 
-  std::vector<ExtendedTuple> tuples_;     // by node id
-  std::vector<uint32_t> leaf_of_node_;    // node id -> leaf position
+  std::vector<std::shared_ptr<TupleChunk>> tuple_chunks_;  // by node id
+  size_t num_nodes_ = 0;
+  std::shared_ptr<const std::vector<uint32_t>> leaf_of_node_;  // id -> leaf
   MerkleTree tree_;
 };
 

@@ -98,32 +98,45 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
   return result;
 }
 
-Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t shard,
-                                                      const RsaKeyPair& keys,
-                                                      NodeId u, NodeId v,
-                                                      double new_weight) {
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
+    size_t shard, const RsaKeyPair& keys,
+    std::span<const EdgeWeightUpdate> updates) {
   if (shard >= shards_.size()) {
     return Status::InvalidArgument("shard index out of range");
   }
   Result<uint32_t> version =
-      shards_[shard]->ApplyEdgeWeightUpdate(keys, u, v, new_weight);
+      shards_[shard]->ApplyEdgeWeightUpdates(keys, updates);
   Counters& counters = counters_[shard];
   if (version.ok()) {
-    counters.updates.fetch_add(1, std::memory_order_relaxed);
+    counters.updates.fetch_add(updates.size(), std::memory_order_relaxed);
   } else {
     counters.update_failures.fetch_add(1, std::memory_order_relaxed);
   }
   return version;
 }
 
-Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdateAllShards(
-    const RsaKeyPair& keys, NodeId u, NodeId v, double new_weight) {
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t shard,
+                                                      const RsaKeyPair& keys,
+                                                      NodeId u, NodeId v,
+                                                      double new_weight) {
+  const EdgeWeightUpdate update{u, v, new_weight};
+  return ApplyEdgeWeightUpdates(shard, keys, {&update, 1});
+}
+
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdatesAllShards(
+    const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates) {
   uint32_t version = 0;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
-    SPAUTH_ASSIGN_OR_RETURN(
-        version, ApplyEdgeWeightUpdate(shard, keys, u, v, new_weight));
+    SPAUTH_ASSIGN_OR_RETURN(version,
+                            ApplyEdgeWeightUpdates(shard, keys, updates));
   }
   return version;
+}
+
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdateAllShards(
+    const RsaKeyPair& keys, NodeId u, NodeId v, double new_weight) {
+  const EdgeWeightUpdate update{u, v, new_weight};
+  return ApplyEdgeWeightUpdatesAllShards(keys, {&update, 1});
 }
 
 std::vector<Result<uint32_t>> ShardedEngine::ApplyUpdateStream(
@@ -188,6 +201,7 @@ ShardedStats ShardedEngine::GetStats() const {
     s.updates = counters_[i].updates.load(std::memory_order_relaxed);
     s.update_failures =
         counters_[i].update_failures.load(std::memory_order_relaxed);
+    s.rotation_clone_bytes = shards_[i]->rotation_clone_bytes();
     s.live_snapshots = shards_[i]->live_snapshots();
     // Read off the pinned snapshot rather than certificate(), which would
     // copy the whole certificate (signature included) for one field.
@@ -200,6 +214,7 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.answer_micros += s.answer_micros;
     stats.totals.updates += s.updates;
     stats.totals.update_failures += s.update_failures;
+    stats.totals.rotation_clone_bytes += s.rotation_clone_bytes;
     stats.totals.live_snapshots += s.live_snapshots;
     stats.totals.certificate_version =
         std::max(stats.totals.certificate_version, s.certificate_version);

@@ -84,8 +84,9 @@ struct ShardStats {
   uint64_t queries = 0;         // answers routed to this shard
   uint64_t failures = 0;        // answers that returned an error Status
   uint64_t answer_micros = 0;   // total wall time spent answering
-  uint64_t updates = 0;         // snapshot rotations applied to this shard
-  uint64_t update_failures = 0; // updates that returned an error Status
+  uint64_t updates = 0;         // edge updates absorbed (rotations may batch)
+  uint64_t update_failures = 0; // update calls that returned an error Status
+  uint64_t rotation_clone_bytes = 0;  // CoW bytes rotations actually copied
   size_t live_snapshots = 0;    // published + retired-but-undrained states
   uint32_t certificate_version = 0;  // current snapshot's signed version
   ProofCacheStats cache;
@@ -97,13 +98,6 @@ struct ShardStats {
 struct ShardedStats {
   std::vector<ShardStats> shards;
   ShardStats totals;
-};
-
-/// One owner-side edge-weight change, routable like the query stream.
-struct EdgeWeightUpdate {
-  NodeId u = 0;
-  NodeId v = 0;
-  double new_weight = 0;
 };
 
 class ShardedEngine {
@@ -140,19 +134,30 @@ class ShardedEngine {
     return router_->Route(Query{update.u, update.v}, shards_.size());
   }
 
-  /// Owner-side live update on one shard: rotates that shard's snapshot
-  /// copy-on-write while its traffic keeps serving (see
-  /// MethodEngine::ApplyEdgeWeightUpdate). Returns the shard's new
+  /// Owner-side live batch update on one shard: absorbs the whole batch
+  /// into ONE snapshot rotation (one structural clone, one signature at
+  /// version + k) while that shard's traffic keeps serving (see
+  /// MethodEngine::ApplyEdgeWeightUpdates). Returns the shard's new
   /// certificate version; InvalidArgument for an out-of-range shard.
+  Result<uint32_t> ApplyEdgeWeightUpdates(
+      size_t shard, const RsaKeyPair& keys,
+      std::span<const EdgeWeightUpdate> updates);
+
+  /// Single-update wrapper: a batch of one.
   Result<uint32_t> ApplyEdgeWeightUpdate(size_t shard, const RsaKeyPair& keys,
                                          NodeId u, NodeId v,
                                          double new_weight);
 
-  /// Replicated deployments: applies the update to *every* shard so the
-  /// replicas stay byte-transparent, and returns the common new version
-  /// (the replicas move in lock-step because they started in lock-step).
-  /// On a failed shard the error returns immediately — replicas may then
-  /// disagree, exactly as a real fleet would until the owner retries.
+  /// Replicated deployments: absorbs the batch on *every* shard (one
+  /// rotation each) so the replicas stay byte-transparent, and returns the
+  /// common new version (the replicas move in lock-step because they
+  /// started in lock-step). On a failed shard the error returns
+  /// immediately — replicas may then disagree, exactly as a real fleet
+  /// would until the owner retries.
+  Result<uint32_t> ApplyEdgeWeightUpdatesAllShards(
+      const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates);
+
+  /// Single-update wrapper over the batched all-shards form.
   Result<uint32_t> ApplyEdgeWeightUpdateAllShards(const RsaKeyPair& keys,
                                                   NodeId u, NodeId v,
                                                   double new_weight);

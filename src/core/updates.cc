@@ -1,39 +1,58 @@
 #include "core/updates.h"
 
+#include <utility>
+
 namespace spauth {
 
-Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
-                        NodeId u, NodeId v, double new_weight) {
-  SPAUTH_RETURN_IF_ERROR(g->SetEdgeWeight(u, v, new_weight));
+Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                              std::span<const EdgeWeightUpdate> updates,
+                              size_t* copied_bytes) {
+  if (updates.empty()) {
+    return Status::Ok();
+  }
+  for (const EdgeWeightUpdate& up : updates) {
+    SPAUTH_RETURN_IF_ERROR(
+        g->SetEdgeWeight(up.u, up.v, up.new_weight, copied_bytes));
 
-  // Refresh the two affected tuples and their Merkle leaves.
-  for (NodeId node : {u, v}) {
-    ExtendedTuple tuple = ads->network.tuple(node);
-    const NodeId other = node == u ? v : u;
-    bool found = false;
-    for (NeighborEntry& e : tuple.neighbors) {
-      if (e.id == other) {
-        e.weight = new_weight;
-        found = true;
-        break;
+    // Refresh the two affected tuples and their Merkle leaves. A chunk or
+    // Merkle path copied for an earlier update in this batch is uniquely
+    // owned by now, so overlapping updates copy nothing further.
+    for (NodeId node : {up.u, up.v}) {
+      ExtendedTuple tuple = ads->network.tuple(node);
+      const NodeId other = node == up.u ? up.v : up.u;
+      bool found = false;
+      for (NeighborEntry& e : tuple.neighbors) {
+        if (e.id == other) {
+          e.weight = up.new_weight;
+          found = true;
+          break;
+        }
       }
+      if (!found) {
+        return Status::Internal("tuple adjacency out of sync with graph");
+      }
+      SPAUTH_RETURN_IF_ERROR(
+          ads->network.UpdateTuple(node, std::move(tuple), copied_bytes));
     }
-    if (!found) {
-      return Status::Internal("tuple adjacency out of sync with graph");
-    }
-    SPAUTH_RETURN_IF_ERROR(ads->network.UpdateTuple(node, std::move(tuple)));
   }
 
-  // Re-sign with a bumped version (the old certificate stays
-  // cryptographically valid for the old root — freshness enforcement is an
-  // out-of-band policy; see MethodParams::version).
+  // One signature for the whole batch, at version + k — byte-identical to
+  // k single-update re-signs landing on the same root and version (the old
+  // certificate stays cryptographically valid for the old root; freshness
+  // enforcement is an out-of-band policy, see MethodParams::version).
   MethodParams params = ads->certificate.params;
-  params.version += 1;
+  params.version += static_cast<uint32_t>(updates.size());
   SPAUTH_ASSIGN_OR_RETURN(
       ads->certificate,
       MakeCertificate(keys, std::move(params), ads->network.root(),
                       Digest()));
   return Status::Ok();
+}
+
+Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                        NodeId u, NodeId v, double new_weight) {
+  const EdgeWeightUpdate update{u, v, new_weight};
+  return ApplyEdgeWeightUpdates(g, ads, keys, {&update, 1});
 }
 
 }  // namespace spauth

@@ -1,23 +1,39 @@
 // Owner-side ADS maintenance: the copy-on-write building block behind
-// MethodEngine::ApplyEdgeWeightUpdate's snapshot rotation (DIJ only).
+// MethodEngine's snapshot rotations (DIJ only).
 //
 // Road networks change (roadworks, congestion re-weighting). DIJ is the
-// only method whose hints contain no global distance information, so a
+// only method whose hints contain no global distance information, so one
 // weight change touches exactly two extended-tuples: the owner re-hashes
-// those two leaves, recomputes the O(f log_f |V|) Merkle path over the
-// tree's cached level digests and re-signs a certificate with a bumped
-// version — no re-hash of anything else. (The engine's copy-on-write
-// rotation still clones the graph/ADS containers, an O(V + E) memcpy
-// with zero crypto; structural sharing that drops the clone cost to
-// O(f log_f V) is a named ROADMAP follow-up.)
+// those two leaves and recomputes the O(f log_f |V|) Merkle path over the
+// tree's cached level digests — no re-hash of anything else.
 //
-// Since PR 4 the engine never mutates live serving state: the engine
-// clones the current snapshot's graph and DIJ ADS, points this function at
-// the *clones*, and publishes the result as a fresh immutable EngineState
-// (core/engine_state.h) while readers drain the old snapshot. Calling
-// UpdateEdgeWeight directly on owner-private state (as the owner-side
-// tests and tools do) remains supported — just never on state a live
-// engine is serving from.
+// The clone is as cheap as the crypto since the structures went
+// persistent: Graph, NetworkAds and MerkleTree hold their payload in
+// immutable shared_ptr chunks, so the engine's "clone" is a pointer-spine
+// copy and the mutation below copy-on-writes only the chunks the update
+// actually touches — two adjacency blocks, two tuple chunks and the two
+// leaves' Merkle path chunks, O(f log_f V) fresh bytes instead of the
+// former O(V + E) memcpy. `copied_bytes` surfaces exactly those bytes
+// (the engine aggregates them into its rotation_clone_bytes metric).
+//
+// Batching: ApplyEdgeWeightUpdates absorbs k edge changes into ONE
+// maintenance pass — k graph writes, up to 2k tuple refreshes (a chunk or
+// path copied once stays uniquely owned, so overlapping updates pay a
+// single copy), one version bump of +k and ONE certificate signature.
+// The result is byte-identical to applying the k updates one at a time
+// (same final tuples, same root, same version, and RSA PKCS#1 v1.5
+// signing is deterministic), which the batch-equivalence tests assert.
+//
+// Since PR 4 the engine never mutates live serving state: it clones the
+// current snapshot's graph and DIJ ADS (structurally shared), points this
+// function at the *clones*, and publishes the result as a fresh immutable
+// EngineState (core/engine_state.h) while readers drain the old snapshot —
+// which keeps aliasing the untouched chunks, safely, because shared chunks
+// are never written in place. Calling these functions directly on
+// owner-private state (as the owner-side tests and tools do) remains
+// supported — just never on state a live engine is serving from. On an
+// error return the graph/ADS pair may hold a partially applied batch with
+// the old certificate; discard the clones (the engine does).
 //
 // The other methods materialize global distances (FULL's all-pairs matrix,
 // LDM's landmark vectors, HYP's hyper-edges); a weight change can
@@ -28,16 +44,27 @@
 #ifndef SPAUTH_CORE_UPDATES_H_
 #define SPAUTH_CORE_UPDATES_H_
 
+#include <span>
+
 #include "core/dij.h"
 #include "graph/graph.h"
 
 namespace spauth {
 
-/// Changes the weight of edge (u, v) in both the graph and the DIJ ADS:
-/// refreshes the two affected tuples, updates the Merkle tree incrementally
-/// and re-signs the certificate with version + 1. `g` must be the graph the
-/// ADS was built over (or a clone of it, in the engine's copy-on-write
-/// flow). Not thread-safe: callers own the exclusivity of `g`/`ads`.
+/// Absorbs `updates` (in order; later entries win on a repeated edge) into
+/// both the graph and the DIJ ADS: refreshes the affected tuples, updates
+/// the Merkle tree incrementally, bumps the certificate version by
+/// `updates.size()` and signs ONCE. An empty batch is a no-op (no version
+/// bump, no signature). `g` must be the graph the ADS was built over (or a
+/// structurally shared clone, in the engine's copy-on-write flow).
+/// `copied_bytes`, when non-null, accumulates the bytes the copy-on-write
+/// chunk duplications actually copied. Not thread-safe: callers own the
+/// exclusivity of `g`/`ads`.
+Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                              std::span<const EdgeWeightUpdate> updates,
+                              size_t* copied_bytes = nullptr);
+
+/// Single-update wrapper: a batch of one (version + 1, one signature).
 Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                         NodeId u, NodeId v, double new_weight);
 

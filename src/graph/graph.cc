@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/cow.h"
+
 namespace spauth {
 
 const Edge* Graph::FindEdge(NodeId u, NodeId v) const {
@@ -33,47 +35,86 @@ Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
   return edge->weight;
 }
 
-Status Graph::SetEdgeWeight(NodeId u, NodeId v, double new_weight) {
+std::vector<Edge>& Graph::MutableAdjBlock(NodeId v, size_t* copied_bytes) {
+  return EnsureUniqueChunk(
+      adj_blocks_[v / kAdjBlockNodes], copied_bytes,
+      [](const std::vector<Edge>& b) { return b.size() * sizeof(Edge); });
+}
+
+Status Graph::SetEdgeWeight(NodeId u, NodeId v, double new_weight,
+                            size_t* copied_bytes) {
   if (!std::isfinite(new_weight) || new_weight < 0) {
     return Status::InvalidArgument("edge weight must be finite and >= 0");
   }
-  auto set_half = [&](NodeId from, NodeId to) -> Status {
-    Edge* begin = adj_.data() + offsets_[from];
-    Edge* end = adj_.data() + offsets_[from + 1];
-    Edge* it = std::lower_bound(
-        begin, end, to, [](const Edge& e, NodeId id) { return e.to < id; });
-    if (it == end || it->to != to) {
-      return Status::NotFound("no such edge");
-    }
-    it->weight = new_weight;
-    return Status::Ok();
-  };
   if (!IsValidNode(u) || !IsValidNode(v)) {
     return Status::InvalidArgument("edge endpoint out of range");
   }
-  SPAUTH_RETURN_IF_ERROR(set_half(u, v));
-  return set_half(v, u);
+  // Locate both halves before mutating anything, so a missing direction
+  // never leaves the other one changed (and never forces a block copy).
+  auto locate = [&](NodeId from, NodeId to) -> ptrdiff_t {
+    const std::span<const Edge> neighbors = Neighbors(from);
+    auto it = std::lower_bound(
+        neighbors.begin(), neighbors.end(), to,
+        [](const Edge& e, NodeId id) { return e.to < id; });
+    if (it == neighbors.end() || it->to != to) {
+      return -1;
+    }
+    // Index within from's block vector.
+    const uint32_t base = (*offsets_)[from - from % kAdjBlockNodes];
+    return (it - neighbors.begin()) +
+           static_cast<ptrdiff_t>((*offsets_)[from] - base);
+  };
+  const ptrdiff_t uv = locate(u, v);
+  const ptrdiff_t vu = locate(v, u);
+  if (uv < 0 || vu < 0) {
+    return Status::NotFound("no such edge");
+  }
+  MutableAdjBlock(u, copied_bytes)[static_cast<size_t>(uv)].weight =
+      new_weight;
+  MutableAdjBlock(v, copied_bytes)[static_cast<size_t>(vu)].weight =
+      new_weight;
+  return Status::Ok();
+}
+
+size_t Graph::MemoryFootprintBytes() const {
+  if (offsets_ == nullptr) {
+    return 0;
+  }
+  size_t bytes = offsets_->size() * sizeof(uint32_t) +
+                 xs_->size() * sizeof(double) + ys_->size() * sizeof(double) +
+                 adj_blocks_.size() * sizeof(adj_blocks_[0]);
+  for (const auto& block : adj_blocks_) {
+    bytes += block->size() * sizeof(Edge);
+  }
+  return bytes;
+}
+
+size_t Graph::SharedAdjBlocksWith(const Graph& other) const {
+  return SharedSpinePositions<std::vector<Edge>>(adj_blocks_,
+                                                 other.adj_blocks_);
 }
 
 BoundingBox Graph::GetBoundingBox() const {
   BoundingBox box;
-  if (xs_.empty()) {
+  if (num_nodes_ == 0) {
     return box;
   }
-  box.min_x = box.max_x = xs_[0];
-  box.min_y = box.max_y = ys_[0];
-  for (size_t i = 1; i < xs_.size(); ++i) {
-    box.min_x = std::min(box.min_x, xs_[i]);
-    box.max_x = std::max(box.max_x, xs_[i]);
-    box.min_y = std::min(box.min_y, ys_[i]);
-    box.max_y = std::max(box.max_y, ys_[i]);
+  const std::vector<double>& xs = *xs_;
+  const std::vector<double>& ys = *ys_;
+  box.min_x = box.max_x = xs[0];
+  box.min_y = box.max_y = ys[0];
+  for (size_t i = 1; i < xs.size(); ++i) {
+    box.min_x = std::min(box.min_x, xs[i]);
+    box.max_x = std::max(box.max_x, xs[i]);
+    box.min_y = std::min(box.min_y, ys[i]);
+    box.max_y = std::max(box.max_y, ys[i]);
   }
   return box;
 }
 
 double Graph::EuclideanDistance(NodeId u, NodeId v) const {
-  const double dx = xs_[u] - xs_[v];
-  const double dy = ys_[u] - ys_[v];
+  const double dx = (*xs_)[u] - (*xs_)[v];
+  const double dy = (*ys_)[u] - (*ys_)[v];
   return std::sqrt(dx * dx + dy * dy);
 }
 
@@ -99,9 +140,10 @@ Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
 
 Result<Graph> GraphBuilder::Build() {
   Graph g;
-  g.xs_ = std::move(xs_);
-  g.ys_ = std::move(ys_);
-  const size_t n = g.xs_.size();
+  const size_t n = xs_.size();
+  g.num_nodes_ = n;
+  g.xs_ = std::make_shared<const std::vector<double>>(std::move(xs_));
+  g.ys_ = std::make_shared<const std::vector<double>>(std::move(ys_));
 
   // Expand to directed half-edges and sort (source, target).
   struct Half {
@@ -124,17 +166,31 @@ Result<Graph> GraphBuilder::Build() {
     }
   }
 
-  g.offsets_.assign(n + 1, 0);
+  auto offsets = std::make_shared<std::vector<uint32_t>>(n + 1, 0u);
   for (const Half& h : halves) {
-    ++g.offsets_[h.from + 1];
+    ++(*offsets)[h.from + 1];
   }
   for (size_t i = 0; i < n; ++i) {
-    g.offsets_[i + 1] += g.offsets_[i];
+    (*offsets)[i + 1] += (*offsets)[i];
   }
-  g.adj_.resize(halves.size());
-  for (size_t i = 0; i < halves.size(); ++i) {
-    g.adj_[i] = {halves[i].to, halves[i].weight};
+
+  // Chunk the half-edges into per-node-block vectors (the shared CoW grain
+  // of SetEdgeWeight). `halves` is sorted by source node, so each block is
+  // a contiguous slice.
+  const size_t num_blocks =
+      (n + Graph::kAdjBlockNodes - 1) / Graph::kAdjBlockNodes;
+  g.adj_blocks_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t first_node = b * Graph::kAdjBlockNodes;
+    const size_t last_node = std::min(n, first_node + Graph::kAdjBlockNodes);
+    auto block = std::make_shared<std::vector<Edge>>();
+    block->reserve((*offsets)[last_node] - (*offsets)[first_node]);
+    for (size_t i = (*offsets)[first_node]; i < (*offsets)[last_node]; ++i) {
+      block->push_back({halves[i].to, halves[i].weight});
+    }
+    g.adj_blocks_.push_back(std::move(block));
   }
+  g.offsets_ = std::move(offsets);
   return g;
 }
 

@@ -3,11 +3,21 @@
 // geo-coordinates, edge weights are arbitrary non-negative values (travel
 // distance, time, toll, ...). Stored in CSR form; each undirected edge
 // appears in both endpoints' adjacency lists.
+//
+// Persistence: the immutable CSR components (offsets, coordinates) are held
+// behind shared_ptr, and the adjacency array is split into per-node-block
+// chunks that are likewise shared. Copying a Graph copies only pointers —
+// no edge is duplicated — and SetEdgeWeight copy-on-writes exactly the two
+// blocks holding the edge's half-entries. That makes the engine's snapshot
+// rotation (clone graph, re-weight one edge, publish) O(block) instead of
+// O(V + E): retired snapshots keep reading the blocks they alias while the
+// owner's clone rewrites its private copies.
 #ifndef SPAUTH_GRAPH_GRAPH_H_
 #define SPAUTH_GRAPH_GRAPH_H_
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,6 +35,15 @@ struct Edge {
   double weight;
 };
 
+/// One owner-side edge re-weighting — the unit of the update pipeline
+/// (core/updates.h absorbs batches of these into one ADS refresh;
+/// ShardedEngine routes them like queries).
+struct EdgeWeightUpdate {
+  NodeId u = 0;
+  NodeId v = 0;
+  double new_weight = 0;
+};
+
 /// Axis-aligned bounding box of the node coordinates.
 struct BoundingBox {
   double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
@@ -34,23 +53,35 @@ struct BoundingBox {
 
 class Graph {
  public:
+  /// Nodes per shared adjacency block (power of two; one node's adjacency
+  /// never straddles blocks, so Neighbors stays a contiguous span).
+  static constexpr NodeId kAdjBlockNodes = 16;
+
   Graph() = default;
 
-  size_t num_nodes() const { return xs_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
   /// Number of undirected edges.
-  size_t num_edges() const { return adj_.size() / 2; }
+  size_t num_edges() const {
+    return offsets_ == nullptr ? 0 : (*offsets_)[num_nodes_] / 2;
+  }
 
   /// Adjacency list of `v`, sorted by neighbor id.
   std::span<const Edge> Neighbors(NodeId v) const {
-    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+    const std::vector<uint32_t>& offsets = *offsets_;
+    const std::vector<Edge>& block = *adj_blocks_[v / kAdjBlockNodes];
+    const uint32_t base = offsets[v - v % kAdjBlockNodes];
+    return {block.data() + (offsets[v] - base),
+            block.data() + (offsets[v + 1] - base)};
   }
 
-  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+  size_t Degree(NodeId v) const {
+    return (*offsets_)[v + 1] - (*offsets_)[v];
+  }
 
-  double x(NodeId v) const { return xs_[v]; }
-  double y(NodeId v) const { return ys_[v]; }
+  double x(NodeId v) const { return (*xs_)[v]; }
+  double y(NodeId v) const { return (*ys_)[v]; }
 
-  bool IsValidNode(NodeId v) const { return v < num_nodes(); }
+  bool IsValidNode(NodeId v) const { return v < num_nodes_; }
 
   /// The half-edge (u, v) located by binary search over u's sorted
   /// adjacency list, or nullptr (also for out-of-range ids — safe on
@@ -65,20 +96,43 @@ class Graph {
 
   /// Changes the weight of an existing edge (both stored directions).
   /// Structure (node set / adjacency) is immutable; only weights may move.
-  Status SetEdgeWeight(NodeId u, NodeId v, double new_weight);
+  /// Copy-on-write: adjacency blocks still aliased by another Graph copy
+  /// are duplicated before the write (and their bytes accumulated into
+  /// `copied_bytes` when non-null); uniquely owned blocks mutate in place.
+  /// A missing edge or bad weight copies nothing.
+  Status SetEdgeWeight(NodeId u, NodeId v, double new_weight,
+                       size_t* copied_bytes = nullptr);
 
   BoundingBox GetBoundingBox() const;
 
   /// Euclidean distance between the coordinates of u and v.
   double EuclideanDistance(NodeId u, NodeId v) const;
 
+  /// Payload bytes a full structural clone would duplicate (CSR offsets,
+  /// coordinates, every adjacency block, the block spine) — the baseline
+  /// the rotation_clone_bytes metric is compared against.
+  size_t MemoryFootprintBytes() const;
+
+  /// Adjacency blocks in the spine (structural-sharing accounting).
+  size_t num_adj_blocks() const { return adj_blocks_.size(); }
+  /// Blocks pointer-identical to `other`'s at the same position — how much
+  /// adjacency two graph versions share.
+  size_t SharedAdjBlocksWith(const Graph& other) const;
+
  private:
   friend class GraphBuilder;
 
-  std::vector<uint32_t> offsets_;  // size num_nodes + 1
-  std::vector<Edge> adj_;          // both directions of every edge
-  std::vector<double> xs_;
-  std::vector<double> ys_;
+  /// The writable block holding `v`'s adjacency, copy-on-write.
+  std::vector<Edge>& MutableAdjBlock(NodeId v, size_t* copied_bytes);
+
+  size_t num_nodes_ = 0;
+  // Immutable after Build; shared by every copy of this graph.
+  std::shared_ptr<const std::vector<uint32_t>> offsets_;  // size V + 1
+  std::shared_ptr<const std::vector<double>> xs_;
+  std::shared_ptr<const std::vector<double>> ys_;
+  // Both directions of every edge, chunked by node block; blocks are
+  // immutable while shared (SetEdgeWeight copy-on-writes them).
+  std::vector<std::shared_ptr<std::vector<Edge>>> adj_blocks_;
 };
 
 /// Incremental constructor for Graph; validates ids, weights and duplicate

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/cow.h"
+
 namespace spauth {
 
 namespace {
@@ -114,10 +116,11 @@ Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_digests,
   if (fanout < 2) {
     return Status::InvalidArgument("merkle tree fanout must be >= 2");
   }
-  std::vector<std::vector<Digest>> levels;
-  levels.push_back(std::move(leaf_digests));
-  while (levels.back().size() > 1) {
-    const std::vector<Digest>& below = levels.back();
+  std::vector<Level> levels;
+  // Each flat level is hashed into its parent, then chunked and frozen —
+  // the flat copy never coexists with more than one level of digests.
+  std::vector<Digest> below = std::move(leaf_digests);
+  while (below.size() > 1) {
     std::vector<Digest> level;
     level.reserve((below.size() + fanout - 1) / fanout);
     for (size_t i = 0; i < below.size(); i += fanout) {
@@ -125,17 +128,50 @@ Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_digests,
       level.push_back(HashInternalNode(
           alg, std::span<const Digest>(below.data() + i, end - i)));
     }
-    levels.push_back(std::move(level));
+    levels.push_back(FreezeLevel(std::move(below)));
+    below = std::move(level);
   }
+  levels.push_back(FreezeLevel(std::move(below)));
   return MerkleTree(std::move(levels), fanout, alg);
+}
+
+MerkleTree::Level MerkleTree::FreezeLevel(std::vector<Digest> flat) {
+  Level level;
+  level.size = flat.size();
+  level.chunks.reserve((flat.size() + kChunkDigests - 1) / kChunkDigests);
+  for (size_t i = 0; i < flat.size(); i += kChunkDigests) {
+    const size_t end = std::min(flat.size(), i + kChunkDigests);
+    level.chunks.push_back(std::make_shared<Chunk>(
+        std::make_move_iterator(flat.begin() + static_cast<ptrdiff_t>(i)),
+        std::make_move_iterator(flat.begin() + static_cast<ptrdiff_t>(end))));
+  }
+  return level;
 }
 
 size_t MerkleTree::total_digests() const {
   size_t total = 0;
-  for (const auto& level : levels_) {
-    total += level.size();
+  for (const Level& level : levels_) {
+    total += level.size;
   }
   return total;
+}
+
+size_t MerkleTree::num_chunks() const {
+  size_t total = 0;
+  for (const Level& level : levels_) {
+    total += level.chunks.size();
+  }
+  return total;
+}
+
+size_t MerkleTree::SharedChunksWith(const MerkleTree& other) const {
+  size_t shared = 0;
+  const size_t num_levels = std::min(levels_.size(), other.levels_.size());
+  for (size_t l = 0; l < num_levels; ++l) {
+    shared += SharedSpinePositions<Chunk>(levels_[l].chunks,
+                                          other.levels_[l].chunks);
+  }
+  return shared;
 }
 
 Result<MerkleSubsetProof> MerkleTree::GenerateProof(
@@ -187,13 +223,13 @@ Status MerkleTree::GenerateProofInto(std::span<const uint32_t> leaf_indices,
     const uint64_t lo = f.index * span;
     const uint64_t hi = std::min<uint64_t>(lo + span, num_leaves());
     if (!has_target(lo, hi)) {
-      out.push_back(levels_[f.level][f.index]);
+      out.push_back(NodeAt(f.level, f.index));
       continue;
     }
     if (f.level == 0) {
       continue;  // target leaf, supplied by the verifier
     }
-    const size_t child_count = levels_[f.level - 1].size();
+    const size_t child_count = levels_[f.level - 1].size;
     const size_t first = static_cast<size_t>(f.index) * fanout_;
     const size_t last = std::min(child_count, first + fanout_);
     for (size_t c = last; c-- > first;) {
@@ -203,22 +239,39 @@ Status MerkleTree::GenerateProofInto(std::span<const uint32_t> leaf_indices,
   return Status::Ok();
 }
 
-Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest) {
+Digest& MerkleTree::MutableNode(size_t level, size_t index,
+                                size_t* copied_bytes) {
+  Chunk& chunk = EnsureUniqueChunk(
+      levels_[level].chunks[index / kChunkDigests], copied_bytes,
+      [&](const Chunk& c) { return c.size() * DigestSize(alg_); });
+  return chunk[index % kChunkDigests];
+}
+
+Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest,
+                              size_t* copied_bytes) {
   if (leaf_index >= num_leaves()) {
     return Status::InvalidArgument("leaf index out of range");
   }
   if (new_digest.size() != DigestSize(alg_)) {
     return Status::InvalidArgument("digest size does not match tree");
   }
-  levels_[0][leaf_index] = new_digest;
+  MutableNode(0, leaf_index, copied_bytes) = new_digest;
   size_t index = leaf_index;
+  // Children of one internal node may straddle a chunk boundary; gather
+  // them into a small contiguous buffer for hashing (UpdateLeaf is the
+  // owner-side maintenance path, not a serving hot path).
+  std::vector<Digest> children;
+  children.reserve(fanout_);
   for (size_t level = 1; level < levels_.size(); ++level) {
     index /= fanout_;
-    const std::vector<Digest>& below = levels_[level - 1];
     const size_t first = index * fanout_;
-    const size_t last = std::min(below.size(), first + fanout_);
-    levels_[level][index] = HashInternalNode(
-        alg_, std::span<const Digest>(below.data() + first, last - first));
+    const size_t last = std::min(levels_[level - 1].size, first + fanout_);
+    children.clear();
+    for (size_t c = first; c < last; ++c) {
+      children.push_back(NodeAt(level - 1, c));
+    }
+    MutableNode(level, index, copied_bytes) =
+        HashInternalNode(alg_, children);
   }
   return Status::Ok();
 }

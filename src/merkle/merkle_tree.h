@@ -12,11 +12,22 @@
 //
 // Domain separation: leaves are hashed as H(0x00 || payload), internal nodes
 // as H(0x01 || child digests), preventing leaf/internal confusion attacks.
+//
+// Persistence: every level is stored as immutable shared_ptr *chunks* of
+// kChunkDigests digests. Copying a tree copies only the chunk-pointer
+// spines (structural sharing — no digest is duplicated), and UpdateLeaf
+// path-copies exactly the chunks on the updated leaf's root path before
+// rewriting them: O(f log_f n) fresh hashes, O(kChunkDigests · log_f n)
+// fresh digest bytes. A chunk that is uniquely owned is rewritten in place
+// (no copy); a chunk aliased by another tree version is never mutated, so
+// retired snapshot readers can keep replaying proofs from it concurrently
+// with owner-side updates.
 #ifndef SPAUTH_MERKLE_MERKLE_TREE_H_
 #define SPAUTH_MERKLE_MERKLE_TREE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -70,15 +81,20 @@ struct MerkleVerifyScratch {
 
 class MerkleTree {
  public:
+  /// Digests per immutable level chunk (the structural-sharing grain):
+  /// small enough that one path copy stays O(log n) bytes, large enough
+  /// that the chunk-pointer spine is a small fraction of the level.
+  static constexpr size_t kChunkDigests = 8;
+
   /// Builds the tree over `leaf_digests` (already leaf-domain hashed).
   /// Requires at least one leaf and fanout >= 2.
   static Result<MerkleTree> Build(std::vector<Digest> leaf_digests,
                                   uint32_t fanout, HashAlgorithm alg);
 
-  const Digest& root() const { return levels_.back()[0]; }
-  size_t num_leaves() const { return levels_[0].size(); }
+  const Digest& root() const { return NodeAt(levels_.size() - 1, 0); }
+  size_t num_leaves() const { return levels_.front().size; }
   /// The leaf digest cached at build time (no re-hash needed).
-  const Digest& leaf(size_t index) const { return levels_[0][index]; }
+  const Digest& leaf(size_t index) const { return NodeAt(0, index); }
   uint32_t fanout() const { return fanout_; }
   HashAlgorithm algorithm() const { return alg_; }
   /// Total digests stored (storage accounting).
@@ -98,15 +114,46 @@ class MerkleTree {
   /// Replaces one leaf digest and recomputes the O(f log_f n) path of
   /// internal digests up to the root. This is what makes owner-side
   /// updates (e.g. an edge-weight change re-hashing two tuples) cheap:
-  /// no full rebuild, only a root re-sign.
-  Status UpdateLeaf(uint32_t leaf_index, const Digest& new_digest);
+  /// no full rebuild, only a root re-sign. Chunks shared with another
+  /// tree version are path-copied first (the other version is never
+  /// disturbed); `copied_bytes`, when non-null, accumulates the digest
+  /// bytes those copies duplicated — 0 when every touched chunk was
+  /// already uniquely owned.
+  Status UpdateLeaf(uint32_t leaf_index, const Digest& new_digest,
+                    size_t* copied_bytes = nullptr);
+
+  /// Chunks across all levels (structural-sharing accounting).
+  size_t num_chunks() const;
+  /// Chunks pointer-identical to `other`'s at the same position — the
+  /// untouched-subtree sharing the differential tests assert. Trees of
+  /// different shapes share nothing.
+  size_t SharedChunksWith(const MerkleTree& other) const;
 
  private:
-  MerkleTree(std::vector<std::vector<Digest>> levels, uint32_t fanout,
-             HashAlgorithm alg)
+  using Chunk = std::vector<Digest>;
+  /// One level: an immutable-chunk spine plus the level's digest count
+  /// (the last chunk may be partial).
+  struct Level {
+    std::vector<std::shared_ptr<Chunk>> chunks;
+    size_t size = 0;
+  };
+
+  MerkleTree(std::vector<Level> levels, uint32_t fanout, HashAlgorithm alg)
       : levels_(std::move(levels)), fanout_(fanout), alg_(alg) {}
 
-  std::vector<std::vector<Digest>> levels_;  // [0] = leaves, back() = {root}
+  /// Moves a flat digest vector into the chunked immutable-level form.
+  static Level FreezeLevel(std::vector<Digest> flat);
+
+  const Digest& NodeAt(size_t level, size_t index) const {
+    return (*levels_[level].chunks[index / kChunkDigests])
+        [index % kChunkDigests];
+  }
+  /// The writable slot for (level, index), copy-on-write: a chunk still
+  /// aliased by another tree version is duplicated first (and its bytes
+  /// added to `copied_bytes`); a uniquely owned chunk is handed out as is.
+  Digest& MutableNode(size_t level, size_t index, size_t* copied_bytes);
+
+  std::vector<Level> levels_;  // [0] = leaves, back() = {root}
   uint32_t fanout_;
   HashAlgorithm alg_;
 };

@@ -1,0 +1,59 @@
+// Copy-on-write chunk helpers — the one place the persistent structures'
+// aliasing invariant lives.
+//
+// MerkleTree levels, Graph adjacency blocks and NetworkAds tuple chunks
+// are all shared_ptr "chunks" hanging off a per-version pointer spine:
+// copying the owner shares every chunk, and a writer must never mutate a
+// chunk another version can still read. EnsureUniqueChunk enforces that:
+// use_count() == 1 means the caller is the chunk's only owner (nobody
+// else holds a reference to copy from, so the count cannot concurrently
+// grow) and in-place mutation is safe; any other count duplicates the
+// chunk first. The duplicated payload size — computed by the caller's
+// cost function, in whatever accounting unit its structure reports — is
+// accumulated into `copied_bytes` so rotations can surface their real
+// clone traffic (MethodEngine::rotation_clone_bytes).
+#ifndef SPAUTH_UTIL_COW_H_
+#define SPAUTH_UTIL_COW_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+namespace spauth {
+
+/// Makes `chunk` safe to mutate, copy-on-write. `byte_cost(chunk_ref)` is
+/// invoked only when a copy happens and only if `copied_bytes` is
+/// non-null. Returns the (now uniquely owned) chunk.
+template <typename Chunk, typename ByteCost>
+Chunk& EnsureUniqueChunk(std::shared_ptr<Chunk>& chunk, size_t* copied_bytes,
+                         ByteCost&& byte_cost) {
+  if (chunk.use_count() != 1) {
+    chunk = std::make_shared<Chunk>(*chunk);
+    if (copied_bytes != nullptr) {
+      *copied_bytes += byte_cost(*chunk);
+    }
+  }
+  return *chunk;
+}
+
+/// Positions at which two chunk spines hold the *same* chunk object — the
+/// structural-sharing count the differential tests assert. Spines of
+/// different lengths compare over the common prefix.
+template <typename Chunk>
+size_t SharedSpinePositions(std::span<const std::shared_ptr<Chunk>> a,
+                            std::span<const std::shared_ptr<Chunk>> b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t shared = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) {
+      ++shared;
+    }
+  }
+  return shared;
+}
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_COW_H_

@@ -2,9 +2,20 @@
 // publish immutable snapshots, retired snapshots drain without disturbing
 // readers, the per-snapshot proof cache is retired wholesale with exact
 // books, and client-held bundles from retired snapshots stay verifiable.
+//
+// Since rotations went structurally shared, this file also proves the
+// aliasing story: successive snapshots share graph/ADS chunks
+// (rotation_clone_bytes stays far below the full-clone baseline), a
+// pinned retired snapshot keeps its exact pre-rotation world while later
+// versions rewrite their private chunk copies — including under
+// concurrent rotation pressure (the TSan-run stress below) — and batched
+// rotations are byte-equivalent to single-update rotations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/client.h"
@@ -176,6 +187,170 @@ TEST(EngineStateTest, HeldBundleFromRetiredSnapshotStaysValidAndVerifiable) {
   EXPECT_EQ(client.ShardVersionWatermark(0), 1u);
 }
 
+TEST(EngineStateTest, RotationSharesStructureWithTheRetiredSnapshot) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  const std::shared_ptr<const EngineState> old_state = engine->CurrentState();
+  const size_t baseline =
+      old_state->graph->MemoryFootprintBytes() + engine->storage_bytes();
+
+  const NodeId u = 0;
+  const NodeId v = ctx.graph.Neighbors(0)[0].to;
+  const double w = ctx.graph.EdgeWeight(u, v).value();
+  ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 2).ok());
+  const std::shared_ptr<const EngineState> new_state = engine->CurrentState();
+
+  // The new snapshot's graph is a structural sibling, not a deep copy: at
+  // most the two blocks holding (u, v) were duplicated.
+  const size_t blocks = new_state->graph->num_adj_blocks();
+  EXPECT_GE(new_state->graph->SharedAdjBlocksWith(*old_state->graph),
+            blocks - 2);
+  EXPECT_LT(new_state->graph->SharedAdjBlocksWith(*old_state->graph),
+            blocks);  // the touched block really was copied
+
+  // The acceptance ratio, at engine level: one rotation's copy-on-write
+  // bytes must undercut the PR-4 full-clone baseline by >= 10x.
+  const uint64_t cloned = engine->rotation_clone_bytes();
+  EXPECT_GT(cloned, 0u);
+  EXPECT_LT(cloned * 10, baseline)
+      << "cloned=" << cloned << " baseline=" << baseline;
+
+  // Aliasing is safe: the retired snapshot still shows its exact world.
+  EXPECT_DOUBLE_EQ(old_state->graph->EdgeWeight(u, v).value(), w);
+  EXPECT_DOUBLE_EQ(new_state->graph->EdgeWeight(u, v).value(), w * 2);
+}
+
+TEST(EngineStateTest, BatchedRotationMatchesSingleUpdateRotations) {
+  const auto& ctx = CoreTestContext::Get();
+  auto singles = ctx.MakeMethodEngine(MethodKind::kDij);
+  auto batched = ctx.MakeMethodEngine(MethodKind::kDij);
+
+  std::vector<EdgeWeightUpdate> updates;
+  for (NodeId u : {NodeId{0}, NodeId{7}, NodeId{20}}) {
+    const Edge& e = ctx.graph.Neighbors(u)[0];
+    updates.push_back({u, e.to, e.weight * 1.5});
+  }
+
+  for (const EdgeWeightUpdate& up : updates) {
+    ASSERT_TRUE(
+        singles->ApplyEdgeWeightUpdate(ctx.keys, up.u, up.v, up.new_weight)
+            .ok());
+  }
+  auto version = batched->ApplyEdgeWeightUpdates(ctx.keys, updates);
+  ASSERT_TRUE(version.ok());
+
+  // Same final version from ONE rotation (== one clone, one signature).
+  EXPECT_EQ(version.value(), updates.size());
+  EXPECT_EQ(batched->current_epoch(), 2u);
+  EXPECT_EQ(singles->current_epoch(), 1u + updates.size());
+
+  // Deterministic signing over the same root and version means the
+  // certificates agree byte for byte...
+  ByteWriter singles_cert, batched_cert;
+  singles->certificate().Serialize(&singles_cert);
+  batched->certificate().Serialize(&batched_cert);
+  EXPECT_EQ(singles_cert.view().size(), batched_cert.view().size());
+  EXPECT_TRUE(std::equal(singles_cert.view().begin(),
+                         singles_cert.view().end(),
+                         batched_cert.view().begin()));
+
+  // ...and so do the served answers, which also still verify.
+  for (const Query& q : ctx.queries) {
+    auto a = singles->Answer(q);
+    auto b = batched->Answer(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().bytes, b.value().bytes);
+    EXPECT_TRUE(batched->Verify(q, b.value()).accepted);
+  }
+}
+
+TEST(EngineStateTest, EmptyBatchPublishesNothing) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  const std::shared_ptr<const EngineState> before = engine->CurrentState();
+  auto version = engine->ApplyEdgeWeightUpdates(ctx.keys, {});
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 0u);
+  EXPECT_EQ(engine->CurrentState().get(), before.get());
+  EXPECT_EQ(engine->current_epoch(), 1u);
+}
+
+// Aliasing-under-drain stress (runs under the TSan concurrency label):
+// readers stay pinned on version v — re-verifying a version-v bundle and
+// re-reading version-v graph state — while the writer drives rotations
+// v+1..v+k (singles and batches) that share chunks with v and retire. The
+// pinned world must never move, the bundle must keep verifying, and the
+// cache books must conserve once everything drains.
+TEST(EngineStateTest, PinnedReadersKeepVerifyingAcrossAliasedRotations) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(MethodKind::kDij);
+  const Query q = ctx.queries[0];
+  auto answered = engine->AnswerShared(q);
+  ASSERT_TRUE(answered.ok());
+  std::shared_ptr<const ProofBundle> pinned_bundle =
+      std::move(answered).value();
+  std::shared_ptr<const EngineState> pinned = engine->CurrentState();
+
+  const NodeId u = pinned_bundle->path.nodes[0];
+  const NodeId v = pinned_bundle->path.nodes[1];
+  const double old_w = ctx.graph.EdgeWeight(u, v).value();
+
+  constexpr size_t kReaders = 2;
+  constexpr size_t kRotations = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reject_count{0};
+  std::atomic<size_t> drift_count{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!engine->Verify(q, *pinned_bundle).accepted) {
+          reject_count.fetch_add(1);
+        }
+        if (pinned->graph->EdgeWeight(u, v).value() != old_w ||
+            pinned->certificate.params.version != 0) {
+          drift_count.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Writer: rotate the exact edge the pinned snapshot is being read on —
+  // alternating singles and batches — so every rotation copy-on-writes
+  // chunks the readers alias.
+  for (size_t i = 1; i <= kRotations; ++i) {
+    if (i % 2 == 0) {
+      const EdgeWeightUpdate batch[] = {
+          {u, v, old_w * (1.0 + 0.1 * static_cast<double>(i))},
+          {u, v, old_w * (1.0 + 0.2 * static_cast<double>(i))}};
+      ASSERT_TRUE(engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    } else {
+      ASSERT_TRUE(engine
+                      ->ApplyEdgeWeightUpdate(
+                          ctx.keys, u, v,
+                          old_w * (1.0 + 0.1 * static_cast<double>(i)))
+                      .ok());
+    }
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+
+  EXPECT_EQ(reject_count.load(), 0u);  // retired bundles never turn invalid
+  EXPECT_EQ(drift_count.load(), 0u);   // the pinned world never moved
+
+  // Quiescence: drop the pins; every retired snapshot drains and the
+  // books conserve despite all the chunk aliasing in between.
+  pinned_bundle.reset();
+  pinned.reset();
+  EXPECT_EQ(engine->live_snapshots(), 1u);
+  ExpectBooksConserve(engine->proof_cache_stats());
+}
+
 class NonDijUpdateTest : public ::testing::TestWithParam<MethodKind> {};
 
 TEST_P(NonDijUpdateTest, FailedUpdateLeavesSnapshotAndCacheUntouched) {
@@ -208,6 +383,27 @@ TEST_P(NonDijUpdateTest, FailedUpdateLeavesSnapshotAndCacheUntouched) {
   ASSERT_TRUE(repeat.ok());
   EXPECT_EQ(repeat.value().bytes, before.value().bytes);
   EXPECT_EQ(engine->proof_cache_stats().hits, stats_before.hits + 1);
+}
+
+TEST_P(NonDijUpdateTest, BatchedUpdateAlsoFailsPrecondition) {
+  const auto& ctx = CoreTestContext::Get();
+  auto engine = MakeCachedEngine(GetParam());
+  const std::shared_ptr<const EngineState> before = engine->CurrentState();
+  const EdgeWeightUpdate updates[] = {
+      {0, ctx.graph.Neighbors(0)[0].to, 2.0},
+      {1, ctx.graph.Neighbors(1)[0].to, 3.0}};
+  auto result = engine->ApplyEdgeWeightUpdates(ctx.keys, updates);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine->CurrentState().get(), before.get());
+  EXPECT_EQ(engine->current_epoch(), 1u);
+  EXPECT_EQ(engine->rotation_clone_bytes(), 0u);
+
+  // An empty batch is a no-op for every method, DIJ or not.
+  auto empty = engine->ApplyEdgeWeightUpdates(ctx.keys, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value(), 0u);
+  EXPECT_EQ(engine->CurrentState().get(), before.get());
 }
 
 INSTANTIATE_TEST_SUITE_P(RebuildOnlyMethods, NonDijUpdateTest,

@@ -1,11 +1,15 @@
 // Seeded update-while-serving stress campaign: writer threads stream
-// copy-on-write edge-weight updates through MethodEngine while reader
-// threads serve AnswerBatch and verify through Client::VerifyBatch with
-// version watermarks. Every accepted answer must carry the true shortest
-// distance of the graph at the certificate version it shipped with (zero
-// false-accepts), honest serving must never be rejected for anything but
-// staleness (zero false-rejects), versions accepted by one client must be
-// monotonic, and the snapshot/cache books must conserve once drained.
+// copy-on-write edge-weight updates — a mix of single rotations and
+// multi-edge batches (one clone, one signature, version + k) — through
+// MethodEngine while reader threads serve AnswerBatch and verify through
+// Client::VerifyBatch with version watermarks. Every accepted answer must
+// carry the true shortest distance of the graph at the certificate version
+// it shipped with (zero false-accepts — the version-log replay below
+// reconstructs the graph at every *published* version, where one version
+// may absorb several edges), honest serving must never be rejected for
+// anything but staleness (zero false-rejects), versions accepted by one
+// client must be monotonic, and the snapshot/cache books must conserve
+// once drained.
 //
 // Runs under the concurrency-tagged ctest entry (TSan CI job); the
 // campaign seed is in every failure message.
@@ -35,7 +39,8 @@ using testing::CoreTestContext;
 
 constexpr uint64_t kCampaignSeed = 0x5eed2026u;
 constexpr size_t kWriters = 2;
-constexpr size_t kUpdatesPerWriter = 6;
+constexpr size_t kRotationsPerWriter = 5;
+constexpr size_t kMaxBatchEdges = 3;  // rotations absorb 1..3 edges
 constexpr size_t kReaders = 2;
 
 struct UndirectedEdge {
@@ -43,10 +48,12 @@ struct UndirectedEdge {
   double weight;
 };
 
-struct AppliedUpdate {
-  uint32_t version;
-  NodeId u, v;
-  double new_weight;
+/// One published rotation: the version it signed and every edge it
+/// absorbed (batched rotations make versions multi-edge — the version
+/// jumps by the batch size with the intermediate states never published).
+struct AppliedRotation {
+  uint32_t version;  // version_after: certificate version it published
+  std::vector<EdgeWeightUpdate> edges;
 };
 
 struct AcceptedAnswer {
@@ -95,26 +102,30 @@ TEST(UpdateStressTest, ServingStaysSoundWhileWritersRotateSnapshots) {
   ASSERT_TRUE(built.ok());
   MethodEngine& engine = *built.value();
 
-  // --- Writers: stream seeded weight updates, logging (version -> change).
+  // --- Writers: stream seeded rotations — alternating single updates and
+  // multi-edge batches — logging (version_after -> absorbed edges).
   std::atomic<bool> writers_done{false};
   std::atomic<size_t> update_failures{0};
-  std::vector<std::vector<AppliedUpdate>> writer_logs(kWriters);
+  std::vector<std::vector<AppliedRotation>> writer_logs(kWriters);
   std::vector<std::thread> writers;
   writers.reserve(kWriters);
   for (size_t w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
       Rng rng(kCampaignSeed + 100 + w);
-      for (size_t i = 0; i < kUpdatesPerWriter; ++i) {
-        const UndirectedEdge& e = edges[rng.NextBounded(edges.size())];
-        const double new_weight = e.weight * rng.NextDoubleIn(0.5, 2.0);
-        auto version =
-            engine.ApplyEdgeWeightUpdate(keys, e.u, e.v, new_weight);
+      for (size_t i = 0; i < kRotationsPerWriter; ++i) {
+        const size_t batch_edges = 1 + rng.NextBounded(kMaxBatchEdges);
+        std::vector<EdgeWeightUpdate> batch;
+        batch.reserve(batch_edges);
+        for (size_t j = 0; j < batch_edges; ++j) {
+          const UndirectedEdge& e = edges[rng.NextBounded(edges.size())];
+          batch.push_back({e.u, e.v, e.weight * rng.NextDoubleIn(0.5, 2.0)});
+        }
+        auto version = engine.ApplyEdgeWeightUpdates(keys, batch);
         if (!version.ok()) {
           update_failures.fetch_add(1);
           continue;
         }
-        writer_logs[w].push_back(
-            {version.value(), e.u, e.v, new_weight});
+        writer_logs[w].push_back({version.value(), std::move(batch)});
         std::this_thread::yield();
       }
     });
@@ -190,45 +201,63 @@ TEST(UpdateStressTest, ServingStaysSoundWhileWritersRotateSnapshots) {
   EXPECT_EQ(false_rejects.load(), 0u);
   EXPECT_EQ(monotonicity_violations.load(), 0u);
 
-  // --- The update log must be a gap-free version sequence 1..N (rotations
-  // serialize inside the engine).
-  std::map<uint32_t, AppliedUpdate> log;
+  // --- The rotation log must tile the version line exactly: rotations
+  // serialize inside the engine, each publishing version_before + k for
+  // its k absorbed edges — so consecutive version_afters differ by the
+  // batch size, with no gaps, overlaps or duplicates.
+  std::map<uint32_t, const AppliedRotation*> log;
+  size_t total_edges = 0;
   for (const auto& writer_log : writer_logs) {
-    for (const AppliedUpdate& up : writer_log) {
-      EXPECT_TRUE(log.emplace(up.version, up).second)
-          << "duplicate version " << up.version;
+    for (const AppliedRotation& rotation : writer_log) {
+      EXPECT_TRUE(log.emplace(rotation.version, &rotation).second)
+          << "duplicate version " << rotation.version;
+      total_edges += rotation.edges.size();
     }
   }
-  const size_t total_updates = kWriters * kUpdatesPerWriter;
-  ASSERT_EQ(log.size(), total_updates);
-  ASSERT_EQ(log.begin()->first, 1u);
-  ASSERT_EQ(log.rbegin()->first, total_updates);
-  EXPECT_EQ(engine.certificate().params.version, total_updates);
+  ASSERT_EQ(log.size(), kWriters * kRotationsPerWriter);
+  uint32_t cumulative = 0;
+  for (const auto& [version_after, rotation] : log) {
+    cumulative += static_cast<uint32_t>(rotation->edges.size());
+    ASSERT_EQ(version_after, cumulative)
+        << "rotation log does not tile the version line";
+  }
+  ASSERT_EQ(cumulative, total_edges);
+  EXPECT_EQ(engine.certificate().params.version, total_edges);
 
   // --- Zero false-accepts: replay the log to reconstruct the graph at
-  // every version and check each accepted answer against the true
-  // shortest distance of the world its certificate signed.
-  std::vector<std::vector<double>> truth(total_updates + 1);
+  // every *published* version (a batched rotation publishes one version
+  // for several edges; the intermediate states never existed) and check
+  // each accepted answer against the true shortest distance of the world
+  // its certificate signed.
+  std::map<uint32_t, std::vector<double>> truth;
   Graph replay = base_graph;
-  for (uint32_t version = 0; version <= total_updates; ++version) {
-    if (version > 0) {
-      const AppliedUpdate& up = log.at(version);
+  auto solve_all = [&](const Graph& g) {
+    std::vector<double> distances;
+    distances.reserve(queries.size());
+    for (const Query& q : queries) {
+      const PathSearchResult sp = DijkstraShortestPath(g, q.source, q.target);
+      EXPECT_TRUE(sp.reachable);
+      distances.push_back(sp.distance);
+    }
+    return distances;
+  };
+  truth.emplace(0u, solve_all(replay));
+  for (const auto& [version_after, rotation] : log) {
+    for (const EdgeWeightUpdate& up : rotation->edges) {
       ASSERT_TRUE(replay.SetEdgeWeight(up.u, up.v, up.new_weight).ok());
     }
-    truth[version].reserve(queries.size());
-    for (const Query& q : queries) {
-      const PathSearchResult sp =
-          DijkstraShortestPath(replay, q.source, q.target);
-      ASSERT_TRUE(sp.reachable);
-      truth[version].push_back(sp.distance);
-    }
+    truth.emplace(version_after, solve_all(replay));
   }
   size_t total_accepted = 0;
   for (size_t r = 0; r < kReaders; ++r) {
     for (const AcceptedAnswer& a : reader_accepts[r]) {
-      ASSERT_LE(a.version, total_updates);
-      EXPECT_NEAR(a.distance, truth[a.version][a.query_index],
-                  1e-9 * (1.0 + truth[a.version][a.query_index]))
+      // An accepted answer must carry a version some rotation actually
+      // published — an intermediate (mid-batch) version would be a forgery.
+      auto it = truth.find(a.version);
+      ASSERT_NE(it, truth.end())
+          << "accepted answer at unpublished version " << a.version;
+      EXPECT_NEAR(a.distance, it->second[a.query_index],
+                  1e-9 * (1.0 + it->second[a.query_index]))
           << "reader " << r << " query " << a.query_index << " version "
           << a.version;
       ++total_accepted;

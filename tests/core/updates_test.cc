@@ -181,6 +181,120 @@ TEST_F(UpdatesTest, ManySequentialUpdatesKeepTheAdsConsistent) {
                   .accepted);
 }
 
+// ---------------------------------------------------------------------------
+// Batch equivalence: one ApplyEdgeWeightUpdates({e1..ek}) pass must land on
+// exactly the state k single-update passes land on — same graph weights,
+// same ADS root, same certificate bytes (deterministic PKCS#1 v1.5 signing
+// over the same root + version) — across random graphs, with the version
+// jumping by k from a single signature.
+// ---------------------------------------------------------------------------
+
+TEST(BatchUpdateEquivalenceTest, BatchMatchesSinglesAcrossRandomGraphs) {
+  const auto& keys = CoreTestContext::Get().keys;
+  for (uint64_t seed : {3u, 29u, 151u}) {
+    SCOPED_TRACE("graph seed " + std::to_string(seed));
+    auto built = GenerateRoadNetwork(
+        {.num_nodes = 160, .coord_extent = 3000, .seed = seed});
+    ASSERT_TRUE(built.ok());
+    const Graph base = std::move(built).value();
+
+    auto ads_singles = BuildDijAds(base, DijOptions{}, keys);
+    auto ads_batch = BuildDijAds(base, DijOptions{}, keys);
+    ASSERT_TRUE(ads_singles.ok());
+    ASSERT_TRUE(ads_batch.ok());
+    Graph g_singles = base;
+    Graph g_batch = base;
+
+    // Seeded batch; include a repeated edge so last-wins ordering is
+    // exercised.
+    Rng rng(seed + 1000);
+    std::vector<EdgeWeightUpdate> updates;
+    for (int i = 0; i < 5; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(base.num_nodes()));
+      auto neighbors = base.Neighbors(u);
+      if (neighbors.empty()) {
+        continue;
+      }
+      const NodeId v = neighbors[rng.NextBounded(neighbors.size())].to;
+      updates.push_back({u, v, rng.NextDoubleIn(1.0, 400.0)});
+    }
+    ASSERT_FALSE(updates.empty());
+    updates.push_back({updates[0].u, updates[0].v, 123.5});  // repeat, wins
+
+    for (const EdgeWeightUpdate& up : updates) {
+      ASSERT_TRUE(UpdateEdgeWeight(&g_singles, &ads_singles.value(),
+                                   keys, up.u, up.v, up.new_weight)
+                      .ok());
+    }
+    size_t copied = 0;
+    ASSERT_TRUE(ApplyEdgeWeightUpdates(&g_batch, &ads_batch.value(),
+                                       keys, updates, &copied)
+                    .ok());
+
+    // Same version (k bumps vs one +k bump), same root, same signature.
+    EXPECT_EQ(ads_singles.value().certificate.params.version,
+              updates.size());
+    EXPECT_EQ(ads_batch.value().certificate.params.version,
+              updates.size());
+    EXPECT_EQ(ads_singles.value().network.root(),
+              ads_batch.value().network.root());
+    EXPECT_EQ(ads_singles.value().certificate.signature,
+              ads_batch.value().certificate.signature);
+
+    // Same graph: every updated edge agrees in both directions.
+    for (const EdgeWeightUpdate& up : updates) {
+      EXPECT_DOUBLE_EQ(g_singles.EdgeWeight(up.u, up.v).value(),
+                       g_batch.EdgeWeight(up.u, up.v).value());
+      EXPECT_DOUBLE_EQ(g_singles.EdgeWeight(up.v, up.u).value(),
+                       g_batch.EdgeWeight(up.v, up.u).value());
+    }
+    EXPECT_DOUBLE_EQ(g_batch.EdgeWeight(updates[0].u, updates[0].v).value(),
+                     123.5);
+
+    // The batch's copy-on-write clone stayed sublinear: both the graph and
+    // ADS were cloned off `base`/the build, so every touched chunk was
+    // copied exactly once.
+    EXPECT_GT(copied, 0u);
+    EXPECT_LT(copied, base.MemoryFootprintBytes() +
+                          ads_batch.value().network.StorageBytes());
+
+    // And the batch-updated ADS still serves verifiable answers.
+    DijProvider provider(&g_batch, &ads_batch.value());
+    Query q{0, static_cast<NodeId>(base.num_nodes() - 1)};
+    auto answer = provider.Answer(q);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_TRUE(VerifyDijAnswer(keys.public_key(),
+                                ads_batch.value().certificate, q,
+                                answer.value())
+                    .accepted);
+  }
+}
+
+TEST_F(UpdatesTest, BatchRejectsNonExistentEdgeWithoutSigning) {
+  const auto& keys = CoreTestContext::Get().keys;
+  // Find a non-adjacent pair.
+  NodeId bad_v = 0;
+  for (bad_v = 1; bad_v < graph_.num_nodes(); ++bad_v) {
+    if (!graph_.HasEdge(0, bad_v)) {
+      break;
+    }
+  }
+  const NodeId good_v = graph_.Neighbors(0)[0].to;
+  const EdgeWeightUpdate updates[] = {{0, good_v, 7.0}, {0, bad_v, 5.0}};
+  EXPECT_FALSE(
+      ApplyEdgeWeightUpdates(&graph_, ads_.get(), keys, updates).ok());
+  // The certificate was never re-signed for the partial batch.
+  EXPECT_EQ(ads_->certificate.params.version, 0u);
+}
+
+TEST_F(UpdatesTest, EmptyBatchIsANoOp) {
+  const auto& keys = CoreTestContext::Get().keys;
+  const Digest root_before = ads_->network.root();
+  ASSERT_TRUE(ApplyEdgeWeightUpdates(&graph_, ads_.get(), keys, {}).ok());
+  EXPECT_EQ(ads_->certificate.params.version, 0u);
+  EXPECT_EQ(ads_->network.root(), root_before);
+}
+
 TEST_F(UpdatesTest, RejectsNonExistentEdge) {
   const auto& keys = CoreTestContext::Get().keys;
   // Find a non-adjacent pair.

@@ -1,0 +1,317 @@
+// Persistent-MerkleTree differential campaign: structurally shared tree
+// versions (copies share every chunk; UpdateLeaf path-copies) must be
+// observationally identical to a from-scratch rebuild at every step —
+// root, every leaf digest, and subset proofs — while untouched chunks stay
+// pointer-identical across versions and the copy-on-write byte accounting
+// stays O(kChunkDigests · log_f n) per update.
+#include "merkle/merkle_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+Digest RandomLeaf(Rng& rng) {
+  uint8_t payload[12];
+  rng.FillBytes(payload, sizeof(payload));
+  return HashLeafPayload(HashAlgorithm::kSha1, payload);
+}
+
+std::vector<Digest> RandomLeaves(Rng& rng, size_t count) {
+  std::vector<Digest> leaves;
+  leaves.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    leaves.push_back(RandomLeaf(rng));
+  }
+  return leaves;
+}
+
+/// Number of levels a tree over `num_leaves` with `fanout` has.
+size_t NumLevels(size_t num_leaves, uint32_t fanout) {
+  size_t levels = 1;
+  while (num_leaves > 1) {
+    num_leaves = (num_leaves + fanout - 1) / fanout;
+    ++levels;
+  }
+  return levels;
+}
+
+/// Digest bytes UpdateLeaf must copy when NO chunk of the root path is
+/// uniquely owned: the chunk holding the touched node at every level
+/// (clamped to the level size for partial chunks).
+size_t ExpectedPathCopyBytes(size_t num_leaves, uint32_t fanout,
+                             size_t leaf_index) {
+  size_t bytes = 0;
+  size_t level_size = num_leaves;
+  size_t index = leaf_index;
+  while (true) {
+    const size_t chunk_first =
+        index - index % MerkleTree::kChunkDigests;
+    const size_t chunk_size = std::min(MerkleTree::kChunkDigests,
+                                       level_size - chunk_first);
+    bytes += chunk_size * DigestSize(HashAlgorithm::kSha1);
+    if (level_size == 1) {
+      break;
+    }
+    level_size = (level_size + fanout - 1) / fanout;
+    index /= fanout;
+  }
+  return bytes;
+}
+
+TEST(PersistentMerkleTest, CopySharesEveryChunk) {
+  Rng rng(1);
+  auto tree = MerkleTree::Build(RandomLeaves(rng, 64), 2,
+                                HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  const MerkleTree copy = tree.value();
+  EXPECT_EQ(copy.SharedChunksWith(tree.value()), tree.value().num_chunks());
+  EXPECT_EQ(copy.root(), tree.value().root());
+}
+
+TEST(PersistentMerkleTest, UpdatePathCopiesExactlyOneChunkPerLevel) {
+  Rng rng(2);
+  const std::vector<Digest> leaves = RandomLeaves(rng, 64);
+  auto base = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(base.ok());
+  const Digest base_root = base.value().root();
+  const Digest base_leaf0 = base.value().leaf(0);
+
+  MerkleTree updated = base.value();
+  size_t copied = 0;
+  ASSERT_TRUE(updated.UpdateLeaf(0, RandomLeaf(rng), &copied).ok());
+
+  // 64 leaves @ fanout 2 = 7 levels; the leaf-0 path touches one chunk per
+  // level, and every other chunk stays pointer-identical to the base.
+  const size_t levels = NumLevels(64, 2);
+  EXPECT_EQ(updated.SharedChunksWith(base.value()),
+            base.value().num_chunks() - levels);
+  EXPECT_EQ(copied, ExpectedPathCopyBytes(64, 2, 0));
+
+  // The base version is a frozen snapshot: untouched by the update.
+  EXPECT_EQ(base.value().root(), base_root);
+  EXPECT_EQ(base.value().leaf(0), base_leaf0);
+  EXPECT_NE(updated.root(), base_root);
+}
+
+TEST(PersistentMerkleTest, SecondUpdateOnOwnedPathCopiesNothing) {
+  Rng rng(3);
+  auto base = MerkleTree::Build(RandomLeaves(rng, 97), 3,
+                                HashAlgorithm::kSha1);
+  ASSERT_TRUE(base.ok());
+  MerkleTree updated = base.value();
+  size_t first_copy = 0;
+  ASSERT_TRUE(updated.UpdateLeaf(42, RandomLeaf(rng), &first_copy).ok());
+  EXPECT_GT(first_copy, 0u);
+  // The path chunks are now uniquely owned: a second update of the same
+  // leaf rewrites in place.
+  size_t second_copy = 0;
+  ASSERT_TRUE(updated.UpdateLeaf(42, RandomLeaf(rng), &second_copy).ok());
+  EXPECT_EQ(second_copy, 0u);
+}
+
+TEST(PersistentMerkleTest, UniquelyOwnedTreeUpdatesInPlace) {
+  Rng rng(4);
+  auto tree = MerkleTree::Build(RandomLeaves(rng, 50), 4,
+                                HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  size_t copied = 0;
+  ASSERT_TRUE(tree.value().UpdateLeaf(13, RandomLeaf(rng), &copied).ok());
+  EXPECT_EQ(copied, 0u);  // nobody aliases the chunks
+}
+
+// ---------------------------------------------------------------------------
+// The differential campaign: random (leaves, fanout) shapes, random
+// single-update / batch steps, each step checked byte-for-byte against a
+// from-scratch rebuild of the mutated leaf vector — root, every cached
+// leaf digest, and a random subset proof — plus the sharing invariants
+// against the previous version. Failures shrink to the smallest divergent
+// op prefix and report the campaign seed.
+// ---------------------------------------------------------------------------
+
+struct CampaignShape {
+  size_t num_leaves;
+  uint32_t fanout;
+  std::vector<std::pair<uint32_t, Digest>> ops;  // flattened update ops
+  std::vector<size_t> step_sizes;                // ops per version step
+};
+
+CampaignShape MakeCampaign(uint64_t seed) {
+  Rng rng(seed);
+  CampaignShape shape;
+  shape.num_leaves = 1 + rng.NextBounded(220);
+  shape.fanout = 2 + static_cast<uint32_t>(rng.NextBounded(31));
+  const size_t steps = 1 + rng.NextBounded(10);
+  for (size_t s = 0; s < steps; ++s) {
+    const size_t batch = 1 + rng.NextBounded(4);
+    shape.step_sizes.push_back(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      uint8_t payload[12];
+      rng.FillBytes(payload, sizeof(payload));
+      shape.ops.push_back(
+          {static_cast<uint32_t>(rng.NextBounded(shape.num_leaves)),
+           HashLeafPayload(HashAlgorithm::kSha1, payload)});
+    }
+  }
+  return shape;
+}
+
+/// Replays ops[0..count) on a fresh tree built from `seed`'s base leaves;
+/// returns true iff root and every leaf digest match the rebuild.
+bool ReplayMatchesRebuild(uint64_t seed, const CampaignShape& shape,
+                          size_t count) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Digest> shadow = RandomLeaves(rng, shape.num_leaves);
+  auto tree =
+      MerkleTree::Build(shadow, shape.fanout, HashAlgorithm::kSha1);
+  if (!tree.ok()) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    shadow[shape.ops[i].first] = shape.ops[i].second;
+    if (!tree.value()
+             .UpdateLeaf(shape.ops[i].first, shape.ops[i].second)
+             .ok()) {
+      return false;
+    }
+  }
+  auto rebuilt =
+      MerkleTree::Build(shadow, shape.fanout, HashAlgorithm::kSha1);
+  if (!rebuilt.ok() || !(tree.value().root() == rebuilt.value().root())) {
+    return false;
+  }
+  for (size_t i = 0; i < shadow.size(); ++i) {
+    if (!(tree.value().leaf(i) == shadow[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PersistentMerkleTest, DifferentialCampaignMatchesRebuildEveryStep) {
+  constexpr uint64_t kBaseSeed = 0x5ee0aD5u;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(trial);
+    const CampaignShape shape = MakeCampaign(seed);
+    Rng leaf_rng(seed ^ 0x9e3779b97f4a7c15ull);
+    std::vector<Digest> shadow = RandomLeaves(leaf_rng, shape.num_leaves);
+    auto built =
+        MerkleTree::Build(shadow, shape.fanout, HashAlgorithm::kSha1);
+    ASSERT_TRUE(built.ok());
+    MerkleTree tree = std::move(built).value();
+    const size_t levels = NumLevels(shape.num_leaves, shape.fanout);
+
+    Rng proof_rng(seed + 17);
+    size_t op_cursor = 0;
+    for (size_t step = 0; step < shape.step_sizes.size(); ++step) {
+      // Freeze the previous version, then apply this step's batch to a
+      // structurally shared successor.
+      const MerkleTree prev = tree;
+      size_t copied = 0;
+      const size_t batch = shape.step_sizes[step];
+      for (size_t i = 0; i < batch; ++i, ++op_cursor) {
+        const auto& [index, digest] = shape.ops[op_cursor];
+        shadow[index] = digest;
+        ASSERT_TRUE(tree.UpdateLeaf(index, digest, &copied).ok());
+      }
+
+      // Differential: the incremental version must be byte-identical to a
+      // from-scratch rebuild — root and every cached leaf digest.
+      auto rebuilt =
+          MerkleTree::Build(shadow, shape.fanout, HashAlgorithm::kSha1);
+      ASSERT_TRUE(rebuilt.ok());
+      bool diverged = !(tree.root() == rebuilt.value().root());
+      for (size_t i = 0; !diverged && i < shadow.size(); ++i) {
+        diverged = !(tree.leaf(i) == shadow[i]);
+      }
+      if (diverged) {
+        // Shrink: the smallest op prefix that already diverges pins a
+        // minimal reproduction for the failure message.
+        size_t shrunk = op_cursor;
+        for (size_t prefix = 1; prefix <= op_cursor; ++prefix) {
+          if (!ReplayMatchesRebuild(seed, shape, prefix)) {
+            shrunk = prefix;
+            break;
+          }
+        }
+        FAIL() << "persistent tree diverged from rebuild: seed=" << seed
+               << " trial=" << trial << " leaves=" << shape.num_leaves
+               << " fanout=" << shape.fanout << " step=" << step
+               << " shrunk_to_op_prefix=" << shrunk
+               << " (replay with MakeCampaign(seed))";
+      }
+
+      // Proofs from the shared-structure tree replay to the same root.
+      const uint32_t target = static_cast<uint32_t>(
+          proof_rng.NextBounded(shape.num_leaves));
+      const uint32_t indices[] = {target};
+      auto proof = tree.GenerateProof(indices);
+      ASSERT_TRUE(proof.ok());
+      auto root = ReconstructMerkleRoot(proof.value(),
+                                        {{target, shadow[target]}});
+      ASSERT_TRUE(root.ok());
+      EXPECT_EQ(root.value(), tree.root());
+
+      // Sharing invariants: a batch of b updates path-copies at most
+      // b · levels chunks; everything else stays pointer-identical to the
+      // previous version, and the copied bytes are bounded accordingly.
+      const size_t max_copied_chunks = batch * levels;
+      const size_t min_shared = tree.num_chunks() > max_copied_chunks
+                                    ? tree.num_chunks() - max_copied_chunks
+                                    : 0;
+      EXPECT_GE(tree.SharedChunksWith(prev), min_shared)
+          << "seed=" << seed << " step=" << step;
+      EXPECT_LE(copied, batch * levels * MerkleTree::kChunkDigests *
+                            DigestSize(HashAlgorithm::kSha1))
+          << "seed=" << seed << " step=" << step;
+      EXPECT_GT(copied, 0u) << "seed=" << seed << " step=" << step;
+    }
+  }
+}
+
+TEST(PersistentMerkleTest, FrozenVersionsRemainIndependentlyProvable) {
+  // Keep every version of a 5-update history alive; each must still prove
+  // an arbitrary leaf against its own root (aliased chunks are immutable).
+  Rng rng(99);
+  std::vector<Digest> shadow = RandomLeaves(rng, 130);
+  auto built = MerkleTree::Build(shadow, 4, HashAlgorithm::kSha1);
+  ASSERT_TRUE(built.ok());
+
+  std::vector<MerkleTree> versions = {built.value()};
+  std::vector<std::vector<Digest>> shadows = {shadow};
+  for (int v = 0; v < 5; ++v) {
+    MerkleTree next = versions.back();
+    const uint32_t index = static_cast<uint32_t>(rng.NextBounded(130));
+    const Digest digest = RandomLeaf(rng);
+    ASSERT_TRUE(next.UpdateLeaf(index, digest).ok());
+    shadow[index] = digest;
+    versions.push_back(std::move(next));
+    shadows.push_back(shadow);
+  }
+
+  for (size_t v = 0; v < versions.size(); ++v) {
+    const uint32_t indices[] = {7, 63, 129};
+    auto proof = versions[v].GenerateProof(indices);
+    ASSERT_TRUE(proof.ok());
+    std::map<uint32_t, Digest> targets;
+    for (uint32_t i : indices) {
+      targets[i] = shadows[v][i];
+    }
+    auto root = ReconstructMerkleRoot(proof.value(), targets);
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(root.value(), versions[v].root()) << "version " << v;
+    // Consecutive versions share all but one root path.
+    if (v > 0) {
+      EXPECT_GT(versions[v].SharedChunksWith(versions[v - 1]), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spauth
