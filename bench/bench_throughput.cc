@@ -13,6 +13,7 @@
 //                    [--threads N] [--proof-cache] [--shards N]
 //                    [--update-rate R] [--updates N] [--update-batch K]
 //                    [--updates-first]
+//                    [--fault-rate R] [--replicas N] [--deadline-ms M]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
 // end) instead of a dataset graph. --proof-cache enables the server-side
@@ -47,6 +48,21 @@
 // since the final versions match, the final-pass digests of the two modes
 // must be byte-identical — CI asserts exactly that (serve-then-update ==
 // update-then-serve, batched == one-at-a-time).
+//
+// --fault-rate R switches to the chaos mode (DIJ, requires a build with
+// SPAUTH_FAILPOINTS=ON): --shards routing groups of --replicas replicas
+// each behind the failover AnswerBatch (bounded retry with backoff,
+// per-query --deadline-ms budget, circuit breakers on), with the
+// "shard/answer" fail point armed at probability R per attempt. Phase 1
+// serves the workload repeatedly and asserts every OK answer is
+// byte-identical to a fault-free reference pass (failover is transparent);
+// phase 2 (with --replicas >= 2) injects a one-shot signing fault mid-
+// rotation so one replica freezes on the old snapshot, then serves through
+// a bounded-staleness client and counts degraded accepts. The JSON's
+// "chaos" object reports availability (ok / answers), retry / failover /
+// breaker counters and the degraded-serve count; any non-retryable error,
+// verification rejection, or byte divergence exits non-zero. CI asserts
+// availability >= 0.99 at a 1% fault rate.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -66,7 +82,9 @@
 #include "graph/generator.h"
 #include "graph/search_workspace.h"
 #include "graph/workload.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace spauth::bench {
@@ -83,6 +101,9 @@ struct Config {
   size_t updates = 0;      // total owner updates (0 = mode default)
   size_t update_batch = 1;     // edges absorbed per rotation
   bool updates_first = false;  // quiesced: apply all updates, then serve
+  double fault_rate = 0;       // per-attempt fault probability; > 0 = chaos
+  size_t replicas = 2;         // replicas per routing group (chaos mode)
+  double deadline_ms = 0;      // per-query budget; 0 = none (chaos mode)
 };
 
 struct LatencyStats {
@@ -543,6 +564,19 @@ int RunSharded(const Config& config) {
     }
 
     const ShardedStats stats = e.GetStats();
+    // Strict exit: the per-answer checks above should have caught any
+    // error Status already, but the shard books are the ground truth — a
+    // failure recorded anywhere in the fleet fails the run.
+    if (stats.totals.failures != 0 || stats.totals.update_failures != 0) {
+      std::fprintf(stderr,
+                   "%s: shard stats record %llu answer / %llu update "
+                   "failures\n",
+                   method_name.c_str(),
+                   static_cast<unsigned long long>(stats.totals.failures),
+                   static_cast<unsigned long long>(
+                       stats.totals.update_failures));
+      return 1;
+    }
     std::printf("%s    {\n", first ? "" : ",\n");
     first = false;
     std::printf("      \"method\": \"%s\",\n", method_name.c_str());
@@ -755,6 +789,17 @@ int RunLiveUpdates(const Config& config) {
   const double final_total_s = final_total.ElapsedSeconds();
 
   const ShardedStats stats = e.GetStats();
+  // Strict exit: any error Status booked anywhere in the fleet — a mixed-
+  // phase answer the serving thread saw fail, or an update failure the
+  // per-call check somehow let through — fails the run before it prints.
+  if (stats.totals.failures != 0 || stats.totals.update_failures != 0) {
+    std::fprintf(stderr,
+                 "live-update: shard stats record %llu answer / %llu update "
+                 "failures\n",
+                 static_cast<unsigned long long>(stats.totals.failures),
+                 static_cast<unsigned long long>(stats.totals.update_failures));
+    return 1;
+  }
   const LatencyStats update_stats =
       Summarize(update_ms, 0);  // latency only; rate is the pacing knob
   std::printf("{\n");
@@ -828,6 +873,245 @@ int RunLiveUpdates(const Config& config) {
   return mixed_failures.load() == 0 ? 0 : 1;
 }
 
+/// Chaos mode: serving under seeded fault injection through the failover
+/// plane (DIJ only — phase 2 needs the incremental-update story). See the
+/// file comment for the phase structure and exit policy.
+int RunChaos(const Config& config) {
+  if (!FailPointsCompiledIn()) {
+    std::fprintf(stderr,
+                 "--fault-rate needs a build with -DSPAUTH_FAILPOINTS=ON\n");
+    return 2;
+  }
+  BenchGraph bench_graph;
+  if (!SetupBenchGraph(config, &bench_graph)) {
+    return 1;
+  }
+  const Graph* graph = bench_graph.graph;
+  const size_t num_queries = config.smoke ? 12 : config.queries;
+  const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
+  const size_t num_groups = std::max<size_t>(config.shards, 2);
+  const size_t fault_passes = config.smoke ? 50 : 20;
+
+  EngineOptions options = DefaultEngineOptions(MethodKind::kDij);
+  options.enable_proof_cache = config.proof_cache;
+  FailoverOptions failover;
+  failover.replicas_per_group = config.replicas;
+  failover.max_attempts = 4;
+  failover.backoff_base_us = 50;
+  failover.deadline_us =
+      static_cast<uint64_t>(config.deadline_ms * 1000.0);
+  failover.jitter_seed = kWorkloadSeed + 11;
+  failover.enable_breakers = true;
+  auto sharded = ShardedEngine::BuildReplicated(*graph, options, num_groups,
+                                                OwnerKeys(), failover);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "chaos engine build failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  ShardedEngine& e = *sharded.value();
+
+  // Fault-free reference pass: replicas of one network answer
+  // byte-identically, so every OK answer under injection must match these
+  // bytes exactly — failover must be transparent, not approximately right.
+  std::vector<std::vector<uint8_t>> reference(queries.size());
+  {
+    auto batch = e.AnswerBatch(queries, config.threads);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].ok()) {
+        std::fprintf(stderr, "chaos: fault-free reference answer failed: %s\n",
+                     batch[i].status().ToString().c_str());
+        return 1;
+      }
+      reference[i] = batch[i].value()->bytes;
+    }
+  }
+
+  Client client(OwnerKeys().public_key());
+  client.TrackShardVersions(num_groups);
+  client.SetStalenessBound(4);
+
+  uint64_t answers = 0;
+  uint64_t ok = 0;
+  uint64_t failures = 0;
+  uint64_t accepted_fresh = 0;
+  uint64_t accepted_degraded = 0;
+
+  // One serving pass; byte checks against the reference only while the
+  // fleet is untorn (pre-phase-2). Returns false on any soundness failure.
+  auto serve_pass = [&](bool check_bytes) {
+    auto batch = e.AnswerBatch(queries, config.threads);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++answers;
+      const auto& r = batch[i];
+      if (!r.ok()) {
+        if (!IsRetryable(r.status().code())) {
+          std::fprintf(stderr, "chaos: non-retryable error for query %zu: %s\n",
+                       i, r.status().ToString().c_str());
+          return false;
+        }
+        ++failures;
+        continue;
+      }
+      if (check_bytes && r.value()->bytes != reference[i]) {
+        std::fprintf(stderr,
+                     "chaos: answer bytes diverged from the fault-free "
+                     "reference for query %zu\n",
+                     i);
+        return false;
+      }
+      const WireVerification v =
+          client.Verify(queries[i], r.value()->bytes, e.RouteOf(queries[i]));
+      if (!v.outcome.accepted) {
+        std::fprintf(stderr, "chaos: verification rejected query %zu: %s\n", i,
+                     v.outcome.ToString().c_str());
+        return false;
+      }
+      ++ok;
+      if (v.degraded) {
+        ++accepted_degraded;
+      } else {
+        ++accepted_fresh;
+      }
+    }
+    return true;
+  };
+
+  // Phase 1: availability and byte transparency under per-attempt faults.
+  FailPointRegistry& fp = FailPointRegistry::Global();
+  fp.ArmProbability("shard/answer", config.fault_rate, kWorkloadSeed + 17);
+  for (size_t pass = 0; pass < fault_passes; ++pass) {
+    if (!serve_pass(/*check_bytes=*/true)) {
+      fp.DisarmAll();
+      return 1;
+    }
+  }
+  const FailPointStats answer_fp = fp.GetStats("shard/answer");
+  fp.Disarm("shard/answer");
+
+  // Phase 2 (needs a sibling to freeze): tear one rotation mid-flight. The
+  // one-shot fires on group 0's SECOND signing step, so replica 0
+  // publishes version+1 and replica 1 stays frozen on the old snapshot —
+  // the bounded-staleness client then accepts its answers as degraded
+  // instead of going dark.
+  uint64_t injected_update_faults = 0;
+  size_t degraded_passes = 0;
+  if (config.replicas >= 2) {
+    NodeId u = 0;
+    NodeId v = 0;
+    double weight = 0;
+    bool found = false;
+    for (NodeId n = 0; n < graph->num_nodes() && !found; ++n) {
+      for (const Edge& edge : graph->Neighbors(n)) {
+        u = n;
+        v = edge.to;
+        weight = edge.weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "chaos: graph has no edges\n");
+      return 1;
+    }
+    fp.ArmOneShot("certificate/sign", /*after=*/1);
+    const EdgeWeightUpdate update{u, v, weight * 1.5};
+    auto torn = e.ApplyEdgeWeightUpdates(0, OwnerKeys(),
+                                         std::span(&update, 1));
+    fp.Disarm("certificate/sign");
+    if (torn.ok() || !IsRetryable(torn.status().code())) {
+      std::fprintf(stderr,
+                   "chaos: injected rotation fault did not surface as a "
+                   "retryable error (%s)\n",
+                   torn.ok() ? "ok" : torn.status().ToString().c_str());
+      return 1;
+    }
+    injected_update_faults = 1;
+    degraded_passes = 2;
+    for (size_t pass = 0; pass < degraded_passes; ++pass) {
+      if (!serve_pass(/*check_bytes=*/false)) {
+        return 1;
+      }
+    }
+  }
+
+  const ShardedStats stats = e.GetStats();
+  // The only update failure allowed in the books is the one we injected.
+  if (stats.totals.update_failures != injected_update_faults) {
+    std::fprintf(stderr,
+                 "chaos: shard stats record %llu update failures, expected "
+                 "%llu injected\n",
+                 static_cast<unsigned long long>(stats.totals.update_failures),
+                 static_cast<unsigned long long>(injected_update_faults));
+    return 1;
+  }
+  const double availability =
+      answers > 0 ? static_cast<double>(ok) / static_cast<double>(answers)
+                  : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"mode\": \"chaos\",\n");
+  std::printf("  \"dataset\": \"%s\",\n", bench_graph.name.c_str());
+  std::printf("  \"nodes\": %zu,\n", graph->num_nodes());
+  std::printf("  \"edges\": %zu,\n", graph->num_edges());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::printf("  \"groups\": %zu,\n", num_groups);
+  std::printf("  \"replicas\": %zu,\n", config.replicas);
+  std::printf("  \"method\": \"dij\",\n");
+  std::printf("  \"chaos\": {\n");
+  std::printf("    \"fault_rate\": %.4f,\n", config.fault_rate);
+  std::printf("    \"deadline_ms\": %.1f,\n", config.deadline_ms);
+  std::printf("    \"max_attempts\": %zu,\n", failover.max_attempts);
+  std::printf("    \"fault_passes\": %zu,\n", fault_passes);
+  std::printf("    \"degraded_passes\": %zu,\n", degraded_passes);
+  std::printf("    \"answers\": %llu,\n",
+              static_cast<unsigned long long>(answers));
+  std::printf("    \"ok\": %llu,\n", static_cast<unsigned long long>(ok));
+  std::printf("    \"failures\": %llu,\n",
+              static_cast<unsigned long long>(failures));
+  std::printf("    \"availability\": %.6f,\n", availability);
+  std::printf("    \"accepted_fresh\": %llu,\n",
+              static_cast<unsigned long long>(accepted_fresh));
+  std::printf("    \"accepted_degraded\": %llu,\n",
+              static_cast<unsigned long long>(accepted_degraded));
+  std::printf("    \"injected_answer_faults\": %llu,\n",
+              static_cast<unsigned long long>(answer_fp.fires));
+  std::printf("    \"injected_update_faults\": %llu,\n",
+              static_cast<unsigned long long>(injected_update_faults));
+  std::printf("    \"retries\": %llu,\n",
+              static_cast<unsigned long long>(stats.totals.retries));
+  std::printf("    \"failovers\": %llu,\n",
+              static_cast<unsigned long long>(stats.totals.failovers));
+  std::printf("    \"deadline_exceeded\": %llu,\n",
+              static_cast<unsigned long long>(stats.totals.deadline_exceeded));
+  std::printf("    \"breaker_skips\": %llu,\n",
+              static_cast<unsigned long long>(stats.totals.breaker_skips));
+  std::printf("    \"breaker_opens\": %llu\n",
+              static_cast<unsigned long long>(stats.totals.breaker_opens));
+  std::printf("  },\n");
+  std::printf("  \"shard_stats\": [\n");
+  for (size_t s = 0; s < stats.shards.size(); ++s) {
+    const ShardStats& shard = stats.shards[s];
+    std::printf(
+        "    {\"shard\": %zu, \"queries\": %llu, \"failures\": %llu, "
+        "\"retries\": %llu, \"failovers\": %llu, \"breaker_skips\": %llu, "
+        "\"breaker_opens\": %llu, \"breaker_state\": \"%s\", "
+        "\"certificate_version\": %u}%s\n",
+        s, static_cast<unsigned long long>(shard.queries),
+        static_cast<unsigned long long>(shard.failures),
+        static_cast<unsigned long long>(shard.retries),
+        static_cast<unsigned long long>(shard.failovers),
+        static_cast<unsigned long long>(shard.breaker_skips),
+        static_cast<unsigned long long>(shard.breaker_opens),
+        ToString(shard.breaker_state), shard.certificate_version,
+        s + 1 < stats.shards.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace spauth::bench
 
@@ -888,14 +1172,41 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--updates-first") == 0) {
       config.updates_first = true;
+    } else if (std::strcmp(arg, "--fault-rate") == 0) {
+      config.fault_rate = std::strtod(next(), nullptr);
+      if (!(config.fault_rate > 0) || config.fault_rate > 1) {
+        std::fprintf(stderr, "--fault-rate needs a probability in (0, 1]\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--replicas") == 0) {
+      config.replicas = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+      if (config.replicas == 0) {
+        std::fprintf(stderr, "--replicas needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      config.deadline_ms = std::strtod(next(), nullptr);
+      if (!(config.deadline_ms > 0)) {
+        std::fprintf(stderr, "--deadline-ms needs a positive budget\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
                    "[--queries N] [--threads N] [--proof-cache] "
                    "[--shards N] [--update-rate R] [--updates N] "
-                   "[--update-batch K] [--updates-first]\n");
+                   "[--update-batch K] [--updates-first] "
+                   "[--fault-rate R] [--replicas N] [--deadline-ms M]\n");
       return 2;
     }
+  }
+  if (config.fault_rate > 0) {
+    if (config.update_rate > 0 || config.updates > 0 || config.updates_first) {
+      std::fprintf(stderr,
+                   "--fault-rate is incompatible with the update-mode flags\n");
+      return 2;
+    }
+    return spauth::bench::RunChaos(config);
   }
   if (config.update_rate > 0 || config.updates > 0 || config.updates_first ||
       config.update_batch > 1) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace spauth {
 
 std::string_view ToString(MethodKind kind) {
@@ -195,6 +197,7 @@ Result<Certificate> MakeCertificate(const RsaKeyPair& keys,
   cert.params = std::move(params);
   cert.network_root = network_root;
   cert.distance_root = distance_root;
+  SPAUTH_FAILPOINT_RETURN("certificate/sign");
   SPAUTH_ASSIGN_OR_RETURN(cert.signature, keys.Sign(cert.BodyDigest()));
   return cert;
 }

@@ -134,11 +134,20 @@ void Client::ApplyWatermark(size_t shard, WireVerification* out) const {
   uint32_t seen = mark.load(std::memory_order_acquire);
   for (;;) {
     if (out->version < seen) {
+      const uint32_t behind = seen - out->version;
+      if (behind <= staleness_bound_) {
+        // Degraded accept: authentic, within the staleness budget. The
+        // watermark stays put — degradation must never lower the floor.
+        out->degraded = true;
+        out->staleness = behind;
+        return;
+      }
       out->outcome = VerifyOutcome::Reject(
           VerifyFailure::kStaleCertificate,
           "certificate version " + std::to_string(out->version) +
               " is older than the shard's accepted watermark " +
-              std::to_string(seen));
+              std::to_string(seen) + " by more than the staleness bound " +
+              std::to_string(staleness_bound_));
       return;
     }
     if (out->version == seen ||

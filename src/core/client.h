@@ -45,6 +45,13 @@ struct WireVerification {
   MethodKind method = MethodKind::kDij;  // from the certificate
   uint32_t version = 0;                  // certificate version (0 until the
                                          // certificate decodes)
+  // Bounded-staleness degradation (Client::SetStalenessBound): the answer
+  // is authentic and accepted, but its certificate version trails the
+  // shard's watermark by `staleness` (<= the configured bound). A strict
+  // client treats degraded answers as it would fresh ones; a strict SLA
+  // surface can count or refuse them.
+  bool degraded = false;
+  uint32_t staleness = 0;
   Path path;                             // the provider's path
   double distance = 0;                   // its verified distance
 };
@@ -86,6 +93,19 @@ class Client {
   /// resets existing watermarks).
   void TrackShardVersions(size_t num_shards);
   bool tracking_versions() const { return watermarks_ != nullptr; }
+
+  /// Bounded-staleness mode for degraded serving: an authentic answer
+  /// whose version V trails shard s's watermark W is ACCEPTED (flagged
+  /// degraded, staleness = W - V) when W - V <= max_versions_behind, and
+  /// still rejected as kStaleCertificate below that floor. The watermark
+  /// never retreats — a degraded accept does not lower it, so a frozen
+  /// replica can serve through an outage without resetting freshness for
+  /// the fleet. 0 (the default) restores strict monotone freshness.
+  /// Call before verifying, like TrackShardVersions.
+  void SetStalenessBound(uint32_t max_versions_behind) {
+    staleness_bound_ = max_versions_behind;
+  }
+  uint32_t staleness_bound() const { return staleness_bound_; }
   /// Highest certificate version accepted so far from `shard` (0 when
   /// nothing was accepted yet or tracking is off/out of range).
   uint32_t ShardVersionWatermark(size_t shard) const;
@@ -132,6 +152,10 @@ class Client {
   std::unique_ptr<VerifyWorkspace> ws_;
   std::unique_ptr<std::atomic<uint32_t>[]> watermarks_;
   size_t num_tracked_shards_ = 0;
+  // Written by SetStalenessBound before verification starts, read-only
+  // during (possibly concurrent) verification — same contract as the
+  // watermark array's size.
+  uint32_t staleness_bound_ = 0;
 };
 
 }  // namespace spauth

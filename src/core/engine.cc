@@ -12,6 +12,7 @@
 #include "core/updates.h"
 #include "core/verify_workspace.h"
 #include "graph/dijkstra.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -177,7 +178,9 @@ Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerShared(
 
 Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerOnState(
     const EngineState& state, const Query& query, SearchWorkspace& ws) const {
+  SPAUTH_FAILPOINT_RETURN("engine/answer");
   if (state.cache == nullptr) {
+    SPAUTH_FAILPOINT_RETURN("engine/assemble");
     SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle,
                             AnswerUncached(state, query, ws));
     return std::make_shared<const ProofBundle>(std::move(bundle));
@@ -190,9 +193,14 @@ Result<std::shared_ptr<const ProofBundle>> MethodEngine::AnswerOnState(
   if (std::shared_ptr<const ProofBundle> hit = state.cache->Lookup(key)) {
     return hit;
   }
+  SPAUTH_FAILPOINT_RETURN("engine/assemble");
   SPAUTH_ASSIGN_OR_RETURN(ProofBundle bundle, AnswerUncached(state, query, ws));
   auto shared = std::make_shared<const ProofBundle>(std::move(bundle));
-  state.cache->Insert(key, shared, shared->bytes.size());
+  // A fired cache_insert point drops only the memoization; the answer is
+  // served either way.
+  if (!SPAUTH_FAILPOINT_TRIGGERED("engine/cache_insert")) {
+    state.cache->Insert(key, shared, shared->bytes.size());
+  }
   return shared;
 }
 
@@ -399,6 +407,9 @@ class DijEngine : public MethodEngine {
     next->certificate = next->ads.certificate;
     next->cert_size = next->certificate.SerializedSize();
     const uint32_t version = next->certificate.params.version;
+    // Last fallible step before the publish: a fired point here discards
+    // the fully-built clone and leaves the old snapshot serving.
+    SPAUTH_FAILPOINT_RETURN("engine/publish");
     AddRotationCloneBytes(copied_bytes);
     PublishState(std::move(next));
     return version;

@@ -4,6 +4,7 @@
 
 #include "core/client_search.h"
 #include "util/cow.h"
+#include "util/failpoint.h"
 
 namespace spauth {
 
@@ -164,6 +165,7 @@ Status NetworkAds::UpdateTuple(NodeId v, ExtendedTuple tuple,
   if (tuple.id != v) {
     return Status::InvalidArgument("tuple id does not match node");
   }
+  SPAUTH_FAILPOINT_RETURN("ads/update_tuple");
   SPAUTH_RETURN_IF_ERROR(tree_.UpdateLeaf(
       (*leaf_of_node_)[v], tuple.LeafDigest(tree_.algorithm()),
       copied_bytes));

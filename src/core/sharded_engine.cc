@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/hash_mix.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -28,16 +32,34 @@ size_t ExplicitMapRouter::Route(const Query& query,
 }
 
 ShardedEngine::ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
-                             std::unique_ptr<ShardRouter> router)
+                             std::unique_ptr<ShardRouter> router,
+                             FailoverOptions failover)
     : shards_(std::move(shards)),
       router_(std::move(router)),
-      counters_(std::make_unique<Counters[]>(shards_.size())) {}
+      failover_(failover),
+      num_groups_(shards_.size() / failover_.replicas_per_group),
+      counters_(std::make_unique<Counters[]>(shards_.size())) {
+  if (failover_.enable_breakers) {
+    health_.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      health_.push_back(std::make_unique<ShardHealth>(failover_.breaker));
+    }
+  }
+}
 
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
     std::span<const ShardSpec> specs, std::unique_ptr<ShardRouter> router,
-    const RsaKeyPair& keys) {
+    const RsaKeyPair& keys, const FailoverOptions& failover) {
   if (specs.empty()) {
     return Status::InvalidArgument("a sharded engine needs at least 1 shard");
+  }
+  if (failover.replicas_per_group == 0 || failover.max_attempts == 0) {
+    return Status::InvalidArgument(
+        "failover needs at least 1 replica per group and 1 attempt");
+  }
+  if (specs.size() % failover.replicas_per_group != 0) {
+    return Status::InvalidArgument(
+        "replicas_per_group must divide the shard count");
   }
   std::vector<std::unique_ptr<MethodEngine>> shards;
   shards.reserve(specs.size());
@@ -57,15 +79,27 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
     router = std::make_unique<HashSourceRouter>();
   }
   return std::unique_ptr<ShardedEngine>(
-      new ShardedEngine(std::move(shards), std::move(router)));
+      new ShardedEngine(std::move(shards), std::move(router), failover));
 }
 
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BuildReplicated(
     const Graph& g, const EngineOptions& options, size_t num_shards,
     const RsaKeyPair& keys, std::unique_ptr<ShardRouter> router) {
-  std::vector<ShardSpec> specs(std::max<size_t>(num_shards, 1),
-                               ShardSpec{&g, options});
-  return Build(specs, std::move(router), keys);
+  return BuildReplicated(g, options, num_shards, keys, FailoverOptions{},
+                         std::move(router));
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BuildReplicated(
+    const Graph& g, const EngineOptions& options, size_t num_groups,
+    const RsaKeyPair& keys, const FailoverOptions& failover,
+    std::unique_ptr<ShardRouter> router) {
+  if (failover.replicas_per_group == 0) {
+    return Status::InvalidArgument("replicas_per_group must be >= 1");
+  }
+  std::vector<ShardSpec> specs(
+      std::max<size_t>(num_groups, 1) * failover.replicas_per_group,
+      ShardSpec{&g, options});
+  return Build(specs, std::move(router), keys, failover);
 }
 
 Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
@@ -79,15 +113,115 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::Answer(
   return AnswerPinned(query, ws, {});
 }
 
+Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AttemptOnEngine(
+    size_t engine, const Query& query, SearchWorkspace& ws,
+    std::span<std::shared_ptr<const EngineState>> snaps) const {
+  Result<std::shared_ptr<const ProofBundle>> result =
+      SPAUTH_FAILPOINT_TRIGGERED_ARG("shard/answer", engine)
+          ? Result<std::shared_ptr<const ProofBundle>>(
+                Status::Unavailable("fail point fired: shard/answer"))
+          : (snaps.empty()
+                 ? shards_[engine]->AnswerShared(query, ws)
+                 : shards_[engine]->AnswerShared(query, ws, &snaps[engine]));
+  if (!health_.empty()) {
+    // Only a retryable error indicts the replica; an OK answer or a
+    // client error (bad query) proves it responded and must not trip the
+    // breaker.
+    if (!result.ok() && IsRetryable(result.status().code())) {
+      health_[engine]->RecordFailure();
+    } else {
+      health_[engine]->RecordSuccess();
+    }
+  }
+  return result;
+}
+
 Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
     const Query& query, SearchWorkspace& ws,
     std::span<std::shared_ptr<const EngineState>> snaps) const {
-  const size_t shard = RouteOf(query);
-  Counters& counters = counters_[shard];
+  const size_t group = RouteOf(query);
+  const size_t replicas = failover_.replicas_per_group;
+  const size_t base = group * replicas;
   WallTimer timer;
+  // Preferred replica: a second, independent source hash (the router
+  // already consumed SplitMix64(source) % groups), so client sessions
+  // spread across a group's replica caches but each source stays pinned
+  // to one hot cache.
+  const size_t preferred =
+      replicas == 1
+          ? 0
+          : SplitMix64Finalize(query.source + 0x632be59bd9b4e019ull) % replicas;
+  size_t last_engine = base + preferred;  // books the query if no attempt runs
   Result<std::shared_ptr<const ProofBundle>> result =
-      snaps.empty() ? shards_[shard]->AnswerShared(query, ws)
-                    : shards_[shard]->AnswerShared(query, ws, &snaps[shard]);
+      Status::Unavailable("no serving attempt made");
+  size_t cursor = preferred;
+  double backoff_us = static_cast<double>(failover_.backoff_base_us);
+  for (size_t attempt = 0; attempt < failover_.max_attempts; ++attempt) {
+    if (failover_.deadline_us > 0 &&
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6) >=
+            failover_.deadline_us) {
+      result = Status::DeadlineExceeded("per-query deadline budget exhausted");
+      counters_[last_engine].deadline_exceeded.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    }
+    // Next admitted replica from the cursor; open breakers are skipped,
+    // half-open ones admit this query as a probe.
+    size_t chosen = replicas;
+    for (size_t k = 0; k < replicas; ++k) {
+      const size_t replica = (cursor + k) % replicas;
+      const size_t engine = base + replica;
+      if (!health_.empty() && !health_[engine]->AllowRequest()) {
+        counters_[engine].breaker_skips.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        continue;
+      }
+      chosen = replica;
+      break;
+    }
+    if (chosen == replicas) {
+      result = Status::Unavailable("all replicas unavailable: breakers open");
+      break;
+    }
+    const size_t engine = base + chosen;
+    last_engine = engine;
+    if (attempt > 0) {
+      counters_[engine].retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    result = AttemptOnEngine(engine, query, ws, snaps);
+    if (result.ok()) {
+      if (attempt > 0) {
+        counters_[engine].failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (!IsRetryable(result.status().code())) {
+      break;  // a client error will not improve on another replica
+    }
+    cursor = (chosen + 1) % replicas;  // prefer a sibling next attempt
+    if (attempt + 1 < failover_.max_attempts && backoff_us > 0.0) {
+      // Deterministic jitter: up to +50%, drawn from a stream seeded by
+      // (jitter_seed, source, target, attempt) — a chaos run replays its
+      // exact backoff schedule from the printed seed.
+      Rng jitter(SplitMix64Finalize(
+          failover_.jitter_seed ^
+          ((static_cast<uint64_t>(query.source) << 32) | query.target) ^
+          (attempt * 0x9e3779b97f4a7c15ull)));
+      double sleep_us = backoff_us * (1.0 + 0.5 * jitter.NextDouble());
+      if (failover_.deadline_us > 0) {
+        const double remaining_us =
+            static_cast<double>(failover_.deadline_us) -
+            timer.ElapsedSeconds() * 1e6;
+        sleep_us = std::min(sleep_us, std::max(remaining_us, 0.0));
+      }
+      if (sleep_us > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<uint64_t>(sleep_us)));
+      }
+      backoff_us *= failover_.backoff_multiplier;
+    }
+  }
+  Counters& counters = counters_[last_engine];
   counters.answer_nanos.fetch_add(
       static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9),
       std::memory_order_relaxed);
@@ -99,36 +233,44 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
 }
 
 Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
-    size_t shard, const RsaKeyPair& keys,
+    size_t group, const RsaKeyPair& keys,
     std::span<const EdgeWeightUpdate> updates) {
-  if (shard >= shards_.size()) {
-    return Status::InvalidArgument("shard index out of range");
+  if (group >= num_groups_) {
+    return Status::InvalidArgument("group index out of range");
   }
-  Result<uint32_t> version =
-      shards_[shard]->ApplyEdgeWeightUpdates(keys, updates);
-  Counters& counters = counters_[shard];
-  if (version.ok()) {
+  // Lock-step across the group's replicas: a failed replica aborts the
+  // walk immediately, leaving it (and any replicas after it) on the old
+  // snapshot — zero torn state per engine, bounded staleness per group.
+  uint32_t version = 0;
+  for (size_t replica = 0; replica < failover_.replicas_per_group; ++replica) {
+    const size_t engine = group * failover_.replicas_per_group + replica;
+    Result<uint32_t> applied =
+        shards_[engine]->ApplyEdgeWeightUpdates(keys, updates);
+    Counters& counters = counters_[engine];
+    if (!applied.ok()) {
+      counters.update_failures.fetch_add(1, std::memory_order_relaxed);
+      return applied;
+    }
     counters.updates.fetch_add(updates.size(), std::memory_order_relaxed);
-  } else {
-    counters.update_failures.fetch_add(1, std::memory_order_relaxed);
+    version = applied.value();
   }
   return version;
 }
 
-Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t shard,
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t group,
                                                       const RsaKeyPair& keys,
                                                       NodeId u, NodeId v,
                                                       double new_weight) {
   const EdgeWeightUpdate update{u, v, new_weight};
-  return ApplyEdgeWeightUpdates(shard, keys, {&update, 1});
+  return ApplyEdgeWeightUpdates(group, keys, {&update, 1});
 }
 
 Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdatesAllShards(
     const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates) {
   uint32_t version = 0;
-  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+  for (size_t group = 0; group < num_groups_; ++group) {
     SPAUTH_ASSIGN_OR_RETURN(version,
-                            ApplyEdgeWeightUpdates(shard, keys, updates));
+                            ApplyEdgeWeightUpdates(group, keys, updates));
   }
   return version;
 }
@@ -201,6 +343,16 @@ ShardedStats ShardedEngine::GetStats() const {
     s.updates = counters_[i].updates.load(std::memory_order_relaxed);
     s.update_failures =
         counters_[i].update_failures.load(std::memory_order_relaxed);
+    s.retries = counters_[i].retries.load(std::memory_order_relaxed);
+    s.failovers = counters_[i].failovers.load(std::memory_order_relaxed);
+    s.deadline_exceeded =
+        counters_[i].deadline_exceeded.load(std::memory_order_relaxed);
+    s.breaker_skips =
+        counters_[i].breaker_skips.load(std::memory_order_relaxed);
+    if (!health_.empty()) {
+      s.breaker_opens = health_[i]->opens();
+      s.breaker_state = health_[i]->state();
+    }
     s.rotation_clone_bytes = shards_[i]->rotation_clone_bytes();
     s.live_snapshots = shards_[i]->live_snapshots();
     // Read off the pinned snapshot rather than certificate(), which would
@@ -214,6 +366,11 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.answer_micros += s.answer_micros;
     stats.totals.updates += s.updates;
     stats.totals.update_failures += s.update_failures;
+    stats.totals.retries += s.retries;
+    stats.totals.failovers += s.failovers;
+    stats.totals.deadline_exceeded += s.deadline_exceeded;
+    stats.totals.breaker_skips += s.breaker_skips;
+    stats.totals.breaker_opens += s.breaker_opens;
     stats.totals.rotation_clone_bytes += s.rotation_clone_bytes;
     stats.totals.live_snapshots += s.live_snapshots;
     stats.totals.certificate_version =

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/shard_health.h"
 
 namespace spauth {
 
@@ -79,6 +80,32 @@ struct ShardSpec {
   EngineOptions options;
 };
 
+/// Failover policy for replicated groups. The defaults reproduce the
+/// pre-failover engine exactly: one replica per group, one attempt, no
+/// deadline, no breakers.
+struct FailoverOptions {
+  /// Engines per routing group. The flat shard list is laid out
+  /// group-major: engine index = group * replicas_per_group + replica.
+  size_t replicas_per_group = 1;
+  /// Total attempts per query (first try + retries across replicas).
+  size_t max_attempts = 1;
+  /// First retry's backoff; 0 retries immediately. Each further retry
+  /// multiplies by backoff_multiplier, plus up to 50% deterministic
+  /// jitter drawn from a Rng seeded by (jitter_seed, source, target,
+  /// attempt) — replayable, never wall-clock or random_device.
+  uint64_t backoff_base_us = 0;
+  double backoff_multiplier = 2.0;
+  /// Per-query wall budget across ALL attempts and backoffs; 0 = none.
+  /// Queries that exhaust it return kDeadlineExceeded.
+  uint64_t deadline_us = 0;
+  uint64_t jitter_seed = 1;
+  /// When true each engine gets a ShardHealth breaker: retryable failures
+  /// trip it, the attempt loop skips open replicas and probes half-open
+  /// ones.
+  bool enable_breakers = false;
+  CircuitBreakerOptions breaker;
+};
+
 /// One shard's serving counters plus its proof-cache counters.
 struct ShardStats {
   uint64_t queries = 0;         // answers routed to this shard
@@ -89,6 +116,15 @@ struct ShardStats {
   uint64_t rotation_clone_bytes = 0;  // CoW bytes rotations actually copied
   size_t live_snapshots = 0;    // published + retired-but-undrained states
   uint32_t certificate_version = 0;  // current snapshot's signed version
+  // Failover-plane counters. A query is counted (queries/failures) exactly
+  // once, on the engine that served it or was attempted last; retries /
+  // failovers / breaker_skips accrue on the engines involved.
+  uint64_t retries = 0;            // extra attempts after a retryable error
+  uint64_t failovers = 0;          // queries served OK on a non-first attempt
+  uint64_t deadline_exceeded = 0;  // queries that ran out of budget here
+  uint64_t breaker_skips = 0;      // attempts denied by this engine's breaker
+  uint64_t breaker_opens = 0;      // times this engine's breaker tripped
+  BreakerState breaker_state = BreakerState::kClosed;  // not meaningful in totals
   ProofCacheStats cache;
 };
 
@@ -104,10 +140,13 @@ class ShardedEngine {
  public:
   /// Builds one MethodEngine per spec (timed per shard, like MakeEngine)
   /// behind `router` (HashSourceRouter when null). InvalidArgument on an
-  /// empty spec list, a null graph, or specs that mix methods.
+  /// empty spec list, a null graph, specs that mix methods, or a failover
+  /// policy whose replicas_per_group does not divide the spec count. The
+  /// spec list is group-major: specs [g*R, (g+1)*R) are group g's replicas
+  /// and must serve identical graphs/options for failover transparency.
   static Result<std::unique_ptr<ShardedEngine>> Build(
       std::span<const ShardSpec> specs, std::unique_ptr<ShardRouter> router,
-      const RsaKeyPair& keys);
+      const RsaKeyPair& keys, const FailoverOptions& failover = {});
 
   /// `num_shards` replicas of one network: every shard builds the same ADS
   /// from the same options and keys, so any shard's answer is
@@ -116,35 +155,54 @@ class ShardedEngine {
       const Graph& g, const EngineOptions& options, size_t num_shards,
       const RsaKeyPair& keys, std::unique_ptr<ShardRouter> router = nullptr);
 
+  /// `num_groups` routing groups of failover.replicas_per_group replicas
+  /// each, all serving the same network. The router balances across
+  /// groups; within a group the failover policy picks and retries
+  /// replicas.
+  static Result<std::unique_ptr<ShardedEngine>> BuildReplicated(
+      const Graph& g, const EngineOptions& options, size_t num_groups,
+      const RsaKeyPair& keys, const FailoverOptions& failover,
+      std::unique_ptr<ShardRouter> router = nullptr);
+
   size_t num_shards() const { return shards_.size(); }
+  /// Routing groups (== num_shards unless replicas_per_group > 1).
+  size_t num_groups() const { return num_groups_; }
+  size_t replicas_per_group() const { return failover_.replicas_per_group; }
+  const FailoverOptions& failover_options() const { return failover_; }
   const MethodEngine& shard(size_t i) const { return *shards_[i]; }
   /// Owner-side access for direct per-shard maintenance.
   MethodEngine& shard(size_t i) { return *shards_[i]; }
   const ShardRouter& router() const { return *router_; }
 
-  /// The shard `query` routes to (deterministic).
+  /// The routing group `query` routes to (deterministic). With one
+  /// replica per group this is the serving shard index; with more, the
+  /// failover policy picks the replica inside the group per attempt.
   size_t RouteOf(const Query& query) const {
-    return router_->Route(query, shards_.size());
+    return router_->Route(query, num_groups_);
   }
 
-  /// The shard an update to edge (u, v) routes to: the same placement as a
+  /// The group an update to edge (u, v) routes to: the same placement as a
   /// query sourced at `u` targeting `v`, so in a region deployment the
   /// shard that serves a source also absorbs its updates.
   size_t RouteOfUpdate(const EdgeWeightUpdate& update) const {
-    return router_->Route(Query{update.u, update.v}, shards_.size());
+    return router_->Route(Query{update.u, update.v}, num_groups_);
   }
 
-  /// Owner-side live batch update on one shard: absorbs the whole batch
-  /// into ONE snapshot rotation (one structural clone, one signature at
-  /// version + k) while that shard's traffic keeps serving (see
-  /// MethodEngine::ApplyEdgeWeightUpdates). Returns the shard's new
-  /// certificate version; InvalidArgument for an out-of-range shard.
+  /// Owner-side live batch update on one routing group: absorbs the whole
+  /// batch into ONE snapshot rotation per replica (one structural clone,
+  /// one signature at version + k each, applied lock-step in replica
+  /// order) while the group's traffic keeps serving (see
+  /// MethodEngine::ApplyEdgeWeightUpdates). Returns the group's new
+  /// certificate version; InvalidArgument for an out-of-range group. On a
+  /// failed replica the error returns immediately and later replicas stay
+  /// on the old version — a real mid-rotation fault, which bounded-
+  /// staleness clients (Client::SetStalenessBound) are built to ride out.
   Result<uint32_t> ApplyEdgeWeightUpdates(
-      size_t shard, const RsaKeyPair& keys,
+      size_t group, const RsaKeyPair& keys,
       std::span<const EdgeWeightUpdate> updates);
 
   /// Single-update wrapper: a batch of one.
-  Result<uint32_t> ApplyEdgeWeightUpdate(size_t shard, const RsaKeyPair& keys,
+  Result<uint32_t> ApplyEdgeWeightUpdate(size_t group, const RsaKeyPair& keys,
                                          NodeId u, NodeId v,
                                          double new_weight);
 
@@ -198,22 +256,36 @@ class ShardedEngine {
     std::atomic<uint64_t> answer_nanos{0};
     std::atomic<uint64_t> updates{0};
     std::atomic<uint64_t> update_failures{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> failovers{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> breaker_skips{0};
   };
 
   ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
-                std::unique_ptr<ShardRouter> router);
+                std::unique_ptr<ShardRouter> router, FailoverOptions failover);
 
-  /// Routes, times and serves one query. `snaps` (one slot per shard,
-  /// empty to opt out) lets a batch worker keep pinned snapshots so the
-  /// steady-state read path is a single epoch load per query instead of
-  /// a slot acquire; Answer() passes empty.
+  /// Routes, times and serves one query, retrying across the routed
+  /// group's replicas per the failover policy. `snaps` (one slot per
+  /// engine, empty to opt out) lets a batch worker keep pinned snapshots
+  /// so the steady-state read path is a single epoch load per query
+  /// instead of a slot acquire; Answer() passes empty.
   Result<std::shared_ptr<const ProofBundle>> AnswerPinned(
       const Query& query, SearchWorkspace& ws,
       std::span<std::shared_ptr<const EngineState>> snaps) const;
 
+  /// One serving attempt on `engine`; feeds the engine's breaker.
+  Result<std::shared_ptr<const ProofBundle>> AttemptOnEngine(
+      size_t engine, const Query& query, SearchWorkspace& ws,
+      std::span<std::shared_ptr<const EngineState>> snaps) const;
+
   std::vector<std::unique_ptr<MethodEngine>> shards_;
   std::unique_ptr<ShardRouter> router_;
+  FailoverOptions failover_;
+  size_t num_groups_ = 0;
   mutable std::unique_ptr<Counters[]> counters_;
+  // One breaker per engine (empty unless failover_.enable_breakers).
+  std::vector<std::unique_ptr<ShardHealth>> health_;
 };
 
 }  // namespace spauth

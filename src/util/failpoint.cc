@@ -1,0 +1,117 @@
+#include "util/failpoint.h"
+
+#include <utility>
+
+#include "util/hash_mix.h"
+#include "util/rng.h"
+
+namespace spauth {
+
+FailPointRegistry& FailPointRegistry::Global() {
+  // Leaked singleton: seams may be hit during static destruction of
+  // engine-owning test fixtures.
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+void FailPointRegistry::Arm(std::string name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(std::move(name));
+  if (inserted) {
+    it->second = std::make_shared<Point>();
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-arm resets the schedule position and the books.
+    it->second->hits.store(0, std::memory_order_relaxed);
+    it->second->fires.store(0, std::memory_order_relaxed);
+  }
+  it->second->spec = spec;
+}
+
+void FailPointRegistry::ArmProbability(std::string name, double probability,
+                                       uint64_t seed) {
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kProbability;
+  spec.probability = probability;
+  spec.seed = seed;
+  Arm(std::move(name), spec);
+}
+
+void FailPointRegistry::ArmEveryNth(std::string name, uint64_t n) {
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kEveryNth;
+  spec.n = n == 0 ? 1 : n;
+  Arm(std::move(name), spec);
+}
+
+void FailPointRegistry::ArmOneShot(std::string name, uint64_t after) {
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kOneShot;
+  spec.after = after;
+  Arm(std::move(name), spec);
+}
+
+void FailPointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(name));
+  if (it != points_.end()) {
+    points_.erase(it);
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(points_.size(), std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FailPointRegistry::ShouldFail(std::string_view name, uint64_t arg) {
+  std::shared_ptr<Point> point;
+  FailPointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(std::string(name));
+    if (it == points_.end()) {
+      return false;
+    }
+    point = it->second;  // keeps the point alive across a concurrent Disarm
+    spec = point->spec;
+  }
+  if (spec.has_match_arg && arg != spec.match_arg) {
+    return false;
+  }
+  const uint64_t hit = point->hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (spec.mode) {
+    case FailPointMode::kProbability: {
+      // One seeded Rng stream per hit index: replayable from (seed, hit)
+      // alone, regardless of which thread drew the index.
+      Rng rng(spec.seed ^ SplitMix64Finalize(hit));
+      fire = rng.NextBernoulli(spec.probability);
+      break;
+    }
+    case FailPointMode::kEveryNth:
+      fire = (hit + 1) % spec.n == 0;
+      break;
+    case FailPointMode::kOneShot:
+      fire = hit == spec.after;
+      break;
+  }
+  if (fire) {
+    point->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+FailPointStats FailPointRegistry::GetStats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(name));
+  if (it == points_.end()) {
+    return {};
+  }
+  return {it->second->hits.load(std::memory_order_relaxed),
+          it->second->fires.load(std::memory_order_relaxed)};
+}
+
+}  // namespace spauth

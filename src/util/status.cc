@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "MALFORMED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -31,10 +31,26 @@ enum class StatusCode {
   kMalformed,
   /// An internal invariant was violated (library bug).
   kInternal,
+  /// The serving backend is (transiently) unable to answer: a crashed or
+  /// fault-injected shard, an open circuit breaker, a replica mid-restart.
+  /// Retryable: the same request may succeed on another replica or later.
+  kUnavailable,
+  /// The caller's per-request deadline budget ran out before an answer was
+  /// produced. Retryable with a fresh budget.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
 std::string_view StatusCodeToString(StatusCode code);
+
+/// True for the transient codes a failover layer may retry (on another
+/// replica, after backoff): kUnavailable and kDeadlineExceeded. Everything
+/// else is either a caller bug, a soundness failure, or a permanent state
+/// the same request would hit again.
+constexpr bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 /// A success-or-error value. Cheap to copy on the OK path.
 class Status {
@@ -65,6 +81,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

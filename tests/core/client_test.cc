@@ -85,7 +85,7 @@ TEST(WireClientTest, RejectsQueryMismatch) {
 
 class ClientWatermarkTest : public ::testing::Test {
  protected:
-  // Two worlds of the same engine: version 0, then a rotated version 1.
+  // Three worlds of the same engine: version 0 and two rotations.
   void SetUp() override {
     const auto& ctx = CoreTestContext::Get();
     auto engine = ctx.MakeMethodEngine(MethodKind::kDij);
@@ -101,11 +101,16 @@ class ClientWatermarkTest : public ::testing::Test {
     auto v1 = engine->Answer(query_);
     ASSERT_TRUE(v1.ok());
     v1_bytes_ = v1.value().bytes;
+    ASSERT_TRUE(engine->ApplyEdgeWeightUpdate(ctx.keys, u, v, w * 3).ok());
+    auto v2 = engine->Answer(query_);
+    ASSERT_TRUE(v2.ok());
+    v2_bytes_ = v2.value().bytes;
   }
 
   Query query_;
   std::vector<uint8_t> v0_bytes_;
   std::vector<uint8_t> v1_bytes_;
+  std::vector<uint8_t> v2_bytes_;
 };
 
 TEST_F(ClientWatermarkTest, UntrackedClientAcceptsEveryAuthenticVersion) {
@@ -168,6 +173,53 @@ TEST_F(ClientWatermarkTest, VerifyBatchEnforcesTheWatermark) {
   EXPECT_TRUE(results[0].outcome.accepted);
   EXPECT_FALSE(results[1].outcome.accepted);
   EXPECT_EQ(results[1].outcome.failure, VerifyFailure::kStaleCertificate);
+}
+
+TEST_F(ClientWatermarkTest, StalenessBoundAcceptsNearWatermarkAsDegraded) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  client.SetStalenessBound(1);
+  ASSERT_TRUE(client.Verify(query_, v2_bytes_).outcome.accepted);
+  ASSERT_EQ(client.ShardVersionWatermark(0), 2u);
+  // One version behind the watermark: accepted, flagged degraded.
+  WireVerification near = client.Verify(query_, v1_bytes_);
+  EXPECT_TRUE(near.outcome.accepted);
+  EXPECT_TRUE(near.degraded);
+  EXPECT_EQ(near.staleness, 1u);
+  // Two behind exceeds the bound: still a hard stale rejection.
+  WireVerification far = client.Verify(query_, v0_bytes_);
+  EXPECT_FALSE(far.outcome.accepted);
+  EXPECT_EQ(far.outcome.failure, VerifyFailure::kStaleCertificate);
+  EXPECT_FALSE(far.degraded);
+  // Neither the degraded accept nor the rejection moved the watermark.
+  EXPECT_EQ(client.ShardVersionWatermark(0), 2u);
+}
+
+TEST_F(ClientWatermarkTest, FreshAcceptsAreNotFlaggedDegraded) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  client.SetStalenessBound(4);
+  WireVerification fresh = client.Verify(query_, v2_bytes_);
+  EXPECT_TRUE(fresh.outcome.accepted);
+  EXPECT_FALSE(fresh.degraded);
+  EXPECT_EQ(fresh.staleness, 0u);
+  // At or above the watermark is fresh, even in bounded mode.
+  WireVerification again = client.Verify(query_, v2_bytes_);
+  EXPECT_TRUE(again.outcome.accepted);
+  EXPECT_FALSE(again.degraded);
+}
+
+TEST_F(ClientWatermarkTest, DefaultBoundZeroKeepsStrictFreshness) {
+  const auto& ctx = CoreTestContext::Get();
+  Client client(ctx.keys.public_key());
+  client.TrackShardVersions(1);
+  EXPECT_EQ(client.staleness_bound(), 0u);
+  ASSERT_TRUE(client.Verify(query_, v1_bytes_).outcome.accepted);
+  WireVerification stale = client.Verify(query_, v0_bytes_);
+  EXPECT_FALSE(stale.outcome.accepted);
+  EXPECT_EQ(stale.outcome.failure, VerifyFailure::kStaleCertificate);
 }
 
 TEST(WireClientTest, TrailingBytesRejected) {

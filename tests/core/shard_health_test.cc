@@ -1,0 +1,169 @@
+#include "core/shard_health.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spauth {
+namespace {
+
+CircuitBreakerOptions SmallOptions() {
+  CircuitBreakerOptions o;
+  o.window = 8;
+  o.min_samples = 4;
+  o.failure_threshold = 0.5;
+  o.open_cooldown = 4;
+  o.half_open_probes = 2;
+  return o;
+}
+
+TEST(ShardHealthTest, StartsClosedAndAdmitsEverything) {
+  ShardHealth health(SmallOptions());
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(health.AllowRequest());
+    health.RecordSuccess();
+  }
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.opens(), 0u);
+  EXPECT_EQ(health.failure_fraction(), 0.0);
+}
+
+TEST(ShardHealthTest, DoesNotOpenBelowMinSamples) {
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 3; ++i) {
+    health.RecordFailure();
+  }
+  EXPECT_EQ(health.state(), BreakerState::kClosed)
+      << "3 failures < min_samples=4 must not trip";
+}
+
+TEST(ShardHealthTest, OpensWhenFailureFractionCrossesThreshold) {
+  ShardHealth health(SmallOptions());
+  // 2 successes + 4 failures: 6 samples, fraction 0.67 >= 0.5.
+  health.RecordSuccess();
+  health.RecordSuccess();
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.opens(), 1u);
+  EXPECT_FALSE(health.AllowRequest());
+}
+
+TEST(ShardHealthTest, SlidingWindowForgetsOldFailures) {
+  CircuitBreakerOptions o = SmallOptions();
+  o.window = 4;
+  ShardHealth health(o);
+  // 3 early failures, then a long healthy run that evicts them.
+  for (int i = 0; i < 3; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 8; ++i) {
+    health.RecordSuccess();
+  }
+  EXPECT_EQ(health.failure_fraction(), 0.0);
+  // One more failure in an otherwise clean window: 1/4 < 0.5.
+  health.RecordFailure();
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+}
+
+TEST(ShardHealthTest, CooldownTicksLeadToHalfOpenProbe) {
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  ASSERT_EQ(health.state(), BreakerState::kOpen);
+  // open_cooldown=4: three denied ticks, the fourth is admitted as the
+  // first half-open probe.
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_TRUE(health.AllowRequest());
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen);
+}
+
+TEST(ShardHealthTest, HalfOpenAdmitsAtMostProbeBudget) {
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 3; ++i) {
+    health.AllowRequest();  // burn the cooldown
+  }
+  EXPECT_TRUE(health.AllowRequest());   // probe 1 (flips to half-open)
+  EXPECT_TRUE(health.AllowRequest());   // probe 2 (half_open_probes=2)
+  EXPECT_FALSE(health.AllowRequest());  // budget spent, outcomes pending
+}
+
+TEST(ShardHealthTest, ConsecutiveProbeSuccessesClose) {
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 4; ++i) {
+    health.AllowRequest();
+  }
+  ASSERT_EQ(health.state(), BreakerState::kHalfOpen);
+  health.RecordSuccess();
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen);
+  health.RecordSuccess();
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.failure_fraction(), 0.0) << "window resets on close";
+  EXPECT_TRUE(health.AllowRequest());
+}
+
+TEST(ShardHealthTest, ProbeFailureReopensAndRestartsCooldown) {
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 4; ++i) {
+    health.AllowRequest();
+  }
+  ASSERT_EQ(health.state(), BreakerState::kHalfOpen);
+  health.RecordSuccess();  // one good probe...
+  health.RecordFailure();  // ...then a bad one: reopen
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.opens(), 2u);
+  EXPECT_FALSE(health.AllowRequest()) << "cooldown restarted";
+}
+
+TEST(ShardHealthTest, BreakerStateToStringCoversAllStates) {
+  EXPECT_STREQ(ToString(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(ToString(BreakerState::kOpen), "open");
+  EXPECT_STREQ(ToString(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(ShardHealthTest, ConcurrentRecordingStaysConsistent) {
+  // TSan-checked: hammer one breaker from many threads; afterwards the
+  // breaker must be in a legal state with a sane failure fraction.
+  ShardHealth health;  // default options: window 32
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&health, t] {
+      for (int i = 0; i < 500; ++i) {
+        if (health.AllowRequest()) {
+          if ((t + i) % 3 == 0) {
+            health.RecordFailure();
+          } else {
+            health.RecordSuccess();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double fraction = health.failure_fraction();
+  EXPECT_GE(fraction, 0.0);
+  EXPECT_LE(fraction, 1.0);
+  const BreakerState s = health.state();
+  EXPECT_TRUE(s == BreakerState::kClosed || s == BreakerState::kOpen ||
+              s == BreakerState::kHalfOpen);
+}
+
+}  // namespace
+}  // namespace spauth

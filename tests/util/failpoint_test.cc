@@ -1,0 +1,172 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spauth {
+namespace {
+
+/// A seam stand-in: the exact macro usage the library seams compile.
+Status GuardedOperation() {
+  SPAUTH_FAILPOINT_RETURN("test/guarded");
+  return Status::Ok();
+}
+
+Status GuardedShardOperation(uint64_t shard) {
+  SPAUTH_FAILPOINT_RETURN_ARG("test/shard", shard);
+  return Status::Ok();
+}
+
+// Everything below DisarmedPointNeverFires needs the hooks compiled in;
+// an -DSPAUTH_FAILPOINTS=OFF build skips those tests (the chaos campaign
+// and the bench chaos mode gate themselves the same way).
+#define SPAUTH_SKIP_UNLESS_FAILPOINTS()                        \
+  do {                                                         \
+    if (!FailPointsCompiledIn()) {                             \
+      GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";    \
+    }                                                          \
+  } while (false)
+
+TEST(FailPointTest, DisarmedPointNeverFires) {
+  FailPointRegistry::Global().DisarmAll();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok());
+  }
+  EXPECT_EQ(FailPointRegistry::Global().GetStats("test/guarded").hits, 0u);
+}
+
+TEST(FailPointTest, OneShotFiresExactlyOnceAtTheRequestedHit) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  FailPointRegistry::Global().ArmOneShot("test/guarded", /*after=*/3);
+  int failures = 0;
+  int failed_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    const Status s = GuardedOperation();
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(IsRetryable(s.code()));
+      ++failures;
+      failed_at = i;
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(failed_at, 3);
+  const FailPointStats stats =
+      FailPointRegistry::Global().GetStats("test/guarded");
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_EQ(stats.fires, 1u);
+  FailPointRegistry::Global().Disarm("test/guarded");
+}
+
+TEST(FailPointTest, EveryNthFiresOnTheExactSchedule) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  FailPointRegistry::Global().ArmEveryNth("test/guarded", 4);
+  std::vector<int> failed_at;
+  for (int i = 0; i < 12; ++i) {
+    if (!GuardedOperation().ok()) {
+      failed_at.push_back(i);
+    }
+  }
+  EXPECT_EQ(failed_at, (std::vector<int>{3, 7, 11}));
+  FailPointRegistry::Global().Disarm("test/guarded");
+}
+
+TEST(FailPointTest, ProbabilityScheduleIsReplayableFromTheSeed) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  auto run = [](uint64_t seed) {
+    FailPointRegistry::Global().ArmProbability("test/guarded", 0.3, seed);
+    std::vector<int> failed_at;
+    for (int i = 0; i < 200; ++i) {
+      if (!GuardedOperation().ok()) {
+        failed_at.push_back(i);
+      }
+    }
+    FailPointRegistry::Global().Disarm("test/guarded");
+    return failed_at;
+  };
+  const std::vector<int> first = run(7);
+  const std::vector<int> again = run(7);
+  const std::vector<int> other = run(8);
+  EXPECT_EQ(first, again) << "same seed must fail the same hit indices";
+  EXPECT_NE(first, other) << "different seeds should differ";
+  // ~30% of 200, with wide slack: the point actually samples.
+  EXPECT_GT(first.size(), 30u);
+  EXPECT_LT(first.size(), 100u);
+}
+
+TEST(FailPointTest, MatchArgConfinesFiresToOneShard) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kProbability;
+  spec.probability = 1.0;
+  spec.has_match_arg = true;
+  spec.match_arg = 2;
+  ScopedFailPoint scoped("test/shard", spec);
+  for (uint64_t shard = 0; shard < 4; ++shard) {
+    const Status s = GuardedShardOperation(shard);
+    EXPECT_EQ(s.ok(), shard != 2) << "shard " << shard;
+  }
+  // Non-matching args pass through without consuming a hit index.
+  const FailPointStats stats =
+      FailPointRegistry::Global().GetStats("test/shard");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  {
+    ScopedFailPoint scoped("test/guarded", FailPointSpec{});
+    EXPECT_FALSE(GuardedOperation().ok());
+  }
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST(FailPointTest, ReArmResetsTheSchedule) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  FailPointRegistry::Global().ArmOneShot("test/guarded", 0);
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  FailPointRegistry::Global().ArmOneShot("test/guarded", 0);
+  EXPECT_FALSE(GuardedOperation().ok()) << "re-arm must restart the one-shot";
+  FailPointRegistry::Global().Disarm("test/guarded");
+}
+
+TEST(FailPointTest, ConcurrentHitsFireADeterministicTotal) {
+  SPAUTH_SKIP_UNLESS_FAILPOINTS();
+  // Which thread draws which hit index is scheduling-dependent; the total
+  // number of fires over N hits is not.
+  const int kThreads = 8;
+  const int kPerThread = 250;
+  auto run = [&] {
+    FailPointRegistry::Global().ArmProbability("test/guarded", 0.25, 99);
+    std::atomic<uint64_t> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          if (!GuardedOperation().ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    const FailPointStats stats =
+        FailPointRegistry::Global().GetStats("test/guarded");
+    EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(stats.fires, failures.load());
+    FailPointRegistry::Global().Disarm("test/guarded");
+    return failures.load();
+  };
+  EXPECT_EQ(run(), run()) << "fire totals must replay across runs";
+}
+
+}  // namespace
+}  // namespace spauth

@@ -29,6 +29,33 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Malformed("x").code(), StatusCode::kMalformed);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, RetryableCodesRoundTripThroughToString) {
+  const Status unavailable = Status::Unavailable("shard 3 is down");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(StatusCodeToString(unavailable.code()), "UNAVAILABLE");
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: shard 3 is down");
+
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(StatusCodeToString(deadline.code()), "DEADLINE_EXCEEDED");
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: budget spent");
+}
+
+TEST(StatusTest, IsRetryableCoversExactlyTheTransientCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kVerificationFailed,
+        StatusCode::kOutOfRange, StatusCode::kMalformed,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(IsRetryable(code)) << StatusCodeToString(code);
+  }
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
