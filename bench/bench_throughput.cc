@@ -14,6 +14,7 @@
 //                    [--update-rate R] [--updates N] [--update-batch K]
 //                    [--updates-first]
 //                    [--fault-rate R] [--replicas N] [--deadline-ms M]
+//                    [--recover] [--kill POINT] [--recover-dir PATH]
 //
 // --smoke runs a tiny generated network (CI-sized, a few seconds end to
 // end) instead of a dataset graph. --proof-cache enables the server-side
@@ -63,9 +64,22 @@
 // breaker counters and the degraded-serve count; any non-retryable error,
 // verification rejection, or byte divergence exits non-zero. CI asserts
 // availability >= 0.99 at a 1% fault rate.
+//
+// --recover switches to the durable-recovery mode (DIJ): a checkpointed,
+// WAL-ing engine is crashed at --kill (one of the durability seams
+// engine/publish | wal/append | wal/fsync, or none for a clean shutdown;
+// seam kills need SPAUTH_FAILPOINTS=ON and downgrade to none otherwise),
+// recovered from disk through the authenticated verify-on-load path, and
+// byte-compared against a never-crashed twin at the durable version; a
+// second arc tears a group rotation and heals the frozen replica from its
+// sibling. The JSON's "recover" object reports recovery latency, WAL
+// replay / skip counts, torn-tail detection, the recovered digest next to
+// the twin's (CI asserts equality) and the heal counters; any divergence
+// exits non-zero. --recover-dir overrides the scratch directory.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +92,8 @@
 #include "core/client.h"
 #include "core/engine.h"
 #include "core/sharded_engine.h"
+#include "core/snapshot_store.h"
+#include "core/wal.h"
 #include "crypto/digest.h"
 #include "graph/generator.h"
 #include "graph/search_workspace.h"
@@ -104,6 +120,9 @@ struct Config {
   double fault_rate = 0;       // per-attempt fault probability; > 0 = chaos
   size_t replicas = 2;         // replicas per routing group (chaos mode)
   double deadline_ms = 0;      // per-query budget; 0 = none (chaos mode)
+  bool recover = false;        // durable-recovery mode
+  std::string kill = "engine/publish";  // recover-mode crash seam, or "none"
+  std::string recover_dir;     // scratch dir; empty = under the system tmp
 };
 
 struct LatencyStats {
@@ -1112,6 +1131,321 @@ int RunChaos(const Config& config) {
   return 0;
 }
 
+/// Durable-recovery mode (--recover): a DIJ engine checkpointed into a
+/// snapshot store and WAL-ing every rotation is "crashed" at --kill (a
+/// one-shot fail point at one durability seam), recovered from disk alone
+/// through the authenticated verify-on-load path, and byte-compared
+/// against a never-crashed twin holding exactly the durable prefix. With
+/// fail points compiled in, a second arc tears a group rotation so one
+/// replica freezes, heals it from its live sibling (ShardedEngine::Heal)
+/// and proves the healed replica serves byte-identically. The JSON's
+/// "recover" object reports recovery latency, WAL replay / skip counts,
+/// torn-tail detection and the heal counters; any digest divergence,
+/// version mismatch or verification rejection exits non-zero.
+int RunRecover(const Config& config) {
+  BenchGraph bench_graph;
+  if (!SetupBenchGraph(config, &bench_graph)) {
+    return 1;
+  }
+  const Graph* graph = bench_graph.graph;
+  const size_t num_queries = config.smoke ? 12 : config.queries;
+  const std::vector<Query> queries = MixedWorkload(*graph, num_queries);
+  const size_t num_updates =
+      config.updates > 0 ? config.updates : (config.smoke ? 8 : 16);
+  const size_t batch_size = std::max<size_t>(config.update_batch, 1);
+
+  // The kill is only real with fail points compiled in; a Release build
+  // still exercises the full checkpoint + WAL + recover path on a clean
+  // shutdown so the mode stays meaningful in every CI leg.
+  std::string kill = config.kill;
+  if (kill != "none" && !FailPointsCompiledIn()) {
+    std::fprintf(stderr,
+                 "note: fail points compiled out; --kill %s downgraded to a "
+                 "clean-shutdown recovery\n",
+                 kill.c_str());
+    kill = "none";
+  }
+
+  std::string dir = config.recover_dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "spauth_bench_recover")
+              .string();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create scratch dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::string wal_path = dir + "/updates.wal";
+
+  EngineOptions options = DefaultEngineOptions(MethodKind::kDij);
+  auto built = MakeEngine(*graph, options, OwnerKeys());
+  auto twin_built = MakeEngine(*graph, options, OwnerKeys());
+  if (!built.ok() || !twin_built.ok()) {
+    std::fprintf(stderr, "engine build failed\n");
+    return 1;
+  }
+  std::unique_ptr<MethodEngine> engine = std::move(built).value();
+  std::unique_ptr<MethodEngine> twin = std::move(twin_built).value();
+
+  SnapshotStore store(dir);
+  if (Status s = store.Write(*engine); !s.ok()) {
+    std::fprintf(stderr, "initial checkpoint failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto wal_opened = Wal::Open(wal_path);
+  if (!wal_opened.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 wal_opened.status().ToString().c_str());
+    return 1;
+  }
+  auto wal = std::make_unique<Wal>(std::move(wal_opened).value());
+  engine->AttachWal(wal.get());
+
+  // Same seeded owner stream as the live-update mode, absorbed in batches;
+  // the twin applies only what the crashed world made durable.
+  std::vector<EdgeWeightUpdate> updates;
+  {
+    std::vector<EdgeWeightUpdate> edges;
+    for (NodeId n = 0; n < graph->num_nodes(); ++n) {
+      for (const Edge& edge : graph->Neighbors(n)) {
+        if (n < edge.to) {
+          edges.push_back({n, edge.to, edge.weight});
+        }
+      }
+    }
+    Rng rng(kWorkloadSeed + 99);
+    updates.reserve(num_updates);
+    for (size_t i = 0; i < num_updates; ++i) {
+      const EdgeWeightUpdate& edge = edges[rng.NextBounded(edges.size())];
+      updates.push_back(
+          {edge.u, edge.v, edge.new_weight * rng.NextDoubleIn(0.6, 1.8)});
+    }
+  }
+  const size_t num_batches = (updates.size() + batch_size - 1) / batch_size;
+
+  // WAL-append ordering makes a publish-kill durable (replay re-drives
+  // it); a kill before or during the append loses the batch the caller
+  // was never told succeeded.
+  const bool kill_is_durable = kill == "engine/publish";
+  size_t rotations = 0;
+  size_t checkpoints = 1;  // the build-version checkpoint above
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = b * batch_size;
+    const size_t end = std::min(updates.size(), begin + batch_size);
+    const std::span<const EdgeWeightUpdate> batch(updates.data() + begin,
+                                                  end - begin);
+    const bool last = b + 1 == num_batches;
+    if (last && kill != "none") {
+      FailPointRegistry::Global().ArmOneShot(kill);
+      auto doomed = engine->ApplyEdgeWeightUpdates(OwnerKeys(), batch);
+      FailPointRegistry::Global().Disarm(kill);
+      if (doomed.ok() || !IsRetryable(doomed.status().code())) {
+        std::fprintf(stderr,
+                     "recover: kill at %s did not surface as a retryable "
+                     "error (%s)\n",
+                     kill.c_str(),
+                     doomed.ok() ? "ok" : doomed.status().ToString().c_str());
+        return 1;
+      }
+      if (kill_is_durable &&
+          !twin->ApplyEdgeWeightUpdates(OwnerKeys(), batch).ok()) {
+        std::fprintf(stderr, "recover: twin update failed\n");
+        return 1;
+      }
+      break;
+    }
+    if (!engine->ApplyEdgeWeightUpdates(OwnerKeys(), batch).ok() ||
+        !twin->ApplyEdgeWeightUpdates(OwnerKeys(), batch).ok()) {
+      std::fprintf(stderr, "recover: update batch %zu failed\n", b);
+      return 1;
+    }
+    ++rotations;
+    // Mid-stream checkpoint: recovery must skip the WAL prefix this
+    // snapshot absorbed (the JSON's wal_records_skipped proves it did).
+    if (b + 1 == num_batches / 2) {
+      if (Status s = store.Write(*engine); !s.ok()) {
+        std::fprintf(stderr, "mid-stream checkpoint failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      ++checkpoints;
+    }
+  }
+  const uint32_t durable_version = twin->certificate().params.version;
+
+  // Crash: the live engine and its WAL handle vanish; the disk is all
+  // that survives.
+  engine.reset();
+  wal.reset();
+
+  WallTimer recover_timer;
+  auto recovered = RecoverDijEngine(store, wal_path, options, OwnerKeys());
+  const double recovery_ms = recover_timer.ElapsedSeconds() * 1000;
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  RecoveryReport report = std::move(recovered).value();
+  if (report.recovered_version != durable_version) {
+    std::fprintf(stderr, "recovered version %u != durable version %u\n",
+                 report.recovered_version, durable_version);
+    return 1;
+  }
+
+  // Byte transparency: the recovered engine must serve exactly what the
+  // never-crashed twin serves, and every answer must verify fresh at the
+  // recovered version.
+  Client client(OwnerKeys().public_key());
+  Hasher recovered_hasher(HashAlgorithm::kSha1);
+  Hasher twin_hasher(HashAlgorithm::kSha1);
+  std::vector<double> serve_ms;
+  serve_ms.reserve(queries.size());
+  SearchWorkspace ws;
+  WallTimer serve_total;
+  for (const Query& q : queries) {
+    WallTimer t;
+    auto a = report.engine->Answer(q, ws);
+    serve_ms.push_back(t.ElapsedSeconds() * 1000);
+    auto b = twin->Answer(q, ws);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "recover: post-recovery answer failed\n");
+      return 1;
+    }
+    const WireVerification result = client.Verify(q, a.value().bytes);
+    if (!result.outcome.accepted || result.version != durable_version) {
+      std::fprintf(stderr,
+                   "recover: verification failed at version %u: %s\n",
+                   result.version, result.outcome.ToString().c_str());
+      return 1;
+    }
+    recovered_hasher.Update(a.value().bytes.data(), a.value().bytes.size());
+    twin_hasher.Update(b.value().bytes.data(), b.value().bytes.size());
+  }
+  const double serve_total_s = serve_total.ElapsedSeconds();
+  const std::string recovered_sha1 = recovered_hasher.Finish().ToHex();
+  const std::string twin_sha1 = twin_hasher.Finish().ToHex();
+  const bool byte_transparent = recovered_sha1 == twin_sha1;
+  if (!byte_transparent) {
+    std::fprintf(stderr, "recover: digest divergence (%s != %s)\n",
+                 recovered_sha1.c_str(), twin_sha1.c_str());
+  }
+
+  // Heal arc: tear a lock-step group rotation so the last replica freezes
+  // on the old snapshot, then heal it from its most advanced sibling and
+  // re-check byte transparency across the group. Needs the "engine/publish"
+  // one-shot, so it only runs with fail points compiled in.
+  const size_t heal_replicas = std::max<size_t>(config.replicas, 2);
+  bool ran_heal = false;
+  size_t healed = 0;
+  uint64_t resyncs = 0;
+  uint64_t resync_failures = 0;
+  bool heal_transparent = false;
+  if (FailPointsCompiledIn()) {
+    FailoverOptions failover;
+    failover.replicas_per_group = heal_replicas;
+    auto fleet = ShardedEngine::BuildReplicated(*graph, options, 1,
+                                                OwnerKeys(), failover);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "heal fleet build failed: %s\n",
+                   fleet.status().ToString().c_str());
+      return 1;
+    }
+    ShardedEngine& e = *fleet.value();
+    const std::span<const EdgeWeightUpdate> batch(
+        updates.data(), std::min<size_t>(updates.size(), batch_size));
+    // One-shot on the LAST replica's publish step: siblings advance, the
+    // last replica stays frozen — exactly the torn rotation HealGroup
+    // repairs.
+    FailPointRegistry::Global().ArmOneShot("engine/publish",
+                                           /*after=*/heal_replicas - 1);
+    auto torn = e.ApplyEdgeWeightUpdates(0, OwnerKeys(), batch);
+    FailPointRegistry::Global().Disarm("engine/publish");
+    if (torn.ok() || !IsRetryable(torn.status().code())) {
+      std::fprintf(stderr, "heal: injected tear did not surface\n");
+      return 1;
+    }
+    auto heal = e.Heal();
+    if (!heal.ok()) {
+      std::fprintf(stderr, "heal failed: %s\n",
+                   heal.status().ToString().c_str());
+      return 1;
+    }
+    healed = heal.value();
+    const ShardedStats stats = e.GetStats();
+    resyncs = stats.totals.resyncs;
+    resync_failures = stats.totals.resync_failures;
+    heal_transparent = true;
+    for (const Query& q : queries) {
+      auto a = e.shard(0).Answer(q, ws);
+      auto b = e.shard(heal_replicas - 1).Answer(q, ws);
+      if (!a.ok() || !b.ok() ||
+          a.value().bytes != b.value().bytes) {
+        heal_transparent = false;
+        break;
+      }
+    }
+    if (healed != 1 || !heal_transparent) {
+      std::fprintf(stderr,
+                   "heal: expected 1 byte-transparent resync, got %zu "
+                   "(transparent: %s)\n",
+                   healed, heal_transparent ? "yes" : "no");
+    }
+    ran_heal = true;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"mode\": \"recover\",\n");
+  std::printf("  \"dataset\": \"%s\",\n", bench_graph.name.c_str());
+  std::printf("  \"nodes\": %zu,\n", graph->num_nodes());
+  std::printf("  \"edges\": %zu,\n", graph->num_edges());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::printf("  \"method\": \"dij\",\n");
+  std::printf("  \"recover\": {\n");
+  std::printf("    \"kill_point\": \"%s\",\n", kill.c_str());
+  std::printf("    \"updates\": %zu,\n", updates.size());
+  std::printf("    \"batch\": %zu,\n", batch_size);
+  std::printf("    \"rotations_before_crash\": %zu,\n", rotations);
+  std::printf("    \"checkpoints\": %zu,\n", checkpoints);
+  std::printf("    \"durable_version\": %u,\n", durable_version);
+  std::printf("    \"snapshot_version\": %u,\n", report.snapshot_version);
+  std::printf("    \"recovered_version\": %u,\n", report.recovered_version);
+  std::printf("    \"wal_records_replayed\": %zu,\n",
+              report.wal_records_replayed);
+  std::printf("    \"wal_records_skipped\": %zu,\n",
+              report.wal_records_skipped);
+  std::printf("    \"wal_torn_tail\": %s,\n",
+              report.wal_torn_tail ? "true" : "false");
+  std::printf("    \"recovery_ms\": %.4f,\n", recovery_ms);
+  std::printf("    \"answers_sha1\": \"%s\",\n", recovered_sha1.c_str());
+  std::printf("    \"twin_sha1\": \"%s\",\n", twin_sha1.c_str());
+  std::printf("    \"byte_transparent\": %s,\n",
+              byte_transparent ? "true" : "false");
+  if (ran_heal) {
+    std::printf(
+        "    \"heal\": {\"replicas\": %zu, \"healed\": %zu, \"resyncs\": "
+        "%llu, \"resync_failures\": %llu, \"byte_transparent\": %s}\n",
+        heal_replicas, healed, static_cast<unsigned long long>(resyncs),
+        static_cast<unsigned long long>(resync_failures),
+        heal_transparent ? "true" : "false");
+  } else {
+    std::printf("    \"heal\": null\n");
+  }
+  std::printf("  },\n");
+  PrintJsonStats("recovered_serve", Summarize(serve_ms, serve_total_s),
+                 false);
+  std::printf("}\n");
+  const bool heal_ok = !ran_heal || (healed == 1 && heal_transparent);
+  return byte_transparent && heal_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace spauth::bench
 
@@ -1190,15 +1524,39 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--deadline-ms needs a positive budget\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--recover") == 0) {
+      config.recover = true;
+    } else if (std::strcmp(arg, "--kill") == 0) {
+      config.kill = next();
+      if (config.kill != "engine/publish" && config.kill != "wal/append" &&
+          config.kill != "wal/fsync" && config.kill != "none") {
+        std::fprintf(stderr,
+                     "--kill needs engine/publish, wal/append, wal/fsync "
+                     "or none\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--recover-dir") == 0) {
+      config.recover_dir = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
                    "[--queries N] [--threads N] [--proof-cache] "
                    "[--shards N] [--update-rate R] [--updates N] "
                    "[--update-batch K] [--updates-first] "
-                   "[--fault-rate R] [--replicas N] [--deadline-ms M]\n");
+                   "[--fault-rate R] [--replicas N] [--deadline-ms M] "
+                   "[--recover] [--kill POINT] [--recover-dir PATH]\n");
       return 2;
     }
+  }
+  if (config.recover) {
+    if (config.fault_rate > 0 || config.update_rate > 0 ||
+        config.updates_first) {
+      std::fprintf(stderr,
+                   "--recover is incompatible with --fault-rate and the "
+                   "live-update flags\n");
+      return 2;
+    }
+    return spauth::bench::RunRecover(config);
   }
   if (config.fault_rate > 0) {
     if (config.update_rate > 0 || config.updates > 0 || config.updates_first) {

@@ -9,7 +9,9 @@
 #include "core/full.h"
 #include "core/hyp.h"
 #include "core/ldm.h"
+#include "core/snapshot_store.h"
 #include "core/updates.h"
+#include "core/wal.h"
 #include "core/verify_workspace.h"
 #include "graph/dijkstra.h"
 #include "util/failpoint.h"
@@ -106,6 +108,16 @@ Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdate(const RsaKeyPair& keys,
                                                      double new_weight) {
   const EdgeWeightUpdate update{u, v, new_weight};
   return ApplyEdgeWeightUpdates(keys, {&update, 1});
+}
+
+Status MethodEngine::SerializeDurableState(ByteWriter* /*out*/) const {
+  return Status::FailedPrecondition(
+      "durable snapshots are implemented for DIJ only");
+}
+
+Result<uint32_t> MethodEngine::AdoptStateFrom(const MethodEngine& /*source*/) {
+  return Status::FailedPrecondition(
+      "state adoption is implemented for DIJ only");
 }
 
 ProofCacheStats MethodEngine::proof_cache_stats() const {
@@ -407,10 +419,50 @@ class DijEngine : public MethodEngine {
     next->certificate = next->ads.certificate;
     next->cert_size = next->certificate.SerializedSize();
     const uint32_t version = next->certificate.params.version;
+    // Durability barrier: the batch reaches the write-ahead log (and the
+    // disk) before anything can observe the new snapshot. A crash after
+    // this line re-drives the batch on recovery; deterministic signing
+    // reproduces the exact certificate built above.
+    if (Wal* wal = attached_wal()) {
+      WalRecord record;
+      record.base_version = cur->certificate.params.version;
+      record.updates.assign(updates.begin(), updates.end());
+      SPAUTH_RETURN_IF_ERROR(wal->Append(record));
+    }
     // Last fallible step before the publish: a fired point here discards
     // the fully-built clone and leaves the old snapshot serving.
     SPAUTH_FAILPOINT_RETURN("engine/publish");
     AddRotationCloneBytes(copied_bytes);
+    PublishState(std::move(next));
+    return version;
+  }
+
+  Status SerializeDurableState(ByteWriter* out) const override {
+    EncodeSnapshotPayload(State()->ads, out);
+    return Status::Ok();
+  }
+
+  Result<uint32_t> AdoptStateFrom(const MethodEngine& source) override {
+    if (source.kind() != MethodKind::kDij || &source == this) {
+      return Status::FailedPrecondition(
+          "state adoption requires a distinct DIJ sibling");
+    }
+    std::unique_lock<std::mutex> rotation = LockForUpdate();
+    const auto src = std::static_pointer_cast<const DijState>(
+        source.CurrentState());
+    const std::shared_ptr<const DijState> cur = State();
+    if (cur->certificate.params.version >= src->certificate.params.version) {
+      return cur->certificate.params.version;  // already caught up
+    }
+    // The adopted snapshot shares the sibling's chunks outright — the same
+    // structural sharing a rotation exploits, except nothing is copied but
+    // the spines. The sibling's future rotations copy-on-write away from
+    // these chunks, never through them.
+    auto next = std::make_unique<DijState>(src->ads);
+    next->graph = src->graph;
+    next->certificate = next->ads.certificate;
+    next->cert_size = next->certificate.SerializedSize();
+    const uint32_t version = next->certificate.params.version;
     PublishState(std::move(next));
     return version;
   }
@@ -1041,6 +1093,23 @@ Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
   }
   // Record the owner's offline construction time (Figures 8c, 9b, 12b, 13b).
   engine->set_construction_seconds(timer.ElapsedSeconds());
+  return engine;
+}
+
+Result<std::unique_ptr<MethodEngine>> MakeDijEngineFromState(
+    const EngineOptions& options, std::shared_ptr<const Graph> graph,
+    DijAds ads, RsaPublicKey owner_key) {
+  if (options.method != MethodKind::kDij) {
+    return Status::InvalidArgument(
+        "recovered-state construction is DIJ only");
+  }
+  if (graph == nullptr ||
+      graph->num_nodes() != ads.network.num_nodes()) {
+    return Status::InvalidArgument(
+        "recovered graph does not match the recovered ADS");
+  }
+  std::unique_ptr<MethodEngine> engine = std::make_unique<DijEngine>(
+      options, std::move(graph), std::move(ads), std::move(owner_key));
   return engine;
 }
 

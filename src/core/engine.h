@@ -28,6 +28,7 @@
 
 #include "core/algosp.h"
 #include "core/certificate.h"
+#include "core/dij.h"
 #include "core/engine_state.h"
 #include "core/verify_outcome.h"
 #include "graph/generator.h"
@@ -40,6 +41,7 @@
 namespace spauth {
 
 struct VerifyWorkspace;  // core/verify_workspace.h
+class Wal;               // core/wal.h
 
 /// Adversarial mutations of a provider answer (core/engine.cc documents the
 /// rejection each must trigger).
@@ -225,6 +227,31 @@ class MethodEngine {
   Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys, NodeId u,
                                          NodeId v, double new_weight);
 
+  /// Attaches a write-ahead log (core/wal.h): every subsequent update
+  /// batch is appended — and flushed to stable storage — BEFORE its
+  /// rotation publishes, so a crash never loses an acknowledged update.
+  /// Non-owning (`wal` must outlive the engine or be detached with
+  /// nullptr); effective for DIJ, the only method that takes updates.
+  /// Attach/detach while no update is in flight.
+  void AttachWal(Wal* wal) { wal_.store(wal, std::memory_order_release); }
+
+  /// Serializes the current snapshot's durable image (signed certificate,
+  /// every extended-tuple, the leaf order) — the payload the snapshot
+  /// store (core/snapshot_store.h) frames, checksums and publishes
+  /// atomically. FailedPrecondition for non-DIJ methods.
+  virtual Status SerializeDurableState(ByteWriter* out) const;
+
+  /// Owner-side heal: re-publishes `source`'s current snapshot on THIS
+  /// engine. The adopted state is pointer-shared (graph blocks, tuple
+  /// chunks, Merkle levels, the proof-cache-free spine), so the cost is a
+  /// spine copy, not a payload clone — which is what lets ShardedEngine
+  /// re-sync a replica frozen by a torn rotation from a healthy sibling
+  /// without waiting for the next full rotation. No-op (returning the
+  /// current version) when this engine is already at or past `source`'s
+  /// version. Both engines must serve the same certified DIJ network;
+  /// FailedPrecondition otherwise.
+  virtual Result<uint32_t> AdoptStateFrom(const MethodEngine& source);
+
   /// Cumulative payload bytes the rotations' copy-on-write clones actually
   /// duplicated (adjacency blocks + tuple chunks + Merkle path chunks, in
   /// the same units as Graph::MemoryFootprintBytes / storage_bytes).
@@ -273,6 +300,10 @@ class MethodEngine {
     rotation_clone_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// The attached write-ahead log, or nullptr (derived update paths
+  /// append to it before publishing).
+  Wal* attached_wal() const { return wal_.load(std::memory_order_acquire); }
+
  private:
   struct StateRetirer;  // shared_ptr deleter: folds cache books on drain
 
@@ -295,6 +326,7 @@ class MethodEngine {
   size_t cache_capacity_ = 0;
   size_t cache_shards_ = 0;
 
+  std::atomic<Wal*> wal_{nullptr};          // non-owning durability hook
   std::mutex update_mu_;                    // serializes rotations
   std::atomic<uint64_t> epoch_{0};          // last published epoch
   std::atomic<uint64_t> rotation_clone_bytes_{0};
@@ -312,6 +344,13 @@ class MethodEngine {
 Result<std::unique_ptr<MethodEngine>> MakeEngine(const Graph& g,
                                                  const EngineOptions& options,
                                                  const RsaKeyPair& keys);
+
+/// Builds a DIJ engine directly from already-verified recovered state
+/// (core/snapshot_store.h) instead of re-deriving the ADS from the graph —
+/// the recovery path. `options.method` must be kDij.
+Result<std::unique_ptr<MethodEngine>> MakeDijEngineFromState(
+    const EngineOptions& options, std::shared_ptr<const Graph> graph,
+    DijAds ads, RsaPublicKey owner_key);
 
 /// All four methods in the paper's presentation order.
 inline constexpr MethodKind kAllMethods[] = {MethodKind::kDij,

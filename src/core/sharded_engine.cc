@@ -166,24 +166,34 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
       break;
     }
     // Next admitted replica from the cursor; open breakers are skipped,
-    // half-open ones admit this query as a probe.
+    // half-open ones admit this query as a probe. With cross-group
+    // failover enabled, a fully breaker-denied group spills over to the
+    // next group's replicas (replicated fleets serve the same network
+    // everywhere, so the answer stays byte-identical).
+    const size_t group_span =
+        failover_.cross_group_failover ? num_groups_ : 1;
     size_t chosen = replicas;
-    for (size_t k = 0; k < replicas; ++k) {
-      const size_t replica = (cursor + k) % replicas;
-      const size_t engine = base + replica;
-      if (!health_.empty() && !health_[engine]->AllowRequest()) {
-        counters_[engine].breaker_skips.fetch_add(1,
-                                                  std::memory_order_relaxed);
-        continue;
+    size_t chosen_base = base;
+    for (size_t g = 0; g < group_span && chosen == replicas; ++g) {
+      const size_t scan_base = ((group + g) % num_groups_) * replicas;
+      for (size_t k = 0; k < replicas; ++k) {
+        const size_t replica = (cursor + k) % replicas;
+        const size_t engine = scan_base + replica;
+        if (!health_.empty() && !health_[engine]->AllowRequest()) {
+          counters_[engine].breaker_skips.fetch_add(1,
+                                                    std::memory_order_relaxed);
+          continue;
+        }
+        chosen = replica;
+        chosen_base = scan_base;
+        break;
       }
-      chosen = replica;
-      break;
     }
     if (chosen == replicas) {
       result = Status::Unavailable("all replicas unavailable: breakers open");
       break;
     }
-    const size_t engine = base + chosen;
+    const size_t engine = chosen_base + chosen;
     last_engine = engine;
     if (attempt > 0) {
       counters_[engine].retries.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +202,10 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
     if (result.ok()) {
       if (attempt > 0) {
         counters_[engine].failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (engine / replicas != group) {
+        counters_[engine].cross_group_serves.fetch_add(
+            1, std::memory_order_relaxed);
       }
       break;
     }
@@ -238,6 +252,16 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
   if (group >= num_groups_) {
     return Status::InvalidArgument("group index out of range");
   }
+  // Self-repair first: an earlier torn rotation may have left part of the
+  // group behind. Rotating on top of diverged bases would compound the
+  // split (different versions signing different worlds forever), so bring
+  // every laggard to the most advanced sibling's snapshot before touching
+  // anything. A failed heal aborts the rotation with a retryable error —
+  // better a stale lock-step group than a fresh diverged one.
+  if (failover_.replicas_per_group > 1) {
+    SPAUTH_ASSIGN_OR_RETURN(size_t healed, HealGroup(group));
+    (void)healed;
+  }
   // Lock-step across the group's replicas: a failed replica aborts the
   // walk immediately, leaving it (and any replicas after it) on the old
   // snapshot — zero torn state per engine, bounded staleness per group.
@@ -255,6 +279,62 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
     version = applied.value();
   }
   return version;
+}
+
+Result<size_t> ShardedEngine::HealGroup(size_t group) {
+  if (group >= num_groups_) {
+    return Status::InvalidArgument("group index out of range");
+  }
+  const size_t replicas = failover_.replicas_per_group;
+  const size_t base = group * replicas;
+  // The most advanced replica is the heal source: its snapshot carries the
+  // newest signature the owner actually produced, so adopting it never
+  // invents state — it replays a publish the group already saw.
+  size_t source = base;
+  uint32_t source_version =
+      shards_[base]->CurrentState()->certificate.params.version;
+  for (size_t r = 1; r < replicas; ++r) {
+    const uint32_t v =
+        shards_[base + r]->CurrentState()->certificate.params.version;
+    if (v > source_version) {
+      source_version = v;
+      source = base + r;
+    }
+  }
+  size_t healed = 0;
+  for (size_t r = 0; r < replicas; ++r) {
+    const size_t engine = base + r;
+    if (engine == source) {
+      continue;
+    }
+    if (shards_[engine]->CurrentState()->certificate.params.version >=
+        source_version) {
+      continue;  // already in lock-step
+    }
+    if (SPAUTH_FAILPOINT_TRIGGERED_ARG("replica/resync", engine)) {
+      counters_[engine].resync_failures.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return Status::Unavailable("fail point fired: replica/resync");
+    }
+    Result<uint32_t> adopted = shards_[engine]->AdoptStateFrom(*shards_[source]);
+    if (!adopted.ok()) {
+      counters_[engine].resync_failures.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return adopted.status();
+    }
+    counters_[engine].resyncs.fetch_add(1, std::memory_order_relaxed);
+    ++healed;
+  }
+  return healed;
+}
+
+Result<size_t> ShardedEngine::Heal() {
+  size_t healed = 0;
+  for (size_t group = 0; group < num_groups_; ++group) {
+    SPAUTH_ASSIGN_OR_RETURN(size_t h, HealGroup(group));
+    healed += h;
+  }
+  return healed;
 }
 
 Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t group,
@@ -349,6 +429,11 @@ ShardedStats ShardedEngine::GetStats() const {
         counters_[i].deadline_exceeded.load(std::memory_order_relaxed);
     s.breaker_skips =
         counters_[i].breaker_skips.load(std::memory_order_relaxed);
+    s.resyncs = counters_[i].resyncs.load(std::memory_order_relaxed);
+    s.resync_failures =
+        counters_[i].resync_failures.load(std::memory_order_relaxed);
+    s.cross_group_serves =
+        counters_[i].cross_group_serves.load(std::memory_order_relaxed);
     if (!health_.empty()) {
       s.breaker_opens = health_[i]->opens();
       s.breaker_state = health_[i]->state();
@@ -371,6 +456,9 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.deadline_exceeded += s.deadline_exceeded;
     stats.totals.breaker_skips += s.breaker_skips;
     stats.totals.breaker_opens += s.breaker_opens;
+    stats.totals.resyncs += s.resyncs;
+    stats.totals.resync_failures += s.resync_failures;
+    stats.totals.cross_group_serves += s.cross_group_serves;
     stats.totals.rotation_clone_bytes += s.rotation_clone_bytes;
     stats.totals.live_snapshots += s.live_snapshots;
     stats.totals.certificate_version =

@@ -104,6 +104,12 @@ struct FailoverOptions {
   /// ones.
   bool enable_breakers = false;
   CircuitBreakerOptions breaker;
+  /// When true, a query whose routed group has every replica
+  /// breaker-denied spills over to the next group's replicas instead of
+  /// failing outright. Only sound on replicated fleets (every group
+  /// serves the same network); never enable it on region partitions,
+  /// where another group serves a different graph.
+  bool cross_group_failover = false;
 };
 
 /// One shard's serving counters plus its proof-cache counters.
@@ -125,6 +131,10 @@ struct ShardStats {
   uint64_t breaker_skips = 0;      // attempts denied by this engine's breaker
   uint64_t breaker_opens = 0;      // times this engine's breaker tripped
   BreakerState breaker_state = BreakerState::kClosed;  // not meaningful in totals
+  // Heal-plane counters (owner-side replica resync, see HealGroup).
+  uint64_t resyncs = 0;          // times this replica adopted a sibling's state
+  uint64_t resync_failures = 0;  // heal attempts on this replica that failed
+  uint64_t cross_group_serves = 0;  // OK answers served here for another group
   ProofCacheStats cache;
 };
 
@@ -197,6 +207,9 @@ class ShardedEngine {
   /// failed replica the error returns immediately and later replicas stay
   /// on the old version — a real mid-rotation fault, which bounded-
   /// staleness clients (Client::SetStalenessBound) are built to ride out.
+  /// Before rotating, any replica left lagging by an earlier torn
+  /// rotation is first healed from its most advanced sibling (HealGroup),
+  /// so the lock-step invariant self-repairs instead of compounding.
   Result<uint32_t> ApplyEdgeWeightUpdates(
       size_t group, const RsaKeyPair& keys,
       std::span<const EdgeWeightUpdate> updates);
@@ -205,6 +218,22 @@ class ShardedEngine {
   Result<uint32_t> ApplyEdgeWeightUpdate(size_t group, const RsaKeyPair& keys,
                                          NodeId u, NodeId v,
                                          double new_weight);
+
+  /// Owner-side heal of one routing group: any replica whose certificate
+  /// version lags the group's most advanced sibling (the signature a torn
+  /// rotation leaves behind) adopts that sibling's live snapshot via
+  /// MethodEngine::AdoptStateFrom — a pointer-shared install, no rebuild,
+  /// no re-sign, no waiting for the next full rotation. Serving continues
+  /// throughout (the install is one epoch publish). Returns the number of
+  /// replicas healed (0 when the group is already in lock-step); the
+  /// first failed resync aborts with its (retryable) error. Fail point
+  /// "replica/resync" fails the install (arg = engine index).
+  /// ApplyEdgeWeightUpdates calls this before every rotation so a torn
+  /// group converges instead of diverging batch by batch.
+  Result<size_t> HealGroup(size_t group);
+
+  /// HealGroup over every group; returns the total replicas healed.
+  Result<size_t> Heal();
 
   /// Replicated deployments: absorbs the batch on *every* shard (one
   /// rotation each) so the replicas stay byte-transparent, and returns the
@@ -260,6 +289,9 @@ class ShardedEngine {
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> deadline_exceeded{0};
     std::atomic<uint64_t> breaker_skips{0};
+    std::atomic<uint64_t> resyncs{0};
+    std::atomic<uint64_t> resync_failures{0};
+    std::atomic<uint64_t> cross_group_serves{0};
   };
 
   ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,

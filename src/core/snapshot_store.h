@@ -1,0 +1,118 @@
+// Checksummed, atomically-published snapshot files with authenticated
+// verify-on-load — the checkpoint half of the durable state plane.
+//
+// A snapshot file holds everything needed to resurrect a DIJ engine:
+// the signed certificate, every extended-tuple (which embed coordinates
+// and the full adjacency, so the graph is rebuilt from them — no separate
+// graph section) and the node -> leaf order. The file is one CRC-framed
+// record behind a magic/format header and is published by writing a temp
+// file, fsyncing it and atomically renaming it into place, so a crashed
+// write leaves at worst an ignorable temp file, never a half snapshot
+// under the real name.
+//
+// Verify-on-load is the headline: because the state is an authenticated
+// data structure, recovery does not have to *trust* the disk. Load
+// rebuilds the Merkle tree from the loaded tuples, compares its root to
+// the embedded signed certificate and checks the owner signature; any
+// mismatch — a bit flip that slipped past the CRC, a swapped stale
+// certificate, a tampered tuple — refuses to serve (kDataLoss) instead of
+// silently serving corrupted state. CRC-level damage (torn/truncated/
+// flipped bytes) falls back to the next-older snapshot; a store whose
+// every candidate is damaged is kDataLoss too.
+//
+// See src/core/wal.h for the log that covers the tail between
+// checkpoints and RecoverDijEngine below for the combined recovery path.
+#ifndef SPAUTH_CORE_SNAPSHOT_STORE_H_
+#define SPAUTH_CORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dij.h"
+#include "core/engine.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// A snapshot image decoded, CRC-checked AND authenticated: the Merkle
+/// root recomputed from the tuples matched the signed certificate.
+struct RecoveredState {
+  std::shared_ptr<const Graph> graph;  // rebuilt from the verified tuples
+  DijAds ads;
+  uint32_t version = 0;  // == ads.certificate.params.version
+};
+
+/// Serializes the durable image of a DIJ ADS (certificate + tuples + leaf
+/// order) — the payload the store frames and checksums. The engine's
+/// SerializeDurableState funnels through this.
+void EncodeSnapshotPayload(const DijAds& ads, ByteWriter* out);
+
+/// Builds a complete snapshot file image (header + framed payload).
+std::vector<uint8_t> EncodeSnapshotFile(const DijAds& ads);
+
+/// Decodes and verifies one snapshot file image. kCorruption for CRC-level
+/// damage (bad magic, torn frame, bit flip), kDataLoss when the bytes are
+/// intact but fail authenticated verification (recomputed root does not
+/// match the certificate, or the certificate's owner signature is bad).
+Result<RecoveredState> DecodeAndVerifySnapshot(
+    std::span<const uint8_t> file_bytes, const RsaPublicKey& owner_key);
+
+/// A directory of versioned snapshot files (snapshot-<version>.spsnap).
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Writes the engine's current snapshot as snapshot-<version>. Atomic:
+  /// payload to a temp file, fsync, rename. Fail point "snapshot/write"
+  /// fires after the temp file holds a torn prefix and before the rename,
+  /// so a "crashed" write leaves exactly what a real crash would.
+  Status Write(const MethodEngine& engine);
+
+  /// Loads the newest snapshot that survives CRC checks, then runs
+  /// verify-on-load on it. CRC-damaged candidates fall back to the next
+  /// older file; authenticated-verification failure is kDataLoss
+  /// immediately (damage that *survives* checksums is exactly what must
+  /// never be served). kDataLoss also when every candidate is damaged,
+  /// kNotFound when the store has no snapshots at all. Fail point
+  /// "snapshot/load" makes a candidate unreadable (arg = its version).
+  Result<RecoveredState> LoadNewest(const RsaPublicKey& owner_key) const;
+
+  /// Versions with a (non-temp) snapshot file present, newest first.
+  std::vector<uint32_t> ListVersions() const;
+
+  /// Path of the snapshot file for `version`.
+  std::string PathFor(uint32_t version) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// Full crash recovery: newest valid snapshot + WAL tail replay -> a
+/// serving engine, plus the counters the bench's --recover mode reports.
+struct RecoveryReport {
+  std::unique_ptr<MethodEngine> engine;
+  uint32_t snapshot_version = 0;   // version the snapshot restored
+  uint32_t recovered_version = 0;  // version after WAL replay
+  size_t wal_records_replayed = 0;
+  size_t wal_records_skipped = 0;  // already absorbed by the snapshot
+  bool wal_torn_tail = false;      // replay stopped at a torn record
+};
+
+/// Loads the newest verified snapshot from `store`, replays the WAL tail
+/// at `wal_path` on top of it (skipping records the snapshot already
+/// absorbed; a version gap between snapshot and log is kDataLoss) and
+/// returns a ready-to-serve DIJ engine. `options.method` must be kDij and
+/// match the snapshot's certified parameters.
+Result<RecoveryReport> RecoverDijEngine(const SnapshotStore& store,
+                                        const std::string& wal_path,
+                                        const EngineOptions& options,
+                                        const RsaKeyPair& keys);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_CORE_SNAPSHOT_STORE_H_

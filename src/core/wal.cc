@@ -1,0 +1,173 @@
+#include "core/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace spauth {
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(std::string("wal write failed: ") +
+                                 std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WalRecord::Serialize(ByteWriter* out) const {
+  out->WriteU32(base_version);
+  out->WriteU32(static_cast<uint32_t>(updates.size()));
+  for (const EdgeWeightUpdate& u : updates) {
+    out->WriteU32(u.u);
+    out->WriteU32(u.v);
+    out->WriteF64(u.new_weight);
+  }
+}
+
+Status WalRecord::DeserializeInto(ByteReader* in, WalRecord* out) {
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->base_version));
+  uint32_t count = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
+  if (static_cast<size_t>(count) * 16 > in->remaining()) {
+    return Status::Malformed("wal record update count exceeds payload");
+  }
+  out->updates.clear();
+  out->updates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EdgeWeightUpdate u;
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.u));
+    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.v));
+    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&u.new_weight));
+    out->updates.push_back(u);
+  }
+  if (!in->AtEnd()) {
+    return Status::Malformed("trailing bytes after wal record");
+  }
+  return Status::Ok();
+}
+
+Result<Wal> Wal::Open(std::string path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("cannot open wal ") + path + ": " +
+                               std::strerror(errno));
+  }
+  return Wal(std::move(path), fd);
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      appended_(other.appended_) {}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    appended_ = other.appended_;
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status Wal::Append(const WalRecord& record) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal is not open");
+  }
+  SPAUTH_FAILPOINT_RETURN("wal/append");
+  ByteWriter payload;
+  record.Serialize(&payload);
+  std::vector<uint8_t> frame;
+  AppendFramedRecord(payload.view(), &frame);
+  if (SPAUTH_FAILPOINT_TRIGGERED("wal/fsync")) {
+    // The crash between write and flush: an arbitrary prefix of the record
+    // may have reached the disk. Persist exactly half the frame so replay
+    // deterministically sees a torn tail record.
+    SPAUTH_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size() / 2));
+    ::fsync(fd_);
+    return Status::Unavailable("fail point fired: wal/fsync");
+  }
+  SPAUTH_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size()));
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("wal fsync failed: ") +
+                               std::strerror(errno));
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal is not open");
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Unavailable(std::string("wal truncate failed: ") +
+                               std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("wal fsync failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<WalReplay> Wal::Read(const std::string& path) {
+  WalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return replay;  // a log that never existed is an empty log
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader reader{std::span<const uint8_t>(bytes)};
+  std::vector<uint8_t> payload;
+  while (true) {
+    const Status frame = ReadFramedRecord(&reader, &payload);
+    if (frame.code() == StatusCode::kOutOfRange) {
+      break;  // clean end of log
+    }
+    if (!frame.ok()) {
+      replay.torn_tail = true;  // torn/corrupt record: stop, keep the prefix
+      break;
+    }
+    WalRecord record;
+    ByteReader record_reader{std::span<const uint8_t>(payload)};
+    if (!WalRecord::DeserializeInto(&record_reader, &record).ok()) {
+      // CRC-clean but undecodable: corrupt all the same.
+      replay.torn_tail = true;
+      break;
+    }
+    replay.records.push_back(std::move(record));
+    replay.valid_bytes = reader.position();
+  }
+  return replay;
+}
+
+}  // namespace spauth

@@ -1,0 +1,70 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace spauth {
+namespace {
+
+// Lookup table for the reflected IEEE polynomial, built once at load.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> bytes) {
+  const auto& table = Table();
+  for (uint8_t b : bytes) {
+    state = table[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  return Crc32Finish(Crc32Update(kCrc32Init, bytes));
+}
+
+void AppendFramedRecord(std::span<const uint8_t> payload,
+                        std::vector<uint8_t>* out) {
+  ByteWriter header;
+  header.WriteU32(static_cast<uint32_t>(payload.size()));
+  header.WriteU32(Crc32(payload));
+  out->insert(out->end(), header.bytes().begin(), header.bytes().end());
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Status ReadFramedRecord(ByteReader* reader, std::vector<uint8_t>* payload) {
+  if (reader->AtEnd()) {
+    return Status::OutOfRange("end of stream");
+  }
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  if (!reader->ReadU32(&length).ok() || !reader->ReadU32(&crc).ok()) {
+    return Status::Corruption("torn record header");
+  }
+  if (reader->remaining() < length) {
+    return Status::Corruption("torn record payload: header promises " +
+                              std::to_string(length) + " bytes, " +
+                              std::to_string(reader->remaining()) + " left");
+  }
+  SPAUTH_RETURN_IF_ERROR(reader->ReadBytes(length, payload));
+  if (Crc32(*payload) != crc) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace spauth

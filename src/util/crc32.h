@@ -1,0 +1,62 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) plus the shared
+// length-prefixed record framing used by every durable file format in
+// spauth (the update WAL and the snapshot store).
+//
+// A framed record on disk is
+//
+//   u32 payload_length   (little endian)
+//   u32 crc32(payload)   (little endian)
+//   payload_length bytes of payload
+//
+// so a reader can detect both truncation (fewer bytes than the header
+// promises — a torn write at the tail of a WAL) and bit rot (CRC
+// mismatch) before trusting a single payload byte. The CRC guards
+// *integrity*, not *authenticity*: the snapshot store layers the signed
+// Merkle certificate check (verify-on-load) on top of this framing.
+#ifndef SPAUTH_UTIL_CRC32_H_
+#define SPAUTH_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// CRC32 of `bytes` (IEEE, init/final xor 0xFFFFFFFF). Table-driven, no
+/// hardware dependency; throughput is irrelevant next to the RSA signing
+/// the durable paths already pay.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+/// Incremental form: feed `bytes` into a running checksum. Start from
+/// `kCrc32Init`, finish with `Crc32Finish`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> bytes);
+inline uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// Appends one framed record (length, crc, payload) to `out`.
+void AppendFramedRecord(std::span<const uint8_t> payload,
+                        std::vector<uint8_t>* out);
+
+/// Bytes a framed record occupies for a payload of `payload_size` bytes.
+inline constexpr size_t FramedRecordSize(size_t payload_size) {
+  return 2 * sizeof(uint32_t) + payload_size;
+}
+
+/// Reads the next framed record starting at `reader`'s position into
+/// `payload`. Distinguishes the three reader outcomes durability code
+/// cares about:
+///   - OK: a whole, checksum-clean record was consumed;
+///   - kCorruption: the frame is torn (header or payload truncated) or
+///     the payload fails its CRC — the reader position is unspecified and
+///     the stream must not be read further;
+///   - kOutOfRange: the reader was exactly at end-of-stream (a clean end,
+///     not an error — callers use this to terminate replay loops).
+Status ReadFramedRecord(ByteReader* reader, std::vector<uint8_t>* payload);
+
+}  // namespace spauth
+
+#endif  // SPAUTH_UTIL_CRC32_H_

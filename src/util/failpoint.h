@@ -3,21 +3,47 @@
 //
 // A fail point is a compiled-in hook at a hot seam (RSA signing, Merkle
 // leaf update, proof-bundle assembly, proof-cache insert, snapshot
-// publish, per-shard answer dispatch) that tests, benches and chaos
-// campaigns arm at runtime to make that seam fail on a deterministic,
-// seed-replayable schedule. The seams in this codebase are:
+// publish, per-shard answer dispatch, and every durability seam of the
+// WAL + snapshot store) that tests, benches and chaos campaigns arm at
+// runtime to make that seam fail on a deterministic, seed-replayable
+// schedule.
 //
-//   certificate/sign     MakeCertificate, before RSA signing
-//   ads/update_tuple     NetworkAds::UpdateTuple (Merkle path rebuild)
-//   engine/answer        MethodEngine serving, before cache lookup
-//   engine/assemble      MethodEngine serving, after a cache miss, before
-//                        proof-bundle assembly
-//   engine/cache_insert  proof-cache insert (skip-only: the answer is
-//                        still served, the memoization is dropped)
-//   engine/publish       DIJ rotation, after signing, before the snapshot
-//                        publish in EngineStateSlot
-//   shard/answer         ShardedEngine per-attempt dispatch (arg = engine
-//                        index, so one replica can be failed in isolation)
+// Complete fail-point registry (name | seam | failure surfaced as):
+//
+//   certificate/sign     MakeCertificate, before RSA signing   kUnavailable
+//   ads/update_tuple     NetworkAds::UpdateTuple (Merkle path
+//                        rebuild)                              kUnavailable
+//   engine/answer        MethodEngine serving, before cache
+//                        lookup                                kUnavailable
+//   engine/assemble      MethodEngine serving, after a cache
+//                        miss, before proof-bundle assembly    kUnavailable
+//   engine/cache_insert  proof-cache insert (skip-only: the
+//                        answer is still served, the
+//                        memoization is dropped)               (silent skip)
+//   engine/publish       DIJ rotation, after signing, before
+//                        the snapshot publish in
+//                        EngineStateSlot                       kUnavailable
+//   shard/answer         ShardedEngine per-attempt dispatch
+//                        (arg = engine index, so one replica
+//                        can be failed in isolation)           kUnavailable
+//   wal/append           Wal::Append, before the record bytes
+//                        reach the log (crash before append)   kUnavailable
+//   wal/fsync            Wal::Append, after the bytes are
+//                        written, before the flush barrier —
+//                        models a crash that tears the tail
+//                        record (the record is truncated
+//                        mid-payload, replay must stop there)  kUnavailable
+//   snapshot/write       SnapshotStore::Write, before the
+//                        atomic rename publishes the file (a
+//                        torn temp file is left behind and
+//                        must be ignored by Load)              kUnavailable
+//   snapshot/load        SnapshotStore recovery read path,
+//                        before decoding (models an
+//                        unreadable snapshot file; recovery
+//                        falls back to the previous one)       kUnavailable
+//   replica/resync       ShardedEngine owner-side heal, before
+//                        installing a sibling's state into a
+//                        lagging replica (arg = engine index)  kUnavailable
 //
 // Determinism: an armed point decides fire/pass from (seed, hit index)
 // alone — probability mode hashes the hit index through a seeded

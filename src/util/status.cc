@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
   }
   return "UNKNOWN";
 }

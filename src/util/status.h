@@ -38,6 +38,16 @@ enum class StatusCode {
   /// The caller's per-request deadline budget ran out before an answer was
   /// produced. Retryable with a fresh budget.
   kDeadlineExceeded,
+  /// Durable state is unrecoverably lost or failed authenticated
+  /// verification on load (snapshot root does not match its signed
+  /// certificate, WAL tail unreplayable). NOT retryable: the bytes on disk
+  /// will not improve on a second read, and retrying corruption into the
+  /// failover path would turn one bad replica into a retry storm.
+  kDataLoss,
+  /// A durable record failed its integrity check (CRC mismatch, torn or
+  /// truncated frame). NOT retryable for the same reason as kDataLoss;
+  /// recovery code may *skip* a corrupt WAL tail record, never retry it.
+  kCorruption,
 };
 
 /// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -46,7 +56,8 @@ std::string_view StatusCodeToString(StatusCode code);
 /// True for the transient codes a failover layer may retry (on another
 /// replica, after backoff): kUnavailable and kDeadlineExceeded. Everything
 /// else is either a caller bug, a soundness failure, or a permanent state
-/// the same request would hit again.
+/// the same request would hit again — in particular kDataLoss/kCorruption
+/// must never be retried into a failover storm.
 constexpr bool IsRetryable(StatusCode code) {
   return code == StatusCode::kUnavailable ||
          code == StatusCode::kDeadlineExceeded;
@@ -87,6 +98,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

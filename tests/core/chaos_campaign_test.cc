@@ -176,6 +176,75 @@ TEST(FailoverTest, BreakerOpensOnDeadReplicaAndServingContinues) {
   EXPECT_EQ(stats.shards[0].breaker_opens, 0u);
 }
 
+TEST(FailoverTest, CrossGroupSpilloverServesAFullyOpenGroupByteIdentically) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  const auto& ctx = CoreTestContext::Get();
+  // Two single-replica groups of the same network with breaker-aware
+  // cross-group routing: once group 0's breaker opens, its traffic must
+  // spill to group 1 instead of failing — and stay byte-identical, since
+  // replicated groups all serve the same world.
+  FailoverOptions failover;
+  failover.replicas_per_group = 1;
+  failover.max_attempts = 4;
+  failover.enable_breakers = true;
+  failover.breaker.window = 8;
+  failover.breaker.min_samples = 4;
+  failover.breaker.failure_threshold = 0.5;
+  failover.breaker.open_cooldown = 1000000;  // stay open for this test
+  failover.cross_group_failover = true;
+  auto fleet = MakeFleet(/*num_groups=*/2, failover);
+  ASSERT_NE(fleet, nullptr);
+
+  EngineOptions options = CoreTestContext::DefaultOptions(MethodKind::kDij);
+  options.enable_proof_cache = true;
+  auto reference = MakeEngine(ctx.graph, options, ctx.keys);
+  ASSERT_TRUE(reference.ok());
+
+  // Kill group 0's only engine outright.
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kProbability;
+  spec.probability = 1.0;
+  spec.has_match_arg = true;
+  spec.match_arg = 0;
+  ScopedFailPoint dead_group("shard/answer", spec);
+
+  const std::vector<Query> queries = MakeWorkload(64, 0xc4a05004);
+  size_t routed_to_dead = 0;
+  for (const Query& q : queries) {
+    routed_to_dead += fleet->RouteOf(q) == 0;
+  }
+  ASSERT_GT(routed_to_dead, 0u);
+
+  // Serial batch: the first query routed to group 0 burns its attempt
+  // budget tripping the breaker; everything after is served by group 1.
+  const auto results = fleet->AnswerBatch(queries, 1);
+  size_t failures = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      ++failures;
+      continue;
+    }
+    auto expect = reference.value()->Answer(queries[i]);
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(results[i].value()->bytes, expect.value().bytes)
+        << "cross-group spillover changed the wire bytes for query " << i;
+  }
+  EXPECT_LE(failures, 1u)
+      << "only the breaker-tripping query may fail; spillover masks the rest";
+
+  const ShardedStats stats = fleet->GetStats();
+  EXPECT_GE(stats.shards[0].breaker_opens, 1u);
+  EXPECT_EQ(stats.shards[0].breaker_state, BreakerState::kOpen);
+  EXPECT_GT(stats.shards[0].breaker_skips, 0u);
+  EXPECT_GE(stats.shards[1].cross_group_serves, routed_to_dead - 1)
+      << "group 1 must have absorbed group 0's traffic";
+  EXPECT_EQ(stats.shards[0].cross_group_serves, 0u);
+  const ShardStats sums = testing::ExpectShardStatsConserve(stats);
+  EXPECT_EQ(sums.queries, queries.size());
+}
+
 TEST(FailoverTest, AllReplicasDownIsAnExplicitUnavailable) {
   if (!FailPointsCompiledIn()) {
     GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
@@ -353,18 +422,14 @@ TEST(FailoverTest, ShardStatsConserveUnderConcurrentInjectedFailures) {
   EXPECT_EQ(observed_failures, expected_failures);
 
   const ShardedStats stats = fleet->GetStats();
-  uint64_t sum_queries = 0, sum_failures = 0;
   for (size_t i = 0; i < stats.shards.size(); ++i) {
-    sum_queries += stats.shards[i].queries;
-    sum_failures += stats.shards[i].failures;
     if (i != 2) {
       EXPECT_EQ(stats.shards[i].failures, 0u) << "shard " << i;
     }
   }
   // Totals == per-shard sums == what the batch actually returned; every
   // failed query is counted exactly once, on the shard that failed it.
-  EXPECT_EQ(stats.totals.queries, sum_queries);
-  EXPECT_EQ(stats.totals.failures, sum_failures);
+  testing::ExpectShardStatsConserve(stats);
   EXPECT_EQ(stats.totals.queries, queries.size());
   EXPECT_EQ(stats.totals.failures, observed_failures);
   EXPECT_EQ(stats.shards[2].failures, observed_failures);
@@ -566,13 +631,7 @@ void RunChaosCampaign(uint64_t seed) {
   // Fleet books: totals == per-shard sums == the readers' own counts
   // (+ the audit pass above, which answered each query once serially).
   const ShardedStats stats = fleet->GetStats();
-  uint64_t sum_queries = 0, sum_failures = 0;
-  for (const ShardStats& s : stats.shards) {
-    sum_queries += s.queries;
-    sum_failures += s.failures;
-  }
-  EXPECT_EQ(stats.totals.queries, sum_queries);
-  EXPECT_EQ(stats.totals.failures, sum_failures);
+  testing::ExpectShardStatsConserve(stats);
   const size_t audit_answers = queries.size();
   EXPECT_EQ(stats.totals.queries, total_answers + audit_answers);
   EXPECT_GE(stats.totals.failures, total_errors);

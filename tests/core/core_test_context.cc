@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include <gtest/gtest.h>
+
 #include "graph/generator.h"
 #include "util/rng.h"
 
@@ -52,6 +54,57 @@ const CoreTestContext& CoreTestContext::Get() {
                                std::move(queries).value()};
   }();
   return *context;
+}
+
+ShardStats ExpectShardStatsConserve(const ShardedStats& stats) {
+  ShardStats sum;
+  for (const ShardStats& s : stats.shards) {
+    sum.queries += s.queries;
+    sum.failures += s.failures;
+    sum.answer_micros += s.answer_micros;
+    sum.updates += s.updates;
+    sum.update_failures += s.update_failures;
+    sum.rotation_clone_bytes += s.rotation_clone_bytes;
+    sum.live_snapshots += s.live_snapshots;
+    sum.retries += s.retries;
+    sum.failovers += s.failovers;
+    sum.deadline_exceeded += s.deadline_exceeded;
+    sum.breaker_skips += s.breaker_skips;
+    sum.breaker_opens += s.breaker_opens;
+    sum.resyncs += s.resyncs;
+    sum.resync_failures += s.resync_failures;
+    sum.cross_group_serves += s.cross_group_serves;
+    sum.cache.hits += s.cache.hits;
+    sum.cache.misses += s.cache.misses;
+    sum.cache.insertions += s.cache.insertions;
+    sum.cache.evictions += s.cache.evictions;
+    sum.cache.cleared += s.cache.cleared;
+    sum.cache.hit_bytes += s.cache.hit_bytes;
+    sum.cache.entries += s.cache.entries;
+  }
+  EXPECT_EQ(stats.totals.queries, sum.queries);
+  EXPECT_EQ(stats.totals.failures, sum.failures);
+  EXPECT_EQ(stats.totals.answer_micros, sum.answer_micros);
+  EXPECT_EQ(stats.totals.updates, sum.updates);
+  EXPECT_EQ(stats.totals.update_failures, sum.update_failures);
+  EXPECT_EQ(stats.totals.rotation_clone_bytes, sum.rotation_clone_bytes);
+  EXPECT_EQ(stats.totals.live_snapshots, sum.live_snapshots);
+  EXPECT_EQ(stats.totals.retries, sum.retries);
+  EXPECT_EQ(stats.totals.failovers, sum.failovers);
+  EXPECT_EQ(stats.totals.deadline_exceeded, sum.deadline_exceeded);
+  EXPECT_EQ(stats.totals.breaker_skips, sum.breaker_skips);
+  EXPECT_EQ(stats.totals.breaker_opens, sum.breaker_opens);
+  EXPECT_EQ(stats.totals.resyncs, sum.resyncs);
+  EXPECT_EQ(stats.totals.resync_failures, sum.resync_failures);
+  EXPECT_EQ(stats.totals.cross_group_serves, sum.cross_group_serves);
+  EXPECT_EQ(stats.totals.cache.hits, sum.cache.hits);
+  EXPECT_EQ(stats.totals.cache.misses, sum.cache.misses);
+  EXPECT_EQ(stats.totals.cache.insertions, sum.cache.insertions);
+  EXPECT_EQ(stats.totals.cache.evictions, sum.cache.evictions);
+  EXPECT_EQ(stats.totals.cache.cleared, sum.cache.cleared);
+  EXPECT_EQ(stats.totals.cache.hit_bytes, sum.cache.hit_bytes);
+  EXPECT_EQ(stats.totals.cache.entries, sum.cache.entries);
+  return sum;
 }
 
 }  // namespace spauth::testing

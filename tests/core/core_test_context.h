@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "crypto/rsa.h"
 #include "graph/graph.h"
 #include "graph/workload.h"
@@ -26,6 +27,12 @@ struct CoreTestContext {
 
   static EngineOptions DefaultOptions(MethodKind kind);
 };
+
+/// Asserts the fleet's stats books conserve: every additive ShardedStats
+/// totals counter — serving, failover, heal and cache planes — equals its
+/// per-shard sum. Returns the recomputed sums so callers can assert
+/// workload-specific expectations against them without re-summing.
+ShardStats ExpectShardStatsConserve(const ShardedStats& stats);
 
 }  // namespace spauth::testing
 

@@ -1,0 +1,591 @@
+// Crash-recovery campaign over the durable state plane: seeded kill points
+// at every durability seam (WAL append, WAL fsync, checkpoint write,
+// snapshot publish) × recover-from-disk × byte-compare against a
+// never-crashed twin at the last durable version, plus a corruption
+// campaign (bit flips, truncation, stale-certificate rollback, WAL gaps)
+// proving verify-on-load never false-accepts damaged state.
+//
+// What must hold:
+//   - every kill point recovers to exactly the durable prefix — answers
+//     byte-identical to a twin that applied only the batches that reached
+//     the disk, never a torn or half-applied world;
+//   - CRC-level damage (flip, truncation) costs a fallback to an older
+//     snapshot plus WAL replay, never correctness;
+//   - damage that survives checksums — a rolled-back authentic snapshot,
+//     a tampered tuple with a patched CRC — is refused as kDataLoss by
+//     the authenticated verify-on-load, never served and never retried;
+//   - a replica frozen by a torn group rotation heals from its sibling's
+//     live snapshot without waiting for the next rotation, byte-
+//     transparently, and the heal books (resyncs/resync_failures)
+//     conserve.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core_test_context.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "core/snapshot_store.h"
+#include "core/wal.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+using testing::CoreTestContext;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "spauth_recovery_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+struct UndirectedEdge {
+  NodeId u, v;
+  double weight;
+};
+
+std::vector<UndirectedEdge> CollectEdges(const Graph& g) {
+  std::vector<UndirectedEdge> edges;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Edge& e : g.Neighbors(n)) {
+      if (n < e.to) {
+        edges.push_back({n, e.to, e.weight});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Deterministic batch i of 1–3 reweighted edges, same for every world
+/// built from the shared fixture graph.
+std::vector<EdgeWeightUpdate> MakeBatch(const std::vector<UndirectedEdge>& edges,
+                                        size_t i) {
+  Rng rng(0xd0c0 + i * 7919);
+  std::vector<EdgeWeightUpdate> batch;
+  const size_t count = 1 + rng.NextBounded(3);
+  for (size_t j = 0; j < count; ++j) {
+    const UndirectedEdge& e = edges[rng.NextBounded(edges.size())];
+    batch.push_back({e.u, e.v, e.weight * rng.NextDoubleIn(0.5, 2.0)});
+  }
+  return batch;
+}
+
+/// A durable world: one DIJ engine wired to a snapshot store (checkpointed
+/// once at build) and a WAL, living in its own scratch directory.
+struct World {
+  std::string dir;
+  std::string wal_path;
+  std::unique_ptr<SnapshotStore> store;
+  std::unique_ptr<Wal> wal;
+  std::unique_ptr<MethodEngine> engine;
+  uint32_t build_version = 0;
+};
+
+World MakeWorld(const std::string& name) {
+  const auto& ctx = CoreTestContext::Get();
+  World w;
+  w.dir = FreshDir(name);
+  w.wal_path = w.dir + "/updates.wal";
+  w.engine = ctx.MakeMethodEngine(MethodKind::kDij);
+  EXPECT_NE(w.engine, nullptr);
+  w.build_version = w.engine->certificate().params.version;
+  w.store = std::make_unique<SnapshotStore>(w.dir);
+  EXPECT_TRUE(w.store->Write(*w.engine).ok());
+  auto wal = Wal::Open(w.wal_path);
+  EXPECT_TRUE(wal.ok()) << wal.status().ToString();
+  w.wal = std::make_unique<Wal>(std::move(wal).value());
+  w.engine->AttachWal(w.wal.get());
+  return w;
+}
+
+/// "Crash" the world (drop the live engine and its WAL handle) and
+/// recover from disk alone.
+Result<RecoveryReport> CrashAndRecover(World& w) {
+  w.engine.reset();
+  w.wal.reset();
+  return RecoverDijEngine(*w.store, w.wal_path,
+                          CoreTestContext::DefaultOptions(MethodKind::kDij),
+                          CoreTestContext::Get().keys);
+}
+
+/// The recovered world must serve byte-for-byte what the never-crashed
+/// twin serves — the durability contract in one assertion.
+void ExpectByteTransparent(MethodEngine& recovered, MethodEngine& twin) {
+  for (const Query& q : CoreTestContext::Get().queries) {
+    auto a = recovered.Answer(q);
+    auto b = twin.Answer(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a.value().bytes, b.value().bytes)
+        << "recovery changed the wire bytes";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill points at every durability seam
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCampaignTest, EveryKillPointRecoversTheDurablePrefixByteForByte) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  struct Kill {
+    const char* point;
+    const char* scratch;   // world directory name
+    bool batch_durable;    // did the killed batch reach the log first?
+    bool torn_tail;        // does replay see a torn record?
+  };
+  const Kill kills[] = {
+      // Crash before the record is appended: the batch never happened.
+      {"wal/append", "kill_wal_append", false, false},
+      // Crash between write and flush: a torn tail record replay must
+      // detect and discard.
+      {"wal/fsync", "kill_wal_fsync", false, true},
+      // Crash after the append but before the in-memory publish: the
+      // batch is durable though it was never served; replay re-drives it
+      // and deterministic signing reproduces the identical certificate.
+      {"engine/publish", "kill_engine_publish", true, false},
+  };
+  for (const Kill& kill : kills) {
+    SCOPED_TRACE(kill.point);
+    World w = MakeWorld(kill.scratch);
+    ASSERT_NE(w.engine, nullptr);
+    auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+    ASSERT_NE(twin, nullptr);
+
+    // Three healthy batches reach both worlds.
+    for (size_t i = 0; i < 3; ++i) {
+      const auto batch = MakeBatch(edges, i);
+      ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+      ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    }
+
+    // The killed batch.
+    const auto doomed = MakeBatch(edges, 3);
+    FailPointRegistry::Global().ArmOneShot(kill.point);
+    auto failed = w.engine->ApplyEdgeWeightUpdates(ctx.keys, doomed);
+    FailPointRegistry::Global().Disarm(kill.point);
+    ASSERT_FALSE(failed.ok()) << kill.point << " did not fire";
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+    if (kill.batch_durable) {
+      // The twin is the durable truth: it applies what reached the disk.
+      ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, doomed).ok());
+    }
+
+    auto recovered = CrashAndRecover(w);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const RecoveryReport& report = recovered.value();
+    EXPECT_EQ(report.snapshot_version, w.build_version);
+    EXPECT_EQ(report.wal_torn_tail, kill.torn_tail);
+    EXPECT_EQ(report.wal_records_replayed, kill.batch_durable ? 4u : 3u);
+    EXPECT_EQ(report.wal_records_skipped, 0u);
+    EXPECT_EQ(report.recovered_version, twin->certificate().params.version)
+        << "recovery must land exactly on the durable version";
+    ExpectByteTransparent(*report.engine, *twin);
+  }
+}
+
+TEST(RecoveryCampaignTest, TornCheckpointLeavesOlderSnapshotPlusReplay) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("kill_snapshot_write");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  for (size_t i = 0; i < 3; ++i) {
+    const auto batch = MakeBatch(edges, i);
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+  }
+
+  // The checkpoint dies mid-write: a torn temp file, no rename, the store
+  // still lists only the build snapshot.
+  FailPointRegistry::Global().ArmOneShot("snapshot/write");
+  Status torn = w.store->Write(*w.engine);
+  FailPointRegistry::Global().Disarm("snapshot/write");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(w.store->ListVersions().size(), 1u)
+      << "a torn checkpoint must never appear under the real name";
+
+  // Recovery rides the old snapshot + full replay...
+  {
+    World crashed = MakeWorld("kill_snapshot_write_probe");
+    crashed.store = std::make_unique<SnapshotStore>(w.dir);
+    crashed.wal_path = w.wal_path;
+    crashed.engine.reset();
+    crashed.wal.reset();
+    auto recovered =
+        RecoverDijEngine(*crashed.store, crashed.wal_path,
+                         CoreTestContext::DefaultOptions(MethodKind::kDij),
+                         ctx.keys);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().snapshot_version, w.build_version);
+    EXPECT_EQ(recovered.value().wal_records_replayed, 3u);
+    ExpectByteTransparent(*recovered.value().engine, *twin);
+  }
+
+  // ...and once the fault clears, the retried checkpoint supersedes the
+  // log: recovery now loads it directly and skips every absorbed record.
+  ASSERT_TRUE(w.store->Write(*w.engine).ok());
+  ASSERT_EQ(w.store->ListVersions().size(), 2u);
+  auto recovered = CrashAndRecover(w);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_version,
+            twin->certificate().params.version);
+  EXPECT_EQ(recovered.value().wal_records_replayed, 0u);
+  EXPECT_EQ(recovered.value().wal_records_skipped, 3u);
+  ExpectByteTransparent(*recovered.value().engine, *twin);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption classes: CRC-level damage falls back, authenticated damage
+// refuses
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCampaignTest, FlippedAndTruncatedCheckpointsFallBackNotLie) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("corrupt_fallback");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  for (size_t i = 0; i < 2; ++i) {
+    const auto batch = MakeBatch(edges, i);
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+  }
+  ASSERT_TRUE(w.store->Write(*w.engine).ok());
+  const auto versions = w.store->ListVersions();
+  ASSERT_EQ(versions.size(), 2u);
+  const std::string newest = w.store->PathFor(versions[0]);
+
+  // Bit flip in the newest checkpoint: the CRC catches it, recovery falls
+  // back to the build snapshot and replays the whole log — correctness
+  // costs replay, never a wrong answer.
+  std::vector<uint8_t> pristine = ReadFileBytes(newest);
+  std::vector<uint8_t> flipped = pristine;
+  flipped[flipped.size() / 2] ^= 0x40;
+  WriteFileBytes(newest, flipped);
+  {
+    auto recovered =
+        RecoverDijEngine(*w.store, w.wal_path,
+                         CoreTestContext::DefaultOptions(MethodKind::kDij),
+                         ctx.keys);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().snapshot_version, w.build_version);
+    EXPECT_EQ(recovered.value().wal_records_replayed, 2u);
+    ExpectByteTransparent(*recovered.value().engine, *twin);
+  }
+
+  // Truncation: same fallback.
+  WriteFileBytes(newest, std::span<const uint8_t>(pristine.data(),
+                                                  pristine.size() / 3));
+  {
+    auto recovered =
+        RecoverDijEngine(*w.store, w.wal_path,
+                         CoreTestContext::DefaultOptions(MethodKind::kDij),
+                         ctx.keys);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().snapshot_version, w.build_version);
+    ExpectByteTransparent(*recovered.value().engine, *twin);
+  }
+
+  // Every candidate damaged: an explicit, non-retryable refusal — not a
+  // crash, not a silent serve of garbage.
+  const std::string oldest = w.store->PathFor(versions[1]);
+  std::vector<uint8_t> old_bytes = ReadFileBytes(oldest);
+  old_bytes[old_bytes.size() / 2] ^= 0x01;
+  WriteFileBytes(oldest, old_bytes);
+  auto refused = CrashAndRecover(w);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss)
+      << refused.status().ToString();
+  EXPECT_FALSE(IsRetryable(refused.status().code()))
+      << "data loss must never be retried into a failover storm";
+}
+
+TEST(RecoveryCampaignTest, CrcPatchedTamperingNeverFalseAccepts) {
+  const auto& ctx = CoreTestContext::Get();
+  World w = MakeWorld("tamper_sweep");
+  ASSERT_NE(w.engine, nullptr);
+  const auto versions = w.store->ListVersions();
+  ASSERT_EQ(versions.size(), 1u);
+  const std::vector<uint8_t> pristine =
+      ReadFileBytes(w.store->PathFor(versions[0]));
+  ASSERT_TRUE(DecodeAndVerifySnapshot(pristine, ctx.keys.public_key()).ok());
+
+  // File layout: magic u32, format u32, then one framed record (len u32,
+  // crc u32, payload). A tamper that re-computes the CRC slips past every
+  // checksum — only the authenticated verify-on-load stands between it
+  // and a serving engine. Sweep flips across the payload: certificate
+  // bytes break the signature, tuple bytes break the recomputed Merkle
+  // root, order bytes break the leaf mapping; none may decode OK.
+  constexpr size_t kHeader = 16;
+  ASSERT_GT(pristine.size(), kHeader + 64);
+  const size_t payload_size = pristine.size() - kHeader;
+  size_t refusals = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    std::vector<uint8_t> tampered = pristine;
+    const size_t offset = kHeader + (payload_size * i) / 64;
+    tampered[offset] ^= 0x10;
+    const uint32_t crc = Crc32(
+        std::span<const uint8_t>(tampered.data() + kHeader, payload_size));
+    tampered[12] = static_cast<uint8_t>(crc);
+    tampered[13] = static_cast<uint8_t>(crc >> 8);
+    tampered[14] = static_cast<uint8_t>(crc >> 16);
+    tampered[15] = static_cast<uint8_t>(crc >> 24);
+    auto decoded = DecodeAndVerifySnapshot(tampered, ctx.keys.public_key());
+    ASSERT_FALSE(decoded.ok())
+        << "flip at offset " << offset << " was silently accepted";
+    EXPECT_TRUE(decoded.status().code() == StatusCode::kDataLoss ||
+                decoded.status().code() == StatusCode::kCorruption)
+        << decoded.status().ToString();
+    refusals += decoded.status().code() == StatusCode::kDataLoss;
+  }
+  // At least the tuple region (the bulk of the payload) must be caught by
+  // the authenticated check, not by a structural accident.
+  EXPECT_GT(refusals, 0u) << "no flip exercised verify-on-load";
+}
+
+TEST(RecoveryCampaignTest, StaleCertificateRollbackIsRefusedAsDataLoss) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("stale_rollback");
+  ASSERT_NE(w.engine, nullptr);
+  const auto batch = MakeBatch(edges, 0);
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+  ASSERT_TRUE(w.store->Write(*w.engine).ok());
+  const auto versions = w.store->ListVersions();
+  ASSERT_EQ(versions.size(), 2u);
+
+  // The rollback attack: overwrite the newest checkpoint with the older
+  // one's bytes. CRC valid, signature valid, Merkle root valid — only the
+  // file-name/certificate version cross-check catches that the store was
+  // rolled back, and it must refuse immediately rather than fall back.
+  const std::vector<uint8_t> stale = ReadFileBytes(w.store->PathFor(versions[1]));
+  WriteFileBytes(w.store->PathFor(versions[0]), stale);
+  auto refused = CrashAndRecover(w);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss)
+      << refused.status().ToString();
+  EXPECT_FALSE(IsRetryable(refused.status().code()));
+}
+
+TEST(RecoveryCampaignTest, WalGapIsDataLossWalFlipKeepsTheValidPrefix) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("wal_damage");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  const auto first = MakeBatch(edges, 0);
+  const auto second = MakeBatch(edges, 1);
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, first).ok());
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, second).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, first).ok());
+  const std::vector<uint8_t> log = ReadFileBytes(w.wal_path);
+
+  // Flip a byte inside the second record: replay keeps the valid prefix
+  // and recovery lands on exactly batch one.
+  WalRecord probe;
+  probe.base_version = 0;
+  probe.updates.assign(first.begin(), first.end());
+  ByteWriter probe_payload;
+  probe.Serialize(&probe_payload);
+  const size_t first_frame = FramedRecordSize(probe_payload.view().size());
+  ASSERT_GT(log.size(), first_frame + 12);
+  std::vector<uint8_t> flipped = log;
+  flipped[first_frame + 10] ^= 0x08;
+  WriteFileBytes(w.wal_path, flipped);
+  {
+    auto recovered =
+        RecoverDijEngine(*w.store, w.wal_path,
+                         CoreTestContext::DefaultOptions(MethodKind::kDij),
+                         ctx.keys);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered.value().wal_torn_tail);
+    EXPECT_EQ(recovered.value().wal_records_replayed, 1u);
+    EXPECT_EQ(recovered.value().recovered_version,
+              twin->certificate().params.version);
+    ExpectByteTransparent(*recovered.value().engine, *twin);
+  }
+
+  // Drop the first record entirely: the log now starts past the snapshot
+  // — a gap no replay can bridge, refused as data loss.
+  WriteFileBytes(w.wal_path,
+                 std::span<const uint8_t>(log.data() + first_frame,
+                                          log.size() - first_frame));
+  auto refused = CrashAndRecover(w);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss)
+      << refused.status().ToString();
+  EXPECT_FALSE(IsRetryable(refused.status().code()));
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side replica heal: a torn group rotation self-repairs from a
+// sibling without waiting for the next rotation
+// ---------------------------------------------------------------------------
+
+class ReplicaHealTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FailPointsCompiledIn()) {
+      GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+    }
+    const auto& ctx = CoreTestContext::Get();
+    FailoverOptions failover;
+    failover.replicas_per_group = 2;
+    EngineOptions options = CoreTestContext::DefaultOptions(MethodKind::kDij);
+    auto fleet = ShardedEngine::BuildReplicated(ctx.graph, options,
+                                                /*num_groups=*/1, ctx.keys,
+                                                failover);
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    fleet_ = std::move(fleet).value();
+    edges_ = CollectEdges(ctx.graph);
+  }
+
+  /// Tears one rotation: replica 0 publishes the new version, replica 1's
+  /// publish faults, leaving it one version behind its sibling.
+  void TearRotation() {
+    const auto& ctx = CoreTestContext::Get();
+    const auto batch = MakeBatch(edges_, 0);
+    FailPointRegistry::Global().ArmOneShot("engine/publish", /*after=*/1);
+    auto torn = fleet_->ApplyEdgeWeightUpdates(0, ctx.keys, batch);
+    FailPointRegistry::Global().Disarm("engine/publish");
+    ASSERT_FALSE(torn.ok()) << "the publish fault did not fire";
+    // One rotation signs version + batch-size, so the laggard trails by
+    // exactly the torn batch.
+    ASSERT_EQ(Version(0), Version(1) + batch.size())
+        << "replica 1 must be exactly one torn rotation behind";
+  }
+
+  uint32_t Version(size_t engine) const {
+    return fleet_->shard(engine).certificate().params.version;
+  }
+
+  void ExpectReplicasByteTransparent() {
+    for (const Query& q : CoreTestContext::Get().queries) {
+      auto a = fleet_->shard(0).Answer(q);
+      auto b = fleet_->shard(1).Answer(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a.value().bytes, b.value().bytes);
+    }
+  }
+
+  std::unique_ptr<ShardedEngine> fleet_;
+  std::vector<UndirectedEdge> edges_;
+};
+
+TEST_F(ReplicaHealTest, FrozenReplicaHealsFromSiblingWithoutARotation) {
+  TearRotation();
+  const uint32_t target = Version(0);
+
+  auto healed = fleet_->HealGroup(0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed.value(), 1u);
+  EXPECT_EQ(Version(1), target) << "the laggard must adopt the sibling's version";
+  ExpectReplicasByteTransparent();
+
+  const ShardedStats stats = fleet_->GetStats();
+  EXPECT_EQ(stats.shards[1].resyncs, 1u);
+  EXPECT_EQ(stats.shards[0].resyncs, 0u);
+  EXPECT_EQ(stats.totals.resyncs, 1u);
+  EXPECT_EQ(stats.totals.resync_failures, 0u);
+  testing::ExpectShardStatsConserve(stats);
+
+  // Idempotent: a lock-step group has nothing to heal.
+  auto again = fleet_->Heal();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+  EXPECT_EQ(fleet_->GetStats().totals.resyncs, 1u);
+}
+
+TEST_F(ReplicaHealTest, NextRotationAutoHealsBeforeApplying) {
+  TearRotation();
+  const auto& ctx = CoreTestContext::Get();
+
+  // The very next rotation first converges the group, then applies — both
+  // replicas land on one version signing one world.
+  const auto batch = MakeBatch(edges_, 1);
+  auto applied = fleet_->ApplyEdgeWeightUpdates(0, ctx.keys, batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(Version(0), applied.value());
+  EXPECT_EQ(Version(1), applied.value());
+  ExpectReplicasByteTransparent();
+  EXPECT_EQ(fleet_->GetStats().totals.resyncs, 1u);
+}
+
+TEST_F(ReplicaHealTest, ResyncFaultAbortsHealAndRotationRetryably) {
+  TearRotation();
+  const auto& ctx = CoreTestContext::Get();
+  const uint32_t lagging = Version(1);
+  const uint32_t ahead = Version(0);
+
+  FailPointSpec spec;
+  spec.mode = FailPointMode::kProbability;
+  spec.probability = 1.0;
+  spec.has_match_arg = true;
+  spec.match_arg = 1;  // engine index of the laggard
+  {
+    ScopedFailPoint resync_down("replica/resync", spec);
+    auto healed = fleet_->HealGroup(0);
+    ASSERT_FALSE(healed.ok());
+    EXPECT_EQ(healed.status().code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(IsRetryable(healed.status().code()));
+    EXPECT_EQ(Version(1), lagging) << "a failed heal must not move the replica";
+
+    // The rotation aborts on the failed pre-heal instead of compounding
+    // the divergence.
+    auto applied =
+        fleet_->ApplyEdgeWeightUpdates(0, ctx.keys, MakeBatch(edges_, 1));
+    ASSERT_FALSE(applied.ok());
+    EXPECT_EQ(applied.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(Version(0), ahead);
+    EXPECT_EQ(Version(1), lagging);
+  }
+  EXPECT_EQ(fleet_->GetStats().totals.resync_failures, 2u);
+
+  // Fault cleared: the retry heals and the group converges.
+  auto healed = fleet_->HealGroup(0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed.value(), 1u);
+  EXPECT_EQ(Version(1), Version(0));
+  ExpectReplicasByteTransparent();
+  const ShardedStats stats = fleet_->GetStats();
+  EXPECT_EQ(stats.totals.resyncs, 1u);
+  EXPECT_EQ(stats.totals.resync_failures, 2u);
+  testing::ExpectShardStatsConserve(stats);
+}
+
+}  // namespace
+}  // namespace spauth

@@ -130,6 +130,84 @@ TEST(ShardHealthTest, ProbeFailureReopensAndRestartsCooldown) {
   EXPECT_FALSE(health.AllowRequest()) << "cooldown restarted";
 }
 
+TEST(ShardHealthTest, BudgetExhaustedHalfOpenStaysDeniedUntilOutcomesClose) {
+  // Once the probe budget is spent, further traffic stays denied while
+  // outcomes are pending — even a first probe success must not unlock
+  // more probes. Only the closing success re-admits traffic.
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 3; ++i) {
+    health.AllowRequest();  // burn the cooldown
+  }
+  ASSERT_TRUE(health.AllowRequest());   // probe 1
+  ASSERT_TRUE(health.AllowRequest());   // probe 2: budget spent
+  ASSERT_FALSE(health.AllowRequest());
+  health.RecordSuccess();  // probe 1 came back good...
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(health.AllowRequest())
+      << "one good probe below the closing threshold must not re-admit";
+  health.RecordSuccess();  // ...probe 2 closes
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_TRUE(health.AllowRequest());
+}
+
+TEST(ShardHealthTest, StaleOutcomesWhileOpenAreIgnored) {
+  // Requests in flight when the breaker trips report after the trip;
+  // their outcomes must not advance the cooldown, re-trip the breaker or
+  // leak into the post-recovery window.
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  ASSERT_EQ(health.state(), BreakerState::kOpen);
+  for (int i = 0; i < 10; ++i) {
+    health.RecordFailure();
+    health.RecordSuccess();
+  }
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.opens(), 1u) << "stale failures must not re-trip";
+  EXPECT_EQ(health.failure_fraction(), 0.0)
+      << "stale outcomes must not pollute the window";
+  // The cooldown schedule is untouched: still three denials then a probe.
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_FALSE(health.AllowRequest());
+  EXPECT_TRUE(health.AllowRequest());
+}
+
+TEST(ShardHealthTest, ReopenedBreakerRunsAFullSecondCycleToClose) {
+  // After a failed probe the breaker must serve a complete second
+  // cooldown and a complete second probe run — no shortcut from the
+  // aborted first recovery.
+  ShardHealth health(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    health.RecordFailure();
+  }
+  for (int i = 0; i < 4; ++i) {
+    health.AllowRequest();
+  }
+  ASSERT_EQ(health.state(), BreakerState::kHalfOpen);
+  health.RecordSuccess();
+  health.RecordFailure();  // reopen
+  ASSERT_EQ(health.state(), BreakerState::kOpen);
+  ASSERT_EQ(health.opens(), 2u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(health.AllowRequest()) << "full cooldown tick " << i;
+  }
+  EXPECT_TRUE(health.AllowRequest());  // probe 1 of cycle 2
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen);
+  health.RecordSuccess();
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen)
+      << "the earlier cycle's good probe must not count toward closing";
+  EXPECT_TRUE(health.AllowRequest());  // probe 2 of cycle 2
+  health.RecordSuccess();
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.failure_fraction(), 0.0);
+  EXPECT_EQ(health.opens(), 2u);
+}
+
 TEST(ShardHealthTest, BreakerStateToStringCoversAllStates) {
   EXPECT_STREQ(ToString(BreakerState::kClosed), "closed");
   EXPECT_STREQ(ToString(BreakerState::kOpen), "open");

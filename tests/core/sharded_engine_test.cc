@@ -182,6 +182,7 @@ TEST_P(ShardedEngineMethodTest, PerShardCachesStayIsolated) {
   EXPECT_EQ(stats.totals.cache.misses, distinct.size());
   EXPECT_EQ(stats.totals.queries, 2 * ctx.queries.size());
   EXPECT_EQ(stats.totals.failures, 0u);
+  testing::ExpectShardStatsConserve(stats);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,109 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spauth {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard IEEE CRC32 check values.
+  EXPECT_EQ(Crc32({}), 0x00000000u);
+  EXPECT_EQ(Crc32(Bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::vector<uint8_t> data = Bytes("incremental crc update");
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, std::span(data).subspan(0, 7));
+  state = Crc32Update(state, std::span(data).subspan(7));
+  EXPECT_EQ(Crc32Finish(state), Crc32(data));
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::vector<uint8_t> data = Bytes("authenticated snapshot payload");
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data), clean) << "bit flip at byte " << i << " undetected";
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(FramedRecordTest, RoundTripsMultipleRecords) {
+  std::vector<uint8_t> stream;
+  AppendFramedRecord(Bytes("first"), &stream);
+  AppendFramedRecord({}, &stream);  // empty payloads are legal records
+  AppendFramedRecord(Bytes("third record"), &stream);
+  EXPECT_EQ(stream.size(), FramedRecordSize(5) + FramedRecordSize(0) +
+                               FramedRecordSize(12));
+
+  ByteReader reader{std::span<const uint8_t>(stream)};
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(ReadFramedRecord(&reader, &payload).ok());
+  EXPECT_EQ(payload, Bytes("first"));
+  ASSERT_TRUE(ReadFramedRecord(&reader, &payload).ok());
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(ReadFramedRecord(&reader, &payload).ok());
+  EXPECT_EQ(payload, Bytes("third record"));
+
+  // A clean end-of-stream is kOutOfRange, not corruption.
+  EXPECT_EQ(ReadFramedRecord(&reader, &payload).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FramedRecordTest, DetectsTruncatedHeader) {
+  std::vector<uint8_t> stream;
+  AppendFramedRecord(Bytes("payload"), &stream);
+  stream.resize(3);  // less than one u32: torn mid-header
+  ByteReader reader{std::span<const uint8_t>(stream)};
+  std::vector<uint8_t> payload;
+  EXPECT_EQ(ReadFramedRecord(&reader, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FramedRecordTest, DetectsTruncatedPayload) {
+  std::vector<uint8_t> stream;
+  AppendFramedRecord(Bytes("payload"), &stream);
+  stream.pop_back();  // torn mid-payload: header promises more than exists
+  ByteReader reader{std::span<const uint8_t>(stream)};
+  std::vector<uint8_t> payload;
+  EXPECT_EQ(ReadFramedRecord(&reader, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FramedRecordTest, DetectsBitFlipInPayload) {
+  std::vector<uint8_t> stream;
+  AppendFramedRecord(Bytes("payload"), &stream);
+  stream.back() ^= 0x40;
+  ByteReader reader{std::span<const uint8_t>(stream)};
+  std::vector<uint8_t> payload;
+  EXPECT_EQ(ReadFramedRecord(&reader, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FramedRecordTest, ValidPrefixSurvivesTornTail) {
+  // The WAL replay contract: records before a torn tail stay readable.
+  std::vector<uint8_t> stream;
+  AppendFramedRecord(Bytes("durable"), &stream);
+  const size_t clean_size = stream.size();
+  AppendFramedRecord(Bytes("torn away"), &stream);
+  stream.resize(clean_size + 6);  // second record torn mid-payload
+
+  ByteReader reader{std::span<const uint8_t>(stream)};
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(ReadFramedRecord(&reader, &payload).ok());
+  EXPECT_EQ(payload, Bytes("durable"));
+  EXPECT_EQ(ReadFramedRecord(&reader, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace spauth

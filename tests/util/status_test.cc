@@ -32,6 +32,8 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
 }
 
 TEST(StatusTest, RetryableCodesRoundTripThroughToString) {
@@ -52,10 +54,23 @@ TEST(StatusTest, IsRetryableCoversExactlyTheTransientCodes) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kFailedPrecondition, StatusCode::kVerificationFailed,
-        StatusCode::kOutOfRange, StatusCode::kMalformed,
-        StatusCode::kInternal}) {
+        StatusCode::kOutOfRange, StatusCode::kMalformed, StatusCode::kInternal,
+        StatusCode::kDataLoss, StatusCode::kCorruption}) {
     EXPECT_FALSE(IsRetryable(code)) << StatusCodeToString(code);
   }
+}
+
+// Corruption of durable state must never be fed back into the failover
+// retry loop: a second read of bad bytes cannot succeed, and retrying it
+// across replicas would amplify one bad disk into a failover storm.
+TEST(StatusTest, DurabilityCodesAreNotRetryable) {
+  EXPECT_FALSE(IsRetryable(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetryable(StatusCode::kCorruption));
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "CORRUPTION");
+  EXPECT_EQ(Status::DataLoss("root mismatch").ToString(),
+            "DATA_LOSS: root mismatch");
+  EXPECT_EQ(Status::Corruption("bad crc").ToString(), "CORRUPTION: bad crc");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
