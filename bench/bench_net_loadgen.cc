@@ -1,0 +1,255 @@
+// bench_net_loadgen — open-loop load generator for a running spauth_server.
+//
+//   bench_net_loadgen --port P [--host H] --rate 500 --duration-s 10 \
+//                     --connections 4 [--key-seed 7] [--key-bits 512]
+//
+// Open loop: each of C connection threads draws arrivals from a fixed
+// schedule (aggregate --rate split evenly) and measures latency from the
+// SCHEDULED arrival time to verified completion — so when the server slows
+// down, queueing delay lands in the tail percentiles instead of silently
+// throttling the offered load (the closed-loop fallacy). A query whose
+// exchange fails (connection killed by fault injection, timeout) counts
+// against availability and the client reconnects for the next arrival.
+//
+// Every accepted answer is sanity-checked (path endpoints match the query,
+// distance finite and positive on a non-trivial path); a violation counts
+// as a false accept. With verification doing its job this is 0 under ANY
+// fault schedule — the CI net job asserts exactly that while killing
+// connections at random.
+//
+// Output: one JSON line —
+//   {"bench": "net_loadgen", "scheduled": N, "accepted": ...,
+//    "rejected": ..., "errors": ..., "false_accepts": 0,
+//    "reconnects": ..., "availability": 0.997,
+//    "p50_us": ..., "p99_us": ..., "p999_us": ..., "max_us": ...}
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "util/rng.h"
+
+using namespace spauth;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stol(it->second);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[token.substr(2)] = argv[++i];
+    }
+  }
+  return args;
+}
+
+struct WorkerResult {
+  std::vector<uint64_t> latencies_us;
+  uint64_t scheduled = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  uint64_t false_accepts = 0;
+  uint64_t reconnects = 0;
+};
+
+/// The ground-truth-free acceptance sanity check: structural facts any
+/// honestly verified answer must satisfy.
+bool SaneAccept(const Query& query, const WireVerification& v) {
+  if (!v.path.empty() &&
+      (v.path.source() != query.source || v.path.target() != query.target)) {
+    return false;
+  }
+  if (!std::isfinite(v.distance) || v.distance < 0) {
+    return false;
+  }
+  if (v.path.num_hops() > 0 && v.distance <= 0) {
+    return false;
+  }
+  return true;
+}
+
+uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.flags.find("port") == args.flags.end()) {
+    std::fprintf(stderr,
+                 "usage: bench_net_loadgen --port P [--host H] [--rate QPS] "
+                 "[--duration-s T] [--connections C] [--key-seed S] "
+                 "[--key-bits B] [--seed S]\n");
+    return 2;
+  }
+
+  Rng key_rng(static_cast<uint64_t>(args.GetInt("key-seed", 7)));
+  auto keys = RsaKeyPair::Generate(
+      static_cast<int>(args.GetInt("key-bits", 512)), &key_rng);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  const RsaPublicKey owner_key = keys.value().public_key();
+
+  const std::string host = args.Get("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(args.GetInt("port", 0));
+  const double rate = args.GetDouble("rate", 200.0);
+  const double duration_s = args.GetDouble("duration-s", 5.0);
+  const size_t connections =
+      std::max<long>(1, args.GetInt("connections", 4));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+
+  // One probe connection fetches the deployment shape (node count for the
+  // query distribution) before load starts.
+  uint32_t num_nodes = 0;
+  {
+    NetClientOptions probe_options;
+    probe_options.host = host;
+    probe_options.port = port;
+    probe_options.connect_attempts = 10;
+    NetClient probe(owner_key, probe_options);
+    Status s = probe.Connect();
+    if (!s.ok()) {
+      std::fprintf(stderr, "probe connect: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    num_nodes = probe.server_info().num_nodes;
+  }
+  if (num_nodes == 0) {
+    std::fprintf(stderr, "server reports zero nodes\n");
+    return 1;
+  }
+
+  const double per_conn_rate = rate / static_cast<double>(connections);
+  const uint64_t per_conn_total = static_cast<uint64_t>(
+      std::max(1.0, per_conn_rate * duration_s));
+  const std::chrono::nanoseconds interval(
+      static_cast<int64_t>(1e9 / per_conn_rate));
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c]() {
+      WorkerResult& out = results[c];
+      out.latencies_us.reserve(per_conn_total);
+      NetClientOptions options;
+      options.host = host;
+      options.port = port;
+      options.connect_attempts = 2;  // fail fast, re-try on next arrival
+      options.backoff_base_us = 5'000;
+      NetClient client(owner_key, options);
+      Rng rng(seed + 0x9e3779b97f4a7c15ull * (c + 1));
+      // Stagger connection start phases so C workers do not fire in sync.
+      const auto phase = interval * static_cast<int64_t>(c) /
+                         static_cast<int64_t>(connections);
+      for (uint64_t k = 0; k < per_conn_total; ++k) {
+        const auto scheduled = start + phase + interval * static_cast<int64_t>(k);
+        std::this_thread::sleep_until(scheduled);  // past-due: fire now
+        Query query;
+        query.source = static_cast<NodeId>(rng.NextU64() % num_nodes);
+        do {
+          query.target = static_cast<NodeId>(rng.NextU64() % num_nodes);
+        } while (query.target == query.source);  // s==t is InvalidArgument
+        out.scheduled++;
+        auto r = client.Query(query);
+        const auto done = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          out.errors++;
+          continue;
+        }
+        if (!r.value().outcome.accepted) {
+          out.rejected++;
+          continue;
+        }
+        if (!SaneAccept(query, r.value())) {
+          out.false_accepts++;
+          continue;
+        }
+        out.accepted++;
+        out.latencies_us.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(done -
+                                                                  scheduled)
+                .count()));
+      }
+      out.reconnects = client.stats().reconnects;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  WorkerResult total;
+  std::vector<uint64_t> latencies;
+  for (const WorkerResult& r : results) {
+    total.scheduled += r.scheduled;
+    total.accepted += r.accepted;
+    total.rejected += r.rejected;
+    total.errors += r.errors;
+    total.false_accepts += r.false_accepts;
+    total.reconnects += r.reconnects;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double availability =
+      total.scheduled == 0
+          ? 0.0
+          : static_cast<double>(total.accepted) /
+                static_cast<double>(total.scheduled);
+
+  std::printf(
+      "{\"bench\": \"net_loadgen\", \"connections\": %zu, \"rate\": %.1f, "
+      "\"duration_s\": %.1f, \"scheduled\": %llu, \"accepted\": %llu, "
+      "\"rejected\": %llu, \"errors\": %llu, \"false_accepts\": %llu, "
+      "\"reconnects\": %llu, \"availability\": %.4f, \"p50_us\": %llu, "
+      "\"p99_us\": %llu, \"p999_us\": %llu, \"max_us\": %llu}\n",
+      connections, rate, duration_s,
+      static_cast<unsigned long long>(total.scheduled),
+      static_cast<unsigned long long>(total.accepted),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.false_accepts),
+      static_cast<unsigned long long>(total.reconnects), availability,
+      static_cast<unsigned long long>(Percentile(latencies, 0.50)),
+      static_cast<unsigned long long>(Percentile(latencies, 0.99)),
+      static_cast<unsigned long long>(Percentile(latencies, 0.999)),
+      static_cast<unsigned long long>(
+          latencies.empty() ? 0 : latencies.back()));
+  return total.false_accepts == 0 ? 0 : 1;
+}

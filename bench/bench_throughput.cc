@@ -1234,13 +1234,16 @@ int RunRecover(const Config& config) {
   const bool kill_is_durable = kill == "engine/publish";
   size_t rotations = 0;
   size_t checkpoints = 1;  // the build-version checkpoint above
+  size_t wal_truncations = 0;
   for (size_t b = 0; b < num_batches; ++b) {
     const size_t begin = b * batch_size;
     const size_t end = std::min(updates.size(), begin + batch_size);
     const std::span<const EdgeWeightUpdate> batch(updates.data() + begin,
                                                   end - begin);
     const bool last = b + 1 == num_batches;
-    if (last && kill != "none") {
+    // wal/reset is a checkpoint seam, not an update seam: it fires inside
+    // the mid-stream checkpoint below, and every batch applies cleanly.
+    if (last && kill != "none" && kill != "wal/reset") {
       FailPointRegistry::Global().ArmOneShot(kill);
       auto doomed = engine->ApplyEdgeWeightUpdates(OwnerKeys(), batch);
       FailPointRegistry::Global().Disarm(kill);
@@ -1265,15 +1268,37 @@ int RunRecover(const Config& config) {
       return 1;
     }
     ++rotations;
-    // Mid-stream checkpoint: recovery must skip the WAL prefix this
-    // snapshot absorbed (the JSON's wal_records_skipped proves it did).
+    // Mid-stream checkpoint: the snapshot absorbs the WAL prefix and the
+    // paired truncate resets the log, so recovery replays only the tail
+    // written after this point (wal_records_skipped stays 0 — the skip
+    // path now only fires when a crash lands between publish and
+    // truncate, see the wal/reset kill point).
     if (b + 1 == num_batches / 2) {
-      if (Status s = store.Write(*engine); !s.ok()) {
+      const bool kill_truncate = kill == "wal/reset";
+      if (kill_truncate) {
+        FailPointRegistry::Global().ArmOneShot(kill);
+      }
+      const Status s = store.Checkpoint(*engine, wal.get());
+      if (kill_truncate) {
+        FailPointRegistry::Global().Disarm(kill);
+        if (s.ok() || !IsRetryable(s.code())) {
+          std::fprintf(stderr,
+                       "recover: kill at wal/reset did not surface as a "
+                       "retryable error (%s)\n",
+                       s.ok() ? "ok" : s.ToString().c_str());
+          return 1;
+        }
+        // The publish half survived the crash; only the truncate is lost,
+        // so recovery must skip the absorbed prefix of the stale log.
+        ++checkpoints;
+      } else if (!s.ok()) {
         std::fprintf(stderr, "mid-stream checkpoint failed: %s\n",
                      s.ToString().c_str());
         return 1;
+      } else {
+        ++checkpoints;
+        ++wal_truncations;
       }
-      ++checkpoints;
     }
   }
   const uint32_t durable_version = twin->certificate().params.version;
@@ -1414,6 +1439,7 @@ int RunRecover(const Config& config) {
   std::printf("    \"batch\": %zu,\n", batch_size);
   std::printf("    \"rotations_before_crash\": %zu,\n", rotations);
   std::printf("    \"checkpoints\": %zu,\n", checkpoints);
+  std::printf("    \"wal_truncations\": %zu,\n", wal_truncations);
   std::printf("    \"durable_version\": %u,\n", durable_version);
   std::printf("    \"snapshot_version\": %u,\n", report.snapshot_version);
   std::printf("    \"recovered_version\": %u,\n", report.recovered_version);
@@ -1529,10 +1555,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--kill") == 0) {
       config.kill = next();
       if (config.kill != "engine/publish" && config.kill != "wal/append" &&
-          config.kill != "wal/fsync" && config.kill != "none") {
+          config.kill != "wal/fsync" && config.kill != "wal/reset" &&
+          config.kill != "none") {
         std::fprintf(stderr,
-                     "--kill needs engine/publish, wal/append, wal/fsync "
-                     "or none\n");
+                     "--kill needs engine/publish, wal/append, wal/fsync, "
+                     "wal/reset or none\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--recover-dir") == 0) {

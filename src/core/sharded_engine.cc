@@ -161,7 +161,11 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
         static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6) >=
             failover_.deadline_us) {
       result = Status::DeadlineExceeded("per-query deadline budget exhausted");
-      counters_[last_engine].deadline_exceeded.fetch_add(
+      // Book the deadline hit against the routed group's preferred replica:
+      // last_engine may be a spill target in another group (or, on an
+      // attempt-0 expiry, a replica that never served an attempt), and
+      // charging the budget miss there skews the foreign group's counters.
+      counters_[base + preferred].deadline_exceeded.fetch_add(
           1, std::memory_order_relaxed);
       break;
     }
@@ -221,7 +225,15 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
           failover_.jitter_seed ^
           ((static_cast<uint64_t>(query.source) << 32) | query.target) ^
           (attempt * 0x9e3779b97f4a7c15ull)));
-      double sleep_us = backoff_us * (1.0 + 0.5 * jitter.NextDouble());
+      // Every sleep is capped at max_backoff_us BEFORE the integral cast:
+      // with deadline_us == 0 nothing else bounds backoff_us, and a large
+      // multiplier would push it past what uint64_t can represent — the
+      // cast of such a double is undefined behavior, not saturation.
+      const double cap_us = static_cast<double>(
+          failover_.max_backoff_us > 0 ? failover_.max_backoff_us
+                                       : uint64_t{1'000'000});
+      double sleep_us =
+          std::min(backoff_us * (1.0 + 0.5 * jitter.NextDouble()), cap_us);
       if (failover_.deadline_us > 0) {
         const double remaining_us =
             static_cast<double>(failover_.deadline_us) -
@@ -232,7 +244,9 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
         std::this_thread::sleep_for(
             std::chrono::microseconds(static_cast<uint64_t>(sleep_us)));
       }
-      backoff_us *= failover_.backoff_multiplier;
+      // Clamp the growth too, so backoff_us itself cannot reach +inf and
+      // poison the next round's arithmetic.
+      backoff_us = std::min(backoff_us * failover_.backoff_multiplier, cap_us);
     }
   }
   Counters& counters = counters_[last_engine];

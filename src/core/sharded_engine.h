@@ -95,6 +95,11 @@ struct FailoverOptions {
   /// attempt) — replayable, never wall-clock or random_device.
   uint64_t backoff_base_us = 0;
   double backoff_multiplier = 2.0;
+  /// Hard ceiling on any single backoff sleep. Without it, deadline_us == 0
+  /// plus a large multiplier grows backoff_us without bound and the cast to
+  /// the sleep's integral microseconds overflows (UB). Clamping the growth
+  /// keeps unbounded-deadline retry loops sane; 0 is normalized to 1s.
+  uint64_t max_backoff_us = 1'000'000;
   /// Per-query wall budget across ALL attempts and backoffs; 0 = none.
   /// Queries that exhaust it return kDeadlineExceeded.
   uint64_t deadline_us = 0;
@@ -127,7 +132,10 @@ struct ShardStats {
   // failovers / breaker_skips accrue on the engines involved.
   uint64_t retries = 0;            // extra attempts after a retryable error
   uint64_t failovers = 0;          // queries served OK on a non-first attempt
-  uint64_t deadline_exceeded = 0;  // queries that ran out of budget here
+  // Queries that ran out of budget. Booked on the routed group's preferred
+  // replica — the engine the query belongs to — never on a spill-target
+  // engine in another group (which may not even have attempted it).
+  uint64_t deadline_exceeded = 0;
   uint64_t breaker_skips = 0;      // attempts denied by this engine's breaker
   uint64_t breaker_opens = 0;      // times this engine's breaker tripped
   BreakerState breaker_state = BreakerState::kClosed;  // not meaningful in totals

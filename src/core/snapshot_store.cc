@@ -262,6 +262,63 @@ Status SnapshotStore::Write(const MethodEngine& engine) {
   return Status::Ok();
 }
 
+Status SnapshotStore::Checkpoint(const MethodEngine& engine, Wal* wal) {
+  SPAUTH_RETURN_IF_ERROR(Write(engine));
+  if (wal != nullptr) {
+    // Only after the rename is durable: every logged record is now covered
+    // by the snapshot, so an empty log recovers to the same state.
+    SPAUTH_RETURN_IF_ERROR(wal->Reset());
+  }
+  return Status::Ok();
+}
+
+Result<GcReport> SnapshotStore::GarbageCollect(
+    size_t keep_last_n, const RsaPublicKey& owner_key) const {
+  if (keep_last_n == 0) {
+    return Status::InvalidArgument("gc must keep at least 1 snapshot");
+  }
+  const std::vector<uint32_t> versions = ListVersions();  // newest first
+  GcReport report;
+  if (versions.empty()) {
+    return report;
+  }
+  // Find the newest snapshot that passes full authenticated verification:
+  // that file is the floor a concurrent LoadNewest can always fall back
+  // to, so it must survive every sweep. Deleting anything while NO file
+  // verifies would only destroy forensic evidence.
+  bool found_verified = false;
+  for (uint32_t version : versions) {
+    std::ifstream in(PathFor(version), std::ios::binary);
+    if (!in) {
+      continue;
+    }
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (DecodeAndVerifySnapshot(bytes, owner_key).ok()) {
+      report.protected_version = version;
+      found_verified = true;
+      break;
+    }
+  }
+  if (!found_verified) {
+    report.kept = versions.size();
+    return report;
+  }
+  for (size_t i = 0; i < versions.size(); ++i) {
+    if (i < keep_last_n || versions[i] == report.protected_version) {
+      ++report.kept;
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::remove(PathFor(versions[i]), ec) && !ec) {
+      ++report.removed;
+    } else {
+      ++report.kept;  // already gone or undeletable: nothing lost either way
+    }
+  }
+  return report;
+}
+
 Result<RecoveredState> SnapshotStore::LoadNewest(
     const RsaPublicKey& owner_key) const {
   const std::vector<uint32_t> versions = ListVersions();

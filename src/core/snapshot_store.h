@@ -60,6 +60,15 @@ std::vector<uint8_t> EncodeSnapshotFile(const DijAds& ads);
 Result<RecoveredState> DecodeAndVerifySnapshot(
     std::span<const uint8_t> file_bytes, const RsaPublicKey& owner_key);
 
+class Wal;
+
+/// How a GarbageCollect pass went: what it kept and what it deleted.
+struct GcReport {
+  size_t removed = 0;            // snapshot files deleted
+  size_t kept = 0;               // snapshot files surviving the pass
+  uint32_t protected_version = 0;  // newest *verified* snapshot (always kept)
+};
+
 /// A directory of versioned snapshot files (snapshot-<version>.spsnap).
 class SnapshotStore {
  public:
@@ -79,6 +88,25 @@ class SnapshotStore {
   /// kNotFound when the store has no snapshots at all. Fail point
   /// "snapshot/load" makes a candidate unreadable (arg = its version).
   Result<RecoveredState> LoadNewest(const RsaPublicKey& owner_key) const;
+
+  /// Write + WAL truncate as one publish step: once the snapshot file is
+  /// durably renamed into place, every WAL record is absorbed by it and
+  /// the log resets to empty — the checkpoint that stops unbounded WAL
+  /// growth. A failed write leaves the WAL untouched (recovery still
+  /// needs it); a crash between write and truncate (fail point
+  /// "wal/reset") leaves a stale full log that replay already knows to
+  /// skip. `wal` may be null (plain Write).
+  Status Checkpoint(const MethodEngine& engine, Wal* wal);
+
+  /// Keep-last-N retention sweep. Keeps the newest `keep_last_n` snapshot
+  /// files and — unconditionally — the newest snapshot that passes full
+  /// authenticated verification, so a concurrent LoadNewest's fallback
+  /// chain always terminates at a verified file no matter how the sweep
+  /// interleaves. When no candidate verifies, nothing is deleted (a store
+  /// in that state needs forensics, not cleanup). keep_last_n == 0 is
+  /// InvalidArgument.
+  Result<GcReport> GarbageCollect(size_t keep_last_n,
+                                  const RsaPublicKey& owner_key) const;
 
   /// Versions with a (non-temp) snapshot file present, newest first.
   std::vector<uint32_t> ListVersions() const;

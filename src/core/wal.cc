@@ -127,6 +127,10 @@ Status Wal::Reset() {
   if (fd_ < 0) {
     return Status::FailedPrecondition("wal is not open");
   }
+  // The crash between the snapshot publish and the truncate: the full log
+  // survives next to a snapshot that already absorbed it. Recovery must
+  // skip the absorbed prefix and land byte-identical anyway.
+  SPAUTH_FAILPOINT_RETURN("wal/reset");
   if (::ftruncate(fd_, 0) != 0) {
     return Status::Unavailable(std::string("wal truncate failed: ") +
                                std::strerror(errno));

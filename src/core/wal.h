@@ -75,7 +75,10 @@ class Wal {
   Status Append(const WalRecord& record);
 
   /// Truncates the log to empty — called after a successful snapshot
-  /// write makes every logged record redundant.
+  /// write makes every logged record redundant (see
+  /// SnapshotStore::Checkpoint, which pairs the two). Fail point
+  /// "wal/reset" fires before the truncate: the crash that leaves a full
+  /// log next to a snapshot that already absorbed it.
   Status Reset();
 
   const std::string& path() const { return path_; }

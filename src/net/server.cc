@@ -1,0 +1,563 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace spauth {
+namespace {
+
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+
+/// One queued write: either a small owned buffer (frame headers, preludes,
+/// error answers, stats) or the shared proof bundle whose cache-resident
+/// bytes are transmitted in place.
+struct OutChunk {
+  std::vector<uint8_t> bytes;
+  std::shared_ptr<const ProofBundle> bundle;
+  size_t offset = 0;
+
+  std::span<const uint8_t> data() const {
+    return bundle ? std::span<const uint8_t>(bundle->bytes)
+                  : std::span<const uint8_t>(bytes);
+  }
+};
+
+}  // namespace
+
+struct SpauthServer::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::deque<OutChunk> write_q;
+  size_t write_q_bytes = 0;
+  bool read_paused = false;
+  bool batch_inflight = false;
+  std::vector<QueryMsg> pending;
+
+  explicit Conn(size_t max_payload) : decoder(max_payload) {}
+};
+
+struct SpauthServer::Completion {
+  struct Reply {
+    uint64_t request_id = 0;
+    uint32_t shard = 0;
+    std::shared_ptr<const ProofBundle> bundle;  // null on error
+    Status error;
+  };
+  uint64_t conn_id = 0;
+  std::vector<Reply> replies;
+};
+
+SpauthServer::SpauthServer(const ShardedEngine* engine,
+                           RsaPublicKey owner_key, ServerOptions options)
+    : engine_(engine),
+      owner_key_(std::move(owner_key)),
+      options_(std::move(options)) {
+  if (options_.worker_threads == 0) {
+    options_.worker_threads = 1;
+  }
+  if (options_.write_low_watermark >= options_.write_high_watermark) {
+    options_.write_low_watermark = options_.write_high_watermark / 2;
+  }
+}
+
+SpauthServer::~SpauthServer() { Stop(); }
+
+Status SpauthServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    Status s = Status::Unavailable(std::string("bind/listen: ") +
+                                   std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status s = Status::Unavailable(std::string("epoll/eventfd: ") +
+                                   std::strerror(errno));
+    Stop();
+    return s;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  started_ = true;
+  loop_ = std::thread(&SpauthServer::EventLoop, this);
+  return Status::Ok();
+}
+
+void SpauthServer::Stop() {
+  if (started_) {
+    stop_.store(true, std::memory_order_release);
+    WakeLoop();
+    loop_.join();
+    started_ = false;
+  }
+  // Join workers before tearing down connections: an in-flight batch may
+  // still reference the engine and push completions (which are simply
+  // never delivered).
+  pool_.reset();
+  for (auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void SpauthServer::WakeLoop() {
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void SpauthServer::EventLoop() {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        AcceptNewConnections();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) {
+        continue;  // closed earlier in this same wait batch
+      }
+      Conn* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(id, &counters_.conns_closed);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!FlushWrites(conn)) {
+          continue;  // connection closed mid-flush
+        }
+        ApplyBackpressure(conn);
+        UpdateInterest(conn);  // drop EPOLLOUT once the queue drains
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(conn);
+      }
+    }
+  }
+}
+
+void SpauthServer::AcceptNewConnections() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or transient accept error: wait for the next event
+    }
+    if (SPAUTH_FAILPOINT_TRIGGERED("net/accept")) {
+      ::close(fd);
+      counters_.conns_refused.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(options_.max_frame_payload);
+    conn->fd = fd;
+    conn->id = id;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    counters_.conns_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SpauthServer::HandleReadable(Conn* conn) {
+  if (SPAUTH_FAILPOINT_TRIGGERED_ARG("net/conn_kill", conn->id)) {
+    CloseConn(conn->id, &counters_.conns_killed);
+    return;
+  }
+  std::vector<uint8_t> buf(options_.read_chunk_bytes);
+  // Bounded passes per readiness event: level-triggered epoll re-arms, so
+  // one stubborn connection cannot starve the loop.
+  for (int pass = 0; pass < 8; ++pass) {
+    size_t want = buf.size();
+    if (SPAUTH_FAILPOINT_TRIGGERED_ARG("net/read", conn->id)) {
+      want = 1;  // short-read storm: the decoder must reassemble
+    }
+    ssize_t n = ::read(conn->fd, buf.data(), want);
+    if (n > 0) {
+      counters_.bytes_read.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
+      conn->decoder.Feed(
+          std::span<const uint8_t>(buf.data(), static_cast<size_t>(n)));
+      if (!DrainFrames(conn)) {
+        return;  // closed: malformed stream
+      }
+      if (static_cast<size_t>(n) < want) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn->id, &counters_.conns_closed);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConn(conn->id, &counters_.conns_closed);
+    return;
+  }
+  MaybeDispatch(conn);
+  if (!FlushWrites(conn)) {
+    return;
+  }
+  ApplyBackpressure(conn);
+  UpdateInterest(conn);
+}
+
+bool SpauthServer::DrainFrames(Conn* conn) {
+  WireFrame frame;
+  for (;;) {
+    auto next = conn->decoder.Next(&frame);
+    if (!next.ok()) {
+      counters_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn->id, &counters_.conns_closed);
+      return false;
+    }
+    if (!next.value()) {
+      return true;
+    }
+    counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    switch (frame.type) {
+      case MsgType::kHello: {
+        HelloMsg hello;
+        if (!ParseHello(frame.payload, &hello).ok() ||
+            hello.protocol_version != kProtocolVersion) {
+          counters_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+          CloseConn(conn->id, &counters_.conns_closed);
+          return false;
+        }
+        EnqueueOwned(conn, EncodeServerInfoFrame(MakeServerInfo()));
+        break;
+      }
+      case MsgType::kQuery: {
+        QueryMsg query;
+        if (!ParseQuery(frame.payload, &query).ok()) {
+          counters_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+          CloseConn(conn->id, &counters_.conns_closed);
+          return false;
+        }
+        counters_.queries_received.fetch_add(1, std::memory_order_relaxed);
+        conn->pending.push_back(query);
+        break;
+      }
+      case MsgType::kStatsRequest:
+        EnqueueOwned(conn, EncodeStatsFrame(SnapshotWireStats()));
+        break;
+      default:
+        // Server-to-client types from a client are a protocol violation.
+        counters_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(conn->id, &counters_.conns_closed);
+        return false;
+    }
+  }
+}
+
+void SpauthServer::MaybeDispatch(Conn* conn) {
+  if (conn->batch_inflight || conn->pending.empty()) {
+    return;
+  }
+  conn->batch_inflight = true;
+  counters_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t conn_id = conn->id;
+  std::vector<QueryMsg> batch = std::move(conn->pending);
+  conn->pending.clear();
+  pool_->Submit([this, conn_id, batch = std::move(batch)]() {
+    std::vector<Query> queries;
+    queries.reserve(batch.size());
+    for (const QueryMsg& m : batch) {
+      queries.push_back(m.query);
+    }
+    auto results = engine_->AnswerBatch(queries, options_.batch_threads);
+    Completion completion;
+    completion.conn_id = conn_id;
+    completion.replies.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Completion::Reply reply;
+      reply.request_id = batch[i].request_id;
+      reply.shard = static_cast<uint32_t>(engine_->RouteOf(queries[i]));
+      if (results[i].ok()) {
+        reply.bundle = std::move(results[i]).value();
+      } else {
+        reply.error = results[i].status();
+      }
+      completion.replies.push_back(std::move(reply));
+    }
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    WakeLoop();
+  });
+}
+
+void SpauthServer::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) {
+      continue;  // connection died mid-batch; bundles release here
+    }
+    Conn* conn = it->second.get();
+    conn->batch_inflight = false;
+    for (Completion::Reply& reply : completion.replies) {
+      if (reply.bundle) {
+        EnqueueOwned(conn,
+                     EncodeAnswerFramePrelude(reply.request_id, reply.shard,
+                                              reply.bundle->bytes.size()));
+        EnqueueBundle(conn, std::move(reply.bundle));
+        counters_.answers_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        EnqueueOwned(conn, EncodeErrorAnswerFrame(reply.request_id,
+                                                  reply.shard, reply.error));
+        counters_.answers_error.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    MaybeDispatch(conn);  // queries that arrived while the batch ran
+    if (!FlushWrites(conn)) {
+      continue;
+    }
+    ApplyBackpressure(conn);
+    UpdateInterest(conn);
+  }
+}
+
+void SpauthServer::EnqueueOwned(Conn* conn, std::vector<uint8_t> bytes) {
+  conn->write_q_bytes += bytes.size();
+  OutChunk chunk;
+  chunk.bytes = std::move(bytes);
+  conn->write_q.push_back(std::move(chunk));
+}
+
+void SpauthServer::EnqueueBundle(Conn* conn,
+                                 std::shared_ptr<const ProofBundle> bundle) {
+  conn->write_q_bytes += bundle->bytes.size();
+  OutChunk chunk;
+  chunk.bundle = std::move(bundle);
+  conn->write_q.push_back(std::move(chunk));
+}
+
+bool SpauthServer::FlushWrites(Conn* conn) {
+  while (!conn->write_q.empty()) {
+    OutChunk& chunk = conn->write_q.front();
+    std::span<const uint8_t> data = chunk.data();
+    const size_t remaining = data.size() - chunk.offset;
+    if (SPAUTH_FAILPOINT_TRIGGERED_ARG("net/write", conn->id)) {
+      // Torn write: half the remaining bytes hit the wire, then the
+      // connection dies — the client-side decoder must refuse the stump.
+      ssize_t torn =
+          ::write(conn->fd, data.data() + chunk.offset, remaining / 2);
+      if (torn > 0) {
+        counters_.bytes_written.fetch_add(static_cast<uint64_t>(torn),
+                                          std::memory_order_relaxed);
+      }
+      CloseConn(conn->id, &counters_.conns_killed);
+      return false;
+    }
+    ssize_t n = ::write(conn->fd, data.data() + chunk.offset, remaining);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseConn(conn->id, &counters_.conns_closed);
+      return false;
+    }
+    counters_.bytes_written.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+    if (chunk.bundle) {
+      counters_.proof_bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                                           std::memory_order_relaxed);
+    }
+    chunk.offset += static_cast<size_t>(n);
+    conn->write_q_bytes -= static_cast<size_t>(n);
+    if (chunk.offset == data.size()) {
+      conn->write_q.pop_front();
+    }
+    if (static_cast<size_t>(n) < remaining) {
+      break;  // kernel buffer full: EPOLLOUT will resume
+    }
+  }
+  if (conn->read_paused &&
+      conn->write_q_bytes <= options_.write_low_watermark) {
+    conn->read_paused = false;
+  }
+  return true;
+}
+
+void SpauthServer::ApplyBackpressure(Conn* conn) {
+  if (!conn->read_paused &&
+      conn->write_q_bytes >= options_.write_high_watermark) {
+    conn->read_paused = true;
+    counters_.backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SpauthServer::UpdateInterest(Conn* conn) {
+  epoll_event ev{};
+  ev.events = (conn->read_paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->write_q.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void SpauthServer::CloseConn(uint64_t conn_id,
+                             std::atomic<uint64_t>* counter) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+ServerInfoMsg SpauthServer::MakeServerInfo() const {
+  ServerInfoMsg info;
+  const Certificate cert = engine_->shard(0).certificate();
+  info.method = cert.params.method;
+  info.num_nodes = cert.params.num_network_leaves;
+  info.num_groups = static_cast<uint32_t>(engine_->num_groups());
+  info.certificate_version = cert.params.version;
+  info.owner_key = owner_key_;
+  return info;
+}
+
+ServerStats SpauthServer::stats() const {
+  ServerStats s;
+  s.conns_accepted = counters_.conns_accepted.load(std::memory_order_relaxed);
+  s.conns_closed = counters_.conns_closed.load(std::memory_order_relaxed);
+  s.conns_refused = counters_.conns_refused.load(std::memory_order_relaxed);
+  s.conns_killed = counters_.conns_killed.load(std::memory_order_relaxed);
+  s.frames_received =
+      counters_.frames_received.load(std::memory_order_relaxed);
+  s.frames_malformed =
+      counters_.frames_malformed.load(std::memory_order_relaxed);
+  s.queries_received =
+      counters_.queries_received.load(std::memory_order_relaxed);
+  s.answers_ok = counters_.answers_ok.load(std::memory_order_relaxed);
+  s.answers_error = counters_.answers_error.load(std::memory_order_relaxed);
+  s.batches_dispatched =
+      counters_.batches_dispatched.load(std::memory_order_relaxed);
+  s.proof_bytes_sent =
+      counters_.proof_bytes_sent.load(std::memory_order_relaxed);
+  s.proof_bytes_copied =
+      counters_.proof_bytes_copied.load(std::memory_order_relaxed);
+  s.bytes_read = counters_.bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = counters_.bytes_written.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      counters_.backpressure_stalls.load(std::memory_order_relaxed);
+  return s;
+}
+
+WireStats SpauthServer::SnapshotWireStats() const {
+  const ServerStats s = stats();
+  return WireStats{
+      {"conns_accepted", s.conns_accepted},
+      {"conns_closed", s.conns_closed},
+      {"conns_refused", s.conns_refused},
+      {"conns_killed", s.conns_killed},
+      {"frames_received", s.frames_received},
+      {"frames_malformed", s.frames_malformed},
+      {"queries_received", s.queries_received},
+      {"answers_ok", s.answers_ok},
+      {"answers_error", s.answers_error},
+      {"batches_dispatched", s.batches_dispatched},
+      {"proof_bytes_sent", s.proof_bytes_sent},
+      {"proof_bytes_copied", s.proof_bytes_copied},
+      {"bytes_read", s.bytes_read},
+      {"bytes_written", s.bytes_written},
+      {"backpressure_stalls", s.backpressure_stalls},
+  };
+}
+
+}  // namespace spauth

@@ -1,0 +1,278 @@
+#include "net/wire_protocol.h"
+
+#include <cstring>
+
+namespace spauth {
+namespace {
+
+/// Wraps any parse defect as the single kMalformed refusal surface.
+Status Malformed(std::string_view what, const Status& cause) {
+  return Status::Malformed(std::string(what) + ": " + cause.ToString());
+}
+
+Status RequireAtEnd(const ByteReader& reader, std::string_view what) {
+  if (!reader.AtEnd()) {
+    return Status::Malformed(std::string(what) + ": trailing garbage");
+  }
+  return Status::Ok();
+}
+
+Result<StatusCode> ParseStatusCode(uint8_t wire) {
+  if (wire > static_cast<uint8_t>(StatusCode::kCorruption)) {
+    return Status::Malformed("status code out of range");
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+}  // namespace
+
+void EncodeFrameHeader(MsgType type, size_t payload_size, ByteWriter* out) {
+  out->WriteU32(kWireMagic);
+  out->WriteU8(static_cast<uint8_t>(type));
+  out->WriteU32(static_cast<uint32_t>(payload_size));
+}
+
+std::vector<uint8_t> EncodeFrame(MsgType type,
+                                 std::span<const uint8_t> payload) {
+  ByteWriter w;
+  w.Reserve(kFrameHeaderSize + payload.size());
+  EncodeFrameHeader(type, payload.size(), &w);
+  w.WriteBytes(payload);
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeHelloFrame(const HelloMsg& msg) {
+  ByteWriter payload;
+  payload.WriteU32(msg.protocol_version);
+  return EncodeFrame(MsgType::kHello, payload.view());
+}
+
+std::vector<uint8_t> EncodeServerInfoFrame(const ServerInfoMsg& msg) {
+  ByteWriter payload;
+  payload.WriteU32(msg.protocol_version);
+  payload.WriteU8(static_cast<uint8_t>(msg.method));
+  payload.WriteU32(msg.num_nodes);
+  payload.WriteU32(msg.num_groups);
+  payload.WriteU32(msg.certificate_version);
+  msg.owner_key.Serialize(&payload);
+  return EncodeFrame(MsgType::kServerInfo, payload.view());
+}
+
+std::vector<uint8_t> EncodeQueryFrame(const QueryMsg& msg) {
+  ByteWriter payload;
+  payload.WriteU64(msg.request_id);
+  payload.WriteU32(msg.query.source);
+  payload.WriteU32(msg.query.target);
+  return EncodeFrame(MsgType::kQuery, payload.view());
+}
+
+std::vector<uint8_t> EncodeStatsRequestFrame() {
+  return EncodeFrame(MsgType::kStatsRequest, {});
+}
+
+std::vector<uint8_t> EncodeStatsFrame(const WireStats& stats) {
+  ByteWriter payload;
+  payload.WriteU32(static_cast<uint32_t>(stats.size()));
+  for (const auto& [key, value] : stats) {
+    payload.WriteString(key);
+    payload.WriteU64(value);
+  }
+  return EncodeFrame(MsgType::kStats, payload.view());
+}
+
+std::vector<uint8_t> EncodeErrorAnswerFrame(uint64_t request_id,
+                                            uint32_t shard,
+                                            const Status& error) {
+  ByteWriter payload;
+  payload.WriteU64(request_id);
+  payload.WriteU32(shard);
+  payload.WriteU8(static_cast<uint8_t>(error.code()));
+  payload.WriteString(error.message());
+  return EncodeFrame(MsgType::kAnswer, payload.view());
+}
+
+std::vector<uint8_t> EncodeAnswerFramePrelude(uint64_t request_id,
+                                              uint32_t shard,
+                                              size_t proof_size) {
+  // The declared payload covers the prelude AND the proof bytes the caller
+  // streams from the shared bundle after this buffer.
+  const size_t payload_size =
+      sizeof(uint64_t) + sizeof(uint32_t) + 1 + sizeof(uint32_t) + proof_size;
+  ByteWriter w;
+  w.Reserve(kFrameHeaderSize + payload_size - proof_size);
+  EncodeFrameHeader(MsgType::kAnswer, payload_size, &w);
+  w.WriteU64(request_id);
+  w.WriteU32(shard);
+  w.WriteU8(static_cast<uint8_t>(StatusCode::kOk));
+  w.WriteU32(static_cast<uint32_t>(proof_size));
+  return w.TakeBytes();
+}
+
+Status ParseHello(std::span<const uint8_t> payload, HelloMsg* out) {
+  ByteReader r(payload);
+  Status s = r.ReadU32(&out->protocol_version);
+  if (!s.ok()) {
+    return Malformed("hello", s);
+  }
+  return RequireAtEnd(r, "hello");
+}
+
+Status ParseServerInfo(std::span<const uint8_t> payload, ServerInfoMsg* out) {
+  ByteReader r(payload);
+  uint8_t method_wire = 0;
+  Status s = r.ReadU32(&out->protocol_version);
+  if (s.ok()) s = r.ReadU8(&method_wire);
+  if (s.ok()) s = r.ReadU32(&out->num_nodes);
+  if (s.ok()) s = r.ReadU32(&out->num_groups);
+  if (s.ok()) s = r.ReadU32(&out->certificate_version);
+  if (!s.ok()) {
+    return Malformed("server info", s);
+  }
+  auto method = ParseMethodKind(method_wire);
+  if (!method.ok()) {
+    return Malformed("server info", method.status());
+  }
+  out->method = method.value();
+  auto key = RsaPublicKey::Deserialize(&r);
+  if (!key.ok()) {
+    return Malformed("server info owner key", key.status());
+  }
+  out->owner_key = std::move(key).value();
+  return RequireAtEnd(r, "server info");
+}
+
+Status ParseQuery(std::span<const uint8_t> payload, QueryMsg* out) {
+  ByteReader r(payload);
+  Status s = r.ReadU64(&out->request_id);
+  if (s.ok()) s = r.ReadU32(&out->query.source);
+  if (s.ok()) s = r.ReadU32(&out->query.target);
+  if (!s.ok()) {
+    return Malformed("query", s);
+  }
+  return RequireAtEnd(r, "query");
+}
+
+Status ParseAnswer(std::span<const uint8_t> payload, AnswerMsg* out) {
+  ByteReader r(payload);
+  uint8_t status_wire = 0;
+  Status s = r.ReadU64(&out->request_id);
+  if (s.ok()) s = r.ReadU32(&out->shard);
+  if (s.ok()) s = r.ReadU8(&status_wire);
+  if (!s.ok()) {
+    return Malformed("answer", s);
+  }
+  auto code = ParseStatusCode(status_wire);
+  if (!code.ok()) {
+    return code.status();
+  }
+  out->status = code.value();
+  out->error.clear();
+  out->proof.clear();
+  if (out->status == StatusCode::kOk) {
+    s = r.ReadLengthPrefixed(&out->proof);
+    if (!s.ok()) {
+      return Malformed("answer proof", s);
+    }
+  } else {
+    s = r.ReadString(&out->error);
+    if (!s.ok()) {
+      return Malformed("answer error", s);
+    }
+  }
+  return RequireAtEnd(r, "answer");
+}
+
+Status ParseStats(std::span<const uint8_t> payload, WireStats* out) {
+  ByteReader r(payload);
+  uint32_t count = 0;
+  Status s = r.ReadU32(&count);
+  if (!s.ok()) {
+    return Malformed("stats", s);
+  }
+  // Each entry costs at least 12 bytes on the wire; a count beyond that
+  // bound is a hostile prefix, not a big payload.
+  if (count > payload.size() / 12) {
+    return Status::Malformed("stats: entry count exceeds payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    uint64_t value = 0;
+    s = r.ReadString(&key);
+    if (s.ok()) s = r.ReadU64(&value);
+    if (!s.ok()) {
+      return Malformed("stats entry", s);
+    }
+    out->emplace_back(std::move(key), value);
+  }
+  return RequireAtEnd(r, "stats");
+}
+
+void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
+  if (poisoned_) {
+    return;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Status FrameDecoder::Poison(std::string message) {
+  poisoned_ = true;
+  buf_.clear();
+  consumed_ = 0;
+  return Status::Malformed(std::move(message));
+}
+
+void FrameDecoder::Compact() {
+  if (consumed_ == 0) {
+    return;
+  }
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+Result<bool> FrameDecoder::Next(WireFrame* out) {
+  if (poisoned_) {
+    return Status::Malformed("frame stream already poisoned");
+  }
+  const size_t available = buf_.size() - consumed_;
+  if (available < kFrameHeaderSize) {
+    Compact();
+    return false;
+  }
+  ByteReader header(std::span<const uint8_t>(buf_).subspan(consumed_));
+  uint32_t magic = 0;
+  uint8_t type_wire = 0;
+  uint32_t payload_len = 0;
+  // Header reads cannot underflow: available >= kFrameHeaderSize.
+  (void)header.ReadU32(&magic);
+  (void)header.ReadU8(&type_wire);
+  (void)header.ReadU32(&payload_len);
+  if (magic != kWireMagic) {
+    return Poison("bad frame magic");
+  }
+  if (type_wire < static_cast<uint8_t>(MsgType::kHello) ||
+      type_wire > static_cast<uint8_t>(MsgType::kStats)) {
+    return Poison("unknown frame type");
+  }
+  if (payload_len > max_payload_) {
+    return Poison("declared frame payload exceeds limit");
+  }
+  if (available < kFrameHeaderSize + payload_len) {
+    Compact();
+    return false;  // mid-frame: wait for the rest (or the disconnect)
+  }
+  out->type = static_cast<MsgType>(type_wire);
+  const uint8_t* payload = buf_.data() + consumed_ + kFrameHeaderSize;
+  out->payload.assign(payload, payload + payload_len);
+  consumed_ += kFrameHeaderSize + payload_len;
+  Compact();
+  return true;
+}
+
+}  // namespace spauth

@@ -1,0 +1,198 @@
+// Wire protocol of the networked serving tier (spauth_server /
+// spauth_client): a length-prefixed binary framing over TCP, built on the
+// same canonical little-endian ByteWriter/ByteReader encoding the proofs
+// themselves use.
+//
+// Every message on the wire is one frame:
+//
+//   magic        u32   kWireMagic ("SPTH" as little-endian bytes)
+//   type         u8    MsgType
+//   payload_len  u32   bytes that follow
+//   payload      payload_len bytes (per-type layout below)
+//
+// The 9-byte header is deliberately fixed-size so the decoder can commit to
+// a frame boundary before any payload arrives; a bad magic, an unknown
+// type, or a declared length above the decoder's cap poisons the stream as
+// kMalformed — a hostile or desynchronized peer is cut off, never resynced
+// by scanning (scanning re-opens every framing confusion the length prefix
+// exists to close).
+//
+// Message payloads (all integers little-endian):
+//
+//   kHello         protocol_version u32
+//   kServerInfo    protocol_version u32 | method u8 | num_nodes u32 |
+//                  num_groups u32 | certificate_version u32 |
+//                  owner public key (RsaPublicKey::Serialize)
+//   kQuery         request_id u64 | source u32 | target u32
+//   kAnswer        request_id u64 | shard u32 | status u8 |
+//                  ok:    proof_len u32 | proof bytes (the ProofBundle
+//                         wire message, verified by core/client.h)
+//                  error: message string (u32 length prefix)
+//   kStatsRequest  (empty)
+//   kStats         count u32 | count * (key string | value u64)
+//
+// Zero-copy serving: the answer path is split into
+// EncodeAnswerFramePrelude (frame header + request_id/shard/status/
+// proof_len, a few dozen owned bytes) so the server can queue the proof
+// bytes straight out of the shared ProofBundle that lives in the proof
+// cache — an LRU hit travels cache slot → socket without a single payload
+// copy. EncodeFrame-based helpers cover every other (small) message.
+#ifndef SPAUTH_NET_WIRE_PROTOCOL_H_
+#define SPAUTH_NET_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/certificate.h"
+#include "crypto/rsa.h"
+#include "graph/workload.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace spauth {
+
+/// "SPTH" as the little-endian u32 a ByteWriter emits.
+inline constexpr uint32_t kWireMagic = 0x48545053;
+inline constexpr uint32_t kProtocolVersion = 1;
+/// magic u32 | type u8 | payload_len u32.
+inline constexpr size_t kFrameHeaderSize = 9;
+/// Default cap on a declared payload length. Far above any real proof
+/// (even FULL proofs on the bench networks are ~KBs) yet small enough that
+/// a hostile 4 GiB length prefix cannot balloon the peer's buffers.
+inline constexpr size_t kDefaultMaxFramePayload = 32u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,         // client -> server: version handshake
+  kServerInfo = 2,    // server -> client: deployment + owner key
+  kQuery = 3,         // client -> server
+  kAnswer = 4,        // server -> client
+  kStatsRequest = 5,  // client -> server: serving counters probe
+  kStats = 6,         // server -> client
+};
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct WireFrame {
+  MsgType type = MsgType::kHello;
+  std::vector<uint8_t> payload;
+};
+
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+};
+
+/// What a client learns in the handshake: enough to size its workload
+/// (num_nodes), its per-shard watermarks (num_groups), and — the soundness
+/// anchor — the owner key the server *claims*, which the client checks
+/// against the trusted key it was configured with out of band.
+struct ServerInfoMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  MethodKind method = MethodKind::kDij;
+  uint32_t num_nodes = 0;
+  uint32_t num_groups = 0;
+  uint32_t certificate_version = 0;
+  RsaPublicKey owner_key;
+};
+
+struct QueryMsg {
+  uint64_t request_id = 0;
+  Query query;
+};
+
+struct AnswerMsg {
+  uint64_t request_id = 0;
+  uint32_t shard = 0;  // routing group that served (watermark attribution)
+  StatusCode status = StatusCode::kOk;
+  std::string error;           // set when status != kOk
+  std::vector<uint8_t> proof;  // set when status == kOk
+};
+
+/// Flat key/value serving counters (kStats payload).
+using WireStats = std::vector<std::pair<std::string, uint64_t>>;
+
+// ---------------------------------------------------------------------------
+// Encoding. Each helper returns one complete frame, ready to write.
+// ---------------------------------------------------------------------------
+
+/// Appends a frame header declaring `payload_size` payload bytes.
+void EncodeFrameHeader(MsgType type, size_t payload_size, ByteWriter* out);
+/// One complete frame around an already-encoded payload.
+std::vector<uint8_t> EncodeFrame(MsgType type,
+                                 std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeHelloFrame(const HelloMsg& msg);
+std::vector<uint8_t> EncodeServerInfoFrame(const ServerInfoMsg& msg);
+std::vector<uint8_t> EncodeQueryFrame(const QueryMsg& msg);
+std::vector<uint8_t> EncodeStatsRequestFrame();
+std::vector<uint8_t> EncodeStatsFrame(const WireStats& stats);
+
+/// An error answer is small and self-contained: one owned buffer.
+std::vector<uint8_t> EncodeErrorAnswerFrame(uint64_t request_id,
+                                            uint32_t shard,
+                                            const Status& error);
+
+/// The zero-copy split: frame header + answer prelude for an OK answer
+/// whose `proof_size` proof bytes FOLLOW the returned buffer on the wire.
+/// The caller queues the returned bytes and then the shared bundle's
+/// `bytes` span itself; the concatenation is byte-identical to
+/// EncodeFrame(kAnswer, <full payload>) (wire_protocol_test pins this).
+std::vector<uint8_t> EncodeAnswerFramePrelude(uint64_t request_id,
+                                              uint32_t shard,
+                                              size_t proof_size);
+
+// ---------------------------------------------------------------------------
+// Payload parsing. Every helper returns kMalformed on any defect —
+// underflow, out-of-range enum, trailing garbage — so callers have exactly
+// one refusal path for hostile bytes.
+// ---------------------------------------------------------------------------
+
+Status ParseHello(std::span<const uint8_t> payload, HelloMsg* out);
+Status ParseServerInfo(std::span<const uint8_t> payload, ServerInfoMsg* out);
+Status ParseQuery(std::span<const uint8_t> payload, QueryMsg* out);
+Status ParseAnswer(std::span<const uint8_t> payload, AnswerMsg* out);
+Status ParseStats(std::span<const uint8_t> payload, WireStats* out);
+
+// ---------------------------------------------------------------------------
+// Incremental frame decoder.
+// ---------------------------------------------------------------------------
+
+/// Reassembles frames from an arbitrary byte stream: feed whatever the
+/// socket produced (single bytes under a short-read storm, many frames in
+/// one read), then drain complete frames with Next. The first framing
+/// defect poisons the decoder permanently — the connection is no longer
+/// trustworthy and must be closed; there is no resync.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends received bytes. Accepting bytes after poisoning is a no-op.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Extracts the next complete frame into `*out`. Returns true when a
+  /// frame was produced, false when more bytes are needed, and kMalformed
+  /// (poisoning the decoder) on a framing defect: bad magic, unknown
+  /// type, or a declared payload length above the cap.
+  Result<bool> Next(WireFrame* out);
+
+  /// Bytes buffered but not yet consumed by a completed frame.
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  Status Poison(std::string message);
+  /// Drops consumed bytes once they dominate the buffer, so a long-lived
+  /// connection's buffer stays proportional to in-flight data.
+  void Compact();
+
+  size_t max_payload_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace spauth
+
+#endif  // SPAUTH_NET_WIRE_PROTOCOL_H_

@@ -44,6 +44,24 @@
 //   replica/resync       ShardedEngine owner-side heal, before
 //                        installing a sibling's state into a
 //                        lagging replica (arg = engine index)  kUnavailable
+//   wal/reset            Wal::Reset, before the truncate — the
+//                        crash between a snapshot publish and
+//                        the checkpoint truncate (a stale full
+//                        log survives next to the snapshot
+//                        that absorbed it)                     kUnavailable
+//   net/accept           SpauthServer accept path: the fresh
+//                        connection is closed instead of
+//                        registered                            (conn refused)
+//   net/read             SpauthServer per-connection read:
+//                        caps one read at a single byte (arg =
+//                        connection id) — a short-read storm    (short read)
+//   net/write            SpauthServer per-connection write:
+//                        writes a torn prefix of the queued
+//                        bytes, then kills the connection
+//                        (arg = connection id)                 (torn write)
+//   net/conn_kill        SpauthServer event loop, on conn
+//                        readiness: closes the connection
+//                        outright (arg = connection id)        (conn killed)
 //
 // Determinism: an armed point decides fire/pass from (seed, hit index)
 // alone — probability mode hashes the hit index through a seeded

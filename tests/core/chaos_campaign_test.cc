@@ -295,6 +295,98 @@ TEST(FailoverTest, DeadlineBudgetSurfacesAsDeadlineExceeded) {
       << "the deadline must cut the retry loop short of max_attempts";
 }
 
+// Regression: a deadline that expires after a cross-group spill attempt
+// used to be booked on the spill-target engine (last_engine), charging a
+// foreign group for the routed group's budget miss. It must land on the
+// routed group's preferred replica, always.
+TEST(FailoverTest, DeadlineHitBooksOnTheRoutedHomeGroup) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  FailoverOptions failover;
+  failover.max_attempts = 4;
+  // Timing: attempt 0 fails on engine 0 and sleeps 1500-2250us (jitter
+  // adds at most +50%), safely inside the 3000us budget; attempt 1 then
+  // spills to group 1 (engine 0's breaker tripped on the first failure),
+  // fails there, and its backoff sleep is clamped to exactly the remaining
+  // budget — so attempt 2's loop-top deadline check fires with the spill
+  // target as the last attempted engine. That is the booking-skew window.
+  failover.backoff_base_us = 1500;
+  failover.deadline_us = 3000;
+  failover.enable_breakers = true;
+  failover.breaker.window = 4;
+  failover.breaker.min_samples = 1;  // one failure trips a breaker
+  failover.breaker.failure_threshold = 0.5;
+  failover.breaker.open_cooldown = 1000000;  // stays open for the test
+  failover.cross_group_failover = true;
+  auto fleet = MakeFleet(/*num_groups=*/2, failover);
+  ASSERT_NE(fleet, nullptr);
+
+  // Both engines fail every attempt: retryable errors keep the retry loop
+  // alive until the deadline cuts it.
+  ScopedFailPoint everything_down("shard/answer", FailPointSpec{});
+
+  // A query that routes to group 0.
+  const std::vector<Query> workload = MakeWorkload(64, 0xc4a05008);
+  const Query* home = nullptr;
+  for (const Query& q : workload) {
+    if (fleet->RouteOf(q) == 0) {
+      home = &q;
+      break;
+    }
+  }
+  ASSERT_NE(home, nullptr);
+
+  auto result = fleet->Answer(*home);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+
+  const ShardedStats stats = fleet->GetStats();
+  EXPECT_GE(stats.shards[0].breaker_opens, 1u);
+  EXPECT_GT(stats.shards[1].retries, 0u)
+      << "the spill attempt on group 1 must actually have run";
+  EXPECT_EQ(stats.shards[0].deadline_exceeded, 1u)
+      << "the routed group must be charged for its own budget miss";
+  EXPECT_EQ(stats.shards[1].deadline_exceeded, 0u)
+      << "a spill-target engine in another group must never be charged";
+  const ShardStats sums = testing::ExpectShardStatsConserve(stats);
+  EXPECT_EQ(sums.queries, 1u);
+}
+
+// Regression: with deadline_us == 0 nothing bounded backoff_us, so a large
+// multiplier grew it past uint64_t range and the cast in the sleep was UB
+// (in practice: a years-long sleep or a UBSan abort). max_backoff_us must
+// cap every sleep so the retry loop completes promptly.
+TEST(FailoverTest, HugeBackoffMultiplierIsClampedByMaxBackoff) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  FailoverOptions failover;
+  failover.max_attempts = 4;
+  failover.backoff_base_us = 1;
+  failover.backoff_multiplier = 1e18;  // unclamped: attempt 2 sleeps ~47 years
+  failover.deadline_us = 0;            // no deadline to rescue the sleep
+  failover.max_backoff_us = 50;
+  auto fleet = MakeFleet(/*num_groups=*/1, failover);
+  ASSERT_NE(fleet, nullptr);
+
+  ScopedFailPoint always_down("shard/answer", FailPointSpec{});
+
+  const auto& ctx = CoreTestContext::Get();
+  auto result = fleet->Answer(ctx.queries[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+
+  const ShardedStats stats = fleet->GetStats();
+  EXPECT_EQ(stats.totals.retries, failover.max_attempts - 1)
+      << "all retries must run: clamped sleeps, not an aborted loop";
+  EXPECT_EQ(stats.totals.deadline_exceeded, 0u);
+  const ShardStats sums = testing::ExpectShardStatsConserve(stats);
+  EXPECT_EQ(sums.queries, 1u);
+  EXPECT_EQ(sums.failures, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Graceful degradation: mid-rotation faults freeze the old snapshot
 // ---------------------------------------------------------------------------

@@ -20,11 +20,14 @@
 //     conserve.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/core_test_context.h"
@@ -264,6 +267,206 @@ TEST(RecoveryCampaignTest, TornCheckpointLeavesOlderSnapshotPlusReplay) {
   EXPECT_EQ(recovered.value().wal_records_replayed, 0u);
   EXPECT_EQ(recovered.value().wal_records_skipped, 3u);
   ExpectByteTransparent(*recovered.value().engine, *twin);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint = snapshot publish + WAL truncate: the log stays bounded and
+// every crash around the truncate still recovers byte-identical
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCampaignTest, CheckpointTruncatesTheWalAndRecoversByteIdentical) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("checkpoint_truncate");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  for (size_t i = 0; i < 3; ++i) {
+    const auto batch = MakeBatch(edges, i);
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+  }
+  ASSERT_EQ(Wal::Read(w.wal_path).value().records.size(), 3u);
+
+  // The checkpoint absorbs the log: snapshot published, WAL empty.
+  ASSERT_TRUE(w.store->Checkpoint(*w.engine, w.wal.get()).ok());
+  EXPECT_EQ(std::filesystem::file_size(w.wal_path), 0u)
+      << "a successful checkpoint must leave an empty log";
+  EXPECT_TRUE(Wal::Read(w.wal_path).value().records.empty());
+
+  // Post-checkpoint updates land in the fresh log and replay on top of
+  // the new snapshot.
+  const auto tail = MakeBatch(edges, 3);
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, tail).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, tail).ok());
+  const uint32_t checkpoint_version = twin->certificate().params.version -
+                                      static_cast<uint32_t>(tail.size());
+
+  auto recovered = CrashAndRecover(w);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_version, checkpoint_version);
+  EXPECT_EQ(recovered.value().wal_records_replayed, 1u);
+  EXPECT_EQ(recovered.value().wal_records_skipped, 0u)
+      << "nothing to skip: the truncate already dropped the absorbed prefix";
+  ExpectByteTransparent(*recovered.value().engine, *twin);
+}
+
+TEST(RecoveryCampaignTest, KillInsideTheTruncateStillRecoversByteIdentical) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("checkpoint_kill_reset");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  for (size_t i = 0; i < 3; ++i) {
+    const auto batch = MakeBatch(edges, i);
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+    ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch).ok());
+  }
+
+  // The crash between publish and truncate: the snapshot is durable, the
+  // stale full log survives next to it.
+  FailPointRegistry::Global().ArmOneShot("wal/reset");
+  Status killed = w.store->Checkpoint(*w.engine, w.wal.get());
+  FailPointRegistry::Global().Disarm("wal/reset");
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Wal::Read(w.wal_path).value().records.size(), 3u)
+      << "the kill point must leave the log untouched";
+  ASSERT_EQ(w.store->ListVersions().size(), 2u)
+      << "the snapshot publish itself must have survived";
+
+  // One more batch lands in the (stale, never truncated) log.
+  const auto tail = MakeBatch(edges, 3);
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, tail).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, tail).ok());
+
+  // Recovery: newest snapshot + skip the absorbed prefix + replay the
+  // tail — byte-identical to the twin, as if the truncate had finished.
+  auto recovered = CrashAndRecover(w);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().wal_records_skipped, 3u);
+  EXPECT_EQ(recovered.value().wal_records_replayed, 1u);
+  EXPECT_EQ(recovered.value().recovered_version,
+            twin->certificate().params.version);
+  ExpectByteTransparent(*recovered.value().engine, *twin);
+}
+
+// ---------------------------------------------------------------------------
+// Retention GC: keep-last-N, never the newest verified snapshot
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCampaignTest, GcKeepsLastNAndNeverTheNewestVerifiedSnapshot) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("gc_retention");
+  ASSERT_NE(w.engine, nullptr);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        w.engine->ApplyEdgeWeightUpdates(ctx.keys, MakeBatch(edges, i)).ok());
+    ASSERT_TRUE(w.store->Write(*w.engine).ok());
+  }
+  std::vector<uint32_t> versions = w.store->ListVersions();
+  ASSERT_EQ(versions.size(), 5u);
+
+  // CRC-corrupt the newest file: the newest *verified* snapshot is now the
+  // second newest, and no sweep may ever delete it.
+  {
+    std::vector<uint8_t> bytes = ReadFileBytes(w.store->PathFor(versions[0]));
+    bytes[bytes.size() / 2] ^= 0x20;
+    WriteFileBytes(w.store->PathFor(versions[0]), bytes);
+  }
+
+  auto gc = w.store->GarbageCollect(/*keep_last_n=*/2, ctx.keys.public_key());
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  EXPECT_EQ(gc.value().protected_version, versions[1]);
+  EXPECT_EQ(gc.value().removed, 3u);
+  EXPECT_EQ(gc.value().kept, 2u);
+  EXPECT_EQ(w.store->ListVersions(),
+            (std::vector<uint32_t>{versions[0], versions[1]}));
+
+  // Load falls back across the corrupt newest onto the protected file.
+  auto loaded = w.store->LoadNewest(ctx.keys.public_key());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().version, versions[1]);
+
+  // keep_last_n = 1 would evict the verified file by count — the
+  // protection clause must keep it anyway.
+  gc = w.store->GarbageCollect(/*keep_last_n=*/1, ctx.keys.public_key());
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(gc.value().removed, 0u);
+  EXPECT_EQ(w.store->ListVersions().size(), 2u);
+
+  // When NO candidate verifies, the sweep must delete nothing at all.
+  {
+    std::vector<uint8_t> bytes = ReadFileBytes(w.store->PathFor(versions[1]));
+    bytes[bytes.size() / 2] ^= 0x20;
+    WriteFileBytes(w.store->PathFor(versions[1]), bytes);
+  }
+  gc = w.store->GarbageCollect(/*keep_last_n=*/1, ctx.keys.public_key());
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(gc.value().removed, 0u);
+  EXPECT_EQ(gc.value().kept, 2u);
+  EXPECT_EQ(w.store->ListVersions().size(), 2u)
+      << "an all-damaged store needs forensics, not cleanup";
+
+  EXPECT_FALSE(w.store->GarbageCollect(0, ctx.keys.public_key()).ok());
+}
+
+TEST(RecoveryCampaignTest, GcRacingFallbackLoadAlwaysLandsOnVerifiedState) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("gc_race");
+  ASSERT_NE(w.engine, nullptr);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        w.engine->ApplyEdgeWeightUpdates(ctx.keys, MakeBatch(edges, i)).ok());
+    ASSERT_TRUE(w.store->Write(*w.engine).ok());
+  }
+  const std::vector<uint32_t> versions = w.store->ListVersions();
+  ASSERT_EQ(versions.size(), 5u);
+  // CRC-corrupt the two newest files so every load walks a fallback chain
+  // — the window a concurrent delete could otherwise yank away.
+  for (size_t i = 0; i < 2; ++i) {
+    std::vector<uint8_t> bytes = ReadFileBytes(w.store->PathFor(versions[i]));
+    bytes[bytes.size() / 2] ^= 0x20;
+    WriteFileBytes(w.store->PathFor(versions[i]), bytes);
+  }
+  const uint32_t verified = versions[2];
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<size_t> loads{0};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto loaded = w.store->LoadNewest(ctx.keys.public_key());
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ(loaded.value().version, verified)
+            << "a racing sweep exposed an unverified fallback";
+        loads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Sweep repeatedly while the readers hammer the fallback chain. The
+  // protected file (the one every fallback terminates on) must survive
+  // every pass by construction.
+  for (int pass = 0; pass < 8; ++pass) {
+    auto gc = w.store->GarbageCollect(/*keep_last_n=*/1, ctx.keys.public_key());
+    ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+    EXPECT_EQ(gc.value().protected_version, verified);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(loads.load(), 0u);
+  const std::vector<uint32_t> survivors = w.store->ListVersions();
+  EXPECT_TRUE(std::find(survivors.begin(), survivors.end(), verified) !=
+              survivors.end());
 }
 
 // ---------------------------------------------------------------------------
