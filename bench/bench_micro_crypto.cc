@@ -5,6 +5,7 @@
 #include "crypto/bigint.h"
 #include "crypto/digest.h"
 #include "crypto/rsa.h"
+#include "crypto/sha_multibuf.h"
 #include "util/rng.h"
 
 namespace spauth {
@@ -83,6 +84,74 @@ void BM_BigIntMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BigIntMul)->Arg(512)->Arg(1024)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Multi-buffer SHA: the Merkle level-rebuild shape — many equal-length
+// messages hashed as a batch. Compare BM_ShaMany (SIMD lanes when built
+// with SPAUTH_SHA_MULTIBUF=ON) against BM_ShaScalarLoop on the same
+// workload; the ratio is the multi-buffer speedup the rotation path sees.
+// ---------------------------------------------------------------------------
+
+/// `count` messages of `size` bytes each, the layout ShaHashMany consumes.
+struct ShaBatch {
+  std::vector<uint8_t> arena;
+  std::vector<const uint8_t*> ptrs;
+  std::vector<size_t> sizes;
+
+  ShaBatch(size_t count, size_t size) : arena(count * size) {
+    Rng rng(7);
+    rng.FillBytes(arena.data(), arena.size());
+    for (size_t i = 0; i < count; ++i) {
+      ptrs.push_back(arena.data() + i * size);
+      sizes.push_back(size);
+    }
+  }
+};
+
+void BM_ShaMany(benchmark::State& state, HashAlgorithm alg) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const size_t size = static_cast<size_t>(state.range(1));
+  ShaBatch batch(count, size);
+  std::vector<Digest> out(count);
+  for (auto _ : state) {
+    ShaHashMany(alg, count, batch.ptrs.data(), batch.sizes.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count * size));
+  state.SetLabel(ShaMultiBufEnabled() ? "multibuf" : "scalar-fallback");
+}
+// {messages, bytes each}: 64-byte nodes are the internal-level rebuild
+// shape, 256-byte payloads the leaf-hash shape.
+BENCHMARK_CAPTURE(BM_ShaMany, sha1, HashAlgorithm::kSha1)
+    ->Args({1024, 64})
+    ->Args({1024, 256})
+    ->Args({8192, 64});
+BENCHMARK_CAPTURE(BM_ShaMany, sha256, HashAlgorithm::kSha256)
+    ->Args({1024, 64})
+    ->Args({8192, 64});
+
+void BM_ShaScalarLoop(benchmark::State& state, HashAlgorithm alg) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const size_t size = static_cast<size_t>(state.range(1));
+  ShaBatch batch(count, size);
+  std::vector<Digest> out(count);
+  for (auto _ : state) {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = Hasher::Hash(alg, {batch.ptrs[i], batch.sizes[i]});
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count * size));
+}
+BENCHMARK_CAPTURE(BM_ShaScalarLoop, sha1, HashAlgorithm::kSha1)
+    ->Args({1024, 64})
+    ->Args({1024, 256})
+    ->Args({8192, 64});
+BENCHMARK_CAPTURE(BM_ShaScalarLoop, sha256, HashAlgorithm::kSha256)
+    ->Args({1024, 64})
+    ->Args({8192, 64});
 
 }  // namespace
 }  // namespace spauth

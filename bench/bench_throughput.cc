@@ -10,7 +10,7 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--dataset DE|ARG|IND|NA] [--queries N]
-//                    [--threads N] [--proof-cache] [--shards N]
+//                    [--threads N] [--proof-cache] [--shards N] [--forest]
 //                    [--update-rate R] [--updates N] [--update-batch K]
 //                    [--updates-first]
 //                    [--fault-rate R] [--replicas N] [--deadline-ms M]
@@ -31,6 +31,15 @@
 // run must equal a --shards 1 run's (CI asserts exactly that); with
 // --proof-cache the repeat pass additionally asserts shared_ptr identity —
 // a cache hit is the same bundle object, not a copy.
+//
+// --forest (sharded mode only) turns on forest certificates: the fleet
+// publishes ONE signed forest certificate over all group certificate
+// digests, the client accepts it with ONE RSA verify, and the whole
+// batch then verifies through hash-only root-to-shard path replays —
+// zero RSA operations per answer. For DIJ the harness also runs one
+// fleet rotation and asserts it signs exactly once regardless of fleet
+// size; the per-method "forest" JSON object carries the measured RSA
+// operation counts (CI asserts rotation_signatures == 1).
 //
 // --update-rate R switches to the live-update mode (DIJ, the one method
 // with an incremental update story): an owner thread streams --updates N
@@ -91,11 +100,14 @@
 #include "bench_common.h"
 #include "core/client.h"
 #include "core/engine.h"
+#include "core/forest_certificate.h"
 #include "core/sharded_engine.h"
 #include "core/snapshot_store.h"
 #include "core/wal.h"
 #include "crypto/digest.h"
+#include "crypto/rsa.h"
 #include "graph/generator.h"
+#include "util/byte_buffer.h"
 #include "graph/search_workspace.h"
 #include "graph/workload.h"
 #include "util/failpoint.h"
@@ -113,6 +125,7 @@ struct Config {
   size_t threads = 0;    // 0 = ThreadPool default
   bool proof_cache = false;
   size_t shards = 0;     // 0 = single-engine mode; N >= 1 = sharded mode
+  bool forest = false;   // sharded mode: forest certificates + forest verify
   double update_rate = 0;  // updates/second; > 0 enables live-update mode
   size_t updates = 0;      // total owner updates (0 = mode default)
   size_t update_batch = 1;     // edges absorbed per rotation
@@ -437,6 +450,7 @@ int RunSharded(const Config& config) {
   std::printf("  \"queries\": %zu,\n", queries.size());
   std::printf("  \"smoke\": %s,\n", config.smoke ? "true" : "false");
   std::printf("  \"shards\": %zu,\n", config.shards);
+  std::printf("  \"forest\": %s,\n", config.forest ? "true" : "false");
   std::printf("  \"methods\": [\n");
 
   bool first = true;
@@ -453,6 +467,14 @@ int RunSharded(const Config& config) {
     }
     const ShardedEngine& e = *sharded.value();
     const std::string method_name(ToString(method));
+    if (config.forest) {
+      Status st = sharded.value()->EnableForestCertificates(OwnerKeys());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: forest enable failed: %s\n",
+                     method_name.c_str(), st.ToString().c_str());
+        return 1;
+      }
+    }
     double construction_s = 0;
     size_t storage_bytes = 0;
     for (size_t s = 0; s < e.num_shards(); ++s) {
@@ -582,6 +604,120 @@ int RunSharded(const Config& config) {
       }
     }
 
+    // Forest-mode verification: ONE RSA verify anchors the fleet epoch,
+    // then the whole batch replays hash-only forest paths. A DIJ fleet
+    // rotation afterwards must publish with exactly one signature
+    // regardless of fleet size, and re-accepting the new epoch costs the
+    // client exactly one more verify. All four invariants are strict.
+    uint64_t forest_accept_verifies = 0;
+    uint64_t forest_batch_verifies = 0;
+    uint64_t forest_rotation_signatures = 0;
+    uint64_t forest_reaccept_verifies = 0;
+    uint32_t forest_epoch = 0;
+    uint32_t forest_epoch_after = 0;
+    bool forest_rotated = false;
+    if (config.forest) {
+      auto fleet = e.forest();
+      if (fleet == nullptr) {
+        std::fprintf(stderr, "%s: forest mode has no fleet certificate\n",
+                     method_name.c_str());
+        return 1;
+      }
+      forest_epoch = fleet->certificate.params.fleet_epoch;
+      Client forest_client(OwnerKeys().public_key());
+      const uint64_t before_accept = RsaVerifyOps();
+      Status accepted =
+          forest_client.AcceptForestCertificate(fleet->certificate);
+      forest_accept_verifies = RsaVerifyOps() - before_accept;
+      if (!accepted.ok()) {
+        std::fprintf(stderr, "%s: forest certificate refused: %s\n",
+                     method_name.c_str(), accepted.ToString().c_str());
+        return 1;
+      }
+      // Encode each routing group's root-to-shard path once; every
+      // answer served by that group reuses the same encoding.
+      std::vector<std::vector<uint8_t>> encoded_paths;
+      encoded_paths.reserve(fleet->paths.size());
+      for (const ForestPath& path : fleet->paths) {
+        ByteWriter w;
+        path.Serialize(&w);
+        encoded_paths.push_back(w.TakeBytes());
+      }
+      std::vector<std::span<const uint8_t>> path_of;
+      path_of.reserve(queries.size());
+      for (uint32_t s : shard_of) {
+        path_of.push_back(encoded_paths[s]);
+      }
+      const uint64_t before_batch = RsaVerifyOps();
+      auto forest_batch = forest_client.VerifyShardedBatchForest(
+          queries, bundles, path_of, shard_of, config.threads);
+      forest_batch_verifies = RsaVerifyOps() - before_batch;
+      for (const WireVerification& result : forest_batch) {
+        if (!result.outcome.accepted) {
+          std::fprintf(stderr, "%s: forest batch verification failed: %s\n",
+                       method_name.c_str(),
+                       result.outcome.ToString().c_str());
+          return 1;
+        }
+      }
+      if (forest_accept_verifies != 1 || forest_batch_verifies != 0) {
+        std::fprintf(stderr,
+                     "%s: forest amortization broke: %llu accept / %llu "
+                     "batch RSA verifies (want 1 / 0)\n",
+                     method_name.c_str(),
+                     static_cast<unsigned long long>(forest_accept_verifies),
+                     static_cast<unsigned long long>(forest_batch_verifies));
+        return 1;
+      }
+      // One fleet rotation — DIJ only; the other methods rebuild on
+      // weight change. N shards, ONE signature.
+      if (method == MethodKind::kDij) {
+        std::vector<EdgeWeightUpdate> rot_updates;
+        Rng rng(kWorkloadSeed + 7);
+        for (NodeId n = 0;
+             n < graph->num_nodes() && rot_updates.size() < 4; ++n) {
+          for (const Edge& edge : graph->Neighbors(n)) {
+            if (n < edge.to && rot_updates.size() < 4) {
+              rot_updates.push_back(
+                  {n, edge.to, edge.weight * rng.NextDoubleIn(0.6, 1.8)});
+            }
+          }
+        }
+        const uint64_t before_signs = RsaSignOps();
+        auto version = sharded.value()->ApplyEdgeWeightUpdatesAllShards(
+            OwnerKeys(), rot_updates);
+        forest_rotation_signatures = RsaSignOps() - before_signs;
+        if (!version.ok()) {
+          std::fprintf(stderr, "%s: forest fleet rotation failed: %s\n",
+                       method_name.c_str(),
+                       version.status().ToString().c_str());
+          return 1;
+        }
+        forest_rotated = true;
+        const uint64_t before_reaccept = RsaVerifyOps();
+        Status reaccepted =
+            forest_client.AcceptForestCertificate(e.forest()->certificate);
+        forest_reaccept_verifies = RsaVerifyOps() - before_reaccept;
+        if (!reaccepted.ok()) {
+          std::fprintf(stderr, "%s: rotated forest certificate refused: %s\n",
+                       method_name.c_str(), reaccepted.ToString().c_str());
+          return 1;
+        }
+        if (forest_rotation_signatures != 1 ||
+            forest_reaccept_verifies != 1) {
+          std::fprintf(
+              stderr,
+              "%s: fleet rotation signed %llu times / re-accept cost %llu "
+              "verifies (want 1 / 1)\n",
+              method_name.c_str(),
+              static_cast<unsigned long long>(forest_rotation_signatures),
+              static_cast<unsigned long long>(forest_reaccept_verifies));
+          return 1;
+        }
+      }
+      forest_epoch_after = e.fleet_epoch();
+    }
+
     const ShardedStats stats = e.GetStats();
     // Strict exit: the per-answer checks above should have caught any
     // error Status already, but the shard books are the ground truth — a
@@ -625,6 +761,20 @@ int RunSharded(const Config& config) {
         static_cast<unsigned long long>(stats.totals.cache.misses),
         stats.totals.cache.hit_rate(),
         static_cast<unsigned long long>(stats.totals.cache.hit_bytes));
+    if (config.forest) {
+      std::printf(
+          "      \"forest\": {\"enabled\": true, \"fleet_epoch\": %u, "
+          "\"accept_rsa_verifies\": %llu, \"batch_rsa_verifies\": %llu, "
+          "\"rotation_performed\": %s, \"rotation_signatures\": %llu, "
+          "\"reaccept_rsa_verifies\": %llu, \"fleet_epoch_after\": %u},\n",
+          forest_epoch,
+          static_cast<unsigned long long>(forest_accept_verifies),
+          static_cast<unsigned long long>(forest_batch_verifies),
+          forest_rotated ? "true" : "false",
+          static_cast<unsigned long long>(forest_rotation_signatures),
+          static_cast<unsigned long long>(forest_reaccept_verifies),
+          forest_epoch_after);
+    }
     std::printf("      \"shard_stats\": [\n");
     for (size_t s = 0; s < stats.shards.size(); ++s) {
       const ShardStats& shard = stats.shards[s];
@@ -1515,6 +1665,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards needs a positive count\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--forest") == 0) {
+      config.forest = true;
     } else if (std::strcmp(arg, "--update-rate") == 0) {
       config.update_rate = std::strtod(next(), nullptr);
       if (!(config.update_rate > 0)) {
@@ -1568,7 +1720,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--dataset D] "
                    "[--queries N] [--threads N] [--proof-cache] "
-                   "[--shards N] [--update-rate R] [--updates N] "
+                   "[--shards N] [--forest] [--update-rate R] [--updates N] "
                    "[--update-batch K] [--updates-first] "
                    "[--fault-rate R] [--replicas N] [--deadline-ms M] "
                    "[--recover] [--kill POINT] [--recover-dir PATH]\n");
@@ -1602,6 +1754,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     return spauth::bench::RunLiveUpdates(config);
+  }
+  if (config.forest && config.shards == 0) {
+    std::fprintf(stderr, "--forest needs --shards\n");
+    return 2;
   }
   return config.shards > 0 ? spauth::bench::RunSharded(config)
                            : spauth::bench::Run(config);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/engine.h"
+#include "core/forest_certificate.h"
 #include "core/verify_workspace.h"
 #include "util/byte_buffer.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,22 @@ void DecodeAndVerifyInto(const RsaPublicKey& owner_key,
   out->outcome = verify(owner_key, cert, query, answer, ws);
 }
 
+/// Resets the per-message output fields the dispatch may leave untouched.
+void ResetVerification(WireVerification* out) {
+  out->method = MethodKind::kDij;
+  out->version = 0;
+  out->degraded = false;
+  out->staleness = 0;
+  out->path.nodes.clear();
+  out->distance = 0;
+}
+
+/// The per-method verification dispatch over an already decoded ws.cert;
+/// `reader` sits just past the certificate bytes.
+void DispatchAnswerVerify(const RsaPublicKey& owner_key, const Query& query,
+                          ByteReader* reader, VerifyWorkspace& ws,
+                          WireVerification* out);
+
 }  // namespace
 
 WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
@@ -48,21 +65,72 @@ WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
 void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
                       std::span<const uint8_t> wire_bytes,
                       VerifyWorkspace& ws, WireVerification* out) {
-  out->method = MethodKind::kDij;
-  out->version = 0;
-  out->path.nodes.clear();
-  out->distance = 0;
+  ResetVerification(out);
+  ws.cert_preauthenticated = false;
   ByteReader reader(wire_bytes);
   if (Status s = Certificate::DeserializeInto(&reader, &ws.cert); !s.ok()) {
     out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                          "certificate decode failed");
     return;
   }
+  DispatchAnswerVerify(owner_key, query, &reader, ws, out);
+}
+
+void VerifyWireAnswer(const RsaPublicKey& owner_key,
+                      const ForestCertificate& forest, uint32_t shard,
+                      const Query& query, std::span<const uint8_t> wire_bytes,
+                      std::span<const uint8_t> path_bytes,
+                      VerifyWorkspace& ws, WireVerification* out) {
+  ResetVerification(out);
+  ws.cert_preauthenticated = false;
+  ByteReader path_reader(path_bytes);
+  if (Status s = ForestPath::DeserializeInto(&path_reader, &ws.forest_path);
+      !s.ok() || !path_reader.AtEnd()) {
+    out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                         "forest path decode failed");
+    return;
+  }
+  // Pin the path to the shard that actually served the answer; without
+  // this a provider could attribute shard j's answers to shard k and
+  // defeat the per-shard freshness watermarks.
+  if (ws.forest_path.shard != shard) {
+    out->outcome =
+        VerifyOutcome::Reject(VerifyFailure::kBadCertificate,
+                              "forest path shard does not match the shard "
+                              "that served the answer");
+    return;
+  }
+  ByteReader reader(wire_bytes);
+  if (Status s = Certificate::DeserializeInto(&reader, &ws.cert); !s.ok()) {
+    out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                         "certificate decode failed");
+    return;
+  }
+  // A few hashes authenticate the certificate body against the forest
+  // root, whose signature the caller verified once for the whole epoch —
+  // this is the only certificate check forest mode performs per answer.
+  if (Status s = CheckForestPath(forest, ws.forest_path,
+                                 ws.cert.BodyDigest());
+      !s.ok()) {
+    out->outcome =
+        VerifyOutcome::Reject(VerifyFailure::kBadCertificate, s.message());
+    return;
+  }
+  ws.cert_preauthenticated = true;
+  DispatchAnswerVerify(owner_key, query, &reader, ws, out);
+  ws.cert_preauthenticated = false;
+}
+
+namespace {
+
+void DispatchAnswerVerify(const RsaPublicKey& owner_key, const Query& query,
+                          ByteReader* reader, VerifyWorkspace& ws,
+                          WireVerification* out) {
   out->version = ws.cert.params.version;
   switch (ws.cert.params.method) {
     case MethodKind::kDij:
       DecodeAndVerifyInto<DijAnswer>(
-          owner_key, ws.cert, query, &reader, ws.dij,
+          owner_key, ws.cert, query, reader, ws.dij,
           [](const RsaPublicKey& key, const Certificate& cert,
              const Query& q, const DijAnswer& answer, VerifyWorkspace& w) {
             return VerifyDijAnswer(key, cert, q, answer, w);
@@ -71,7 +139,7 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
       return;
     case MethodKind::kFull:
       DecodeAndVerifyInto<FullAnswer>(
-          owner_key, ws.cert, query, &reader, ws.full,
+          owner_key, ws.cert, query, reader, ws.full,
           [](const RsaPublicKey& key, const Certificate& cert,
              const Query& q, const FullAnswer& answer, VerifyWorkspace& w) {
             return VerifyFullAnswer(key, cert, q, answer, w);
@@ -80,7 +148,7 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
       return;
     case MethodKind::kLdm:
       DecodeAndVerifyInto<LdmAnswer>(
-          owner_key, ws.cert, query, &reader, ws.ldm,
+          owner_key, ws.cert, query, reader, ws.ldm,
           [](const RsaPublicKey& key, const Certificate& cert,
              const Query& q, const LdmAnswer& answer, VerifyWorkspace& w) {
             return VerifyLdmAnswer(key, cert, q, answer, w);
@@ -89,7 +157,7 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
       return;
     case MethodKind::kHyp:
       DecodeAndVerifyInto<HypAnswer>(
-          owner_key, ws.cert, query, &reader, ws.hyp,
+          owner_key, ws.cert, query, reader, ws.hyp,
           [](const RsaPublicKey& key, const Certificate& cert,
              const Query& q, const HypAnswer& answer, VerifyWorkspace& w) {
             return VerifyHypAnswer(key, cert, q, answer, w);
@@ -100,6 +168,8 @@ void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
   out->outcome = VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
                                        "unknown method in certificate");
 }
+
+}  // namespace
 
 Client::Client(RsaPublicKey owner_key)
     : owner_key_(std::move(owner_key)),
@@ -156,6 +226,47 @@ void Client::ApplyWatermark(size_t shard, WireVerification* out) const {
       return;
     }
   }
+}
+
+Status Client::AcceptForestCertificate(const ForestCertificate& cert) {
+  const uint32_t epoch = cert.params.fleet_epoch;
+  if (epoch < fleet_epoch_watermark_) {
+    return Status::VerificationFailed(
+        "forest certificate epoch " + std::to_string(epoch) +
+        " is older than the accepted watermark " +
+        std::to_string(fleet_epoch_watermark_));
+  }
+  if (forest_ != nullptr && epoch == fleet_epoch_watermark_) {
+    // Reconnects re-present the current epoch; accepting the exact same
+    // forest again is free. A DIFFERENT forest for an epoch this client
+    // already pinned is equivocation, never acceptable — and re-verifying
+    // its signature would not make it so.
+    if (forest_->forest_root == cert.forest_root &&
+        forest_->signature == cert.signature) {
+      return Status::Ok();
+    }
+    return Status::VerificationFailed(
+        "conflicting forest certificate for already accepted epoch " +
+        std::to_string(epoch));
+  }
+  // The one RSA verify of the epoch.
+  if (!VerifyForestCertificate(owner_key_, cert)) {
+    return Status::VerificationFailed(
+        "forest certificate signature does not verify");
+  }
+  forest_ = std::make_shared<const ForestCertificate>(cert);
+  fleet_epoch_watermark_ = epoch;
+  return Status::Ok();
+}
+
+Status Client::AcceptForestCertificate(std::span<const uint8_t> encoded) {
+  ForestCertificate cert;
+  ByteReader reader(encoded);
+  SPAUTH_RETURN_IF_ERROR(ForestCertificate::DeserializeInto(&reader, &cert));
+  if (!reader.AtEnd()) {
+    return Status::Malformed("trailing bytes after forest certificate");
+  }
+  return AcceptForestCertificate(cert);
 }
 
 WireVerification Client::Verify(const Query& query,
@@ -217,6 +328,23 @@ std::vector<WireVerification> Client::VerifyBatch(
   return results;
 }
 
+WireVerification Client::VerifyForest(const Query& query,
+                                      std::span<const uint8_t> wire_bytes,
+                                      std::span<const uint8_t> path_bytes,
+                                      size_t shard) {
+  WireVerification result;
+  if (forest_ == nullptr) {
+    result.outcome = VerifyOutcome::Reject(
+        VerifyFailure::kBadCertificate,
+        "no accepted forest certificate (AcceptForestCertificate first)");
+    return result;
+  }
+  VerifyWireAnswer(owner_key_, *forest_, static_cast<uint32_t>(shard), query,
+                   wire_bytes, path_bytes, *ws_, &result);
+  ApplyWatermark(shard, &result);
+  return result;
+}
+
 std::vector<WireVerification> Client::VerifyShardedBatch(
     std::span<const Query> queries,
     std::span<const std::shared_ptr<const ProofBundle>> bundles,
@@ -265,6 +393,89 @@ std::vector<WireVerification> Client::VerifyShardedBatch(
   }
   // Shard groups are the unit of work (that is the point: one worker, one
   // shard's certificate stream), so more workers than groups is waste.
+  num_threads = std::min(num_threads, groups.size());
+  if (num_threads <= 1) {
+    VerifyWorkspace ws;
+    for (const std::vector<size_t>& group : groups) {
+      for (size_t i : group) {
+        verify_one(i, ws);
+      }
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next_group{0};
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([&groups, &next_group, &verify_one] {
+      VerifyWorkspace ws;  // per-worker scratch, hot for the whole stream
+      for (size_t g = next_group.fetch_add(1); g < groups.size();
+           g = next_group.fetch_add(1)) {
+        for (size_t i : groups[g]) {
+          verify_one(i, ws);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+std::vector<WireVerification> Client::VerifyShardedBatchForest(
+    std::span<const Query> queries,
+    std::span<const std::shared_ptr<const ProofBundle>> bundles,
+    std::span<const std::span<const uint8_t>> path_of,
+    std::span<const uint32_t> shard_of, size_t num_threads) const {
+  std::vector<WireVerification> results(queries.size());
+  if (queries.size() != bundles.size() || queries.size() != path_of.size() ||
+      queries.size() != shard_of.size()) {
+    for (WireVerification& r : results) {
+      r.outcome =
+          VerifyOutcome::Reject(VerifyFailure::kMalformedProof,
+                                "query/bundle/path/shard count mismatch");
+    }
+    return results;
+  }
+  if (queries.empty()) {
+    return results;
+  }
+  if (forest_ == nullptr) {
+    for (WireVerification& r : results) {
+      r.outcome = VerifyOutcome::Reject(
+          VerifyFailure::kBadCertificate,
+          "no accepted forest certificate (AcceptForestCertificate first)");
+    }
+    return results;
+  }
+  const ForestCertificate& forest = *forest_;
+
+  // Same shard-major work order as VerifyShardedBatch, for the same
+  // reason: one worker drains one shard's certificate stream hot.
+  std::unordered_map<uint32_t, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < shard_of.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(shard_of[i], groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(i);
+  }
+
+  auto verify_one = [this, &forest, &queries, &bundles, &path_of, &shard_of,
+                     &results](size_t i, VerifyWorkspace& ws) {
+    if (bundles[i] == nullptr) {
+      results[i].outcome = VerifyOutcome::Reject(
+          VerifyFailure::kMalformedProof, "missing bundle for query");
+      return;
+    }
+    VerifyWireAnswer(owner_key_, forest, shard_of[i], queries[i],
+                     bundles[i]->bytes, path_of[i], ws, &results[i]);
+    ApplyWatermark(shard_of[i], &results[i]);
+  };
+
+  if (num_threads == 0) {
+    num_threads = ThreadPool::DefaultThreads(queries.size());
+  }
   num_threads = std::min(num_threads, groups.size());
   if (num_threads <= 1) {
     VerifyWorkspace ws;

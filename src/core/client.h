@@ -36,8 +36,9 @@
 
 namespace spauth {
 
-struct VerifyWorkspace;  // core/verify_workspace.h
-struct ProofBundle;      // core/engine.h
+struct VerifyWorkspace;     // core/verify_workspace.h
+struct ProofBundle;         // core/engine.h
+struct ForestCertificate;   // core/forest_certificate.h
 
 /// Result of client-side wire verification.
 struct WireVerification {
@@ -69,6 +70,20 @@ WireVerification VerifyWireAnswer(const RsaPublicKey& owner_key,
 /// construction.
 void VerifyWireAnswer(const RsaPublicKey& owner_key, const Query& query,
                       std::span<const uint8_t> wire_bytes,
+                      VerifyWorkspace& ws, WireVerification* out);
+
+/// Forest-mode fast path: `forest` must already be signature-verified by
+/// the caller (Client::AcceptForestCertificate does, once per fleet
+/// epoch). Decodes a ForestPath from `path_bytes` and the certificate
+/// from `wire_bytes`, authenticates the certificate body through the
+/// forest root with a few hashes — NO per-answer RSA — then verifies the
+/// answer exactly like VerifyWireAnswer. A path that fails to reach the
+/// certified root (wrong shard, wrong epoch, tampered siblings, forged
+/// certificate) rejects with kBadCertificate.
+void VerifyWireAnswer(const RsaPublicKey& owner_key,
+                      const ForestCertificate& forest, uint32_t shard,
+                      const Query& query, std::span<const uint8_t> wire_bytes,
+                      std::span<const uint8_t> path_bytes,
                       VerifyWorkspace& ws, WireVerification* out);
 
 /// A client session: the owner's public key plus a hot VerifyWorkspace for
@@ -110,6 +125,21 @@ class Client {
   /// nothing was accepted yet or tracking is off/out of range).
   uint32_t ShardVersionWatermark(size_t shard) const;
 
+  /// Forest trust anchor: verifies the forest certificate's RSA signature
+  /// (ONE verify, amortized over every answer of the epoch) and installs
+  /// it as the current epoch. The fleet-epoch watermark is monotone:
+  /// re-accepting the current epoch's exact certificate is a free no-op
+  /// (reconnects re-send it), an older epoch is refused as stale, and a
+  /// DIFFERENT certificate for the accepted epoch is refused as
+  /// equivocation. Call from the session thread, not concurrently with
+  /// verification (same contract as TrackShardVersions).
+  Status AcceptForestCertificate(const ForestCertificate& cert);
+  /// Same, decoding from wire bytes first.
+  Status AcceptForestCertificate(std::span<const uint8_t> encoded);
+  bool has_forest() const { return forest_ != nullptr; }
+  /// Highest fleet epoch accepted so far (0 before any forest).
+  uint32_t FleetEpochWatermark() const { return fleet_epoch_watermark_; }
+
   /// Serial fast path: verifies one wire message, reusing the client's
   /// workspace across calls.
   WireVerification Verify(const Query& query,
@@ -141,6 +171,27 @@ class Client {
       std::span<const std::shared_ptr<const ProofBundle>> bundles,
       std::span<const uint32_t> shard_of, size_t num_threads = 0) const;
 
+  /// Forest-mode serial verify: `path_bytes` is the encoded ForestPath the
+  /// provider attached for the serving shard. Requires an accepted forest
+  /// (AcceptForestCertificate); rejects with kBadCertificate otherwise —
+  /// forest mode is opt-in precisely so a client cannot silently fall back
+  /// to trusting unsigned certificates.
+  WireVerification VerifyForest(const Query& query,
+                                std::span<const uint8_t> wire_bytes,
+                                std::span<const uint8_t> path_bytes,
+                                size_t shard);
+
+  /// Forest-mode sharded batch: like VerifyShardedBatch, plus one encoded
+  /// ForestPath per message (`path_of[i]` authenticates bundle i's
+  /// certificate; the caller typically maps shard → the fleet's encoded
+  /// path). The whole batch performs ZERO RSA operations — the one verify
+  /// happened in AcceptForestCertificate.
+  std::vector<WireVerification> VerifyShardedBatchForest(
+      std::span<const Query> queries,
+      std::span<const std::shared_ptr<const ProofBundle>> bundles,
+      std::span<const std::span<const uint8_t>> path_of,
+      std::span<const uint32_t> shard_of, size_t num_threads = 0) const;
+
  private:
   /// Watermark enforcement: downgrades an accepted `out` to a
   /// kStaleCertificate rejection when its version is below shard's
@@ -150,6 +201,11 @@ class Client {
 
   RsaPublicKey owner_key_;
   std::unique_ptr<VerifyWorkspace> ws_;
+  // The accepted fleet epoch's forest. Written by AcceptForestCertificate
+  // (session thread), read-only during verification — same contract as
+  // staleness_bound_.
+  std::shared_ptr<const ForestCertificate> forest_;
+  uint32_t fleet_epoch_watermark_ = 0;
   std::unique_ptr<std::atomic<uint32_t>[]> watermarks_;
   size_t num_tracked_shards_ = 0;
   // Written by SetStalenessBound before verification starts, read-only

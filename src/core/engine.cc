@@ -110,6 +110,15 @@ Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdate(const RsaKeyPair& keys,
   return ApplyEdgeWeightUpdates(keys, {&update, 1});
 }
 
+Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdatesUnsigned(
+    std::span<const EdgeWeightUpdate> updates) {
+  if (updates.empty()) {
+    return CurrentState()->certificate.params.version;
+  }
+  return Status::FailedPrecondition(
+      "method hints require a rebuild on weight changes");
+}
+
 Status MethodEngine::SerializeDurableState(ByteWriter* /*out*/) const {
   return Status::FailedPrecondition(
       "durable snapshots are implemented for DIJ only");
@@ -400,6 +409,19 @@ class DijEngine : public MethodEngine {
   Result<uint32_t> ApplyEdgeWeightUpdates(
       const RsaKeyPair& keys,
       std::span<const EdgeWeightUpdate> updates) override {
+    return ApplyUpdatesRotation(&keys, updates);
+  }
+
+  Result<uint32_t> ApplyEdgeWeightUpdatesUnsigned(
+      std::span<const EdgeWeightUpdate> updates) override {
+    return ApplyUpdatesRotation(nullptr, updates);
+  }
+
+  /// The rotation body shared by the signed and forest-mode (unsigned)
+  /// update paths; `keys` == nullptr defers the certificate signature to
+  /// the fleet layer's forest publish.
+  Result<uint32_t> ApplyUpdatesRotation(
+      const RsaKeyPair* keys, std::span<const EdgeWeightUpdate> updates) {
     std::unique_lock<std::mutex> rotation = LockForUpdate();
     const std::shared_ptr<const DijState> cur = State();
     if (updates.empty()) {
@@ -413,8 +435,13 @@ class DijEngine : public MethodEngine {
     size_t copied_bytes = 0;
     auto graph = std::make_shared<Graph>(*cur->graph);
     auto next = std::make_unique<DijState>(cur->ads);
-    SPAUTH_RETURN_IF_ERROR(spauth::ApplyEdgeWeightUpdates(
-        graph.get(), &next->ads, keys, updates, &copied_bytes));
+    if (keys != nullptr) {
+      SPAUTH_RETURN_IF_ERROR(spauth::ApplyEdgeWeightUpdates(
+          graph.get(), &next->ads, *keys, updates, &copied_bytes));
+    } else {
+      SPAUTH_RETURN_IF_ERROR(spauth::ApplyEdgeWeightUpdatesUnsigned(
+          graph.get(), &next->ads, updates, &copied_bytes));
+    }
     next->graph = std::move(graph);
     next->certificate = next->ads.certificate;
     next->cert_size = next->certificate.SerializedSize();

@@ -227,6 +227,19 @@ class MethodEngine {
   Result<uint32_t> ApplyEdgeWeightUpdate(const RsaKeyPair& keys, NodeId u,
                                          NodeId v, double new_weight);
 
+  /// Forest-mode rotation: absorbs the batch exactly like
+  /// ApplyEdgeWeightUpdates — same copy-on-write clone, WAL barrier and
+  /// atomic publish, same version + k — but the new certificate is left
+  /// UNSIGNED. Under a fleet forest certificate the per-shard signature is
+  /// redundant: ShardedEngine signs the forest root once per epoch and the
+  /// client authenticates the certificate body through its forest path
+  /// (core/forest_certificate.h). Never serve an unsigned certificate
+  /// without a forest publish following it. FailedPrecondition for non-DIJ
+  /// methods. Note durable recovery (core/snapshot_store.h) re-signs on
+  /// WAL replay, so recovered shards always verify standalone.
+  virtual Result<uint32_t> ApplyEdgeWeightUpdatesUnsigned(
+      std::span<const EdgeWeightUpdate> updates);
+
   /// Attaches a write-ahead log (core/wal.h): every subsequent update
   /// batch is appended — and flushed to stable storage — BEFORE its
   /// rotation publishes, so a crash never loses an acknowledged update.

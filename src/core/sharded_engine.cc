@@ -78,8 +78,16 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
   if (router == nullptr) {
     router = std::make_unique<HashSourceRouter>();
   }
-  return std::unique_ptr<ShardedEngine>(
+  auto engine = std::unique_ptr<ShardedEngine>(
       new ShardedEngine(std::move(shards), std::move(router), failover));
+  // A fleet built over one graph pointer is replicated: every engine
+  // serves the same network, so adopting another group's snapshot is as
+  // sound as adopting a sibling's. Region fleets (distinct graphs) must
+  // never cross-adopt — their snapshots answer different worlds.
+  engine->replicated_fleet_ = std::all_of(
+      specs.begin(), specs.end(),
+      [&](const ShardSpec& s) { return s.graph == specs.front().graph; });
+  return engine;
 }
 
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BuildReplicated(
@@ -260,7 +268,7 @@ Result<std::shared_ptr<const ProofBundle>> ShardedEngine::AnswerPinned(
   return result;
 }
 
-Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
+Result<uint32_t> ShardedEngine::RotateGroup(
     size_t group, const RsaKeyPair& keys,
     std::span<const EdgeWeightUpdate> updates) {
   if (group >= num_groups_) {
@@ -282,8 +290,13 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
   uint32_t version = 0;
   for (size_t replica = 0; replica < failover_.replicas_per_group; ++replica) {
     const size_t engine = group * failover_.replicas_per_group + replica;
+    // Forest mode: the per-shard RSA signature is dead weight (the forest
+    // root's one signature authenticates the certificate body), so the
+    // replicas rotate defer-signed and the caller publishes the forest.
     Result<uint32_t> applied =
-        shards_[engine]->ApplyEdgeWeightUpdates(keys, updates);
+        forest_enabled_
+            ? shards_[engine]->ApplyEdgeWeightUpdatesUnsigned(updates)
+            : shards_[engine]->ApplyEdgeWeightUpdates(keys, updates);
     Counters& counters = counters_[engine];
     if (!applied.ok()) {
       counters.update_failures.fetch_add(1, std::memory_order_relaxed);
@@ -291,6 +304,18 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
     }
     counters.updates.fetch_add(updates.size(), std::memory_order_relaxed);
     version = applied.value();
+  }
+  return version;
+}
+
+Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdates(
+    size_t group, const RsaKeyPair& keys,
+    std::span<const EdgeWeightUpdate> updates) {
+  SPAUTH_ASSIGN_OR_RETURN(uint32_t version, RotateGroup(group, keys, updates));
+  if (forest_enabled_) {
+    // One group moved, so the old epoch's leaf for it went stale: publish
+    // the next epoch (one signature) covering the fleet as it stands.
+    SPAUTH_RETURN_IF_ERROR(PublishForest(keys));
   }
   return version;
 }
@@ -351,6 +376,122 @@ Result<size_t> ShardedEngine::Heal() {
   return healed;
 }
 
+Result<size_t> ShardedEngine::RollFleetForward() {
+  if (!replicated_fleet_) {
+    return Status::FailedPrecondition(
+        "cross-group roll-forward needs a replicated fleet: the groups "
+        "serve different networks, so adoption would answer the wrong one");
+  }
+  // Global heal source: the most advanced engine anywhere in the fleet.
+  // Like HealGroup, adopting it never invents state — it replays the
+  // newest publish the owner actually produced.
+  size_t source = 0;
+  uint32_t source_version =
+      shards_[0]->CurrentState()->certificate.params.version;
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    const uint32_t v =
+        shards_[i]->CurrentState()->certificate.params.version;
+    if (v > source_version) {
+      source_version = v;
+      source = i;
+    }
+  }
+  size_t rolled = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i == source ||
+        shards_[i]->CurrentState()->certificate.params.version >=
+            source_version) {
+      continue;
+    }
+    if (SPAUTH_FAILPOINT_TRIGGERED_ARG("replica/resync", i)) {
+      counters_[i].resync_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("fail point fired: replica/resync");
+    }
+    Result<uint32_t> adopted = shards_[i]->AdoptStateFrom(*shards_[source]);
+    if (!adopted.ok()) {
+      counters_[i].resync_failures.fetch_add(1, std::memory_order_relaxed);
+      return adopted.status();
+    }
+    counters_[i].resyncs.fetch_add(1, std::memory_order_relaxed);
+    counters_[i].fleet_rollforwards.fetch_add(1, std::memory_order_relaxed);
+    ++rolled;
+  }
+  return rolled;
+}
+
+Status ShardedEngine::EnableForestCertificates(const RsaKeyPair& keys,
+                                               uint32_t forest_fanout) {
+  if (forest_fanout < 2) {
+    return Status::InvalidArgument("forest fanout must be >= 2");
+  }
+  if (forest_enabled_) {
+    return Status::FailedPrecondition("forest certificates already enabled");
+  }
+  // The forest certifies replica 0's certificate per group, so the
+  // siblings must serve the same certificate bytes before the first epoch
+  // covers them — heal any laggards from earlier torn rotations first.
+  if (failover_.replicas_per_group > 1) {
+    SPAUTH_ASSIGN_OR_RETURN(size_t healed, Heal());
+    (void)healed;
+  }
+  forest_fanout_ = forest_fanout;
+  forest_enabled_ = true;
+  const Status published = PublishForest(keys);
+  if (!published.ok()) {
+    // Stay in per-shard mode: every certificate out there is still signed,
+    // so serving continues exactly as before the call.
+    forest_enabled_ = false;
+    return published;
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<const FleetCertificate> ShardedEngine::forest() const {
+  std::lock_guard<std::mutex> lock(forest_mu_);
+  return fleet_;
+}
+
+Status ShardedEngine::PublishForest(const RsaKeyPair& keys) {
+  const size_t replicas = failover_.replicas_per_group;
+  // One leaf per routing group: lock-step rotations (plus the heals above
+  // every rotation) keep the replicas byte-identical, so the group's
+  // replica 0 speaks for all of them.
+  std::vector<Digest> leaves(num_groups_);
+  for (size_t group = 0; group < num_groups_; ++group) {
+    leaves[group] =
+        shards_[group * replicas]->CurrentState()->certificate.BodyDigest();
+  }
+  ForestParams params;
+  params.fleet_epoch = fleet_epoch_.load(std::memory_order_acquire) + 1;
+  params.num_shards = static_cast<uint32_t>(num_groups_);
+  params.fanout = forest_fanout_;
+  params.alg = shards_[0]->CurrentState()->certificate.params.alg;
+  SPAUTH_ASSIGN_OR_RETURN(ForestBuild build,
+                          BuildForestCertificate(keys, params, leaves));
+  // Pre-encode once per epoch: the serving tier attaches a path to every
+  // answer, and that must be a memcpy of these bytes, not an encode.
+  auto fleet = std::make_shared<FleetCertificate>();
+  fleet->certificate = std::move(build.certificate);
+  fleet->paths = std::move(build.paths);
+  ByteWriter cert_writer;
+  cert_writer.Reserve(fleet->certificate.SerializedSize());
+  fleet->certificate.Serialize(&cert_writer);
+  fleet->encoded_certificate = cert_writer.TakeBytes();
+  fleet->encoded_paths.resize(fleet->paths.size());
+  for (size_t i = 0; i < fleet->paths.size(); ++i) {
+    ByteWriter path_writer;
+    path_writer.Reserve(fleet->paths[i].SerializedSize());
+    fleet->paths[i].Serialize(&path_writer);
+    fleet->encoded_paths[i] = path_writer.TakeBytes();
+  }
+  {
+    std::lock_guard<std::mutex> lock(forest_mu_);
+    fleet_ = std::move(fleet);
+  }
+  fleet_epoch_.store(params.fleet_epoch, std::memory_order_release);
+  return Status::Ok();
+}
+
 Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t group,
                                                       const RsaKeyPair& keys,
                                                       NodeId u, NodeId v,
@@ -361,10 +502,39 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdate(size_t group,
 
 Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdatesAllShards(
     const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates) {
+  // Every group gets its attempt even after one fails: aborting mid-walk
+  // (the old behavior) left the tail of the fleet on the previous version
+  // for no reason — one bad group's failure is not a reason to starve the
+  // groups after it.
   uint32_t version = 0;
+  Status first_error = Status::Ok();
   for (size_t group = 0; group < num_groups_; ++group) {
-    SPAUTH_ASSIGN_OR_RETURN(version,
-                            ApplyEdgeWeightUpdates(group, keys, updates));
+    Result<uint32_t> rotated = RotateGroup(group, keys, updates);
+    if (rotated.ok()) {
+      version = std::max(version, rotated.value());
+    } else if (first_error.ok()) {
+      first_error = rotated.status();
+    }
+  }
+  if (!first_error.ok() && replicated_fleet_) {
+    // Repair before reporting: the failed (or torn) groups roll forward
+    // to the fleet's most advanced snapshot, so the caller gets back a
+    // uniform fleet plus the root cause — not a split-brain fleet. Only
+    // sound on replicated fleets; region fleets keep the failed group
+    // stale until the owner retries it.
+    Result<size_t> rolled = RollFleetForward();
+    (void)rolled;  // best-effort: the rotation error below is the root cause
+  }
+  if (forest_enabled_) {
+    // ONE forest signature for the whole fleet rotation, after the repair,
+    // so the published epoch always certifies the fleet as it now serves.
+    const Status published = PublishForest(keys);
+    if (first_error.ok()) {
+      SPAUTH_RETURN_IF_ERROR(published);
+    }
+  }
+  if (!first_error.ok()) {
+    return first_error;
   }
   return version;
 }
@@ -448,6 +618,8 @@ ShardedStats ShardedEngine::GetStats() const {
         counters_[i].resync_failures.load(std::memory_order_relaxed);
     s.cross_group_serves =
         counters_[i].cross_group_serves.load(std::memory_order_relaxed);
+    s.fleet_rollforwards =
+        counters_[i].fleet_rollforwards.load(std::memory_order_relaxed);
     if (!health_.empty()) {
       s.breaker_opens = health_[i]->opens();
       s.breaker_state = health_[i]->state();
@@ -473,6 +645,7 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.resyncs += s.resyncs;
     stats.totals.resync_failures += s.resync_failures;
     stats.totals.cross_group_serves += s.cross_group_serves;
+    stats.totals.fleet_rollforwards += s.fleet_rollforwards;
     stats.totals.rotation_clone_bytes += s.rotation_clone_bytes;
     stats.totals.live_snapshots += s.live_snapshots;
     stats.totals.certificate_version =
@@ -486,6 +659,36 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.cache.entries += s.cache.entries;
   }
   return stats;
+}
+
+Result<size_t> ReconcileFleetEpoch(std::span<MethodEngine* const> engines) {
+  if (engines.empty()) {
+    return size_t{0};
+  }
+  size_t source = 0;
+  uint32_t source_version =
+      engines[0]->CurrentState()->certificate.params.version;
+  for (size_t i = 1; i < engines.size(); ++i) {
+    const uint32_t v =
+        engines[i]->CurrentState()->certificate.params.version;
+    if (v > source_version) {
+      source_version = v;
+      source = i;
+    }
+  }
+  size_t rolled = 0;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    if (i == source ||
+        engines[i]->CurrentState()->certificate.params.version >=
+            source_version) {
+      continue;
+    }
+    SPAUTH_ASSIGN_OR_RETURN(uint32_t adopted,
+                            engines[i]->AdoptStateFrom(*engines[source]));
+    (void)adopted;
+    ++rolled;
+  }
+  return rolled;
 }
 
 }  // namespace spauth

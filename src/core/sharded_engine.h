@@ -22,14 +22,28 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/forest_certificate.h"
 #include "core/shard_health.h"
 
 namespace spauth {
+
+/// One fleet epoch's published forest: the signed certificate, one
+/// root-to-leaf path per routing group, and their pre-encoded wire bytes
+/// (the serving tier attaches paths per answer; encoding them once per
+/// epoch keeps the per-answer cost at a memcpy). Immutable once published —
+/// readers hold it by shared_ptr exactly like an EngineState snapshot.
+struct FleetCertificate {
+  ForestCertificate certificate;
+  std::vector<ForestPath> paths;  // indexed by routing group
+  std::vector<uint8_t> encoded_certificate;
+  std::vector<std::vector<uint8_t>> encoded_paths;
+};
 
 /// Deterministic query → shard placement policy. Implementations must be
 /// pure functions of the query (no internal state mutation): the same
@@ -143,6 +157,9 @@ struct ShardStats {
   uint64_t resyncs = 0;          // times this replica adopted a sibling's state
   uint64_t resync_failures = 0;  // heal attempts on this replica that failed
   uint64_t cross_group_serves = 0;  // OK answers served here for another group
+  // Times this engine was rolled forward across groups after a partial
+  // fleet rotation (ApplyEdgeWeightUpdatesAllShards' self-repair).
+  uint64_t fleet_rollforwards = 0;
   ProofCacheStats cache;
 };
 
@@ -245,10 +262,15 @@ class ShardedEngine {
 
   /// Replicated deployments: absorbs the batch on *every* shard (one
   /// rotation each) so the replicas stay byte-transparent, and returns the
-  /// common new version (the replicas move in lock-step because they
-  /// started in lock-step). On a failed shard the error returns
-  /// immediately — replicas may then disagree, exactly as a real fleet
-  /// would until the owner retries.
+  /// common new version. A failed group no longer aborts the walk: every
+  /// group is attempted, and on a replicated fleet any group the rotation
+  /// left behind is rolled FORWARD to the most advanced group's snapshot
+  /// (cross-group AdoptStateFrom) before the first error returns — the
+  /// fleet is in lock-step either way, the caller just learns the batch
+  /// needed repair. Roll-forwards are booked per engine in
+  /// ShardStats::fleet_rollforwards (and resyncs). Under forest mode the
+  /// fleet signs ONE forest certificate for the whole rotation, after the
+  /// roll-forward, so the published epoch always covers a uniform fleet.
   Result<uint32_t> ApplyEdgeWeightUpdatesAllShards(
       const RsaKeyPair& keys, std::span<const EdgeWeightUpdate> updates);
 
@@ -281,6 +303,35 @@ class ShardedEngine {
   /// Per-shard and aggregate serving/cache counters.
   ShardedStats GetStats() const;
 
+  /// Switches the fleet to forest certificates: from now on per-shard
+  /// rotations defer their RSA signature and every rotation (group or
+  /// fleet-wide) publishes ONE signed forest certificate over all group
+  /// certificate digests — fleet epoch + 1 per publish, one signature per
+  /// rotation regardless of fleet size. Publishes the first forest (epoch
+  /// 1, one signature) immediately; the groups must be in lock-step, so
+  /// replicated fleets are healed first. Requires fanout >= 2; call once,
+  /// before serving answers that clients verify through the forest.
+  Status EnableForestCertificates(const RsaKeyPair& keys,
+                                  uint32_t forest_fanout = 2);
+
+  bool forest_enabled() const { return forest_enabled_; }
+  /// The current fleet epoch (0 until EnableForestCertificates).
+  uint32_t fleet_epoch() const {
+    return fleet_epoch_.load(std::memory_order_acquire);
+  }
+  /// The current epoch's forest publication (nullptr before forest mode).
+  /// Immutable; safe to hold across rotations like an EngineState.
+  std::shared_ptr<const FleetCertificate> forest() const;
+
+  /// Rolls every engine that lags the fleet's most advanced certificate
+  /// version forward by adopting that snapshot (cross-group on replicated
+  /// fleets). Books ShardStats::fleet_rollforwards per engine healed and
+  /// returns the count. This is the repair ApplyEdgeWeightUpdatesAllShards
+  /// runs after a partial failure; exposed for owner tooling and tests.
+  /// FailedPrecondition on region fleets (another group's snapshot serves
+  /// a different graph — adoption would be unsound).
+  Result<size_t> RollFleetForward();
+
  private:
   // Serving counters are per-shard atomics so AnswerBatch workers never
   // contend on a shared lock; cache counters live in each shard's cache.
@@ -300,6 +351,7 @@ class ShardedEngine {
     std::atomic<uint64_t> resyncs{0};
     std::atomic<uint64_t> resync_failures{0};
     std::atomic<uint64_t> cross_group_serves{0};
+    std::atomic<uint64_t> fleet_rollforwards{0};
   };
 
   ShardedEngine(std::vector<std::unique_ptr<MethodEngine>> shards,
@@ -319,6 +371,16 @@ class ShardedEngine {
       size_t engine, const Query& query, SearchWorkspace& ws,
       std::span<std::shared_ptr<const EngineState>> snaps) const;
 
+  /// One group's rotation WITHOUT the forest publish (the callers decide
+  /// whether the publish covers one group or the whole fleet). In forest
+  /// mode the per-replica rotations are defer-signed.
+  Result<uint32_t> RotateGroup(size_t group, const RsaKeyPair& keys,
+                               std::span<const EdgeWeightUpdate> updates);
+
+  /// Builds and atomically publishes the next fleet epoch's forest over
+  /// the groups' current certificate digests. Exactly one RSA signature.
+  Status PublishForest(const RsaKeyPair& keys);
+
   std::vector<std::unique_ptr<MethodEngine>> shards_;
   std::unique_ptr<ShardRouter> router_;
   FailoverOptions failover_;
@@ -326,7 +388,28 @@ class ShardedEngine {
   mutable std::unique_ptr<Counters[]> counters_;
   // One breaker per engine (empty unless failover_.enable_breakers).
   std::vector<std::unique_ptr<ShardHealth>> health_;
+  // True when every shard serves the same graph (Build saw one graph
+  // pointer) — the precondition for cross-group adoption.
+  bool replicated_fleet_ = false;
+  // Forest-certificate state. forest_mu_ guards the publication swap;
+  // readers copy the shared_ptr under the same lock (uncontended in
+  // steady state — one acquire per answer encode, one swap per rotation).
+  bool forest_enabled_ = false;
+  uint32_t forest_fanout_ = 2;
+  std::atomic<uint32_t> fleet_epoch_{0};
+  mutable std::mutex forest_mu_;
+  std::shared_ptr<const FleetCertificate> fleet_;
 };
+
+/// Post-recovery fleet repair (the durability seam of forest mode): rolls
+/// every engine below the set's most advanced certificate version forward
+/// by adopting that engine's snapshot. A crash mid-fleet-rotation recovers
+/// shards into MIXED epochs — each verifies standalone, but a forest built
+/// over them would certify a fleet that never existed; reconciling first
+/// makes the next forest publish cover one uniform epoch. All engines must
+/// serve the same replicated network (AdoptStateFrom enforces it). Returns
+/// the number of engines rolled forward.
+Result<size_t> ReconcileFleetEpoch(std::span<MethodEngine* const> engines);
 
 }  // namespace spauth
 

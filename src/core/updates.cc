@@ -4,9 +4,13 @@
 
 namespace spauth {
 
-Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
-                              std::span<const EdgeWeightUpdate> updates,
-                              size_t* copied_bytes) {
+namespace {
+
+// Shared maintenance body; `keys` == nullptr defers the signature (forest
+// mode — the fleet layer signs once over all shard roots instead).
+Status ApplyUpdatesImpl(Graph* g, DijAds* ads, const RsaKeyPair* keys,
+                        std::span<const EdgeWeightUpdate> updates,
+                        size_t* copied_bytes) {
   if (updates.empty()) {
     return Status::Ok();
   }
@@ -42,11 +46,34 @@ Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
   // enforcement is an out-of-band policy, see MethodParams::version).
   MethodParams params = ads->certificate.params;
   params.version += static_cast<uint32_t>(updates.size());
+  if (keys == nullptr) {
+    // Defer-signed: identical certificate body (params, roots, version),
+    // no signature. Everything the forest leaf hashes is already here.
+    ads->certificate.params = std::move(params);
+    ads->certificate.network_root = ads->network.root();
+    ads->certificate.distance_root = Digest();
+    ads->certificate.signature.clear();
+    return Status::Ok();
+  }
   SPAUTH_ASSIGN_OR_RETURN(
       ads->certificate,
-      MakeCertificate(keys, std::move(params), ads->network.root(),
+      MakeCertificate(*keys, std::move(params), ads->network.root(),
                       Digest()));
   return Status::Ok();
+}
+
+}  // namespace
+
+Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                              std::span<const EdgeWeightUpdate> updates,
+                              size_t* copied_bytes) {
+  return ApplyUpdatesImpl(g, ads, &keys, updates, copied_bytes);
+}
+
+Status ApplyEdgeWeightUpdatesUnsigned(Graph* g, DijAds* ads,
+                                      std::span<const EdgeWeightUpdate> updates,
+                                      size_t* copied_bytes) {
+  return ApplyUpdatesImpl(g, ads, nullptr, updates, copied_bytes);
 }
 
 Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,

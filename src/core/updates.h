@@ -64,6 +64,16 @@ Status ApplyEdgeWeightUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                               std::span<const EdgeWeightUpdate> updates,
                               size_t* copied_bytes = nullptr);
 
+/// Forest-mode variant: absorbs the batch exactly like the signed form —
+/// same tuples, same root, same version + k — but leaves the certificate
+/// UNSIGNED (empty signature). Under a forest certificate the per-shard
+/// RSA signature is dead weight: the fleet layer authenticates the shard's
+/// certificate *body* through the forest root's one-per-epoch signature
+/// (core/forest_certificate.h), so per-shard rotations skip RSA entirely.
+Status ApplyEdgeWeightUpdatesUnsigned(Graph* g, DijAds* ads,
+                                      std::span<const EdgeWeightUpdate> updates,
+                                      size_t* copied_bytes = nullptr);
+
 /// Single-update wrapper: a batch of one (version + 1, one signature).
 Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                         NodeId u, NodeId v, double new_weight);

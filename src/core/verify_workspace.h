@@ -26,6 +26,7 @@
 
 #include "core/certificate.h"
 #include "core/client_search.h"
+#include "core/forest_certificate.h"
 #include "core/dij.h"
 #include "core/full.h"
 #include "core/hyp.h"
@@ -57,6 +58,15 @@ struct VerifyWorkspace {
   FullAnswer full;
   LdmAnswer ldm;
   HypAnswer hyp;
+  ForestPath forest_path;
+
+  // Set by the forest-mode entry point ONLY, for the duration of one
+  // dispatch, after CheckForestPath proved `cert`'s body hangs off a
+  // forest root whose signature this client already verified: the method
+  // verifiers then skip the per-answer RSA VerifyCertificate (that is the
+  // entire point of the forest — one signature verify per fleet epoch).
+  // Every other entry point clears it before decoding.
+  bool cert_preauthenticated = false;
 };
 
 }  // namespace spauth

@@ -1,6 +1,7 @@
 #include "crypto/rsa.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace spauth {
 
@@ -78,7 +79,22 @@ Result<RsaKeyPair> RsaKeyPair::Generate(int modulus_bits, Rng* rng) {
   }
 }
 
+namespace {
+
+// Relaxed is enough: the counters are read only after the operations whose
+// counts they assert have completed (test/bench joins provide the ordering).
+std::atomic<uint64_t> g_sign_ops{0};
+std::atomic<uint64_t> g_verify_ops{0};
+
+}  // namespace
+
+uint64_t RsaSignOps() { return g_sign_ops.load(std::memory_order_relaxed); }
+uint64_t RsaVerifyOps() {
+  return g_verify_ops.load(std::memory_order_relaxed);
+}
+
 Result<std::vector<uint8_t>> RsaKeyPair::Sign(const Digest& digest) const {
+  g_sign_ops.fetch_add(1, std::memory_order_relaxed);
   const size_t k = public_key_.SignatureSize();
   SPAUTH_ASSIGN_OR_RETURN(std::vector<uint8_t> em, EncodeMessage(digest, k));
   BigInt m = BigInt::FromBytesBigEndian(em);
@@ -89,6 +105,7 @@ Result<std::vector<uint8_t>> RsaKeyPair::Sign(const Digest& digest) const {
 
 bool RsaVerify(const RsaPublicKey& key, const Digest& digest,
                std::span<const uint8_t> signature) {
+  g_verify_ops.fetch_add(1, std::memory_order_relaxed);
   const size_t k = key.SignatureSize();
   if (signature.size() != k) {
     return false;

@@ -58,6 +58,13 @@ class RsaKeyPair {
 bool RsaVerify(const RsaPublicKey& key, const Digest& digest,
                std::span<const uint8_t> signature);
 
+/// Process-wide monotone operation counters (relaxed atomics). These exist
+/// so tests and bench JSON can assert the amortization claims directly —
+/// "a fleet rotation signs exactly once", "a client verifies one signature
+/// per fleet epoch" — instead of inferring them from timings.
+uint64_t RsaSignOps();
+uint64_t RsaVerifyOps();
+
 }  // namespace spauth
 
 #endif  // SPAUTH_CRYPTO_RSA_H_

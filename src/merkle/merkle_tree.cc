@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "crypto/sha_multibuf.h"
 #include "util/cow.h"
 
 namespace spauth {
@@ -51,6 +52,83 @@ Digest HashInternalNode(HashAlgorithm alg, std::span<const Digest> children) {
     h.Update(child.view());
   }
   return h.Finish();
+}
+
+namespace {
+
+// Staging window for the batch hashers: bounds scratch memory while keeping
+// every SIMD dispatch fed with full equal-length runs.
+constexpr size_t kBatchWindow = 256;
+
+}  // namespace
+
+void HashLeafPayloadsBatch(HashAlgorithm alg,
+                           std::span<const std::span<const uint8_t>> payloads,
+                           Digest* out) {
+  // The lane hashers want contiguous messages, so each window stages
+  // tag-prefixed copies into one flat scratch buffer. The copy is linear in
+  // payload bytes; the hashing it feeds is the dominant cost.
+  std::vector<uint8_t> scratch;
+  std::vector<const uint8_t*> ptrs;
+  std::vector<size_t> sizes;
+  for (size_t begin = 0; begin < payloads.size(); begin += kBatchWindow) {
+    const size_t end = std::min(payloads.size(), begin + kBatchWindow);
+    size_t total = 0;
+    for (size_t i = begin; i < end; ++i) {
+      total += 1 + payloads[i].size();
+    }
+    scratch.clear();
+    scratch.reserve(total);
+    ptrs.clear();
+    sizes.clear();
+    std::vector<size_t> offsets;
+    for (size_t i = begin; i < end; ++i) {
+      offsets.push_back(scratch.size());
+      scratch.push_back(kLeafTag);
+      scratch.insert(scratch.end(), payloads[i].begin(), payloads[i].end());
+      sizes.push_back(1 + payloads[i].size());
+    }
+    for (size_t off : offsets) {
+      ptrs.push_back(scratch.data() + off);  // after all inserts: stable
+    }
+    ShaHashMany(alg, ptrs.size(), ptrs.data(), sizes.data(), out + begin);
+  }
+}
+
+void HashInternalLevel(HashAlgorithm alg, std::span<const Digest> below,
+                       uint32_t fanout, std::vector<Digest>* out_level) {
+  const size_t num_nodes = (below.size() + fanout - 1) / fanout;
+  out_level->resize(num_nodes);
+  const size_t ds = DigestSize(alg);
+  const size_t full_msg = 1 + static_cast<size_t>(fanout) * ds;
+  std::vector<uint8_t> scratch;
+  std::vector<const uint8_t*> ptrs;
+  std::vector<size_t> sizes;
+  for (size_t begin = 0; begin < num_nodes; begin += kBatchWindow) {
+    const size_t end = std::min(num_nodes, begin + kBatchWindow);
+    scratch.clear();
+    scratch.reserve((end - begin) * full_msg);
+    ptrs.clear();
+    sizes.clear();
+    std::vector<size_t> offsets;
+    for (size_t j = begin; j < end; ++j) {
+      const size_t child_begin = j * fanout;
+      const size_t child_end =
+          std::min(below.size(), child_begin + fanout);
+      offsets.push_back(scratch.size());
+      scratch.push_back(kInternalTag);
+      for (size_t c = child_begin; c < child_end; ++c) {
+        const auto view = below[c].view();
+        scratch.insert(scratch.end(), view.begin(), view.end());
+      }
+      sizes.push_back(scratch.size() - offsets.back());
+    }
+    for (size_t off : offsets) {
+      ptrs.push_back(scratch.data() + off);  // after all inserts: stable
+    }
+    ShaHashMany(alg, ptrs.size(), ptrs.data(), sizes.data(),
+                out_level->data() + begin);
+  }
 }
 
 size_t MerkleSubsetProof::SerializedSize() const {
@@ -121,13 +199,11 @@ Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_digests,
   // the flat copy never coexists with more than one level of digests.
   std::vector<Digest> below = std::move(leaf_digests);
   while (below.size() > 1) {
+    // Whole-level rebuilds go through the multi-buffer SHA lanes: all
+    // nodes of a level share a message length (bar the ragged tail), so
+    // the level hashes 8 nodes per compression dispatch.
     std::vector<Digest> level;
-    level.reserve((below.size() + fanout - 1) / fanout);
-    for (size_t i = 0; i < below.size(); i += fanout) {
-      const size_t end = std::min(below.size(), i + fanout);
-      level.push_back(HashInternalNode(
-          alg, std::span<const Digest>(below.data() + i, end - i)));
-    }
+    HashInternalLevel(alg, below, fanout, &level);
     levels.push_back(FreezeLevel(std::move(below)));
     below = std::move(level);
   }

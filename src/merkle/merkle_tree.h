@@ -44,6 +44,22 @@ Digest HashLeafPayload(HashAlgorithm alg, std::span<const uint8_t> payload);
 /// Hashes the concatenation of child digests with the internal-node tag.
 Digest HashInternalNode(HashAlgorithm alg, std::span<const Digest> children);
 
+/// Batch form of HashLeafPayload funneled through the multi-buffer SHA
+/// lanes (crypto/sha_multibuf.h): out[i] == HashLeafPayload(alg,
+/// payloads[i]), byte-identical. `out` must have room for payloads.size()
+/// digests. Owner-side ADS builds hash every tuple through this.
+void HashLeafPayloadsBatch(HashAlgorithm alg,
+                           std::span<const std::span<const uint8_t>> payloads,
+                           Digest* out);
+
+/// Hashes one whole internal level in lane batches: out_level is resized to
+/// ceil(below.size() / fanout) and out_level[j] == HashInternalNode over
+/// below[j*fanout .. j*fanout+fanout). Every node of a level except the
+/// last ragged one has the same message length, so the level maps onto
+/// full SIMD lanes — this is the Merkle rebuild fast path.
+void HashInternalLevel(HashAlgorithm alg, std::span<const Digest> below,
+                       uint32_t fanout, std::vector<Digest>* out_level);
+
 /// The sibling digests accompanying a leaf subset, plus the tree shape
 /// needed to replay the reconstruction.
 struct MerkleSubsetProof {

@@ -134,10 +134,12 @@ Status NetClient::Handshake() {
   if (!parsed.ok()) {
     return Refuse(parsed);
   }
-  if (info.protocol_version != kProtocolVersion) {
+  if (info.protocol_version < kMinProtocolVersion ||
+      info.protocol_version > kProtocolVersion) {
     return Status::FailedPrecondition(
         "server speaks protocol version " +
         std::to_string(info.protocol_version) + ", this client speaks " +
+        std::to_string(kMinProtocolVersion) + ".." +
         std::to_string(kProtocolVersion));
   }
   if (!SameKey(info.owner_key, owner_key_)) {
@@ -160,6 +162,27 @@ Status NetClient::Handshake() {
         "server group count changed across reconnect (" +
         std::to_string(tracked_groups_) + " -> " +
         std::to_string(info.num_groups) + ")");
+  }
+  if (forest_mode_ && !info.forest_present) {
+    // Downgrade refusal: a session that has pinned a fleet epoch must not
+    // fall back to trusting per-shard certificates on a reconnect — an
+    // impersonator could otherwise shed the forest and replay old shards.
+    return Status::VerificationFailed(
+        "server stopped presenting a forest certificate across reconnect");
+  }
+  if (info.forest_present) {
+    // The epoch's ONE RSA verify (a re-presented current epoch is free).
+    // The verifier's epoch watermark is monotone across reconnects, so a
+    // stale forest is refused here — a soundness refusal, never retried.
+    const uint32_t before = verifier_.FleetEpochWatermark();
+    Status accepted = verifier_.AcceptForestCertificate(info.forest);
+    if (!accepted.ok()) {
+      return accepted;
+    }
+    if (verifier_.FleetEpochWatermark() != before || !forest_mode_) {
+      stats_.forest_certs_accepted++;
+    }
+    forest_mode_ = true;
   }
   info_ = info;
   return Status::Ok();
@@ -245,7 +268,33 @@ Result<WireVerification> NetClient::VerifyAnswer(const spauth::Query& query,
     // An out-of-range shard id would silently skip watermark enforcement.
     return Refuse(Status::Malformed("answer shard id out of range"));
   }
-  WireVerification v = verifier_.Verify(query, answer.proof, answer.shard);
+  WireVerification v;
+  if (forest_mode_) {
+    // A fleet rotation mid-connection ships the new epoch's certificate
+    // inline with its first answer; install it (one RSA verify) before
+    // checking the path. A bad or stale inline certificate is a soundness
+    // refusal, not a per-answer rejection.
+    if (!answer.forest_certificate.empty()) {
+      const uint32_t before = verifier_.FleetEpochWatermark();
+      Status accepted =
+          verifier_.AcceptForestCertificate(answer.forest_certificate);
+      if (!accepted.ok()) {
+        return Refuse(accepted);
+      }
+      if (verifier_.FleetEpochWatermark() != before) {
+        stats_.forest_certs_accepted++;
+      }
+    }
+    // In forest mode every answer must carry its path — an answer without
+    // one would have to fall back to the per-shard signature, which the
+    // fleet no longer produces; refusing is also what stops a provider
+    // from serving unsigned certificates bare.
+    v = verifier_.VerifyForest(query, answer.proof, answer.forest_path,
+                               answer.shard);
+    stats_.forest_answers++;
+  } else {
+    v = verifier_.Verify(query, answer.proof, answer.shard);
+  }
   if (v.outcome.accepted) {
     stats_.answers_accepted++;
   } else {

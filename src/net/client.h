@@ -17,6 +17,14 @@
 // different shard layout is refused rather than silently re-keying the
 // watermark table.
 //
+// Forest mode (protocol v2): when the handshake carries a forest
+// certificate the client verifies its ONE RSA signature, pins the fleet
+// epoch (monotone across reconnects, like the watermarks), and from then
+// on authenticates each answer's certificate through the forest path the
+// answer carries — no per-answer RSA. Once a session has seen forest
+// mode, a reconnect that omits it is refused: a provider must not be able
+// to downgrade a client to trusting unsigned per-shard certificates.
+//
 // Hostile bytes: every inbound frame passes the same hardened FrameDecoder
 // the server uses. A framing defect (bad magic, oversized length, unknown
 // type), a truncated payload, or a mid-proof disconnect surfaces as an
@@ -64,6 +72,8 @@ struct NetClientStats {
   uint64_t frames_refused = 0;    // malformed/hostile frames (poisoned conn)
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
+  uint64_t forest_certs_accepted = 0;  // epoch installs (1 RSA verify each)
+  uint64_t forest_answers = 0;         // answers verified via a forest path
 };
 
 class NetClient {
@@ -114,6 +124,14 @@ class NetClient {
     return verifier_.ShardVersionWatermark(shard);
   }
 
+  /// True once a handshake carried a forest certificate; sticky for the
+  /// session (reconnects must keep presenting forest mode).
+  bool forest_mode() const { return forest_mode_; }
+  /// Highest fleet epoch accepted so far (0 outside forest mode).
+  uint32_t FleetEpochWatermark() const {
+    return verifier_.FleetEpochWatermark();
+  }
+
   const NetClientStats& stats() const { return stats_; }
 
  private:
@@ -138,6 +156,7 @@ class NetClient {
   FrameDecoder decoder_;
   ServerInfoMsg info_;
   bool handshaken_once_ = false;
+  bool forest_mode_ = false;
   uint32_t tracked_groups_ = 0;
   uint64_t next_request_id_ = 1;
 };

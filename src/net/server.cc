@@ -46,6 +46,14 @@ struct SpauthServer::Conn {
   bool read_paused = false;
   bool batch_inflight = false;
   std::vector<QueryMsg> pending;
+  // The hello's declared protocol version (defaults to v1 so a client
+  // that queries before the handshake still gets frames it can parse).
+  // Forest sections are emitted only on v2+ connections.
+  uint32_t protocol_version = kMinProtocolVersion;
+  // The last fleet epoch whose forest certificate went down this
+  // connection (handshake or inline); the first answer of a newer epoch
+  // re-sends the certificate so long-lived clients re-anchor in-band.
+  uint32_t forest_epoch_sent = 0;
 
   explicit Conn(size_t max_payload) : decoder(max_payload) {}
 };
@@ -59,6 +67,10 @@ struct SpauthServer::Completion {
   };
   uint64_t conn_id = 0;
   std::vector<Reply> replies;
+  // The fleet's forest at batch-answer time (null outside forest mode):
+  // the paths attached to these replies must come from the same epoch the
+  // worker saw, not whatever the loop sees at enqueue time.
+  std::shared_ptr<const FleetCertificate> fleet;
 };
 
 SpauthServer::SpauthServer(const ShardedEngine* engine,
@@ -307,12 +319,22 @@ bool SpauthServer::DrainFrames(Conn* conn) {
       case MsgType::kHello: {
         HelloMsg hello;
         if (!ParseHello(frame.payload, &hello).ok() ||
-            hello.protocol_version != kProtocolVersion) {
+            hello.protocol_version < kMinProtocolVersion ||
+            hello.protocol_version > kProtocolVersion) {
           counters_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
           CloseConn(conn->id, &counters_.conns_closed);
           return false;
         }
-        EnqueueOwned(conn, EncodeServerInfoFrame(MakeServerInfo()));
+        // Negotiate down to what the client declared: every later frame
+        // on this connection is gated on it, so a v1 client never sees a
+        // v2 trailing section.
+        conn->protocol_version = hello.protocol_version;
+        const ServerInfoMsg info = MakeServerInfo(conn->protocol_version);
+        if (info.forest_present) {
+          conn->forest_epoch_sent = info.forest.params.fleet_epoch;
+          counters_.forest_certs_sent.fetch_add(1, std::memory_order_relaxed);
+        }
+        EnqueueOwned(conn, EncodeServerInfoFrame(info));
         break;
       }
       case MsgType::kQuery: {
@@ -356,6 +378,7 @@ void SpauthServer::MaybeDispatch(Conn* conn) {
     auto results = engine_->AnswerBatch(queries, options_.batch_threads);
     Completion completion;
     completion.conn_id = conn_id;
+    completion.fleet = engine_->forest();
     completion.replies.reserve(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       Completion::Reply reply;
@@ -391,10 +414,40 @@ void SpauthServer::DrainCompletions() {
     conn->batch_inflight = false;
     for (Completion::Reply& reply : completion.replies) {
       if (reply.bundle) {
-        EnqueueOwned(conn,
-                     EncodeAnswerFramePrelude(reply.request_id, reply.shard,
-                                              reply.bundle->bytes.size()));
-        EnqueueBundle(conn, std::move(reply.bundle));
+        // Forest answers ride as THREE chunks: owned prelude, the shared
+        // proof bundle (zero-copy, exactly as before), then an owned tail
+        // holding the per-answer path bytes — the proof is never staged
+        // into an owned buffer to have a tail appended, so
+        // proof_bytes_copied stays 0 in forest mode too.
+        const FleetCertificate* fleet = completion.fleet.get();
+        const bool attach_path =
+            conn->protocol_version >= 2 && fleet != nullptr &&
+            reply.shard < fleet->encoded_paths.size();
+        if (attach_path) {
+          const uint32_t epoch = fleet->certificate.params.fleet_epoch;
+          std::span<const uint8_t> inline_cert;
+          if (epoch != conn->forest_epoch_sent) {
+            inline_cert = fleet->encoded_certificate;
+          }
+          std::vector<uint8_t> tail = EncodeAnswerForestTail(
+              fleet->encoded_paths[reply.shard], inline_cert);
+          EnqueueOwned(conn, EncodeAnswerFramePrelude(
+                                 reply.request_id, reply.shard,
+                                 reply.bundle->bytes.size(), tail.size()));
+          EnqueueBundle(conn, std::move(reply.bundle));
+          EnqueueOwned(conn, std::move(tail));
+          counters_.forest_paths_sent.fetch_add(1, std::memory_order_relaxed);
+          if (!inline_cert.empty()) {
+            conn->forest_epoch_sent = epoch;
+            counters_.forest_certs_sent.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          }
+        } else {
+          EnqueueOwned(conn,
+                       EncodeAnswerFramePrelude(reply.request_id, reply.shard,
+                                                reply.bundle->bytes.size()));
+          EnqueueBundle(conn, std::move(reply.bundle));
+        }
         counters_.answers_ok.fetch_add(1, std::memory_order_relaxed);
       } else {
         EnqueueOwned(conn, EncodeErrorAnswerFrame(reply.request_id,
@@ -501,14 +554,22 @@ void SpauthServer::CloseConn(uint64_t conn_id,
   counter->fetch_add(1, std::memory_order_relaxed);
 }
 
-ServerInfoMsg SpauthServer::MakeServerInfo() const {
+ServerInfoMsg SpauthServer::MakeServerInfo(
+    uint32_t negotiated_version) const {
   ServerInfoMsg info;
+  info.protocol_version = negotiated_version;
   const Certificate cert = engine_->shard(0).certificate();
   info.method = cert.params.method;
   info.num_nodes = cert.params.num_network_leaves;
   info.num_groups = static_cast<uint32_t>(engine_->num_groups());
   info.certificate_version = cert.params.version;
   info.owner_key = owner_key_;
+  if (negotiated_version >= 2) {
+    if (auto fleet = engine_->forest()) {
+      info.forest_present = true;
+      info.forest = fleet->certificate;
+    }
+  }
   return info;
 }
 
@@ -536,6 +597,10 @@ ServerStats SpauthServer::stats() const {
   s.bytes_written = counters_.bytes_written.load(std::memory_order_relaxed);
   s.backpressure_stalls =
       counters_.backpressure_stalls.load(std::memory_order_relaxed);
+  s.forest_paths_sent =
+      counters_.forest_paths_sent.load(std::memory_order_relaxed);
+  s.forest_certs_sent =
+      counters_.forest_certs_sent.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -557,6 +622,8 @@ WireStats SpauthServer::SnapshotWireStats() const {
       {"bytes_read", s.bytes_read},
       {"bytes_written", s.bytes_written},
       {"backpressure_stalls", s.backpressure_stalls},
+      {"forest_paths_sent", s.forest_paths_sent},
+      {"forest_certs_sent", s.forest_certs_sent},
   };
 }
 

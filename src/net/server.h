@@ -87,10 +87,14 @@ struct ServerStats {
   uint64_t batches_dispatched = 0;
   uint64_t proof_bytes_sent = 0;    // proof payload bytes written to sockets
   uint64_t proof_bytes_copied = 0;  // proof bytes staged through an owned
-                                    // buffer — 0 by design (see header)
+                                    // buffer — 0 by design (see header);
+                                    // forest tails are per-answer bytes,
+                                    // never booked here
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t backpressure_stalls = 0;  // times a connection's reads paused
+  uint64_t forest_paths_sent = 0;    // v2 answers carrying a forest path
+  uint64_t forest_certs_sent = 0;    // inline forest certs (epoch changes)
 };
 
 class SpauthServer {
@@ -140,7 +144,7 @@ class SpauthServer {
   void CloseConn(uint64_t conn_id, std::atomic<uint64_t>* counter);
   void WakeLoop();
 
-  ServerInfoMsg MakeServerInfo() const;
+  ServerInfoMsg MakeServerInfo(uint32_t negotiated_version) const;
   WireStats SnapshotWireStats() const;
 
   const ShardedEngine* engine_;
@@ -182,6 +186,8 @@ class SpauthServer {
     std::atomic<uint64_t> bytes_read{0};
     std::atomic<uint64_t> bytes_written{0};
     std::atomic<uint64_t> backpressure_stalls{0};
+    std::atomic<uint64_t> forest_paths_sent{0};
+    std::atomic<uint64_t> forest_certs_sent{0};
   };
   mutable Counters counters_;
 };

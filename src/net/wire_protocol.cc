@@ -55,6 +55,12 @@ std::vector<uint8_t> EncodeServerInfoFrame(const ServerInfoMsg& msg) {
   payload.WriteU32(msg.num_groups);
   payload.WriteU32(msg.certificate_version);
   msg.owner_key.Serialize(&payload);
+  // v2 trailing section. The caller (server) leaves forest_present false
+  // for v1 clients, whose parsers stop exactly here.
+  if (msg.forest_present) {
+    payload.WriteU8(1);
+    msg.forest.Serialize(&payload);
+  }
   return EncodeFrame(MsgType::kServerInfo, payload.view());
 }
 
@@ -93,18 +99,40 @@ std::vector<uint8_t> EncodeErrorAnswerFrame(uint64_t request_id,
 
 std::vector<uint8_t> EncodeAnswerFramePrelude(uint64_t request_id,
                                               uint32_t shard,
-                                              size_t proof_size) {
+                                              size_t proof_size,
+                                              size_t tail_size) {
   // The declared payload covers the prelude AND the proof bytes the caller
-  // streams from the shared bundle after this buffer.
-  const size_t payload_size =
-      sizeof(uint64_t) + sizeof(uint32_t) + 1 + sizeof(uint32_t) + proof_size;
+  // streams from the shared bundle after this buffer, AND the owned forest
+  // tail (if any) after those.
+  const size_t payload_size = sizeof(uint64_t) + sizeof(uint32_t) + 1 +
+                              sizeof(uint32_t) + proof_size + tail_size;
   ByteWriter w;
-  w.Reserve(kFrameHeaderSize + payload_size - proof_size);
+  w.Reserve(kFrameHeaderSize + payload_size - proof_size - tail_size);
   EncodeFrameHeader(MsgType::kAnswer, payload_size, &w);
   w.WriteU64(request_id);
   w.WriteU32(shard);
   w.WriteU8(static_cast<uint8_t>(StatusCode::kOk));
   w.WriteU32(static_cast<uint32_t>(proof_size));
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeAnswerForestTail(
+    std::span<const uint8_t> encoded_path,
+    std::span<const uint8_t> encoded_certificate) {
+  uint8_t flags = kAnswerFlagForestPath;
+  if (!encoded_certificate.empty()) {
+    flags |= kAnswerFlagForestCertificate;
+  }
+  ByteWriter w;
+  w.Reserve(1 + sizeof(uint32_t) + encoded_path.size() +
+            (encoded_certificate.empty()
+                 ? 0
+                 : sizeof(uint32_t) + encoded_certificate.size()));
+  w.WriteU8(flags);
+  w.WriteLengthPrefixed(encoded_path);
+  if (!encoded_certificate.empty()) {
+    w.WriteLengthPrefixed(encoded_certificate);
+  }
   return w.TakeBytes();
 }
 
@@ -138,6 +166,24 @@ Status ParseServerInfo(std::span<const uint8_t> payload, ServerInfoMsg* out) {
     return Malformed("server info owner key", key.status());
   }
   out->owner_key = std::move(key).value();
+  // v2 trailing section: a v1 frame ends here, which is not a defect.
+  out->forest_present = false;
+  out->forest = ForestCertificate{};
+  if (r.AtEnd()) {
+    return Status::Ok();
+  }
+  uint8_t present = 0;
+  s = r.ReadU8(&present);
+  if (!s.ok() || present > 1) {
+    return Status::Malformed("server info: bad forest-present byte");
+  }
+  if (present == 1) {
+    s = ForestCertificate::DeserializeInto(&r, &out->forest);
+    if (!s.ok()) {
+      return Malformed("server info forest certificate", s);
+    }
+    out->forest_present = true;
+  }
   return RequireAtEnd(r, "server info");
 }
 
@@ -168,6 +214,8 @@ Status ParseAnswer(std::span<const uint8_t> payload, AnswerMsg* out) {
   out->status = code.value();
   out->error.clear();
   out->proof.clear();
+  out->forest_path.clear();
+  out->forest_certificate.clear();
   if (out->status == StatusCode::kOk) {
     s = r.ReadLengthPrefixed(&out->proof);
     if (!s.ok()) {
@@ -177,6 +225,31 @@ Status ParseAnswer(std::span<const uint8_t> payload, AnswerMsg* out) {
     s = r.ReadString(&out->error);
     if (!s.ok()) {
       return Malformed("answer error", s);
+    }
+  }
+  // v2 trailing sections: a v1 frame ends here, which is not a defect.
+  if (r.AtEnd()) {
+    return Status::Ok();
+  }
+  uint8_t flags = 0;
+  s = r.ReadU8(&flags);
+  if (!s.ok() ||
+      (flags & ~(kAnswerFlagForestPath | kAnswerFlagForestCertificate)) !=
+          0) {
+    // Unknown flag bits are a framing defect, not a future extension: the
+    // server only emits sections this client's declared version knows.
+    return Status::Malformed("answer: unknown trailing-section flags");
+  }
+  if (flags & kAnswerFlagForestPath) {
+    s = r.ReadLengthPrefixed(&out->forest_path);
+    if (!s.ok()) {
+      return Malformed("answer forest path", s);
+    }
+  }
+  if (flags & kAnswerFlagForestCertificate) {
+    s = r.ReadLengthPrefixed(&out->forest_certificate);
+    if (!s.ok()) {
+      return Malformed("answer forest certificate", s);
     }
   }
   return RequireAtEnd(r, "answer");

@@ -23,20 +23,39 @@
 //   kServerInfo    protocol_version u32 | method u8 | num_nodes u32 |
 //                  num_groups u32 | certificate_version u32 |
 //                  owner public key (RsaPublicKey::Serialize)
+//                  [v2, optional] forest_present u8 |
+//                  forest certificate (ForestCertificate::Serialize)
 //   kQuery         request_id u64 | source u32 | target u32
 //   kAnswer        request_id u64 | shard u32 | status u8 |
 //                  ok:    proof_len u32 | proof bytes (the ProofBundle
 //                         wire message, verified by core/client.h)
 //                  error: message string (u32 length prefix)
+//                  [v2, optional] flags u8 |
+//                  flags&1: forest path bytes (u32 length prefix) |
+//                  flags&2: forest certificate bytes (u32 length prefix)
 //   kStatsRequest  (empty)
 //   kStats         count u32 | count * (key string | value u64)
+//
+// Version negotiation: protocol 2 adds the OPTIONAL trailing forest
+// sections above; everything before them is byte-identical to protocol 1.
+// A v2 server only emits them to a client whose hello declared version
+// >= 2 (per-connection gating), so a v1 client's strict trailing-garbage
+// parsers never see them; a v2 parser reading a v1 frame simply finds the
+// payload ends where v1 said it would. The forest certificate rides in
+// the handshake once and again inline in the first answer after a fleet
+// rotation (flags&2), so long-lived connections learn new epochs without
+// re-handshaking.
 //
 // Zero-copy serving: the answer path is split into
 // EncodeAnswerFramePrelude (frame header + request_id/shard/status/
 // proof_len, a few dozen owned bytes) so the server can queue the proof
 // bytes straight out of the shared ProofBundle that lives in the proof
 // cache — an LRU hit travels cache slot → socket without a single payload
-// copy. EncodeFrame-based helpers cover every other (small) message.
+// copy. A forest answer adds a third, owned tail chunk (flags + the
+// fleet's pre-encoded path, per-answer bytes by definition) AFTER the
+// shared proof bytes — the proof is never staged into an owned buffer to
+// append the tail, which keeps proof_bytes_copied at 0 in forest mode
+// too. EncodeFrame-based helpers cover every other (small) message.
 #ifndef SPAUTH_NET_WIRE_PROTOCOL_H_
 #define SPAUTH_NET_WIRE_PROTOCOL_H_
 
@@ -47,6 +66,7 @@
 #include <vector>
 
 #include "core/certificate.h"
+#include "core/forest_certificate.h"
 #include "crypto/rsa.h"
 #include "graph/workload.h"
 #include "util/byte_buffer.h"
@@ -56,7 +76,14 @@ namespace spauth {
 
 /// "SPTH" as the little-endian u32 a ByteWriter emits.
 inline constexpr uint32_t kWireMagic = 0x48545053;
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Version 2 = version 1 + optional trailing forest sections (see above).
+inline constexpr uint32_t kProtocolVersion = 2;
+/// Oldest client hello a server still serves (without forest sections).
+inline constexpr uint32_t kMinProtocolVersion = 1;
+
+/// kAnswer trailing-section flag bits (v2).
+inline constexpr uint8_t kAnswerFlagForestPath = 1;
+inline constexpr uint8_t kAnswerFlagForestCertificate = 2;
 /// magic u32 | type u8 | payload_len u32.
 inline constexpr size_t kFrameHeaderSize = 9;
 /// Default cap on a declared payload length. Far above any real proof
@@ -94,6 +121,10 @@ struct ServerInfoMsg {
   uint32_t num_groups = 0;
   uint32_t certificate_version = 0;
   RsaPublicKey owner_key;
+  // v2: the fleet's current forest certificate, when the deployment runs
+  // forest mode (absent on v1 frames and non-forest deployments).
+  bool forest_present = false;
+  ForestCertificate forest;
 };
 
 struct QueryMsg {
@@ -107,6 +138,12 @@ struct AnswerMsg {
   StatusCode status = StatusCode::kOk;
   std::string error;           // set when status != kOk
   std::vector<uint8_t> proof;  // set when status == kOk
+  // v2 trailing sections, still encoded (the client verifier decodes
+  // them); empty = absent. The certificate appears on the first answer of
+  // a fresh fleet epoch so a long-lived connection re-anchors without a
+  // re-handshake.
+  std::vector<uint8_t> forest_path;
+  std::vector<uint8_t> forest_certificate;
 };
 
 /// Flat key/value serving counters (kStats payload).
@@ -138,9 +175,23 @@ std::vector<uint8_t> EncodeErrorAnswerFrame(uint64_t request_id,
 /// The caller queues the returned bytes and then the shared bundle's
 /// `bytes` span itself; the concatenation is byte-identical to
 /// EncodeFrame(kAnswer, <full payload>) (wire_protocol_test pins this).
+/// `tail_size` declares the bytes of an owned forest tail the caller will
+/// queue AFTER the proof (0 on v1 connections and non-forest answers —
+/// the prelude is then byte-identical to the seed's).
 std::vector<uint8_t> EncodeAnswerFramePrelude(uint64_t request_id,
                                               uint32_t shard,
-                                              size_t proof_size);
+                                              size_t proof_size,
+                                              size_t tail_size = 0);
+
+/// The owned forest tail of a v2 OK answer: flags byte plus the
+/// length-prefixed pre-encoded path, plus the length-prefixed encoded
+/// forest certificate when `encoded_certificate` is non-empty (first
+/// answer of a fresh epoch on this connection). Its size feeds the
+/// prelude's `tail_size`; the proof bytes themselves stay in the shared
+/// bundle chunk, uncopied.
+std::vector<uint8_t> EncodeAnswerForestTail(
+    std::span<const uint8_t> encoded_path,
+    std::span<const uint8_t> encoded_certificate = {});
 
 // ---------------------------------------------------------------------------
 // Payload parsing. Every helper returns kMalformed on any defect —

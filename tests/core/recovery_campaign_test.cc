@@ -32,6 +32,7 @@
 
 #include "core/core_test_context.h"
 #include "core/engine.h"
+#include "core/forest_certificate.h"
 #include "core/sharded_engine.h"
 #include "core/snapshot_store.h"
 #include "core/wal.h"
@@ -788,6 +789,85 @@ TEST_F(ReplicaHealTest, ResyncFaultAbortsHealAndRotationRetryably) {
   EXPECT_EQ(stats.totals.resyncs, 1u);
   EXPECT_EQ(stats.totals.resync_failures, 2u);
   testing::ExpectShardStatsConserve(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-fleet kill point: a crash partway through a FLEET rotation recovers
+// shards into mixed certificate versions; ReconcileFleetEpoch must roll
+// the laggards forward so the next forest publish covers one uniform
+// epoch instead of certifying a fleet that never existed.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCampaignTest, MidFleetKillRecoversMixedEpochsAndReconciles) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  const auto batch0 = MakeBatch(edges, 40);
+  const auto batch1 = MakeBatch(edges, 41);
+
+  // Three durable worlds — a replicated fleet, each shard with its own
+  // snapshot store + WAL. Batch 0 lands fleet-wide; the "fleet rotation"
+  // of batch 1 dies after shard 0 and shard 1 absorbed it, before shard 2.
+  World worlds[3] = {MakeWorld("fleet_w0"), MakeWorld("fleet_w1"),
+                     MakeWorld("fleet_w2")};
+  for (World& w : worlds) {
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, batch0).ok());
+  }
+  ASSERT_TRUE(worlds[0].engine->ApplyEdgeWeightUpdates(ctx.keys, batch1).ok());
+  ASSERT_TRUE(worlds[1].engine->ApplyEdgeWeightUpdates(ctx.keys, batch1).ok());
+
+  // Crash the whole fleet; recover every shard from its own disk.
+  std::vector<std::unique_ptr<MethodEngine>> recovered;
+  for (World& w : worlds) {
+    auto r = CrashAndRecover(w);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    recovered.push_back(std::move(r.value().engine));
+  }
+
+  // The durable truth IS mixed: two shards a batch ahead of the third
+  // (versions advance by the batch's update count).
+  const uint32_t ahead = recovered[0]->certificate().params.version;
+  EXPECT_EQ(recovered[1]->certificate().params.version, ahead);
+  EXPECT_LT(recovered[2]->certificate().params.version, ahead);
+
+  // Reconcile: the laggard adopts the most advanced recovered snapshot.
+  std::vector<MethodEngine*> fleet = {recovered[0].get(), recovered[1].get(),
+                                      recovered[2].get()};
+  auto rolled = ReconcileFleetEpoch(fleet);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_EQ(rolled.value(), 1u);
+  for (MethodEngine* engine : fleet) {
+    EXPECT_EQ(engine->certificate().params.version, ahead);
+  }
+
+  // The reconciled fleet serves byte-for-byte what a never-crashed twin
+  // that applied both batches serves — from every shard.
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch0).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, batch1).ok());
+  for (MethodEngine* engine : fleet) {
+    ExpectByteTransparent(*engine, *twin);
+  }
+
+  // A forest built over the reconciled fleet certifies one uniform epoch:
+  // every shard's answer authenticates through its path.
+  std::vector<Digest> leaves;
+  for (MethodEngine* engine : fleet) {
+    leaves.push_back(engine->certificate().BodyDigest());
+  }
+  ForestParams params;
+  params.fleet_epoch = 1;
+  params.num_shards = static_cast<uint32_t>(leaves.size());
+  auto forest = BuildForestCertificate(ctx.keys, params, leaves);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  for (size_t s = 0; s < fleet.size(); ++s) {
+    EXPECT_TRUE(CheckForestPath(forest.value().certificate,
+                                forest.value().paths[s], leaves[s])
+                    .ok());
+  }
+
+  // Idempotent: an already uniform fleet reconciles to zero rolls.
+  EXPECT_EQ(ReconcileFleetEpoch(fleet).value(), 0u);
 }
 
 }  // namespace

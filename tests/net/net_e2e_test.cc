@@ -485,5 +485,126 @@ TEST(NetE2eTest, TornWriteFaultIsRefusedAndRecoverable) {
   EXPECT_GE(server.stats().conns_killed, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Forest mode over the wire (protocol v2)
+// ---------------------------------------------------------------------------
+
+// The amortization contract end to end: the handshake carries the forest
+// certificate (ONE RSA verify), every answer carries a forest path and
+// verifies hash-only, the zero-copy pin holds with tails attached, and a
+// mid-connection fleet rotation re-anchors the epoch through an inline
+// certificate without a reconnect.
+TEST(NetE2eTest, ForestModeAmortizesToOneRsaVerifyPerEpoch) {
+  const auto& ctx = NetTestContext::Get();
+  auto engine = MakeEngine(3, /*cache=*/true);
+  ASSERT_TRUE(engine->EnableForestCertificates(*ctx.keys).ok());
+  SpauthServer server(engine.get(), ctx.keys->public_key());
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client(ctx.keys->public_key(), ClientOptions(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_TRUE(client.forest_mode());
+  EXPECT_EQ(client.FleetEpochWatermark(), 1u);
+  EXPECT_EQ(client.stats().forest_certs_accepted, 1u);
+
+  // Steady state: every answer authenticates through its path — no RSA.
+  Rng rng(31);
+  const uint64_t verifies_before = RsaVerifyOps();
+  for (int i = 0; i < 6; ++i) {
+    auto r = client.Query(RandomQuery(rng, ctx.graph.num_nodes()));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value().outcome.accepted) << r.value().outcome.ToString();
+  }
+  EXPECT_EQ(RsaVerifyOps(), verifies_before)
+      << "per-answer verification must be hash-only in forest mode";
+  EXPECT_EQ(client.stats().forest_answers, 6u);
+
+  // The zero-copy pin holds with forest tails attached: path bytes are
+  // owned per-answer bytes, proof bytes still stream from the cache slot.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.proof_bytes_copied, 0u);
+  EXPECT_EQ(stats.forest_paths_sent, 6u);
+
+  // Fleet rotation mid-connection: ONE signature fleet-wide, and the next
+  // answer re-anchors the client to epoch 2 through the inline
+  // certificate — one more RSA verify, no reconnect.
+  const UndirectedEdgeInfo e = AnyEdge(ctx.graph);
+  const EdgeWeightUpdate update{e.u, e.v, e.weight * 1.25};
+  const uint64_t signs_before = RsaSignOps();
+  ASSERT_TRUE(engine
+                  ->ApplyEdgeWeightUpdatesAllShards(
+                      *ctx.keys, std::span<const EdgeWeightUpdate>(&update, 1))
+                  .ok());
+  EXPECT_EQ(RsaSignOps() - signs_before, 1u);
+  auto after = client.Query(RandomQuery(rng, ctx.graph.num_nodes()));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().outcome.accepted) << after.value().outcome.ToString();
+  EXPECT_EQ(client.FleetEpochWatermark(), 2u);
+  EXPECT_EQ(client.stats().forest_certs_accepted, 2u);
+  EXPECT_GE(server.stats().forest_certs_sent, 2u);  // handshake + inline
+
+  // Reconnect: the epoch watermark is client state. Re-accepting epoch
+  // 2's certificate on the new handshake is the free idempotent path.
+  client.Disconnect();
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.FleetEpochWatermark(), 2u);
+  auto again = client.Query(RandomQuery(rng, ctx.graph.num_nodes()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().outcome.accepted);
+}
+
+// Anti-rollback: once a session has seen forest mode, an endpoint that
+// stops presenting a forest certificate is refused — a provider must not
+// be able to downgrade a client to trusting bare per-shard signatures.
+TEST(NetE2eTest, ForestDowngradeAcrossReconnectIsRefused) {
+  const auto& ctx = NetTestContext::Get();
+  auto forest_engine = MakeEngine(2);
+  ASSERT_TRUE(forest_engine->EnableForestCertificates(*ctx.keys).ok());
+  SpauthServer forest_server(forest_engine.get(), ctx.keys->public_key());
+  ASSERT_TRUE(forest_server.Start().ok());
+
+  auto legacy_engine = MakeEngine(2);
+  SpauthServer legacy_server(legacy_engine.get(), ctx.keys->public_key());
+  ASSERT_TRUE(legacy_server.Start().ok());
+
+  NetClientOptions options = ClientOptions(forest_server.port());
+  options.connect_attempts = 1;
+  NetClient client(ctx.keys->public_key(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.forest_mode());
+
+  // "Failover" to an endpoint that presents no forest: refused outright.
+  client.SetEndpoint("127.0.0.1", legacy_server.port());
+  EXPECT_FALSE(client.Connect().ok());
+
+  // Back to the forest endpoint: the session recovers.
+  client.SetEndpoint("127.0.0.1", forest_server.port());
+  ASSERT_TRUE(client.Connect().ok());
+  auto r = client.Query(Query{3, 140});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().outcome.accepted);
+}
+
+// A client that never saw forest mode talks to a forest server exactly as
+// before when it only speaks v1 — interop is the server's job. (The
+// NetClient always speaks v2; this pins the other side: a v2 client
+// against a legacy engine with no forest enabled.)
+TEST(NetE2eTest, NonForestServingStaysV1Compatible) {
+  const auto& ctx = NetTestContext::Get();
+  auto engine = MakeEngine(2);
+  SpauthServer server(engine.get(), ctx.keys->public_key());
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client(ctx.keys->public_key(), ClientOptions(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_FALSE(client.forest_mode());
+  EXPECT_EQ(client.FleetEpochWatermark(), 0u);
+  auto r = client.Query(Query{9, 201});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().outcome.accepted);
+  EXPECT_EQ(client.stats().forest_answers, 0u);
+  EXPECT_EQ(server.stats().forest_paths_sent, 0u);
+}
+
 }  // namespace
 }  // namespace spauth

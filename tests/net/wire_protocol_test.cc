@@ -11,6 +11,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/forest_certificate.h"
 #include "util/rng.h"
 
 namespace spauth {
@@ -143,6 +144,184 @@ TEST(WireProtocolTest, AnswerPreludePlusProofEqualsMonolithicEncoding) {
   EXPECT_EQ(answer.shard, 3u);
   EXPECT_EQ(answer.status, StatusCode::kOk);
   EXPECT_EQ(answer.proof, proof);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: forest trailing sections (version-gated, v1-tolerant)
+// ---------------------------------------------------------------------------
+
+/// A tiny signed forest over `shards` fake certificate digests.
+ForestBuild TestForest(uint32_t shards, uint32_t epoch = 1) {
+  Rng rng(1234);
+  auto keys = RsaKeyPair::Generate(512, &rng);
+  EXPECT_TRUE(keys.ok());
+  std::vector<Digest> leaves;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint8_t seed[2] = {static_cast<uint8_t>(s), 0x5a};
+    leaves.push_back(Hasher::Hash(HashAlgorithm::kSha1, seed));
+  }
+  ForestParams params;
+  params.fleet_epoch = epoch;
+  params.num_shards = shards;
+  auto built = BuildForestCertificate(keys.value(), params, leaves);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+std::vector<uint8_t> EncodePath(const ForestPath& path) {
+  ByteWriter w;
+  path.Serialize(&w);
+  return w.TakeBytes();
+}
+
+TEST(WireProtocolTest, ServerInfoRoundTripsWithForestCertificate) {
+  const ForestBuild forest = TestForest(4, 9);
+  ServerInfoMsg info;
+  info.method = MethodKind::kDij;
+  info.num_nodes = 500;
+  info.num_groups = 4;
+  info.certificate_version = 3;
+  info.owner_key = TestKey();
+  info.forest_present = true;
+  info.forest = forest.certificate;
+
+  FrameDecoder decoder;
+  auto frames = DecodeAll(decoder, EncodeServerInfoFrame(info));
+  ASSERT_EQ(frames.size(), 1u);
+  ServerInfoMsg decoded;
+  ASSERT_TRUE(ParseServerInfo(frames[0].payload, &decoded).ok());
+  ASSERT_TRUE(decoded.forest_present);
+  EXPECT_EQ(decoded.forest.params.fleet_epoch, 9u);
+  EXPECT_EQ(decoded.forest.params.num_shards, 4u);
+  EXPECT_EQ(decoded.forest.signature, forest.certificate.signature);
+  ByteWriter a, b;
+  forest.certificate.Serialize(&a);
+  decoded.forest.Serialize(&b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+// A v1 ServerInfo frame (no trailing sections) must parse on a v2 peer
+// with forest_present false — old servers keep working unchanged.
+TEST(WireProtocolTest, V1ServerInfoParsesWithoutForest) {
+  ServerInfoMsg info;
+  info.method = MethodKind::kDij;
+  info.num_nodes = 100;
+  info.num_groups = 1;
+  info.owner_key = TestKey();
+  // forest_present defaults false: the encoder emits a v1-shaped frame.
+  FrameDecoder decoder;
+  auto frames = DecodeAll(decoder, EncodeServerInfoFrame(info));
+  ASSERT_EQ(frames.size(), 1u);
+  ServerInfoMsg decoded;
+  decoded.forest_present = true;  // parser must reset, not inherit
+  ASSERT_TRUE(ParseServerInfo(frames[0].payload, &decoded).ok());
+  EXPECT_FALSE(decoded.forest_present);
+}
+
+TEST(WireProtocolTest, ForestTailRoundTripsThroughThreeChunkSplit) {
+  const ForestBuild forest = TestForest(4);
+  const std::vector<uint8_t> proof = {0x10, 0x20, 0x30, 0x40, 0x50};
+  const std::vector<uint8_t> path = EncodePath(forest.paths[2]);
+  ByteWriter cw;
+  forest.certificate.Serialize(&cw);
+  const std::vector<uint8_t> cert = cw.TakeBytes();
+
+  // Path-only tail (steady state within an epoch).
+  {
+    const std::vector<uint8_t> tail = EncodeAnswerForestTail(path);
+    std::vector<uint8_t> stream =
+        EncodeAnswerFramePrelude(5, 2, proof.size(), tail.size());
+    stream.insert(stream.end(), proof.begin(), proof.end());
+    stream.insert(stream.end(), tail.begin(), tail.end());
+
+    FrameDecoder decoder;
+    auto frames = DecodeAll(decoder, stream);
+    ASSERT_EQ(frames.size(), 1u);
+    AnswerMsg answer;
+    ASSERT_TRUE(ParseAnswer(frames[0].payload, &answer).ok());
+    EXPECT_EQ(answer.proof, proof);
+    EXPECT_EQ(answer.forest_path, path);
+    EXPECT_TRUE(answer.forest_certificate.empty());
+
+    // The decoded path replays against the certified root.
+    ByteReader r(answer.forest_path);
+    ForestPath decoded_path;
+    ASSERT_TRUE(ForestPath::DeserializeInto(&r, &decoded_path).ok());
+    EXPECT_EQ(decoded_path.shard, 2u);
+  }
+
+  // Path + inline certificate tail (first answer of a fresh epoch).
+  {
+    const std::vector<uint8_t> tail = EncodeAnswerForestTail(path, cert);
+    std::vector<uint8_t> stream =
+        EncodeAnswerFramePrelude(6, 2, proof.size(), tail.size());
+    stream.insert(stream.end(), proof.begin(), proof.end());
+    stream.insert(stream.end(), tail.begin(), tail.end());
+
+    FrameDecoder decoder;
+    auto frames = DecodeAll(decoder, stream);
+    ASSERT_EQ(frames.size(), 1u);
+    AnswerMsg answer;
+    ASSERT_TRUE(ParseAnswer(frames[0].payload, &answer).ok());
+    EXPECT_EQ(answer.forest_path, path);
+    EXPECT_EQ(answer.forest_certificate, cert);
+  }
+}
+
+// A v1 answer (no tail) parses with empty forest fields, and the parser
+// resets stale fields rather than inheriting them from a previous answer.
+TEST(WireProtocolTest, V1AnswerParsesWithEmptyForestFields) {
+  const std::vector<uint8_t> proof = {0x01, 0x02};
+  std::vector<uint8_t> stream = EncodeAnswerFramePrelude(7, 0, proof.size());
+  stream.insert(stream.end(), proof.begin(), proof.end());
+  FrameDecoder decoder;
+  auto frames = DecodeAll(decoder, stream);
+  ASSERT_EQ(frames.size(), 1u);
+  AnswerMsg answer;
+  answer.forest_path = {0xFF};
+  answer.forest_certificate = {0xEE};
+  ASSERT_TRUE(ParseAnswer(frames[0].payload, &answer).ok());
+  EXPECT_TRUE(answer.forest_path.empty());
+  EXPECT_TRUE(answer.forest_certificate.empty());
+}
+
+TEST(WireProtocolTest, UnknownAnswerFlagBitsAreMalformed) {
+  const ForestBuild forest = TestForest(2);
+  const std::vector<uint8_t> proof = {0x99};
+  std::vector<uint8_t> tail = EncodeAnswerForestTail(EncodePath(forest.paths[0]));
+  tail[0] |= 0x80;  // a flag bit this version does not define
+  std::vector<uint8_t> stream =
+      EncodeAnswerFramePrelude(8, 0, proof.size(), tail.size());
+  stream.insert(stream.end(), proof.begin(), proof.end());
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  FrameDecoder decoder;
+  auto frames = DecodeAll(decoder, stream);
+  ASSERT_EQ(frames.size(), 1u);
+  AnswerMsg answer;
+  EXPECT_FALSE(ParseAnswer(frames[0].payload, &answer).ok());
+}
+
+TEST(WireProtocolTest, TruncatedForestTailIsMalformedNeverMisparsed) {
+  const ForestBuild forest = TestForest(2);
+  const std::vector<uint8_t> proof = {0x42, 0x43};
+  const std::vector<uint8_t> tail =
+      EncodeAnswerForestTail(EncodePath(forest.paths[1]));
+  // Chop the tail at every non-empty prefix length (an EMPTY tail is a
+  // well-formed v1 answer by design): each must refuse, never accept a
+  // partial path as complete.
+  for (size_t keep = 1; keep + 1 < tail.size(); ++keep) {
+    const std::vector<uint8_t> cut(tail.begin(), tail.begin() + keep);
+    std::vector<uint8_t> stream =
+        EncodeAnswerFramePrelude(9, 1, proof.size(), cut.size());
+    stream.insert(stream.end(), proof.begin(), proof.end());
+    stream.insert(stream.end(), cut.begin(), cut.end());
+    FrameDecoder decoder;
+    auto frames = DecodeAll(decoder, stream);
+    ASSERT_EQ(frames.size(), 1u) << "keep=" << keep;
+    AnswerMsg answer;
+    EXPECT_FALSE(ParseAnswer(frames[0].payload, &answer).ok())
+        << "accepted a tail truncated to " << keep << " bytes";
+  }
 }
 
 // ---------------------------------------------------------------------------
