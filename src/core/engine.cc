@@ -119,6 +119,29 @@ Result<uint32_t> MethodEngine::ApplyEdgeWeightUpdatesUnsigned(
       "method hints require a rebuild on weight changes");
 }
 
+Result<uint32_t> MethodEngine::ApplyStructuralUpdates(
+    const RsaKeyPair& /*keys*/, std::span<const StructuralUpdate> ops) {
+  if (ops.empty()) {
+    return CurrentState()->certificate.params.version;
+  }
+  return Status::FailedPrecondition(
+      "method hints require a rebuild on structural changes");
+}
+
+Result<uint32_t> MethodEngine::ApplyStructuralUpdate(
+    const RsaKeyPair& keys, const StructuralUpdate& op) {
+  return ApplyStructuralUpdates(keys, {&op, 1});
+}
+
+Result<uint32_t> MethodEngine::ApplyStructuralUpdatesUnsigned(
+    std::span<const StructuralUpdate> ops) {
+  if (ops.empty()) {
+    return CurrentState()->certificate.params.version;
+  }
+  return Status::FailedPrecondition(
+      "method hints require a rebuild on structural changes");
+}
+
 Status MethodEngine::SerializeDurableState(ByteWriter* /*out*/) const {
   return Status::FailedPrecondition(
       "durable snapshots are implemented for DIJ only");
@@ -417,6 +440,17 @@ class DijEngine : public MethodEngine {
     return ApplyUpdatesRotation(nullptr, updates);
   }
 
+  Result<uint32_t> ApplyStructuralUpdates(
+      const RsaKeyPair& keys,
+      std::span<const StructuralUpdate> ops) override {
+    return ApplyStructuralRotation(&keys, ops);
+  }
+
+  Result<uint32_t> ApplyStructuralUpdatesUnsigned(
+      std::span<const StructuralUpdate> ops) override {
+    return ApplyStructuralRotation(nullptr, ops);
+  }
+
   /// The rotation body shared by the signed and forest-mode (unsigned)
   /// update paths; `keys` == nullptr defers the certificate signature to
   /// the fleet layer's forest publish.
@@ -458,6 +492,45 @@ class DijEngine : public MethodEngine {
     }
     // Last fallible step before the publish: a fired point here discards
     // the fully-built clone and leaves the old snapshot serving.
+    SPAUTH_FAILPOINT_RETURN("engine/publish");
+    AddRotationCloneBytes(copied_bytes);
+    PublishState(std::move(next));
+    return version;
+  }
+
+  /// Structural twin of ApplyUpdatesRotation: same clone/WAL/publish
+  /// discipline, except the clones grow or shrink — the CSR splices
+  /// adjacency blocks, the ADS appends Merkle leaves for new vertices —
+  /// and the WAL record carries the structural kind so recovery replays
+  /// the exact op sequence.
+  Result<uint32_t> ApplyStructuralRotation(
+      const RsaKeyPair* keys, std::span<const StructuralUpdate> ops) {
+    std::unique_lock<std::mutex> rotation = LockForUpdate();
+    const std::shared_ptr<const DijState> cur = State();
+    if (ops.empty()) {
+      return cur->certificate.params.version;  // nothing to absorb
+    }
+    size_t copied_bytes = 0;
+    auto graph = std::make_shared<Graph>(*cur->graph);
+    auto next = std::make_unique<DijState>(cur->ads);
+    if (keys != nullptr) {
+      SPAUTH_RETURN_IF_ERROR(spauth::ApplyStructuralUpdates(
+          graph.get(), &next->ads, *keys, ops, &copied_bytes));
+    } else {
+      SPAUTH_RETURN_IF_ERROR(spauth::ApplyStructuralUpdatesUnsigned(
+          graph.get(), &next->ads, ops, &copied_bytes));
+    }
+    next->graph = std::move(graph);
+    next->certificate = next->ads.certificate;
+    next->cert_size = next->certificate.SerializedSize();
+    const uint32_t version = next->certificate.params.version;
+    if (Wal* wal = attached_wal()) {
+      WalRecord record;
+      record.kind = WalRecordKind::kStructural;
+      record.base_version = cur->certificate.params.version;
+      record.structural.assign(ops.begin(), ops.end());
+      SPAUTH_RETURN_IF_ERROR(wal->Append(record));
+    }
     SPAUTH_FAILPOINT_RETURN("engine/publish");
     AddRotationCloneBytes(copied_bytes);
     PublishState(std::move(next));

@@ -240,6 +240,27 @@ class MethodEngine {
   virtual Result<uint32_t> ApplyEdgeWeightUpdatesUnsigned(
       std::span<const EdgeWeightUpdate> updates);
 
+  /// Structural rotation: absorbs a batch of {AddEdge, RemoveEdge,
+  /// AddVertex} ops into ONE copy-on-write rotation with the same
+  /// publish/drain/WAL contract as ApplyEdgeWeightUpdates — one typed WAL
+  /// record, one signature at version + k, one atomic publish. The cloned
+  /// graph splices its CSR, the ADS refreshes/appends the affected tuples
+  /// and Merkle leaves (the tree grows a leaf per AddVertex), and frozen
+  /// pre-structural snapshots keep serving their own shape while they
+  /// drain. FailedPrecondition for FULL/LDM/HYP — their hints require a
+  /// rebuild on any shape change.
+  virtual Result<uint32_t> ApplyStructuralUpdates(
+      const RsaKeyPair& keys, std::span<const StructuralUpdate> ops);
+
+  /// Single-op wrapper: a batch of one (re-sign at version + 1).
+  Result<uint32_t> ApplyStructuralUpdate(const RsaKeyPair& keys,
+                                         const StructuralUpdate& op);
+
+  /// Forest-mode structural rotation: unsigned certificate body, forest
+  /// publish must follow (see ApplyEdgeWeightUpdatesUnsigned).
+  virtual Result<uint32_t> ApplyStructuralUpdatesUnsigned(
+      std::span<const StructuralUpdate> ops);
+
   /// Attaches a write-ahead log (core/wal.h): every subsequent update
   /// batch is appended — and flushed to stable storage — BEFORE its
   /// rotation publishes, so a crash never loses an acknowledged update.

@@ -201,6 +201,42 @@ Status NetworkAds::UpdateTuple(NodeId v, ExtendedTuple tuple,
   return Status::Ok();
 }
 
+Status NetworkAds::AppendNodeTuple(ExtendedTuple tuple, size_t* copied_bytes) {
+  if (tuple.id != num_nodes_) {
+    return Status::InvalidArgument(
+        "appended tuple id must be the next dense node id");
+  }
+  SPAUTH_FAILPOINT_RETURN("ads/update_tuple");
+  SPAUTH_RETURN_IF_ERROR(tree_.AppendLeaf(
+      tuple.LeafDigest(tree_.algorithm()), copied_bytes));
+  // The node -> leaf map is versioned: the new shape gets a private copy,
+  // any retired snapshot keeps reading the old vector untouched.
+  auto leaf_of_node = std::make_shared<std::vector<uint32_t>>(*leaf_of_node_);
+  if (copied_bytes != nullptr) {
+    *copied_bytes += leaf_of_node->size() * sizeof(uint32_t);
+  }
+  leaf_of_node->push_back(static_cast<uint32_t>(tree_.num_leaves() - 1));
+  leaf_of_node_ = std::move(leaf_of_node);
+  if (num_nodes_ % kTupleChunkNodes == 0) {
+    auto chunk = std::make_shared<TupleChunk>();
+    chunk->reserve(kTupleChunkNodes);
+    chunk->push_back(std::move(tuple));
+    tuple_chunks_.push_back(std::move(chunk));
+  } else {
+    TupleChunk& chunk = EnsureUniqueChunk(
+        tuple_chunks_.back(), copied_bytes, [](const TupleChunk& c) {
+          size_t bytes = 0;
+          for (const ExtendedTuple& t : c) {
+            bytes += t.SerializedSize();
+          }
+          return bytes;
+        });
+    chunk.push_back(std::move(tuple));
+  }
+  ++num_nodes_;
+  return Status::Ok();
+}
+
 Result<TupleSetProof> NetworkAds::ProveTuples(
     std::span<const NodeId> nodes) const {
   if (nodes.empty()) {

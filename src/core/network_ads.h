@@ -65,9 +65,12 @@ struct TupleSetProof {
 /// Persistent like its MerkleTree: the tuple array is held as shared_ptr
 /// chunks (copying a NetworkAds shares every chunk and the whole tree;
 /// UpdateTuple copy-on-writes exactly the touched chunk plus the leaf's
-/// Merkle path), and the node -> leaf map — immutable after Build — is one
-/// shared vector. This is what makes the engine's snapshot rotation cost
-/// O(f log_f V) instead of an O(V + E) ADS memcpy.
+/// Merkle path), and the node -> leaf map is one shared vector, versioned
+/// copy-on-write: weight updates never touch it, and a structural append
+/// (AppendNodeTuple) replaces it with a fresh private copy so retired
+/// snapshots keep reading their own shape. This is what makes the
+/// engine's snapshot rotation cost O(f log_f V) instead of an O(V + E)
+/// ADS memcpy.
 class NetworkAds {
  public:
   /// Tuples per shared chunk (the structural-sharing grain of updates).
@@ -104,6 +107,14 @@ class NetworkAds {
   /// StorageBytes) accumulated into `copied_bytes` when non-null.
   Status UpdateTuple(NodeId v, ExtendedTuple tuple,
                      size_t* copied_bytes = nullptr);
+
+  /// Inserts a brand-new node's tuple — the ADS half of AddVertex. The
+  /// tuple's id must be the next dense node id (num_nodes()); its leaf is
+  /// appended at the end of the leaf order, the Merkle tree grows by one
+  /// leaf (MerkleTree::AppendLeaf), and the node -> leaf map is replaced
+  /// with a fresh copy-on-write version. Same failure atomicity and
+  /// `copied_bytes` accounting as UpdateTuple.
+  Status AppendNodeTuple(ExtendedTuple tuple, size_t* copied_bytes = nullptr);
 
   /// Tuple chunks in the spine (structural-sharing accounting).
   size_t num_tuple_chunks() const { return tuple_chunks_.size(); }

@@ -14,6 +14,36 @@
 
 namespace spauth {
 
+namespace {
+
+// Relaxed high-water update for gauge counters (worst lag observed).
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Severity order for the totals gauge: open (denying) > half-open
+// (probing) > closed (healthy). The enum's numeric order differs, so this
+// cannot be a plain max.
+BreakerState MoreSevere(BreakerState a, BreakerState b) {
+  const auto rank = [](BreakerState s) {
+    switch (s) {
+      case BreakerState::kOpen:
+        return 2;
+      case BreakerState::kHalfOpen:
+        return 1;
+      case BreakerState::kClosed:
+        return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace
+
 size_t HashSourceRouter::Route(const Query& query, size_t num_shards) const {
   // Source ids are dense and correlated, so spread them before the modulo.
   const uint64_t h = SplitMix64Finalize(query.source);
@@ -545,6 +575,224 @@ Result<uint32_t> ShardedEngine::ApplyEdgeWeightUpdateAllShards(
   return ApplyEdgeWeightUpdatesAllShards(keys, {&update, 1});
 }
 
+Result<uint32_t> ShardedEngine::RotateGroupStructural(
+    size_t group, const RsaKeyPair& keys,
+    std::span<const StructuralUpdate> ops) {
+  if (group >= num_groups_) {
+    return Status::InvalidArgument("group index out of range");
+  }
+  // Same self-repair-then-lock-step discipline as RotateGroup: structural
+  // rotations on diverged bases would split the group's SHAPE, not just
+  // its version — strictly worse — so heal first, abort on a failed heal.
+  if (failover_.replicas_per_group > 1) {
+    SPAUTH_ASSIGN_OR_RETURN(size_t healed, HealGroup(group));
+    (void)healed;
+  }
+  uint32_t version = 0;
+  for (size_t replica = 0; replica < failover_.replicas_per_group; ++replica) {
+    const size_t engine = group * failover_.replicas_per_group + replica;
+    Result<uint32_t> applied =
+        forest_enabled_
+            ? shards_[engine]->ApplyStructuralUpdatesUnsigned(ops)
+            : shards_[engine]->ApplyStructuralUpdates(keys, ops);
+    Counters& counters = counters_[engine];
+    if (!applied.ok()) {
+      counters.update_failures.fetch_add(1, std::memory_order_relaxed);
+      return applied;
+    }
+    counters.structural_updates.fetch_add(ops.size(),
+                                          std::memory_order_relaxed);
+    version = applied.value();
+  }
+  return version;
+}
+
+Result<uint32_t> ShardedEngine::ApplyStructuralUpdates(
+    size_t group, const RsaKeyPair& keys,
+    std::span<const StructuralUpdate> ops) {
+  SPAUTH_ASSIGN_OR_RETURN(uint32_t version,
+                          RotateGroupStructural(group, keys, ops));
+  if (forest_enabled_) {
+    SPAUTH_RETURN_IF_ERROR(PublishForest(keys));
+  }
+  return version;
+}
+
+Result<uint32_t> ShardedEngine::ApplyStructuralUpdate(
+    size_t group, const RsaKeyPair& keys, const StructuralUpdate& op) {
+  return ApplyStructuralUpdates(group, keys, {&op, 1});
+}
+
+Result<uint32_t> ShardedEngine::ApplyStructuralUpdatesAllShards(
+    const RsaKeyPair& keys, std::span<const StructuralUpdate> ops) {
+  // Mirrors ApplyEdgeWeightUpdatesAllShards: every group gets its attempt,
+  // then the replicated-fleet roll-forward repair, then ONE forest publish.
+  uint32_t version = 0;
+  Status first_error = Status::Ok();
+  for (size_t group = 0; group < num_groups_; ++group) {
+    Result<uint32_t> rotated = RotateGroupStructural(group, keys, ops);
+    if (rotated.ok()) {
+      version = std::max(version, rotated.value());
+    } else if (first_error.ok()) {
+      first_error = rotated.status();
+    }
+  }
+  if (!first_error.ok() && replicated_fleet_) {
+    Result<size_t> rolled = RollFleetForward();
+    (void)rolled;  // best-effort: the rotation error below is the root cause
+  }
+  if (forest_enabled_) {
+    const Status published = PublishForest(keys);
+    if (first_error.ok()) {
+      SPAUTH_RETURN_IF_ERROR(published);
+    }
+  }
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return version;
+}
+
+Status ShardedEngine::EnableUpdateQueues(const UpdateQueueOptions& options,
+                                         bool fleet_lock_step) {
+  if (!queues_.empty()) {
+    return Status::FailedPrecondition("update queues already enabled");
+  }
+  if (fleet_lock_step && !replicated_fleet_) {
+    return Status::FailedPrecondition(
+        "a fleet-lock-step queue needs a replicated fleet: on region "
+        "partitions it would apply every region's ops to every region");
+  }
+  const size_t count = fleet_lock_step ? 1 : num_groups_;
+  queues_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<OwnerQueue>(options));
+  }
+  queues_fleet_lock_step_ = fleet_lock_step;
+  return Status::Ok();
+}
+
+Result<bool> ShardedEngine::EnqueueWeightUpdate(size_t queue,
+                                                const RsaKeyPair& keys,
+                                                const EdgeWeightUpdate& update,
+                                                uint64_t now_micros) {
+  if (queue >= queues_.size()) {
+    return queues_.empty()
+               ? Status::FailedPrecondition("update queues are not enabled")
+               : Status::InvalidArgument("queue index out of range");
+  }
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(queues_[queue]->mu);
+    trigger = queues_[queue]->queue.EnqueueWeight(update, now_micros);
+  }
+  const size_t preferred =
+      queues_fleet_lock_step_ ? 0 : queue * failover_.replicas_per_group;
+  counters_[preferred].enqueued_updates.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  if (!trigger) {
+    return false;
+  }
+  SPAUTH_ASSIGN_OR_RETURN(size_t drained, FlushQueue(queue, keys, now_micros));
+  return drained > 0;
+}
+
+Result<bool> ShardedEngine::EnqueueStructuralUpdate(size_t queue,
+                                                    const RsaKeyPair& keys,
+                                                    const StructuralUpdate& op,
+                                                    uint64_t now_micros) {
+  if (queue >= queues_.size()) {
+    return queues_.empty()
+               ? Status::FailedPrecondition("update queues are not enabled")
+               : Status::InvalidArgument("queue index out of range");
+  }
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(queues_[queue]->mu);
+    trigger = queues_[queue]->queue.EnqueueStructural(op, now_micros);
+  }
+  const size_t preferred =
+      queues_fleet_lock_step_ ? 0 : queue * failover_.replicas_per_group;
+  counters_[preferred].enqueued_updates.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  if (!trigger) {
+    return false;
+  }
+  SPAUTH_ASSIGN_OR_RETURN(size_t drained, FlushQueue(queue, keys, now_micros));
+  return drained > 0;
+}
+
+Result<size_t> ShardedEngine::PollUpdateQueues(const RsaKeyPair& keys,
+                                               uint64_t now_micros) {
+  if (queues_.empty()) {
+    return Status::FailedPrecondition("update queues are not enabled");
+  }
+  size_t drained = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    bool due = false;
+    {
+      std::lock_guard<std::mutex> lock(queues_[i]->mu);
+      due = queues_[i]->queue.ShouldFlush(now_micros);
+    }
+    if (due) {
+      SPAUTH_ASSIGN_OR_RETURN(size_t d, FlushQueue(i, keys, now_micros));
+      drained += d;
+    }
+  }
+  return drained;
+}
+
+Result<size_t> ShardedEngine::DrainUpdateQueues(const RsaKeyPair& keys,
+                                                uint64_t now_micros) {
+  if (queues_.empty()) {
+    return Status::FailedPrecondition("update queues are not enabled");
+  }
+  size_t drained = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    SPAUTH_ASSIGN_OR_RETURN(size_t d, FlushQueue(i, keys, now_micros));
+    drained += d;
+  }
+  return drained;
+}
+
+UpdateQueueStats ShardedEngine::update_queue_stats(size_t queue) const {
+  if (queue >= queues_.size()) {
+    return UpdateQueueStats{};
+  }
+  std::lock_guard<std::mutex> lock(queues_[queue]->mu);
+  return queues_[queue]->queue.stats();
+}
+
+Result<size_t> ShardedEngine::FlushQueue(size_t queue, const RsaKeyPair& keys,
+                                         uint64_t now_micros) {
+  OwnerQueue& oq = *queues_[queue];
+  std::lock_guard<std::mutex> lock(oq.mu);
+  const UpdateQueueStats before = oq.queue.stats();
+  const Status flushed = oq.queue.Flush(
+      now_micros,
+      [&](std::span<const EdgeWeightUpdate> run) {
+        return queues_fleet_lock_step_
+                   ? ApplyEdgeWeightUpdatesAllShards(keys, run).status()
+                   : ApplyEdgeWeightUpdates(queue, keys, run).status();
+      },
+      [&](std::span<const StructuralUpdate> run) {
+        return queues_fleet_lock_step_
+                   ? ApplyStructuralUpdatesAllShards(keys, run).status()
+                   : ApplyStructuralUpdates(queue, keys, run).status();
+      });
+  // Book what actually drained (a failed flush may still have rotated its
+  // leading runs) on the queue's preferred engine, then surface the error.
+  const UpdateQueueStats& after = oq.queue.stats();
+  const size_t preferred =
+      queues_fleet_lock_step_ ? 0 : queue * failover_.replicas_per_group;
+  Counters& counters = counters_[preferred];
+  counters.coalesced_rotations.fetch_add(after.rotations - before.rotations,
+                                         std::memory_order_relaxed);
+  AtomicMax(counters.update_lag_micros, after.max_lag_micros);
+  SPAUTH_RETURN_IF_ERROR(flushed);
+  return after.flushed_ops - before.flushed_ops;
+}
+
 std::vector<Result<uint32_t>> ShardedEngine::ApplyUpdateStream(
     std::span<const EdgeWeightUpdate> updates, const RsaKeyPair& keys) {
   std::vector<Result<uint32_t>> results(
@@ -605,8 +853,16 @@ ShardedStats ShardedEngine::GetStats() const {
     s.answer_micros =
         counters_[i].answer_nanos.load(std::memory_order_relaxed) / 1000;
     s.updates = counters_[i].updates.load(std::memory_order_relaxed);
+    s.structural_updates =
+        counters_[i].structural_updates.load(std::memory_order_relaxed);
     s.update_failures =
         counters_[i].update_failures.load(std::memory_order_relaxed);
+    s.enqueued_updates =
+        counters_[i].enqueued_updates.load(std::memory_order_relaxed);
+    s.coalesced_rotations =
+        counters_[i].coalesced_rotations.load(std::memory_order_relaxed);
+    s.update_lag_micros =
+        counters_[i].update_lag_micros.load(std::memory_order_relaxed);
     s.retries = counters_[i].retries.load(std::memory_order_relaxed);
     s.failovers = counters_[i].failovers.load(std::memory_order_relaxed);
     s.deadline_exceeded =
@@ -636,7 +892,10 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.failures += s.failures;
     stats.totals.answer_micros += s.answer_micros;
     stats.totals.updates += s.updates;
+    stats.totals.structural_updates += s.structural_updates;
     stats.totals.update_failures += s.update_failures;
+    stats.totals.enqueued_updates += s.enqueued_updates;
+    stats.totals.coalesced_rotations += s.coalesced_rotations;
     stats.totals.retries += s.retries;
     stats.totals.failovers += s.failovers;
     stats.totals.deadline_exceeded += s.deadline_exceeded;
@@ -647,9 +906,16 @@ ShardedStats ShardedEngine::GetStats() const {
     stats.totals.cross_group_serves += s.cross_group_serves;
     stats.totals.fleet_rollforwards += s.fleet_rollforwards;
     stats.totals.rotation_clone_bytes += s.rotation_clone_bytes;
-    stats.totals.live_snapshots += s.live_snapshots;
+    // Gauges aggregate as the max (or most severe) across shards — a sum
+    // of point-in-time readings would report a number no shard observed.
+    stats.totals.update_lag_micros =
+        std::max(stats.totals.update_lag_micros, s.update_lag_micros);
+    stats.totals.live_snapshots =
+        std::max(stats.totals.live_snapshots, s.live_snapshots);
     stats.totals.certificate_version =
         std::max(stats.totals.certificate_version, s.certificate_version);
+    stats.totals.breaker_state =
+        MoreSevere(stats.totals.breaker_state, s.breaker_state);
     stats.totals.cache.hits += s.cache.hits;
     stats.totals.cache.misses += s.cache.misses;
     stats.totals.cache.insertions += s.cache.insertions;

@@ -30,6 +30,7 @@
 #include "core/engine.h"
 #include "core/forest_certificate.h"
 #include "core/shard_health.h"
+#include "core/update_queue.h"
 
 namespace spauth {
 
@@ -137,10 +138,20 @@ struct ShardStats {
   uint64_t failures = 0;        // answers that returned an error Status
   uint64_t answer_micros = 0;   // total wall time spent answering
   uint64_t updates = 0;         // edge updates absorbed (rotations may batch)
+  uint64_t structural_updates = 0;  // structural ops absorbed (batched alike)
   uint64_t update_failures = 0; // update calls that returned an error Status
   uint64_t rotation_clone_bytes = 0;  // CoW bytes rotations actually copied
-  size_t live_snapshots = 0;    // published + retired-but-undrained states
-  uint32_t certificate_version = 0;  // current snapshot's signed version
+  // Coalescing-queue books (zero unless EnableUpdateQueues). Booked on the
+  // queue's preferred engine: the group's first replica (engine 0 for a
+  // fleet-lock-step queue), so summing shards still conserves.
+  uint64_t enqueued_updates = 0;    // ops accepted into this engine's queue
+  uint64_t coalesced_rotations = 0; // rotations queue flushes performed
+  // GAUGES — point-in-time or high-water readings, not event counts.
+  // Totals report each gauge as the max across shards: summing a gauge
+  // over shards would fabricate a number no shard ever observed.
+  uint64_t update_lag_micros = 0;  // worst queue staleness at flush (gauge)
+  size_t live_snapshots = 0;    // published + retired-but-undrained (gauge)
+  uint32_t certificate_version = 0;  // current signed version (gauge)
   // Failover-plane counters. A query is counted (queries/failures) exactly
   // once, on the engine that served it or was attempted last; retries /
   // failovers / breaker_skips accrue on the engines involved.
@@ -152,7 +163,9 @@ struct ShardStats {
   uint64_t deadline_exceeded = 0;
   uint64_t breaker_skips = 0;      // attempts denied by this engine's breaker
   uint64_t breaker_opens = 0;      // times this engine's breaker tripped
-  BreakerState breaker_state = BreakerState::kClosed;  // not meaningful in totals
+  // Gauge; totals carry the most severe state any shard reports (open >
+  // half-open > closed) — "is anything tripped" at a glance.
+  BreakerState breaker_state = BreakerState::kClosed;
   // Heal-plane counters (owner-side replica resync, see HealGroup).
   uint64_t resyncs = 0;          // times this replica adopted a sibling's state
   uint64_t resync_failures = 0;  // heal attempts on this replica that failed
@@ -164,8 +177,9 @@ struct ShardStats {
 };
 
 /// Per-shard stats plus their aggregate, from one consistent pass over the
-/// shards. `totals.certificate_version` is the max across shards (replicas
-/// kept in lock-step by ApplyEdgeWeightUpdateAllShards all report it).
+/// shards. Counters sum; gauges (certificate_version, live_snapshots,
+/// update_lag_micros, breaker_state) aggregate as the max — or most severe —
+/// across shards, never as a sum.
 struct ShardedStats {
   std::vector<ShardStats> shards;
   ShardStats totals;
@@ -279,6 +293,65 @@ class ShardedEngine {
                                                   NodeId u, NodeId v,
                                                   double new_weight);
 
+  /// Structural twin of ApplyEdgeWeightUpdates (group form): absorbs the
+  /// op batch into ONE structural rotation per replica (lock-step, one
+  /// signature at version + k each — see MethodEngine::
+  /// ApplyStructuralUpdates), healing laggards first, publishing the next
+  /// forest epoch in forest mode. DIJ fleets only; FULL/LDM/HYP shards
+  /// return FailedPrecondition.
+  Result<uint32_t> ApplyStructuralUpdates(size_t group, const RsaKeyPair& keys,
+                                          std::span<const StructuralUpdate> ops);
+
+  /// Single-op wrapper: a batch of one.
+  Result<uint32_t> ApplyStructuralUpdate(size_t group, const RsaKeyPair& keys,
+                                         const StructuralUpdate& op);
+
+  /// Structural twin of ApplyEdgeWeightUpdatesAllShards: every group
+  /// absorbs the batch (every group attempted even after a failure, then
+  /// the replicated-fleet roll-forward repair, then one forest publish).
+  Result<uint32_t> ApplyStructuralUpdatesAllShards(
+      const RsaKeyPair& keys, std::span<const StructuralUpdate> ops);
+
+  /// Installs a coalescing UpdateQueue (core/update_queue.h) in front of
+  /// the rotation paths. Per-group mode (fleet_lock_step == false): one
+  /// queue per routing group, a flush rotates that group only — the
+  /// region-partition shape, matching ApplyUpdateStream's placement.
+  /// Fleet-lock-step mode: ONE queue for the whole fleet, a flush drives
+  /// the AllShards rotations so replicas stay byte-transparent; requires a
+  /// replicated fleet (on region partitions a fleet-wide batch would apply
+  /// every region's ops to every region). Call once, before enqueuing;
+  /// FailedPrecondition on a second call.
+  Status EnableUpdateQueues(const UpdateQueueOptions& options,
+                            bool fleet_lock_step = false);
+
+  bool update_queues_enabled() const { return !queues_.empty(); }
+  /// Queues installed: num_groups(), or 1 in fleet-lock-step mode.
+  size_t num_update_queues() const { return queues_.size(); }
+
+  /// Buffers one op into queue `queue` (a group index; 0 in fleet mode)
+  /// and flushes immediately if a trigger fired — the returned bool says
+  /// whether a flush ran. `now_micros` is the caller's clock (synthetic in
+  /// tests/benchmarks); it feeds the staleness trigger and the lag gauge.
+  Result<bool> EnqueueWeightUpdate(size_t queue, const RsaKeyPair& keys,
+                                   const EdgeWeightUpdate& update,
+                                   uint64_t now_micros);
+  Result<bool> EnqueueStructuralUpdate(size_t queue, const RsaKeyPair& keys,
+                                       const StructuralUpdate& op,
+                                       uint64_t now_micros);
+
+  /// Staleness sweep: flushes every queue whose trigger fired (the owner's
+  /// timer tick). Returns the number of ops drained.
+  Result<size_t> PollUpdateQueues(const RsaKeyPair& keys, uint64_t now_micros);
+
+  /// Unconditional flush of every queue (owner shutdown / barrier).
+  /// Returns the number of ops drained.
+  Result<size_t> DrainUpdateQueues(const RsaKeyPair& keys,
+                                   uint64_t now_micros);
+
+  /// The queue's own books (enqueued/rotations/lag); zero-value stats for
+  /// an out-of-range index or when queues are disabled.
+  UpdateQueueStats update_queue_stats(size_t queue) const;
+
   /// Routes an owner update stream through the query router (one rotation
   /// per update on the owning shard). The result vector is parallel to
   /// `updates`; per-update failures surface without aborting the stream.
@@ -343,7 +416,11 @@ class ShardedEngine {
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> answer_nanos{0};
     std::atomic<uint64_t> updates{0};
+    std::atomic<uint64_t> structural_updates{0};
     std::atomic<uint64_t> update_failures{0};
+    std::atomic<uint64_t> enqueued_updates{0};
+    std::atomic<uint64_t> coalesced_rotations{0};
+    std::atomic<uint64_t> update_lag_micros{0};  // high-water gauge
     std::atomic<uint64_t> retries{0};
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> deadline_exceeded{0};
@@ -377,9 +454,29 @@ class ShardedEngine {
   Result<uint32_t> RotateGroup(size_t group, const RsaKeyPair& keys,
                                std::span<const EdgeWeightUpdate> updates);
 
+  /// Structural twin of RotateGroup (heals, then lock-step structural
+  /// rotations, defer-signed in forest mode).
+  Result<uint32_t> RotateGroupStructural(size_t group, const RsaKeyPair& keys,
+                                         std::span<const StructuralUpdate> ops);
+
+  /// One queue's flush under its mutex: drains same-kind runs into the
+  /// group (or AllShards) rotation paths and books the queue counters on
+  /// the preferred engine. Returns the number of ops drained.
+  Result<size_t> FlushQueue(size_t queue, const RsaKeyPair& keys,
+                            uint64_t now_micros);
+
   /// Builds and atomically publishes the next fleet epoch's forest over
   /// the groups' current certificate digests. Exactly one RSA signature.
   Status PublishForest(const RsaKeyPair& keys);
+
+  // One installed coalescing queue (EnableUpdateQueues). The mutex guards
+  // the queue itself; the rotations a flush performs take the engines'
+  // own update locks as usual.
+  struct OwnerQueue {
+    explicit OwnerQueue(const UpdateQueueOptions& options) : queue(options) {}
+    std::mutex mu;
+    UpdateQueue queue;
+  };
 
   std::vector<std::unique_ptr<MethodEngine>> shards_;
   std::unique_ptr<ShardRouter> router_;
@@ -399,6 +496,10 @@ class ShardedEngine {
   std::atomic<uint32_t> fleet_epoch_{0};
   mutable std::mutex forest_mu_;
   std::shared_ptr<const FleetCertificate> fleet_;
+  // Coalescing queues (empty until EnableUpdateQueues): one per group, or
+  // one fleet-wide in lock-step mode.
+  std::vector<std::unique_ptr<OwnerQueue>> queues_;
+  bool queues_fleet_lock_step_ = false;
 };
 
 /// Post-recovery fleet repair (the durability seam of forest mode): rolls

@@ -1,10 +1,13 @@
 #include "core/updates.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace spauth {
 
 namespace {
+
+Status SealCertificate(DijAds* ads, const RsaKeyPair* keys, size_t batch);
 
 // Shared maintenance body; `keys` == nullptr defers the signature (forest
 // mode — the fleet layer signs once over all shard roots instead).
@@ -44,8 +47,18 @@ Status ApplyUpdatesImpl(Graph* g, DijAds* ads, const RsaKeyPair* keys,
   // k single-update re-signs landing on the same root and version (the old
   // certificate stays cryptographically valid for the old root; freshness
   // enforcement is an out-of-band policy, see MethodParams::version).
+  return SealCertificate(ads, keys, updates.size());
+}
+
+// Seals the batch: one version bump of +k, refreshed leaf count, one
+// signature (or a defer-signed body in forest mode). Shared by the weight
+// and structural pipelines so both produce byte-identical certificates
+// for equal final state.
+Status SealCertificate(DijAds* ads, const RsaKeyPair* keys, size_t batch) {
   MethodParams params = ads->certificate.params;
-  params.version += static_cast<uint32_t>(updates.size());
+  params.version += static_cast<uint32_t>(batch);
+  params.num_network_leaves =
+      static_cast<uint32_t>(ads->network.tree().num_leaves());
   if (keys == nullptr) {
     // Defer-signed: identical certificate body (params, roots, version),
     // no signature. Everything the forest leaf hashes is already here.
@@ -60,6 +73,71 @@ Status ApplyUpdatesImpl(Graph* g, DijAds* ads, const RsaKeyPair* keys,
       MakeCertificate(*keys, std::move(params), ads->network.root(),
                       Digest()));
   return Status::Ok();
+}
+
+// Shared structural maintenance body; `keys` == nullptr defers the
+// signature exactly like ApplyUpdatesImpl.
+Status ApplyStructuralImpl(Graph* g, DijAds* ads, const RsaKeyPair* keys,
+                           std::span<const StructuralUpdate> ops,
+                           size_t* copied_bytes) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  for (const StructuralUpdate& op : ops) {
+    switch (op.kind) {
+      case StructuralOpKind::kAddEdge: {
+        SPAUTH_RETURN_IF_ERROR(
+            g->AddEdge(op.u, op.v, op.weight, copied_bytes));
+        for (NodeId node : {op.u, op.v}) {
+          ExtendedTuple tuple = ads->network.tuple(node);
+          const NodeId other = node == op.u ? op.v : op.u;
+          const auto it = std::lower_bound(
+              tuple.neighbors.begin(), tuple.neighbors.end(), other,
+              [](const NeighborEntry& e, NodeId id) { return e.id < id; });
+          if (it != tuple.neighbors.end() && it->id == other) {
+            return Status::Internal("tuple adjacency out of sync with graph");
+          }
+          tuple.neighbors.insert(it, NeighborEntry{other, op.weight});
+          SPAUTH_RETURN_IF_ERROR(
+              ads->network.UpdateTuple(node, std::move(tuple), copied_bytes));
+        }
+        break;
+      }
+      case StructuralOpKind::kRemoveEdge: {
+        SPAUTH_RETURN_IF_ERROR(g->RemoveEdge(op.u, op.v, copied_bytes));
+        for (NodeId node : {op.u, op.v}) {
+          ExtendedTuple tuple = ads->network.tuple(node);
+          const NodeId other = node == op.u ? op.v : op.u;
+          const auto it = std::lower_bound(
+              tuple.neighbors.begin(), tuple.neighbors.end(), other,
+              [](const NeighborEntry& e, NodeId id) { return e.id < id; });
+          if (it == tuple.neighbors.end() || it->id != other) {
+            return Status::Internal("tuple adjacency out of sync with graph");
+          }
+          tuple.neighbors.erase(it);
+          SPAUTH_RETURN_IF_ERROR(
+              ads->network.UpdateTuple(node, std::move(tuple), copied_bytes));
+        }
+        break;
+      }
+      case StructuralOpKind::kAddVertex: {
+        SPAUTH_ASSIGN_OR_RETURN(const NodeId id,
+                                g->AddVertex(op.x, op.y, copied_bytes));
+        // The new node's base tuple (Eq. 1): coordinates, no neighbors —
+        // exactly what BuildBaseTuples would emit for an isolated node.
+        ExtendedTuple tuple;
+        tuple.id = id;
+        tuple.x = op.x;
+        tuple.y = op.y;
+        SPAUTH_RETURN_IF_ERROR(
+            ads->network.AppendNodeTuple(std::move(tuple), copied_bytes));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown structural op kind");
+    }
+  }
+  return SealCertificate(ads, keys, ops.size());
 }
 
 }  // namespace
@@ -80,6 +158,23 @@ Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                         NodeId u, NodeId v, double new_weight) {
   const EdgeWeightUpdate update{u, v, new_weight};
   return ApplyEdgeWeightUpdates(g, ads, keys, {&update, 1});
+}
+
+Status ApplyStructuralUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                              std::span<const StructuralUpdate> ops,
+                              size_t* copied_bytes) {
+  return ApplyStructuralImpl(g, ads, &keys, ops, copied_bytes);
+}
+
+Status ApplyStructuralUpdatesUnsigned(Graph* g, DijAds* ads,
+                                      std::span<const StructuralUpdate> ops,
+                                      size_t* copied_bytes) {
+  return ApplyStructuralImpl(g, ads, nullptr, ops, copied_bytes);
+}
+
+Status ApplyStructuralUpdate(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                             const StructuralUpdate& op) {
+  return ApplyStructuralUpdates(g, ads, keys, {&op, 1});
 }
 
 }  // namespace spauth

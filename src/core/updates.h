@@ -1,42 +1,58 @@
 // Owner-side ADS maintenance: the copy-on-write building block behind
 // MethodEngine's snapshot rotations (DIJ only).
 //
-// Road networks change (roadworks, congestion re-weighting). DIJ is the
-// only method whose hints contain no global distance information, so one
-// weight change touches exactly two extended-tuples: the owner re-hashes
-// those two leaves and recomputes the O(f log_f |V|) Merkle path over the
-// tree's cached level digests — no re-hash of anything else.
+// Road networks change in two ways, and both are handled here:
+//
+//  - Re-weighting (roadworks, congestion): ApplyEdgeWeightUpdates. One
+//    weight change touches exactly two extended-tuples; the owner
+//    re-hashes those two leaves and recomputes the O(f log_f |V|) Merkle
+//    path over the tree's cached level digests — no re-hash of anything
+//    else.
+//  - Structural change (open a road, close one, add an intersection):
+//    ApplyStructuralUpdates over {AddEdge, RemoveEdge, AddVertex} ops.
+//    An edge splice rewrites the two endpoint tuples exactly like a
+//    re-weighting (plus the graph's CSR splice); AddVertex appends a
+//    fresh base tuple at the END of the certified leaf order, growing
+//    the Merkle tree by one leaf (MerkleTree::AppendLeaf) and bumping
+//    MethodParams::num_network_leaves. Appending — rather than
+//    re-sorting into the proximity ordering — keeps every existing leaf
+//    index stable, so the incremental result is byte-identical to a
+//    rebuild over (old order + appended tail); the ordering only ever
+//    affects proof sizes, never soundness.
 //
 // The clone is as cheap as the crypto since the structures went
 // persistent: Graph, NetworkAds and MerkleTree hold their payload in
 // immutable shared_ptr chunks, so the engine's "clone" is a pointer-spine
 // copy and the mutation below copy-on-writes only the chunks the update
-// actually touches — two adjacency blocks, two tuple chunks and the two
-// leaves' Merkle path chunks, O(f log_f V) fresh bytes instead of the
-// former O(V + E) memcpy. `copied_bytes` surfaces exactly those bytes
-// (the engine aggregates them into its rotation_clone_bytes metric).
+// actually touches — adjacency blocks, tuple chunks, Merkle path chunks,
+// and (structurally) the offset/coordinate spines and node -> leaf map.
+// `copied_bytes` surfaces exactly those bytes (the engine aggregates them
+// into its rotation_clone_bytes metric).
 //
-// Batching: ApplyEdgeWeightUpdates absorbs k edge changes into ONE
-// maintenance pass — k graph writes, up to 2k tuple refreshes (a chunk or
-// path copied once stays uniquely owned, so overlapping updates pay a
-// single copy), one version bump of +k and ONE certificate signature.
-// The result is byte-identical to applying the k updates one at a time
-// (same final tuples, same root, same version, and RSA PKCS#1 v1.5
-// signing is deterministic), which the batch-equivalence tests assert.
+// Batching: both entry points absorb k changes into ONE maintenance pass
+// with one version bump of +k and ONE certificate signature; singles are
+// wrappers over a batch of one. The result is byte-identical to applying
+// the k updates one at a time (same final tuples, same root, same
+// version, and RSA PKCS#1 v1.5 signing is deterministic), which the
+// batch-equivalence and structural differential tests assert. In front of
+// the engine, core/update_queue.h coalesces an update *storm* into few
+// such batches under a bounded-staleness knob — that is what makes the
+// one-signature-per-batch amortization real in a serving system.
 //
-// Since PR 4 the engine never mutates live serving state: it clones the
-// current snapshot's graph and DIJ ADS (structurally shared), points this
-// function at the *clones*, and publishes the result as a fresh immutable
-// EngineState (core/engine_state.h) while readers drain the old snapshot —
-// which keeps aliasing the untouched chunks, safely, because shared chunks
-// are never written in place. Calling these functions directly on
-// owner-private state (as the owner-side tests and tools do) remains
-// supported — just never on state a live engine is serving from. On an
-// error return the graph/ADS pair may hold a partially applied batch with
-// the old certificate; discard the clones (the engine does).
+// The engine never mutates live serving state: it clones the current
+// snapshot's graph and DIJ ADS (structurally shared), points these
+// functions at the *clones*, and publishes the result as a fresh
+// immutable EngineState (core/engine_state.h) while readers drain the old
+// snapshot — which keeps aliasing the untouched chunks (and, for
+// structural updates, the old shape's offsets and leaf map), safely,
+// because shared state is never written in place. Calling these functions
+// directly on owner-private state (as the owner-side tests and tools do)
+// remains supported — just never on state a live engine is serving from.
+// On an error return the graph/ADS pair may hold a partially applied
+// batch with the old certificate; discard the clones (the engine does).
 //
 // The other methods materialize global distances (FULL's all-pairs matrix,
-// LDM's landmark vectors, HYP's hyper-edges); a weight change can
+// LDM's landmark vectors, HYP's hyper-edges); a weight or shape change can
 // invalidate an unbounded subset of them, so their update story is a
 // rebuild (the paper leaves dynamic maintenance as an open problem; we
 // implement the one method where the incremental update is sound, and the
@@ -77,6 +93,27 @@ Status ApplyEdgeWeightUpdatesUnsigned(Graph* g, DijAds* ads,
 /// Single-update wrapper: a batch of one (version + 1, one signature).
 Status UpdateEdgeWeight(Graph* g, DijAds* ads, const RsaKeyPair& keys,
                         NodeId u, NodeId v, double new_weight);
+
+/// Absorbs a batch of structural ops (in order — later ops may reference
+/// vertices or edges earlier ops created) into the graph and the DIJ ADS:
+/// splices the CSR, refreshes/appends the affected tuples and Merkle
+/// leaves, refreshes MethodParams::num_network_leaves, bumps the version
+/// by `ops.size()` and signs ONCE. An empty batch is a no-op. Same
+/// contracts as ApplyEdgeWeightUpdates otherwise (copy-on-write clones,
+/// `copied_bytes` accounting, partial application on error).
+Status ApplyStructuralUpdates(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                              std::span<const StructuralUpdate> ops,
+                              size_t* copied_bytes = nullptr);
+
+/// Forest-mode variant: identical certificate body, no per-shard RSA
+/// signature (see ApplyEdgeWeightUpdatesUnsigned).
+Status ApplyStructuralUpdatesUnsigned(Graph* g, DijAds* ads,
+                                      std::span<const StructuralUpdate> ops,
+                                      size_t* copied_bytes = nullptr);
+
+/// Single-op wrapper: a batch of one (version + 1, one signature).
+Status ApplyStructuralUpdate(Graph* g, DijAds* ads, const RsaKeyPair& keys,
+                             const StructuralUpdate& op);
 
 }  // namespace spauth
 

@@ -34,30 +34,78 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
 }  // namespace
 
 void WalRecord::Serialize(ByteWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind));
   out->WriteU32(base_version);
-  out->WriteU32(static_cast<uint32_t>(updates.size()));
-  for (const EdgeWeightUpdate& u : updates) {
-    out->WriteU32(u.u);
-    out->WriteU32(u.v);
-    out->WriteF64(u.new_weight);
+  if (kind == WalRecordKind::kEdgeWeights) {
+    out->WriteU32(static_cast<uint32_t>(updates.size()));
+    for (const EdgeWeightUpdate& u : updates) {
+      out->WriteU32(u.u);
+      out->WriteU32(u.v);
+      out->WriteF64(u.new_weight);
+    }
+    return;
+  }
+  out->WriteU32(static_cast<uint32_t>(structural.size()));
+  for (const StructuralUpdate& op : structural) {
+    // Fixed layout regardless of op kind: replay must be byte-exact, and a
+    // uniform 33-byte op keeps the count-vs-remaining check trivial.
+    out->WriteU8(static_cast<uint8_t>(op.kind));
+    out->WriteU32(op.u);
+    out->WriteU32(op.v);
+    out->WriteF64(op.weight);
+    out->WriteF64(op.x);
+    out->WriteF64(op.y);
   }
 }
 
 Status WalRecord::DeserializeInto(ByteReader* in, WalRecord* out) {
+  uint8_t kind_byte = 0;
+  SPAUTH_RETURN_IF_ERROR(in->ReadU8(&kind_byte));
+  if (kind_byte != static_cast<uint8_t>(WalRecordKind::kEdgeWeights) &&
+      kind_byte != static_cast<uint8_t>(WalRecordKind::kStructural)) {
+    // A kind this build cannot interpret: the record is whole (the CRC
+    // passed) but replaying around it would silently lose an update batch.
+    return Status::DataLoss("wal record kind unknown to this build");
+  }
+  out->kind = static_cast<WalRecordKind>(kind_byte);
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&out->base_version));
   uint32_t count = 0;
   SPAUTH_RETURN_IF_ERROR(in->ReadU32(&count));
-  if (static_cast<size_t>(count) * 16 > in->remaining()) {
-    return Status::Malformed("wal record update count exceeds payload");
-  }
   out->updates.clear();
-  out->updates.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    EdgeWeightUpdate u;
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.u));
-    SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.v));
-    SPAUTH_RETURN_IF_ERROR(in->ReadF64(&u.new_weight));
-    out->updates.push_back(u);
+  out->structural.clear();
+  if (out->kind == WalRecordKind::kEdgeWeights) {
+    if (static_cast<size_t>(count) * 16 > in->remaining()) {
+      return Status::Malformed("wal record update count exceeds payload");
+    }
+    out->updates.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      EdgeWeightUpdate u;
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.u));
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&u.v));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&u.new_weight));
+      out->updates.push_back(u);
+    }
+  } else {
+    if (static_cast<size_t>(count) * 33 > in->remaining()) {
+      return Status::Malformed("wal record op count exceeds payload");
+    }
+    out->structural.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      StructuralUpdate op;
+      uint8_t op_kind = 0;
+      SPAUTH_RETURN_IF_ERROR(in->ReadU8(&op_kind));
+      if (op_kind < static_cast<uint8_t>(StructuralOpKind::kAddEdge) ||
+          op_kind > static_cast<uint8_t>(StructuralOpKind::kAddVertex)) {
+        return Status::DataLoss("wal structural op kind unknown to this build");
+      }
+      op.kind = static_cast<StructuralOpKind>(op_kind);
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&op.u));
+      SPAUTH_RETURN_IF_ERROR(in->ReadU32(&op.v));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&op.weight));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&op.x));
+      SPAUTH_RETURN_IF_ERROR(in->ReadF64(&op.y));
+      out->structural.push_back(op);
+    }
   }
   if (!in->AtEnd()) {
     return Status::Malformed("trailing bytes after wal record");
@@ -153,20 +201,46 @@ Result<WalReplay> Wal::Read(const std::string& path) {
   ByteReader reader{std::span<const uint8_t>(bytes)};
   std::vector<uint8_t> payload;
   while (true) {
+    const size_t record_start = reader.position();
     const Status frame = ReadFramedRecord(&reader, &payload);
     if (frame.code() == StatusCode::kOutOfRange) {
       break;  // clean end of log
     }
     if (!frame.ok()) {
-      replay.torn_tail = true;  // torn/corrupt record: stop, keep the prefix
+      // A crash tear can only live at the tail: either the frame header
+      // itself is truncated, or the declared frame runs to (or past) the
+      // end of the file. A corrupt frame with further bytes BEHIND it is
+      // mid-log damage — accepting the prefix would silently drop
+      // committed records the file still holds.
+      const size_t rem = bytes.size() - record_start;
+      if (rem >= 8) {
+        const uint32_t len = static_cast<uint32_t>(bytes[record_start]) |
+                             static_cast<uint32_t>(bytes[record_start + 1]) << 8 |
+                             static_cast<uint32_t>(bytes[record_start + 2]) << 16 |
+                             static_cast<uint32_t>(bytes[record_start + 3]) << 24;
+        const uint64_t frame_end = static_cast<uint64_t>(record_start) + 8 + len;
+        if (frame_end < bytes.size()) {
+          return Status::DataLoss(
+              "corrupt wal record followed by " +
+              std::to_string(bytes.size() - frame_end) +
+              " more bytes — mid-log damage, not a crash tail");
+        }
+      }
+      replay.torn_tail = true;  // genuine tail tear: stop, keep the prefix
       break;
     }
     WalRecord record;
     ByteReader record_reader{std::span<const uint8_t>(payload)};
-    if (!WalRecord::DeserializeInto(&record_reader, &record).ok()) {
-      // CRC-clean but undecodable: corrupt all the same.
-      replay.torn_tail = true;
-      break;
+    const Status decode = WalRecord::DeserializeInto(&record_reader, &record);
+    if (!decode.ok()) {
+      // The CRC passed, so the frame was written whole — this cannot be a
+      // crash tear. An unknown kind or undecodable bytes inside a clean
+      // frame means damage (or a future format): refuse, never skip.
+      if (decode.code() == StatusCode::kDataLoss) {
+        return decode;
+      }
+      return Status::DataLoss("undecodable wal record inside a CRC-clean frame: " +
+                              std::string(decode.message()));
     }
     replay.records.push_back(std::move(record));
     replay.valid_bytes = reader.position();

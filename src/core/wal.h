@@ -17,7 +17,12 @@
 // Records carry the base version they apply on top of, so replay after a
 // snapshot skips the prefix the snapshot already absorbed and detects
 // gaps (a WAL that starts beyond the snapshot's version is data loss, not
-// a torn tail). See src/util/crc32.h for the record framing and
+// a torn tail). Records are TYPED: the payload leads with a kind byte
+// (edge re-weighting vs structural batch), so a replayer that meets a
+// record it cannot interpret refuses with kDataLoss instead of
+// mis-parsing it — an unknown kind is never silently skipped and never
+// mistaken for a torn tail (a tear breaks the CRC; a CRC-clean frame was
+// written whole). See src/util/crc32.h for the record framing and
 // src/core/snapshot_store.h for the checkpoint side.
 #ifndef SPAUTH_CORE_WAL_H_
 #define SPAUTH_CORE_WAL_H_
@@ -32,22 +37,44 @@
 
 namespace spauth {
 
+/// The record-type tag leading every WAL payload. Values are part of the
+/// on-disk format — never renumber, only append.
+enum class WalRecordKind : uint8_t {
+  kEdgeWeights = 1,  // a batch of edge re-weightings
+  kStructural = 2,   // a batch of structural ops (add/remove edge, add vertex)
+};
+
 /// One durable update batch: the certificate version it applies on top of
-/// plus the edge re-weightings, in application order.
+/// plus the ops, in application order. Exactly one of `updates` /
+/// `structural` is populated, selected by `kind`.
 struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kEdgeWeights;
   uint32_t base_version = 0;
-  std::vector<EdgeWeightUpdate> updates;
+  std::vector<EdgeWeightUpdate> updates;      // kind == kEdgeWeights
+  std::vector<StructuralUpdate> structural;   // kind == kStructural
+
+  /// Ops in the record — the version delta it drives (replay arithmetic
+  /// treats weight and structural batches uniformly through this).
+  size_t Count() const {
+    return kind == WalRecordKind::kEdgeWeights ? updates.size()
+                                               : structural.size();
+  }
 
   void Serialize(ByteWriter* out) const;
+  /// kDataLoss when the record leads with a kind this build cannot
+  /// interpret (or a structural op kind it cannot); Malformed for byte-
+  /// level decode failures inside a known kind.
   static Status DeserializeInto(ByteReader* in, WalRecord* out);
 };
 
 /// What a recovery read of the log found.
 struct WalReplay {
   std::vector<WalRecord> records;  // the clean prefix, in append order
-  /// True when a torn/corrupt record ended the scan. Records before the
-  /// tear are in `records` either way; crash recovery accepts a torn tail
-  /// (it is exactly what a crash mid-append leaves), scrubbing does not.
+  /// True when a torn record at the END of the log stopped the scan.
+  /// Records before the tear are in `records` either way; crash recovery
+  /// accepts a torn tail (it is exactly what a crash mid-append leaves),
+  /// scrubbing does not. A corrupt record with further bytes behind it is
+  /// NOT a torn tail — Read fails kDataLoss instead (see Read).
   bool torn_tail = false;
   /// File prefix covered by the clean records (a repair truncates here).
   size_t valid_bytes = 0;
@@ -86,10 +113,18 @@ class Wal {
   uint64_t appended_records() const { return appended_; }
 
   /// Reads the clean record prefix of the log at `path`. A missing file
-  /// is an empty log (not an error). The scan stops at the first torn or
-  /// corrupt record (WalReplay::torn_tail); everything before it is
-  /// returned. Fail point "wal/fsync" does not apply here — reading has
-  /// no durability seam.
+  /// is an empty log (not an error). A torn record at the END of the log
+  /// stops the scan (WalReplay::torn_tail) and everything before it is
+  /// returned — that is the crash-mid-append shape. Two corruption shapes
+  /// are NOT accepted and fail kDataLoss instead of silently dropping
+  /// committed records:
+  ///   - a corrupt record followed by further bytes (mid-log damage — a
+  ///     crash tear can only live at the tail);
+  ///   - a CRC-clean record whose payload cannot be interpreted (unknown
+  ///     record kind, or bytes that do not decode — the frame was written
+  ///     whole, so this is damage or a format the build does not know).
+  /// Fail point "wal/fsync" does not apply here — reading has no
+  /// durability seam.
   static Result<WalReplay> Read(const std::string& path);
 
  private:

@@ -76,6 +76,126 @@ Status Graph::SetEdgeWeight(NodeId u, NodeId v, double new_weight,
   return Status::Ok();
 }
 
+Status Graph::AddEdge(NodeId u, NodeId v, double weight,
+                      size_t* copied_bytes) {
+  if (!std::isfinite(weight) || weight < 0) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0");
+  }
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self loops are not allowed");
+  }
+  if (FindEdge(u, v) != nullptr || FindEdge(v, u) != nullptr) {
+    return Status::InvalidArgument("duplicate edge");
+  }
+  // The splice shifts every offset after the endpoint, so the offset spine
+  // always gets a private copy; the blocks of untouched nodes keep reading
+  // correctly because their in-block positions are offset differences.
+  auto offsets = std::make_shared<std::vector<uint32_t>>(*offsets_);
+  if (copied_bytes != nullptr) {
+    *copied_bytes += offsets->size() * sizeof(uint32_t);
+  }
+  auto insert_half = [&](NodeId from, NodeId to) {
+    const uint32_t base = (*offsets)[from - from % kAdjBlockNodes];
+    std::vector<Edge>& block = MutableAdjBlock(from, copied_bytes);
+    const auto list_begin = block.begin() + ((*offsets)[from] - base);
+    const auto list_end = block.begin() + ((*offsets)[from + 1] - base);
+    const auto it = std::lower_bound(
+        list_begin, list_end, to,
+        [](const Edge& e, NodeId id) { return e.to < id; });
+    block.insert(it, Edge{to, weight});
+    for (size_t i = from + 1; i < offsets->size(); ++i) {
+      ++(*offsets)[i];
+    }
+  };
+  // Sequential halves over one consistent (offsets, blocks) state: the
+  // second splice computes its positions against the already-updated
+  // offsets, which is exactly what its updated block contains.
+  insert_half(u, v);
+  insert_half(v, u);
+  offsets_ = std::move(offsets);
+  return Status::Ok();
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v, size_t* copied_bytes) {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  // Locate both halves before mutating anything (SetEdgeWeight's
+  // discipline): a missing direction never leaves the other one spliced.
+  if (FindEdge(u, v) == nullptr || FindEdge(v, u) == nullptr) {
+    return Status::NotFound("no such edge");
+  }
+  auto offsets = std::make_shared<std::vector<uint32_t>>(*offsets_);
+  if (copied_bytes != nullptr) {
+    *copied_bytes += offsets->size() * sizeof(uint32_t);
+  }
+  auto erase_half = [&](NodeId from, NodeId to) {
+    const uint32_t base = (*offsets)[from - from % kAdjBlockNodes];
+    std::vector<Edge>& block = MutableAdjBlock(from, copied_bytes);
+    const auto list_begin = block.begin() + ((*offsets)[from] - base);
+    const auto list_end = block.begin() + ((*offsets)[from + 1] - base);
+    const auto it = std::lower_bound(
+        list_begin, list_end, to,
+        [](const Edge& e, NodeId id) { return e.to < id; });
+    block.erase(it);
+    for (size_t i = from + 1; i < offsets->size(); ++i) {
+      --(*offsets)[i];
+    }
+  };
+  erase_half(u, v);
+  erase_half(v, u);
+  offsets_ = std::move(offsets);
+  return Status::Ok();
+}
+
+Result<NodeId> Graph::AddVertex(double x, double y, size_t* copied_bytes) {
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return Status::InvalidArgument("vertex coordinates must be finite");
+  }
+  if (num_nodes_ >= kInvalidNode) {
+    return Status::InvalidArgument("node id space exhausted");
+  }
+  const NodeId id = static_cast<NodeId>(num_nodes_);
+  auto offsets = offsets_ != nullptr
+                     ? std::make_shared<std::vector<uint32_t>>(*offsets_)
+                     : std::make_shared<std::vector<uint32_t>>(1, 0u);
+  auto xs = xs_ != nullptr ? std::make_shared<std::vector<double>>(*xs_)
+                           : std::make_shared<std::vector<double>>();
+  auto ys = ys_ != nullptr ? std::make_shared<std::vector<double>>(*ys_)
+                           : std::make_shared<std::vector<double>>();
+  if (copied_bytes != nullptr) {
+    *copied_bytes += offsets->size() * sizeof(uint32_t) +
+                     (xs->size() + ys->size()) * sizeof(double);
+  }
+  offsets->push_back(offsets->back());  // the new node has no edges yet
+  xs->push_back(x);
+  ys->push_back(y);
+  if (id % kAdjBlockNodes == 0) {
+    adj_blocks_.push_back(std::make_shared<std::vector<Edge>>());
+  }
+  offsets_ = std::move(offsets);
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  ++num_nodes_;
+  return id;
+}
+
+Status Graph::ApplyStructural(const StructuralUpdate& op,
+                              size_t* copied_bytes) {
+  switch (op.kind) {
+    case StructuralOpKind::kAddEdge:
+      return AddEdge(op.u, op.v, op.weight, copied_bytes);
+    case StructuralOpKind::kRemoveEdge:
+      return RemoveEdge(op.u, op.v, copied_bytes);
+    case StructuralOpKind::kAddVertex:
+      return AddVertex(op.x, op.y, copied_bytes).status();
+  }
+  return Status::InvalidArgument("unknown structural op kind");
+}
+
 size_t Graph::MemoryFootprintBytes() const {
   if (offsets_ == nullptr) {
     return 0;

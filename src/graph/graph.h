@@ -12,6 +12,15 @@
 // rotation (clone graph, re-weight one edge, publish) O(block) instead of
 // O(V + E): retired snapshots keep reading the blocks they alias while the
 // owner's clone rewrites its private copies.
+//
+// Structural edits (AddEdge / RemoveEdge / AddVertex) follow the same
+// discipline at a coarser grain: the two touched adjacency blocks are
+// copy-on-written like a re-weighting, and the offset/coordinate spines —
+// which every node's block indexing depends on — are replaced wholesale
+// with fresh private vectors. Blocks of *untouched* nodes stay shared:
+// a node's in-block position is offsets[v] - offsets[block_base], and a
+// splice at node u shifts every offset after u by the same amount, so the
+// difference is invariant for every block that does not contain u.
 #ifndef SPAUTH_GRAPH_GRAPH_H_
 #define SPAUTH_GRAPH_GRAPH_H_
 
@@ -42,6 +51,49 @@ struct EdgeWeightUpdate {
   NodeId u = 0;
   NodeId v = 0;
   double new_weight = 0;
+};
+
+/// One owner-side structural edit: open a road, close one, add an
+/// intersection. The unit of the structural update pipeline —
+/// core/updates.h absorbs batches of these into one signed rotation, and
+/// the WAL logs them as typed records so recovery replays them
+/// byte-identically.
+enum class StructuralOpKind : uint8_t {
+  kAddEdge = 1,     // insert undirected edge (u, v) with `weight`
+  kRemoveEdge = 2,  // delete undirected edge (u, v)
+  kAddVertex = 3,   // append an isolated node at (x, y)
+};
+
+struct StructuralUpdate {
+  StructuralOpKind kind = StructuralOpKind::kAddEdge;
+  NodeId u = kInvalidNode;  // kAddEdge / kRemoveEdge endpoints
+  NodeId v = kInvalidNode;
+  double weight = 0;  // kAddEdge
+  double x = 0;       // kAddVertex coordinates
+  double y = 0;
+
+  static StructuralUpdate AddEdge(NodeId u, NodeId v, double weight) {
+    StructuralUpdate op;
+    op.kind = StructuralOpKind::kAddEdge;
+    op.u = u;
+    op.v = v;
+    op.weight = weight;
+    return op;
+  }
+  static StructuralUpdate RemoveEdge(NodeId u, NodeId v) {
+    StructuralUpdate op;
+    op.kind = StructuralOpKind::kRemoveEdge;
+    op.u = u;
+    op.v = v;
+    return op;
+  }
+  static StructuralUpdate AddVertex(double x, double y) {
+    StructuralUpdate op;
+    op.kind = StructuralOpKind::kAddVertex;
+    op.x = x;
+    op.y = y;
+    return op;
+  }
 };
 
 /// Axis-aligned bounding box of the node coordinates.
@@ -95,13 +147,35 @@ class Graph {
   bool HasEdge(NodeId u, NodeId v) const { return FindEdge(u, v) != nullptr; }
 
   /// Changes the weight of an existing edge (both stored directions).
-  /// Structure (node set / adjacency) is immutable; only weights may move.
   /// Copy-on-write: adjacency blocks still aliased by another Graph copy
   /// are duplicated before the write (and their bytes accumulated into
   /// `copied_bytes` when non-null); uniquely owned blocks mutate in place.
   /// A missing edge or bad weight copies nothing.
   Status SetEdgeWeight(NodeId u, NodeId v, double new_weight,
                        size_t* copied_bytes = nullptr);
+
+  /// Splices the undirected edge (u, v) into both adjacency lists.
+  /// Copy-on-write like SetEdgeWeight on the two touched blocks, plus a
+  /// fresh private offsets vector (the splice shifts every offset after
+  /// the endpoint). Fails — mutating nothing — on invalid ids, self
+  /// loops, bad weights and edges that already exist.
+  Status AddEdge(NodeId u, NodeId v, double weight,
+                 size_t* copied_bytes = nullptr);
+
+  /// Removes the undirected edge (u, v) from both adjacency lists; the
+  /// copy-on-write mirror image of AddEdge. NotFound (mutating nothing)
+  /// when the edge does not exist.
+  Status RemoveEdge(NodeId u, NodeId v, size_t* copied_bytes = nullptr);
+
+  /// Appends a new isolated node at (x, y) and returns its id — always
+  /// num_nodes() before the call (ids stay dense). Grows the coordinate
+  /// and offset spines copy-on-write and opens a fresh adjacency block
+  /// when the last one is full.
+  Result<NodeId> AddVertex(double x, double y, size_t* copied_bytes = nullptr);
+
+  /// Applies one structural op (dispatch over StructuralOpKind).
+  Status ApplyStructural(const StructuralUpdate& op,
+                         size_t* copied_bytes = nullptr);
 
   BoundingBox GetBoundingBox() const;
 

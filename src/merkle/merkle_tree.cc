@@ -352,6 +352,113 @@ Status MerkleTree::UpdateLeaf(uint32_t leaf_index, const Digest& new_digest,
   return Status::Ok();
 }
 
+void MerkleTree::AppendNode(size_t level, const Digest& digest,
+                            size_t* copied_bytes) {
+  Level& lvl = levels_[level];
+  if (lvl.size % kChunkDigests == 0) {
+    auto chunk = std::make_shared<Chunk>();
+    chunk->reserve(kChunkDigests);
+    chunk->push_back(digest);
+    lvl.chunks.push_back(std::move(chunk));
+  } else {
+    Chunk& chunk = EnsureUniqueChunk(
+        lvl.chunks.back(), copied_bytes,
+        [&](const Chunk& c) { return c.size() * DigestSize(alg_); });
+    chunk.push_back(digest);
+  }
+  ++lvl.size;
+}
+
+void MerkleTree::PopNode(size_t level, size_t* copied_bytes) {
+  Level& lvl = levels_[level];
+  if (lvl.size % kChunkDigests == 1) {
+    lvl.chunks.pop_back();  // the sole digest of the ragged chunk goes away
+  } else {
+    Chunk& chunk = EnsureUniqueChunk(
+        lvl.chunks.back(), copied_bytes,
+        [&](const Chunk& c) { return c.size() * DigestSize(alg_); });
+    chunk.pop_back();
+  }
+  --lvl.size;
+}
+
+Status MerkleTree::AppendLeaf(const Digest& new_digest, size_t* copied_bytes) {
+  if (new_digest.size() != DigestSize(alg_)) {
+    return Status::InvalidArgument("digest size does not match tree");
+  }
+  if (num_leaves() >= 0xffffffffu) {
+    return Status::InvalidArgument("merkle tree leaf index space exhausted");
+  }
+  AppendNode(0, new_digest, copied_bytes);
+  // Only the right edge changes: the new leaf is the last leaf, so at every
+  // level the affected parent is the last node of the new ceil-chain shape
+  // (a node whose child range grew, a brand-new node over the ragged tail,
+  // or — when the old root gets a sibling — a brand-new root level).
+  std::vector<Digest> children;
+  children.reserve(fanout_);
+  size_t level = 1;
+  while (true) {
+    const size_t child_size = levels_[level - 1].size;
+    if (child_size == 1) {
+      break;  // the child level is the root
+    }
+    if (level == levels_.size()) {
+      levels_.push_back(Level{});
+    }
+    const size_t new_size = (child_size + fanout_ - 1) / fanout_;
+    const size_t parent = new_size - 1;
+    const size_t first = parent * fanout_;
+    const size_t last = std::min(child_size, first + fanout_);
+    children.clear();
+    for (size_t c = first; c < last; ++c) {
+      children.push_back(NodeAt(level - 1, c));
+    }
+    const Digest digest = HashInternalNode(alg_, children);
+    if (levels_[level].size < new_size) {
+      AppendNode(level, digest, copied_bytes);
+    } else {
+      MutableNode(level, parent, copied_bytes) = digest;
+    }
+    ++level;
+  }
+  return Status::Ok();
+}
+
+Status MerkleTree::RemoveLastLeaf(size_t* copied_bytes) {
+  if (num_leaves() <= 1) {
+    return Status::FailedPrecondition("merkle tree needs at least one leaf");
+  }
+  PopNode(0, copied_bytes);
+  // AppendLeaf's mirror image: walk the right edge, dropping the node over
+  // a tail that disappeared and re-hashing the (new) last parent whose
+  // child range shrank. A level whose child level collapsed to one node is
+  // the first level past the new root — everything above it goes.
+  std::vector<Digest> children;
+  children.reserve(fanout_);
+  size_t level = 1;
+  while (level < levels_.size()) {
+    const size_t child_size = levels_[level - 1].size;
+    if (child_size == 1) {
+      levels_.resize(level);  // the child level is the new root
+      break;
+    }
+    const size_t new_size = (child_size + fanout_ - 1) / fanout_;
+    if (levels_[level].size > new_size) {
+      PopNode(level, copied_bytes);
+    }
+    const size_t parent = new_size - 1;
+    const size_t first = parent * fanout_;
+    const size_t last = std::min(child_size, first + fanout_);
+    children.clear();
+    for (size_t c = first; c < last; ++c) {
+      children.push_back(NodeAt(level - 1, c));
+    }
+    MutableNode(level, parent, copied_bytes) = HashInternalNode(alg_, children);
+    ++level;
+  }
+  return Status::Ok();
+}
+
 Status SortLeavesAndCheckUnique(
     std::vector<std::pair<uint32_t, Digest>>* leaves,
     std::string_view duplicate_message) {

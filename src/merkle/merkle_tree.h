@@ -138,6 +138,21 @@ class MerkleTree {
   Status UpdateLeaf(uint32_t leaf_index, const Digest& new_digest,
                     size_t* copied_bytes = nullptr);
 
+  /// Appends one leaf at index num_leaves() and recomputes the right-edge
+  /// path of internal digests — the structural growth half of owner-side
+  /// updates (an AddVertex appends the new node's tuple leaf). Level
+  /// shapes follow the ceil chain of the new leaf count: the last parent
+  /// of every level is re-hashed, a level that overflows gains a node, and
+  /// a new root level opens when the old root gets a sibling. Chunks
+  /// shared with another tree version are copy-on-written exactly like
+  /// UpdateLeaf, so retired snapshots keep their old shape untouched.
+  Status AppendLeaf(const Digest& new_digest, size_t* copied_bytes = nullptr);
+
+  /// Removes the last leaf and shrinks the shape back — the exact inverse
+  /// of AppendLeaf (a level whose child level collapsed to a single node
+  /// is dropped). The tree keeps its one-leaf minimum.
+  Status RemoveLastLeaf(size_t* copied_bytes = nullptr);
+
   /// Chunks across all levels (structural-sharing accounting).
   size_t num_chunks() const;
   /// Chunks pointer-identical to `other`'s at the same position — the
@@ -168,6 +183,12 @@ class MerkleTree {
   /// aliased by another tree version is duplicated first (and its bytes
   /// added to `copied_bytes`); a uniquely owned chunk is handed out as is.
   Digest& MutableNode(size_t level, size_t index, size_t* copied_bytes);
+
+  /// Appends one digest at the end of `level`, growing the chunk spine
+  /// (copy-on-write on the ragged tail chunk).
+  void AppendNode(size_t level, const Digest& digest, size_t* copied_bytes);
+  /// Drops the last digest of `level` — AppendNode's inverse.
+  void PopNode(size_t level, size_t* copied_bytes);
 
   std::vector<Level> levels_;  // [0] = leaves, back() = {root}
   uint32_t fanout_;

@@ -1,5 +1,6 @@
 #include "core/core_test_context.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include <gtest/gtest.h>
@@ -63,9 +64,18 @@ ShardStats ExpectShardStatsConserve(const ShardedStats& stats) {
     sum.failures += s.failures;
     sum.answer_micros += s.answer_micros;
     sum.updates += s.updates;
+    sum.structural_updates += s.structural_updates;
     sum.update_failures += s.update_failures;
+    sum.enqueued_updates += s.enqueued_updates;
+    sum.coalesced_rotations += s.coalesced_rotations;
     sum.rotation_clone_bytes += s.rotation_clone_bytes;
-    sum.live_snapshots += s.live_snapshots;
+    // Gauges conserve as the per-shard max, not a sum: the totals must
+    // report a reading some shard actually observed.
+    sum.update_lag_micros = std::max(sum.update_lag_micros,
+                                     s.update_lag_micros);
+    sum.live_snapshots = std::max(sum.live_snapshots, s.live_snapshots);
+    sum.certificate_version =
+        std::max(sum.certificate_version, s.certificate_version);
     sum.retries += s.retries;
     sum.failovers += s.failovers;
     sum.deadline_exceeded += s.deadline_exceeded;
@@ -86,9 +96,14 @@ ShardStats ExpectShardStatsConserve(const ShardedStats& stats) {
   EXPECT_EQ(stats.totals.failures, sum.failures);
   EXPECT_EQ(stats.totals.answer_micros, sum.answer_micros);
   EXPECT_EQ(stats.totals.updates, sum.updates);
+  EXPECT_EQ(stats.totals.structural_updates, sum.structural_updates);
   EXPECT_EQ(stats.totals.update_failures, sum.update_failures);
+  EXPECT_EQ(stats.totals.enqueued_updates, sum.enqueued_updates);
+  EXPECT_EQ(stats.totals.coalesced_rotations, sum.coalesced_rotations);
   EXPECT_EQ(stats.totals.rotation_clone_bytes, sum.rotation_clone_bytes);
+  EXPECT_EQ(stats.totals.update_lag_micros, sum.update_lag_micros);
   EXPECT_EQ(stats.totals.live_snapshots, sum.live_snapshots);
+  EXPECT_EQ(stats.totals.certificate_version, sum.certificate_version);
   EXPECT_EQ(stats.totals.retries, sum.retries);
   EXPECT_EQ(stats.totals.failovers, sum.failovers);
   EXPECT_EQ(stats.totals.deadline_exceeded, sum.deadline_exceeded);

@@ -29,9 +29,12 @@ struct CoreTestContext {
 };
 
 /// Asserts the fleet's stats books conserve: every additive ShardedStats
-/// totals counter — serving, failover, heal and cache planes — equals its
-/// per-shard sum. Returns the recomputed sums so callers can assert
-/// workload-specific expectations against them without re-summing.
+/// totals counter — serving, failover, heal, queue and cache planes —
+/// equals its per-shard sum, and every gauge (live_snapshots,
+/// certificate_version, update_lag_micros) equals its per-shard MAX —
+/// summing a gauge across shards would fabricate a reading no shard ever
+/// observed. Returns the recomputed aggregate so callers can assert
+/// workload-specific expectations against it without re-summing.
 ShardStats ExpectShardStatsConserve(const ShardedStats& stats);
 
 }  // namespace spauth::testing

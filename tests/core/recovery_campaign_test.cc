@@ -870,5 +870,245 @@ TEST(RecoveryCampaignTest, MidFleetKillRecoversMixedEpochsAndReconciles) {
   EXPECT_EQ(ReconcileFleetEpoch(fleet).value(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Typed WAL records: unknown kinds refuse, mid-log damage is not a tail
+// tear, and structural batches replay byte-identically
+// ---------------------------------------------------------------------------
+
+/// Deterministic structural batch: add a vertex at a seeded coordinate and
+/// wire it to a seeded anchor. `next_id` is the graph's node count at
+/// apply time (ids stay dense).
+std::vector<StructuralUpdate> MakeStructuralBatch(NodeId next_id, size_t i) {
+  Rng rng(0x57a7 + i * 104729);
+  return {
+      StructuralUpdate::AddVertex(rng.NextDoubleIn(0.0, 4500.0),
+                                  rng.NextDoubleIn(0.0, 4500.0)),
+      StructuralUpdate::AddEdge(next_id,
+                                static_cast<NodeId>(rng.NextBounded(next_id)),
+                                rng.NextDoubleIn(10.0, 400.0)),
+  };
+}
+
+TEST(WalTypedRecordTest, UnknownRecordKindIsDataLossNeverSkipped) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  const std::string dir = FreshDir("wal_unknown_kind");
+  const std::string path = dir + "/updates.wal";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    WalRecord record;
+    record.base_version = 0;
+    const auto batch = MakeBatch(edges, 0);
+    record.updates.assign(batch.begin(), batch.end());
+    ASSERT_TRUE(wal.value().Append(record).ok());
+  }
+  const std::vector<uint8_t> log = ReadFileBytes(path);
+
+  // A CRC-clean frame whose payload leads with a kind this build does not
+  // know — a future format, not a crash artifact. The frame is whole, so
+  // this is NOT a torn tail; and it must never be silently skipped, even
+  // with a perfectly valid record sitting behind it.
+  std::vector<uint8_t> future_kind = {0x63, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<uint8_t> damaged = log;
+  AppendFramedRecord(future_kind, &damaged);
+  damaged.insert(damaged.end(), log.begin(), log.end());  // valid bytes after
+  WriteFileBytes(path, damaged);
+
+  auto refused = Wal::Read(path);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss)
+      << refused.status().ToString();
+
+  // The same unknown-kind frame at the very END is still kDataLoss: the
+  // CRC passed, so the frame was written whole — a tear breaks the CRC.
+  std::vector<uint8_t> at_tail = log;
+  AppendFramedRecord(future_kind, &at_tail);
+  WriteFileBytes(path, at_tail);
+  auto tail_refused = Wal::Read(path);
+  ASSERT_FALSE(tail_refused.ok());
+  EXPECT_EQ(tail_refused.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTypedRecordTest, MidLogDamageIsDataLossOnlyTheTailMayTear) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  const std::string dir = FreshDir("wal_mid_log");
+  const std::string path = dir + "/updates.wal";
+  std::vector<size_t> frame_ends;  // cumulative end offset of each record
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    uint32_t version = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      WalRecord record;
+      record.base_version = version;
+      const auto batch = MakeBatch(edges, 10 + i);
+      record.updates.assign(batch.begin(), batch.end());
+      ASSERT_TRUE(wal.value().Append(record).ok());
+      version += static_cast<uint32_t>(batch.size());
+      ByteWriter payload;
+      record.Serialize(&payload);
+      const size_t frame = FramedRecordSize(payload.view().size());
+      frame_ends.push_back(frame_ends.empty() ? frame
+                                              : frame_ends.back() + frame);
+    }
+  }
+  const std::vector<uint8_t> log = ReadFileBytes(path);
+  ASSERT_EQ(log.size(), frame_ends[2]);
+
+  // Flip a byte inside the MIDDLE record: there are committed bytes behind
+  // the damage, so this cannot be a crash tail — refuse, do not truncate
+  // away a committed suffix.
+  std::vector<uint8_t> mid_flip = log;
+  mid_flip[frame_ends[0] + 10] ^= 0x40;
+  WriteFileBytes(path, mid_flip);
+  auto refused = Wal::Read(path);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss)
+      << refused.status().ToString();
+
+  // The SAME flip in the last record is a genuine crash shape: a tear at
+  // the tail. Replay keeps the two whole records and reports the tear.
+  std::vector<uint8_t> tail_flip = log;
+  tail_flip[frame_ends[1] + 10] ^= 0x40;
+  WriteFileBytes(path, tail_flip);
+  auto torn = Wal::Read(path);
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_TRUE(torn.value().torn_tail);
+  EXPECT_EQ(torn.value().records.size(), 2u);
+  EXPECT_EQ(torn.value().valid_bytes, frame_ends[1]);
+
+  // A truncated tail record — the classic torn write — is also accepted.
+  WriteFileBytes(path, std::span<const uint8_t>(log.data(),
+                                                frame_ends[1] + 7));
+  auto truncated = Wal::Read(path);
+  ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+  EXPECT_TRUE(truncated.value().torn_tail);
+  EXPECT_EQ(truncated.value().records.size(), 2u);
+}
+
+TEST(WalTypedRecordTest, StructuralRecordsRoundTripExactly) {
+  const std::string dir = FreshDir("wal_structural_roundtrip");
+  const std::string path = dir + "/updates.wal";
+  WalRecord structural;
+  structural.kind = WalRecordKind::kStructural;
+  structural.base_version = 5;
+  structural.structural = {
+      StructuralUpdate::AddEdge(3, 9, 42.5),
+      StructuralUpdate::RemoveEdge(1, 2),
+      StructuralUpdate::AddVertex(-12.25, 900.75),
+  };
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value().Append(structural).ok());
+  }
+  auto replay = Wal::Read(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  const WalRecord& read = replay.value().records[0];
+  EXPECT_EQ(read.kind, WalRecordKind::kStructural);
+  EXPECT_EQ(read.base_version, 5u);
+  EXPECT_EQ(read.Count(), 3u);
+  ASSERT_EQ(read.structural.size(), 3u);
+  EXPECT_EQ(read.structural[0].kind, StructuralOpKind::kAddEdge);
+  EXPECT_EQ(read.structural[0].u, 3u);
+  EXPECT_EQ(read.structural[0].v, 9u);
+  EXPECT_DOUBLE_EQ(read.structural[0].weight, 42.5);
+  EXPECT_EQ(read.structural[1].kind, StructuralOpKind::kRemoveEdge);
+  EXPECT_EQ(read.structural[2].kind, StructuralOpKind::kAddVertex);
+  EXPECT_DOUBLE_EQ(read.structural[2].x, -12.25);
+  EXPECT_DOUBLE_EQ(read.structural[2].y, 900.75);
+}
+
+TEST(WalTypedRecordTest, MixedStructuralLogReplaysByteIdentically) {
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  World w = MakeWorld("structural_replay");
+  ASSERT_NE(w.engine, nullptr);
+  auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+  ASSERT_NE(twin, nullptr);
+
+  // weight | structural | weight — both record kinds interleave in one
+  // log, and the version arithmetic (base_version + Count) must stay
+  // consistent across the kind switch.
+  const auto weights0 = MakeBatch(edges, 20);
+  const auto structural =
+      MakeStructuralBatch(static_cast<NodeId>(ctx.graph.num_nodes()), 20);
+  const auto weights1 = MakeBatch(edges, 21);
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, weights0).ok());
+  ASSERT_TRUE(w.engine->ApplyStructuralUpdates(ctx.keys, structural).ok());
+  ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, weights1).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, weights0).ok());
+  ASSERT_TRUE(twin->ApplyStructuralUpdates(ctx.keys, structural).ok());
+  ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, weights1).ok());
+
+  auto recovered = CrashAndRecover(w);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const RecoveryReport& report = recovered.value();
+  EXPECT_EQ(report.wal_records_replayed, 3u);
+  EXPECT_FALSE(report.wal_torn_tail);
+  EXPECT_EQ(report.recovered_version, twin->certificate().params.version);
+  // The replayed engine grew the same vertex the live one did.
+  EXPECT_EQ(report.engine->CurrentState()->graph->num_nodes(),
+            ctx.graph.num_nodes() + 1);
+  ExpectByteTransparent(*report.engine, *twin);
+}
+
+TEST(WalTypedRecordTest, StructuralKillPointsRecoverTheDurablePrefix) {
+  if (!FailPointsCompiledIn()) {
+    GTEST_SKIP() << "built with -DSPAUTH_FAILPOINTS=OFF";
+  }
+  const auto& ctx = CoreTestContext::Get();
+  const std::vector<UndirectedEdge> edges = CollectEdges(ctx.graph);
+  struct Kill {
+    const char* point;
+    const char* scratch;
+    bool batch_durable;
+    bool torn_tail;
+  };
+  const Kill kills[] = {
+      {"wal/append", "kill_structural_append", false, false},
+      {"wal/fsync", "kill_structural_fsync", false, true},
+      {"engine/publish", "kill_structural_publish", true, false},
+  };
+  for (const Kill& kill : kills) {
+    SCOPED_TRACE(kill.point);
+    World w = MakeWorld(kill.scratch);
+    ASSERT_NE(w.engine, nullptr);
+    auto twin = ctx.MakeMethodEngine(MethodKind::kDij);
+    ASSERT_NE(twin, nullptr);
+
+    // A healthy weight batch, then the doomed STRUCTURAL batch.
+    const auto healthy = MakeBatch(edges, 30);
+    ASSERT_TRUE(w.engine->ApplyEdgeWeightUpdates(ctx.keys, healthy).ok());
+    ASSERT_TRUE(twin->ApplyEdgeWeightUpdates(ctx.keys, healthy).ok());
+
+    const auto doomed =
+        MakeStructuralBatch(static_cast<NodeId>(ctx.graph.num_nodes()), 31);
+    FailPointRegistry::Global().ArmOneShot(kill.point);
+    auto failed = w.engine->ApplyStructuralUpdates(ctx.keys, doomed);
+    FailPointRegistry::Global().Disarm(kill.point);
+    ASSERT_FALSE(failed.ok()) << kill.point << " did not fire";
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+    if (kill.batch_durable) {
+      ASSERT_TRUE(twin->ApplyStructuralUpdates(ctx.keys, doomed).ok());
+    }
+
+    auto recovered = CrashAndRecover(w);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const RecoveryReport& report = recovered.value();
+    EXPECT_EQ(report.wal_torn_tail, kill.torn_tail);
+    EXPECT_EQ(report.wal_records_replayed, kill.batch_durable ? 2u : 1u);
+    EXPECT_EQ(report.recovered_version, twin->certificate().params.version);
+    // A durable structural batch replays to the grown shape; a lost one
+    // leaves the original network.
+    EXPECT_EQ(report.engine->CurrentState()->graph->num_nodes(),
+              ctx.graph.num_nodes() + (kill.batch_durable ? 1 : 0));
+    ExpectByteTransparent(*report.engine, *twin);
+  }
+}
+
 }  // namespace
 }  // namespace spauth

@@ -1,0 +1,137 @@
+// Merkle structural growth: AppendLeaf / RemoveLastLeaf against fresh
+// rebuilds at every size, across fanouts, with the copy-on-write sharing
+// and proof-replay invariants the persistence layer promises.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "merkle/merkle_tree.h"
+#include "util/rng.h"
+
+namespace spauth {
+namespace {
+
+std::vector<Digest> RandomLeaves(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Digest> leaves;
+  leaves.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint8_t payload[8];
+    rng.FillBytes(payload, sizeof(payload));
+    leaves.push_back(HashLeafPayload(HashAlgorithm::kSha1, payload));
+  }
+  return leaves;
+}
+
+TEST(MerkleAppendTest, AppendMatchesFreshRebuildAtEverySize) {
+  const std::vector<Digest> leaves = RandomLeaves(70, 31);
+  for (uint32_t fanout : {2u, 3u, 8u, 16u}) {
+    auto tree =
+        MerkleTree::Build({leaves[0]}, fanout, HashAlgorithm::kSha1);
+    ASSERT_TRUE(tree.ok());
+    for (size_t n = 2; n <= leaves.size(); ++n) {
+      ASSERT_TRUE(tree.value().AppendLeaf(leaves[n - 1]).ok())
+          << "fanout " << fanout << " size " << n;
+      ASSERT_EQ(tree.value().num_leaves(), n);
+      auto rebuilt = MerkleTree::Build(
+          std::vector<Digest>(leaves.begin(),
+                              leaves.begin() + static_cast<ptrdiff_t>(n)),
+          fanout, HashAlgorithm::kSha1);
+      ASSERT_TRUE(rebuilt.ok());
+      ASSERT_EQ(tree.value().root(), rebuilt.value().root())
+          << "fanout " << fanout << " size " << n;
+    }
+    // Every leaf digest landed where the rebuild puts it.
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      EXPECT_EQ(tree.value().leaf(i), leaves[i]);
+    }
+  }
+}
+
+TEST(MerkleAppendTest, RemoveMatchesFreshRebuildAtEverySize) {
+  const std::vector<Digest> leaves = RandomLeaves(70, 32);
+  for (uint32_t fanout : {2u, 3u, 8u, 16u}) {
+    auto tree = MerkleTree::Build(leaves, fanout, HashAlgorithm::kSha1);
+    ASSERT_TRUE(tree.ok());
+    for (size_t n = leaves.size() - 1; n >= 1; --n) {
+      ASSERT_TRUE(tree.value().RemoveLastLeaf().ok())
+          << "fanout " << fanout << " size " << n;
+      ASSERT_EQ(tree.value().num_leaves(), n);
+      auto rebuilt = MerkleTree::Build(
+          std::vector<Digest>(leaves.begin(),
+                              leaves.begin() + static_cast<ptrdiff_t>(n)),
+          fanout, HashAlgorithm::kSha1);
+      ASSERT_TRUE(rebuilt.ok());
+      ASSERT_EQ(tree.value().root(), rebuilt.value().root())
+          << "fanout " << fanout << " size " << n;
+    }
+  }
+}
+
+TEST(MerkleAppendTest, AppendRemoveRoundTripIsIdentity) {
+  const std::vector<Digest> leaves = RandomLeaves(33, 33);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  const Digest root_before = tree.value().root();
+  const Digest extra = RandomLeaves(1, 34)[0];
+  ASSERT_TRUE(tree.value().AppendLeaf(extra).ok());
+  EXPECT_FALSE(tree.value().root() == root_before);
+  ASSERT_TRUE(tree.value().RemoveLastLeaf().ok());
+  EXPECT_EQ(tree.value().root(), root_before);
+  EXPECT_EQ(tree.value().num_leaves(), leaves.size());
+}
+
+TEST(MerkleAppendTest, ProofsVerifyAcrossOldAndAppendedLeaves) {
+  std::vector<Digest> leaves = RandomLeaves(40, 35);
+  auto tree = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<Digest> appended = RandomLeaves(3, 36);
+  for (const Digest& d : appended) {
+    ASSERT_TRUE(tree.value().AppendLeaf(d).ok());
+    leaves.push_back(d);
+  }
+  // A subset that straddles the old body and the appended tail.
+  const std::vector<uint32_t> indices = {0, 39, 40, 42};
+  auto proof = tree.value().GenerateProof(indices);
+  ASSERT_TRUE(proof.ok());
+  std::map<uint32_t, Digest> targets;
+  for (uint32_t i : indices) {
+    targets[i] = leaves[i];
+  }
+  auto root = ReconstructMerkleRoot(proof.value(), targets);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), tree.value().root());
+}
+
+TEST(MerkleAppendTest, AppendCopyOnWritesAwayFromSharedSnapshots) {
+  const std::vector<Digest> leaves = RandomLeaves(64, 37);
+  auto built = MerkleTree::Build(leaves, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(built.ok());
+  MerkleTree frozen = built.value();  // pointer-spine copy
+  const Digest frozen_root = frozen.root();
+
+  size_t copied = 0;
+  ASSERT_TRUE(built.value().AppendLeaf(RandomLeaves(1, 38)[0], &copied).ok());
+  // The frozen snapshot kept its shape and root untouched...
+  EXPECT_EQ(frozen.num_leaves(), leaves.size());
+  EXPECT_EQ(frozen.root(), frozen_root);
+  // ...because the append path-copied the shared right-edge chunks it
+  // touched (the rest of the tree is still shared).
+  EXPECT_GT(copied, 0u);
+  EXPECT_GT(built.value().SharedChunksWith(frozen), 0u);
+}
+
+TEST(MerkleAppendTest, RejectsBadArguments) {
+  auto tree = MerkleTree::Build(
+      {HashLeafPayload(HashAlgorithm::kSha1, {})}, 2, HashAlgorithm::kSha1);
+  ASSERT_TRUE(tree.ok());
+  // Wrong digest width for the tree's algorithm.
+  const Digest wide = Hasher::Hash(HashAlgorithm::kSha256, {});
+  EXPECT_FALSE(tree.value().AppendLeaf(wide).ok());
+  // The one-leaf minimum: a tree cannot shrink to empty.
+  EXPECT_EQ(tree.value().RemoveLastLeaf().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace spauth
